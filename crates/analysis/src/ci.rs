@@ -1,0 +1,202 @@
+//! Confidence intervals for repeated benchmark invocations.
+//!
+//! §6.1 of the paper: "We run 10 invocations of each benchmark and show or
+//! plot the 95 % confidence intervals. In practice, 10 invocations is
+//! sufficient to produce results with sufficiently tight confidence
+//! intervals." This module computes those intervals with the Student *t*
+//! distribution (the sample sizes are small, so the normal approximation
+//! would be too optimistic).
+
+use crate::descriptive::{mean, stddev};
+use crate::AnalysisError;
+
+/// Two-sided 97.5 % critical values of the Student *t* distribution
+/// (i.e. the multipliers for a 95 % confidence interval), indexed by degrees
+/// of freedom 1..=30.
+const T_975: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// The asymptotic (normal) multiplier used for large samples.
+const Z_975: f64 = 1.960;
+
+/// Critical value of the two-sided 95 % Student *t* for `df` degrees of
+/// freedom.
+///
+/// For `df > 30` the normal approximation (1.960) is used — well within the
+/// fidelity needed for plotting CI whiskers.
+///
+/// # Panics
+///
+/// Panics if `df == 0`; a confidence interval requires at least two samples.
+pub fn t_critical_95(df: usize) -> f64 {
+    assert!(df > 0, "confidence interval requires df >= 1");
+    if df <= T_975.len() {
+        T_975[df - 1]
+    } else {
+        Z_975
+    }
+}
+
+/// A 95 % confidence interval around a sample mean.
+///
+/// # Examples
+///
+/// ```
+/// use chopin_analysis::ConfidenceInterval;
+/// # fn main() -> Result<(), chopin_analysis::AnalysisError> {
+/// // Ten invocations of a benchmark (milliseconds).
+/// let runs = [101.0, 99.0, 100.5, 98.7, 100.2, 99.9, 101.3, 100.0, 99.5, 100.8];
+/// let ci = ConfidenceInterval::from_samples(&runs)?;
+/// assert!(ci.lower() < ci.mean() && ci.mean() < ci.upper());
+/// assert!(ci.half_width() < 1.0, "ten invocations give a tight interval");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    mean: f64,
+    half_width: f64,
+    n: usize,
+}
+
+impl ConfidenceInterval {
+    /// Build a 95 % confidence interval from raw samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::InsufficientData`] when fewer than two
+    /// samples are provided.
+    pub fn from_samples(samples: &[f64]) -> Result<Self, AnalysisError> {
+        let n = samples.len();
+        if n < 2 {
+            return Err(AnalysisError::InsufficientData { needed: 2, got: n });
+        }
+        let m = mean(samples)?;
+        let s = stddev(samples)?;
+        let half = t_critical_95(n - 1) * s / (n as f64).sqrt();
+        Ok(ConfidenceInterval {
+            mean: m,
+            half_width: half,
+            n,
+        })
+    }
+
+    /// The sample mean at the centre of the interval.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Half the width of the interval (the "± term").
+    pub fn half_width(&self) -> f64 {
+        self.half_width
+    }
+
+    /// Lower bound of the interval.
+    pub fn lower(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper bound of the interval.
+    pub fn upper(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// Number of samples the interval was computed from.
+    pub fn sample_count(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the interval contains `value`.
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lower() && value <= self.upper()
+    }
+
+    /// Relative half width (half width divided by the mean), the usual
+    /// "tightness" figure quoted for benchmark results. Returns `None` when
+    /// the mean is zero.
+    pub fn relative_half_width(&self) -> Option<f64> {
+        if self.mean == 0.0 {
+            None
+        } else {
+            Some(self.half_width / self.mean.abs())
+        }
+    }
+}
+
+impl std::fmt::Display for ConfidenceInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4} ± {:.4} (n={})", self.mean, self.half_width, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn t_table_matches_known_values() {
+        assert_eq!(t_critical_95(1), 12.706);
+        assert_eq!(t_critical_95(9), 2.262); // 10 invocations, as in §6.1
+        assert_eq!(t_critical_95(30), 2.042);
+        assert_eq!(t_critical_95(1000), 1.960);
+    }
+
+    #[test]
+    #[should_panic(expected = "df >= 1")]
+    fn t_table_rejects_zero_df() {
+        t_critical_95(0);
+    }
+
+    #[test]
+    fn interval_requires_two_samples() {
+        assert!(ConfidenceInterval::from_samples(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn constant_samples_yield_zero_width() {
+        let ci = ConfidenceInterval::from_samples(&[7.0; 10]).unwrap();
+        assert_eq!(ci.half_width(), 0.0);
+        assert_eq!(ci.lower(), 7.0);
+        assert_eq!(ci.upper(), 7.0);
+        assert!(ci.contains(7.0));
+        assert!(!ci.contains(7.1));
+    }
+
+    #[test]
+    fn display_shows_mean_and_width() {
+        let ci = ConfidenceInterval::from_samples(&[1.0, 3.0]).unwrap();
+        let s = ci.to_string();
+        assert!(s.contains("2.0000"), "{s}");
+        assert!(s.contains("n=2"), "{s}");
+    }
+
+    #[test]
+    fn relative_half_width_none_for_zero_mean() {
+        let ci = ConfidenceInterval::from_samples(&[-1.0, 1.0]).unwrap();
+        assert_eq!(ci.relative_half_width(), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_interval_contains_mean(v in proptest::collection::vec(-1e6f64..1e6, 2..40)) {
+            let ci = ConfidenceInterval::from_samples(&v).unwrap();
+            prop_assert!(ci.contains(ci.mean()));
+        }
+
+        #[test]
+        fn prop_half_width_matches_the_t_formula(
+            v in proptest::collection::vec(-1e6f64..1e6, 2..40)
+        ) {
+            // The interval is exactly t_{0.975, n-1} * s / sqrt(n).
+            let ci = ConfidenceInterval::from_samples(&v).unwrap();
+            let s = crate::descriptive::stddev(&v).unwrap();
+            let expected = t_critical_95(v.len() - 1) * s / (v.len() as f64).sqrt();
+            prop_assert!((ci.half_width() - expected).abs() <= expected.abs() * 1e-12 + 1e-12);
+            prop_assert_eq!(ci.sample_count(), v.len());
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Descriptive statistics: mean, geometric mean, standard deviation and
+//! percentiles.
+//!
+//! The paper's evaluation aggregates per-benchmark results with the
+//! *geometric mean* (Figure 1 plots "the geometric mean of overhead over all
+//! 22 DaCapo Chopin benchmarks") and reports latency *percentile*
+//! distributions from the median up to 99.99 (§4.4).
+
+use crate::AnalysisError;
+
+/// Arithmetic mean of a slice.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::Empty`] for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), chopin_analysis::AnalysisError> {
+/// let m = chopin_analysis::mean(&[1.0, 2.0, 3.0])?;
+/// assert_eq!(m, 2.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn mean(values: &[f64]) -> Result<f64, AnalysisError> {
+    if values.is_empty() {
+        return Err(AnalysisError::Empty);
+    }
+    Ok(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Geometric mean of a slice of strictly positive values.
+///
+/// Computed in log space for numerical robustness; this is the aggregation
+/// the paper uses across benchmarks (Figure 1).
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::Empty`] for an empty slice and
+/// [`AnalysisError::NotFinite`] if any value is non-positive or non-finite
+/// (the logarithm would be undefined).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), chopin_analysis::AnalysisError> {
+/// let g = chopin_analysis::geometric_mean(&[1.0, 4.0])?;
+/// assert!((g - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn geometric_mean(values: &[f64]) -> Result<f64, AnalysisError> {
+    if values.is_empty() {
+        return Err(AnalysisError::Empty);
+    }
+    let mut log_sum = 0.0;
+    for &v in values {
+        if !v.is_finite() || v <= 0.0 {
+            return Err(AnalysisError::NotFinite {
+                context: "geometric mean (requires finite positive values)",
+            });
+        }
+        log_sum += v.ln();
+    }
+    Ok((log_sum / values.len() as f64).exp())
+}
+
+/// Sample standard deviation (Bessel-corrected, `n - 1` denominator).
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::InsufficientData`] when fewer than two values are
+/// provided: the sample standard deviation is undefined for `n < 2`.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), chopin_analysis::AnalysisError> {
+/// let s = chopin_analysis::stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])?;
+/// assert!((s - 2.138089935).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn stddev(values: &[f64]) -> Result<f64, AnalysisError> {
+    if values.len() < 2 {
+        return Err(AnalysisError::InsufficientData {
+            needed: 2,
+            got: values.len(),
+        });
+    }
+    let m = mean(values)?;
+    let ss: f64 = values.iter().map(|v| (v - m) * (v - m)).sum();
+    Ok((ss / (values.len() - 1) as f64).sqrt())
+}
+
+/// Percentile of a slice using linear interpolation between closest ranks
+/// (the same convention as NumPy's default `linear` method).
+///
+/// `p` is expressed in percent, in `0.0..=100.0`. The input need not be
+/// sorted; a sorted copy is made internally. Use [`percentile_sorted`] when
+/// the caller already holds sorted data and wants to avoid the copy.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::Empty`] for an empty slice and
+/// [`AnalysisError::NotFinite`] if `p` is outside `[0, 100]` or any value is
+/// NaN.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), chopin_analysis::AnalysisError> {
+/// let p50 = chopin_analysis::percentile(&[4.0, 1.0, 3.0, 2.0], 50.0)?;
+/// assert_eq!(p50, 2.5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn percentile(values: &[f64], p: f64) -> Result<f64, AnalysisError> {
+    if values.is_empty() {
+        return Err(AnalysisError::Empty);
+    }
+    if values.iter().any(|v| v.is_nan()) {
+        return Err(AnalysisError::NotFinite {
+            context: "percentile input",
+        });
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+    percentile_sorted(&sorted, p)
+}
+
+/// Percentile of an already **sorted** (ascending) slice.
+///
+/// See [`percentile`] for the interpolation convention.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::Empty`] for an empty slice and
+/// [`AnalysisError::NotFinite`] if `p` is outside `[0, 100]`.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> Result<f64, AnalysisError> {
+    if sorted.is_empty() {
+        return Err(AnalysisError::Empty);
+    }
+    if !(0.0..=100.0).contains(&p) {
+        return Err(AnalysisError::NotFinite {
+            context: "percentile rank (must be within [0, 100])",
+        });
+    }
+    let n = sorted.len();
+    if n == 1 {
+        return Ok(sorted[0]);
+    }
+    let rank = p / 100.0 * (n - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Ok(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// A five-number-style summary (minimum, median, maximum) used by the
+/// appendix nominal-statistics tables, which report Min / Median / Max for
+/// every metric across the suite.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Smallest value.
+    pub min: f64,
+    /// Median (50th percentile, linear interpolation).
+    pub median: f64,
+    /// Largest value.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Compute the summary of a slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::Empty`] for an empty slice and
+    /// [`AnalysisError::NotFinite`] if any value is NaN.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use chopin_analysis::descriptive::Summary;
+    /// # fn main() -> Result<(), chopin_analysis::AnalysisError> {
+    /// let s = Summary::of(&[3.0, 1.0, 2.0])?;
+    /// assert_eq!((s.min, s.median, s.max), (1.0, 2.0, 3.0));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn of(values: &[f64]) -> Result<Self, AnalysisError> {
+        if values.is_empty() {
+            return Err(AnalysisError::Empty);
+        }
+        if values.iter().any(|v| v.is_nan()) {
+            return Err(AnalysisError::NotFinite {
+                context: "summary input",
+            });
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+        Ok(Summary {
+            min: sorted[0],
+            median: percentile_sorted(&sorted, 50.0)?,
+            max: sorted[sorted.len() - 1],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_of_empty_is_error() {
+        assert_eq!(mean(&[]), Err(AnalysisError::Empty));
+    }
+
+    #[test]
+    fn mean_of_constant_is_constant() {
+        assert_eq!(mean(&[5.0; 7]).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn geometric_mean_rejects_nonpositive() {
+        assert!(geometric_mean(&[1.0, 0.0]).is_err());
+        assert!(geometric_mean(&[1.0, -2.0]).is_err());
+        assert!(geometric_mean(&[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn geometric_mean_of_reciprocal_pair_is_one() {
+        let g = geometric_mean(&[8.0, 0.125]).unwrap();
+        assert!((g - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stddev_needs_two_points() {
+        assert!(matches!(
+            stddev(&[1.0]),
+            Err(AnalysisError::InsufficientData { needed: 2, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn stddev_of_constant_is_zero() {
+        assert_eq!(stddev(&[3.0, 3.0, 3.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn percentile_extremes_are_min_and_max() {
+        let v = [9.0, 1.0, 5.0];
+        assert_eq!(percentile(&v, 0.0).unwrap(), 1.0);
+        assert_eq!(percentile(&v, 100.0).unwrap(), 9.0);
+    }
+
+    #[test]
+    fn percentile_interpolates_linearly() {
+        let v = [0.0, 10.0];
+        assert_eq!(percentile(&v, 25.0).unwrap(), 2.5);
+        assert_eq!(percentile(&v, 75.0).unwrap(), 7.5);
+    }
+
+    #[test]
+    fn percentile_rejects_out_of_range_rank() {
+        assert!(percentile(&[1.0], 101.0).is_err());
+        assert!(percentile(&[1.0], -0.1).is_err());
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        assert_eq!(percentile(&[42.0], 99.9).unwrap(), 42.0);
+    }
+
+    #[test]
+    fn summary_orders_fields() {
+        let s = Summary::of(&[10.0, -1.0, 4.0, 4.0]).unwrap();
+        assert_eq!(s.min, -1.0);
+        assert_eq!(s.max, 10.0);
+        assert_eq!(s.median, 4.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mean_bounded_by_extremes(v in proptest::collection::vec(-1e9f64..1e9, 1..100)) {
+            let m = mean(&v).unwrap();
+            let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(m >= lo - 1e-6 && m <= hi + 1e-6);
+        }
+
+        #[test]
+        fn prop_geomean_le_mean(v in proptest::collection::vec(1e-3f64..1e6, 1..50)) {
+            // AM-GM inequality.
+            let g = geometric_mean(&v).unwrap();
+            let m = mean(&v).unwrap();
+            prop_assert!(g <= m * (1.0 + 1e-9));
+        }
+
+        #[test]
+        fn prop_percentile_monotone_in_rank(
+            v in proptest::collection::vec(-1e6f64..1e6, 1..60),
+            a in 0.0f64..100.0,
+            b in 0.0f64..100.0,
+        ) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let pl = percentile(&v, lo).unwrap();
+            let ph = percentile(&v, hi).unwrap();
+            prop_assert!(pl <= ph + 1e-9);
+        }
+
+        #[test]
+        fn prop_percentile_within_range(
+            v in proptest::collection::vec(-1e6f64..1e6, 1..60),
+            p in 0.0f64..100.0,
+        ) {
+            let x = percentile(&v, p).unwrap();
+            let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(x >= lo - 1e-9 && x <= hi + 1e-9);
+        }
+    }
+}

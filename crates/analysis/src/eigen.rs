@@ -1,0 +1,271 @@
+//! Symmetric eigendecomposition by the cyclic Jacobi method.
+//!
+//! PCA needs the eigenvalues and eigenvectors of a covariance matrix, which
+//! is symmetric positive semi-definite. The Jacobi method is simple, robust
+//! and plenty fast for the ≤ 50 × 50 matrices this reproduction works with.
+
+use crate::matrix::Matrix;
+use crate::AnalysisError;
+
+/// Result of a symmetric eigendecomposition: `a = v · diag(λ) · vᵀ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Eigen {
+    /// Eigenvalues, sorted descending.
+    pub values: Vec<f64>,
+    /// Eigenvectors as columns of a square matrix, ordered to match
+    /// [`Eigen::values`].
+    pub vectors: Matrix,
+}
+
+/// Convergence threshold on the largest off-diagonal element.
+const TOLERANCE: f64 = 1e-12;
+
+/// Upper bound on full Jacobi sweeps; symmetric matrices of the sizes we use
+/// converge in well under 20 sweeps.
+const MAX_SWEEPS: usize = 100;
+
+/// Eigendecomposition of a symmetric matrix by cyclic Jacobi rotations.
+///
+/// Eigenvalues are returned in descending order with matching eigenvector
+/// columns. The input must be square and (numerically) symmetric.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::Ragged`] for non-square input,
+/// [`AnalysisError::NotFinite`] for non-finite or asymmetric input and
+/// [`AnalysisError::Empty`] for a 0 × 0 matrix.
+///
+/// # Examples
+///
+/// ```
+/// use chopin_analysis::{Matrix, eigen::symmetric_eigen};
+/// # fn main() -> Result<(), chopin_analysis::AnalysisError> {
+/// let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]])?;
+/// let e = symmetric_eigen(&a)?;
+/// assert!((e.values[0] - 3.0).abs() < 1e-9);
+/// assert!((e.values[1] - 1.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn symmetric_eigen(a: &Matrix) -> Result<Eigen, AnalysisError> {
+    let n = a.rows();
+    if n == 0 {
+        return Err(AnalysisError::Empty);
+    }
+    if a.cols() != n {
+        return Err(AnalysisError::Ragged {
+            expected: n,
+            found: a.cols(),
+            row: 0,
+        });
+    }
+    if !a.is_finite() {
+        return Err(AnalysisError::NotFinite {
+            context: "eigendecomposition input",
+        });
+    }
+    // Symmetry check, scaled by magnitude.
+    let scale = (0..n)
+        .flat_map(|r| (0..n).map(move |c| (r, c)))
+        .map(|(r, c)| a.get(r, c).abs())
+        .fold(0.0f64, f64::max)
+        .max(1.0);
+    for r in 0..n {
+        for c in (r + 1)..n {
+            if (a.get(r, c) - a.get(c, r)).abs() > 1e-9 * scale {
+                return Err(AnalysisError::NotFinite {
+                    context: "eigendecomposition input (not symmetric)",
+                });
+            }
+        }
+    }
+
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+
+    for _sweep in 0..MAX_SWEEPS {
+        if m.max_off_diagonal() <= TOLERANCE * scale {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m.get(p, q);
+                if apq.abs() <= TOLERANCE * scale {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                // Standard Jacobi rotation computation.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = {
+                    let sign = if theta >= 0.0 { 1.0 } else { -1.0 };
+                    sign / (theta.abs() + (theta * theta + 1.0).sqrt())
+                };
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+
+                // Apply rotation to rows/columns p and q of m.
+                for k in 0..n {
+                    let mkp = m.get(k, p);
+                    let mkq = m.get(k, q);
+                    m.set(k, p, c * mkp - s * mkq);
+                    m.set(k, q, s * mkp + c * mkq);
+                }
+                for k in 0..n {
+                    let mpk = m.get(p, k);
+                    let mqk = m.get(q, k);
+                    m.set(p, k, c * mpk - s * mqk);
+                    m.set(q, k, s * mpk + c * mqk);
+                }
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+
+    // Extract and sort eigenpairs descending by eigenvalue.
+    let mut pairs: Vec<(f64, Vec<f64>)> = (0..n)
+        .map(|i| (m.get(i, i), v.column(i)))
+        .collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite eigenvalues"));
+
+    let values: Vec<f64> = pairs.iter().map(|(l, _)| *l).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (col, (_, vec_col)) in pairs.iter().enumerate() {
+        for (row, &x) in vec_col.iter().enumerate() {
+            vectors.set(row, col, x);
+        }
+    }
+
+    Ok(Eigen { values, vectors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn reconstruct(e: &Eigen) -> Matrix {
+        let n = e.values.len();
+        let mut d = Matrix::zeros(n, n);
+        for i in 0..n {
+            d.set(i, i, e.values[i]);
+        }
+        e.vectors
+            .multiply(&d)
+            .unwrap()
+            .multiply(&e.vectors.transpose())
+            .unwrap()
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let a = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        let a = Matrix::from_rows(&[vec![4.0, 1.0], vec![1.0, 4.0]]).unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.values[0] - 5.0).abs() < 1e-9);
+        assert!((e.values[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_nonsquare_and_asymmetric() {
+        assert!(symmetric_eigen(&Matrix::zeros(2, 3)).is_err());
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![0.0, 1.0]]).unwrap();
+        assert!(symmetric_eigen(&a).is_err());
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, -1.0, 0.0],
+            vec![-1.0, 2.0, -1.0],
+            vec![0.0, -1.0, 2.0],
+        ])
+        .unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        let vtv = e.vectors.transpose().multiply(&e.vectors).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (vtv.get(i, j) - expect).abs() < 1e-9,
+                    "V^T V not identity at ({i},{j}): {}",
+                    vtv.get(i, j)
+                );
+            }
+        }
+        // Known eigenvalues of this tridiagonal matrix: 2 + 2cos(kπ/4).
+        let expected = [2.0 + 2.0_f64.sqrt(), 2.0, 2.0 - 2.0_f64.sqrt()];
+        for (got, want) in e.values.iter().zip(expected) {
+            assert!((got - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reconstruction_matches_input() {
+        let a = Matrix::from_rows(&[
+            vec![5.0, 2.0, 1.0],
+            vec![2.0, 6.0, 3.0],
+            vec![1.0, 3.0, 7.0],
+        ])
+        .unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        let r = reconstruct(&e);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((r.get(i, j) - a.get(i, j)).abs() < 1e-8);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_trace_equals_eigenvalue_sum(seed in 0u64..500, n in 2usize..8) {
+            // Build a random symmetric matrix from a deterministic LCG.
+            let mut a = Matrix::zeros(n, n);
+            let mut x = seed.wrapping_mul(2654435761).wrapping_add(1);
+            for i in 0..n {
+                for j in i..n {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let v = ((x >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+                    a.set(i, j, v);
+                    a.set(j, i, v);
+                }
+            }
+            let trace: f64 = (0..n).map(|i| a.get(i, i)).sum();
+            let e = symmetric_eigen(&a).unwrap();
+            let sum: f64 = e.values.iter().sum();
+            prop_assert!((trace - sum).abs() < 1e-8, "trace {trace} vs eigsum {sum}");
+        }
+
+        #[test]
+        fn prop_eigenvalues_sorted_descending(seed in 0u64..200, n in 2usize..7) {
+            let mut a = Matrix::zeros(n, n);
+            let mut x = seed.wrapping_add(7);
+            for i in 0..n {
+                for j in i..n {
+                    x = x.wrapping_mul(48271) % 0x7fffffff;
+                    let v = x as f64 / 0x7fffffff as f64;
+                    a.set(i, j, v);
+                    a.set(j, i, v);
+                }
+            }
+            let e = symmetric_eigen(&a).unwrap();
+            for w in e.values.windows(2) {
+                prop_assert!(w[0] >= w[1] - 1e-12);
+            }
+        }
+    }
+}

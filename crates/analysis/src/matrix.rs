@@ -1,0 +1,335 @@
+//! A small dense row-major matrix.
+//!
+//! The PCA in §5.2 operates on a 22 × 33 data matrix and its 33 × 33
+//! covariance matrix — tiny by linear-algebra standards — so this module
+//! favours clarity and validation over blocked kernels.
+
+use crate::AnalysisError;
+
+/// Dense row-major matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use chopin_analysis::Matrix;
+/// # fn main() -> Result<(), chopin_analysis::AnalysisError> {
+/// let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]])?;
+/// assert_eq!(m.get(1, 0), 3.0);
+/// assert_eq!(m.transpose().get(0, 1), 3.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Create an identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Build a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::Empty`] when `rows` is empty or the first row
+    /// is empty, and [`AnalysisError::Ragged`] when rows differ in length.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, AnalysisError> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(AnalysisError::Empty);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(AnalysisError::Ragged {
+                    expected: cols,
+                    found: r.len(),
+                    row: i,
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at (`r`, `c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Set element at (`r`, `c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row index out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copy column `c` into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of bounds.
+    pub fn column(&self, c: usize) -> Vec<f64> {
+        assert!(c < self.cols, "column index out of bounds");
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.set(c, r, self.get(r, c));
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self × other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::Ragged`] when the inner dimensions disagree.
+    pub fn multiply(&self, other: &Matrix) -> Result<Matrix, AnalysisError> {
+        if self.cols != other.rows {
+            return Err(AnalysisError::Ragged {
+                expected: self.cols,
+                found: other.rows,
+                row: 0,
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..other.cols {
+                    out.data[r * other.cols + c] += a * other.get(k, c);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The covariance matrix of the columns of `self`, treating rows as
+    /// observations, with the `n - 1` (sample) denominator. The input is
+    /// assumed already centred (zero column means) — which is what
+    /// [`crate::scaling::StandardScaler`] produces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::InsufficientData`] when there are fewer than
+    /// two rows.
+    pub fn covariance_of_centered(&self) -> Result<Matrix, AnalysisError> {
+        if self.rows < 2 {
+            return Err(AnalysisError::InsufficientData {
+                needed: 2,
+                got: self.rows,
+            });
+        }
+        let mut cov = Matrix::zeros(self.cols, self.cols);
+        let denom = (self.rows - 1) as f64;
+        for i in 0..self.cols {
+            for j in i..self.cols {
+                let mut s = 0.0;
+                for r in 0..self.rows {
+                    s += self.get(r, i) * self.get(r, j);
+                }
+                let v = s / denom;
+                cov.set(i, j, v);
+                cov.set(j, i, v);
+            }
+        }
+        Ok(cov)
+    }
+
+    /// Maximum absolute off-diagonal element; used to monitor Jacobi
+    /// convergence. Returns 0.0 for matrices smaller than 2 × 2.
+    pub fn max_off_diagonal(&self) -> f64 {
+        let mut m: f64 = 0.0;
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if r != c {
+                    m = m.max(self.get(r, c).abs());
+                }
+            }
+        }
+        m
+    }
+
+    /// Whether all elements are finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn from_rows_rejects_empty_and_ragged() {
+        assert_eq!(Matrix::from_rows(&[]), Err(AnalysisError::Empty));
+        assert!(matches!(
+            Matrix::from_rows(&[vec![1.0, 2.0], vec![1.0]]),
+            Err(AnalysisError::Ragged { row: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn identity_multiplication_is_noop() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let i = Matrix::identity(2);
+        assert_eq!(m.multiply(&i).unwrap(), m);
+        assert_eq!(i.multiply(&m).unwrap(), m);
+    }
+
+    #[test]
+    fn multiply_checks_dimensions() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.multiply(&b).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn covariance_of_known_data() {
+        // Centred columns: x = [-1, 0, 1], y = [-2, 0, 2]. var(x)=1, var(y)=4, cov=2.
+        let m = Matrix::from_rows(&[vec![-1.0, -2.0], vec![0.0, 0.0], vec![1.0, 2.0]]).unwrap();
+        let cov = m.covariance_of_centered().unwrap();
+        assert!((cov.get(0, 0) - 1.0).abs() < 1e-12);
+        assert!((cov.get(1, 1) - 4.0).abs() < 1e-12);
+        assert!((cov.get(0, 1) - 2.0).abs() < 1e-12);
+        assert_eq!(cov.get(0, 1), cov.get(1, 0));
+    }
+
+    #[test]
+    fn covariance_requires_two_rows() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        assert!(m.covariance_of_centered().is_err());
+    }
+
+    #[test]
+    fn row_and_column_views() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.column(1), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_panics_out_of_bounds() {
+        Matrix::zeros(1, 1).get(1, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_transpose_swaps_indices(
+            rows in 1usize..6, cols in 1usize..6, seed in 0u64..1000
+        ) {
+            let mut m = Matrix::zeros(rows, cols);
+            let mut x = seed as f64;
+            for r in 0..rows {
+                for c in 0..cols {
+                    x = (x * 1103515245.0 + 12345.0) % 1e6;
+                    m.set(r, c, x);
+                }
+            }
+            let t = m.transpose();
+            for r in 0..rows {
+                for c in 0..cols {
+                    prop_assert_eq!(m.get(r, c), t.get(c, r));
+                }
+            }
+        }
+
+        #[test]
+        fn prop_covariance_is_symmetric_psd_diag(
+            rows in 2usize..8, cols in 1usize..5, seed in 0u64..1000
+        ) {
+            let mut m = Matrix::zeros(rows, cols);
+            let mut x = seed as f64 + 1.0;
+            for r in 0..rows {
+                for c in 0..cols {
+                    x = (x * 16807.0) % 2147483647.0;
+                    m.set(r, c, x / 2147483647.0 - 0.5);
+                }
+            }
+            // Centre the columns first.
+            for c in 0..cols {
+                let col_mean: f64 = (0..rows).map(|r| m.get(r, c)).sum::<f64>() / rows as f64;
+                for r in 0..rows {
+                    let v = m.get(r, c) - col_mean;
+                    m.set(r, c, v);
+                }
+            }
+            let cov = m.covariance_of_centered().unwrap();
+            for i in 0..cols {
+                prop_assert!(cov.get(i, i) >= -1e-12, "diagonal must be non-negative");
+                for j in 0..cols {
+                    prop_assert!((cov.get(i, j) - cov.get(j, i)).abs() < 1e-12);
+                }
+            }
+        }
+    }
+}

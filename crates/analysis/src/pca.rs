@@ -1,0 +1,282 @@
+//! Principal components analysis.
+//!
+//! §5.2 of the paper: "We use the nominal statistics for each benchmark to
+//! conduct a principal component analysis of the workloads in the suite. In
+//! the analysis we use the 33 nominal metrics where all benchmarks have data
+//! points. We use raw values rather than scores, and apply standard scaling."
+//! Figure 4 plots the 22 workloads against PC1–PC4; together the top four
+//! components account for over 50 % of the variance.
+
+use crate::eigen::symmetric_eigen;
+use crate::matrix::Matrix;
+use crate::scaling::StandardScaler;
+use crate::AnalysisError;
+
+/// A fitted PCA model: principal axes, explained variance and the projected
+/// observations.
+///
+/// # Examples
+///
+/// ```
+/// use chopin_analysis::Pca;
+/// # fn main() -> Result<(), chopin_analysis::AnalysisError> {
+/// // Four observations of three variables.
+/// let data = vec![
+///     vec![2.5, 2.4, 0.5],
+///     vec![0.5, 0.7, 1.5],
+///     vec![2.2, 2.9, 0.6],
+///     vec![1.9, 2.2, 0.9],
+/// ];
+/// let pca = Pca::fit(&data)?;
+/// let ratios = pca.explained_variance_ratio();
+/// let total: f64 = ratios.iter().sum();
+/// assert!((total - 1.0).abs() < 1e-9, "ratios sum to one");
+/// assert_eq!(pca.scores().len(), 4, "one score row per observation");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pca {
+    eigenvalues: Vec<f64>,
+    /// Columns are principal axes (loadings), in eigenvalue order.
+    components: Matrix,
+    /// Projected observations: rows = observations, cols = components.
+    scores: Vec<Vec<f64>>,
+    total_variance: f64,
+}
+
+impl Pca {
+    /// Fit a PCA to `data` (rows = observations, columns = variables),
+    /// applying standard scaling first — exactly the paper's pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors from [`StandardScaler`] and requires at
+    /// least two observations ([`AnalysisError::InsufficientData`]).
+    pub fn fit(data: &[Vec<f64>]) -> Result<Self, AnalysisError> {
+        if data.len() < 2 {
+            return Err(AnalysisError::InsufficientData {
+                needed: 2,
+                got: data.len(),
+            });
+        }
+        let scaled = StandardScaler::fit_transform(data)?;
+        let x = Matrix::from_rows(&scaled)?;
+        let cov = x.covariance_of_centered()?;
+        let eig = symmetric_eigen(&cov)?;
+
+        // Clamp tiny negative eigenvalues produced by round-off: a covariance
+        // matrix is positive semi-definite by construction.
+        let eigenvalues: Vec<f64> = eig.values.iter().map(|l| l.max(0.0)).collect();
+        let total_variance: f64 = eigenvalues.iter().sum();
+
+        // Deterministic sign convention: make the largest-magnitude loading
+        // of each component positive, so plots are reproducible run to run.
+        let mut components = eig.vectors;
+        let n = components.rows();
+        for c in 0..components.cols() {
+            let mut max_idx = 0;
+            let mut max_abs = 0.0;
+            for r in 0..n {
+                let a = components.get(r, c).abs();
+                if a > max_abs {
+                    max_abs = a;
+                    max_idx = r;
+                }
+            }
+            if components.get(max_idx, c) < 0.0 {
+                for r in 0..n {
+                    let v = components.get(r, c);
+                    components.set(r, c, -v);
+                }
+            }
+        }
+
+        let scores = x.multiply(&components)?;
+        let scores_rows: Vec<Vec<f64>> = (0..scores.rows()).map(|r| scores.row(r).to_vec()).collect();
+
+        Ok(Pca {
+            eigenvalues,
+            components,
+            scores: scores_rows,
+            total_variance,
+        })
+    }
+
+    /// Eigenvalues of the covariance matrix, descending.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Fraction of total variance explained by each component, descending.
+    /// The paper annotates Figure 4 with these (PC1 18 %, PC2 16 %, …).
+    pub fn explained_variance_ratio(&self) -> Vec<f64> {
+        if self.total_variance == 0.0 {
+            return vec![0.0; self.eigenvalues.len()];
+        }
+        self.eigenvalues
+            .iter()
+            .map(|l| l / self.total_variance)
+            .collect()
+    }
+
+    /// Cumulative explained variance after the first `k` components
+    /// (the paper's "together, these four principal components account for
+    /// over 50 % of the variance").
+    pub fn cumulative_explained_variance(&self, k: usize) -> f64 {
+        self.explained_variance_ratio().iter().take(k).sum()
+    }
+
+    /// The loading (weight) of variable `var` on component `pc`
+    /// (both zero-indexed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn loading(&self, var: usize, pc: usize) -> f64 {
+        self.components.get(var, pc)
+    }
+
+    /// Number of variables (columns) the model was fitted to.
+    pub fn variable_count(&self) -> usize {
+        self.components.rows()
+    }
+
+    /// Projected observations: one row per input row, one column per
+    /// principal component, in eigenvalue order.
+    pub fn scores(&self) -> &[Vec<f64>] {
+        &self.scores
+    }
+
+    /// The indices of the `k` variables with the largest aggregate absolute
+    /// loading across the first `n_components` components, descending.
+    ///
+    /// This is how we identify the paper's "twelve most determinant nominal
+    /// statistics as revealed by our principal components analysis"
+    /// (Table 2).
+    pub fn most_determinant_variables(&self, k: usize, n_components: usize) -> Vec<usize> {
+        let n_pc = n_components.min(self.eigenvalues.len());
+        let mut weights: Vec<(usize, f64)> = (0..self.variable_count())
+            .map(|v| {
+                let w: f64 = (0..n_pc)
+                    .map(|pc| self.loading(v, pc).abs() * self.eigenvalues[pc].sqrt())
+                    .sum();
+                (v, w)
+            })
+            .collect();
+        weights.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite weights"));
+        weights.into_iter().take(k).map(|(v, _)| v).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn toy_data() -> Vec<Vec<f64>> {
+        vec![
+            vec![2.5, 2.4],
+            vec![0.5, 0.7],
+            vec![2.2, 2.9],
+            vec![1.9, 2.2],
+            vec![3.1, 3.0],
+            vec![2.3, 2.7],
+            vec![2.0, 1.6],
+            vec![1.0, 1.1],
+            vec![1.5, 1.6],
+            vec![1.1, 0.9],
+        ]
+    }
+
+    #[test]
+    fn requires_two_observations() {
+        assert!(Pca::fit(&[vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn correlated_data_concentrates_variance_in_pc1() {
+        let pca = Pca::fit(&toy_data()).unwrap();
+        let r = pca.explained_variance_ratio();
+        assert!(r[0] > 0.9, "PC1 should dominate: {r:?}");
+        assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scores_have_one_row_per_observation() {
+        let pca = Pca::fit(&toy_data()).unwrap();
+        assert_eq!(pca.scores().len(), 10);
+        assert_eq!(pca.scores()[0].len(), 2);
+    }
+
+    #[test]
+    fn cumulative_variance_is_monotone() {
+        let pca = Pca::fit(&toy_data()).unwrap();
+        let c1 = pca.cumulative_explained_variance(1);
+        let c2 = pca.cumulative_explained_variance(2);
+        assert!(c2 >= c1);
+        assert!((c2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn most_determinant_selects_informative_variable() {
+        // Column 0 varies a lot (after scaling all columns are unit variance,
+        // but column 2 is constant so it carries zero weight).
+        let data = vec![
+            vec![1.0, 10.0, 5.0],
+            vec![2.0, 9.0, 5.0],
+            vec![3.0, 12.0, 5.0],
+            vec![4.0, 8.0, 5.0],
+        ];
+        let pca = Pca::fit(&data).unwrap();
+        let top = pca.most_determinant_variables(2, 3);
+        assert_eq!(top.len(), 2);
+        assert!(!top.contains(&2), "constant column must not be determinant");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = Pca::fit(&toy_data()).unwrap();
+        let b = Pca::fit(&toy_data()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_variance_ratios_sum_to_one(
+            rows in 3usize..10, cols in 2usize..5, seed in 0u64..300
+        ) {
+            let mut x = seed.wrapping_add(11);
+            let data: Vec<Vec<f64>> = (0..rows).map(|_| {
+                (0..cols).map(|_| {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    ((x >> 33) as f64) / (1u64 << 31) as f64
+                }).collect()
+            }).collect();
+            let pca = Pca::fit(&data).unwrap();
+            let sum: f64 = pca.explained_variance_ratio().iter().sum();
+            // All-constant data would have zero total variance; the LCG never
+            // produces that, so the ratios must sum to 1.
+            prop_assert!((sum - 1.0).abs() < 1e-6, "sum={sum}");
+        }
+
+        #[test]
+        fn prop_eigenvalues_nonnegative_descending(
+            rows in 3usize..10, cols in 2usize..5, seed in 0u64..300
+        ) {
+            let mut x = seed.wrapping_add(3);
+            let data: Vec<Vec<f64>> = (0..rows).map(|_| {
+                (0..cols).map(|_| {
+                    x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                    ((x >> 32) as f64) / (1u64 << 32) as f64
+                }).collect()
+            }).collect();
+            let pca = Pca::fit(&data).unwrap();
+            let ev = pca.eigenvalues();
+            for w in ev.windows(2) {
+                prop_assert!(w[0] >= w[1] - 1e-12);
+            }
+            prop_assert!(ev.iter().all(|l| *l >= 0.0));
+        }
+    }
+}

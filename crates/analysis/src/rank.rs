@@ -1,0 +1,204 @@
+//! Rank statistics: ranking with ties and Spearman rank correlation.
+//!
+//! The reproduction validates its simulated workload characterisation
+//! against the paper's published nominal statistics by *rank agreement*:
+//! absolute values belong to the authors' hardware, but if the simulation
+//! is faithful, ordering the benchmarks by a measured metric should
+//! correlate strongly with ordering them by the published one.
+
+use crate::AnalysisError;
+
+/// Fractional ranks of `values` (average rank for ties, 1-based, largest
+/// value gets rank 1 — matching the nominal-statistics convention).
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::Empty`] for empty input and
+/// [`AnalysisError::NotFinite`] if any value is NaN.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), chopin_analysis::AnalysisError> {
+/// let r = chopin_analysis::rank::fractional_ranks(&[10.0, 30.0, 20.0])?;
+/// assert_eq!(r, vec![3.0, 1.0, 2.0]);
+/// // Ties share the average of the ranks they span.
+/// let t = chopin_analysis::rank::fractional_ranks(&[5.0, 5.0, 1.0])?;
+/// assert_eq!(t, vec![1.5, 1.5, 3.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fractional_ranks(values: &[f64]) -> Result<Vec<f64>, AnalysisError> {
+    if values.is_empty() {
+        return Err(AnalysisError::Empty);
+    }
+    if values.iter().any(|v| v.is_nan()) {
+        return Err(AnalysisError::NotFinite {
+            context: "rank input",
+        });
+    }
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    // Descending: rank 1 = largest.
+    order.sort_by(|&a, &b| values[b].partial_cmp(&values[a]).expect("NaN filtered"));
+
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j (0-based) share the average 1-based rank.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg;
+        }
+        i = j + 1;
+    }
+    Ok(ranks)
+}
+
+/// Spearman's rank correlation coefficient between two paired samples.
+///
+/// Computed as the Pearson correlation of the fractional ranks (correct in
+/// the presence of ties). Returns a value in `[-1, 1]`.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::Ragged`] when lengths differ,
+/// [`AnalysisError::InsufficientData`] for fewer than two pairs, and
+/// [`AnalysisError::NotFinite`] when either sample is constant (the
+/// correlation is undefined) or contains NaN.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), chopin_analysis::AnalysisError> {
+/// use chopin_analysis::rank::spearman;
+/// // A perfectly monotone (but non-linear) relationship.
+/// let x = [1.0, 2.0, 3.0, 4.0];
+/// let y = [1.0, 8.0, 27.0, 64.0];
+/// assert!((spearman(&x, &y)? - 1.0).abs() < 1e-12);
+/// // Reversing the order flips the sign.
+/// let z = [64.0, 27.0, 8.0, 1.0];
+/// assert!((spearman(&x, &z)? + 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn spearman(x: &[f64], y: &[f64]) -> Result<f64, AnalysisError> {
+    if x.len() != y.len() {
+        return Err(AnalysisError::Ragged {
+            expected: x.len(),
+            found: y.len(),
+            row: 0,
+        });
+    }
+    if x.len() < 2 {
+        return Err(AnalysisError::InsufficientData {
+            needed: 2,
+            got: x.len(),
+        });
+    }
+    let rx = fractional_ranks(x)?;
+    let ry = fractional_ranks(y)?;
+    pearson(&rx, &ry)
+}
+
+/// Pearson correlation of two equal-length samples.
+fn pearson(x: &[f64], y: &[f64]) -> Result<f64, AnalysisError> {
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        cov += (a - mx) * (b - my);
+        vx += (a - mx) * (a - mx);
+        vy += (b - my) * (b - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return Err(AnalysisError::NotFinite {
+            context: "correlation of a constant sample",
+        });
+    }
+    Ok(cov / (vx * vy).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ranks_of_distinct_values() {
+        let r = fractional_ranks(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(r, vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn tied_values_share_average_rank() {
+        let r = fractional_ranks(&[7.0, 7.0, 7.0, 1.0]).unwrap();
+        assert_eq!(r, vec![2.0, 2.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_and_nan_rejected() {
+        assert!(fractional_ranks(&[]).is_err());
+        assert!(fractional_ranks(&[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn spearman_mismatched_lengths_rejected() {
+        assert!(spearman(&[1.0, 2.0], &[1.0]).is_err());
+        assert!(spearman(&[1.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn spearman_constant_sample_is_undefined() {
+        assert!(spearman(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn spearman_of_independent_permutation_is_small() {
+        // A hand-picked near-orthogonal permutation of 8 items.
+        let x: Vec<f64> = (1..=8).map(|v| v as f64).collect();
+        let y = [3.0, 8.0, 1.0, 6.0, 2.0, 7.0, 4.0, 5.0];
+        let rho = spearman(&x, &y).unwrap();
+        assert!(rho.abs() < 0.5, "{rho}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_spearman_bounded(
+            pairs in proptest::collection::vec((-1e6f64..1e6, -1e6f64..1e6), 3..50)
+        ) {
+            let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            if let Ok(rho) = spearman(&x, &y) {
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&rho));
+            }
+        }
+
+        #[test]
+        fn prop_spearman_self_correlation_is_one(
+            x in proptest::collection::vec(-1e6f64..1e6, 3..50)
+        ) {
+            if let Ok(rho) = spearman(&x, &x) {
+                prop_assert!((rho - 1.0).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_ranks_are_a_permutation_average(
+            x in proptest::collection::vec(-1e3f64..1e3, 1..40)
+        ) {
+            let r = fractional_ranks(&x).unwrap();
+            let n = x.len() as f64;
+            let sum: f64 = r.iter().sum();
+            // Ranks always sum to n(n+1)/2 regardless of ties.
+            prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Standard scaling (zero mean, unit variance per column).
+//!
+//! §5.2: "We use raw values rather than scores, and apply standard scaling
+//! (linear scaling with 0 mean and unit variance)" before principal
+//! components analysis.
+
+use crate::descriptive::mean;
+use crate::AnalysisError;
+
+/// A fitted standard scaler: per-column mean and standard deviation.
+///
+/// Columns with zero variance are passed through centred but unscaled
+/// (dividing by zero would poison the PCA); such columns carry no
+/// information and end up contributing nothing to any principal component.
+///
+/// # Examples
+///
+/// ```
+/// use chopin_analysis::StandardScaler;
+/// # fn main() -> Result<(), chopin_analysis::AnalysisError> {
+/// let data = vec![vec![1.0, 10.0], vec![3.0, 30.0]];
+/// let scaler = StandardScaler::fit(&data)?;
+/// let scaled = scaler.transform(&data)?;
+/// // Each column now has mean 0.
+/// assert!((scaled[0][0] + scaled[1][0]).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stddevs: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fit the scaler to `data` (rows = observations, columns = variables).
+    ///
+    /// Uses the *population* standard deviation (`n` denominator), matching
+    /// the convention of scikit-learn's `StandardScaler`, which the paper's
+    /// analysis pipeline follows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::Empty`] for empty input,
+    /// [`AnalysisError::Ragged`] for ragged rows and
+    /// [`AnalysisError::NotFinite`] if any cell is not finite.
+    pub fn fit(data: &[Vec<f64>]) -> Result<Self, AnalysisError> {
+        validate(data)?;
+        let cols = data[0].len();
+        let n = data.len() as f64;
+        let mut means = Vec::with_capacity(cols);
+        let mut stddevs = Vec::with_capacity(cols);
+        for c in 0..cols {
+            let col: Vec<f64> = data.iter().map(|r| r[c]).collect();
+            let m = mean(&col)?;
+            let var = col.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / n;
+            means.push(m);
+            stddevs.push(var.sqrt());
+        }
+        Ok(StandardScaler { means, stddevs })
+    }
+
+    /// Per-column means learned by [`StandardScaler::fit`].
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Per-column population standard deviations learned by
+    /// [`StandardScaler::fit`].
+    pub fn stddevs(&self) -> &[f64] {
+        &self.stddevs
+    }
+
+    /// Apply the fitted scaling to `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::Ragged`] if the column count differs from the
+    /// fitted data, plus the validation errors of [`StandardScaler::fit`].
+    pub fn transform(&self, data: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, AnalysisError> {
+        validate(data)?;
+        if data[0].len() != self.means.len() {
+            return Err(AnalysisError::Ragged {
+                expected: self.means.len(),
+                found: data[0].len(),
+                row: 0,
+            });
+        }
+        Ok(data
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .map(|(c, v)| {
+                        let centred = v - self.means[c];
+                        if self.stddevs[c] > 0.0 {
+                            centred / self.stddevs[c]
+                        } else {
+                            centred
+                        }
+                    })
+                    .collect()
+            })
+            .collect())
+    }
+
+    /// Convenience: fit to `data` and transform it in one call.
+    ///
+    /// # Errors
+    ///
+    /// See [`StandardScaler::fit`].
+    pub fn fit_transform(data: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, AnalysisError> {
+        Self::fit(data)?.transform(data)
+    }
+}
+
+fn validate(data: &[Vec<f64>]) -> Result<(), AnalysisError> {
+    if data.is_empty() || data[0].is_empty() {
+        return Err(AnalysisError::Empty);
+    }
+    let cols = data[0].len();
+    for (i, row) in data.iter().enumerate() {
+        if row.len() != cols {
+            return Err(AnalysisError::Ragged {
+                expected: cols,
+                found: row.len(),
+                row: i,
+            });
+        }
+        if row.iter().any(|v| !v.is_finite()) {
+            return Err(AnalysisError::NotFinite {
+                context: "scaler input",
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fit_rejects_bad_input() {
+        assert!(StandardScaler::fit(&[]).is_err());
+        assert!(StandardScaler::fit(&[vec![]]).is_err());
+        assert!(StandardScaler::fit(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(StandardScaler::fit(&[vec![f64::NAN]]).is_err());
+    }
+
+    #[test]
+    fn scaled_columns_have_zero_mean_unit_variance() {
+        let data = vec![
+            vec![1.0, 100.0],
+            vec![2.0, 200.0],
+            vec![3.0, 300.0],
+            vec![4.0, 400.0],
+        ];
+        let scaled = StandardScaler::fit_transform(&data).unwrap();
+        for c in 0..2 {
+            let col: Vec<f64> = scaled.iter().map(|r| r[c]).collect();
+            let m: f64 = col.iter().sum::<f64>() / col.len() as f64;
+            let var: f64 = col.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / col.len() as f64;
+            assert!(m.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_column_is_centred_not_scaled() {
+        let data = vec![vec![5.0], vec![5.0], vec![5.0]];
+        let scaled = StandardScaler::fit_transform(&data).unwrap();
+        assert!(scaled.iter().all(|r| r[0] == 0.0));
+    }
+
+    #[test]
+    fn transform_rejects_mismatched_width() {
+        let scaler = StandardScaler::fit(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert!(scaler.transform(&[vec![1.0]]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_scaling_preserves_row_count(
+            rows in 1usize..10, cols in 1usize..6, seed in 0i64..1000
+        ) {
+            let data: Vec<Vec<f64>> = (0..rows)
+                .map(|r| (0..cols).map(|c| ((r * 31 + c * 7) as i64 + seed) as f64).collect())
+                .collect();
+            let scaled = StandardScaler::fit_transform(&data).unwrap();
+            prop_assert_eq!(scaled.len(), rows);
+            prop_assert!(scaled.iter().all(|r| r.len() == cols));
+        }
+
+        #[test]
+        fn prop_scaled_mean_is_zero(
+            rows in 2usize..12, seed in 0i64..500
+        ) {
+            let data: Vec<Vec<f64>> = (0..rows)
+                .map(|r| vec![((r as i64 * 37 + seed * 13) % 101) as f64])
+                .collect();
+            let scaled = StandardScaler::fit_transform(&data).unwrap();
+            let m: f64 = scaled.iter().map(|r| r[0]).sum::<f64>() / rows as f64;
+            prop_assert!(m.abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Ablation benches for the design choices DESIGN.md calls out: what the
+//! collector cost models contribute to the reproduced shapes. Each
+//! ablation perturbs one parameter of a collector model and reports the
+//! effect on a representative run, demonstrating that the headline shapes
+//! are driven by the modelled mechanisms rather than incidental constants.
+
+use chopin_core::BenchmarkRunner;
+use chopin_runtime::collector::cycle::{plan_cycle, CollectionRequest, CycleInput};
+use chopin_runtime::collector::CollectorKind;
+use chopin_workloads::suite;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// Print the ablation table: zeroing a single mechanism and observing the
+/// cycle-plan cost delta.
+fn print_ablation() {
+    let input = CycleInput {
+        live_bytes: 128e6,
+        allocated_since_gc: 64e6,
+        survival_fraction: 0.06,
+        mean_object_size: 64.0,
+        hardware_threads: 32,
+        machine_speed: 1.0,
+    };
+    println!("\n# Ablation: per-cycle CPU cost (ms) with mechanisms removed");
+    println!("collector,baseline,no_work_multiplier,no_object_cost,half_evac");
+    for kind in CollectorKind::ALL {
+        let base = kind.model();
+        let baseline = plan_cycle(&base, &input, CollectionRequest::Normal).total_work_cpu_ns();
+
+        let mut no_mult = base.clone();
+        no_mult.work_multiplier = 1.0;
+        let no_mult_cost = plan_cycle(&no_mult, &input, CollectionRequest::Normal).total_work_cpu_ns();
+
+        let big_obj = CycleInput {
+            mean_object_size: 4096.0,
+            ..input
+        };
+        let no_obj_cost = plan_cycle(&base, &big_obj, CollectionRequest::Normal).total_work_cpu_ns();
+
+        let mut half_evac = base.clone();
+        half_evac.evac_share /= 2.0;
+        let half_evac_cost =
+            plan_cycle(&half_evac, &input, CollectionRequest::Normal).total_work_cpu_ns();
+
+        println!(
+            "{kind},{:.3},{:.3},{:.3},{:.3}",
+            baseline / 1e6,
+            no_mult_cost / 1e6,
+            no_obj_cost / 1e6,
+            half_evac_cost / 1e6
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_ablation();
+    // End-to-end ablation: how much of lusearch/Shenandoah's wall-time
+    // collapse is the pacer? Compare against Parallel (no pacer) on the
+    // same workload.
+    let lusearch = suite::by_name("lusearch").expect("in suite");
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    for collector in [CollectorKind::Shenandoah, CollectorKind::Parallel] {
+        group.bench_function(format!("lusearch_{collector}_2x"), |b| {
+            b.iter(|| {
+                BenchmarkRunner::for_profile(lusearch.clone())
+                    .collector(collector)
+                    .heap_factor(2.0)
+                    .iterations(1)
+                    .run()
+                    .expect("completes")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Benchmarks the nominal-statistics re-measurement pipeline (§5.1's
+//! bundled instrumentation) and prints a sample of the measured-vs-published
+//! comparison.
+
+use chopin_core::characterize::{characterize, CharacterizeConfig};
+use chopin_core::nominal::row;
+use chopin_workloads::suite;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_sample() {
+    let config = CharacterizeConfig::default();
+    println!("\n# Characterisation sample (measured / published)");
+    println!("benchmark,GCC_m,GCC_p,GSS_m,GSS_p,PFS_m,PFS_p");
+    for name in ["fop", "lusearch", "h2", "jme"] {
+        let stats = characterize(&suite::by_name(name).expect("in suite"), &config)
+            .expect("measures");
+        let p = row(name).expect("in dataset");
+        println!(
+            "{name},{},{},{:.0},{},{:.1},{}",
+            stats.gc_count_2x,
+            p.value("GCC").unwrap_or(f64::NAN),
+            stats.heap_sensitivity_pct,
+            p.value("GSS").unwrap_or(f64::NAN),
+            stats.freq_speedup_pct,
+            p.value("PFS").unwrap_or(f64::NAN),
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_sample();
+    let fop = suite::by_name("fop").expect("in suite");
+    let config = CharacterizeConfig::default();
+    let mut group = c.benchmark_group("characterize");
+    group.sample_size(10);
+    group.bench_function("characterize_fop", |b| {
+        b.iter(|| characterize(&fop, &config).expect("measures"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

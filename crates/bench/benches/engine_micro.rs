@@ -1,0 +1,36 @@
+//! Microbenchmarks of the simulation engine itself: per-collector run cost
+//! on a mid-weight workload, minimum-heap search, and the progress-trace
+//! request inversion.
+
+use chopin_core::minheap::MinHeapSearch;
+use chopin_core::BenchmarkRunner;
+use chopin_runtime::collector::CollectorKind;
+use chopin_workloads::suite;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let jython = suite::by_name("jython").expect("in suite");
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(20);
+    for collector in CollectorKind::ALL {
+        group.bench_function(format!("jython_{collector}_2x"), |b| {
+            b.iter(|| {
+                BenchmarkRunner::for_profile(jython.clone())
+                    .collector(collector)
+                    .heap_factor(2.0)
+                    .iterations(1)
+                    .run()
+                    .expect("completes")
+            })
+        });
+    }
+    let fop = suite::by_name("fop").expect("in suite");
+    group.sample_size(10);
+    group.bench_function("minheap_search_fop", |b| {
+        b.iter(|| MinHeapSearch::default().find(&fop).expect("found"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Regenerates Figure 1: geometric-mean lower-bound overheads (wall and
+//! task clock) over all 22 benchmarks, 5 collectors, 1–6 × minheap — and
+//! benchmarks the sweep machinery.
+//!
+//! The printed series are the reproduction's counterpart of the paper's
+//! plotted curves; EXPERIMENTS.md records the comparison.
+
+use chopin_core::lbo::Clock;
+use chopin_core::sweep::SweepConfig;
+use chopin_harness::LboExperiment;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_figure1() {
+    let sweep = SweepConfig {
+        invocations: 2,
+        iterations: 2,
+        ..SweepConfig::default()
+    };
+    let experiment = LboExperiment::run(&[], &sweep).expect("suite sweep");
+    for clock in [Clock::Wall, Clock::Task] {
+        println!("\n# Figure 1({}) — geomean LBO {clock} overhead", if clock == Clock::Wall { 'a' } else { 'b' });
+        println!("collector,heap_factor,overhead");
+        for (collector, series) in experiment.geomean(clock).expect("geomean") {
+            for (x, y) in series {
+                println!("{collector},{x},{y:.4}");
+            }
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure1();
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(10);
+    group.bench_function("suite_quick_sweep_geomean", |b| {
+        b.iter(|| {
+            let experiment =
+                LboExperiment::run(&[], &SweepConfig::quick()).expect("suite sweep");
+            experiment.geomean(Clock::Task).expect("geomean")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

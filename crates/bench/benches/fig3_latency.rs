@@ -1,0 +1,52 @@
+//! Regenerates Figure 3: cassandra request-latency distributions (simple,
+//! metered 100 ms, metered full) at 2× and 6× heap for all five
+//! collectors — and benchmarks the metered-latency computation.
+
+use chopin_core::latency::{metered_latencies, SmoothingWindow};
+use chopin_harness::LatencyExperiment;
+use chopin_runtime::progress::ProgressTrace;
+use chopin_runtime::requests::extract_events;
+use chopin_runtime::spec::RequestProfile;
+use chopin_runtime::time::{SimDuration, SimTime};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_figure3() {
+    let experiment = LatencyExperiment::run("cassandra", &[2.0, 6.0]).expect("cassandra runs");
+    println!("\n# Figure 3 — cassandra latency percentiles");
+    println!("{}", experiment.render_report());
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure3();
+
+    // A deterministic 100k-event stream for the kernel benchmark.
+    let mut trace = ProgressTrace::new();
+    trace.push(SimTime::ZERO, SimTime::from_nanos(5_000_000_000), 1.0);
+    let events = extract_events(
+        &trace,
+        &RequestProfile {
+            count: 100_000,
+            workers: 32,
+            dispersion: 0.8,
+        },
+        42,
+    );
+
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(20);
+    group.bench_function("metered_latency_100ms_100k_events", |b| {
+        b.iter(|| {
+            metered_latencies(
+                &events,
+                SmoothingWindow::Duration(SimDuration::from_millis(100)),
+            )
+        })
+    });
+    group.bench_function("metered_latency_full_100k_events", |b| {
+        b.iter(|| metered_latencies(&events, SmoothingWindow::Full))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Regenerates Figure 4: the PCA of the 22 workloads over the complete
+//! nominal metrics — and benchmarks the PCA fit itself.
+
+use chopin_core::nominal::{complete_matrix, suite_pca};
+use chopin_analysis::Pca;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_figure4() {
+    let (benchmarks, metrics, pca) = suite_pca().expect("pca fits");
+    let r = pca.explained_variance_ratio();
+    println!("\n# Figure 4 — PCA over {} metrics", metrics.len());
+    println!(
+        "variance explained: PC1 {:.1}% PC2 {:.1}% PC3 {:.1}% PC4 {:.1}% (cumulative {:.1}%)",
+        r[0] * 100.0,
+        r[1] * 100.0,
+        r[2] * 100.0,
+        r[3] * 100.0,
+        pca.cumulative_explained_variance(4) * 100.0
+    );
+    println!("benchmark,pc1,pc2,pc3,pc4");
+    for (i, b) in benchmarks.iter().enumerate() {
+        let s = &pca.scores()[i];
+        println!("{b},{:.3},{:.3},{:.3},{:.3}", s[0], s[1], s[2], s[3]);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure4();
+    let (_, _, matrix) = complete_matrix();
+    let mut group = c.benchmark_group("fig4");
+    group.bench_function("pca_fit_22x40", |b| {
+        b.iter(|| Pca::fit(&matrix).expect("fits"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Regenerates Figure 5: per-benchmark LBO for cassandra and lusearch —
+//! the wall/task divergence and the Shenandoah pacing case studies — and
+//! benchmarks the underlying runs.
+
+use chopin_core::lbo::Clock;
+use chopin_core::sweep::SweepConfig;
+use chopin_core::{BenchmarkRunner, Suite};
+use chopin_harness::LboExperiment;
+use chopin_runtime::collector::CollectorKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_figure5() {
+    let sweep = SweepConfig {
+        invocations: 2,
+        iterations: 2,
+        ..SweepConfig::default()
+    };
+    let experiment =
+        LboExperiment::run(&["cassandra".into(), "lusearch".into()], &sweep).expect("runs");
+    for i in 0..2 {
+        println!("\n# Figure 5 — {}", experiment.sweeps[i].benchmark);
+        for (clock, analyses) in [(Clock::Wall, &experiment.wall), (Clock::Task, &experiment.task)] {
+            println!("clock={clock}: collector,heap_factor,overhead");
+            for (collector, points) in analyses[i].curves() {
+                for p in points {
+                    println!("{collector},{},{:.4}", p.heap_factor, p.overhead.mean());
+                }
+            }
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure5();
+    let suite = Suite::chopin();
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    for (bench_name, collector) in [("cassandra", CollectorKind::Zgc), ("lusearch", CollectorKind::Shenandoah)] {
+        let profile = suite.benchmark(bench_name).expect("in suite").profile().clone();
+        group.bench_function(format!("{bench_name}_{collector}_2x"), |b| {
+            b.iter(|| {
+                BenchmarkRunner::for_profile(profile.clone())
+                    .collector(collector)
+                    .heap_factor(2.0)
+                    .iterations(1)
+                    .run()
+                    .expect("completes")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Regenerates Figure 6: h2 request-latency distributions (simple and
+//! metered, 2× = 1.36 GB and 6× = 4 GB heaps) for all five collectors —
+//! and benchmarks an h2 run plus event extraction.
+
+use chopin_core::latency::events_of;
+use chopin_core::Suite;
+use chopin_harness::LatencyExperiment;
+use chopin_workloads::SizeClass;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_figure6() {
+    let experiment = LatencyExperiment::run("h2", &[2.0, 6.0]).expect("h2 runs");
+    println!("\n# Figure 6 — h2 latency percentiles");
+    println!("{}", experiment.render_report());
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure6();
+    let suite = Suite::chopin();
+    let bench = suite.benchmark("h2").expect("in suite");
+    let spec = bench
+        .profile()
+        .to_spec(SizeClass::Default)
+        .expect("default size")
+        .expect("valid");
+
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("h2_g1_2x_run_and_events", |b| {
+        b.iter(|| {
+            let runs = bench
+                .runner()
+                .heap_factor(2.0)
+                .iterations(1)
+                .run()
+                .expect("completes");
+            events_of(runs.timed(), spec.requests()).expect("latency-sensitive")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

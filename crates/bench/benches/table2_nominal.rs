@@ -1,0 +1,25 @@
+//! Regenerates Table 2 (the twelve most determinant nominal statistics per
+//! benchmark) and the appendix per-benchmark tables — and benchmarks the
+//! scoring machinery.
+
+use chopin_core::nominal::score_table;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_table2() {
+    println!("\n# Table 2");
+    println!("{}", chopin_harness::table2());
+    println!("\n# Appendix Table 3 (avrora)");
+    println!("{}", chopin_harness::nominal_table("avrora").expect("avrora"));
+}
+
+fn bench(c: &mut Criterion) {
+    print_table2();
+    let mut group = c.benchmark_group("table2");
+    group.bench_function("score_table_h2", |b| {
+        b.iter(|| score_table("h2").expect("in suite"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

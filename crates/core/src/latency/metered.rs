@@ -1,0 +1,339 @@
+//! Metered Latency (§4.4): modelling request queueing.
+//!
+//! "In a real system, request/event start times are externally defined, so
+//! a delay will affect not only all running events, but all subsequent
+//! events that are forced to wait in the queue ... we assign each event an
+//! assumed start time based on all events having been hypothetically
+//! received at uniform intervals throughout the execution ... We then
+//! determine the metered latency for each event as the time between its end
+//! time and the earlier of its actual and assumed start times."
+//!
+//! "We implement the uniform synthetic start times by applying a smoothing
+//! function to the actual start times, using a sliding average. A window
+//! size of one affords no smoothing, so is identical to simple latency ...
+//! an arbitrarily large window gives all events uniformly distributed
+//! synthetic start times. DaCapo reports metered latency using window sizes
+//! from 1 ms up to the length of the benchmark execution, in powers of
+//! ten."
+//!
+//! The smoothing operates on inter-arrival gaps: each event's assumed gap
+//! is the sliding average of the actual gaps within the window, and the
+//! assumed start times are the running sum of assumed gaps. With no
+//! smoothing the gaps are unchanged (metered ≡ simple); with full smoothing
+//! every gap is the global mean, i.e. uniform synthetic arrivals.
+
+use chopin_runtime::requests::RequestEvent;
+use chopin_runtime::time::{SimDuration, SimTime};
+
+/// The smoothing window applied to actual start times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SmoothingWindow {
+    /// No smoothing (window of one event): metered latency degenerates to
+    /// simple latency, "reflecting no queueing effect".
+    None,
+    /// A sliding time window of the given width. The paper suggests 100 ms
+    /// as "a reasonable middle ground".
+    Duration(SimDuration),
+    /// Full smoothing: uniformly distributed synthetic start times across
+    /// the whole execution.
+    Full,
+}
+
+impl SmoothingWindow {
+    /// The window ladder the paper reports: no smoothing, then powers of
+    /// ten from 1 ms up to (at least) `run_length`, then full smoothing.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use chopin_core::latency::SmoothingWindow;
+    /// use chopin_runtime::time::SimDuration;
+    ///
+    /// let ladder = SmoothingWindow::ladder(SimDuration::from_millis(250));
+    /// assert_eq!(ladder.first(), Some(&SmoothingWindow::None));
+    /// assert_eq!(ladder.last(), Some(&SmoothingWindow::Full));
+    /// assert!(ladder.contains(&SmoothingWindow::Duration(SimDuration::from_millis(100))));
+    /// ```
+    pub fn ladder(run_length: SimDuration) -> Vec<SmoothingWindow> {
+        let mut windows = vec![SmoothingWindow::None];
+        let mut w = SimDuration::from_millis(1);
+        loop {
+            windows.push(SmoothingWindow::Duration(w));
+            if w >= run_length {
+                break;
+            }
+            w = w * 10;
+        }
+        windows.push(SmoothingWindow::Full);
+        windows
+    }
+}
+
+impl std::fmt::Display for SmoothingWindow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SmoothingWindow::None => write!(f, "none"),
+            SmoothingWindow::Duration(d) => write!(f, "{d}"),
+            SmoothingWindow::Full => write!(f, "full"),
+        }
+    }
+}
+
+/// Compute metered latencies for `events` under the given smoothing
+/// window.
+///
+/// Events are processed in global start-time order (the queueing model is
+/// system-wide, not per-worker); the returned latencies correspond to the
+/// sorted order. Metered latency can never be lower than simple latency:
+/// the assumed start is only ever taken when it is *earlier* than the
+/// actual start.
+///
+/// # Examples
+///
+/// ```
+/// use chopin_core::latency::{metered_latencies, simple_latencies, SmoothingWindow};
+/// use chopin_runtime::requests::RequestEvent;
+/// use chopin_runtime::time::SimTime;
+///
+/// let mk = |s, e| RequestEvent {
+///     start: SimTime::from_nanos(s),
+///     end: SimTime::from_nanos(e),
+/// };
+/// // A long stall delays the third event's actual start; metered latency
+/// // charges the queueing wait to the event.
+/// let events = vec![mk(0, 100), mk(100, 200), mk(900, 1000), mk(1000, 1100)];
+/// let metered = metered_latencies(&events, SmoothingWindow::Full);
+/// let simple = simple_latencies(&events);
+/// assert!(metered[2] > simple[2]);
+/// ```
+pub fn metered_latencies(events: &[RequestEvent], window: SmoothingWindow) -> Vec<SimDuration> {
+    if events.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted: Vec<RequestEvent> = events.to_vec();
+    sorted.sort();
+    let n = sorted.len();
+
+    if window == SmoothingWindow::None || n == 1 {
+        return sorted.iter().map(|e| e.latency()).collect();
+    }
+
+    let starts: Vec<u64> = sorted.iter().map(|e| e.start.as_nanos()).collect();
+    let assumed = assumed_starts(&starts, window);
+
+    sorted
+        .iter()
+        .zip(assumed)
+        .map(|(e, a)| {
+            let effective_start = e.start.min(a);
+            e.end.saturating_since(effective_start)
+        })
+        .collect()
+}
+
+/// Assumed start times: running sum of sliding-average inter-arrival gaps,
+/// anchored at the first actual start.
+fn assumed_starts(starts: &[u64], window: SmoothingWindow) -> Vec<SimTime> {
+    let n = starts.len();
+    debug_assert!(n >= 2);
+    let first = starts[0];
+    let last = starts[n - 1];
+
+    match window {
+        SmoothingWindow::None => starts.iter().map(|&s| SimTime::from_nanos(s)).collect(),
+        SmoothingWindow::Full => {
+            // Uniform synthetic arrivals over [first, last].
+            let mean_gap = (last - first) as f64 / (n - 1) as f64;
+            (0..n)
+                .map(|k| SimTime::from_nanos(first + (mean_gap * k as f64).round() as u64))
+                .collect()
+        }
+        SmoothingWindow::Duration(w) => {
+            // Local linear fit of the arrival curve over a sliding time
+            // window: within the window the events are assumed to arrive at
+            // the window's average rate. A pause therefore charges its
+            // backlog to the events within a window of it (the queueing
+            // effect), and the effect decays beyond the window — while a
+            // window spanning the whole run reproduces the uniform
+            // synthetic arrivals of full smoothing.
+            let half = w.as_nanos() / 2;
+            // Prefix sums of starts for O(1) window means.
+            let mut prefix = Vec::with_capacity(n + 1);
+            prefix.push(0u128);
+            for &s in starts {
+                let last = *prefix.last().expect("non-empty");
+                prefix.push(last + s as u128);
+            }
+            let mean_start = |i: usize, j: usize| -> f64 {
+                ((prefix[j + 1] - prefix[i]) as f64) / (j - i + 1) as f64
+            };
+
+            let mut lo = 0usize;
+            let mut hi = 0usize;
+            let mut assumed = Vec::with_capacity(n);
+            for k in 0..n {
+                let centre = starts[k];
+                let win_lo = centre.saturating_sub(half);
+                let win_hi = centre.saturating_add(half);
+                while lo < k && starts[lo] < win_lo {
+                    lo += 1;
+                }
+                if hi < k {
+                    hi = k;
+                }
+                while hi + 1 < n && starts[hi + 1] <= win_hi {
+                    hi += 1;
+                }
+                let a = if hi == lo {
+                    starts[k] as f64
+                } else {
+                    let slope = (starts[hi] - starts[lo]) as f64 / (hi - lo) as f64;
+                    let mean_i = (lo + hi) as f64 / 2.0;
+                    mean_start(lo, hi) + slope * (k as f64 - mean_i)
+                };
+                assumed.push(a.max(0.0));
+            }
+            assumed
+                .into_iter()
+                .map(|a| SimTime::from_nanos(a.round() as u64))
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::simple_latencies;
+    use proptest::prelude::*;
+
+    fn ev(start: u64, end: u64) -> RequestEvent {
+        RequestEvent {
+            start: SimTime::from_nanos(start),
+            end: SimTime::from_nanos(end),
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert!(metered_latencies(&[], SmoothingWindow::Full).is_empty());
+        let one = [ev(5, 10)];
+        assert_eq!(
+            metered_latencies(&one, SmoothingWindow::Full),
+            vec![SimDuration::from_nanos(5)]
+        );
+    }
+
+    #[test]
+    fn no_smoothing_equals_simple_latency() {
+        let events = vec![ev(0, 10), ev(10, 50), ev(300, 320)];
+        assert_eq!(
+            metered_latencies(&events, SmoothingWindow::None),
+            simple_latencies(&events)
+        );
+    }
+
+    #[test]
+    fn uniform_arrivals_make_full_smoothing_equal_simple() {
+        // Perfectly regular arrivals: the synthetic starts coincide with
+        // the actual starts, so metering changes nothing.
+        let events: Vec<RequestEvent> = (0..10).map(|k| ev(k * 100, k * 100 + 40)).collect();
+        assert_eq!(
+            metered_latencies(&events, SmoothingWindow::Full),
+            simple_latencies(&events)
+        );
+    }
+
+    #[test]
+    fn pause_backlog_is_charged_to_later_events() {
+        // Events at 0,100,200 then a 1000ns stall, then 1300,1400: under
+        // full smoothing the post-stall events' assumed starts are much
+        // earlier than their actual starts.
+        let events = vec![
+            ev(0, 40),
+            ev(100, 140),
+            ev(200, 240),
+            ev(1300, 1340),
+            ev(1400, 1440),
+        ];
+        let simple = simple_latencies(&events);
+        let metered = metered_latencies(&events, SmoothingWindow::Full);
+        assert_eq!(simple[3].as_nanos(), 40);
+        assert!(
+            metered[3].as_nanos() > 200,
+            "queued delay is charged: {:?}",
+            metered[3]
+        );
+        // Earlier events are unaffected (assumed starts not earlier than
+        // actual).
+        assert_eq!(metered[0], simple[0]);
+    }
+
+    #[test]
+    fn window_ladder_has_expected_shape() {
+        let ladder = SmoothingWindow::ladder(SimDuration::from_secs(2));
+        // none, 1ms, 10ms, 100ms, 1s, 10s, full
+        assert_eq!(ladder.len(), 7);
+        assert_eq!(ladder[0], SmoothingWindow::None);
+        assert_eq!(ladder[1], SmoothingWindow::Duration(SimDuration::from_millis(1)));
+        assert_eq!(*ladder.last().unwrap(), SmoothingWindow::Full);
+    }
+
+    #[test]
+    fn display_of_windows() {
+        assert_eq!(SmoothingWindow::None.to_string(), "none");
+        assert_eq!(SmoothingWindow::Full.to_string(), "full");
+        assert_eq!(
+            SmoothingWindow::Duration(SimDuration::from_millis(100)).to_string(),
+            "100.000ms"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_metered_never_below_simple(
+            raw in proptest::collection::vec((0u64..1_000_000, 1u64..10_000), 2..100),
+            window_ms in 0u64..1000,
+        ) {
+            let events: Vec<RequestEvent> = raw
+                .iter()
+                .map(|&(s, d)| ev(s, s + d))
+                .collect();
+            let windows = [
+                SmoothingWindow::None,
+                SmoothingWindow::Duration(SimDuration::from_millis(window_ms.max(1))),
+                SmoothingWindow::Full,
+            ];
+            let mut sorted = events.clone();
+            sorted.sort();
+            let simple = simple_latencies(&sorted);
+            for w in windows {
+                let metered = metered_latencies(&events, w);
+                prop_assert_eq!(metered.len(), simple.len());
+                for (m, s) in metered.iter().zip(&simple) {
+                    // Allow 1ns of rounding slack from gap reconstruction.
+                    prop_assert!(
+                        m.as_nanos() + 1 >= s.as_nanos(),
+                        "metered {} < simple {} under {:?}", m, s, w
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn prop_wider_windows_never_reduce_total_metered_latency_much(
+            raw in proptest::collection::vec((0u64..100_000, 1u64..1_000), 3..50),
+        ) {
+            // Not a strict theorem per event, but the *total* metered
+            // latency under full smoothing should be at least the total
+            // simple latency.
+            let events: Vec<RequestEvent> = raw.iter().map(|&(s, d)| ev(s, s + d)).collect();
+            let total = |v: Vec<SimDuration>| -> u128 {
+                v.iter().map(|d| d.as_nanos() as u128).sum()
+            };
+            let simple = total(metered_latencies(&events, SmoothingWindow::None));
+            let full = total(metered_latencies(&events, SmoothingWindow::Full));
+            prop_assert!(full + events.len() as u128 >= simple);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Minimum mutator utilization (MMU) — the prior-art responsiveness metric
+//! of Cheng and Blelloch that §4.4 discusses.
+//!
+//! "They proposed the notion of minimum mutator utilization (MMU) metric to
+//! reflect how much CPU was available to the mutator over a sliding window
+//! of time, for various window sizes. ... Even so, MMU is not ideal since
+//! it is a single-threaded measure, cannot capture throughput reductions
+//! due to expensive barriers embedded within the mutator, and requires
+//! instrumenting the garbage collector."
+//!
+//! The reproduction computes MMU from the mutator progress trace: the
+//! utilization of a window is the average execution rate within it,
+//! normalised by the trace's peak rate. MMU(w) is the minimum over all
+//! windows of width `w`. Because the normalisation hides uniform
+//! slowdowns, barrier taxes are invisible to MMU — exactly the blind spot
+//! the paper points out, demonstrated by
+//! `tests/mmu_blind_spots.rs`.
+
+use chopin_runtime::progress::ProgressTrace;
+use chopin_runtime::time::SimDuration;
+
+/// Minimum mutator utilization over sliding windows of width `window`.
+///
+/// Returns a value in `[0, 1]`: 1.0 means the mutator ran at peak rate in
+/// every window; 0.0 means some window was entirely stopped. Returns
+/// `None` for an empty trace, a zero window, or a window longer than the
+/// trace.
+///
+/// # Examples
+///
+/// ```
+/// use chopin_core::latency::mmu::mmu;
+/// use chopin_runtime::progress::ProgressTrace;
+/// use chopin_runtime::time::{SimDuration, SimTime};
+///
+/// let mut trace = ProgressTrace::new();
+/// trace.push(SimTime::from_nanos(0), SimTime::from_nanos(400), 1.0);
+/// trace.push(SimTime::from_nanos(400), SimTime::from_nanos(500), 0.0); // 100ns pause
+/// trace.push(SimTime::from_nanos(500), SimTime::from_nanos(1000), 1.0);
+///
+/// // A 100ns window can land entirely inside the pause.
+/// assert_eq!(mmu(&trace, SimDuration::from_nanos(100)), Some(0.0));
+/// // A 500ns window sees at most 100ns of pause: utilization >= 0.8.
+/// let m = mmu(&trace, SimDuration::from_nanos(500)).unwrap();
+/// assert!((m - 0.8).abs() < 1e-9);
+/// ```
+pub fn mmu(trace: &ProgressTrace, window: SimDuration) -> Option<f64> {
+    let segments = trace.segments();
+    if segments.is_empty() || window.is_zero() {
+        return None;
+    }
+    let t0 = segments[0].start.as_nanos() as f64;
+    let t1 = segments[segments.len() - 1].end.as_nanos() as f64;
+    let w = window.as_nanos() as f64;
+    if w > t1 - t0 {
+        return None;
+    }
+    let peak = segments
+        .iter()
+        .map(|s| s.worker_rate)
+        .fold(0.0f64, f64::max);
+    if peak <= 0.0 {
+        return Some(0.0);
+    }
+
+    // Prefix integral of rate over time at segment boundaries.
+    let mut bounds = Vec::with_capacity(segments.len() + 1);
+    let mut integral = Vec::with_capacity(segments.len() + 1);
+    bounds.push(t0);
+    integral.push(0.0);
+    for s in segments {
+        let prev = *integral.last().expect("non-empty");
+        bounds.push(s.end.as_nanos() as f64);
+        integral.push(prev + s.worker_rate * (s.end - s.start).as_nanos() as f64);
+    }
+    let value_at = |t: f64| -> f64 {
+        // Integral of rate from t0 to t.
+        match bounds.binary_search_by(|b| b.partial_cmp(&t).expect("finite")) {
+            Ok(i) => integral[i],
+            Err(i) => {
+                // t lies inside segment i-1.
+                let s = &segments[i - 1];
+                integral[i - 1] + s.worker_rate * (t - bounds[i - 1])
+            }
+        }
+    };
+
+    // The sliding integral of a piecewise-constant function attains its
+    // minimum with a window edge at a segment boundary: evaluate windows
+    // starting at every boundary and ending at every boundary.
+    let mut min_util = f64::INFINITY;
+    let mut consider = |start: f64| {
+        let start = start.clamp(t0, t1 - w);
+        let util = (value_at(start + w) - value_at(start)) / (w * peak);
+        if util < min_util {
+            min_util = util;
+        }
+    };
+    for &b in &bounds {
+        consider(b);
+        consider(b - w);
+    }
+    Some(min_util.clamp(0.0, 1.0))
+}
+
+/// MMU at a ladder of window sizes (powers of ten from 1 µs up to the
+/// trace length), as (window, utilization) pairs.
+pub fn mmu_curve(trace: &ProgressTrace) -> Vec<(SimDuration, f64)> {
+    let Some(end) = trace.end_time() else {
+        return Vec::new();
+    };
+    let total = end.saturating_since(
+        trace
+            .segments()
+            .first()
+            .map(|s| s.start)
+            .unwrap_or(chopin_runtime::time::SimTime::ZERO),
+    );
+    let mut out = Vec::new();
+    let mut w = SimDuration::from_micros(1);
+    while w <= total {
+        if let Some(m) = mmu(trace, w) {
+            out.push((w, m));
+        }
+        w = w * 10;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chopin_runtime::time::SimTime;
+
+    fn trace(parts: &[(u64, u64, f64)]) -> ProgressTrace {
+        let mut t = ProgressTrace::new();
+        for &(a, b, r) in parts {
+            t.push(SimTime::from_nanos(a), SimTime::from_nanos(b), r);
+        }
+        t
+    }
+
+    #[test]
+    fn empty_or_degenerate_inputs() {
+        assert_eq!(mmu(&ProgressTrace::new(), SimDuration::from_nanos(1)), None);
+        let t = trace(&[(0, 100, 1.0)]);
+        assert_eq!(mmu(&t, SimDuration::ZERO), None);
+        assert_eq!(mmu(&t, SimDuration::from_nanos(200)), None, "window longer than trace");
+    }
+
+    #[test]
+    fn uninterrupted_trace_has_full_utilization() {
+        let t = trace(&[(0, 1000, 2.0)]);
+        assert_eq!(mmu(&t, SimDuration::from_nanos(100)), Some(1.0));
+    }
+
+    #[test]
+    fn window_inside_pause_gives_zero() {
+        let t = trace(&[(0, 400, 1.0), (400, 600, 0.0), (600, 1000, 1.0)]);
+        assert_eq!(mmu(&t, SimDuration::from_nanos(150)), Some(0.0));
+    }
+
+    #[test]
+    fn mmu_grows_with_window_size() {
+        let t = trace(&[(0, 400, 1.0), (400, 500, 0.0), (500, 1000, 1.0)]);
+        let mut prev = -1.0;
+        for w in [50, 100, 200, 400, 800] {
+            let m = mmu(&t, SimDuration::from_nanos(w)).unwrap();
+            assert!(m >= prev - 1e-9, "MMU must be non-decreasing in window size");
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn clustered_pauses_hurt_mmu_more_than_one_pause() {
+        // Figure 2's point, in MMU form: same total pause, worse minimum.
+        let single = trace(&[(0, 480, 1.0), (480, 520, 0.0), (520, 1000, 1.0)]);
+        let clustered = trace(&[
+            (0, 480, 1.0),
+            (480, 500, 0.0),
+            (500, 505, 1.0),
+            (505, 525, 0.0),
+            (525, 1000, 1.0),
+        ]);
+        let w = SimDuration::from_nanos(50);
+        let m_single = mmu(&single, w).unwrap();
+        let m_clustered = mmu(&clustered, w).unwrap();
+        assert!(
+            m_clustered <= m_single,
+            "clustered {m_clustered} vs single {m_single}"
+        );
+    }
+
+    #[test]
+    fn uniform_slowdown_is_invisible_to_mmu() {
+        // The blind spot: a trace running at half speed everywhere (e.g. a
+        // heavy barrier tax) has the same normalised MMU as a full-speed
+        // trace.
+        let fast = trace(&[(0, 1000, 2.0)]);
+        let slow = trace(&[(0, 1000, 1.0)]);
+        let w = SimDuration::from_nanos(100);
+        assert_eq!(mmu(&fast, w), mmu(&slow, w));
+    }
+
+    #[test]
+    fn curve_covers_window_ladder() {
+        let t = trace(&[(0, 10_000_000, 1.0), (10_000_000, 10_500_000, 0.0), (10_500_000, 20_000_000, 1.0)]);
+        let curve = mmu_curve(&t);
+        assert!(curve.len() >= 2);
+        assert!(curve.windows(2).all(|p| p[0].1 <= p[1].1 + 1e-9));
+    }
+}

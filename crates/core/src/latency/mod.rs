@@ -1,0 +1,92 @@
+//! User-experienced latency: the Simple and Metered Latency metrics
+//! (§4.4).
+//!
+//! "A naïve approach to measuring latency is to simply measure the length
+//! of pauses created by the runtime ... However, as Cheng and Blelloch
+//! pointed out, this is a poor measure since several short pauses may have
+//! a similar or worse effect than a long pause." DaCapo Chopin instead
+//! times *every event* and reports the distribution of user-experienced
+//! latencies — and so does this reproduction:
+//!
+//! * [`simple`] — per-event latency exactly as observed (end − start).
+//! * [`metered`] — the queueing model: each event is assigned an assumed
+//!   start time as if requests had arrived at a smoothed (up to uniform)
+//!   rate, so a pause delays not only the in-flight events but everything
+//!   queued behind them.
+//! * [`percentile`] — distribution reporting "in terms of percentiles,
+//!   from median to 99.99" and CDF curves for the figure axes.
+//! * [`mmu`] — the prior-art minimum-mutator-utilization metric, provided
+//!   so its blind spots can be demonstrated against the above.
+
+pub mod metered;
+pub mod mmu;
+pub mod percentile;
+pub mod simple;
+
+pub use metered::{metered_latencies, SmoothingWindow};
+pub use percentile::LatencyDistribution;
+pub use simple::simple_latencies;
+
+use chopin_runtime::requests::{extract_events, RequestEvent};
+use chopin_runtime::result::RunResult;
+use chopin_runtime::spec::RequestProfile;
+
+/// Recover the timed events of a run of a latency-sensitive workload.
+///
+/// Returns `None` when `requests` is `None` (the workload is not
+/// latency-sensitive).
+///
+/// # Examples
+///
+/// ```
+/// use chopin_core::Suite;
+/// use chopin_core::latency::{events_of, simple_latencies};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let suite = Suite::chopin();
+/// let bench = suite.benchmark("h2").expect("h2 is in the suite");
+/// let runs = bench.runner().heap_factor(2.0).iterations(1).run()?;
+/// let spec = bench
+///     .profile()
+///     .to_spec(chopin_workloads::SizeClass::Default)
+///     .unwrap()?;
+/// let events = events_of(runs.timed(), spec.requests()).expect("h2 is latency-sensitive");
+/// assert!(!events.is_empty());
+/// let latencies = simple_latencies(&events);
+/// assert_eq!(latencies.len(), events.len());
+/// # Ok(())
+/// # }
+/// ```
+pub fn events_of(result: &RunResult, requests: Option<&RequestProfile>) -> Option<Vec<RequestEvent>> {
+    let profile = requests?;
+    Some(extract_events(
+        result.progress(),
+        profile,
+        result.config().seed(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chopin_runtime::progress::ProgressTrace;
+    use chopin_runtime::time::SimTime;
+
+    #[test]
+    fn events_of_none_for_batch_workloads() {
+        // A synthetic result via the engine would do, but events_of only
+        // consults the request profile, so `None` in means `None` out.
+        let mut trace = ProgressTrace::new();
+        trace.push(SimTime::ZERO, SimTime::from_nanos(10), 1.0);
+        // Construct a result through the public engine API.
+        let spec = chopin_runtime::spec::MutatorSpec::builder("t")
+            .total_work(chopin_runtime::time::SimDuration::from_micros(10))
+            .total_allocation(1 << 20)
+            .live_range(1 << 20, 1 << 20)
+            .build()
+            .unwrap();
+        let cfg = chopin_runtime::config::RunConfig::new(16 << 20, chopin_runtime::collector::CollectorKind::G1);
+        let result = chopin_runtime::engine::run(&spec, &cfg).unwrap();
+        assert!(events_of(&result, None).is_none());
+    }
+}

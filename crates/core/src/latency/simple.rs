@@ -1,0 +1,55 @@
+//! Simple Latency (§4.4).
+//!
+//! "DaCapo times every event ... Once the workload completes, DaCapo
+//! determines the distribution of latencies, reporting the distribution in
+//! terms of percentiles, from median to 99.99 ... We call this metric
+//! Simple Latency."
+
+use chopin_runtime::requests::RequestEvent;
+use chopin_runtime::time::SimDuration;
+
+/// The simple latency of every event: `end − start`, in event order.
+///
+/// # Examples
+///
+/// ```
+/// use chopin_core::latency::simple_latencies;
+/// use chopin_runtime::requests::RequestEvent;
+/// use chopin_runtime::time::SimTime;
+///
+/// let events = [RequestEvent {
+///     start: SimTime::from_nanos(100),
+///     end: SimTime::from_nanos(350),
+/// }];
+/// let lat = simple_latencies(&events);
+/// assert_eq!(lat[0].as_nanos(), 250);
+/// ```
+pub fn simple_latencies(events: &[RequestEvent]) -> Vec<SimDuration> {
+    events.iter().map(|e| e.latency()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chopin_runtime::time::SimTime;
+
+    fn ev(start: u64, end: u64) -> RequestEvent {
+        RequestEvent {
+            start: SimTime::from_nanos(start),
+            end: SimTime::from_nanos(end),
+        }
+    }
+
+    #[test]
+    fn latencies_match_event_spans() {
+        let events = [ev(0, 10), ev(10, 40), ev(40, 45)];
+        let lat = simple_latencies(&events);
+        let ns: Vec<u64> = lat.iter().map(|d| d.as_nanos()).collect();
+        assert_eq!(ns, vec![10, 30, 5]);
+    }
+
+    #[test]
+    fn empty_events_give_empty_latencies() {
+        assert!(simple_latencies(&[]).is_empty());
+    }
+}

@@ -1,0 +1,60 @@
+//! The DaCapo Chopin suite and methodology layer — the primary
+//! contribution of *Rethinking Java Performance Analysis* (ASPLOS '25),
+//! reproduced in Rust on a simulated managed runtime.
+//!
+//! The paper contributes a benchmark suite with integrated workload
+//! characterisation plus a set of methodologies; this crate provides both:
+//!
+//! * [`benchmark`] — the suite registry and the run configuration builder
+//!   (collector, heap in multiples of the nominal minimum heap, size
+//!   class, iterations).
+//! * [`iteration`] — JIT-warmup modelling and invocation aggregation
+//!   (§4.3, §6.1).
+//! * [`latency`] — Simple and Metered Latency with smoothing windows
+//!   (§4.4), distributions and figure-ready percentile curves.
+//! * [`lbo`] — the Lower-Bound Overhead methodology of Cai et al. (§4.5),
+//!   for both the wall clock and the task clock.
+//! * [`minheap`] / [`sweep`] — minimum-heap search and heap-size sweeps in
+//!   multiples of the minimum (recommendations H1/H2).
+//! * [`nominal`] — the 48 nominal statistics of Table 1, the published
+//!   per-benchmark dataset, rank/score tables, and the Figure 4 PCA.
+//! * [`methodology`] — the paper's seven recommendations as data.
+//! * [`mod@characterize`] — re-measures the G/P-family nominal statistics on
+//!   the simulated runtime (the suite's bundled instrumentation, §5.1),
+//!   including the §6.1.3 frequency/memory/LLC sensitivity experiments.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use chopin_core::Suite;
+//! use chopin_runtime::collector::CollectorKind;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let suite = Suite::chopin();
+//! let fop = suite.benchmark("fop").expect("in the suite");
+//! let runs = fop
+//!     .runner()
+//!     .collector(CollectorKind::G1)
+//!     .heap_factor(2.0) // 2 × fop's nominal minimum heap (§6.1.2)
+//!     .run()?;
+//! println!("fop timed iteration: {}", runs.timed().wall_time());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod benchmark;
+pub mod characterize;
+pub mod iteration;
+pub mod latency;
+pub mod lbo;
+pub mod methodology;
+pub mod minheap;
+pub mod nominal;
+pub mod sweep;
+
+pub use benchmark::{Benchmark, BenchmarkError, BenchmarkRunner, Suite};
+pub use characterize::{characterize, CharacterizeConfig, MeasuredStats};
+pub use iteration::IterationSet;
+pub use lbo::{Clock, LboAnalysis, RunSample};
+pub use minheap::{MinHeapError, MinHeapSearch};
+pub use sweep::{run_sweep, SweepConfig, SweepResult};

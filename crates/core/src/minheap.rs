@@ -1,0 +1,208 @@
+//! Minimum-heap search (recommendation H2).
+//!
+//! "Heap sizes should be expressed in terms of multiples of the minimum
+//! heap size in which a baseline collector can run that workload." The
+//! suite ships *nominal* minimum heaps (GMD/GMS/GML/GMV/GMU) measured with
+//! the baseline configuration; this module re-derives them empirically on
+//! the simulated runtime by bisection, the methodology of Blackburn et al.
+//! (the paper's reference 9, which footnote 4 points to).
+
+use crate::benchmark::{BenchmarkError, BenchmarkRunner};
+use chopin_runtime::collector::CollectorKind;
+use chopin_runtime::result::RunError;
+use chopin_workloads::{SizeClass, WorkloadProfile};
+use std::fmt;
+
+/// Error raised by the minimum-heap search.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MinHeapError {
+    /// No heap up to the search ceiling let the workload complete.
+    NotFoundBelow {
+        /// The ceiling that was tried, in bytes.
+        ceiling_bytes: u64,
+    },
+    /// The workload does not provide the requested size class.
+    UnsupportedSize(String),
+    /// A run failed for a reason other than memory pressure.
+    Run(String),
+}
+
+impl fmt::Display for MinHeapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MinHeapError::NotFoundBelow { ceiling_bytes } => {
+                write!(f, "no viable heap found below {ceiling_bytes} bytes")
+            }
+            MinHeapError::UnsupportedSize(b) => write!(f, "{b}: unsupported size class"),
+            MinHeapError::Run(msg) => write!(f, "run failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MinHeapError {}
+
+/// Configuration of the bisection search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MinHeapSearch {
+    /// Collector to search with (the suite's nominal statistics use the
+    /// default collector, G1).
+    pub collector: CollectorKind,
+    /// Compressed-pointer override; `None` uses the collector's default.
+    /// `Some(false)` with G1 measures the GMU statistic ("minimum heap
+    /// size for default size without compressed pointers").
+    pub compressed_oops: Option<bool>,
+    /// Size class.
+    pub size: SizeClass,
+    /// Iterations each probe runs (the published GMD is defined over
+    /// 5 iterations; a single iteration is much cheaper and within the
+    /// nominal tolerance).
+    pub iterations: u32,
+    /// Relative resolution at which to stop bisecting (e.g. 0.02 = 2 %).
+    pub resolution: f64,
+}
+
+impl Default for MinHeapSearch {
+    fn default() -> Self {
+        MinHeapSearch {
+            collector: CollectorKind::G1,
+            compressed_oops: None,
+            size: SizeClass::Default,
+            iterations: 1,
+            resolution: 0.02,
+        }
+    }
+}
+
+impl MinHeapSearch {
+    /// Find the minimum heap, in bytes, in which `profile` completes.
+    ///
+    /// Runs with invocation noise disabled so the result is deterministic.
+    /// The search brackets the boundary by doubling from an optimistic
+    /// lower bound, then bisects to the configured resolution.
+    ///
+    /// # Errors
+    ///
+    /// See [`MinHeapError`].
+    pub fn find(&self, profile: &WorkloadProfile) -> Result<u64, MinHeapError> {
+        let nominal = profile
+            .min_heap_bytes(self.size)
+            .ok_or_else(|| MinHeapError::UnsupportedSize(profile.name.to_string()))?;
+
+        // Optimistic floor: a quarter of the nominal minimum.
+        let mut lo = (nominal / 4).max(1 << 20);
+        let ceiling = nominal.saturating_mul(64).max(1 << 30);
+
+        // If the floor already works, it is our "success" bracket; walk
+        // down? No: the floor is meant to fail. If it succeeds, halve until
+        // failure or 1 MB.
+        while lo > 1 << 20 && self.completes(profile, lo)? {
+            lo /= 2;
+        }
+
+        let mut hi = lo;
+        loop {
+            hi = hi.saturating_mul(2);
+            if hi > ceiling {
+                return Err(MinHeapError::NotFoundBelow {
+                    ceiling_bytes: ceiling,
+                });
+            }
+            if self.completes(profile, hi)? {
+                break;
+            }
+            lo = hi;
+        }
+
+        // Bisect (lo fails, hi succeeds).
+        while (hi - lo) as f64 > self.resolution * hi as f64 {
+            let mid = lo + (hi - lo) / 2;
+            if self.completes(profile, mid)? {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Ok(hi)
+    }
+
+    fn completes(&self, profile: &WorkloadProfile, heap_bytes: u64) -> Result<bool, MinHeapError> {
+        let mut runner = BenchmarkRunner::for_profile(profile.clone())
+            .collector(self.collector)
+            .size(self.size)
+            .heap_bytes(heap_bytes)
+            .iterations(self.iterations)
+            .noise(0.0);
+        if let Some(oops) = self.compressed_oops {
+            runner = runner.compressed_oops(oops);
+        }
+        let result = runner.run();
+        match result {
+            Ok(_) => Ok(true),
+            Err(BenchmarkError::Run(RunError::OutOfMemory { .. }))
+            | Err(BenchmarkError::Run(RunError::GcThrash { .. })) => Ok(false),
+            Err(e) => Err(MinHeapError::Run(e.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chopin_workloads::suite;
+
+    #[test]
+    fn min_heap_of_fop_is_near_nominal() {
+        let fop = suite::by_name("fop").unwrap();
+        let found = MinHeapSearch::default().find(&fop).unwrap();
+        let nominal = fop.min_heap_bytes(SizeClass::Default).unwrap();
+        let ratio = found as f64 / nominal as f64;
+        assert!(
+            (0.7..=1.3).contains(&ratio),
+            "simulated minheap {found} vs nominal {nominal} (ratio {ratio})"
+        );
+    }
+
+    #[test]
+    fn zgc_min_heap_exceeds_g1_min_heap() {
+        // ZGC cannot use compressed pointers, so its minimum heap is larger
+        // by roughly the workload's GMU/GMD inflation.
+        let pmd = suite::by_name("pmd").unwrap();
+        let g1 = MinHeapSearch::default().find(&pmd).unwrap();
+        let zgc = MinHeapSearch {
+            collector: CollectorKind::Zgc,
+            ..Default::default()
+        }
+        .find(&pmd)
+        .unwrap();
+        let ratio = zgc as f64 / g1 as f64;
+        assert!(
+            ratio > 1.15,
+            "ZGC needs more memory: {zgc} vs {g1} (ratio {ratio})"
+        );
+    }
+
+    #[test]
+    fn small_size_needs_less_heap_than_default() {
+        let lusearch = suite::by_name("lusearch").unwrap();
+        let default = MinHeapSearch::default().find(&lusearch).unwrap();
+        let small = MinHeapSearch {
+            size: SizeClass::Small,
+            ..Default::default()
+        }
+        .find(&lusearch)
+        .unwrap();
+        assert!(small < default, "small {small} vs default {default}");
+    }
+
+    #[test]
+    fn unsupported_size_is_an_error() {
+        let fop = suite::by_name("fop").unwrap();
+        let err = MinHeapSearch {
+            size: SizeClass::VLarge,
+            ..Default::default()
+        }
+        .find(&fop)
+        .unwrap_err();
+        assert!(matches!(err, MinHeapError::UnsupportedSize(_)));
+    }
+}

@@ -1,0 +1,256 @@
+//! The nominal-statistics dataset: per-benchmark values for every metric
+//! of Table 1, transcribed from the paper's appendix tables (the "Value"
+//! column of Tables 3–19) and from Table 2.
+//!
+//! Six rows are partially estimated: sunflow's appendix table is truncated
+//! mid-way in our source text, and tomcat, tradebeans, tradesoap, xalan and
+//! zxing lack appendix pages entirely — for those, the twelve Table 2
+//! metrics are exact and the remainder are estimates informed by the
+//! paper's prose (e.g. §6.4's xalan discussion). See DESIGN.md, D4.
+
+use super::metric::{metric_index, METRICS};
+use serde::{Deserialize, Serialize};
+
+/// Number of metrics (columns) in the dataset.
+pub const METRIC_COUNT: usize = METRICS.len();
+
+/// Whether a row's values are fully published or partially estimated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RowProvenance {
+    /// Every cell comes from the paper's appendix tables.
+    Published,
+    /// Table 2 cells are published; other cells are estimates.
+    PartiallyEstimated,
+}
+
+/// One benchmark's nominal-statistic values, aligned with
+/// [`super::metric::METRICS`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NominalRow {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Data provenance for the row.
+    pub provenance: RowProvenance,
+    /// One value per metric; `None` where the metric does not apply (e.g.
+    /// GML for workloads without a large configuration).
+    pub values: [Option<f64>; METRIC_COUNT],
+}
+
+impl NominalRow {
+    /// The value of the metric with the given code, if present.
+    pub fn value(&self, code: &str) -> Option<f64> {
+        self.values[metric_index(code)?]
+    }
+}
+
+/// The dataset: one row per benchmark, in suite (alphabetical) order.
+pub fn dataset() -> Vec<NominalRow> {
+    DATASET.to_vec()
+}
+
+/// Look up one benchmark's row.
+pub fn row(benchmark: &str) -> Option<NominalRow> {
+    DATASET.iter().find(|r| r.benchmark == benchmark).cloned()
+}
+
+/// The metric codes for which **every** benchmark has a value — the
+/// complete columns PCA operates on (§5.2 uses "the 33 nominal metrics
+/// where all benchmarks have data points"; our dataset's completeness
+/// differs slightly because estimated rows fill some gaps).
+pub fn complete_metrics() -> Vec<&'static str> {
+    (0..METRICS.len())
+        .filter(|&i| DATASET.iter().all(|r| r.values[i].is_some()))
+        .map(|i| METRICS[i].code)
+        .collect()
+}
+
+/// The data matrix over the complete metrics: one row per benchmark, one
+/// column per metric returned by [`complete_metrics`], raw values.
+pub fn complete_matrix() -> (Vec<&'static str>, Vec<&'static str>, Vec<Vec<f64>>) {
+    let metrics = complete_metrics();
+    let idx: Vec<usize> = metrics.iter().map(|c| metric_index(c).expect("known")).collect();
+    let benchmarks: Vec<&'static str> = DATASET.iter().map(|r| r.benchmark).collect();
+    let matrix = DATASET
+        .iter()
+        .map(|r| idx.iter().map(|&i| r.values[i].expect("complete")).collect())
+        .collect();
+    (benchmarks, metrics, matrix)
+}
+
+static DATASET: [NominalRow; 22] = [
+    NominalRow {
+        benchmark: "avrora",
+        provenance: RowProvenance::Published,
+        values: [Some(34.0), Some(32.0), Some(32.0), Some(24.0), Some(56.0), Some(31.0), Some(0.0), Some(5.0), Some(692.0), Some(206.0), Some(33.0), Some(4.0), Some(80.0), Some(551.0), Some(80.0), Some(1.0), Some(0.0), Some(5.0), Some(15.0), Some(5.0), Some(7.0), None, Some(18.0), Some(33.0), Some(83.0), Some(7.0), Some(4.0), Some(18.0), Some(7.0), Some(56.0), Some(2.0), Some(6.0), Some(3.0), Some(4.0), Some(2.0), Some(53.0), Some(-19.0), Some(23.0), Some(19.0), Some(164.0), Some(20.0), Some(18.0), Some(131.0), Some(113.0), Some(3398.0), Some(26.0), Some(7.0), Some(51.0)],
+    },
+    NominalRow {
+        benchmark: "batik",
+        provenance: RowProvenance::Published,
+        values: [Some(58.0), Some(72.0), Some(32.0), Some(24.0), Some(506.0), Some(41.0), Some(0.0), Some(4.0), Some(126.0), Some(28.0), Some(32.0), Some(4.0), Some(121.0), Some(111.0), Some(132.0), Some(9.0), Some(0.0), Some(175.0), Some(1759.0), Some(19.0), Some(229.0), None, Some(40.0), Some(3.0), Some(306.0), Some(24.0), Some(2.0), Some(20.0), Some(24.0), Some(0.0), Some(0.0), Some(2.0), Some(4.0), Some(1.0), Some(4.0), Some(80.0), Some(25.0), Some(37.0), Some(52.0), Some(2388.0), Some(55.0), Some(4.0), Some(50.0), Some(228.0), Some(1872.0), Some(46.0), Some(16.0), Some(10.0)],
+    },
+    NominalRow {
+        benchmark: "biojava",
+        provenance: RowProvenance::Published,
+        values: [Some(28.0), Some(24.0), Some(24.0), Some(24.0), Some(2041.0), Some(0.0), Some(0.0), Some(28.0), Some(171.0), Some(2.0), Some(18.0), Some(2.0), Some(106.0), Some(2172.0), Some(98.0), Some(1.0), Some(0.0), Some(93.0), Some(1027.0), Some(7.0), Some(183.0), None, Some(7107.0), Some(102.0), Some(224.0), Some(106.0), Some(5.0), Some(19.0), Some(106.0), Some(1.0), Some(1.0), Some(0.0), Some(5.0), Some(0.0), Some(1.0), Some(121.0), Some(14.0), Some(15.0), Some(29.0), Some(3487.0), Some(33.0), Some(2.0), Some(30.0), Some(476.0), Some(1427.0), Some(19.0), Some(41.0), Some(6.0)],
+    },
+    NominalRow {
+        benchmark: "cassandra",
+        provenance: RowProvenance::Published,
+        values: [Some(40.0), Some(56.0), Some(32.0), Some(24.0), Some(890.0), Some(9.0), Some(1.0), Some(3.0), Some(314.0), Some(57.0), Some(114.0), Some(18.0), Some(103.0), Some(659.0), Some(101.0), Some(1.0), Some(46.0), Some(174.0), Some(174.0), Some(77.0), Some(142.0), None, Some(14.0), Some(34.0), Some(60.0), Some(31.0), Some(6.0), Some(2.0), Some(31.0), Some(11.0), Some(3.0), Some(2.0), Some(13.0), Some(0.0), Some(2.0), Some(168.0), Some(-9.0), Some(26.0), Some(37.0), Some(619.0), Some(38.0), Some(24.0), Some(576.0), Some(108.0), Some(5719.0), Some(29.0), Some(92.0), Some(40.0)],
+    },
+    NominalRow {
+        benchmark: "eclipse",
+        provenance: RowProvenance::Published,
+        values: [Some(84.0), Some(88.0), Some(32.0), Some(24.0), Some(1043.0), Some(0.0), Some(0.0), Some(29.0), Some(0.0), Some(0.0), Some(1.0), Some(0.0), Some(83.0), Some(997.0), Some(77.0), Some(2.0), Some(1.0), Some(135.0), Some(139.0), Some(13.0), Some(167.0), None, Some(16.0), Some(52.0), Some(349.0), Some(224.0), Some(8.0), Some(18.0), Some(224.0), Some(6.0), Some(23.0), Some(5.0), Some(5.0), Some(0.0), Some(3.0), Some(92.0), Some(36.0), Some(25.0), Some(97.0), Some(994.0), Some(98.0), Some(11.0), Some(283.0), Some(178.0), Some(3108.0), Some(29.0), Some(30.0), Some(30.0)],
+    },
+    NominalRow {
+        benchmark: "fop",
+        provenance: RowProvenance::Published,
+        values: [Some(58.0), Some(56.0), Some(32.0), Some(24.0), Some(3340.0), Some(34.0), Some(6.0), Some(1.0), Some(527.0), Some(95.0), Some(177.0), Some(26.0), Some(107.0), Some(841.0), Some(107.0), Some(23.0), Some(0.0), Some(13.0), None, Some(9.0), Some(17.0), None, Some(755.0), Some(75.0), Some(1083.0), Some(23.0), Some(1.0), Some(13.0), Some(23.0), Some(2.0), Some(37.0), Some(12.0), Some(9.0), Some(0.0), Some(8.0), Some(76.0), Some(35.0), Some(21.0), Some(134.0), Some(2653.0), Some(137.0), Some(14.0), Some(174.0), Some(181.0), Some(2138.0), Some(25.0), Some(19.0), Some(32.0)],
+    },
+    NominalRow {
+        benchmark: "graphchi",
+        provenance: RowProvenance::Published,
+        values: [Some(110.0), Some(160.0), Some(24.0), Some(16.0), Some(2737.0), Some(2204.0), Some(1.0), Some(12.0), Some(9217.0), Some(43.0), Some(8.0), Some(1.0), Some(113.0), Some(1262.0), Some(108.0), Some(2.0), Some(0.0), Some(175.0), Some(1183.0), Some(141.0), Some(179.0), None, Some(382.0), Some(38.0), Some(276.0), Some(323.0), Some(3.0), Some(14.0), Some(323.0), Some(1.0), Some(5.0), Some(10.0), Some(9.0), Some(1.0), Some(2.0), Some(112.0), Some(35.0), Some(19.0), Some(5.0), Some(704.0), Some(5.0), Some(3.0), Some(45.0), Some(234.0), Some(1746.0), Some(38.0), Some(192.0), Some(4.0)],
+    },
+    NominalRow {
+        benchmark: "h2",
+        provenance: RowProvenance::Published,
+        values: [Some(41.0), Some(64.0), Some(32.0), Some(24.0), Some(11858.0), Some(234.0), Some(28.0), Some(7.0), Some(3677.0), Some(601.0), Some(17.0), Some(2.0), Some(98.0), Some(552.0), Some(82.0), Some(4.0), Some(0.0), Some(681.0), Some(10201.0), Some(69.0), Some(903.0), Some(20641.0), Some(38.0), Some(30.0), Some(87.0), Some(55.0), Some(2.0), Some(5.0), Some(55.0), Some(0.0), Some(31.0), Some(40.0), Some(24.0), Some(1.0), Some(2.0), Some(127.0), Some(24.0), Some(40.0), Some(29.0), Some(920.0), Some(30.0), Some(16.0), Some(476.0), Some(135.0), Some(4315.0), Some(43.0), Some(140.0), Some(17.0)],
+    },
+    NominalRow {
+        benchmark: "h2o",
+        provenance: RowProvenance::Published,
+        values: [Some(142.0), Some(152.0), Some(24.0), Some(16.0), Some(5740.0), Some(231.0), Some(31.0), Some(6.0), Some(3002.0), Some(142.0), Some(87.0), Some(11.0), Some(112.0), Some(5118.0), Some(111.0), Some(12.0), Some(17.0), Some(72.0), Some(2543.0), Some(29.0), Some(73.0), None, Some(249.0), Some(187.0), Some(207.0), Some(57.0), Some(3.0), Some(9.0), Some(57.0), Some(4.0), Some(11.0), Some(21.0), Some(4.0), Some(2.0), Some(4.0), Some(102.0), Some(32.0), Some(41.0), Some(29.0), Some(1126.0), Some(30.0), Some(23.0), Some(499.0), Some(89.0), Some(8506.0), Some(53.0), Some(102.0), Some(18.0)],
+    },
+    NominalRow {
+        benchmark: "jme",
+        provenance: RowProvenance::Published,
+        values: [Some(42.0), Some(56.0), Some(24.0), Some(24.0), Some(54.0), Some(0.0), Some(0.0), Some(4.0), Some(26.0), Some(10.0), Some(34.0), Some(4.0), Some(24.0), Some(31.0), Some(24.0), Some(0.0), Some(0.0), Some(29.0), Some(29.0), Some(29.0), Some(29.0), None, Some(0.0), Some(12.0), Some(72.0), Some(1.0), Some(7.0), Some(0.0), Some(1.0), Some(8.0), Some(0.0), Some(0.0), Some(3.0), Some(0.0), Some(1.0), Some(2.0), Some(1.0), Some(19.0), Some(89.0), Some(1226.0), Some(90.0), Some(11.0), Some(96.0), Some(204.0), Some(1558.0), Some(27.0), Some(1.0), Some(32.0)],
+    },
+    NominalRow {
+        benchmark: "jython",
+        provenance: RowProvenance::Published,
+        values: [Some(37.0), Some(48.0), Some(32.0), Some(16.0), Some(1462.0), Some(39.0), Some(13.0), Some(8.0), Some(256.0), Some(83.0), Some(149.0), Some(29.0), Some(104.0), Some(3457.0), Some(100.0), Some(7.0), Some(0.0), Some(25.0), Some(25.0), Some(25.0), Some(31.0), None, Some(2024.0), Some(139.0), Some(211.0), Some(277.0), Some(3.0), Some(20.0), Some(277.0), Some(1.0), Some(1.0), Some(0.0), Some(5.0), Some(1.0), Some(9.0), Some(102.0), Some(32.0), Some(17.0), Some(85.0), Some(1105.0), Some(86.0), Some(9.0), Some(78.0), Some(268.0), Some(1160.0), Some(20.0), Some(35.0), Some(21.0)],
+    },
+    NominalRow {
+        benchmark: "kafka",
+        provenance: RowProvenance::Published,
+        values: [Some(54.0), Some(56.0), Some(32.0), Some(16.0), Some(803.0), Some(1.0), Some(0.0), Some(1.0), Some(183.0), Some(55.0), Some(159.0), Some(28.0), Some(86.0), Some(221.0), Some(86.0), Some(0.0), Some(0.0), Some(201.0), Some(345.0), Some(157.0), Some(208.0), None, Some(0.0), Some(19.0), Some(255.0), Some(34.0), Some(6.0), Some(1.0), Some(34.0), Some(25.0), Some(0.0), Some(0.0), Some(3.0), Some(1.0), Some(3.0), Some(19.0), Some(13.0), Some(26.0), Some(30.0), Some(547.0), Some(31.0), Some(27.0), Some(230.0), Some(127.0), Some(6819.0), Some(30.0), Some(20.0), Some(43.0)],
+    },
+    NominalRow {
+        benchmark: "luindex",
+        provenance: RowProvenance::Published,
+        values: [Some(211.0), Some(88.0), Some(32.0), Some(24.0), Some(841.0), Some(33.0), Some(1.0), Some(3.0), Some(1179.0), Some(306.0), Some(54.0), Some(5.0), Some(93.0), Some(1459.0), Some(100.0), Some(1.0), Some(0.0), Some(29.0), Some(37.0), Some(13.0), Some(31.0), None, Some(56.0), Some(76.0), Some(201.0), Some(61.0), Some(3.0), Some(18.0), Some(61.0), Some(2.0), Some(38.0), Some(2.0), Some(3.0), Some(1.0), Some(2.0), Some(90.0), Some(25.0), Some(31.0), Some(109.0), Some(3280.0), Some(112.0), Some(6.0), Some(66.0), Some(263.0), Some(930.0), Some(36.0), Some(4.0), Some(12.0)],
+    },
+    NominalRow {
+        benchmark: "lusearch",
+        provenance: RowProvenance::Published,
+        values: [Some(75.0), Some(88.0), Some(24.0), Some(24.0), Some(23556.0), Some(252.0), Some(126.0), Some(5.0), Some(12289.0), Some(3863.0), Some(26.0), Some(3.0), Some(89.0), Some(22408.0), Some(84.0), Some(32.0), Some(0.0), Some(19.0), Some(109.0), Some(5.0), Some(21.0), None, Some(2159.0), Some(1211.0), Some(172.0), Some(202.0), Some(2.0), Some(11.0), Some(202.0), Some(7.0), Some(19.0), Some(9.0), Some(34.0), Some(3.0), Some(8.0), Some(87.0), Some(56.0), Some(20.0), Some(40.0), Some(596.0), Some(41.0), Some(12.0), Some(154.0), Some(149.0), Some(2830.0), Some(29.0), Some(198.0), Some(23.0)],
+    },
+    NominalRow {
+        benchmark: "pmd",
+        provenance: RowProvenance::Published,
+        values: [Some(32.0), Some(48.0), Some(24.0), Some(16.0), Some(6721.0), Some(82.0), Some(1.0), Some(4.0), Some(1719.0), Some(583.0), Some(95.0), Some(15.0), Some(133.0), Some(781.0), Some(144.0), Some(16.0), Some(5.0), Some(191.0), Some(3519.0), Some(7.0), Some(269.0), None, Some(467.0), Some(32.0), Some(179.0), Some(74.0), Some(1.0), Some(11.0), Some(74.0), Some(1.0), Some(31.0), Some(19.0), Some(10.0), Some(1.0), Some(7.0), Some(112.0), Some(47.0), Some(35.0), Some(38.0), Some(1295.0), Some(39.0), Some(16.0), Some(258.0), Some(109.0), Some(4478.0), Some(40.0), Some(155.0), Some(21.0)],
+    },
+    NominalRow {
+        benchmark: "spring",
+        provenance: RowProvenance::Published,
+        values: [Some(70.0), Some(200.0), Some(32.0), Some(24.0), Some(10849.0), Some(11.0), Some(2.0), Some(2.0), Some(395.0), Some(94.0), Some(170.0), Some(26.0), Some(94.0), Some(2770.0), Some(83.0), Some(12.0), Some(0.0), Some(55.0), Some(65.0), Some(43.0), Some(70.0), None, Some(397.0), Some(283.0), Some(162.0), Some(110.0), Some(2.0), Some(8.0), Some(110.0), Some(7.0), Some(6.0), Some(20.0), Some(36.0), Some(1.0), Some(2.0), Some(87.0), Some(30.0), Some(28.0), Some(60.0), Some(1475.0), Some(61.0), Some(13.0), Some(392.0), Some(122.0), Some(4264.0), Some(32.0), Some(100.0), Some(32.0)],
+    },
+    NominalRow {
+        benchmark: "sunflow",
+        provenance: RowProvenance::PartiallyEstimated,
+        values: [Some(40.0), Some(48.0), Some(48.0), Some(24.0), Some(10518.0), Some(2204.0), Some(2.0), Some(3.0), Some(32087.0), Some(3200.0), Some(20.0), Some(1.0), Some(113.0), Some(14139.0), Some(113.0), Some(20.0), Some(0.0), Some(29.0), Some(149.0), Some(5.0), Some(31.0), None, Some(6329.0), Some(711.0), Some(200.0), Some(150.0), Some(3.0), Some(16.0), Some(150.0), Some(1.0), Some(-2.0), Some(5.0), Some(87.0), Some(13.0), Some(6.0), Some(98.0), Some(19.0), Some(23.0), Some(21.0), Some(2380.0), Some(24.0), Some(8.0), Some(100.0), Some(180.0), Some(2000.0), Some(45.0), Some(250.0), Some(5.0)],
+    },
+    NominalRow {
+        benchmark: "tomcat",
+        provenance: RowProvenance::PartiallyEstimated,
+        values: [Some(48.0), Some(56.0), Some(32.0), Some(24.0), Some(2000.0), Some(5.0), Some(1.0), Some(2.0), Some(300.0), Some(60.0), Some(120.0), Some(20.0), Some(100.0), Some(800.0), Some(100.0), Some(2.0), Some(0.0), Some(19.0), None, Some(12.0), Some(24.0), None, Some(50.0), Some(90.0), Some(200.0), Some(60.0), Some(4.0), Some(2.0), Some(60.0), Some(19.0), Some(3.0), Some(2.0), Some(20.0), Some(1.0), Some(2.0), Some(14.0), Some(4.0), Some(25.0), Some(44.0), Some(584.0), Some(45.0), Some(15.0), Some(250.0), Some(120.0), Some(4000.0), Some(30.0), Some(60.0), Some(45.0)],
+    },
+    NominalRow {
+        benchmark: "tradebeans",
+        provenance: RowProvenance::PartiallyEstimated,
+        values: [Some(40.0), Some(56.0), Some(32.0), Some(24.0), Some(1500.0), Some(10.0), Some(1.0), Some(3.0), Some(400.0), Some(80.0), Some(100.0), Some(15.0), Some(100.0), Some(600.0), Some(100.0), Some(2.0), Some(26.0), Some(113.0), None, Some(60.0), Some(141.0), None, Some(100.0), Some(60.0), Some(250.0), Some(80.0), Some(1.0), Some(17.0), Some(80.0), Some(2.0), Some(8.0), Some(5.0), Some(12.0), Some(1.0), Some(6.0), Some(144.0), Some(42.0), Some(28.0), Some(38.0), Some(1187.0), Some(39.0), Some(12.0), Some(300.0), Some(130.0), Some(3500.0), Some(32.0), Some(80.0), Some(38.0)],
+    },
+    NominalRow {
+        benchmark: "tradesoap",
+        provenance: RowProvenance::PartiallyEstimated,
+        values: [Some(40.0), Some(56.0), Some(32.0), Some(24.0), Some(1200.0), Some(10.0), Some(1.0), Some(2.0), Some(350.0), Some(70.0), Some(110.0), Some(18.0), Some(100.0), Some(500.0), Some(100.0), Some(2.0), Some(6.0), Some(92.0), None, Some(50.0), Some(115.0), None, Some(100.0), Some(60.0), Some(260.0), Some(90.0), Some(1.0), Some(16.0), Some(90.0), Some(2.0), Some(8.0), Some(5.0), Some(12.0), Some(1.0), Some(5.0), Some(147.0), Some(34.0), Some(28.0), Some(73.0), Some(1087.0), Some(74.0), Some(12.0), Some(300.0), Some(125.0), Some(3500.0), Some(32.0), Some(80.0), Some(35.0)],
+    },
+    NominalRow {
+        benchmark: "xalan",
+        provenance: RowProvenance::PartiallyEstimated,
+        values: [Some(32.0), Some(48.0), Some(24.0), Some(16.0), Some(9000.0), Some(100.0), Some(5.0), Some(4.0), Some(2000.0), Some(500.0), Some(60.0), Some(8.0), Some(100.0), Some(5000.0), Some(100.0), Some(10.0), Some(7.0), Some(14.0), None, Some(7.0), Some(17.0), None, Some(800.0), Some(300.0), Some(180.0), Some(100.0), Some(1.0), Some(12.0), Some(100.0), Some(14.0), Some(25.0), Some(15.0), Some(45.0), Some(1.0), Some(1.0), Some(101.0), Some(13.0), Some(35.0), Some(39.0), Some(785.0), Some(39.0), Some(22.0), Some(450.0), Some(94.0), Some(6000.0), Some(45.0), Some(150.0), Some(36.0)],
+    },
+    NominalRow {
+        benchmark: "zxing",
+        provenance: RowProvenance::PartiallyEstimated,
+        values: [Some(60.0), Some(72.0), Some(32.0), Some(24.0), Some(2500.0), Some(50.0), Some(2.0), Some(5.0), Some(800.0), Some(150.0), Some(70.0), Some(10.0), Some(105.0), Some(700.0), Some(105.0), Some(3.0), Some(120.0), Some(102.0), None, Some(50.0), Some(127.0), None, Some(60.0), Some(40.0), Some(220.0), Some(70.0), Some(1.0), Some(-1.0), Some(70.0), Some(5.0), Some(10.0), Some(8.0), Some(25.0), Some(1.0), Some(7.0), Some(77.0), Some(42.0), Some(25.0), Some(52.0), Some(374.0), Some(52.0), Some(14.0), Some(200.0), Some(140.0), Some(3000.0), Some(33.0), Some(90.0), Some(18.0)],
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_row_per_benchmark_in_suite_order() {
+        let names: Vec<&str> = DATASET.iter().map(|r| r.benchmark).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        assert_eq!(names.len(), 22);
+    }
+
+    #[test]
+    fn lookup_by_code_matches_position() {
+        let avrora = row("avrora").unwrap();
+        assert_eq!(avrora.value("ARA"), Some(56.0));
+        assert_eq!(avrora.value("PKP"), Some(56.0));
+        assert_eq!(avrora.value("GMV"), None, "only h2 has a vlarge heap");
+        assert_eq!(row("h2").unwrap().value("GMV"), Some(20641.0));
+        assert!(row("nope").is_none());
+    }
+
+    #[test]
+    fn table2_values_match_published_numbers() {
+        // Spot-check Table 2 cells across published and estimated rows.
+        assert_eq!(row("cassandra").unwrap().value("GLK"), Some(46.0));
+        assert_eq!(row("zxing").unwrap().value("GLK"), Some(120.0));
+        assert_eq!(row("avrora").unwrap().value("UAI"), Some(-19.0));
+        assert_eq!(row("biojava").unwrap().value("UBR"), Some(3487.0));
+        assert_eq!(row("tomcat").unwrap().value("USF"), Some(45.0));
+        assert_eq!(row("tradesoap").unwrap().value("UAA"), Some(147.0));
+        assert_eq!(row("xalan").unwrap().value("PKP"), Some(14.0));
+    }
+
+    #[test]
+    fn complete_metrics_cover_most_of_the_table() {
+        let complete = complete_metrics();
+        assert!(complete.len() >= 33, "at least the paper's 33: {}", complete.len());
+        assert!(!complete.contains(&"GML"));
+        assert!(!complete.contains(&"GMV"));
+        assert!(complete.contains(&"ARA"));
+    }
+
+    #[test]
+    fn complete_matrix_is_rectangular() {
+        let (benchmarks, metrics, matrix) = complete_matrix();
+        assert_eq!(benchmarks.len(), 22);
+        assert_eq!(matrix.len(), 22);
+        assert!(matrix.iter().all(|r| r.len() == metrics.len()));
+    }
+
+    #[test]
+    fn consistency_with_workload_profiles() {
+        // The dataset's GMD/GMU/PET/ARA agree with the calibrated profiles.
+        for p in chopin_workloads::suite::all() {
+            let r = row(p.name).unwrap();
+            assert_eq!(r.value("GMD"), Some(p.min_heap_default_mb), "{}", p.name);
+            assert_eq!(r.value("GMU"), Some(p.min_heap_uncompressed_mb), "{}", p.name);
+            assert_eq!(r.value("PET"), Some(p.exec_time_s), "{}", p.name);
+            assert_eq!(r.value("ARA"), Some(p.alloc_rate_mb_s), "{}", p.name);
+        }
+    }
+}

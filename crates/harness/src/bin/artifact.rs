@@ -1,0 +1,26 @@
+//! The artifact-appendix workflow (appendix A): run one of the artifact's
+//! experiment presets.
+//!
+//! ```text
+//! artifact kick-the-tires    # A.5 basic test
+//! artifact lbo               # A.7, reproduces Figures 1 and 5
+//! artifact latency           # A.7, reproduces Figures 3 and 6
+//! artifact validate          # scorecard: PASS/FAIL per headline claim
+//! ```
+
+use chopin_harness::presets::Preset;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_default();
+    let Some(preset) = Preset::parse(&arg) else {
+        eprintln!("usage: artifact <kick-the-tires|lbo|latency|validate>");
+        std::process::exit(2);
+    };
+    match preset.run() {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

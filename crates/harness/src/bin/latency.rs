@@ -1,0 +1,86 @@
+//! Regenerate the latency figures: Figure 3 (cassandra), Figure 6 (h2) and
+//! the appendix latency figures for the nine latency-sensitive workloads.
+//!
+//! ```text
+//! latency -b cassandra            # Figure 3 panels
+//! latency -b h2 --heaps 2,6      # Figure 6 panels
+//! latency -b all                  # every latency-sensitive workload
+//! ```
+
+use chopin_core::latency::SmoothingWindow;
+use chopin_core::Suite;
+use chopin_harness::cli::Args;
+use chopin_harness::output::ResultsDir;
+use chopin_harness::LatencyExperiment;
+use chopin_runtime::time::SimDuration;
+
+fn main() {
+    let args = Args::from_env();
+    let mut benchmarks = args.list("b");
+    if benchmarks.is_empty() {
+        benchmarks = vec!["cassandra".to_string()];
+    }
+    if benchmarks == ["all"] {
+        benchmarks = Suite::chopin()
+            .latency_sensitive()
+            .map(|b| b.name().to_string())
+            .collect();
+    }
+    let heaps: Vec<f64> = {
+        let list = args.list("heaps");
+        if list.is_empty() {
+            vec![2.0, 6.0]
+        } else {
+            list.iter().filter_map(|s| s.parse().ok()).collect()
+        }
+    };
+
+    for bench in &benchmarks {
+        eprintln!("measuring latency for {bench} at heaps {heaps:?}");
+        let experiment = match LatencyExperiment::run(bench, &heaps) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        };
+        for &factor in &heaps {
+            for window in [
+                SmoothingWindow::None,
+                SmoothingWindow::Duration(SimDuration::from_millis(100)),
+                SmoothingWindow::Full,
+            ] {
+                println!("{}", experiment.render_panel(factor, window));
+            }
+        }
+        println!("{}", experiment.render_report());
+
+        // §4.4: "as well as optionally saving the complete data to file
+        // for offline analysis".
+        if let Some(dir) = args.value("save-events") {
+            match ResultsDir::create(dir) {
+                Ok(out) => {
+                    for (collector, factor, events) in experiment.raw_events() {
+                        let mut csv = String::from("start_ns,end_ns,latency_ns\n");
+                        for e in events {
+                            csv.push_str(&format!(
+                                "{},{},{}\n",
+                                e.start.as_nanos(),
+                                e.end.as_nanos(),
+                                e.latency().as_nanos()
+                            ));
+                        }
+                        let name = format!("{bench}_{collector}_{factor:.1}x.csv")
+                            .replace(['*', ' '], "")
+                            .replace("Shen.", "Shen");
+                        if let Err(e) = out.write(&name, &csv) {
+                            eprintln!("warning: {e}");
+                        }
+                    }
+                    eprintln!("saved per-event data under {}", out.path().display());
+                }
+                Err(e) => eprintln!("warning: {e}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Regenerate the LBO figures: Figure 1 (geomean over the suite), Figure 5
+//! (cassandra/lusearch) and the per-benchmark appendix LBO figures.
+//!
+//! ```text
+//! lbo                         # Figure 1: geomean over all 22 benchmarks
+//! lbo -b cassandra,lusearch   # Figure 5
+//! lbo -b fop --invocations 5  # appendix figure for one benchmark
+//! lbo --quick                 # coarse grid for smoke runs
+//! ```
+
+use chopin_core::lbo::Clock;
+use chopin_core::sweep::SweepConfig;
+use chopin_harness::cli::Args;
+use chopin_harness::output::ResultsDir;
+use chopin_harness::LboExperiment;
+
+fn main() {
+    let args = Args::from_env();
+    let benchmarks = args.list("b");
+    let mut sweep = if args.has("quick") {
+        SweepConfig::quick()
+    } else {
+        SweepConfig::default()
+    };
+    sweep.invocations = args.get_or("invocations", sweep.invocations).unwrap_or(sweep.invocations);
+    sweep.iterations = args.get_or("iterations", sweep.iterations).unwrap_or(sweep.iterations);
+
+    eprintln!(
+        "running LBO sweep: {} benchmark(s), {} collectors, {} heap factors, {} invocation(s)",
+        if benchmarks.is_empty() { 22 } else { benchmarks.len() },
+        sweep.collectors.len(),
+        sweep.heap_factors.len(),
+        sweep.invocations
+    );
+
+    let experiment = match LboExperiment::run(&benchmarks, &sweep) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let out_dir = args.value("out").map(|d| match ResultsDir::create(d) {
+        Ok(dir) => dir,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    });
+
+    if benchmarks.is_empty() || benchmarks.len() > 2 {
+        for clock in [Clock::Wall, Clock::Task] {
+            match experiment.render_geomean(clock) {
+                Ok(report) => {
+                    println!("{report}");
+                    if let Some(dir) = &out_dir {
+                        if let Err(e) = dir.write(&format!("fig1_{clock}.txt"), &report) {
+                            eprintln!("warning: {e}");
+                        }
+                    }
+                }
+                Err(e) => eprintln!("geomean ({clock}) unavailable: {e}"),
+            }
+        }
+    }
+    for i in 0..experiment.sweeps.len() {
+        let report = experiment.render_benchmark(i);
+        println!("{report}");
+        if let Some(dir) = &out_dir {
+            let name = format!("lbo_{}.txt", experiment.sweeps[i].benchmark);
+            if let Err(e) = dir.write(&name, &report) {
+                eprintln!("warning: {e}");
+            }
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerate Figure 4: the principal components analysis of the 22
+//! workloads over the complete nominal statistics.
+
+fn main() {
+    match chopin_harness::pca_figure() {
+        Ok(fig) => println!("{fig}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! The running-ng analog: run a sweep for selected benchmarks and emit
+//! machine-readable CSV of every sample — the raw material for all LBO
+//! analyses.
+//!
+//! ```text
+//! runbms -b fop --invocations 3
+//! runbms -b all --quick > results.csv
+//! ```
+
+use chopin_core::sweep::SweepConfig;
+use chopin_core::Suite;
+use chopin_harness::cli::Args;
+
+fn main() {
+    let args = Args::from_env();
+    let mut benchmarks = args.list("b");
+    if benchmarks.is_empty() || benchmarks == ["all"] {
+        benchmarks = Suite::chopin().names().iter().map(|s| s.to_string()).collect();
+    }
+    let mut sweep = if args.has("quick") {
+        SweepConfig::quick()
+    } else {
+        SweepConfig::default()
+    };
+    sweep.invocations = args.get_or("invocations", sweep.invocations).unwrap_or(sweep.invocations);
+    sweep.iterations = args.get_or("iterations", sweep.iterations).unwrap_or(sweep.iterations);
+
+    println!("benchmark,collector,heap_factor,wall_s,task_s,wall_distillable_s,task_distillable_s");
+    for bench in &benchmarks {
+        eprintln!("runbms: {bench}");
+        match chopin_harness::sweep_benchmark(bench, &sweep) {
+            Ok(result) => {
+                for s in &result.samples {
+                    println!(
+                        "{},{},{},{},{},{},{}",
+                        bench, s.collector, s.heap_factor, s.wall_s, s.task_s,
+                        s.wall_distillable_s, s.task_distillable_s
+                    );
+                }
+                for f in &result.failures {
+                    eprintln!("  skipped {} @ {:.2}x: {}", f.collector, f.heap_factor, f.reason);
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

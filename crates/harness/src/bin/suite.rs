@@ -1,0 +1,83 @@
+//! Print an overview of the DaCapo Chopin suite: every workload with its
+//! headline statistics and (with `-b`) the appendix highlights.
+//!
+//! ```text
+//! suite                 # the overview table
+//! suite -b lusearch     # one workload's profile and highlights
+//! ```
+
+use chopin_core::Suite;
+use chopin_harness::cli::Args;
+use chopin_harness::plot::render_table;
+use chopin_workloads::suite as workloads;
+
+fn main() {
+    let args = Args::from_env();
+    let selected = args.list("b");
+    if !selected.is_empty() {
+        for name in &selected {
+            let Some(profile) = workloads::by_name(name) else {
+                eprintln!("error: unknown benchmark `{name}`");
+                std::process::exit(1);
+            };
+            println!("{name}: {}\n", profile.description);
+            println!(
+                "  min heap: {} MB (small {} MB{}{})",
+                profile.min_heap_default_mb,
+                profile.min_heap_small_mb,
+                profile
+                    .min_heap_large_mb
+                    .map(|l| format!(", large {l} MB"))
+                    .unwrap_or_default(),
+                profile
+                    .min_heap_vlarge_mb
+                    .map(|v| format!(", vlarge {v} MB"))
+                    .unwrap_or_default(),
+            );
+            println!(
+                "  threads {}  alloc {} MB/s  turnover {}x  exec {}s",
+                profile.threads,
+                profile.alloc_rate_mb_s,
+                profile.turnover,
+                profile.exec_time_s
+            );
+            if let Some(highlights) = workloads::highlights(name) {
+                for h in highlights {
+                    println!("  - {h}");
+                }
+            }
+            println!();
+        }
+        return;
+    }
+
+    let suite = Suite::chopin();
+    let rows: Vec<Vec<String>> = suite
+        .iter()
+        .map(|b| {
+            let p = b.profile();
+            vec![
+                p.name.to_string(),
+                if p.new_in_chopin { "new" } else { "" }.to_string(),
+                if p.is_latency_sensitive() { "latency" } else { "batch" }.to_string(),
+                format!("{}", p.min_heap_default_mb),
+                format!("{}", p.threads),
+                format!("{}", p.alloc_rate_mb_s),
+                format!("{}", p.turnover),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["benchmark", "", "kind", "GMD (MB)", "threads", "ARA (MB/s)", "GTO"],
+            &rows
+        )
+    );
+    println!(
+        "{} workloads, {} new in Chopin, {} latency-sensitive",
+        suite.len(),
+        suite.iter().filter(|b| b.profile().new_in_chopin).count(),
+        suite.latency_sensitive().count()
+    );
+}

@@ -1,0 +1,35 @@
+//! Experiment harness for the chopin reproduction — the analog of the
+//! paper artifact's `running-ng` workflow (appendix A).
+//!
+//! The harness turns the core methodology layer into runnable experiments:
+//!
+//! * [`experiments`] — one entry point per paper figure/table: the LBO
+//!   sweeps of Figures 1 and 5, the latency panels of Figures 3 and 6, the
+//!   Figure 4 PCA, Tables 1–2, the appendix nominal-statistics tables and
+//!   post-GC heap traces.
+//! * [`runner`] — parallel sweep execution across benchmarks.
+//! * [`plot`] — terminal charts, tables and CSV emission.
+//! * [`cli`] — the tiny flag parser the binaries share.
+//! * [`presets`] — the artifact appendix's experiment presets
+//!   (kick-the-tires / lbo / latency).
+//! * [`output`] — the results folder the artifact workflow writes into.
+//! * [`validate`] — the reproduction scorecard: re-verify the paper's
+//!   headline claims with fresh measurements (`artifact validate`).
+//!
+//! Binaries (see `src/bin`): `lbo`, `latency`, `pca`, `nominal`,
+//! `heaptrace`, `runbms`.
+
+pub mod cli;
+pub mod experiments;
+pub mod output;
+pub mod plot;
+pub mod presets;
+pub mod validate;
+pub mod runner;
+
+pub use experiments::{
+    heap_trace, nominal_table, pca_figure, sweep_benchmark, table1, table2, ExperimentError,
+    LatencyExperiment, LboExperiment,
+};
+pub use presets::Preset;
+pub use runner::run_suite_sweeps;

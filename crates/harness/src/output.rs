@@ -1,0 +1,153 @@
+//! Results persistence: the `running-ng` workflow writes every experiment
+//! into a results folder ("provide a folder to store results and the path
+//! to the experiment definition file", appendix A.6); this module is that
+//! folder.
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Error raised when persisting results.
+#[derive(Debug)]
+pub struct OutputError {
+    path: PathBuf,
+    source: std::io::Error,
+}
+
+impl fmt::Display for OutputError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot write {}: {}", self.path.display(), self.source)
+    }
+}
+
+impl std::error::Error for OutputError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// A directory collecting one experiment's outputs.
+///
+/// # Examples
+///
+/// ```
+/// use chopin_harness::output::ResultsDir;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tmp = std::env::temp_dir().join("chopin-results-doctest");
+/// let dir = ResultsDir::create(&tmp)?;
+/// let path = dir.write("fig1.csv", "series,x,y\n")?;
+/// assert!(path.exists());
+/// # std::fs::remove_dir_all(&tmp).ok();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResultsDir {
+    root: PathBuf,
+}
+
+impl ResultsDir {
+    /// Create (or reuse) a results directory at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutputError`] when the directory cannot be created.
+    pub fn create(root: impl AsRef<Path>) -> Result<ResultsDir, OutputError> {
+        let root = root.as_ref().to_path_buf();
+        fs::create_dir_all(&root).map_err(|source| OutputError {
+            path: root.clone(),
+            source,
+        })?;
+        Ok(ResultsDir { root })
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.root
+    }
+
+    /// Write `contents` to `name` inside the directory, returning the full
+    /// path. File names may contain subdirectories (created on demand).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutputError`] on any I/O failure.
+    pub fn write(&self, name: &str, contents: &str) -> Result<PathBuf, OutputError> {
+        let path = self.root.join(name);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent).map_err(|source| OutputError {
+                path: parent.to_path_buf(),
+                source,
+            })?;
+        }
+        let mut file = fs::File::create(&path).map_err(|source| OutputError {
+            path: path.clone(),
+            source,
+        })?;
+        file.write_all(contents.as_bytes())
+            .map_err(|source| OutputError {
+                path: path.clone(),
+                source,
+            })?;
+        Ok(path)
+    }
+
+    /// Append a line to a log file inside the directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutputError`] on any I/O failure.
+    pub fn append_line(&self, name: &str, line: &str) -> Result<(), OutputError> {
+        let path = self.root.join(name);
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|source| OutputError {
+                path: path.clone(),
+                source,
+            })?;
+        writeln!(file, "{line}").map_err(|source| OutputError { path, source })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("chopin-test-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn creates_nested_files() {
+        let root = tmp("nested");
+        let dir = ResultsDir::create(&root).unwrap();
+        let p = dir.write("lbo/fop.csv", "a,b\n1,2\n").unwrap();
+        assert!(p.exists());
+        assert_eq!(fs::read_to_string(p).unwrap(), "a,b\n1,2\n");
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn append_accumulates_lines() {
+        let root = tmp("append");
+        let dir = ResultsDir::create(&root).unwrap();
+        dir.append_line("run.log", "one").unwrap();
+        dir.append_line("run.log", "two").unwrap();
+        let text = fs::read_to_string(root.join("run.log")).unwrap();
+        assert_eq!(text, "one\ntwo\n");
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn reusing_an_existing_directory_is_fine() {
+        let root = tmp("reuse");
+        ResultsDir::create(&root).unwrap();
+        let dir = ResultsDir::create(&root).unwrap();
+        assert_eq!(dir.path(), root.as_path());
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -1,0 +1,326 @@
+//! Text plotting and CSV emission for the figure-regeneration binaries.
+//!
+//! The artifact's `running-ng` harness writes results that are plotted
+//! offline; this reproduction ships a small renderer so every figure can be
+//! inspected straight from the terminal, plus CSV output for external
+//! plotting.
+
+use std::fmt::Write as _;
+
+/// One named series of (x, y) points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label (e.g. a collector name).
+    pub label: String,
+    /// Points in ascending-x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Create a series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Series {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// Options controlling chart rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChartOptions {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Plot y on a log10 scale (the latency figures do).
+    pub log_y: bool,
+    /// Character width of the plot area.
+    pub width: usize,
+    /// Character height of the plot area.
+    pub height: usize,
+    /// Clip y at this value (Figure 1 and 5 clip at 2.0).
+    pub y_max: Option<f64>,
+}
+
+impl Default for ChartOptions {
+    fn default() -> Self {
+        ChartOptions {
+            title: String::new(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            log_y: false,
+            width: 72,
+            height: 20,
+            y_max: None,
+        }
+    }
+}
+
+/// Glyphs assigned to series, in order.
+const GLYPHS: [char; 8] = ['*', '+', 'o', 'x', '#', '@', '%', '&'];
+
+/// Render series as an ASCII chart.
+///
+/// Returns a multi-line string; empty series produce an "(no data)" chart.
+///
+/// # Examples
+///
+/// ```
+/// use chopin_harness::plot::{render_chart, ChartOptions, Series};
+///
+/// let s = Series::new("demo", vec![(1.0, 1.0), (2.0, 2.0), (3.0, 1.5)]);
+/// let chart = render_chart(&[s], &ChartOptions::default());
+/// assert!(chart.contains("demo"));
+/// assert!(chart.contains('*'));
+/// ```
+pub fn render_chart(series: &[Series], opts: &ChartOptions) -> String {
+    let mut out = String::new();
+    if !opts.title.is_empty() {
+        let _ = writeln!(out, "== {} ==", opts.title);
+    }
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    if pts.is_empty() {
+        let _ = writeln!(out, "(no data)");
+        return out;
+    }
+
+    let y_of = |y: f64| -> f64 {
+        let y = match opts.y_max {
+            Some(cap) => y.min(cap),
+            None => y,
+        };
+        if opts.log_y {
+            y.max(1e-9).log10()
+        } else {
+            y
+        }
+    };
+
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &pts {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        let ty = y_of(y);
+        y_min = y_min.min(ty);
+        y_max = y_max.max(ty);
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+
+    let w = opts.width.max(8);
+    let h = opts.height.max(4);
+    let mut grid = vec![vec![' '; w]; h];
+
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        // Connect consecutive points with interpolated samples so curves
+        // read as lines.
+        for pair in s.points.windows(2) {
+            let (x0, y0) = pair[0];
+            let (x1, y1) = pair[1];
+            let steps = w * 2;
+            for k in 0..=steps {
+                let t = k as f64 / steps as f64;
+                let x = x0 + (x1 - x0) * t;
+                let y = y0 + (y1 - y0) * t;
+                mark(&mut grid, glyph, x, y_of(y), x_min, x_max, y_min, y_max);
+            }
+        }
+        if s.points.len() == 1 {
+            let (x, y) = s.points[0];
+            mark(&mut grid, glyph, x, y_of(y), x_min, x_max, y_min, y_max);
+        }
+    }
+
+    let unscale = |ty: f64| -> f64 {
+        if opts.log_y {
+            10f64.powf(ty)
+        } else {
+            ty
+        }
+    };
+    for (row_idx, row) in grid.iter().enumerate() {
+        let ty = y_max - (y_max - y_min) * row_idx as f64 / (h - 1) as f64;
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "{:>10.3} |{}", unscale(ty), line);
+    }
+    let _ = writeln!(out, "{:>10} +{}", "", "-".repeat(w));
+    let _ = writeln!(
+        out,
+        "{:>10} {:<w$}",
+        "",
+        format!("{:<.3}{:>pad$.3}", x_min, x_max, pad = w.saturating_sub(6)),
+        w = w
+    );
+    let _ = writeln!(out, "x: {}   y: {}", opts.x_label, opts.y_label);
+    for (si, s) in series.iter().enumerate() {
+        let _ = writeln!(out, "  {}  {}", GLYPHS[si % GLYPHS.len()], s.label);
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn mark(
+    grid: &mut [Vec<char>],
+    glyph: char,
+    x: f64,
+    ty: f64,
+    x_min: f64,
+    x_max: f64,
+    y_min: f64,
+    y_max: f64,
+) {
+    let h = grid.len();
+    let w = grid[0].len();
+    if !(x.is_finite() && ty.is_finite()) {
+        return;
+    }
+    let cx = ((x - x_min) / (x_max - x_min) * (w - 1) as f64).round();
+    let cy = ((y_max - ty) / (y_max - y_min) * (h - 1) as f64).round();
+    if cx < 0.0 || cy < 0.0 {
+        return;
+    }
+    let (cx, cy) = (cx as usize, cy as usize);
+    if cy < h && cx < w {
+        grid[cy][cx] = glyph;
+    }
+}
+
+/// Format series as CSV: `label,x,y` per row, header included.
+///
+/// # Examples
+///
+/// ```
+/// use chopin_harness::plot::{to_csv, Series};
+///
+/// let csv = to_csv(&[Series::new("a", vec![(1.0, 2.0)])]);
+/// assert_eq!(csv, "series,x,y\na,1,2\n");
+/// ```
+pub fn to_csv(series: &[Series]) -> String {
+    let mut out = String::from("series,x,y\n");
+    for s in series {
+        for (x, y) in &s.points {
+            let _ = writeln!(out, "{},{},{}", s.label, trim_float(*x), trim_float(*y));
+        }
+    }
+    out
+}
+
+/// Render a table with headers and rows, column-aligned.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |cells: &[String], widths: &[usize], out: &mut String| {
+        let parts: Vec<String> = cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        let _ = writeln!(out, "{}", parts.join("  "));
+    };
+    line(
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &widths,
+        &mut out,
+    );
+    let _ = writeln!(out, "{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    for row in rows {
+        line(row, &widths, &mut out);
+    }
+    out
+}
+
+fn trim_float(v: f64) -> String {
+    if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_series_render_no_data() {
+        let chart = render_chart(&[], &ChartOptions::default());
+        assert!(chart.contains("(no data)"));
+    }
+
+    #[test]
+    fn chart_contains_all_legends() {
+        let series = vec![
+            Series::new("one", vec![(0.0, 1.0), (1.0, 2.0)]),
+            Series::new("two", vec![(0.0, 2.0), (1.0, 1.0)]),
+        ];
+        let chart = render_chart(&series, &ChartOptions::default());
+        assert!(chart.contains("one") && chart.contains("two"));
+        assert!(chart.contains('*') && chart.contains('+'));
+    }
+
+    #[test]
+    fn log_scale_handles_wide_ranges() {
+        let series = vec![Series::new("lat", vec![(0.0, 0.1), (99.0, 100.0)])];
+        let opts = ChartOptions {
+            log_y: true,
+            ..Default::default()
+        };
+        let chart = render_chart(&series, &opts);
+        assert!(chart.contains("lat"));
+    }
+
+    #[test]
+    fn y_cap_clips_values() {
+        let series = vec![Series::new("s", vec![(0.0, 1.0), (1.0, 100.0)])];
+        let opts = ChartOptions {
+            y_max: Some(2.0),
+            ..Default::default()
+        };
+        let chart = render_chart(&series, &opts);
+        // The top axis label must be the cap, not 100.
+        assert!(chart.contains("2.000"), "{chart}");
+        assert!(!chart.contains("100.000"), "{chart}");
+    }
+
+    #[test]
+    fn csv_round_trips_values() {
+        let csv = to_csv(&[Series::new("g1", vec![(1.5, 1.09), (2.0, 1.04)])]);
+        assert!(csv.starts_with("series,x,y\n"));
+        assert!(csv.contains("g1,1.5,1.09"));
+        assert!(csv.contains("g1,2,1.04"));
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render_table(
+            &["bench", "value"],
+            &[
+                vec!["avrora".into(), "5".into()],
+                vec!["h2".into(), "681".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("bench"));
+        assert!(lines[2].starts_with("avrora"));
+    }
+}

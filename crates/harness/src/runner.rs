@@ -1,0 +1,108 @@
+//! Parallel sweep execution across benchmarks.
+//!
+//! The artifact appendix automates experiments with `running-ng`; the
+//! equivalent here fans benchmark sweeps out over worker threads. Each
+//! individual simulated run is single-threaded and deterministic, so
+//! cross-benchmark parallelism is free of measurement concerns (unlike on
+//! real hardware, where co-running benchmarks would perturb each other —
+//! one of the luxuries of simulation).
+
+use chopin_core::sweep::{run_sweep, SweepConfig, SweepResult};
+use chopin_core::BenchmarkError;
+use chopin_workloads::WorkloadProfile;
+use crossbeam::thread;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Run sweeps for every profile, in parallel, preserving input order.
+///
+/// # Errors
+///
+/// Returns the first [`BenchmarkError`] raised by any sweep (individual
+/// OOM/thrash cells are recorded inside the sweep results, not errors).
+pub fn run_suite_sweeps(
+    profiles: &[WorkloadProfile],
+    config: &SweepConfig,
+) -> Result<Vec<SweepResult>, BenchmarkError> {
+    if profiles.is_empty() {
+        return Ok(Vec::new());
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(profiles.len());
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<Result<SweepResult, BenchmarkError>>>> =
+        Mutex::new((0..profiles.len()).map(|_| None).collect());
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= profiles.len() {
+                    break;
+                }
+                let outcome = run_sweep(&profiles[i], config);
+                results.lock()[i] = Some(outcome);
+            });
+        }
+    })
+    .expect("sweep workers do not panic");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|slot| slot.expect("every index visited"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chopin_runtime::collector::CollectorKind;
+    use chopin_workloads::{suite, SizeClass};
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        let out = run_suite_sweeps(&[], &SweepConfig::quick()).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_sweeps_preserve_order_and_content() {
+        let profiles = vec![
+            suite::by_name("fop").unwrap(),
+            suite::by_name("jython").unwrap(),
+        ];
+        let cfg = SweepConfig {
+            collectors: vec![CollectorKind::G1],
+            heap_factors: vec![2.0],
+            invocations: 1,
+            iterations: 1,
+            size: SizeClass::Default,
+        };
+        let out = run_suite_sweeps(&profiles, &cfg).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].benchmark, "fop");
+        assert_eq!(out[1].benchmark, "jython");
+        assert!(!out[0].samples.is_empty());
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        // Determinism across the parallel runner: same samples as a direct
+        // sequential sweep.
+        let profile = suite::by_name("fop").unwrap();
+        let cfg = SweepConfig {
+            collectors: vec![CollectorKind::Parallel],
+            heap_factors: vec![2.0, 4.0],
+            invocations: 2,
+            iterations: 1,
+            size: SizeClass::Default,
+        };
+        let parallel = run_suite_sweeps(std::slice::from_ref(&profile), &cfg).unwrap();
+        let sequential = run_sweep(&profile, &cfg).unwrap();
+        assert_eq!(parallel[0].samples, sequential.samples);
+    }
+}

@@ -1,0 +1,224 @@
+//! GC-log rendering: a human-readable, OpenJDK-unified-logging-style view
+//! of a run's collection telemetry.
+//!
+//! §6.3 resolves the Shenandoah/h2 puzzle partly "by reviewing
+//! Shenandoah's GC log" — the log is a first-class diagnostic artifact of
+//! a managed runtime, so the simulation provides one too. Lines follow the
+//! shape of OpenJDK's `-Xlog:gc` output:
+//!
+//! ```text
+//! [0.312s][info][gc] GC(3) Pause Young (Normal) 23.1M->8.4M 1.204ms
+//! [0.319s][info][gc] GC(4) Concurrent Cycle completed, heap 41.0M
+//! ```
+
+use crate::collector::CollectionKind;
+use crate::result::RunResult;
+use crate::telemetry::{HeapSample, PauseRecord};
+use std::fmt::Write as _;
+
+/// Render the run's GC log.
+///
+/// Pause records and post-collection heap samples are merged in time
+/// order. Runs that fast-forwarded through GC-thrash regimes note the
+/// batched pauses at the end (individual records above the cap are
+/// aggregated, see the engine docs).
+///
+/// # Examples
+///
+/// ```
+/// use chopin_runtime::collector::CollectorKind;
+/// use chopin_runtime::config::RunConfig;
+/// use chopin_runtime::engine::run;
+/// use chopin_runtime::gclog::render_gc_log;
+/// use chopin_runtime::spec::MutatorSpec;
+/// use chopin_runtime::time::SimDuration;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let spec = MutatorSpec::builder("demo")
+///     .total_work(SimDuration::from_millis(50))
+///     .total_allocation(256 << 20)
+///     .live_range(8 << 20, 16 << 20)
+///     .build()?;
+/// let result = run(&spec, &RunConfig::new(48 << 20, CollectorKind::G1))?;
+/// let log = render_gc_log(&result);
+/// assert!(log.contains("Pause Young"));
+/// assert!(log.lines().count() > 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn render_gc_log(result: &RunResult) -> String {
+    let telemetry = result.telemetry();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "[0.000s][info][gc] Using {} ({} hardware threads, {} heap)",
+        result.config().collector(),
+        result.config().machine().hardware_threads(),
+        format_bytes(result.config().heap_bytes() as f64),
+    );
+
+    // Merge pauses and heap samples by time.
+    enum Event<'a> {
+        Pause(&'a PauseRecord),
+        Heap(&'a HeapSample),
+    }
+    let mut events: Vec<(u64, Event)> = telemetry
+        .pauses
+        .iter()
+        .map(|p| (p.start.as_nanos(), Event::Pause(p)))
+        .chain(
+            telemetry
+                .heap_trace
+                .iter()
+                .map(|h| (h.time.as_nanos(), Event::Heap(h))),
+        )
+        .collect();
+    events.sort_by_key(|(t, _)| *t);
+
+    let mut gc_id = 0usize;
+    for (_, event) in events {
+        match event {
+            Event::Pause(p) => {
+                let _ = writeln!(
+                    out,
+                    "[{:.3}s][info][gc] GC({gc_id}) {} {:.3}ms (gc cpu {:.3}ms)",
+                    p.start.as_secs_f64(),
+                    pause_name(p.kind),
+                    p.duration.as_millis_f64(),
+                    p.gc_cpu_ns / 1e6,
+                );
+                gc_id += 1;
+            }
+            Event::Heap(h) => {
+                let _ = writeln!(
+                    out,
+                    "[{:.3}s][info][gc,heap] post-collection occupancy {}",
+                    h.time.as_secs_f64(),
+                    format_bytes(h.occupied_bytes),
+                );
+            }
+        }
+    }
+
+    if telemetry.batched_pause_count > 0 {
+        let _ = writeln!(
+            out,
+            "[{:.3}s][info][gc] ... plus {} batched pauses totalling {} (thrash fast-forward)",
+            result.wall_time().as_secs_f64(),
+            telemetry.batched_pause_count,
+            telemetry.batched_pause_wall,
+        );
+    }
+    if !telemetry.throttled_wall.is_zero() {
+        let _ = writeln!(
+            out,
+            "[{:.3}s][info][gc] allocation throttled for {} of wall time (pacing/stalls)",
+            result.wall_time().as_secs_f64(),
+            telemetry.throttled_wall,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "[{:.3}s][info][gc] {} collections, pause total {}, gc cpu {:.3}s, mutator cpu {:.3}s",
+        result.wall_time().as_secs_f64(),
+        telemetry.gc_count,
+        telemetry.total_pause_wall(),
+        telemetry.gc_cpu_ns() / 1e9,
+        telemetry.mutator_cpu_ns / 1e9,
+    );
+    out
+}
+
+fn pause_name(kind: CollectionKind) -> &'static str {
+    match kind {
+        CollectionKind::Young => "Pause Young (Normal)",
+        CollectionKind::Full => "Pause Full",
+        CollectionKind::Concurrent => "Pause Init/Final Mark",
+        CollectionKind::Degenerate => "Pause Degenerated GC",
+    }
+}
+
+fn format_bytes(bytes: f64) -> String {
+    if bytes >= (1u64 << 30) as f64 {
+        format!("{:.2}G", bytes / (1u64 << 30) as f64)
+    } else if bytes >= (1u64 << 20) as f64 {
+        format!("{:.1}M", bytes / (1u64 << 20) as f64)
+    } else {
+        format!("{:.0}K", bytes / (1u64 << 10) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::CollectorKind;
+    use crate::config::RunConfig;
+    use crate::engine::run;
+    use crate::spec::MutatorSpec;
+    use crate::time::SimDuration;
+
+    fn result_for(collector: CollectorKind) -> RunResult {
+        let spec = MutatorSpec::builder("log-test")
+            .threads(8)
+            .parallel_efficiency(0.5)
+            .total_work(SimDuration::from_millis(100))
+            .total_allocation(512 << 20)
+            .live_range(8 << 20, 16 << 20)
+            .build()
+            .unwrap();
+        run(&spec, &RunConfig::new(48 << 20, collector).with_noise(0.0)).unwrap()
+    }
+
+    #[test]
+    fn g1_log_contains_young_pauses_and_heap_lines() {
+        let log = render_gc_log(&result_for(CollectorKind::G1));
+        assert!(log.contains("Using G1"), "{log}");
+        assert!(log.contains("Pause Young (Normal)"), "{log}");
+        assert!(log.contains("post-collection occupancy"), "{log}");
+        assert!(log.contains("collections, pause total"), "{log}");
+    }
+
+    #[test]
+    fn serial_log_contains_full_pauses() {
+        // Enough churn to cross the periodic full-GC schedule.
+        let spec = MutatorSpec::builder("log-test-full")
+            .threads(8)
+            .parallel_efficiency(0.5)
+            .total_work(SimDuration::from_millis(400))
+            .total_allocation(4 << 30)
+            .live_range(8 << 20, 16 << 20)
+            .build()
+            .unwrap();
+        let result = run(
+            &spec,
+            &RunConfig::new(48 << 20, CollectorKind::Serial).with_noise(0.0),
+        )
+        .unwrap();
+        let log = render_gc_log(&result);
+        assert!(log.contains("Pause Full"), "{log}");
+    }
+
+    #[test]
+    fn concurrent_log_marks_init_final_pauses() {
+        let log = render_gc_log(&result_for(CollectorKind::Shenandoah));
+        assert!(log.contains("Pause Init/Final Mark"), "{log}");
+    }
+
+    #[test]
+    fn log_lines_are_time_ordered() {
+        let log = render_gc_log(&result_for(CollectorKind::G1));
+        let times: Vec<f64> = log
+            .lines()
+            .filter_map(|l| l.strip_prefix('[')?.split('s').next()?.parse().ok())
+            .collect();
+        assert!(times.len() > 3);
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(format_bytes(512.0 * 1024.0), "512K");
+        assert_eq!(format_bytes(1.5 * (1u64 << 20) as f64), "1.5M");
+        assert_eq!(format_bytes(2.25 * (1u64 << 30) as f64), "2.25G");
+    }
+}

@@ -1,0 +1,201 @@
+//! Run telemetry: pause records, post-GC heap trace and clock accounting.
+//!
+//! This is the simulation's analog of the paper's measurement
+//! infrastructure: JVMTI stop-the-world capture (used by the LBO
+//! methodology, §6.2), Linux `perf` `TASK_CLOCK` (total CPU time across all
+//! threads, Figure 1(b)), and the GC logs behind the appendix's post-GC
+//! heap-size graphs.
+
+use crate::collector::CollectionKind;
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One stop-the-world pause.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PauseRecord {
+    /// Wall time at which the pause began.
+    pub start: SimTime,
+    /// Wall-clock length of the pause.
+    pub duration: SimDuration,
+    /// CPU nanoseconds consumed by GC threads during the pause.
+    pub gc_cpu_ns: f64,
+    /// The kind of collection the pause belongs to.
+    pub kind: CollectionKind,
+}
+
+/// One sample of the post-collection heap size (the appendix's "heap size
+/// post each garbage collection" graphs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HeapSample {
+    /// Wall time of the collection's completion.
+    pub time: SimTime,
+    /// Occupied heap bytes immediately after the collection.
+    pub occupied_bytes: f64,
+}
+
+/// Accumulated telemetry for one run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Telemetry {
+    /// Every stop-the-world pause, in time order.
+    pub pauses: Vec<PauseRecord>,
+    /// Post-GC heap samples, in time order.
+    pub heap_trace: Vec<HeapSample>,
+    /// CPU nanoseconds burned by mutator threads (includes barrier taxes —
+    /// deliberately: those are the hard-to-attribute costs LBO exposes).
+    pub mutator_cpu_ns: f64,
+    /// CPU nanoseconds burned by GC threads during stop-the-world phases.
+    pub gc_stw_cpu_ns: f64,
+    /// CPU nanoseconds burned by GC threads running concurrently with the
+    /// application.
+    pub gc_concurrent_cpu_ns: f64,
+    /// Wall-clock time during which allocation was throttled or stalled
+    /// (Shenandoah pacing, ZGC allocation stalls).
+    pub throttled_wall: SimDuration,
+    /// Number of collections completed.
+    pub gc_count: u64,
+    /// Number of degenerate (fallback full STW) collections.
+    pub degenerate_count: u64,
+    /// Integral of heap occupancy over wall time, in byte-seconds — the
+    /// "area under the memory use curve" §4.2 suggests as a better net
+    /// footprint metric than the `-Xmx` bound ("the minimum heap size in
+    /// which a workload can run reflects the workload's peak memory usage,
+    /// not its average usage").
+    pub heap_byte_seconds: f64,
+    /// Aggregate wall time of pauses folded into batches when the engine
+    /// fast-forwards through GC-thrash regimes (individual records are only
+    /// kept below a cap; totals stay exact).
+    pub batched_pause_wall: SimDuration,
+    /// Number of pauses folded into [`Telemetry::batched_pause_wall`].
+    pub batched_pause_count: u64,
+}
+
+impl Telemetry {
+    /// A fresh, empty telemetry sink.
+    pub fn new() -> Self {
+        Telemetry::default()
+    }
+
+    /// Record a stop-the-world pause.
+    pub fn record_pause(&mut self, pause: PauseRecord) {
+        self.gc_stw_cpu_ns += pause.gc_cpu_ns;
+        if pause.kind == CollectionKind::Degenerate {
+            self.degenerate_count += 1;
+        }
+        self.pauses.push(pause);
+    }
+
+    /// Record the heap state after a collection completes.
+    pub fn record_heap_sample(&mut self, time: SimTime, occupied_bytes: f64) {
+        self.heap_trace.push(HeapSample {
+            time,
+            occupied_bytes,
+        });
+        self.gc_count += 1;
+    }
+
+    /// Record `count` identical pauses in aggregate form (batched
+    /// fast-forward through thrash regimes). CPU and wall totals stay
+    /// exact; only the individual records are elided.
+    pub fn record_batched_pauses(&mut self, count: u64, each: SimDuration, gc_cpu_each: f64) {
+        self.batched_pause_count += count;
+        self.batched_pause_wall += each * count;
+        self.gc_stw_cpu_ns += gc_cpu_each * count as f64;
+    }
+
+    /// Total wall-clock time spent in stop-the-world pauses — the quantity
+    /// JVMTI exposes and LBO subtracts from wall time. Includes batched
+    /// pauses.
+    pub fn total_pause_wall(&self) -> SimDuration {
+        self.pauses.iter().map(|p| p.duration).sum::<SimDuration>() + self.batched_pause_wall
+    }
+
+    /// Total CPU time across all threads — the simulation's `TASK_CLOCK`.
+    pub fn task_clock_ns(&self) -> f64 {
+        self.mutator_cpu_ns + self.gc_stw_cpu_ns + self.gc_concurrent_cpu_ns
+    }
+
+    /// Total GC CPU (STW + concurrent).
+    pub fn gc_cpu_ns(&self) -> f64 {
+        self.gc_stw_cpu_ns + self.gc_concurrent_cpu_ns
+    }
+
+    /// The longest single pause, if any pause occurred.
+    pub fn max_pause(&self) -> Option<SimDuration> {
+        self.pauses.iter().map(|p| p.duration).max()
+    }
+
+    /// Average heap occupancy over a run of `wall` seconds, in bytes —
+    /// [`Telemetry::heap_byte_seconds`] divided by the wall time.
+    pub fn average_occupancy_bytes(&self, wall: SimDuration) -> f64 {
+        let w = wall.as_secs_f64();
+        if w <= 0.0 {
+            0.0
+        } else {
+            self.heap_byte_seconds / w
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pause(ms: u64, kind: CollectionKind) -> PauseRecord {
+        PauseRecord {
+            start: SimTime::ZERO,
+            duration: SimDuration::from_millis(ms),
+            gc_cpu_ns: (ms * 1_000_000) as f64,
+            kind,
+        }
+    }
+
+    #[test]
+    fn pause_accounting_sums() {
+        let mut t = Telemetry::new();
+        t.record_pause(pause(2, CollectionKind::Young));
+        t.record_pause(pause(3, CollectionKind::Full));
+        assert_eq!(t.total_pause_wall(), SimDuration::from_millis(5));
+        assert_eq!(t.gc_stw_cpu_ns, 5e6);
+        assert_eq!(t.max_pause(), Some(SimDuration::from_millis(3)));
+        assert_eq!(t.degenerate_count, 0);
+    }
+
+    #[test]
+    fn degenerate_pauses_are_counted() {
+        let mut t = Telemetry::new();
+        t.record_pause(pause(10, CollectionKind::Degenerate));
+        assert_eq!(t.degenerate_count, 1);
+    }
+
+    #[test]
+    fn task_clock_sums_all_thread_time() {
+        let mut t = Telemetry::new();
+        t.mutator_cpu_ns = 100.0;
+        t.gc_stw_cpu_ns = 20.0;
+        t.gc_concurrent_cpu_ns = 30.0;
+        assert_eq!(t.task_clock_ns(), 150.0);
+        assert_eq!(t.gc_cpu_ns(), 50.0);
+    }
+
+    #[test]
+    fn heap_samples_increment_gc_count() {
+        let mut t = Telemetry::new();
+        t.record_heap_sample(SimTime::from_nanos(10), 1000.0);
+        t.record_heap_sample(SimTime::from_nanos(20), 800.0);
+        assert_eq!(t.gc_count, 2);
+        assert_eq!(t.heap_trace.len(), 2);
+    }
+
+    #[test]
+    fn empty_telemetry_has_no_max_pause() {
+        assert_eq!(Telemetry::new().max_pause(), None);
+    }
+
+    #[test]
+    fn average_occupancy_is_area_over_time() {
+        let mut t = Telemetry::new();
+        t.heap_byte_seconds = 100.0; // e.g. 50 bytes held for 2 seconds
+        assert_eq!(t.average_occupancy_bytes(SimDuration::from_secs(2)), 50.0);
+        assert_eq!(t.average_occupancy_bytes(SimDuration::ZERO), 0.0);
+    }
+}

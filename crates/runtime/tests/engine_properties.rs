@@ -1,0 +1,161 @@
+//! Property-based tests of the simulation engine's global invariants over
+//! randomly generated workloads, collectors and heap sizes.
+
+use chopin_runtime::collector::CollectorKind;
+use chopin_runtime::config::RunConfig;
+use chopin_runtime::engine::run;
+use chopin_runtime::result::RunResult;
+use chopin_runtime::spec::MutatorSpec;
+use chopin_runtime::time::SimDuration;
+use proptest::prelude::*;
+
+fn arb_collector() -> impl Strategy<Value = CollectorKind> {
+    prop_oneof![
+        Just(CollectorKind::Serial),
+        Just(CollectorKind::Parallel),
+        Just(CollectorKind::G1),
+        Just(CollectorKind::Shenandoah),
+        Just(CollectorKind::Zgc),
+    ]
+}
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    spec: MutatorSpec,
+    config: RunConfig,
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        1u32..24,                 // threads
+        0.0f64..1.0,              // parallel efficiency
+        10u64..200,               // work (ms)
+        4u64..256,                // allocation (MB)
+        2u64..24,                 // live peak (MB)
+        0.0f64..0.3,              // survival
+        arb_collector(),
+        2u64..8,                  // heap as multiple of live peak
+        0u64..64,                 // seed
+    )
+        .prop_map(
+            |(threads, pe, work_ms, alloc_mb, live_mb, survival, collector, heap_mult, seed)| {
+                let spec = MutatorSpec::builder("prop")
+                    .threads(threads)
+                    .parallel_efficiency(pe)
+                    .total_work(SimDuration::from_millis(work_ms))
+                    .total_allocation(alloc_mb << 20)
+                    .live_range((live_mb / 2).max(1) << 20, live_mb << 20)
+                    .survival_fraction(survival)
+                    .build()
+                    .expect("generated spec is valid");
+                // Generous enough that most scenarios complete even without
+                // compressed pointers.
+                let heap = (live_mb << 20) * heap_mult * 2;
+                let config = RunConfig::new(heap, collector)
+                    .with_seed(seed)
+                    .with_noise(0.0);
+                Scenario { spec, config }
+            },
+        )
+}
+
+fn successful(s: &Scenario) -> Option<RunResult> {
+    run(&s.spec, &s.config).ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prop_wall_time_dominates_pause_time(s in arb_scenario()) {
+        let Some(r) = successful(&s) else { return Ok(()); };
+        prop_assert!(r.wall_time() >= r.telemetry().total_pause_wall());
+        prop_assert!(r.wall_time().as_nanos() > 0);
+    }
+
+    #[test]
+    fn prop_task_clock_decomposes(s in arb_scenario()) {
+        let Some(r) = successful(&s) else { return Ok(()); };
+        let t = r.telemetry();
+        let total = t.mutator_cpu_ns + t.gc_stw_cpu_ns + t.gc_concurrent_cpu_ns;
+        prop_assert!((t.task_clock_ns() - total).abs() < 1.0);
+        prop_assert!(t.mutator_cpu_ns > 0.0);
+        prop_assert!(t.gc_stw_cpu_ns >= 0.0 && t.gc_concurrent_cpu_ns >= 0.0);
+    }
+
+    #[test]
+    fn prop_mutator_cpu_covers_useful_work(s in arb_scenario()) {
+        // The mutator must burn at least the spec's useful work (barrier
+        // taxes only ever add CPU).
+        let Some(r) = successful(&s) else { return Ok(()); };
+        let useful = s.spec.total_work().as_nanos() as f64;
+        prop_assert!(
+            r.telemetry().mutator_cpu_ns >= useful * 0.999,
+            "mutator cpu {} < useful work {}",
+            r.telemetry().mutator_cpu_ns,
+            useful
+        );
+    }
+
+    #[test]
+    fn prop_progress_trace_spans_the_run(s in arb_scenario()) {
+        let Some(r) = successful(&s) else { return Ok(()); };
+        prop_assert_eq!(
+            r.progress().end_time().expect("non-empty").as_nanos(),
+            r.wall_time().as_nanos()
+        );
+        // Total per-worker progress equals the per-thread share of work.
+        let expect = s.spec.total_work().as_nanos() as f64 / s.spec.threads() as f64;
+        let got = r.progress().total_worker_progress();
+        prop_assert!(
+            (got - expect).abs() <= expect * 0.01 + 100.0,
+            "progress {got} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn prop_heap_samples_respect_capacity(s in arb_scenario()) {
+        let Some(r) = successful(&s) else { return Ok(()); };
+        let cap = s.config.heap_bytes() as f64;
+        for sample in &r.telemetry().heap_trace {
+            prop_assert!(sample.occupied_bytes <= cap + 1.0);
+            prop_assert!(sample.occupied_bytes >= 0.0);
+        }
+    }
+
+    #[test]
+    fn prop_runs_are_deterministic(s in arb_scenario()) {
+        let a = run(&s.spec, &s.config);
+        let b = run(&s.spec, &s.config);
+        prop_assert_eq!(a.is_ok(), b.is_ok());
+        if let (Ok(a), Ok(b)) = (a, b) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn prop_halving_the_heap_never_reduces_gc_count(s in arb_scenario()) {
+        let Some(big) = successful(&s) else { return Ok(()); };
+        let mut small_cfg = s.config.clone().with_heap_bytes(s.config.heap_bytes() / 2);
+        small_cfg = small_cfg.with_noise(0.0);
+        let Ok(small) = run(&s.spec, &small_cfg) else { return Ok(()); };
+        prop_assert!(
+            small.telemetry().gc_count >= big.telemetry().gc_count,
+            "smaller heap collected less: {} vs {}",
+            small.telemetry().gc_count,
+            big.telemetry().gc_count
+        );
+    }
+
+    #[test]
+    fn prop_pause_records_are_ordered_and_positive(s in arb_scenario()) {
+        let Some(r) = successful(&s) else { return Ok(()); };
+        let pauses = &r.telemetry().pauses;
+        for w in pauses.windows(2) {
+            prop_assert!(w[0].start <= w[1].start);
+        }
+        for p in pauses {
+            prop_assert!(p.gc_cpu_ns >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! The 22 DaCapo Chopin workload profiles as synthetic drivers for the
+//! chopin simulated runtime.
+//!
+//! A real DaCapo benchmark is hundreds of thousands of lines of Java; what
+//! the paper's *evaluation* depends on is each workload's quantitative
+//! signature — allocation rate, live-set size and shape, turnover,
+//! parallelism, kernel share, request structure. This crate encodes those
+//! signatures, calibrated from the paper's published per-benchmark nominal
+//! statistics (appendix B), and converts them into
+//! [`chopin_runtime::spec::MutatorSpec`]s the simulation engine can run.
+//!
+//! # Examples
+//!
+//! ```
+//! use chopin_workloads::{suite, SizeClass};
+//!
+//! let profiles = suite::all();
+//! assert_eq!(profiles.len(), 22);
+//!
+//! let lusearch = suite::by_name("lusearch").expect("in the suite");
+//! let spec = lusearch
+//!     .to_spec(SizeClass::Default)
+//!     .expect("default size exists")
+//!     .expect("profile is valid");
+//! assert_eq!(spec.threads(), 32, "lusearch has 32 client threads");
+//! ```
+
+pub mod profile;
+pub mod suite;
+
+pub use profile::{Provenance, RequestSpec, SizeClass, WorkloadProfile};

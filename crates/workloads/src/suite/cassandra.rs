@@ -1,0 +1,87 @@
+//! The `cassandra` workload.
+//!
+//! Executes the Yahoo! Cloud Serving Benchmark (YCSB) over the Apache Cassandra NoSQL database management system.
+//! This profile is one of the eight workloads new in Chopin.
+
+use crate::profile::{Provenance, RequestSpec, WorkloadProfile};
+
+/// The published/calibrated profile for `cassandra`.
+pub fn profile() -> WorkloadProfile {
+    WorkloadProfile {
+        name: "cassandra",
+        description: "Executes the Yahoo! Cloud Serving Benchmark (YCSB) over the Apache Cassandra NoSQL database management system",
+        new_in_chopin: true,
+        min_heap_default_mb: 174.0,
+        min_heap_uncompressed_mb: 142.0,
+        min_heap_small_mb: 77.0,
+        min_heap_large_mb: Some(174.0),
+        min_heap_vlarge_mb: None,
+        exec_time_s: 6.0,
+        alloc_rate_mb_s: 890.0,
+        mean_object_size: 40,
+        parallel_efficiency_pct: 13.0,
+        kernel_pct: 11.0,
+        threads: 32,
+        turnover: 34.0,
+        leak_pct: 46.0,
+        warmup_iterations: 2,
+        invocation_noise_pct: 0.3,
+        freq_sensitivity_pct: 2.0,
+        memory_sensitivity_pct: 2.0,
+        llc_sensitivity_pct: 3.0,
+        forced_c2_pct: 60.0,
+        interpreter_pct: 31.0,
+        survival_fraction: 0.0841,
+        live_floor_fraction: 0.6,
+        build_fraction: 0.08,
+        requests: Some(RequestSpec {
+            count: 100000,
+            workers: 32,
+            dispersion: 0.8,
+        }),
+        provenance: Provenance::Published,
+    }
+}
+
+/// Notable characteristics of `cassandra` from the paper's appendix prose,
+/// for reports and documentation.
+pub fn highlights() -> &'static [&'static str] {
+    &[
+    "YCSB over the Apache Cassandra NoSQL database (~700 KLOC), reporting request latencies",
+    "one of the least GC-intensive workloads (GCP) but leaks memory across iterations (GLK 46%)",
+    "the highest DTLB miss rate in the suite (UDT) with very high data- and last-level-cache miss rates",
+    "its wall/task-clock divergence under concurrent collectors is the paper's Figure 5 case study",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_is_internally_consistent() {
+        profile().validate().unwrap();
+    }
+
+    #[test]
+    fn highlights_are_present() {
+        assert!(highlights().len() >= 3);
+        assert!(highlights().iter().all(|h| !h.is_empty()));
+    }
+
+    #[test]
+    fn published_values_are_transcribed_faithfully() {
+        let p = profile();
+        // leaks across iterations (GLK).
+        assert_eq!(p.leak_pct, 46.0);
+        // 32 YCSB client threads.
+        assert_eq!(p.threads, 32);
+        // PET.
+        assert_eq!(p.exec_time_s, 6.0);
+    }
+
+    #[test]
+    fn name_matches_module() {
+        assert_eq!(profile().name, "cassandra");
+    }
+}

@@ -1,0 +1,81 @@
+//! The `eclipse` workload.
+//!
+//! Executes the Eclipse IDE's performance tests; the tightest hot-code focus and strongest compiler sensitivity in the suite.
+//! This profile is refreshed from the previous DaCapo release.
+
+use crate::profile::{Provenance, WorkloadProfile};
+
+/// The published/calibrated profile for `eclipse`.
+pub fn profile() -> WorkloadProfile {
+    WorkloadProfile {
+        name: "eclipse",
+        description: "Executes the Eclipse IDE's performance tests; the tightest hot-code focus and strongest compiler sensitivity in the suite",
+        new_in_chopin: false,
+        min_heap_default_mb: 135.0,
+        min_heap_uncompressed_mb: 167.0,
+        min_heap_small_mb: 13.0,
+        min_heap_large_mb: Some(139.0),
+        min_heap_vlarge_mb: None,
+        exec_time_s: 8.0,
+        alloc_rate_mb_s: 1043.0,
+        mean_object_size: 84,
+        parallel_efficiency_pct: 5.0,
+        kernel_pct: 6.0,
+        threads: 4,
+        turnover: 52.0,
+        leak_pct: 1.0,
+        warmup_iterations: 3,
+        invocation_noise_pct: 0.3,
+        freq_sensitivity_pct: 18.0,
+        memory_sensitivity_pct: 5.0,
+        llc_sensitivity_pct: 23.0,
+        forced_c2_pct: 349.0,
+        interpreter_pct: 224.0,
+        survival_fraction: 0.0688,
+        live_floor_fraction: 0.55,
+        build_fraction: 0.08,
+        requests: None,
+        provenance: Provenance::Published,
+    }
+}
+
+/// Notable characteristics of `eclipse` from the paper's appendix prose,
+/// for reports and documentation.
+pub fn highlights() -> &'static [&'static str] {
+    &[
+    "runs the Eclipse IDE performance tests over a >6 MLOC codebase",
+    "the highest concentration of hot code (BEF rank 1)",
+    "among the most compiler-configuration-sensitive workloads (PCC, PCS)",
+    "suffers high bad speculation from branch mispredicts (UBP, UBS)",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_is_internally_consistent() {
+        profile().validate().unwrap();
+    }
+
+    #[test]
+    fn highlights_are_present() {
+        assert!(highlights().len() >= 3);
+        assert!(highlights().iter().all(|h| !h.is_empty()));
+    }
+
+    #[test]
+    fn published_values_are_transcribed_faithfully() {
+        let p = profile();
+        // the longest nominal execution time.
+        assert_eq!(p.exec_time_s, 8.0);
+        // GMD.
+        assert_eq!(p.min_heap_default_mb, 135.0);
+    }
+
+    #[test]
+    fn name_matches_module() {
+        assert_eq!(profile().name, "eclipse");
+    }
+}

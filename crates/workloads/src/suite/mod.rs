@@ -1,0 +1,195 @@
+//! The 22 DaCapo Chopin workloads, one module per benchmark.
+//!
+//! "The DaCapo Chopin suite replaces DaCapo Bach, adding eight new
+//! benchmarks and removing one." (§5) Each module carries the workload's
+//! description from the paper's appendix and its calibrated profile. Nine
+//! of the workloads are latency-sensitive and report per-event latency.
+
+pub mod avrora;
+pub mod batik;
+pub mod biojava;
+pub mod cassandra;
+pub mod eclipse;
+pub mod fop;
+pub mod graphchi;
+pub mod h2;
+pub mod h2o;
+pub mod jme;
+pub mod jython;
+pub mod kafka;
+pub mod luindex;
+pub mod lusearch;
+pub mod pmd;
+pub mod spring;
+pub mod sunflow;
+pub mod tomcat;
+pub mod tradebeans;
+pub mod tradesoap;
+pub mod xalan;
+pub mod zxing;
+
+use crate::profile::WorkloadProfile;
+
+/// The full suite, in alphabetical order (the order the paper's tables
+/// use).
+pub fn all() -> Vec<WorkloadProfile> {
+    vec![
+        avrora::profile(),
+        batik::profile(),
+        biojava::profile(),
+        cassandra::profile(),
+        eclipse::profile(),
+        fop::profile(),
+        graphchi::profile(),
+        h2::profile(),
+        h2o::profile(),
+        jme::profile(),
+        jython::profile(),
+        kafka::profile(),
+        luindex::profile(),
+        lusearch::profile(),
+        pmd::profile(),
+        spring::profile(),
+        sunflow::profile(),
+        tomcat::profile(),
+        tradebeans::profile(),
+        tradesoap::profile(),
+        xalan::profile(),
+        zxing::profile(),
+    ]
+}
+
+/// Look up one workload by name.
+pub fn by_name(name: &str) -> Option<WorkloadProfile> {
+    all().into_iter().find(|p| p.name == name)
+}
+
+/// Notable characteristics of a workload from the paper's appendix prose.
+pub fn highlights(name: &str) -> Option<&'static [&'static str]> {
+    Some(match name {
+        "avrora" => avrora::highlights(),
+        "batik" => batik::highlights(),
+        "biojava" => biojava::highlights(),
+        "cassandra" => cassandra::highlights(),
+        "eclipse" => eclipse::highlights(),
+        "fop" => fop::highlights(),
+        "graphchi" => graphchi::highlights(),
+        "h2" => h2::highlights(),
+        "h2o" => h2o::highlights(),
+        "jme" => jme::highlights(),
+        "jython" => jython::highlights(),
+        "kafka" => kafka::highlights(),
+        "luindex" => luindex::highlights(),
+        "lusearch" => lusearch::highlights(),
+        "pmd" => pmd::highlights(),
+        "spring" => spring::highlights(),
+        "sunflow" => sunflow::highlights(),
+        "tomcat" => tomcat::highlights(),
+        "tradebeans" => tradebeans::highlights(),
+        "tradesoap" => tradesoap::highlights(),
+        "xalan" => xalan::highlights(),
+        "zxing" => zxing::highlights(),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Provenance;
+
+    #[test]
+    fn suite_has_twenty_two_workloads() {
+        assert_eq!(all().len(), 22);
+    }
+
+    #[test]
+    fn eight_workloads_are_new_in_chopin() {
+        assert_eq!(all().iter().filter(|p| p.new_in_chopin).count(), 8);
+    }
+
+    #[test]
+    fn nine_workloads_are_latency_sensitive() {
+        // §3.2: "it introduces a novel integrated latency measure and nine
+        // latency-sensitive workloads".
+        assert_eq!(all().iter().filter(|p| p.is_latency_sensitive()).count(), 9);
+    }
+
+    #[test]
+    fn names_are_unique_and_sorted() {
+        let names: Vec<&str> = all().iter().map(|p| p.name).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn min_heaps_span_5mb_to_20gb() {
+        // §1: "with minimum heap sizes from 5 MB to 20 GB".
+        let min = all()
+            .iter()
+            .map(|p| p.min_heap_default_mb)
+            .fold(f64::INFINITY, f64::min);
+        let max = all()
+            .iter()
+            .filter_map(|p| p.min_heap_vlarge_mb)
+            .fold(0.0f64, f64::max);
+        assert_eq!(min, 5.0, "avrora's 5 MB minimum");
+        assert!(max > 20_000.0, "h2 vlarge exceeds 20 GB: {max}");
+    }
+
+    #[test]
+    fn by_name_finds_all_and_rejects_unknown() {
+        for p in all() {
+            assert_eq!(by_name(p.name).unwrap().name, p.name);
+        }
+        assert!(by_name("dacapo").is_none());
+    }
+
+    #[test]
+    fn every_workload_has_highlights() {
+        for p in all() {
+            let h = highlights(p.name).unwrap_or_else(|| panic!("{}", p.name));
+            assert!(h.len() >= 3, "{}", p.name);
+        }
+        assert!(highlights("specjbb").is_none());
+    }
+
+    #[test]
+    fn every_profile_validates() {
+        for p in all() {
+            p.validate().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn only_truncated_benchmarks_are_estimated() {
+        let estimated: Vec<&str> = all()
+            .iter()
+            .filter(|p| p.provenance == Provenance::Estimated)
+            .map(|p| p.name)
+            .collect();
+        assert_eq!(
+            estimated,
+            vec!["tomcat", "tradebeans", "tradesoap", "xalan", "zxing"]
+        );
+    }
+
+    #[test]
+    fn h2_has_the_largest_heaps() {
+        let h2 = by_name("h2").unwrap();
+        for p in all() {
+            assert!(p.min_heap_default_mb <= h2.min_heap_default_mb);
+        }
+        assert_eq!(h2.min_heap_vlarge_mb, Some(20641.0));
+    }
+
+    #[test]
+    fn lusearch_has_the_highest_allocation_rate() {
+        let lu = by_name("lusearch").unwrap();
+        for p in all() {
+            assert!(p.alloc_rate_mb_s <= lu.alloc_rate_mb_s);
+        }
+    }
+}

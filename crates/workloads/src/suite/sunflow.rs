@@ -1,0 +1,83 @@
+//! The `sunflow` workload.
+//!
+//! Renders photorealistic images with the Sunflow ray tracer; nearly ideal parallel scalability and a very high allocation rate.
+//! This profile is refreshed from the previous DaCapo release.
+
+use crate::profile::{Provenance, WorkloadProfile};
+
+/// The published/calibrated profile for `sunflow`.
+pub fn profile() -> WorkloadProfile {
+    WorkloadProfile {
+        name: "sunflow",
+        description: "Renders photorealistic images with the Sunflow ray tracer; nearly ideal parallel scalability and a very high allocation rate",
+        new_in_chopin: false,
+        min_heap_default_mb: 29.0,
+        min_heap_uncompressed_mb: 31.0,
+        min_heap_small_mb: 5.0,
+        min_heap_large_mb: Some(149.0),
+        min_heap_vlarge_mb: None,
+        exec_time_s: 3.0,
+        alloc_rate_mb_s: 10518.0,
+        mean_object_size: 40,
+        parallel_efficiency_pct: 87.0,
+        kernel_pct: 1.0,
+        threads: 32,
+        turnover: 711.0,
+        leak_pct: 0.0,
+        warmup_iterations: 6,
+        invocation_noise_pct: 13.0,
+        freq_sensitivity_pct: 16.0,
+        memory_sensitivity_pct: 5.0,
+        llc_sensitivity_pct: -2.0,
+        forced_c2_pct: 200.0,
+        interpreter_pct: 150.0,
+        survival_fraction: 0.0421,
+        live_floor_fraction: 0.55,
+        build_fraction: 0.08,
+        requests: None,
+        provenance: Provenance::Published,
+    }
+}
+
+/// Notable characteristics of `sunflow` from the paper's appendix prose,
+/// for reports and documentation.
+pub fn highlights() -> &'static [&'static str] {
+    &[
+    "photorealistic ray tracing across 32 threads",
+    "nearly ideal parallel scalability (the highest PPE in the suite) with a very high allocation rate",
+    "the least LLC-size-sensitive workload (PLS -2%) and the noisiest between invocations (PSD 13%)",
+    "the highest aaload and getfield rates in the suite (BAL, BGF)",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_is_internally_consistent() {
+        profile().validate().unwrap();
+    }
+
+    #[test]
+    fn highlights_are_present() {
+        assert!(highlights().len() >= 3);
+        assert!(highlights().iter().all(|h| !h.is_empty()));
+    }
+
+    #[test]
+    fn published_values_are_transcribed_faithfully() {
+        let p = profile();
+        // the best parallel scaling in the suite (PPE).
+        assert_eq!(p.parallel_efficiency_pct, 87.0);
+        // the noisiest benchmark between invocations (PSD).
+        assert_eq!(p.invocation_noise_pct, 13.0);
+        // the only negative LLC sensitivity.
+        assert_eq!(p.llc_sensitivity_pct, -2.0);
+    }
+
+    #[test]
+    fn name_matches_module() {
+        assert_eq!(profile().name, "sunflow");
+    }
+}

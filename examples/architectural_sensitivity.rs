@@ -1,0 +1,49 @@
+//! §6.4's architectural-sensitivity analysis: the paper explores four
+//! workloads — biojava, jython, xalan and h2o — whose published
+//! microarchitectural statistics explain their very different sensitivities
+//! to frequency, memory speed and cache size. This example prints the
+//! published statistics and re-runs the §6.1.3 sensitivity experiments on
+//! the simulated runtime.
+//!
+//! ```text
+//! cargo run --release --example architectural_sensitivity
+//! ```
+
+use chopin::core::characterize::{characterize, CharacterizeConfig};
+use chopin::core::nominal::row;
+use chopin::workloads::suite;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = CharacterizeConfig::default();
+    println!(
+        "{:<10} {:>6} {:>6} {:>6} {:>6} | {:>10} {:>10} {:>10}",
+        "workload", "UIP", "UDC", "ULL", "USB", "PFS m/p", "PMS m/p", "PLS m/p"
+    );
+    for name in ["biojava", "jython", "xalan", "h2o"] {
+        let published = row(name).expect("in dataset");
+        let stats = characterize(&suite::by_name(name).expect("in suite"), &config)?;
+        println!(
+            "{:<10} {:>6} {:>6} {:>6} {:>6} | {:>5.1}/{:<4} {:>5.1}/{:<4} {:>5.1}/{:<4}",
+            name,
+            published.value("UIP").unwrap_or(f64::NAN),
+            published.value("UDC").unwrap_or(f64::NAN),
+            published.value("ULL").unwrap_or(f64::NAN),
+            published.value("USB").unwrap_or(f64::NAN),
+            stats.freq_speedup_pct,
+            published.value("PFS").unwrap_or(f64::NAN),
+            stats.slow_memory_slowdown_pct,
+            published.value("PMS").unwrap_or(f64::NAN),
+            stats.reduced_llc_slowdown_pct,
+            published.value("PLS").unwrap_or(f64::NAN),
+        );
+    }
+    println!(
+        "\nThe paper's reading (§6.4): biojava's IPC of 4.76 marks a highly tuned\n\
+         computational workload, insensitive to memory but responsive to clock\n\
+         frequency; jython lives in a small, poorly predicted interpreter loop\n\
+         (frequency-bound, cache-insensitive); xalan and h2o are memory-bound —\n\
+         high cache and DTLB miss rates, low IPC — so slower DRAM and a smaller\n\
+         LLC hurt them where frequency barely helps."
+    );
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Compare all five production collectors on one workload across heap
+//! sizes — the heart of the paper's motivation (Figure 1 methodology on a
+//! single benchmark), showing why both clocks must be reported
+//! (recommendation O2).
+//!
+//! ```text
+//! cargo run --release --example gc_comparison
+//! ```
+
+use chopin::core::lbo::{Clock, LboAnalysis};
+use chopin::core::sweep::{run_sweep, SweepConfig};
+use chopin::runtime::collector::CollectorKind;
+use chopin::workloads::{suite, SizeClass};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = suite::by_name("cassandra").expect("cassandra is in the suite");
+    let config = SweepConfig {
+        collectors: CollectorKind::ALL.to_vec(),
+        heap_factors: vec![1.5, 2.0, 3.0, 6.0],
+        invocations: 2,
+        iterations: 2,
+        size: SizeClass::Default,
+    };
+
+    println!("sweeping cassandra across {} collectors...", config.collectors.len());
+    let result = run_sweep(&profile, &config)?;
+
+    for clock in [Clock::Wall, Clock::Task] {
+        let lbo = LboAnalysis::compute(&result.samples, clock)?;
+        println!("\nlower-bound {clock} overhead (x minheap -> overhead):");
+        for (collector, points) in lbo.curves() {
+            print!("  {:<9}", collector.to_string());
+            for p in points {
+                print!("  {:.2}x:{:.3}", p.heap_factor, p.overhead.mean());
+            }
+            println!();
+        }
+    }
+    println!(
+        "\nNote how the concurrent collectors (Shen., ZGC*) look cheap on the wall\n\
+         clock but expensive on the task clock: they soak up idle hardware\n\
+         threads -- the cassandra effect of Figure 5."
+    );
+    for f in &result.failures {
+        println!("skipped: {} at {:.2}x ({})", f.collector, f.heap_factor, f.reason);
+    }
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! Validating Metered Latency (§4.4) against a true open-loop queue.
+//!
+//! "In a real system, request/event start times are externally defined, so
+//! a delay will affect not only all running events, but all subsequent
+//! events that are forced to wait in the queue ... Without a queue,
+//! DaCapo's workloads cannot directly model the cascading effect of
+//! delays." The simulation *can* build that queue: this example replays
+//! the identical request set open-loop (uniform arrivals, FIFO service)
+//! and compares the resulting latency distribution against the simple and
+//! metered measures computed from the closed-loop run.
+//!
+//! ```text
+//! cargo run --release --example metered_vs_open_loop
+//! ```
+
+use chopin::core::latency::{
+    events_of, metered_latencies, simple_latencies, LatencyDistribution, SmoothingWindow,
+};
+use chopin::core::Suite;
+use chopin::runtime::collector::CollectorKind;
+use chopin::runtime::requests::replay_open_loop;
+use chopin::workloads::SizeClass;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let suite = Suite::chopin();
+    let bench = suite.benchmark("spring").expect("in the suite");
+    let spec = bench
+        .profile()
+        .to_spec(SizeClass::Default)
+        .expect("default size")?;
+    let requests = spec.requests().expect("latency-sensitive");
+
+    println!(
+        "{:<10} {:>22} {:>22} {:>22}",
+        "collector", "simple p50/p99/p99.9", "metered p50/p99/p99.9", "open p50/p99/p99.9"
+    );
+    for collector in [CollectorKind::Serial, CollectorKind::G1, CollectorKind::Shenandoah] {
+        let runs = bench
+            .runner()
+            .collector(collector)
+            .heap_factor(2.0)
+            .iterations(2)
+            .run()?;
+        let timed = runs.timed();
+        let closed = events_of(timed, Some(requests)).expect("events");
+        let open = replay_open_loop(timed.progress(), requests, timed.config().seed());
+
+        let fmt = |d: &LatencyDistribution| {
+            format!(
+                "{:.1}/{:.1}/{:.1}ms",
+                d.percentile(50.0),
+                d.percentile(99.0),
+                d.percentile(99.9)
+            )
+        };
+        let simple =
+            LatencyDistribution::from_durations(simple_latencies(&closed)).expect("non-empty");
+        let metered = LatencyDistribution::from_durations(metered_latencies(
+            &closed,
+            SmoothingWindow::Full,
+        ))
+        .expect("non-empty");
+        let open_dist =
+            LatencyDistribution::from_durations(simple_latencies(&open)).expect("non-empty");
+        println!(
+            "{:<10} {:>22} {:>22} {:>22}",
+            collector.to_string(),
+            fmt(&simple),
+            fmt(&metered),
+            fmt(&open_dist),
+        );
+    }
+    println!(
+        "\nMetered latency sits between simple latency and the open-loop truth at\n\
+         the median and mid percentiles, where the smoothing charges queued\n\
+         work to delayed events. At the extreme tail the open-loop queue at\n\
+         full load compounds in a way no post-hoc start-time adjustment can\n\
+         recover — the residual realism the paper concedes when it says the\n\
+         workloads 'cannot directly model the cascading effect of delays'."
+    );
+    Ok(())
+}

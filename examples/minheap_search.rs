@@ -1,0 +1,34 @@
+//! Empirically determine minimum heap sizes (recommendation H2) and
+//! compare them with the suite's nominal GMD statistics — including the
+//! compressed-pointer penalty that keeps ZGC out of the small-heap region
+//! of Figure 1.
+//!
+//! ```text
+//! cargo run --release --example minheap_search
+//! ```
+
+use chopin::core::minheap::MinHeapSearch;
+use chopin::runtime::collector::CollectorKind;
+use chopin::workloads::suite;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("{:<12} {:>12} {:>14} {:>14}", "benchmark", "nominal GMD", "measured (G1)", "measured (ZGC)");
+    for name in ["fop", "lusearch", "jython", "pmd"] {
+        let profile = suite::by_name(name).expect("known benchmark");
+        let g1 = MinHeapSearch::default().find(&profile)?;
+        let zgc = MinHeapSearch {
+            collector: CollectorKind::Zgc,
+            ..Default::default()
+        }
+        .find(&profile)?;
+        println!(
+            "{:<12} {:>9} MB {:>11.1} MB {:>11.1} MB",
+            name,
+            profile.min_heap_default_mb,
+            g1 as f64 / (1 << 20) as f64,
+            zgc as f64 / (1 << 20) as f64,
+        );
+    }
+    println!("\nZGC cannot use compressed pointers, so its minimum heaps are larger\nby roughly each workload's GMU/GMD ratio (§2).");
+    Ok(())
+}

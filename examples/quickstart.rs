@@ -1,0 +1,54 @@
+//! Quickstart: run one benchmark on the simulated runtime and print the
+//! numbers the paper's methodology cares about.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use chopin::core::Suite;
+use chopin::runtime::collector::CollectorKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let suite = Suite::chopin();
+    println!("DaCapo Chopin (simulated): {} benchmarks", suite.len());
+
+    let bench = suite.benchmark("fop").expect("fop is in the suite");
+    println!(
+        "running fop: {} (nominal min heap {} MB)",
+        bench.profile().description,
+        bench.profile().min_heap_default_mb
+    );
+
+    // The paper's baseline methodology (§6.1): default collector (G1),
+    // 2 x the nominal minimum heap, five iterations timing the last.
+    let runs = bench
+        .runner()
+        .collector(CollectorKind::G1)
+        .heap_factor(2.0)
+        .iterations(5)
+        .run()?;
+
+    for (i, r) in runs.iterations().iter().enumerate() {
+        println!(
+            "  iteration {}: wall {}, task clock {}, {} collections",
+            i + 1,
+            r.wall_time(),
+            r.task_clock(),
+            r.telemetry().gc_count
+        );
+    }
+    let timed = runs.timed();
+    println!("timed (last) iteration:");
+    println!("  wall time        {}", timed.wall_time());
+    println!("  task clock       {}", timed.task_clock());
+    println!("  STW pause total  {}", timed.telemetry().total_pause_wall());
+    println!(
+        "  max pause        {}",
+        timed
+            .telemetry()
+            .max_pause()
+            .map(|p| p.to_string())
+            .unwrap_or_else(|| "none".into())
+    );
+    Ok(())
+}

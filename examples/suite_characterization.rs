@@ -1,0 +1,54 @@
+//! Explore the suite's integrated workload characterisation: nominal
+//! statistics, scores and the diversity PCA (§5).
+//!
+//! ```text
+//! cargo run --release --example suite_characterization
+//! ```
+
+use chopin::core::nominal::{metric_ranking, score_table, suite_pca, TABLE2_METRICS};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // §5.1's worked example: lusearch's allocation rate.
+    let lusearch = score_table("lusearch").expect("in the suite");
+    let ara = lusearch.iter().find(|s| s.code == "ARA").expect("scored");
+    println!(
+        "lusearch ARA = {} MB/s: rank {} of {}, score {}",
+        ara.value, ara.rank, ara.of, ara.score
+    );
+
+    println!("\nallocation-rate ranking (top 5):");
+    for (bench, value, rank) in metric_ranking("ARA").expect("ARA exists").iter().take(5) {
+        println!("  {rank}. {bench:<10} {value} MB/s");
+    }
+
+    let (benchmarks, metrics, pca) = suite_pca()?;
+    let ratios = pca.explained_variance_ratio();
+    println!(
+        "\nPCA over {} complete metrics: PC1 {:.0}%, PC2 {:.0}%, PC3 {:.0}%, PC4 {:.0}% \
+         (cumulative {:.0}%)",
+        metrics.len(),
+        ratios[0] * 100.0,
+        ratios[1] * 100.0,
+        ratios[2] * 100.0,
+        ratios[3] * 100.0,
+        pca.cumulative_explained_variance(4) * 100.0
+    );
+
+    // The two most extreme benchmarks along PC1 — maximally dissimilar
+    // workloads.
+    let mut by_pc1: Vec<(&str, f64)> = benchmarks
+        .iter()
+        .zip(pca.scores())
+        .map(|(b, s)| (*b, s[0]))
+        .collect();
+    by_pc1.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+    println!(
+        "most dissimilar along PC1: {} ({:+.2}) vs {} ({:+.2})",
+        by_pc1.first().expect("non-empty").0,
+        by_pc1.first().expect("non-empty").1,
+        by_pc1.last().expect("non-empty").0,
+        by_pc1.last().expect("non-empty").1
+    );
+    println!("\nTable 2's twelve most determinant metrics: {}", TABLE2_METRICS.join(" "));
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! # chopin
+//!
+//! A Rust reproduction of *Rethinking Java Performance Analysis*
+//! (Blackburn et al., ASPLOS 2025) — the DaCapo Chopin benchmark-suite
+//! paper — built on a deterministic simulated managed runtime.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`runtime`] — the simulated managed runtime (heap, mutators, five
+//!   production-style garbage collectors).
+//! * [`workloads`] — the 22 DaCapo Chopin workload profiles.
+//! * [`core`] — the suite and methodology layer: benchmark registry,
+//!   simple/metered latency, lower-bound overhead (LBO), minimum-heap
+//!   search and nominal statistics.
+//! * [`analysis`] — statistics substrate (geomean, CIs, PCA).
+//! * [`harness`] — the experiment runner regenerating every figure and
+//!   table of the paper's evaluation.
+//!
+//! # Examples
+//!
+//! Run one benchmark on one collector and inspect the result:
+//!
+//! ```
+//! use chopin::core::Suite;
+//! use chopin::runtime::collector::CollectorKind;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let suite = Suite::chopin();
+//! let bench = suite.benchmark("fop").expect("fop is in the suite");
+//! let runs = bench
+//!     .runner()
+//!     .collector(CollectorKind::G1)
+//!     .heap_factor(2.0)
+//!     .run()?;
+//! assert!(runs.timed().wall_time().as_nanos() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use chopin_analysis as analysis;
+pub use chopin_core as core;
+pub use chopin_harness as harness;
+pub use chopin_runtime as runtime;
+pub use chopin_workloads as workloads;

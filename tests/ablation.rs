@@ -1,0 +1,126 @@
+//! Integration: end-to-end ablations of collector-model mechanisms via the
+//! `RunConfig::with_collector_model` hook, plus the "area under the memory
+//! use curve" metric §4.2 proposes.
+
+use chopin::core::Suite;
+use chopin::runtime::collector::CollectorKind;
+use chopin::runtime::config::RunConfig;
+use chopin::runtime::engine::run;
+use chopin::workloads::{suite, SizeClass};
+
+#[test]
+fn removing_shenandoah_barriers_recovers_mutator_throughput() {
+    // Ablation: Shenandoah's load-reference barriers are the woven-in cost
+    // the LBO methodology cannot attribute; removing them in the model
+    // must speed the mutator up by roughly the barrier tax.
+    let profile = suite::by_name("jython").expect("in suite");
+    let spec = profile
+        .to_spec(SizeClass::Default)
+        .expect("default size")
+        .expect("valid");
+    let heap = profile.min_heap_bytes(SizeClass::Default).expect("gmd") * 6;
+
+    let stock = run(
+        &spec,
+        &RunConfig::new(heap, CollectorKind::Shenandoah).with_noise(0.0),
+    )
+    .expect("completes");
+
+    let mut no_barriers = CollectorKind::Shenandoah.model();
+    let tax = no_barriers.barrier_tax;
+    no_barriers.barrier_tax = 0.0;
+    let ablated = run(
+        &spec,
+        &RunConfig::new(heap, CollectorKind::Shenandoah)
+            .with_collector_model(no_barriers)
+            .with_noise(0.0),
+    )
+    .expect("completes");
+
+    let mutator_ratio =
+        stock.telemetry().mutator_cpu_ns / ablated.telemetry().mutator_cpu_ns;
+    let expected = 1.0 / (1.0 - tax);
+    assert!(
+        (mutator_ratio - expected).abs() < 0.02,
+        "barrier ablation: measured {mutator_ratio:.4}, expected {expected:.4}"
+    );
+    assert!(stock.wall_time() > ablated.wall_time());
+}
+
+#[test]
+fn doubling_mark_cost_shows_up_in_gc_cpu() {
+    let profile = suite::by_name("fop").expect("in suite");
+    let spec = profile
+        .to_spec(SizeClass::Default)
+        .expect("default size")
+        .expect("valid");
+    let heap = profile.min_heap_bytes(SizeClass::Default).expect("gmd") * 3;
+
+    let stock = run(&spec, &RunConfig::new(heap, CollectorKind::G1).with_noise(0.0))
+        .expect("completes");
+    let mut heavy = CollectorKind::G1.model();
+    heavy.work_multiplier *= 2.0;
+    let ablated = run(
+        &spec,
+        &RunConfig::new(heap, CollectorKind::G1)
+            .with_collector_model(heavy)
+            .with_noise(0.0),
+    )
+    .expect("completes");
+
+    let ratio = ablated.telemetry().gc_cpu_ns() / stock.telemetry().gc_cpu_ns();
+    assert!(
+        (1.8..2.2).contains(&ratio),
+        "doubling the work multiplier must roughly double GC CPU: {ratio:.3}"
+    );
+}
+
+#[test]
+fn invalid_model_override_is_rejected() {
+    let mut broken = CollectorKind::G1.model();
+    broken.barrier_tax = 2.0;
+    let profile = suite::by_name("fop").expect("in suite");
+    let spec = profile
+        .to_spec(SizeClass::Default)
+        .expect("default size")
+        .expect("valid");
+    let err = run(
+        &spec,
+        &RunConfig::new(64 << 20, CollectorKind::G1).with_collector_model(broken),
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("invalid"), "{err}");
+}
+
+#[test]
+fn average_occupancy_reflects_the_memory_use_curve() {
+    // §4.2: the minimum heap reflects *peak* usage; the area under the
+    // memory-use curve reflects *average* usage. h2's long database-build
+    // ramp gives it an average well below its peak; a flat steady-state
+    // workload sits close to its post-GC level.
+    let suite_obj = Suite::chopin();
+    let h2 = suite_obj
+        .benchmark("h2")
+        .expect("in suite")
+        .runner()
+        .heap_factor(2.0)
+        .iterations(1)
+        .noise(0.0)
+        .run()
+        .expect("completes");
+    let timed = h2.timed();
+    let avg = timed
+        .telemetry()
+        .average_occupancy_bytes(timed.wall_time());
+    let capacity = timed.config().heap_bytes() as f64;
+    assert!(avg > 0.0);
+    assert!(
+        avg < capacity,
+        "average occupancy {avg:.0} must sit below capacity {capacity:.0}"
+    );
+    // h2's nominal min heap is 681 MB; the average must be meaningfully
+    // below the 2x capacity but above the live floor.
+    let gmd = 681.0 * (1 << 20) as f64;
+    assert!(avg > 0.1 * gmd, "avg {avg}");
+    assert!(avg < 1.8 * gmd, "avg {avg}");
+}

@@ -1,0 +1,113 @@
+//! Integration: per-benchmark claims from the appendix's LBO figures and
+//! prose, checked against the simulated curves.
+
+use chopin::core::lbo::{Clock, LboAnalysis};
+use chopin::core::sweep::{run_sweep, SweepConfig};
+use chopin::runtime::collector::CollectorKind;
+use chopin::workloads::{suite, SizeClass};
+
+fn wall_lbo(benchmark: &str, factors: &[f64]) -> LboAnalysis {
+    let profile = suite::by_name(benchmark).expect("in suite");
+    let config = SweepConfig {
+        collectors: CollectorKind::ALL.to_vec(),
+        heap_factors: factors.to_vec(),
+        invocations: 1,
+        iterations: 2,
+        size: SizeClass::Default,
+    };
+    let result = run_sweep(&profile, &config).expect("sweep runs");
+    LboAnalysis::compute(&result.samples, Clock::Wall).expect("analysis")
+}
+
+fn max_overhead(analysis: &LboAnalysis, collector: CollectorKind) -> f64 {
+    analysis
+        .curve(collector)
+        .map(|points| {
+            points
+                .iter()
+                .map(|p| p.overhead.mean())
+                .fold(f64::NEG_INFINITY, f64::max)
+        })
+        .unwrap_or(f64::NEG_INFINITY)
+}
+
+#[test]
+fn jme_wall_overheads_are_negligible_for_every_collector() {
+    // Figure 27(a)'s y-axis only spans 1.00–1.05: jme is the least
+    // GC-intensive workload, so even at 2x no collector costs wall time.
+    let analysis = wall_lbo("jme", &[2.0, 4.0, 6.0]);
+    for collector in CollectorKind::ALL {
+        let worst = max_overhead(&analysis, collector);
+        assert!(
+            worst < 1.05,
+            "{collector} on jme: worst wall LBO {worst:.4}"
+        );
+    }
+}
+
+#[test]
+fn kafka_wall_overheads_are_tiny() {
+    // Figure 32(a)'s y-axis spans 1.00–1.06; kafka has zero heap-size
+    // sensitivity.
+    let analysis = wall_lbo("kafka", &[2.0, 6.0]);
+    for collector in CollectorKind::ALL {
+        let worst = max_overhead(&analysis, collector);
+        assert!(worst < 1.08, "{collector} on kafka: {worst:.4}");
+    }
+}
+
+#[test]
+fn lusearch_shenandoah_wall_is_off_the_chart() {
+    // §6.2: "Wall clock overheads for Shenandoah are very high, greater
+    // than the 2.0 y-axis limit for all values of x."
+    let analysis = wall_lbo("lusearch", &[2.0, 3.0, 6.0]);
+    let points = analysis
+        .curve(CollectorKind::Shenandoah)
+        .expect("shenandoah runs lusearch at 2x+");
+    for p in points {
+        assert!(
+            p.overhead.mean() > 2.0,
+            "lusearch/Shen at {}x: {:.3}",
+            p.heap_factor,
+            p.overhead.mean()
+        );
+    }
+}
+
+#[test]
+fn high_turnover_benchmarks_have_steeper_curves_than_low_turnover_ones() {
+    // The time-space hyperbola's steepness tracks memory turnover:
+    // sunflow (GTO 711) collapses fast with heap, batik (GTO 3) barely
+    // moves.
+    let steep = |name: &str| {
+        let a = wall_lbo(name, &[1.5, 6.0]);
+        let curve = a.curve(CollectorKind::G1).expect("g1 runs");
+        curve[0].overhead.mean() / curve.last().expect("two points").overhead.mean()
+    };
+    let sunflow = steep("sunflow");
+    let batik = steep("batik");
+    assert!(
+        sunflow > batik * 1.05,
+        "sunflow steepness {sunflow:.3} vs batik {batik:.3}"
+    );
+}
+
+#[test]
+fn serial_wall_curves_sit_above_parallel_everywhere() {
+    // Single-threaded collection pays wall time on every benchmark that
+    // collects meaningfully.
+    for name in ["lusearch", "fop", "h2o"] {
+        let analysis = wall_lbo(name, &[1.5, 3.0]);
+        let serial = analysis.curve(CollectorKind::Serial).expect("runs");
+        let parallel = analysis.curve(CollectorKind::Parallel).expect("runs");
+        for (s, p) in serial.iter().zip(parallel) {
+            assert!(
+                s.overhead.mean() >= p.overhead.mean(),
+                "{name} at {}x: serial {:.3} vs parallel {:.3}",
+                s.heap_factor,
+                s.overhead.mean(),
+                p.overhead.mean()
+            );
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Integration: the paper's three case studies (§6.2, §6.3) hold in
+//! simulation — cassandra's wall/task divergence, lusearch's Shenandoah
+//! pacing collapse, and h2's latency behaviour.
+
+use chopin::core::latency::{
+    events_of, metered_latencies, simple_latencies, LatencyDistribution, SmoothingWindow,
+};
+use chopin::core::Suite;
+use chopin::runtime::collector::CollectorKind;
+use chopin::workloads::SizeClass;
+
+fn run(bench: &str, collector: CollectorKind, factor: f64) -> chopin::core::IterationSet {
+    Suite::chopin()
+        .benchmark(bench)
+        .expect("in suite")
+        .runner()
+        .collector(collector)
+        .heap_factor(factor)
+        .iterations(2)
+        .run()
+        .expect("completes")
+}
+
+#[test]
+fn cassandra_task_clock_tells_a_different_story_than_wall_clock() {
+    // §6.2: "The wall clock and task clock results are strikingly
+    // different ... most likely due to the collectors successfully making
+    // use of unused cores, since cassandra itself is not fully utilizing
+    // the available hardware."
+    let g1 = run("cassandra", CollectorKind::G1, 3.0);
+    let zgc = run("cassandra", CollectorKind::Zgc, 3.0);
+
+    let wall_ratio =
+        zgc.timed().wall_time().as_secs_f64() / g1.timed().wall_time().as_secs_f64();
+    let task_ratio =
+        zgc.timed().task_clock().as_secs_f64() / g1.timed().task_clock().as_secs_f64();
+
+    assert!(
+        wall_ratio < 1.15,
+        "ZGC's wall time stays close to G1's (idle cores absorb GC): {wall_ratio:.3}"
+    );
+    assert!(
+        task_ratio > 1.15,
+        "but its total CPU is much higher: {task_ratio:.3}"
+    );
+    assert!(task_ratio > wall_ratio + 0.1);
+}
+
+#[test]
+fn lusearch_shenandoah_throttles_allocation() {
+    // §6.2: "Collectors like Shenandoah throttle the application in cases
+    // where the collector can't free memory fast enough ... This has the
+    // effect of much worse wall clock time."
+    let parallel = run("lusearch", CollectorKind::Parallel, 2.0);
+    let shen = run("lusearch", CollectorKind::Shenandoah, 2.0);
+
+    let wall_ratio =
+        shen.timed().wall_time().as_secs_f64() / parallel.timed().wall_time().as_secs_f64();
+    assert!(
+        wall_ratio > 2.0,
+        "Shenandoah wall clock is off the chart on lusearch: {wall_ratio:.2}"
+    );
+    assert!(
+        shen.timed().telemetry().throttled_wall.as_nanos() > 0,
+        "the pacer must have engaged"
+    );
+
+    // The task-clock penalty is smaller than the wall-clock penalty
+    // (throttled mutator threads do not burn CPU while stalled).
+    let task_ratio =
+        shen.timed().task_clock().as_secs_f64() / parallel.timed().task_clock().as_secs_f64();
+    assert!(
+        task_ratio < wall_ratio,
+        "task ratio {task_ratio:.2} must trail wall ratio {wall_ratio:.2}"
+    );
+}
+
+#[test]
+fn h2_metered_latency_is_close_to_simple_latency() {
+    // §6.3: "the metered latency is almost identical to the simple
+    // latency" for h2, because its few collections are quick relative to
+    // query latency.
+    let suite = Suite::chopin();
+    let bench = suite.benchmark("h2").expect("in suite");
+    let spec = bench
+        .profile()
+        .to_spec(SizeClass::Default)
+        .expect("default size")
+        .expect("valid");
+    let runs = run("h2", CollectorKind::G1, 2.0);
+    let events = events_of(runs.timed(), spec.requests()).expect("latency-sensitive");
+
+    let simple =
+        LatencyDistribution::from_durations(simple_latencies(&events)).expect("non-empty");
+    let metered =
+        LatencyDistribution::from_durations(metered_latencies(&events, SmoothingWindow::Full))
+            .expect("non-empty");
+
+    for p in [90.0, 99.0, 99.9] {
+        let s = simple.percentile(p);
+        let m = metered.percentile(p);
+        assert!(
+            m >= s - 1e-9 && m < s * 2.0 + 1.0,
+            "p{p}: metered {m:.3}ms should sit near simple {s:.3}ms"
+        );
+    }
+}
+
+#[test]
+fn h2_latency_collectors_do_not_deliver_better_latency() {
+    // Figure 6 / §6.3: "the latency-sensitive collectors (Shenandoah, ZGC
+    // ...) perform worse than Parallel and G1 in all cases", because their
+    // concurrent work consumes roughly half the CPU the queries need.
+    let suite = Suite::chopin();
+    let bench = suite.benchmark("h2").expect("in suite");
+    let spec = bench
+        .profile()
+        .to_spec(SizeClass::Default)
+        .expect("default size")
+        .expect("valid");
+
+    let dist = |collector| {
+        let runs = run("h2", collector, 2.0);
+        let events = events_of(runs.timed(), spec.requests()).expect("latency-sensitive");
+        LatencyDistribution::from_durations(simple_latencies(&events)).expect("non-empty")
+    };
+    let g1 = dist(CollectorKind::G1);
+    let zgc = dist(CollectorKind::Zgc);
+    let shen = dist(CollectorKind::Shenandoah);
+
+    assert!(
+        zgc.percentile(90.0) > g1.percentile(90.0),
+        "zgc p90 {} vs g1 p90 {}",
+        zgc.percentile(90.0),
+        g1.percentile(90.0)
+    );
+    assert!(shen.percentile(90.0) > g1.percentile(90.0));
+}
+
+#[test]
+fn h2_pauses_are_a_misleading_latency_proxy() {
+    // Recommendation L1 made concrete: ZGC has by far the smallest pauses
+    // on h2, yet its user-experienced latency is worse than Parallel's.
+    let suite = Suite::chopin();
+    let bench = suite.benchmark("h2").expect("in suite");
+    let spec = bench
+        .profile()
+        .to_spec(SizeClass::Default)
+        .expect("default size")
+        .expect("valid");
+
+    let parallel = run("h2", CollectorKind::Parallel, 2.0);
+    let zgc = run("h2", CollectorKind::Zgc, 2.0);
+
+    let max_pause = |set: &chopin::core::IterationSet| {
+        set.timed()
+            .telemetry()
+            .max_pause()
+            .map(|p| p.as_millis_f64())
+            .unwrap_or(0.0)
+    };
+    assert!(
+        max_pause(&zgc) < max_pause(&parallel) / 5.0,
+        "ZGC pauses are tiny: {} vs {}",
+        max_pause(&zgc),
+        max_pause(&parallel)
+    );
+
+    let p90 = |set: &chopin::core::IterationSet| {
+        let events = events_of(set.timed(), spec.requests()).expect("latency-sensitive");
+        LatencyDistribution::from_durations(simple_latencies(&events))
+            .expect("non-empty")
+            .percentile(90.0)
+    };
+    assert!(
+        p90(&zgc) > p90(&parallel),
+        "yet its request latency is worse: {} vs {}",
+        p90(&zgc),
+        p90(&parallel)
+    );
+}

@@ -1,0 +1,97 @@
+//! Integration: the workload-characterisation layer (§5) — nominal
+//! statistics, scores, PCA — and its agreement with measured behaviour.
+
+use chopin::core::nominal::{
+    complete_metrics, dataset, metric_ranking, score_table, suite_pca, METRICS,
+};
+use chopin::core::Suite;
+use chopin::workloads::suite;
+
+#[test]
+fn dataset_covers_the_whole_suite() {
+    let rows = dataset();
+    assert_eq!(rows.len(), 22);
+    let suite_names: Vec<&str> = Suite::chopin().names();
+    for row in &rows {
+        assert!(suite_names.contains(&row.benchmark), "{}", row.benchmark);
+    }
+}
+
+#[test]
+fn every_benchmark_scores_at_least_35_dimensions() {
+    // §5.1: "We characterize each benchmark ... across at least 35
+    // dimensions."
+    for bench in Suite::chopin().names() {
+        let table = score_table(bench).expect("in suite");
+        assert!(
+            table.len() >= 35,
+            "{bench} has only {} scored metrics",
+            table.len()
+        );
+        assert!(table.len() <= METRICS.len());
+    }
+}
+
+#[test]
+fn scores_are_consistent_with_ranks_everywhere() {
+    for bench in Suite::chopin().names() {
+        for s in score_table(bench).expect("in suite") {
+            assert!(s.rank >= 1 && s.rank <= s.of, "{bench}/{}", s.code);
+            assert!(s.score <= 10, "{bench}/{}", s.code);
+            assert!(s.min <= s.median && s.median <= s.max, "{bench}/{}", s.code);
+            assert!(s.value >= s.min && s.value <= s.max, "{bench}/{}", s.code);
+            if s.rank == 1 {
+                assert_eq!(s.value, s.max, "{bench}/{}", s.code);
+            }
+        }
+    }
+}
+
+#[test]
+fn figure4_pca_shows_a_diverse_suite() {
+    let (benchmarks, metrics, pca) = suite_pca().expect("pca fits");
+    assert_eq!(benchmarks.len(), 22);
+    assert!(metrics.len() >= 33, "paper used 33 complete metrics");
+    // Top four components explain >50% but far from all of the variance —
+    // the suite is diverse, not degenerate.
+    let c4 = pca.cumulative_explained_variance(4);
+    assert!(c4 > 0.5 && c4 < 0.9, "cumulative PC1-4: {c4}");
+}
+
+#[test]
+fn published_rankings_match_prose_claims() {
+    // §5.1 and §6.4 prose claims, verified against the dataset:
+    let first_of = |code: &str| metric_ranking(code).expect("metric")[0].0;
+    assert_eq!(first_of("ARA"), "lusearch", "highest allocation rate");
+    assert_eq!(first_of("GTO"), "lusearch", "highest memory turnover");
+    assert_eq!(first_of("GCC"), "lusearch", "most GCs at 2x");
+    assert_eq!(first_of("UIP"), "biojava", "highest IPC");
+    assert_eq!(first_of("PKP"), "avrora", "most kernel-bound");
+    assert_eq!(first_of("GMD"), "h2", "largest default min heap");
+    assert_eq!(first_of("ULL"), "h2o", "highest LLC miss rate");
+    assert_eq!(first_of("USB"), "h2o", "most back-end bound");
+    assert_eq!(first_of("BUF"), "jython", "most unique function calls");
+    assert_eq!(first_of("AOA"), "luindex", "largest objects");
+    assert_eq!(first_of("UDT"), "cassandra", "highest DTLB miss rate");
+}
+
+#[test]
+fn complete_metrics_exclude_partial_columns() {
+    let complete = complete_metrics();
+    assert!(!complete.contains(&"GML"));
+    assert!(!complete.contains(&"GMV"));
+    for code in ["ARA", "GMD", "PET", "UIP"] {
+        assert!(complete.contains(&code), "{code}");
+    }
+}
+
+#[test]
+fn profiles_and_dataset_agree_on_shared_columns() {
+    for p in suite::all() {
+        let row = chopin::core::nominal::row(p.name).expect("row exists");
+        assert_eq!(row.value("GMD"), Some(p.min_heap_default_mb), "{}", p.name);
+        assert_eq!(row.value("GTO"), Some(p.turnover), "{}", p.name);
+        assert_eq!(row.value("GLK"), Some(p.leak_pct), "{}", p.name);
+        assert_eq!(row.value("PWU"), Some(p.warmup_iterations as f64), "{}", p.name);
+    }
+}

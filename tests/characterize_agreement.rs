@@ -1,0 +1,83 @@
+//! Integration: the simulated workload characterisation agrees with the
+//! paper's published nominal statistics by *rank* across the whole suite
+//! (Spearman correlation). Absolute values belong to the authors'
+//! hardware; if the simulation is faithful, the *ordering* of benchmarks
+//! by each emergent statistic must carry over.
+
+use chopin::core::characterize::{characterize, rank_agreement, CharacterizeConfig};
+use chopin::core::nominal::row;
+use chopin::workloads::suite;
+
+#[test]
+fn emergent_statistics_rank_correlate_with_published_values() {
+    let config = CharacterizeConfig::default();
+    let measured: Vec<_> = suite::all()
+        .iter()
+        .map(|p| characterize(p, &config).unwrap_or_else(|e| panic!("{}: {e}", p.name)))
+        .collect();
+
+    let published = |code: &str| -> Vec<f64> {
+        measured
+            .iter()
+            .map(|m| row(&m.benchmark).expect("row").value(code).unwrap_or(0.0))
+            .collect()
+    };
+
+    // GCC: collections at 2x — fully emergent from the live-set model,
+    // trigger logic and allocation volumes.
+    let gcc: Vec<f64> = measured.iter().map(|m| m.gc_count_2x as f64).collect();
+    let rho = rank_agreement(&published("GCC"), &gcc).expect("defined");
+    assert!(rho > 0.8, "GCC rank agreement: {rho:.3}");
+
+    // GCP: share of wall time in pauses at 2x.
+    let gcp: Vec<f64> = measured.iter().map(|m| m.gc_pause_pct_2x).collect();
+    let rho = rank_agreement(&published("GCP"), &gcp).expect("defined");
+    assert!(rho > 0.6, "GCP rank agreement: {rho:.3}");
+
+    // GSS: slowdown in a tight heap.
+    let gss: Vec<f64> = measured.iter().map(|m| m.heap_sensitivity_pct).collect();
+    let rho = rank_agreement(&published("GSS"), &gss).expect("defined");
+    assert!(rho > 0.6, "GSS rank agreement: {rho:.3}");
+
+    // PFS: frequency-scaling sensitivity (calibration closure).
+    let pfs: Vec<f64> = measured.iter().map(|m| m.freq_speedup_pct).collect();
+    let rho = rank_agreement(&published("PFS"), &pfs).expect("defined");
+    assert!(rho > 0.9, "PFS rank agreement: {rho:.3}");
+
+    // GCA: average post-GC heap as a share of the minimum heap.
+    let gca: Vec<f64> = measured
+        .iter()
+        .map(|m| m.avg_post_gc_pct.unwrap_or(0.0))
+        .collect();
+    if let Some(rho) = rank_agreement(&published("GCA"), &gca) {
+        // GCA spans a narrow range (80-133%), so we only require a
+        // positive correlation.
+        assert!(rho > 0.0, "GCA rank agreement: {rho:.3}");
+    }
+
+    // PWU: warmup honours the published iterations-to-warm-up.
+    let pwu: Vec<f64> = measured.iter().map(|m| m.warmup_iterations as f64).collect();
+    let rho = rank_agreement(&published("PWU"), &pwu).expect("defined");
+    assert!(rho > 0.85, "PWU rank agreement: {rho:.3}");
+}
+
+#[test]
+fn memory_and_llc_sensitivities_close_the_loop() {
+    // §6.4's exemplars: biojava is "fairly insensitive to memory slowdown
+    // (PMS) and last level cache size reduction (PLS)"; h2 is the most
+    // memory-speed sensitive workload; luindex among the most LLC
+    // sensitive.
+    let config = CharacterizeConfig::default();
+    let get = |name: &str| {
+        characterize(&suite::by_name(name).expect("in suite"), &config).expect("measures")
+    };
+    let biojava = get("biojava");
+    assert!(biojava.slow_memory_slowdown_pct < 3.0, "{biojava:?}");
+    assert!(biojava.reduced_llc_slowdown_pct < 3.0, "{biojava:?}");
+
+    let h2 = get("h2");
+    assert!(h2.slow_memory_slowdown_pct > 25.0, "{h2:?}");
+
+    let luindex = get("luindex");
+    assert!(luindex.reduced_llc_slowdown_pct > 25.0, "{luindex:?}");
+}

@@ -1,0 +1,76 @@
+//! Integration: the simulation is deterministic end to end, and invocation
+//! seeds produce the controlled variation the CI machinery needs.
+
+use chopin::analysis::ConfidenceInterval;
+use chopin::core::Suite;
+use chopin::runtime::collector::CollectorKind;
+
+#[test]
+fn identical_configurations_produce_identical_results() {
+    let suite = Suite::chopin();
+    let bench = suite.benchmark("jython").expect("in suite");
+    let a = bench.runner().heap_factor(2.0).seed(5).run().expect("runs");
+    let b = bench.runner().heap_factor(2.0).seed(5).run().expect("runs");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn ten_invocations_give_tight_confidence_intervals() {
+    // §6.1: "In practice, 10 invocations is sufficient to produce results
+    // with sufficiently tight confidence intervals."
+    let suite = Suite::chopin();
+    let bench = suite.benchmark("fop").expect("in suite");
+    let walls: Vec<f64> = (0..10)
+        .map(|i| {
+            bench
+                .runner()
+                .collector(CollectorKind::Parallel)
+                .heap_factor(2.0)
+                .iterations(2)
+                .seed(100 + i)
+                .run()
+                .expect("completes")
+                .timed()
+                .wall_time()
+                .as_secs_f64()
+        })
+        .collect();
+    let ci = ConfidenceInterval::from_samples(&walls).expect("ten samples");
+    assert!(ci.half_width() > 0.0, "invocations vary: {walls:?}");
+    let rel = ci.relative_half_width().expect("non-zero mean");
+    assert!(rel < 0.05, "but the interval is tight: {rel:.4}");
+}
+
+#[test]
+fn noise_scale_follows_the_psd_statistic() {
+    // sunflow has the suite's highest invocation noise (PSD 13); biojava
+    // one of the lowest (PSD 0 -> floor). The simulated dispersion must
+    // reflect that ordering.
+    let spread = |name: &str| {
+        let suite = Suite::chopin();
+        let bench = suite.benchmark(name).expect("in suite");
+        let walls: Vec<f64> = (0..8)
+            .map(|i| {
+                bench
+                    .runner()
+                    .heap_factor(3.0)
+                    .iterations(1)
+                    .seed(7 + i)
+                    .run()
+                    .expect("completes")
+                    .timed()
+                    .wall_time()
+                    .as_secs_f64()
+            })
+            .collect();
+        let mean = walls.iter().sum::<f64>() / walls.len() as f64;
+        let var = walls.iter().map(|w| (w - mean) * (w - mean)).sum::<f64>() / walls.len() as f64;
+        var.sqrt() / mean
+    };
+    let sunflow = spread("sunflow");
+    let biojava = spread("biojava");
+    assert!(
+        sunflow > 3.0 * biojava,
+        "sunflow cv {sunflow:.4} vs biojava cv {biojava:.4}"
+    );
+}

@@ -1,0 +1,87 @@
+//! Property-based integration tests over engine-produced latency events:
+//! the invariants of §4.4 hold on real simulation output, not just
+//! synthetic event streams.
+
+use chopin::core::latency::{events_of, metered_latencies, simple_latencies, SmoothingWindow};
+use chopin::core::Suite;
+use chopin::runtime::collector::CollectorKind;
+use chopin::runtime::time::SimDuration;
+use chopin::workloads::SizeClass;
+use proptest::prelude::*;
+
+fn events_for(collector: CollectorKind, factor: f64, seed: u64) -> Vec<chopin::runtime::requests::RequestEvent> {
+    let suite = Suite::chopin();
+    let bench = suite.benchmark("spring").expect("in suite");
+    let spec = bench
+        .profile()
+        .to_spec(SizeClass::Default)
+        .expect("default size")
+        .expect("valid");
+    let runs = bench
+        .runner()
+        .collector(collector)
+        .heap_factor(factor)
+        .iterations(1)
+        .seed(seed)
+        .run()
+        .expect("completes");
+    events_of(runs.timed(), spec.requests()).expect("latency-sensitive")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn prop_metered_dominates_simple_on_engine_output(
+        seed in 1u64..1000,
+        factor in 2.0f64..6.0,
+        window_ms in 1u64..10_000,
+    ) {
+        let events = events_for(CollectorKind::G1, factor, seed);
+        prop_assume!(!events.is_empty());
+        let mut sorted = events.clone();
+        sorted.sort();
+        let simple = simple_latencies(&sorted);
+        for window in [
+            SmoothingWindow::Duration(SimDuration::from_millis(window_ms)),
+            SmoothingWindow::Full,
+        ] {
+            let metered = metered_latencies(&events, window);
+            prop_assert_eq!(metered.len(), simple.len());
+            for (m, s) in metered.iter().zip(&simple) {
+                prop_assert!(m.as_nanos() + 1 >= s.as_nanos());
+            }
+        }
+    }
+
+    #[test]
+    fn prop_event_count_is_exactly_the_request_count(seed in 1u64..500) {
+        let events = events_for(CollectorKind::Parallel, 3.0, seed);
+        // spring's default configuration issues 32000 requests.
+        prop_assert_eq!(events.len(), 32_000);
+    }
+
+    #[test]
+    fn prop_events_are_within_the_run(seed in 1u64..500) {
+        let suite = Suite::chopin();
+        let bench = suite.benchmark("spring").expect("in suite");
+        let spec = bench
+            .profile()
+            .to_spec(SizeClass::Default)
+            .expect("default size")
+            .expect("valid");
+        let runs = bench
+            .runner()
+            .heap_factor(2.0)
+            .iterations(1)
+            .seed(seed)
+            .run()
+            .expect("completes");
+        let wall = runs.timed().wall_time();
+        let events = events_of(runs.timed(), spec.requests()).expect("latency-sensitive");
+        for e in &events {
+            prop_assert!(e.start <= e.end);
+            prop_assert!(e.end.as_nanos() <= wall.as_nanos() + 2);
+        }
+    }
+}

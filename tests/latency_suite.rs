@@ -1,0 +1,82 @@
+//! Integration: all nine latency-sensitive workloads produce coherent
+//! event streams and distributions under the baseline methodology.
+
+use chopin::core::latency::{
+    events_of, metered_latencies, simple_latencies, LatencyDistribution, SmoothingWindow,
+};
+use chopin::core::Suite;
+use chopin::workloads::SizeClass;
+
+#[test]
+fn all_nine_latency_workloads_report_events() {
+    let suite = Suite::chopin();
+    let latency_benchmarks: Vec<_> = suite.latency_sensitive().collect();
+    assert_eq!(latency_benchmarks.len(), 9);
+
+    for bench in latency_benchmarks {
+        let spec = bench
+            .profile()
+            .to_spec(SizeClass::Default)
+            .expect("default size")
+            .expect("valid spec");
+        let runs = bench
+            .runner()
+            .heap_factor(2.0)
+            .iterations(2)
+            .run()
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
+        let events = events_of(runs.timed(), spec.requests())
+            .unwrap_or_else(|| panic!("{} must be latency-sensitive", bench.name()));
+
+        // The pre-determined request set is fully consumed.
+        assert_eq!(
+            events.len(),
+            spec.requests().expect("present").count as usize,
+            "{}",
+            bench.name()
+        );
+
+        // Distributions are well-formed on every metric.
+        let simple = LatencyDistribution::from_durations(simple_latencies(&events))
+            .unwrap_or_else(|| panic!("{}: empty distribution", bench.name()));
+        let metered = LatencyDistribution::from_durations(metered_latencies(
+            &events,
+            SmoothingWindow::Full,
+        ))
+        .expect("non-empty");
+        assert!(simple.percentile(50.0) > 0.0, "{}", bench.name());
+        assert!(
+            metered.percentile(99.0) >= simple.percentile(99.0) - 1e-9,
+            "{}: metered p99 below simple p99",
+            bench.name()
+        );
+        // Events fall within the run.
+        let wall = runs.timed().wall_time().as_nanos();
+        assert!(
+            events.iter().all(|e| e.end.as_nanos() <= wall + 2),
+            "{}",
+            bench.name()
+        );
+    }
+}
+
+#[test]
+fn jme_frames_are_the_smallest_event_set() {
+    // jme renders 420 frames; every request-based service issues far more.
+    let suite = Suite::chopin();
+    let count = |name: &str| {
+        let bench = suite.benchmark(name).expect("in suite");
+        bench
+            .profile()
+            .to_spec(SizeClass::Default)
+            .expect("default")
+            .expect("valid")
+            .requests()
+            .expect("latency-sensitive")
+            .count
+    };
+    let jme = count("jme");
+    for other in ["cassandra", "h2", "kafka", "lusearch", "spring", "tomcat", "tradebeans", "tradesoap"] {
+        assert!(count(other) > jme, "{other}");
+    }
+}

@@ -1,0 +1,127 @@
+//! Validation of the LBO methodology itself (§4.5) using the Epsilon
+//! no-op collector as a *true* zero-cost baseline — something only a
+//! simulator can provide.
+//!
+//! "Since the baseline is always an overestimate of the ideal, this
+//! overhead measure is always an underestimate of the overhead, and is
+//! thus a lower bound on overhead." With Epsilon (never collects, no
+//! barriers) given a heap large enough to absorb the entire allocation
+//! volume, we can measure the ideal directly and check the bound.
+
+use chopin::core::lbo::{Clock, LboAnalysis, RunSample};
+use chopin::core::sweep::{run_sweep, SweepConfig};
+use chopin::core::{BenchmarkRunner, Suite};
+use chopin::runtime::collector::CollectorKind;
+use chopin::workloads::{suite, SizeClass};
+
+/// Run the workload under Epsilon with a heap big enough to never exhaust.
+fn epsilon_cost(name: &str, clock: Clock) -> f64 {
+    let profile = suite::by_name(name).expect("in suite");
+    let headroom = profile.total_allocation_bytes() * 2 + (1u64 << 30);
+    let runs = BenchmarkRunner::for_profile(profile)
+        .collector(CollectorKind::Epsilon)
+        .heap_bytes(headroom)
+        .iterations(2)
+        .noise(0.0)
+        .run()
+        .expect("epsilon completes in an exhaustion-proof heap");
+    let timed = runs.timed();
+    assert_eq!(timed.telemetry().gc_count, 0, "epsilon never collects");
+    assert!(timed.telemetry().pauses.is_empty());
+    match clock {
+        Clock::Wall => timed.wall_time().as_secs_f64(),
+        Clock::Task => timed.task_clock().as_secs_f64(),
+    }
+}
+
+fn sweep_samples(name: &str) -> Vec<RunSample> {
+    let profile = suite::by_name(name).expect("in suite");
+    let config = SweepConfig {
+        collectors: CollectorKind::ALL.to_vec(),
+        heap_factors: vec![1.5, 2.0, 3.0, 6.0],
+        invocations: 1,
+        iterations: 2,
+        size: SizeClass::Default,
+    };
+    run_sweep(&profile, &config).expect("sweep runs").samples
+}
+
+#[test]
+fn lbo_is_a_lower_bound_on_the_true_overhead() {
+    for name in ["jython", "fop"] {
+        let samples = sweep_samples(name);
+        for clock in [Clock::Wall, Clock::Task] {
+            let ideal = epsilon_cost(name, clock);
+            let analysis = LboAnalysis::compute(&samples, clock).expect("analysis");
+
+            // The distilled baseline must over-estimate the ideal...
+            assert!(
+                analysis.distilled_s() >= ideal * 0.98,
+                "{name}/{clock}: distilled {:.4} vs ideal {:.4}",
+                analysis.distilled_s(),
+                ideal
+            );
+
+            // ...so every reported overhead under-estimates the true one.
+            for s in &samples {
+                let measured = match clock {
+                    Clock::Wall => s.wall_s,
+                    Clock::Task => s.task_s,
+                };
+                let true_overhead = measured / ideal;
+                let reported = measured / analysis.distilled_s();
+                assert!(
+                    reported <= true_overhead + 1e-9,
+                    "{name}/{clock}/{}@{}: reported {reported:.4} > true {true_overhead:.4}",
+                    s.collector,
+                    s.heap_factor
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn epsilon_is_cheaper_than_every_production_collector() {
+    // Given unconstrained memory, never collecting wins on both clocks —
+    // §2's "it may be best not to garbage collect at all".
+    let ideal_wall = epsilon_cost("jython", Clock::Wall);
+    let ideal_task = epsilon_cost("jython", Clock::Task);
+    for s in sweep_samples("jython") {
+        assert!(s.wall_s >= ideal_wall * 0.995, "{s:?}");
+        assert!(s.task_s >= ideal_task * 0.995, "{s:?}");
+    }
+}
+
+#[test]
+fn epsilon_fails_fast_in_a_bounded_heap() {
+    let suite = Suite::chopin();
+    let result = suite
+        .benchmark("jython")
+        .expect("in suite")
+        .runner()
+        .collector(CollectorKind::Epsilon)
+        .heap_factor(2.0)
+        .iterations(1)
+        .run();
+    assert!(
+        result.is_err(),
+        "jython churns 139x its min heap; epsilon must exhaust 2x"
+    );
+}
+
+#[test]
+fn epsilon_survives_workloads_with_low_turnover_and_huge_heaps() {
+    // jme turns over only 12x its 29 MB min heap; a 1 GB heap absorbs it.
+    let suite = Suite::chopin();
+    let runs = suite
+        .benchmark("jme")
+        .expect("in suite")
+        .runner()
+        .collector(CollectorKind::Epsilon)
+        .heap_bytes(1 << 30)
+        .iterations(1)
+        .run()
+        .expect("jme fits");
+    assert_eq!(runs.timed().telemetry().gc_count, 0);
+}

@@ -1,0 +1,81 @@
+//! Integration: empirically measured minimum heaps track the published
+//! nominal statistics (GMD/GMS/GMU relationships).
+
+use chopin::core::minheap::MinHeapSearch;
+use chopin::runtime::collector::CollectorKind;
+use chopin::workloads::{suite, SizeClass};
+
+#[test]
+fn measured_min_heaps_track_published_gmd() {
+    for name in ["fop", "jython", "lusearch", "spring"] {
+        let profile = suite::by_name(name).expect("in suite");
+        let measured = MinHeapSearch::default().find(&profile).expect("found");
+        let nominal = profile.min_heap_bytes(SizeClass::Default).expect("gmd");
+        let ratio = measured as f64 / nominal as f64;
+        assert!(
+            (0.75..=1.25).contains(&ratio),
+            "{name}: measured {measured} vs nominal {nominal} ({ratio:.3})"
+        );
+    }
+}
+
+#[test]
+fn min_heap_ordering_across_size_classes() {
+    let profile = suite::by_name("lusearch").expect("in suite");
+    let small = MinHeapSearch {
+        size: SizeClass::Small,
+        ..Default::default()
+    }
+    .find(&profile)
+    .expect("small");
+    let default = MinHeapSearch::default().find(&profile).expect("default");
+    let large = MinHeapSearch {
+        size: SizeClass::Large,
+        ..Default::default()
+    }
+    .find(&profile)
+    .expect("large");
+    assert!(small < default && default < large, "{small} {default} {large}");
+}
+
+#[test]
+fn uncompressed_pointers_inflate_min_heaps_like_gmu() {
+    // GMU is "nominal minimum heap size for default size without
+    // compressed pointers", measured with the default collector. pmd has
+    // one of the strongest inflations (269/191 = 1.41).
+    let profile = suite::by_name("pmd").expect("in suite");
+    let compressed = MinHeapSearch::default().find(&profile).expect("g1");
+    let uncompressed = MinHeapSearch {
+        compressed_oops: Some(false),
+        ..Default::default()
+    }
+    .find(&profile)
+    .expect("g1 uncompressed");
+    let inflation = uncompressed as f64 / compressed as f64;
+    let published = 269.0 / 191.0;
+    assert!(
+        (inflation - published).abs() < 0.15,
+        "inflation {inflation:.3} vs published {published:.3}"
+    );
+}
+
+#[test]
+fn zgc_needs_even_more_than_the_pointer_inflation() {
+    // ZGC pays the pointer inflation *plus* headroom for allocation during
+    // its concurrent cycles (floating garbage) — part of why Figure 1's
+    // ZGC curve starts late.
+    let profile = suite::by_name("pmd").expect("in suite");
+    let g1 = MinHeapSearch::default().find(&profile).expect("g1");
+    let zgc = MinHeapSearch {
+        collector: CollectorKind::Zgc,
+        ..Default::default()
+    }
+    .find(&profile)
+    .expect("zgc");
+    let ratio = zgc as f64 / g1 as f64;
+    let pointer_inflation = 269.0 / 191.0;
+    assert!(
+        ratio > pointer_inflation,
+        "zgc/g1 {ratio:.3} must exceed the pure pointer inflation {pointer_inflation:.3}"
+    );
+}

@@ -1,0 +1,94 @@
+//! Integration: the paper's critique of MMU (§4.4) demonstrated on engine
+//! output — "MMU is not ideal since it ... cannot capture throughput
+//! reductions due to expensive barriers embedded within the mutator".
+
+use chopin::core::latency::mmu::{mmu, mmu_curve};
+use chopin::core::latency::{events_of, simple_latencies, LatencyDistribution};
+use chopin::core::Suite;
+use chopin::runtime::collector::CollectorKind;
+use chopin::runtime::time::SimDuration;
+use chopin::workloads::SizeClass;
+
+fn run(bench: &str, collector: CollectorKind, factor: f64) -> chopin::core::IterationSet {
+    Suite::chopin()
+        .benchmark(bench)
+        .expect("in suite")
+        .runner()
+        .collector(collector)
+        .heap_factor(factor)
+        .iterations(2)
+        .run()
+        .expect("completes")
+}
+
+#[test]
+fn mmu_prefers_concurrent_collectors_at_small_windows() {
+    // At 2 ms windows on a workload whose allocation rate ZGC can keep up
+    // with (cassandra — h2's 11.8 GB/s churn throttle-limits every
+    // concurrent collector), the collector with sub-millisecond pauses
+    // scores much better MMU than the full-pause collector...
+    let parallel = run("cassandra", CollectorKind::Parallel, 3.0);
+    let zgc = run("cassandra", CollectorKind::Zgc, 3.0);
+    let w = SimDuration::from_millis(2);
+    let mmu_parallel = mmu(parallel.timed().progress(), w).expect("defined");
+    let mmu_zgc = mmu(zgc.timed().progress(), w).expect("defined");
+    assert!(
+        mmu_zgc > mmu_parallel + 0.3,
+        "zgc mmu {mmu_zgc:.3} vs parallel {mmu_parallel:.3}"
+    );
+}
+
+#[test]
+fn but_the_mmu_winner_has_worse_user_experienced_latency() {
+    // ...yet on h2, the workload of Figure 6, the small-pause collector's
+    // actual request latency is *worse* than the full-pause collector's:
+    // barrier taxes, concurrent CPU theft and allocation stalls are all
+    // invisible to a normalised utilization measure — recommendation L1's
+    // reason to measure the user-experienced quantity directly.
+    let suite = Suite::chopin();
+    let spec = suite
+        .benchmark("h2")
+        .expect("in suite")
+        .profile()
+        .to_spec(SizeClass::Default)
+        .expect("default")
+        .expect("valid");
+
+    let p90 = |collector| {
+        let set = run("h2", collector, 2.0);
+        let events = events_of(set.timed(), spec.requests()).expect("latency-sensitive");
+        LatencyDistribution::from_durations(simple_latencies(&events))
+            .expect("non-empty")
+            .percentile(90.0)
+    };
+    assert!(
+        p90(CollectorKind::Zgc) > p90(CollectorKind::Parallel),
+        "the MMU winner loses on user-experienced latency"
+    );
+}
+
+#[test]
+fn mmu_curves_are_monotone_on_engine_output() {
+    for collector in [CollectorKind::Serial, CollectorKind::G1, CollectorKind::Shenandoah] {
+        let set = run("lusearch", collector, 2.0);
+        let curve = mmu_curve(set.timed().progress());
+        assert!(!curve.is_empty(), "{collector}");
+        for w in curve.windows(2) {
+            assert!(
+                w[0].1 <= w[1].1 + 1e-9,
+                "{collector}: MMU must grow with window: {curve:?}"
+            );
+        }
+        // Every utilization is a valid fraction.
+        assert!(curve.iter().all(|(_, u)| (0.0..=1.0).contains(u)));
+    }
+}
+
+#[test]
+fn serial_mmu_collapses_at_pause_scale_windows() {
+    // Serial's long pauses zero out small-window MMU on a GC-heavy
+    // workload.
+    let set = run("lusearch", CollectorKind::Serial, 1.5);
+    let small = mmu(set.timed().progress(), SimDuration::from_millis(1)).expect("defined");
+    assert!(small < 0.05, "a 1ms window fits inside a Serial pause: {small}");
+}

@@ -1,0 +1,147 @@
+//! Integration: validating the Metered Latency model (§4.4) against a true
+//! open-loop queueing replay.
+//!
+//! "Without a queue, DaCapo's workloads cannot directly model the cascading
+//! effect of delays. Instead, we model a similar effect with what we call
+//! Metered Latency." The simulation can do what the real suite cannot:
+//! replay the identical pre-determined request set with externally fixed
+//! uniform arrivals and real FIFO queueing, and check that metered latency
+//! captures the same tail behaviour.
+
+use chopin::core::latency::{
+    events_of, metered_latencies, simple_latencies, LatencyDistribution, SmoothingWindow,
+};
+use chopin::core::Suite;
+use chopin::runtime::collector::CollectorKind;
+use chopin::runtime::requests::{replay_open_loop, replay_open_loop_at};
+use chopin::workloads::SizeClass;
+
+struct Comparison {
+    simple: LatencyDistribution,
+    metered: LatencyDistribution,
+    open_loop: LatencyDistribution,
+}
+
+fn compare(bench: &str, collector: CollectorKind, factor: f64) -> Comparison {
+    let suite = Suite::chopin();
+    let benchmark = suite.benchmark(bench).expect("in suite");
+    let spec = benchmark
+        .profile()
+        .to_spec(SizeClass::Default)
+        .expect("default size")
+        .expect("valid");
+    let runs = benchmark
+        .runner()
+        .collector(collector)
+        .heap_factor(factor)
+        .iterations(2)
+        .run()
+        .expect("completes");
+    let timed = runs.timed();
+    let requests = spec.requests().expect("latency-sensitive");
+
+    let closed = events_of(timed, Some(requests)).expect("events");
+    let open = replay_open_loop(timed.progress(), requests, timed.config().seed());
+    assert_eq!(open.len(), closed.len(), "same pre-determined request set");
+
+    Comparison {
+        simple: LatencyDistribution::from_durations(simple_latencies(&closed)).expect("events"),
+        metered: LatencyDistribution::from_durations(metered_latencies(
+            &closed,
+            SmoothingWindow::Full,
+        ))
+        .expect("events"),
+        open_loop: LatencyDistribution::from_durations(simple_latencies(&open)).expect("events"),
+    }
+}
+
+#[test]
+fn metered_latency_tracks_real_queueing_better_than_simple_latency() {
+    // Under a pause-heavy collector the open-loop tail exceeds the simple
+    // (closed-loop) tail — the cascading effect §4.4 describes. Metered
+    // latency must close a meaningful part of that gap.
+    let c = compare("spring", CollectorKind::Serial, 2.0);
+    let p999_simple = c.simple.percentile(99.9);
+    let p999_metered = c.metered.percentile(99.9);
+    let p999_open = c.open_loop.percentile(99.9);
+
+    assert!(
+        p999_open >= p999_simple,
+        "queueing can only add delay: open {p999_open:.3} vs simple {p999_simple:.3}"
+    );
+    assert!(
+        p999_metered >= p999_simple,
+        "metered dominates simple by construction"
+    );
+
+    // Metered moves toward the open-loop truth.
+    let gap_simple = (p999_open - p999_simple).abs();
+    let gap_metered = (p999_open - p999_metered).abs();
+    assert!(
+        gap_metered <= gap_simple + 1e-9,
+        "metered p99.9 {p999_metered:.3} must sit closer to open-loop {p999_open:.3} \
+         than simple {p999_simple:.3} does"
+    );
+}
+
+#[test]
+fn an_underloaded_pause_free_queue_never_builds() {
+    // At 100% offered load even a pause-free open-loop queue diverges
+    // (basic queueing theory), so the comparison is made with headroom:
+    // at 60% load under ZGC at a generous heap (negligible pauses, no
+    // throttling) the open-loop median is just the scaled service time.
+    let suite = Suite::chopin();
+    let benchmark = suite.benchmark("cassandra").expect("in suite");
+    let spec = benchmark
+        .profile()
+        .to_spec(SizeClass::Default)
+        .expect("default size")
+        .expect("valid");
+    let runs = benchmark
+        .runner()
+        .collector(CollectorKind::Zgc)
+        .heap_factor(6.0)
+        .iterations(2)
+        .run()
+        .expect("completes");
+    let timed = runs.timed();
+    let requests = spec.requests().expect("latency-sensitive");
+
+    let closed = events_of(timed, Some(requests)).expect("events");
+    let simple = LatencyDistribution::from_durations(simple_latencies(&closed)).expect("events");
+    let open = replay_open_loop_at(timed.progress(), requests, timed.config().seed(), 0.6);
+    let open_dist =
+        LatencyDistribution::from_durations(simple_latencies(&open)).expect("events");
+
+    let m_simple = simple.percentile(50.0);
+    let m_open = open_dist.percentile(50.0);
+    // Service demands are scaled to 60%, so the open-loop median sits near
+    // 0.6x the closed-loop service time — far from a queue blow-up.
+    assert!(
+        m_open < m_simple * 2.0,
+        "open median {m_open:.4} vs simple {m_simple:.4}"
+    );
+    assert!(m_open > m_simple * 0.2, "open median {m_open:.4}");
+}
+
+#[test]
+fn open_loop_replay_is_deterministic_per_run() {
+    let suite = Suite::chopin();
+    let bench = suite.benchmark("kafka").expect("in suite");
+    let spec = bench
+        .profile()
+        .to_spec(SizeClass::Default)
+        .expect("default")
+        .expect("valid");
+    let runs = bench
+        .runner()
+        .heap_factor(2.0)
+        .iterations(1)
+        .run()
+        .expect("completes");
+    let timed = runs.timed();
+    let requests = spec.requests().expect("latency-sensitive");
+    let a = replay_open_loop(timed.progress(), requests, timed.config().seed());
+    let b = replay_open_loop(timed.progress(), requests, timed.config().seed());
+    assert_eq!(a, b);
+}

@@ -1,0 +1,99 @@
+//! Integration: the small/default/large/vlarge size classes scale the way
+//! the published per-size minimum heaps (GMS/GMD/GML/GMV) say they should.
+
+use chopin::core::Suite;
+use chopin::workloads::{suite, SizeClass};
+
+#[test]
+fn size_classes_scale_specs_monotonically() {
+    for profile in suite::all() {
+        let alloc = |size: SizeClass| {
+            profile
+                .to_spec(size)
+                .map(|r| r.expect("valid spec").total_allocation())
+        };
+        let small = alloc(SizeClass::Small).expect("small always exists");
+        let default = alloc(SizeClass::Default).expect("default always exists");
+        assert!(small <= default, "{}: small {small} vs default {default}", profile.name);
+        if let Some(large) = alloc(SizeClass::Large) {
+            assert!(
+                default <= large,
+                "{}: default {default} vs large {large}",
+                profile.name
+            );
+        }
+        if let Some(vlarge) = alloc(SizeClass::VLarge) {
+            assert!(alloc(SizeClass::Large).unwrap_or(default) <= vlarge, "{}", profile.name);
+        }
+    }
+}
+
+#[test]
+fn published_size_minimums_are_ordered() {
+    for profile in suite::all() {
+        assert!(
+            profile.min_heap_small_mb <= profile.min_heap_default_mb,
+            "{}",
+            profile.name
+        );
+        if let Some(large) = profile.min_heap_large_mb {
+            assert!(profile.min_heap_default_mb <= large, "{}", profile.name);
+        }
+        if let Some(vlarge) = profile.min_heap_vlarge_mb {
+            assert!(
+                profile.min_heap_large_mb.unwrap_or(profile.min_heap_default_mb) <= vlarge,
+                "{}",
+                profile.name
+            );
+        }
+    }
+}
+
+#[test]
+fn small_configurations_run_quickly_at_2x() {
+    let suite_obj = Suite::chopin();
+    for name in ["lusearch", "fop", "cassandra", "h2"] {
+        let bench = suite_obj.benchmark(name).expect("in suite");
+        let runs = bench
+            .runner()
+            .size(SizeClass::Small)
+            .heap_factor(2.0)
+            .iterations(1)
+            .run()
+            .unwrap_or_else(|e| panic!("{name} small: {e}"));
+        let small_wall = runs.timed().wall_time();
+        let default_wall = bench
+            .runner()
+            .heap_factor(2.0)
+            .iterations(1)
+            .run()
+            .expect("default runs")
+            .timed()
+            .wall_time();
+        assert!(
+            small_wall < default_wall,
+            "{name}: small {small_wall} vs default {default_wall}"
+        );
+    }
+}
+
+#[test]
+fn large_configurations_reach_multi_gigabyte_heaps() {
+    // batik large: 1759 MB GML; h2 large: 10201 MB. At 2x those are
+    // 3.4 GB and 20 GB heaps — only a simulation turns these into unit
+    // tests.
+    let suite_obj = Suite::chopin();
+    for (name, min_gb) in [("batik", 1.7), ("h2", 9.9), ("pmd", 3.4)] {
+        let bench = suite_obj.benchmark(name).expect("in suite");
+        let runs = bench
+            .runner()
+            .size(SizeClass::Large)
+            .heap_factor(2.0)
+            .iterations(1)
+            .run()
+            .unwrap_or_else(|e| panic!("{name} large: {e}"));
+        let heap_gb = runs.timed().config().heap_bytes() as f64 / (1u64 << 30) as f64;
+        assert!(heap_gb > min_gb * 1.9, "{name}: {heap_gb:.2} GB heap");
+        assert!(runs.timed().telemetry().gc_count > 0, "{name}");
+    }
+}

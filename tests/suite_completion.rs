@@ -1,0 +1,166 @@
+//! Integration: every benchmark in the suite completes under the paper's
+//! baseline methodology, and the documented exceptions (ZGC at small heap
+//! multiples) fail in the documented way.
+
+use chopin::core::{BenchmarkError, Suite};
+use chopin::runtime::collector::CollectorKind;
+use chopin::runtime::result::RunError;
+
+#[test]
+fn all_22_benchmarks_complete_with_the_baseline_configuration() {
+    // §6.1: default collector (G1), 2 x GMD, 5 iterations.
+    let suite = Suite::chopin();
+    for bench in suite.iter() {
+        let runs = bench
+            .runner()
+            .collector(CollectorKind::G1)
+            .heap_factor(2.0)
+            .iterations(5)
+            .run()
+            .unwrap_or_else(|e| panic!("{} failed: {e}", bench.name()));
+        assert_eq!(runs.iterations().len(), 5, "{}", bench.name());
+        assert!(
+            runs.timed().wall_time().as_nanos() > 0,
+            "{}",
+            bench.name()
+        );
+    }
+}
+
+#[test]
+fn all_collectors_complete_everything_at_3x() {
+    let suite = Suite::chopin();
+    for bench in suite.iter() {
+        for collector in CollectorKind::ALL {
+            let result = bench
+                .runner()
+                .collector(collector)
+                .heap_factor(3.0)
+                .iterations(1)
+                .run();
+            assert!(
+                result.is_ok(),
+                "{} with {collector} at 3x: {:?}",
+                bench.name(),
+                result.err()
+            );
+        }
+    }
+}
+
+#[test]
+fn zgc_has_missing_points_at_one_times_minheap() {
+    // "We only plot data points where the respective collector can run all
+    // 22 benchmarks to completion" — ZGC's uncompressed pointers make 1x
+    // (defined against the compressed-pointer GMD) infeasible for
+    // workloads with substantial GMU/GMD inflation.
+    let suite = Suite::chopin();
+    let mut zgc_failures = 0;
+    for bench in suite.iter() {
+        let result = bench
+            .runner()
+            .collector(CollectorKind::Zgc)
+            .heap_factor(1.0)
+            .iterations(1)
+            .run();
+        if let Err(BenchmarkError::Run(
+            RunError::OutOfMemory { .. } | RunError::GcThrash { .. },
+        )) = result
+        {
+            zgc_failures += 1;
+        }
+    }
+    assert!(
+        zgc_failures >= 10,
+        "most benchmarks must be infeasible for ZGC at 1x, got {zgc_failures}"
+    );
+}
+
+#[test]
+fn gc_insensitive_workloads_barely_collect() {
+    // jme "is one of the least GC-intensive workloads" (GCC 31); kafka has
+    // zero heap-size sensitivity.
+    let suite = Suite::chopin();
+    for name in ["jme", "kafka"] {
+        let runs = suite
+            .benchmark(name)
+            .expect("in suite")
+            .runner()
+            .heap_factor(2.0)
+            .iterations(1)
+            .run()
+            .expect("completes");
+        let gc = runs.timed().telemetry().gc_count;
+        assert!(gc < 500, "{name} should collect rarely, got {gc}");
+    }
+}
+
+#[test]
+fn lusearch_collects_orders_of_magnitude_more_than_batik() {
+    // GCC at 2x: lusearch 22408 vs batik 111 — the suite's extremes.
+    let suite = Suite::chopin();
+    let count = |name: &str| {
+        suite
+            .benchmark(name)
+            .expect("in suite")
+            .runner()
+            .heap_factor(2.0)
+            .iterations(1)
+            .run()
+            .expect("completes")
+            .timed()
+            .telemetry()
+            .gc_count
+    };
+    let lusearch = count("lusearch");
+    let batik = count("batik");
+    assert!(
+        lusearch > 20 * batik.max(1),
+        "lusearch {lusearch} vs batik {batik}"
+    );
+}
+
+#[test]
+fn large_size_classes_run_where_published() {
+    let suite = Suite::chopin();
+    for name in ["lusearch", "jython", "kafka"] {
+        let bench = suite.benchmark(name).expect("in suite");
+        let result = bench
+            .runner()
+            .size(chopin::workloads::SizeClass::Large)
+            .heap_factor(2.0)
+            .iterations(1)
+            .run();
+        assert!(result.is_ok(), "{name} large: {:?}", result.err());
+    }
+}
+
+#[test]
+fn h2_vlarge_runs_in_a_40gb_heap() {
+    // §1: "minimum heap sizes from 5 MB to 20 GB" — the 20 GB end is h2's
+    // vlarge configuration (GMV 20641 MB). Only a simulator makes this a
+    // unit test.
+    let suite = Suite::chopin();
+    let h2 = suite.benchmark("h2").expect("in suite");
+    let runs = h2
+        .runner()
+        .size(chopin::workloads::SizeClass::VLarge)
+        .heap_factor(2.0)
+        .iterations(1)
+        .run()
+        .expect("h2 vlarge completes at 2x of 20.6 GB");
+    let timed = runs.timed();
+    assert!(timed.config().heap_bytes() > 40 * (1u64 << 30));
+    assert!(timed.telemetry().gc_count > 0);
+}
+
+#[test]
+fn only_h2_has_a_vlarge_configuration() {
+    let suite = Suite::chopin();
+    for bench in suite.iter() {
+        let has = bench
+            .nominal_min_heap(chopin::workloads::SizeClass::VLarge)
+            .is_some();
+        assert_eq!(has, bench.name() == "h2", "{}", bench.name());
+    }
+}
