@@ -128,7 +128,11 @@ impl ConfidenceInterval {
 
 impl std::fmt::Display for ConfidenceInterval {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:.4} ± {:.4} (n={})", self.mean, self.half_width, self.n)
+        write!(
+            f,
+            "{:.4} ± {:.4} (n={})",
+            self.mean, self.half_width, self.n
+        )
     }
 }
 

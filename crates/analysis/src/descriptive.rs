@@ -126,7 +126,7 @@ pub fn percentile(values: &[f64], p: f64) -> Result<f64, AnalysisError> {
         });
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+    sorted.sort_by(f64::total_cmp);
     percentile_sorted(&sorted, p)
 }
 
@@ -199,7 +199,7 @@ impl Summary {
             });
         }
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+        sorted.sort_by(f64::total_cmp);
         Ok(Summary {
             min: sorted[0],
             median: percentile_sorted(&sorted, 50.0)?,

@@ -129,10 +129,8 @@ pub fn symmetric_eigen(a: &Matrix) -> Result<Eigen, AnalysisError> {
     }
 
     // Extract and sort eigenpairs descending by eigenvalue.
-    let mut pairs: Vec<(f64, Vec<f64>)> = (0..n)
-        .map(|i| (m.get(i, i), v.column(i)))
-        .collect();
-    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite eigenvalues"));
+    let mut pairs: Vec<(f64, Vec<f64>)> = (0..n).map(|i| (m.get(i, i), v.column(i))).collect();
+    pairs.sort_by(|a, b| b.0.total_cmp(&a.0));
 
     let values: Vec<f64> = pairs.iter().map(|(l, _)| *l).collect();
     let mut vectors = Matrix::zeros(n, n);

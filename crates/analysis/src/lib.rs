@@ -34,6 +34,10 @@
 //! assert!(pca.explained_variance_ratio()[0] > 0.999);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod ci;
 pub mod descriptive;
 pub mod eigen;

@@ -93,7 +93,8 @@ impl Pca {
         }
 
         let scores = x.multiply(&components)?;
-        let scores_rows: Vec<Vec<f64>> = (0..scores.rows()).map(|r| scores.row(r).to_vec()).collect();
+        let scores_rows: Vec<Vec<f64>> =
+            (0..scores.rows()).map(|r| scores.row(r).to_vec()).collect();
 
         Ok(Pca {
             eigenvalues,
@@ -164,7 +165,7 @@ impl Pca {
                 (v, w)
             })
             .collect();
-        weights.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite weights"));
+        weights.sort_by(|a, b| b.1.total_cmp(&a.1));
         weights.into_iter().take(k).map(|(v, _)| v).collect()
     }
 }

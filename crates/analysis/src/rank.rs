@@ -40,7 +40,7 @@ pub fn fractional_ranks(values: &[f64]) -> Result<Vec<f64>, AnalysisError> {
     let n = values.len();
     let mut order: Vec<usize> = (0..n).collect();
     // Descending: rank 1 = largest.
-    order.sort_by(|&a, &b| values[b].partial_cmp(&values[a]).expect("NaN filtered"));
+    order.sort_by(|&a, &b| values[b].total_cmp(&values[a]));
 
     let mut ranks = vec![0.0; n];
     let mut i = 0;

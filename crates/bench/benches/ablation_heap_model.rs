@@ -29,13 +29,15 @@ fn print_ablation() {
 
         let mut no_mult = base.clone();
         no_mult.work_multiplier = 1.0;
-        let no_mult_cost = plan_cycle(&no_mult, &input, CollectionRequest::Normal).total_work_cpu_ns();
+        let no_mult_cost =
+            plan_cycle(&no_mult, &input, CollectionRequest::Normal).total_work_cpu_ns();
 
         let big_obj = CycleInput {
             mean_object_size: 4096.0,
             ..input
         };
-        let no_obj_cost = plan_cycle(&base, &big_obj, CollectionRequest::Normal).total_work_cpu_ns();
+        let no_obj_cost =
+            plan_cycle(&base, &big_obj, CollectionRequest::Normal).total_work_cpu_ns();
 
         let mut half_evac = base.clone();
         half_evac.evac_share /= 2.0;

@@ -12,8 +12,8 @@ fn print_sample() {
     println!("\n# Characterisation sample (measured / published)");
     println!("benchmark,GCC_m,GCC_p,GSS_m,GSS_p,PFS_m,PFS_p");
     for name in ["fop", "lusearch", "h2", "jme"] {
-        let stats = characterize(&suite::by_name(name).expect("in suite"), &config)
-            .expect("measures");
+        let stats =
+            characterize(&suite::by_name(name).expect("in suite"), &config).expect("measures");
         let p = row(name).expect("in dataset");
         println!(
             "{name},{},{},{:.0},{},{:.1},{}",

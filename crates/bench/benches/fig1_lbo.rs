@@ -18,7 +18,10 @@ fn print_figure1() {
     };
     let experiment = LboExperiment::run(&[], &sweep).expect("suite sweep");
     for clock in [Clock::Wall, Clock::Task] {
-        println!("\n# Figure 1({}) — geomean LBO {clock} overhead", if clock == Clock::Wall { 'a' } else { 'b' });
+        println!(
+            "\n# Figure 1({}) — geomean LBO {clock} overhead",
+            if clock == Clock::Wall { 'a' } else { 'b' }
+        );
         println!("collector,heap_factor,overhead");
         for (collector, series) in experiment.geomean(clock).expect("geomean") {
             for (x, y) in series {
@@ -34,8 +37,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("suite_quick_sweep_geomean", |b| {
         b.iter(|| {
-            let experiment =
-                LboExperiment::run(&[], &SweepConfig::quick()).expect("suite sweep");
+            let experiment = LboExperiment::run(&[], &SweepConfig::quick()).expect("suite sweep");
             experiment.geomean(Clock::Task).expect("geomean")
         })
     });

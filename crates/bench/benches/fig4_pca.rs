@@ -1,8 +1,8 @@
 //! Regenerates Figure 4: the PCA of the 22 workloads over the complete
 //! nominal metrics — and benchmarks the PCA fit itself.
 
-use chopin_core::nominal::{complete_matrix, suite_pca};
 use chopin_analysis::Pca;
+use chopin_core::nominal::{complete_matrix, suite_pca};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn print_figure4() {

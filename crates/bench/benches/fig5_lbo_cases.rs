@@ -19,7 +19,10 @@ fn print_figure5() {
         LboExperiment::run(&["cassandra".into(), "lusearch".into()], &sweep).expect("runs");
     for i in 0..2 {
         println!("\n# Figure 5 — {}", experiment.sweeps[i].benchmark);
-        for (clock, analyses) in [(Clock::Wall, &experiment.wall), (Clock::Task, &experiment.task)] {
+        for (clock, analyses) in [
+            (Clock::Wall, &experiment.wall),
+            (Clock::Task, &experiment.task),
+        ] {
             println!("clock={clock}: collector,heap_factor,overhead");
             for (collector, points) in analyses[i].curves() {
                 for p in points {
@@ -35,8 +38,15 @@ fn bench(c: &mut Criterion) {
     let suite = Suite::chopin();
     let mut group = c.benchmark_group("fig5");
     group.sample_size(10);
-    for (bench_name, collector) in [("cassandra", CollectorKind::Zgc), ("lusearch", CollectorKind::Shenandoah)] {
-        let profile = suite.benchmark(bench_name).expect("in suite").profile().clone();
+    for (bench_name, collector) in [
+        ("cassandra", CollectorKind::Zgc),
+        ("lusearch", CollectorKind::Shenandoah),
+    ] {
+        let profile = suite
+            .benchmark(bench_name)
+            .expect("in suite")
+            .profile()
+            .clone();
         group.bench_function(format!("{bench_name}_{collector}_2x"), |b| {
             b.iter(|| {
                 BenchmarkRunner::for_profile(profile.clone())

@@ -9,7 +9,10 @@ fn print_table2() {
     println!("\n# Table 2");
     println!("{}", chopin_harness::table2());
     println!("\n# Appendix Table 3 (avrora)");
-    println!("{}", chopin_harness::nominal_table("avrora").expect("avrora"));
+    println!(
+        "{}",
+        chopin_harness::nominal_table("avrora").expect("avrora")
+    );
 }
 
 fn bench(c: &mut Criterion) {

@@ -1,1 +1,4 @@
 //! placeholder
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]

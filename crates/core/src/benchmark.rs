@@ -297,13 +297,13 @@ impl BenchmarkRunner {
         if let Some(b) = self.heap_bytes {
             return Ok(b);
         }
-        let min = self
-            .profile
-            .min_heap_bytes(self.size)
-            .ok_or(BenchmarkError::UnsupportedSize {
-                benchmark: self.profile.name.to_string(),
-                size: self.size,
-            })?;
+        let min =
+            self.profile
+                .min_heap_bytes(self.size)
+                .ok_or(BenchmarkError::UnsupportedSize {
+                    benchmark: self.profile.name.to_string(),
+                    size: self.size,
+                })?;
         Ok((min as f64 * self.heap_factor).round() as u64)
     }
 
@@ -337,7 +337,11 @@ impl BenchmarkRunner {
                 .map_err(|e| BenchmarkError::Spec(e.to_string()))?;
             let mut config = RunConfig::new(heap, self.collector)
                 .with_machine(self.machine)
-                .with_seed(self.seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(i as u64))
+                .with_seed(
+                    self.seed
+                        .wrapping_mul(0x9E3779B97F4A7C15)
+                        .wrapping_add(i as u64),
+                )
                 .with_work_scale(warmup_scale(i, self.profile.warmup_iterations))
                 .with_noise(
                     self.noise_override
@@ -387,7 +391,10 @@ mod tests {
             .size(SizeClass::Large)
             .run()
             .unwrap_err();
-        assert!(matches!(err, BenchmarkError::UnsupportedSize { .. }), "{err}");
+        assert!(
+            matches!(err, BenchmarkError::UnsupportedSize { .. }),
+            "{err}"
+        );
         assert!(err.to_string().contains("fop"));
     }
 
@@ -428,10 +435,7 @@ mod tests {
             .map(|r| r.wall_time().as_secs_f64())
             .collect();
         assert_eq!(walls.len(), 5);
-        assert!(
-            walls[0] > walls[4],
-            "first iteration is cold: {walls:?}"
-        );
+        assert!(walls[0] > walls[4], "first iteration is cold: {walls:?}");
         assert_eq!(
             set.timed().wall_time().as_secs_f64(),
             walls[4],
@@ -449,7 +453,10 @@ mod tests {
             .heap_factor(0.5)
             .run()
             .unwrap_err();
-        assert!(matches!(err, BenchmarkError::Run(RunError::OutOfMemory { .. })), "{err}");
+        assert!(
+            matches!(err, BenchmarkError::Run(RunError::OutOfMemory { .. })),
+            "{err}"
+        );
     }
 
     #[test]

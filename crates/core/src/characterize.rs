@@ -26,7 +26,7 @@ use chopin_analysis::rank::spearman;
 use chopin_runtime::collector::CollectorKind;
 use chopin_runtime::config::CompilerMode;
 use chopin_runtime::machine::MachineConfig;
-use chopin_workloads::{SizeClass, WorkloadProfile};
+use chopin_workloads::WorkloadProfile;
 use serde::{Deserialize, Serialize};
 
 /// The measured counterparts of the suite's G- and P-family nominal
@@ -115,9 +115,9 @@ pub fn characterize(
     let timed = baseline.timed();
     let wall_s = timed.wall_time().as_secs_f64();
     let pause_s = timed.telemetry().total_pause_wall().as_secs_f64();
-    let min_heap_nominal = profile
-        .min_heap_bytes(SizeClass::Default)
-        .expect("default size always exists") as f64;
+    // SizeClass::Default always exists (the field is not optional), so
+    // read it directly rather than through the fallible accessor.
+    let min_heap_nominal = profile.min_heap_default_mb * (1u64 << 20) as f64;
 
     let post_gc_pcts: Vec<f64> = timed
         .telemetry()
@@ -129,8 +129,7 @@ pub fn characterize(
         (None, None)
     } else {
         let avg = post_gc_pcts.iter().sum::<f64>() / post_gc_pcts.len() as f64;
-        let median = percentile(&post_gc_pcts, 50.0).expect("non-empty");
-        (Some(avg), Some(median))
+        (Some(avg), percentile(&post_gc_pcts, 50.0).ok())
     };
 
     // GSS: tight vs generous heap.

@@ -61,7 +61,10 @@ impl IterationSet {
     ///
     /// Panics if `iterations` is empty.
     pub fn new(iterations: Vec<RunResult>) -> Self {
-        assert!(!iterations.is_empty(), "an invocation runs at least one iteration");
+        assert!(
+            !iterations.is_empty(),
+            "an invocation runs at least one iteration"
+        );
         IterationSet { iterations }
     }
 
@@ -72,7 +75,10 @@ impl IterationSet {
 
     /// The timed iteration — the last, per §6.1.2.
     pub fn timed(&self) -> &RunResult {
-        self.iterations.last().expect("non-empty by construction")
+        match self.iterations.last() {
+            Some(last) => last,
+            None => unreachable!("InvocationResult holds at least one iteration"),
+        }
     }
 
     /// Wall-clock time summed over all iterations (what a user of the

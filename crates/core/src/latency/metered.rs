@@ -161,7 +161,7 @@ fn assumed_starts(starts: &[u64], window: SmoothingWindow) -> Vec<SimTime> {
             let mut prefix = Vec::with_capacity(n + 1);
             prefix.push(0u128);
             for &s in starts {
-                let last = *prefix.last().expect("non-empty");
+                let last = prefix.last().copied().unwrap_or(0);
                 prefix.push(last + s as u128);
             }
             let mean_start = |i: usize, j: usize| -> f64 {
@@ -275,7 +275,10 @@ mod tests {
         // none, 1ms, 10ms, 100ms, 1s, 10s, full
         assert_eq!(ladder.len(), 7);
         assert_eq!(ladder[0], SmoothingWindow::None);
-        assert_eq!(ladder[1], SmoothingWindow::Duration(SimDuration::from_millis(1)));
+        assert_eq!(
+            ladder[1],
+            SmoothingWindow::Duration(SimDuration::from_millis(1))
+        );
         assert_eq!(*ladder.last().unwrap(), SmoothingWindow::Full);
     }
 

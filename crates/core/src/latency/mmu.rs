@@ -69,13 +69,13 @@ pub fn mmu(trace: &ProgressTrace, window: SimDuration) -> Option<f64> {
     bounds.push(t0);
     integral.push(0.0);
     for s in segments {
-        let prev = *integral.last().expect("non-empty");
+        let prev = integral.last().copied().unwrap_or(0.0);
         bounds.push(s.end.as_nanos() as f64);
         integral.push(prev + s.worker_rate * (s.end - s.start).as_nanos() as f64);
     }
     let value_at = |t: f64| -> f64 {
         // Integral of rate from t0 to t.
-        match bounds.binary_search_by(|b| b.partial_cmp(&t).expect("finite")) {
+        match bounds.binary_search_by(|b| b.total_cmp(&t)) {
             Ok(i) => integral[i],
             Err(i) => {
                 // t lies inside segment i-1.
@@ -145,7 +145,11 @@ mod tests {
         assert_eq!(mmu(&ProgressTrace::new(), SimDuration::from_nanos(1)), None);
         let t = trace(&[(0, 100, 1.0)]);
         assert_eq!(mmu(&t, SimDuration::ZERO), None);
-        assert_eq!(mmu(&t, SimDuration::from_nanos(200)), None, "window longer than trace");
+        assert_eq!(
+            mmu(&t, SimDuration::from_nanos(200)),
+            None,
+            "window longer than trace"
+        );
     }
 
     #[test]
@@ -166,7 +170,10 @@ mod tests {
         let mut prev = -1.0;
         for w in [50, 100, 200, 400, 800] {
             let m = mmu(&t, SimDuration::from_nanos(w)).unwrap();
-            assert!(m >= prev - 1e-9, "MMU must be non-decreasing in window size");
+            assert!(
+                m >= prev - 1e-9,
+                "MMU must be non-decreasing in window size"
+            );
             prev = m;
         }
     }
@@ -204,7 +211,11 @@ mod tests {
 
     #[test]
     fn curve_covers_window_ladder() {
-        let t = trace(&[(0, 10_000_000, 1.0), (10_000_000, 10_500_000, 0.0), (10_500_000, 20_000_000, 1.0)]);
+        let t = trace(&[
+            (0, 10_000_000, 1.0),
+            (10_000_000, 10_500_000, 0.0),
+            (10_500_000, 20_000_000, 1.0),
+        ]);
         let curve = mmu_curve(&t);
         assert!(curve.len() >= 2);
         assert!(curve.windows(2).all(|p| p[0].1 <= p[1].1 + 1e-9));

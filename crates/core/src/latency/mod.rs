@@ -57,7 +57,10 @@ use chopin_runtime::spec::RequestProfile;
 /// # Ok(())
 /// # }
 /// ```
-pub fn events_of(result: &RunResult, requests: Option<&RequestProfile>) -> Option<Vec<RequestEvent>> {
+pub fn events_of(
+    result: &RunResult,
+    requests: Option<&RequestProfile>,
+) -> Option<Vec<RequestEvent>> {
     let profile = requests?;
     Some(extract_events(
         result.progress(),
@@ -85,7 +88,10 @@ mod tests {
             .live_range(1 << 20, 1 << 20)
             .build()
             .unwrap();
-        let cfg = chopin_runtime::config::RunConfig::new(16 << 20, chopin_runtime::collector::CollectorKind::G1);
+        let cfg = chopin_runtime::config::RunConfig::new(
+            16 << 20,
+            chopin_runtime::collector::CollectorKind::G1,
+        );
         let result = chopin_runtime::engine::run(&spec, &cfg).unwrap();
         assert!(events_of(&result, None).is_none());
     }

@@ -64,14 +64,11 @@ impl LatencyDistribution {
     ///
     /// Returns `None` for an empty input.
     pub fn from_durations<I: IntoIterator<Item = SimDuration>>(latencies: I) -> Option<Self> {
-        let mut sorted_ms: Vec<f64> = latencies
-            .into_iter()
-            .map(|d| d.as_millis_f64())
-            .collect();
+        let mut sorted_ms: Vec<f64> = latencies.into_iter().map(|d| d.as_millis_f64()).collect();
         if sorted_ms.is_empty() {
             return None;
         }
-        sorted_ms.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        sorted_ms.sort_by(f64::total_cmp);
         Some(LatencyDistribution { sorted_ms })
     }
 
@@ -91,12 +88,16 @@ impl LatencyDistribution {
     ///
     /// Panics if `p` is outside `[0, 100]`.
     pub fn percentile(&self, p: f64) -> f64 {
-        percentile_sorted(&self.sorted_ms, p).expect("non-empty and p validated by caller")
+        match percentile_sorted(&self.sorted_ms, p) {
+            Ok(v) => v,
+            Err(e) => panic!("invalid percentile query: {e}"),
+        }
     }
 
     /// The maximum observed latency in milliseconds.
     pub fn max_ms(&self) -> f64 {
-        *self.sorted_ms.last().expect("non-empty")
+        // Construction rejects empty distributions.
+        self.sorted_ms.last().copied().unwrap_or(f64::NAN)
     }
 
     /// Mean latency in milliseconds.
@@ -211,10 +212,7 @@ mod tests {
         for p in [50.0, 90.0, 99.0] {
             let a = d.percentile(p);
             let b = r.percentile(p);
-            assert!(
-                (a - b).abs() / a < 0.02,
-                "p{p}: exact {a} vs histogram {b}"
-            );
+            assert!((a - b).abs() / a < 0.02, "p{p}: exact {a} vs histogram {b}");
         }
         assert!(LatencyDistribution::from_histogram(
             &chopin_analysis::histogram::HdrHistogram::new(5)

@@ -139,9 +139,7 @@ impl LboAnalysis {
         // collectors and all heap sizes.
         let distilled_s = cells
             .values()
-            .map(|runs| {
-                runs.iter().map(|s| distillable(s)).sum::<f64>() / runs.len() as f64
-            })
+            .map(|runs| runs.iter().map(|s| distillable(s)).sum::<f64>() / runs.len() as f64)
             .fold(f64::INFINITY, f64::min);
 
         let mut curves: BTreeMap<CollectorKind, Vec<LboPoint>> = BTreeMap::new();
@@ -158,7 +156,7 @@ impl LboAnalysis {
             });
         }
         for points in curves.values_mut() {
-            points.sort_by(|a, b| a.heap_factor.partial_cmp(&b.heap_factor).expect("finite"));
+            points.sort_by(|a, b| a.heap_factor.total_cmp(&b.heap_factor));
         }
 
         Ok(LboAnalysis {
@@ -226,13 +224,27 @@ pub fn geomean_curves(
         for fk in factors {
             let mut per_bench = Vec::with_capacity(analyses.len());
             let mut factor = 0.0;
+            // The factor set was intersected above, so every benchmark has a
+            // point at `fk`; should a curve nonetheless lack one, drop the
+            // factor rather than plot an incomplete geomean.
+            let mut complete = true;
             for a in analyses {
                 let point = a
                     .curve(collector)
-                    .and_then(|ps| ps.iter().find(|p| factor_key(p.heap_factor) == fk))
-                    .expect("factor intersected above");
-                per_bench.push(point.overhead.mean());
-                factor = point.heap_factor;
+                    .and_then(|ps| ps.iter().find(|p| factor_key(p.heap_factor) == fk));
+                match point {
+                    Some(p) => {
+                        per_bench.push(p.overhead.mean());
+                        factor = p.heap_factor;
+                    }
+                    None => {
+                        complete = false;
+                        break;
+                    }
+                }
+            }
+            if !complete {
+                continue;
             }
             series.push((factor, geometric_mean(&per_bench)?));
         }

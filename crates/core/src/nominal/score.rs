@@ -79,7 +79,7 @@ fn score_row(row: &NominalRow, rows: &[NominalRow]) -> Vec<ScoredMetric> {
         .filter_map(|(i, def): (usize, &MetricDef)| {
             let value = row.values[i]?;
             let all: Vec<f64> = rows.iter().filter_map(|r| r.values[i]).collect();
-            let summary = Summary::of(&all).expect("at least this row's value");
+            let summary = Summary::of(&all).ok()?;
             let rank = rank_of(value, &all);
             Some(ScoredMetric {
                 code: def.code,
@@ -194,7 +194,10 @@ mod tests {
                 .iter()
                 .map(|(_, _, rank)| score_of(*rank, n))
                 .collect();
-            assert!(scores.windows(2).all(|w| w[0] >= w[1]), "{code}: {scores:?}");
+            assert!(
+                scores.windows(2).all(|w| w[0] >= w[1]),
+                "{code}: {scores:?}"
+            );
         }
     }
 }

@@ -16,9 +16,7 @@ use serde::{Deserialize, Serialize};
 
 /// The heap factors Figure 1 and Figure 5 sweep: denser at small heaps,
 /// 1–6 × the minimum.
-pub const PAPER_HEAP_FACTORS: [f64; 11] = [
-    1.0, 1.25, 1.5, 1.75, 2.0, 2.5, 3.0, 3.5, 4.0, 5.0, 6.0,
-];
+pub const PAPER_HEAP_FACTORS: [f64; 11] = [1.0, 1.25, 1.5, 1.75, 2.0, 2.5, 3.0, 3.5, 4.0, 5.0, 6.0];
 
 /// Configuration of a sweep over collectors × heap factors × invocations.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -96,7 +94,7 @@ impl SweepResult {
             .filter(|s| s.collector == collector)
             .map(|s| s.heap_factor)
             .collect();
-        factors.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        factors.sort_by(f64::total_cmp);
         factors.dedup();
         factors
             .into_iter()
@@ -120,7 +118,10 @@ impl SweepResult {
 ///
 /// Returns [`BenchmarkError`] for configuration errors (e.g. an
 /// unsupported size class).
-pub fn run_sweep(profile: &WorkloadProfile, config: &SweepConfig) -> Result<SweepResult, BenchmarkError> {
+pub fn run_sweep(
+    profile: &WorkloadProfile,
+    config: &SweepConfig,
+) -> Result<SweepResult, BenchmarkError> {
     let mut samples = Vec::new();
     let mut failures = Vec::new();
     for &collector in &config.collectors {
@@ -190,13 +191,19 @@ mod tests {
         let result = run_sweep(&fop, &cfg).unwrap();
         assert!(!result.samples.is_empty());
         // G1 completes everywhere.
-        assert_eq!(result.completed_factors(CollectorKind::G1), vec![1.0, 2.0, 4.0]);
+        assert_eq!(
+            result.completed_factors(CollectorKind::G1),
+            vec![1.0, 2.0, 4.0]
+        );
         // ZGC (uncompressed pointers, fop GMU/GMD = 17/13 ≈ 1.3) fails at 1×.
-        assert!(result
-            .failures
-            .iter()
-            .any(|f| f.collector == CollectorKind::Zgc && f.heap_factor == 1.0),
-            "failures: {:?}", result.failures);
+        assert!(
+            result
+                .failures
+                .iter()
+                .any(|f| f.collector == CollectorKind::Zgc && f.heap_factor == 1.0),
+            "failures: {:?}",
+            result.failures
+        );
     }
 
     #[test]

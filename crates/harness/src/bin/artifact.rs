@@ -1,19 +1,52 @@
 //! The artifact-appendix workflow (appendix A): run one of the artifact's
-//! experiment presets.
+//! experiment presets, or the static-validation pass.
 //!
 //! ```text
 //! artifact kick-the-tires    # A.5 basic test
 //! artifact lbo               # A.7, reproduces Figures 1 and 5
 //! artifact latency           # A.7, reproduces Figures 3 and 6
 //! artifact validate          # scorecard: PASS/FAIL per headline claim
+//! artifact lint [--json]     # static validation; non-zero exit on errors
+//! artifact lint --rules      # print the rule catalogue
 //! ```
 
+use chopin_harness::cli::Args;
 use chopin_harness::presets::Preset;
 
+const USAGE: &str = "usage: artifact <kick-the-tires|lbo|latency|validate|lint> [--json|--rules]";
+
+fn run_lint(args: &Args) -> i32 {
+    if args.has("rules") {
+        for rule in chopin_lint::RULES.iter() {
+            println!(
+                "{:<6} {:<6} {}",
+                rule.id,
+                rule.severity.label(),
+                rule.summary
+            );
+        }
+        return 0;
+    }
+    let report = chopin_harness::lint::lint_all();
+    if args.has("json") {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_table());
+    }
+    i32::from(report.has_errors())
+}
+
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_default();
-    let Some(preset) = Preset::parse(&arg) else {
-        eprintln!("usage: artifact <kick-the-tires|lbo|latency|validate>");
+    let args = Args::from_env();
+    let Some(command) = args.positionals().first() else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    if command == "lint" {
+        std::process::exit(run_lint(&args));
+    }
+    let Some(preset) = Preset::parse(command) else {
+        eprintln!("{USAGE}");
         std::process::exit(2);
     };
     match preset.run() {

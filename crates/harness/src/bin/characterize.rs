@@ -19,7 +19,11 @@ fn main() {
     let args = Args::from_env();
     let mut benchmarks = args.list("b");
     if benchmarks.is_empty() {
-        benchmarks = Suite::chopin().names().iter().map(|s| s.to_string()).collect();
+        benchmarks = Suite::chopin()
+            .names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
     }
     let config = CharacterizeConfig {
         with_min_heap: args.has("minheap"),
@@ -58,7 +62,9 @@ fn main() {
             format!("{:.1} / {}", m.gc_pause_pct_2x, p("GCP")),
             format!(
                 "{} / {}",
-                m.avg_post_gc_pct.map(|v| format!("{v:.0}")).unwrap_or_else(|| "-".into()),
+                m.avg_post_gc_pct
+                    .map(|v| format!("{v:.0}"))
+                    .unwrap_or_else(|| "-".into()),
                 p("GCA")
             ),
             format!("{:.0} / {}", m.heap_sensitivity_pct, p("GSS")),
@@ -99,7 +105,10 @@ fn main() {
     );
 
     if measured.len() >= 5 {
-        println!("\nSpearman rank agreement (measured vs published), n={}:", measured.len());
+        println!(
+            "\nSpearman rank agreement (measured vs published), n={}:",
+            measured.len()
+        );
         let pairs: Vec<(&str, Vec<f64>, Vec<f64>)> = vec![
             (
                 "GCC",
@@ -143,7 +152,10 @@ fn main() {
             ),
             (
                 "PIN",
-                measured.iter().map(|m| m.interpreter_slowdown_pct).collect(),
+                measured
+                    .iter()
+                    .map(|m| m.interpreter_slowdown_pct)
+                    .collect(),
                 measured
                     .iter()
                     .map(|m| row(&m.benchmark).unwrap().value("PIN").unwrap_or(0.0))

@@ -17,11 +17,7 @@ fn main() {
         eprintln!("usage: gclog -b <benchmark> [--collector g1] [--heap-factor 2.0]");
         std::process::exit(2);
     };
-    let collector: CollectorKind = match args
-        .value("collector")
-        .unwrap_or("g1")
-        .parse()
-    {
+    let collector: CollectorKind = match args.value("collector").unwrap_or("g1").parse() {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: {e}");

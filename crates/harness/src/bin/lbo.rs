@@ -22,12 +22,20 @@ fn main() {
     } else {
         SweepConfig::default()
     };
-    sweep.invocations = args.get_or("invocations", sweep.invocations).unwrap_or(sweep.invocations);
-    sweep.iterations = args.get_or("iterations", sweep.iterations).unwrap_or(sweep.iterations);
+    sweep.invocations = args
+        .get_or("invocations", sweep.invocations)
+        .unwrap_or(sweep.invocations);
+    sweep.iterations = args
+        .get_or("iterations", sweep.iterations)
+        .unwrap_or(sweep.iterations);
 
     eprintln!(
         "running LBO sweep: {} benchmark(s), {} collectors, {} heap factors, {} invocation(s)",
-        if benchmarks.is_empty() { 22 } else { benchmarks.len() },
+        if benchmarks.is_empty() {
+            22
+        } else {
+            benchmarks.len()
+        },
         sweep.collectors.len(),
         sweep.heap_factors.len(),
         sweep.invocations

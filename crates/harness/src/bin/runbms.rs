@@ -15,15 +15,23 @@ fn main() {
     let args = Args::from_env();
     let mut benchmarks = args.list("b");
     if benchmarks.is_empty() || benchmarks == ["all"] {
-        benchmarks = Suite::chopin().names().iter().map(|s| s.to_string()).collect();
+        benchmarks = Suite::chopin()
+            .names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
     }
     let mut sweep = if args.has("quick") {
         SweepConfig::quick()
     } else {
         SweepConfig::default()
     };
-    sweep.invocations = args.get_or("invocations", sweep.invocations).unwrap_or(sweep.invocations);
-    sweep.iterations = args.get_or("iterations", sweep.iterations).unwrap_or(sweep.iterations);
+    sweep.invocations = args
+        .get_or("invocations", sweep.invocations)
+        .unwrap_or(sweep.invocations);
+    sweep.iterations = args
+        .get_or("iterations", sweep.iterations)
+        .unwrap_or(sweep.iterations);
 
     println!("benchmark,collector,heap_factor,wall_s,task_s,wall_distillable_s,task_distillable_s");
     for bench in &benchmarks {
@@ -33,12 +41,20 @@ fn main() {
                 for s in &result.samples {
                     println!(
                         "{},{},{},{},{},{},{}",
-                        bench, s.collector, s.heap_factor, s.wall_s, s.task_s,
-                        s.wall_distillable_s, s.task_distillable_s
+                        bench,
+                        s.collector,
+                        s.heap_factor,
+                        s.wall_s,
+                        s.task_s,
+                        s.wall_distillable_s,
+                        s.task_distillable_s
                     );
                 }
                 for f in &result.failures {
-                    eprintln!("  skipped {} @ {:.2}x: {}", f.collector, f.heap_factor, f.reason);
+                    eprintln!(
+                        "  skipped {} @ {:.2}x: {}",
+                        f.collector, f.heap_factor, f.reason
+                    );
                 }
             }
             Err(e) => {

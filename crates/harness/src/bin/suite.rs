@@ -36,10 +36,7 @@ fn main() {
             );
             println!(
                 "  threads {}  alloc {} MB/s  turnover {}x  exec {}s",
-                profile.threads,
-                profile.alloc_rate_mb_s,
-                profile.turnover,
-                profile.exec_time_s
+                profile.threads, profile.alloc_rate_mb_s, profile.turnover, profile.exec_time_s
             );
             if let Some(highlights) = workloads::highlights(name) {
                 for h in highlights {
@@ -59,7 +56,12 @@ fn main() {
             vec![
                 p.name.to_string(),
                 if p.new_in_chopin { "new" } else { "" }.to_string(),
-                if p.is_latency_sensitive() { "latency" } else { "batch" }.to_string(),
+                if p.is_latency_sensitive() {
+                    "latency"
+                } else {
+                    "batch"
+                }
+                .to_string(),
                 format!("{}", p.min_heap_default_mb),
                 format!("{}", p.threads),
                 format!("{}", p.alloc_rate_mb_s),
@@ -70,7 +72,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["benchmark", "", "kind", "GMD (MB)", "threads", "ARA (MB/s)", "GTO"],
+            &[
+                "benchmark",
+                "",
+                "kind",
+                "GMD (MB)",
+                "threads",
+                "ARA (MB/s)",
+                "GTO"
+            ],
             &rows
         )
     );

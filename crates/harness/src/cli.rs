@@ -48,7 +48,10 @@ impl Args {
                     .filter(|v| !v.starts_with('-') || v.parse::<f64>().is_ok());
                 match value_next {
                     Some(v) => {
-                        out.flags.entry(name.to_string()).or_default().push(v.clone());
+                        out.flags
+                            .entry(name.to_string())
+                            .or_default()
+                            .push(v.clone());
                         i += 2;
                     }
                     None => {

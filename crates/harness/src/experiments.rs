@@ -77,7 +77,10 @@ impl LboExperiment {
     /// # Errors
     ///
     /// See [`ExperimentError`].
-    pub fn run(benchmarks: &[String], sweep: &SweepConfig) -> Result<LboExperiment, ExperimentError> {
+    pub fn run(
+        benchmarks: &[String],
+        sweep: &SweepConfig,
+    ) -> Result<LboExperiment, ExperimentError> {
         let suite = Suite::chopin();
         let selected: Vec<_> = if benchmarks.is_empty() {
             suite.iter().map(|b| b.profile().clone()).collect()
@@ -166,7 +169,9 @@ impl LboExperiment {
                 .map(|(c, pts)| {
                     Series::new(
                         c.label(),
-                        pts.iter().map(|p| (p.heap_factor, p.overhead.mean())).collect(),
+                        pts.iter()
+                            .map(|p| (p.heap_factor, p.overhead.mean()))
+                            .collect(),
                     )
                 })
                 .collect();
@@ -206,7 +211,11 @@ pub struct LatencyExperiment {
     pub distributions: Vec<(CollectorKind, f64, SmoothingWindow, LatencyDistribution)>,
     /// Raw events per (collector, heap factor) — §4.4's "optionally saving
     /// the complete data to file for offline analysis".
-    raw_events: Vec<(CollectorKind, f64, Vec<chopin_runtime::requests::RequestEvent>)>,
+    raw_events: Vec<(
+        CollectorKind,
+        f64,
+        Vec<chopin_runtime::requests::RequestEvent>,
+    )>,
 }
 
 impl LatencyExperiment {
@@ -219,7 +228,10 @@ impl LatencyExperiment {
     /// # Errors
     ///
     /// See [`ExperimentError`].
-    pub fn run(benchmark: &str, heap_factors: &[f64]) -> Result<LatencyExperiment, ExperimentError> {
+    pub fn run(
+        benchmark: &str,
+        heap_factors: &[f64],
+    ) -> Result<LatencyExperiment, ExperimentError> {
         let suite = Suite::chopin();
         let bench = suite
             .benchmark(benchmark)
@@ -276,8 +288,16 @@ impl LatencyExperiment {
     /// The raw events of every measured (collector, heap-factor) cell.
     pub fn raw_events(
         &self,
-    ) -> impl Iterator<Item = (CollectorKind, f64, &[chopin_runtime::requests::RequestEvent])> {
-        self.raw_events.iter().map(|(c, f, e)| (*c, *f, e.as_slice()))
+    ) -> impl Iterator<
+        Item = (
+            CollectorKind,
+            f64,
+            &[chopin_runtime::requests::RequestEvent],
+        ),
+    > {
+        self.raw_events
+            .iter()
+            .map(|(c, f, e)| (*c, *f, e.as_slice()))
     }
 
     /// Render the figure panel for one (heap factor, window) combination:
@@ -339,7 +359,16 @@ impl LatencyExperiment {
             rows.push(row);
         }
         render_table(
-            &["collector", "heap", "window", "p50", "p90", "p99", "p99.9", "p99.99"],
+            &[
+                "collector",
+                "heap",
+                "window",
+                "p50",
+                "p90",
+                "p99",
+                "p99.9",
+                "p99.99",
+            ],
             &rows,
         )
     }
@@ -524,7 +553,10 @@ pub fn heap_trace(benchmark: &str) -> Result<String, ExperimentError> {
 /// # Errors
 ///
 /// See [`ExperimentError`].
-pub fn sweep_benchmark(benchmark: &str, config: &SweepConfig) -> Result<SweepResult, ExperimentError> {
+pub fn sweep_benchmark(
+    benchmark: &str,
+    config: &SweepConfig,
+) -> Result<SweepResult, ExperimentError> {
     let suite = Suite::chopin();
     let bench = suite
         .benchmark(benchmark)

@@ -12,6 +12,9 @@
 //! * [`cli`] — the tiny flag parser the binaries share.
 //! * [`presets`] — the artifact appendix's experiment presets
 //!   (kick-the-tires / lbo / latency).
+//! * [`lint`] — the `artifact lint` static-validation pass: the
+//!   [`chopin_lint`] rule catalogue over the suite plus every preset
+//!   configuration above.
 //! * [`output`] — the results folder the artifact workflow writes into.
 //! * [`validate`] — the reproduction scorecard: re-verify the paper's
 //!   headline claims with fresh measurements (`artifact validate`).
@@ -19,13 +22,17 @@
 //! Binaries (see `src/bin`): `lbo`, `latency`, `pca`, `nominal`,
 //! `heaptrace`, `runbms`.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod cli;
 pub mod experiments;
+pub mod lint;
 pub mod output;
 pub mod plot;
 pub mod presets;
-pub mod validate;
 pub mod runner;
+pub mod validate;
 
 pub use experiments::{
     heap_trace, nominal_table, pca_figure, sweep_benchmark, table1, table2, ExperimentError,

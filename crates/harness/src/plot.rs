@@ -241,7 +241,15 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         &widths,
         &mut out,
     );
-    let _ = writeln!(out, "{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    let _ = writeln!(
+        out,
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
     for row in rows {
         line(row, &widths, &mut out);
     }

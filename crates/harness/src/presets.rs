@@ -67,6 +67,25 @@ impl Preset {
     }
 }
 
+/// Heap factors the kick-the-tires smoke test sweeps.
+pub const KICK_THE_TIRES_HEAP_FACTORS: [f64; 2] = [2.0, 6.0];
+
+/// Heap factors the latency experiment sweeps (Figures 3 and 6 panels).
+pub const LATENCY_HEAP_FACTORS: [f64; 2] = [2.0, 6.0];
+
+/// The LBO experiment's sweep configuration: every collector over the
+/// artifact's six heap factors. Exposed so `artifact lint` can statically
+/// validate the exact configuration `artifact lbo` executes.
+pub fn lbo_sweep_config() -> SweepConfig {
+    SweepConfig {
+        collectors: CollectorKind::ALL.to_vec(),
+        heap_factors: vec![1.25, 1.5, 2.0, 3.0, 4.0, 6.0],
+        invocations: 2,
+        iterations: 2,
+        size: SizeClass::Default,
+    }
+}
+
 /// The A.5 basic test: fop (the fastest benchmark) on the default and one
 /// concurrent collector at two heap sizes, with latency from one
 /// latency-sensitive workload.
@@ -76,7 +95,7 @@ pub fn kick_the_tires() -> Result<String, ExperimentError> {
     let suite = Suite::chopin();
     let fop = suite.benchmark("fop").expect("fop is in the suite");
     for collector in [CollectorKind::G1, CollectorKind::Zgc] {
-        for factor in [2.0, 6.0] {
+        for factor in KICK_THE_TIRES_HEAP_FACTORS {
             let runs = fop
                 .runner()
                 .collector(collector)
@@ -102,13 +121,7 @@ pub fn kick_the_tires() -> Result<String, ExperimentError> {
 /// The A.7 LBO experiment: geomean Figure 1 plus the Figure 5 case
 /// studies.
 pub fn lbo_experiment() -> Result<String, ExperimentError> {
-    let sweep = SweepConfig {
-        collectors: CollectorKind::ALL.to_vec(),
-        heap_factors: vec![1.25, 1.5, 2.0, 3.0, 4.0, 6.0],
-        invocations: 2,
-        iterations: 2,
-        size: SizeClass::Default,
-    };
+    let sweep = lbo_sweep_config();
     let experiment = LboExperiment::run(&[], &sweep)?;
     let mut out = String::new();
     for clock in [Clock::Wall, Clock::Task] {
@@ -129,8 +142,8 @@ pub fn lbo_experiment() -> Result<String, ExperimentError> {
 pub fn latency_experiment() -> Result<String, ExperimentError> {
     let mut out = String::new();
     for bench in ["cassandra", "h2"] {
-        let experiment = LatencyExperiment::run(bench, &[2.0, 6.0])?;
-        for factor in [2.0, 6.0] {
+        let experiment = LatencyExperiment::run(bench, &LATENCY_HEAP_FACTORS)?;
+        for factor in LATENCY_HEAP_FACTORS {
             for window in [
                 SmoothingWindow::None,
                 SmoothingWindow::Duration(SimDuration::from_millis(100)),

@@ -33,19 +33,42 @@ pub struct CheckResult {
     pub pass: bool,
 }
 
-/// Run the full scorecard. Takes a few seconds (a coarse suite sweep plus
-/// the case studies).
-pub fn run_scorecard() -> Vec<CheckResult> {
-    let mut results = Vec::new();
-
-    // --- Figure 1: the suite-wide sweep -------------------------------
-    let sweep = SweepConfig {
+/// The coarse suite sweep the scorecard measures Figure 1 from. Exposed so
+/// `artifact lint` can statically validate the exact configuration
+/// `artifact validate` executes.
+pub fn scorecard_sweep_config() -> SweepConfig {
+    SweepConfig {
         collectors: CollectorKind::ALL.to_vec(),
         heap_factors: vec![1.5, 2.0, 3.0, 6.0],
         invocations: 1,
         iterations: 2,
         size: SizeClass::Default,
-    };
+    }
+}
+
+/// Run the full scorecard. Takes a few seconds (a coarse suite sweep plus
+/// the case studies).
+pub fn run_scorecard() -> Vec<CheckResult> {
+    let mut results = Vec::new();
+
+    // --- Static validation ---------------------------------------------
+    {
+        let report = crate::lint::lint_all();
+        results.push(CheckResult {
+            id: "lint-clean",
+            claim: "every shipped spec, collector model and preset passes static validation",
+            measured: format!(
+                "{} error(s), {} warning(s) across the {}-rule catalogue",
+                report.error_count(),
+                report.warn_count(),
+                chopin_lint::RULES.len()
+            ),
+            pass: !report.has_errors(),
+        });
+    }
+
+    // --- Figure 1: the suite-wide sweep -------------------------------
+    let sweep = scorecard_sweep_config();
     let profiles = suite::all();
     let sweeps = run_suite_sweeps(&profiles, &sweep).expect("suite sweeps run");
     let task: Vec<LboAnalysis> = sweeps
@@ -110,9 +133,13 @@ pub fn run_scorecard() -> Vec<CheckResult> {
     {
         let p = at(&wall_geo, CollectorKind::Parallel, 6.0).unwrap_or(f64::NAN);
         let g1 = at(&wall_geo, CollectorKind::G1, 6.0).unwrap_or(f64::NAN);
-        let others_worse = [CollectorKind::Serial, CollectorKind::Shenandoah, CollectorKind::Zgc]
-            .iter()
-            .all(|&c| at(&wall_geo, c, 6.0).unwrap_or(0.0) > p.max(g1));
+        let others_worse = [
+            CollectorKind::Serial,
+            CollectorKind::Shenandoah,
+            CollectorKind::Zgc,
+        ]
+        .iter()
+        .all(|&c| at(&wall_geo, c, 6.0).unwrap_or(0.0) > p.max(g1));
         results.push(CheckResult {
             id: "fig1a-winners",
             claim: "G1 and Parallel win the wall clock at generous heaps (paper: ~9%)",
@@ -139,10 +166,14 @@ pub fn run_scorecard() -> Vec<CheckResult> {
             .get(&CollectorKind::Zgc)
             .map(|v| v.len())
             .unwrap_or(0);
-        let g1_points = task_geo.get(&CollectorKind::G1).map(|v| v.len()).unwrap_or(0);
+        let g1_points = task_geo
+            .get(&CollectorKind::G1)
+            .map(|v| v.len())
+            .unwrap_or(0);
         results.push(CheckResult {
             id: "fig1-zgc-missing-points",
-            claim: "ZGC cannot complete all 22 benchmarks at small multiples (uncompressed pointers)",
+            claim:
+                "ZGC cannot complete all 22 benchmarks at small multiples (uncompressed pointers)",
             measured: format!("ZGC has {zgc_points} geomean points vs G1's {g1_points}"),
             pass: zgc_points < g1_points,
         });
@@ -183,8 +214,8 @@ pub fn run_scorecard() -> Vec<CheckResult> {
         };
         let parallel = run(CollectorKind::Parallel);
         let shen = run(CollectorKind::Shenandoah);
-        let wall_ratio = shen.timed().wall_time().as_secs_f64()
-            / parallel.timed().wall_time().as_secs_f64();
+        let wall_ratio =
+            shen.timed().wall_time().as_secs_f64() / parallel.timed().wall_time().as_secs_f64();
         let throttled = shen.timed().telemetry().throttled_wall.as_nanos() > 0;
         results.push(CheckResult {
             id: "fig5-lusearch",

@@ -1,0 +1,194 @@
+//! R3xx: heap/collector configuration feasibility.
+//!
+//! R302 delegates to [`chopin_runtime::collector::costs::CollectorModel::validate`]
+//! — the same check the engine runs — and layers the R303 cycle-reachability
+//! analysis on top: a model whose coefficients are individually sane can
+//! still describe a collector whose state machine has states that can never
+//! fire (a dead `Degenerate` fallback on a stop-the-world collector) or
+//! states that can never be left (a generational collector that never
+//! schedules a `Full`).
+
+use crate::diagnostic::Diagnostic;
+use chopin_core::sweep::SweepConfig;
+use chopin_runtime::collector::costs::{CollectorModel, ExhaustionPolicy};
+use chopin_runtime::collector::CollectorKind;
+
+/// R302 + R303 for one collector model.
+pub fn lint_collector_model(model: &CollectorModel) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let loc = format!("collector:{}", model.kind.label());
+
+    // R302: coefficient sanity, exactly as the engine enforces it.
+    if let Err(reason) = model.validate() {
+        out.push(
+            Diagnostic::error("R302", loc.clone(), reason)
+                .with_hint("cost coefficients must be non-negative and in their documented ranges"),
+        );
+    }
+
+    // R303: cycle state-machine reachability.
+    let concurrent = model.concurrent_fraction > 0.0;
+    if model.full_gc_period == Some(0) {
+        out.push(
+            Diagnostic::error(
+                "R303",
+                loc.clone(),
+                "full_gc_period of 0 makes every cycle a full collection; the Young state is dead"
+                    .to_string(),
+            )
+            .with_hint("use None to disable periodic fulls, or a positive period"),
+        );
+    }
+    if model.kind.collects() {
+        if !concurrent && model.kind.is_generational() && model.full_gc_period.is_none() {
+            out.push(
+                Diagnostic::error(
+                    "R303",
+                    loc.clone(),
+                    "generational stop-the-world collector never reaches the Full state: \
+                     old-generation garbage accumulates forever"
+                        .to_string(),
+                )
+                .with_hint("set full_gc_period to schedule periodic whole-heap collections"),
+            );
+        }
+        if !concurrent
+            && matches!(
+                model.exhaustion,
+                ExhaustionPolicy::DegenerateFull | ExhaustionPolicy::ThrottleAllocation
+            )
+        {
+            out.push(
+                Diagnostic::error(
+                    "R303",
+                    loc.clone(),
+                    format!(
+                        "{:?} exhaustion is a dead state on a stop-the-world collector: \
+                         it only triggers while a concurrent cycle is in flight",
+                        model.exhaustion
+                    ),
+                )
+                .with_hint("stop-the-world collectors exhaust into StopTheWorld"),
+            );
+        }
+        if concurrent && model.exhaustion == ExhaustionPolicy::Fail {
+            out.push(Diagnostic::error(
+                "R303",
+                loc.clone(),
+                "a reclaiming concurrent collector must not fail on exhaustion mid-cycle"
+                    .to_string(),
+            ));
+        }
+    } else {
+        // Epsilon: no collection states are reachable at all.
+        if model.exhaustion != ExhaustionPolicy::Fail {
+            out.push(Diagnostic::error(
+                "R303",
+                loc.clone(),
+                "a non-reclaiming collector can only Fail on exhaustion".to_string(),
+            ));
+        }
+        if model.full_gc_period.is_some() {
+            out.push(Diagnostic::error(
+                "R303",
+                loc,
+                "full_gc_period on a non-reclaiming collector names an unreachable state"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// R302 + R303 across the five production collectors and Epsilon.
+pub fn lint_collector_models() -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for kind in CollectorKind::ALL {
+        out.extend(lint_collector_model(&kind.model()));
+    }
+    out.extend(lint_collector_model(&CollectorKind::Epsilon.model()));
+    out
+}
+
+/// R301 + R304 + R404 for one sweep configuration. `name` identifies the
+/// configuration in diagnostics (e.g. `default`, `preset:lbo`).
+pub fn lint_sweep_config(name: &str, config: &SweepConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let loc = format!("sweep:{name}");
+
+    for &factor in &config.heap_factors {
+        if !factor.is_finite() {
+            out.push(Diagnostic::error(
+                "R304",
+                loc.clone(),
+                format!("heap factor {factor} is not finite"),
+            ));
+        } else if factor < 1.0 {
+            out.push(
+                Diagnostic::error(
+                    "R301",
+                    loc.clone(),
+                    format!(
+                        "heap factor {factor} is below 1.0: the heap would be smaller than the \
+                         benchmark's minimum heap and no run can complete"
+                    ),
+                )
+                .with_hint(
+                    "heap sizes are expressed as multiples of the per-benchmark minimum heap",
+                ),
+            );
+        }
+    }
+    let mut seen = Vec::new();
+    for &factor in &config.heap_factors {
+        let key = (factor * 1000.0).round() as i64;
+        if seen.contains(&key) {
+            out.push(Diagnostic::error(
+                "R304",
+                loc.clone(),
+                format!("heap factor {factor} appears more than once"),
+            ));
+        }
+        seen.push(key);
+    }
+    if config.heap_factors.is_empty() {
+        out.push(Diagnostic::error(
+            "R304",
+            loc.clone(),
+            "heap-factor grid is empty".to_string(),
+        ));
+    }
+    if config.collectors.is_empty() {
+        out.push(Diagnostic::error(
+            "R304",
+            loc.clone(),
+            "collector list is empty".to_string(),
+        ));
+    }
+    let mut seen_collectors: Vec<CollectorKind> = Vec::new();
+    for &c in &config.collectors {
+        if seen_collectors.contains(&c) {
+            out.push(Diagnostic::error(
+                "R304",
+                loc.clone(),
+                format!("collector {c} appears more than once"),
+            ));
+        }
+        seen_collectors.push(c);
+    }
+    if config.invocations == 0 {
+        out.push(Diagnostic::error(
+            "R404",
+            loc.clone(),
+            "invocations must be positive".to_string(),
+        ));
+    }
+    if config.iterations == 0 {
+        out.push(Diagnostic::error(
+            "R404",
+            loc,
+            "iterations must be positive".to_string(),
+        ));
+    }
+    out
+}

@@ -1,0 +1,130 @@
+//! R4xx: methodology sanity — smoothing windows, LBO grids, percentiles.
+
+use crate::diagnostic::Diagnostic;
+use chopin_workloads::profile::WorkloadProfile;
+
+/// The paper's default metered-latency smoothing window, in milliseconds
+/// ("100ms as a reasonable middle ground", §4.4).
+pub const DEFAULT_SMOOTHING_WINDOW_MS: f64 = 100.0;
+
+/// R401: the default smoothing window must cover the mean request
+/// inter-arrival time of every latency-sensitive workload — a window
+/// shorter than one inter-arrival smooths nothing and metered latency
+/// degenerates to simple latency.
+pub fn lint_smoothing(p: &WorkloadProfile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let Some(r) = &p.requests else {
+        return out;
+    };
+    if r.count == 0 {
+        // R202's problem, not R401's.
+        return out;
+    }
+    let mean_interarrival_ms = p.derived_exec_time_s() * 1000.0 / r.count as f64;
+    if mean_interarrival_ms > DEFAULT_SMOOTHING_WINDOW_MS {
+        out.push(
+            Diagnostic::warn(
+                "R401",
+                format!("profile:{}", p.name),
+                format!(
+                    "mean request inter-arrival ({mean_interarrival_ms:.1} ms) exceeds the \
+                     default {DEFAULT_SMOOTHING_WINDOW_MS:.0} ms smoothing window"
+                ),
+            )
+            .with_hint("a window below one inter-arrival smooths nothing; raise the window or the request count"),
+        );
+    }
+    out
+}
+
+/// R402: an LBO heap-factor grid must be able to observe the distilled
+/// denominator — at least two distinct factors, reaching into the
+/// generous-heap region (max factor >= 3x) where the per-run cost
+/// approaches its minimum.
+pub fn lint_lbo_grid(name: &str, heap_factors: &[f64]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let loc = format!("lbo-grid:{name}");
+    let finite: Vec<f64> = heap_factors
+        .iter()
+        .copied()
+        .filter(|f| f.is_finite())
+        .collect();
+    if finite.len() < 2 {
+        out.push(
+            Diagnostic::warn(
+                "R402",
+                loc,
+                format!(
+                    "{} heap factor(s) cannot form an overhead curve; the distilled \
+                     denominator equals the only sample",
+                    finite.len()
+                ),
+            )
+            .with_hint("sweep at least two heap factors"),
+        );
+        return out;
+    }
+    let max = finite.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+    if max < 3.0 {
+        out.push(
+            Diagnostic::warn(
+                "R402",
+                loc,
+                format!(
+                    "largest heap factor is {max}x; the distilled minimum is taken over the \
+                     grid and stays inflated without a generous-heap (>= 3x) sample"
+                ),
+            )
+            .with_hint(
+                "include a factor of 3x or more so the denominator approaches the true lower bound",
+            ),
+        );
+    }
+    out
+}
+
+/// R403: a percentile configuration must be strictly ascending with every
+/// value in `[0, 100)` (the axis transform diverges at 100).
+pub fn lint_percentiles(name: &str, percentiles: &[f64]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let loc = format!("percentiles:{name}");
+    for &p in percentiles {
+        if !p.is_finite() || !(0.0..100.0).contains(&p) {
+            out.push(
+                Diagnostic::error(
+                    "R403",
+                    loc.clone(),
+                    format!("percentile {p} is outside [0, 100)"),
+                )
+                .with_hint("the nines axis position is -log10(1 - p/100), undefined at 100"),
+            );
+        }
+    }
+    for pair in percentiles.windows(2) {
+        if pair[0].partial_cmp(&pair[1]) != Some(std::cmp::Ordering::Less) {
+            out.push(Diagnostic::error(
+                "R403",
+                loc.clone(),
+                format!(
+                    "percentiles are not strictly ascending: {} then {}",
+                    pair[0], pair[1]
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Run R403 over the percentile configurations the figures and reports
+/// ship with.
+pub fn lint_shipped_percentiles() -> Vec<Diagnostic> {
+    let mut out = lint_percentiles(
+        "figure",
+        &chopin_core::latency::percentile::FIGURE_PERCENTILES,
+    );
+    out.extend(lint_percentiles(
+        "report",
+        &chopin_core::latency::percentile::REPORT_PERCENTILES,
+    ));
+    out
+}

@@ -1,0 +1,157 @@
+//! The rule catalogue, grouped into five families:
+//!
+//! * **R1xx** ([`nominal`]) — nominal-statistic completeness and ranges.
+//! * **R2xx** ([`spec`]) — cross-field workload-spec consistency.
+//! * **R3xx** ([`config`]) — heap/collector configuration feasibility.
+//! * **R4xx** ([`methodology`]) — latency/LBO methodology sanity.
+//! * **R5xx** ([`registry`]) — suite-registry invariants.
+
+pub mod config;
+pub mod methodology;
+pub mod nominal;
+pub mod registry;
+pub mod spec;
+
+use crate::diagnostic::Severity;
+
+/// A rule's catalogue entry: stable id, severity and one-line summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleDef {
+    /// Stable identifier (`R101`…).
+    pub id: &'static str,
+    /// Severity of findings from this rule.
+    pub severity: Severity,
+    /// One-line summary of what the rule enforces.
+    pub summary: &'static str,
+}
+
+/// Every rule the linter implements, in id order. Rendered by
+/// `artifact lint --rules` and kept in sync with the rule modules by the
+/// crate's tests.
+pub const RULES: [RuleDef; 24] = [
+    RuleDef {
+        id: "R101",
+        severity: Severity::Error,
+        summary: "every required nominal metric is present for every benchmark (GML/GMV optional)",
+    },
+    RuleDef {
+        id: "R102",
+        severity: Severity::Error,
+        summary: "nominal metric values are finite, and non-negative outside the signed PFS/PLS/UAI columns",
+    },
+    RuleDef {
+        id: "R103",
+        severity: Severity::Error,
+        summary: "nominal scores lie in 0..=10",
+    },
+    RuleDef {
+        id: "R104",
+        severity: Severity::Error,
+        summary: "rankings are valid competition rankings: ranks in 1..=of, best rank is 1",
+    },
+    RuleDef {
+        id: "R105",
+        severity: Severity::Error,
+        summary: "the nominal dataset rows and the suite registry name the same benchmarks",
+    },
+    RuleDef {
+        id: "R201",
+        severity: Severity::Error,
+        summary: "every size class of every profile builds a valid MutatorSpec",
+    },
+    RuleDef {
+        id: "R202",
+        severity: Severity::Error,
+        summary: "request profiles are valid: positive count/workers, finite non-negative dispersion",
+    },
+    RuleDef {
+        id: "R203",
+        severity: Severity::Error,
+        summary: "request workers do not exceed the request count",
+    },
+    RuleDef {
+        id: "R204",
+        severity: Severity::Error,
+        summary: "the canonical latency-sensitive benchmarks (and only they) carry request profiles",
+    },
+    RuleDef {
+        id: "R205",
+        severity: Severity::Error,
+        summary: "published minimum heaps are monotone: GMS <= GMD <= GML <= GMV, and GMU >= GMD",
+    },
+    RuleDef {
+        id: "R206",
+        severity: Severity::Error,
+        summary: "allocation-rate and live-set curve parameters are positive and well-formed",
+    },
+    RuleDef {
+        id: "R301",
+        severity: Severity::Error,
+        summary: "sweep heap factors are at least 1.0 x the minimum heap",
+    },
+    RuleDef {
+        id: "R302",
+        severity: Severity::Error,
+        summary: "collector cost models validate: non-negative, in-range coefficients",
+    },
+    RuleDef {
+        id: "R303",
+        severity: Severity::Error,
+        summary: "collector cycle state machines have no unreachable or dead states",
+    },
+    RuleDef {
+        id: "R304",
+        severity: Severity::Error,
+        summary: "sweep collector lists and heap-factor grids are non-empty, finite and duplicate-free",
+    },
+    RuleDef {
+        id: "R401",
+        severity: Severity::Warn,
+        summary: "the default smoothing window covers the mean request inter-arrival time",
+    },
+    RuleDef {
+        id: "R402",
+        severity: Severity::Warn,
+        summary: "LBO heap-factor grids sample the generous-heap denominator (>= 2 factors, max >= 3x)",
+    },
+    RuleDef {
+        id: "R403",
+        severity: Severity::Error,
+        summary: "percentile configurations are strictly ascending and lie in [0, 100)",
+    },
+    RuleDef {
+        id: "R404",
+        severity: Severity::Error,
+        summary: "sweep invocation and iteration counts are positive",
+    },
+    RuleDef {
+        id: "R501",
+        severity: Severity::Error,
+        summary: "the suite registers exactly 22 workloads",
+    },
+    RuleDef {
+        id: "R502",
+        severity: Severity::Error,
+        summary: "workload names are unique",
+    },
+    RuleDef {
+        id: "R503",
+        severity: Severity::Error,
+        summary: "the suite registry is sorted alphabetically by name",
+    },
+    RuleDef {
+        id: "R504",
+        severity: Severity::Warn,
+        summary: "exactly 8 workloads are marked new-in-Chopin",
+    },
+    RuleDef {
+        id: "R505",
+        severity: Severity::Error,
+        summary: "exactly 9 workloads are latency-sensitive",
+    },
+];
+
+/// Look up a rule's catalogue entry by id.
+pub fn rule(id: &str) -> Option<&'static RuleDef> {
+    RULES.iter().find(|r| r.id == id)
+}

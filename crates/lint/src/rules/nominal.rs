@@ -1,0 +1,179 @@
+//! R1xx: nominal-statistic completeness, ranges, scores and rankings.
+
+use crate::diagnostic::Diagnostic;
+use chopin_core::nominal::dataset::NominalRow;
+use chopin_core::nominal::metric::METRICS;
+use chopin_core::nominal::score::ScoredMetric;
+
+/// Metrics that legitimately have no value for some benchmarks: the large
+/// and very-large heap configurations only exist where the workload ships
+/// those input sizes (e.g. fop has no large input; only h2 has a vlarge
+/// one).
+pub const OPTIONAL_METRICS: [&str; 2] = ["GML", "GMV"];
+
+/// Metrics that are deltas and may legitimately be negative: LLC
+/// sensitivity (PLS — sunflow speeds up marginally under a restricted
+/// cache), frequency sensitivity (PFS — zxing reports a small negative
+/// speedup) and the Golden Cove v Zen 4 change (UAI — avrora and
+/// cassandra run faster on Zen 4).
+const SIGNED_METRICS: [&str; 3] = ["PFS", "PLS", "UAI"];
+
+/// R101 + R102: every required metric present, every value finite and in
+/// its sign range.
+pub fn lint_rows(rows: &[NominalRow]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for row in rows {
+        for (i, def) in METRICS.iter().enumerate() {
+            match row.values.get(i).copied().flatten() {
+                None => {
+                    if !OPTIONAL_METRICS.contains(&def.code) {
+                        out.push(
+                            Diagnostic::error(
+                                "R101",
+                                format!("nominal:{}:{}", row.benchmark, def.code),
+                                format!(
+                                    "required metric {} is missing for {}",
+                                    def.code, row.benchmark
+                                ),
+                            )
+                            .with_hint("fill the cell from the appendix tables or mark the metric optional"),
+                        );
+                    }
+                }
+                Some(v) => {
+                    if !v.is_finite() {
+                        out.push(Diagnostic::error(
+                            "R102",
+                            format!("nominal:{}:{}", row.benchmark, def.code),
+                            format!("metric {} is not finite ({v})", def.code),
+                        ));
+                    } else if v < 0.0 && !SIGNED_METRICS.contains(&def.code) {
+                        out.push(
+                            Diagnostic::error(
+                                "R102",
+                                format!("nominal:{}:{}", row.benchmark, def.code),
+                                format!(
+                                    "metric {} is negative ({v}) but only PFS/PLS/UAI may be",
+                                    def.code
+                                ),
+                            )
+                            .with_hint("check the sign convention against Table 1"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// R103 + R104: scores in `0..=10`, ranks in `1..=of`.
+pub fn lint_score_table(benchmark: &str, table: &[ScoredMetric]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for s in table {
+        if s.score > 10 {
+            out.push(
+                Diagnostic::error(
+                    "R103",
+                    format!("score:{}:{}", benchmark, s.code),
+                    format!("score {} is outside 0..=10", s.score),
+                )
+                .with_hint("scores are linear in rank: 10*(of-rank)/(of-1), clamped to 0..=10"),
+            );
+        }
+        if s.rank == 0 || s.rank > s.of {
+            out.push(
+                Diagnostic::error(
+                    "R104",
+                    format!("score:{}:{}", benchmark, s.code),
+                    format!(
+                        "rank {} is outside 1..={} (competition ranking)",
+                        s.rank, s.of
+                    ),
+                )
+                .with_hint("rank 1 is the largest value; every rank must lie in 1..=of"),
+            );
+        }
+    }
+    out
+}
+
+/// R104 (suite-wide): a metric's ranking across benchmarks must be a valid
+/// competition ranking — every rank in `1..=of` and the best rank present.
+pub fn lint_ranking(code: &str, ranking: &[(&str, f64, usize)]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let of = ranking.len();
+    if of == 0 {
+        return out;
+    }
+    for (bench, _, rank) in ranking {
+        if *rank == 0 || *rank > of {
+            out.push(Diagnostic::error(
+                "R104",
+                format!("ranking:{code}:{bench}"),
+                format!("rank {rank} is outside 1..={of}"),
+            ));
+        }
+    }
+    if !ranking.iter().any(|(_, _, rank)| *rank == 1) {
+        out.push(Diagnostic::error(
+            "R104",
+            format!("ranking:{code}"),
+            "no benchmark holds rank 1 (the ranking has a gap at the top)".to_string(),
+        ));
+    }
+    out
+}
+
+/// R105: the dataset and the suite registry must name the same benchmarks.
+pub fn lint_row_names(rows: &[NominalRow], suite_names: &[&str]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for row in rows {
+        if !suite_names.contains(&row.benchmark) {
+            out.push(Diagnostic::error(
+                "R105",
+                format!("nominal:{}", row.benchmark),
+                "dataset row has no matching suite profile".to_string(),
+            ));
+        }
+    }
+    for name in suite_names {
+        if !rows.iter().any(|r| r.benchmark == *name) {
+            out.push(
+                Diagnostic::error(
+                    "R105",
+                    format!("profile:{name}"),
+                    "suite profile has no nominal dataset row".to_string(),
+                )
+                .with_hint("add the benchmark's row to chopin_core::nominal::dataset"),
+            );
+        }
+    }
+    out
+}
+
+/// Run the whole R1 family against the shipped dataset and score tables.
+pub fn lint_dataset(suite_names: &[&str]) -> Vec<Diagnostic> {
+    let rows = chopin_core::nominal::dataset::dataset();
+    let mut out = lint_rows(&rows);
+    out.extend(lint_row_names(&rows, suite_names));
+    for row in &rows {
+        if let Some(table) = chopin_core::nominal::score::score_table(row.benchmark) {
+            out.extend(lint_score_table(row.benchmark, &table));
+        } else {
+            out.push(Diagnostic::error(
+                "R105",
+                format!("score:{}", row.benchmark),
+                "no score table for a benchmark that has a dataset row".to_string(),
+            ));
+        }
+    }
+    for def in &METRICS {
+        if let Some(ranking) = chopin_core::nominal::score::metric_ranking(def.code) {
+            let borrowed: Vec<(&str, f64, usize)> =
+                ranking.iter().map(|(b, v, r)| (*b, *v, *r)).collect();
+            out.extend(lint_ranking(def.code, &borrowed));
+        }
+    }
+    out
+}

@@ -1,0 +1,82 @@
+//! R5xx: suite-registry invariants — 22 workloads, unique, alphabetical,
+//! with the paper's new-in-Chopin and latency-sensitive counts.
+
+use crate::diagnostic::Diagnostic;
+use chopin_workloads::profile::WorkloadProfile;
+
+/// The suite size the paper fixes: "The DaCapo Chopin suite consists of 22
+/// widely used real-world workloads".
+pub const SUITE_SIZE: usize = 22;
+
+/// Workloads new in the Chopin release.
+pub const NEW_IN_CHOPIN: usize = 8;
+
+/// Latency-sensitive (request-based) workloads.
+pub const LATENCY_SENSITIVE_COUNT: usize = 9;
+
+/// Run the whole R5 family over a registry.
+pub fn lint_registry(profiles: &[WorkloadProfile]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    if profiles.len() != SUITE_SIZE {
+        out.push(
+            Diagnostic::error(
+                "R501",
+                "suite",
+                format!(
+                    "registry has {} profiles, expected {SUITE_SIZE}",
+                    profiles.len()
+                ),
+            )
+            .with_hint("every figure and geomean in the paper is over exactly 22 benchmarks"),
+        );
+    }
+
+    for (i, p) in profiles.iter().enumerate() {
+        if profiles[..i].iter().any(|q| q.name == p.name) {
+            out.push(Diagnostic::error(
+                "R502",
+                format!("profile:{}", p.name),
+                "duplicate benchmark name".to_string(),
+            ));
+        }
+    }
+
+    for pair in profiles.windows(2) {
+        if pair[0].name >= pair[1].name {
+            out.push(
+                Diagnostic::error(
+                    "R503",
+                    format!("profile:{}", pair[1].name),
+                    format!(
+                        "registry is not alphabetical: {} precedes {}",
+                        pair[0].name, pair[1].name
+                    ),
+                )
+                .with_hint("suite::all() order is load-bearing for table and figure layout"),
+            );
+        }
+    }
+
+    let new_count = profiles.iter().filter(|p| p.new_in_chopin).count();
+    if !profiles.is_empty() && new_count != NEW_IN_CHOPIN {
+        out.push(Diagnostic::warn(
+            "R504",
+            "suite",
+            format!("{new_count} profiles are marked new-in-Chopin, expected {NEW_IN_CHOPIN}"),
+        ));
+    }
+
+    let latency_count = profiles.iter().filter(|p| p.is_latency_sensitive()).count();
+    if !profiles.is_empty() && latency_count != LATENCY_SENSITIVE_COUNT {
+        out.push(Diagnostic::error(
+            "R505",
+            "suite",
+            format!(
+                "{latency_count} profiles are latency-sensitive, expected {LATENCY_SENSITIVE_COUNT}"
+            ),
+        ));
+    }
+
+    out
+}

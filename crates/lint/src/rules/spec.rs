@@ -1,0 +1,212 @@
+//! R2xx: cross-field consistency of workload profiles and the mutator
+//! specs built from them.
+//!
+//! R201 delegates to [`chopin_runtime::spec::MutatorSpec::validate`] (via
+//! the builder) and R202 to
+//! [`chopin_runtime::spec::RequestProfile::validate`], so the static gate
+//! and the runtime preconditions can never drift apart.
+
+use crate::diagnostic::Diagnostic;
+use chopin_runtime::spec::RequestProfile;
+use chopin_workloads::profile::{SizeClass, WorkloadProfile};
+
+/// The nine latency-sensitive benchmarks of the suite: "Nine of the 22
+/// benchmarks are request-based" — these and only these may carry a
+/// request profile.
+pub const LATENCY_SENSITIVE: [&str; 9] = [
+    "cassandra",
+    "h2",
+    "jme",
+    "kafka",
+    "lusearch",
+    "spring",
+    "tomcat",
+    "tradebeans",
+    "tradesoap",
+];
+
+/// Run the whole R2 family on one profile.
+pub fn lint_profile(p: &WorkloadProfile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let loc = format!("profile:{}", p.name);
+
+    // R201: every size class the profile offers must build a valid spec.
+    for size in SizeClass::ALL {
+        if let Some(Err(e)) = p.to_spec(size) {
+            out.push(
+                Diagnostic::error(
+                    "R201",
+                    format!("{loc}:{size:?}"),
+                    format!("spec does not build: field {} {}", e.field(), e.reason()),
+                )
+                .with_hint(
+                    "recalibrate the profile so the derived spec passes MutatorSpec::validate",
+                ),
+            );
+        }
+    }
+
+    // R202 + R203: request-profile consistency.
+    if let Some(r) = &p.requests {
+        let profile = RequestProfile {
+            count: r.count,
+            workers: r.workers,
+            dispersion: r.dispersion,
+        };
+        if let Err(e) = profile.validate() {
+            out.push(Diagnostic::error(
+                "R202",
+                loc.clone(),
+                format!(
+                    "request profile invalid: field {} {}",
+                    e.field(),
+                    e.reason()
+                ),
+            ));
+        }
+        if r.workers > r.count {
+            out.push(
+                Diagnostic::error(
+                    "R203",
+                    loc.clone(),
+                    format!(
+                        "request workers ({}) exceed the request count ({})",
+                        r.workers, r.count
+                    ),
+                )
+                .with_hint(
+                    "idle workers distort metered latency; cap workers at the request count",
+                ),
+            );
+        }
+    }
+
+    // R205: published minimum heaps must be monotone in the size classes,
+    // and the uncompressed footprint can only inflate.
+    let gms = p.min_heap_small_mb;
+    let gmd = p.min_heap_default_mb;
+    if gms > gmd {
+        out.push(Diagnostic::error(
+            "R205",
+            loc.clone(),
+            format!("GMS ({gms} MB) exceeds GMD ({gmd} MB)"),
+        ));
+    }
+    if let Some(gml) = p.min_heap_large_mb {
+        if gml < gmd {
+            out.push(Diagnostic::error(
+                "R205",
+                loc.clone(),
+                format!("GML ({gml} MB) is below GMD ({gmd} MB)"),
+            ));
+        }
+        if let Some(gmv) = p.min_heap_vlarge_mb {
+            if gmv < gml {
+                out.push(Diagnostic::error(
+                    "R205",
+                    loc.clone(),
+                    format!("GMV ({gmv} MB) is below GML ({gml} MB)"),
+                ));
+            }
+        }
+    }
+    if p.min_heap_uncompressed_mb < gmd {
+        out.push(
+            Diagnostic::error(
+                "R205",
+                loc.clone(),
+                format!(
+                    "GMU ({} MB) is below GMD ({gmd} MB): uncompressed pointers cannot shrink the heap",
+                    p.min_heap_uncompressed_mb
+                ),
+            )
+            .with_hint("GMU/GMD is the pointer-inflation factor and must be >= 1"),
+        );
+    }
+
+    // R206: the allocation-rate and live-set curves must be positive and
+    // well-formed, otherwise derived execution time and heap pressure are
+    // meaningless.
+    if !(p.alloc_rate_mb_s.is_finite() && p.alloc_rate_mb_s > 0.0) {
+        out.push(Diagnostic::error(
+            "R206",
+            loc.clone(),
+            format!(
+                "allocation rate ARA must be positive and finite, got {}",
+                p.alloc_rate_mb_s
+            ),
+        ));
+    }
+    if !(p.turnover.is_finite() && p.turnover > 0.0) {
+        out.push(Diagnostic::error(
+            "R206",
+            loc.clone(),
+            format!(
+                "turnover GTO must be positive and finite, got {}",
+                p.turnover
+            ),
+        ));
+    }
+    if !(p.exec_time_s.is_finite() && p.exec_time_s > 0.0) {
+        out.push(Diagnostic::error(
+            "R206",
+            loc.clone(),
+            format!(
+                "execution time PET must be positive and finite, got {}",
+                p.exec_time_s
+            ),
+        ));
+    }
+    if !(0.0..=1.0).contains(&p.live_floor_fraction) {
+        out.push(Diagnostic::error(
+            "R206",
+            loc.clone(),
+            format!(
+                "live_floor_fraction must lie in [0, 1] so the live-set ramp is monotone, got {}",
+                p.live_floor_fraction
+            ),
+        ));
+    }
+    if !(0.0..=1.0).contains(&p.build_fraction) {
+        out.push(Diagnostic::error(
+            "R206",
+            loc,
+            format!(
+                "build_fraction must lie in [0, 1], got {}",
+                p.build_fraction
+            ),
+        ));
+    }
+
+    out
+}
+
+/// R204 (name-aware): benchmarks on the canonical latency-sensitive list
+/// must carry request profiles, and no other *canonical* benchmark may.
+/// Unknown names (synthetic test profiles) are exempt.
+pub fn lint_latency_set(profiles: &[WorkloadProfile]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for p in profiles {
+        let canonical = LATENCY_SENSITIVE.contains(&p.name);
+        if canonical && p.requests.is_none() {
+            out.push(
+                Diagnostic::error(
+                    "R204",
+                    format!("profile:{}", p.name),
+                    "canonical latency-sensitive benchmark has no request profile".to_string(),
+                )
+                .with_hint("add a RequestSpec; Figures 3 and 6 depend on its events"),
+            );
+        }
+        if !canonical && p.requests.is_some() && chopin_workloads::suite::by_name(p.name).is_some()
+        {
+            out.push(Diagnostic::error(
+                "R204",
+                format!("profile:{}", p.name),
+                "benchmark carries a request profile but is not on the canonical latency-sensitive list"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}

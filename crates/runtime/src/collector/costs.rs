@@ -219,15 +219,18 @@ impl CollectorModel {
     pub fn stw_thread_count(&self, hardware_threads: u32) -> u32 {
         match self.stw_threads {
             Some(n) => n.min(hardware_threads),
-            None => ((hardware_threads as f64 * 5.0 / 8.0).ceil() as u32)
-                .clamp(1, hardware_threads),
+            None => {
+                ((hardware_threads as f64 * 5.0 / 8.0).ceil() as u32).clamp(1, hardware_threads)
+            }
         }
     }
 
     /// Number of threads used for concurrent work.
     pub fn concurrent_thread_count(&self, hardware_threads: u32) -> u32 {
-        ((hardware_threads as f64 * self.concurrent_thread_share).round() as u32)
-            .clamp(if self.concurrent_fraction > 0.0 { 1 } else { 0 }, hardware_threads)
+        ((hardware_threads as f64 * self.concurrent_thread_share).round() as u32).clamp(
+            if self.concurrent_fraction > 0.0 { 1 } else { 0 },
+            hardware_threads,
+        )
     }
 
     /// Validate internal consistency; used by tests and the ablation bench
@@ -304,7 +307,10 @@ mod tests {
         assert_eq!(CollectorKind::Zgc.model().concurrent_thread_count(32), 8);
         assert_eq!(CollectorKind::Serial.model().concurrent_thread_count(32), 0);
         // At least one thread for collectors that do concurrent work.
-        assert_eq!(CollectorKind::Shenandoah.model().concurrent_thread_count(1), 1);
+        assert_eq!(
+            CollectorKind::Shenandoah.model().concurrent_thread_count(1),
+            1
+        );
     }
 
     #[test]

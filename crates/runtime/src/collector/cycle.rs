@@ -162,8 +162,8 @@ pub fn plan_cycle(
     } else {
         1.0
     };
-    let stw_wall_ns = stw_work / (stw_threads * eff * input.machine_speed)
-        + model.pause_floor.as_nanos() as f64;
+    let stw_wall_ns =
+        stw_work / (stw_threads * eff * input.machine_speed) + model.pause_floor.as_nanos() as f64;
     // Imperfect parallelism burns extra CPU: the threads are all running for
     // the whole pause even though the useful work is `stw_work`.
     let stw_cpu = stw_work / eff;
@@ -215,8 +215,16 @@ mod tests {
 
     #[test]
     fn serial_pause_is_longer_than_parallel_but_cpu_is_lower() {
-        let s = plan_cycle(&CollectorKind::Serial.model(), &input(), CollectionRequest::Full);
-        let p = plan_cycle(&CollectorKind::Parallel.model(), &input(), CollectionRequest::Full);
+        let s = plan_cycle(
+            &CollectorKind::Serial.model(),
+            &input(),
+            CollectionRequest::Full,
+        );
+        let p = plan_cycle(
+            &CollectorKind::Parallel.model(),
+            &input(),
+            CollectionRequest::Full,
+        );
         assert!(
             s.stw_wall > p.stw_wall,
             "Serial collects on one thread, so pauses longer: {} vs {}",
@@ -236,7 +244,10 @@ mod tests {
             assert_eq!(o.kind, CollectionKind::Concurrent);
             let share = o.concurrent_work_cpu_ns / o.total_work_cpu_ns();
             assert!(share > 0.9, "{kind}: concurrent share {share}");
-            assert!(o.stw_wall < SimDuration::from_millis(5), "{kind}: tiny pauses");
+            assert!(
+                o.stw_wall < SimDuration::from_millis(5),
+                "{kind}: tiny pauses"
+            );
         }
     }
 
@@ -283,14 +294,22 @@ mod tests {
         let m = CollectorKind::G1.model();
         let degen = plan_cycle(&m, &input(), CollectionRequest::Degenerate);
         assert_eq!(degen.kind, CollectionKind::Degenerate);
-        let full_parallel = plan_cycle(&CollectorKind::Parallel.model(), &input(), CollectionRequest::Full);
+        let full_parallel = plan_cycle(
+            &CollectorKind::Parallel.model(),
+            &input(),
+            CollectionRequest::Full,
+        );
         assert!(degen.total_work_cpu_ns() > full_parallel.total_work_cpu_ns());
         assert_eq!(degen.concurrent_work_cpu_ns, 0.0);
     }
 
     #[test]
     fn live_after_includes_promoted_survivors() {
-        let o = plan_cycle(&CollectorKind::G1.model(), &input(), CollectionRequest::Normal);
+        let o = plan_cycle(
+            &CollectorKind::G1.model(),
+            &input(),
+            CollectionRequest::Normal,
+        );
         assert!((o.live_after - (100e6 + 0.05 * 50e6)).abs() < 1.0);
     }
 

@@ -187,11 +187,7 @@ mod tests {
     #[test]
     fn only_zgc_lacks_compressed_oops() {
         for c in CollectorKind::ALL {
-            assert_eq!(
-                c.supports_compressed_oops(),
-                c != CollectorKind::Zgc,
-                "{c}"
-            );
+            assert_eq!(c.supports_compressed_oops(), c != CollectorKind::Zgc, "{c}");
         }
     }
 

@@ -27,8 +27,8 @@
 //!   ("batching"), keeping every total exact while bounding simulation cost.
 
 use crate::collector::costs::ExhaustionPolicy;
-use crate::collector::{CollectionKind, CollectorModel};
 use crate::collector::cycle::{plan_cycle, CollectionRequest, CycleInput, CycleOutcome};
+use crate::collector::{CollectionKind, CollectorModel};
 use crate::config::RunConfig;
 use crate::heap::HeapState;
 use crate::progress::ProgressTrace;
@@ -156,9 +156,7 @@ impl<'a> Engine<'a> {
             .collector_model_override()
             .cloned()
             .unwrap_or_else(|| config.collector().model());
-        let mut rng = SmallRng::seed_from_u64(
-            config.seed() ^ fxhash(spec.name()),
-        );
+        let mut rng = SmallRng::seed_from_u64(config.seed() ^ fxhash(spec.name()));
         // Irwin–Hall approximation of a standard normal for invocation noise.
         let z: f64 = (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0;
         let noise_factor = (1.0 + config.noise() * z).max(0.5);
@@ -340,12 +338,8 @@ impl<'a> Engine<'a> {
 
             // Concurrent cycle completion / backlog drain.
             if gc_rate > 0.0 {
-                let outstanding = self
-                    .cycle
-                    .as_ref()
-                    .map(|c| c.work_remaining)
-                    .unwrap_or(0.0)
-                    + self.backlog;
+                let outstanding =
+                    self.cycle.as_ref().map(|c| c.work_remaining).unwrap_or(0.0) + self.backlog;
                 let to_done = outstanding / gc_rate;
                 if to_done < dt {
                     dt = to_done;
@@ -519,7 +513,13 @@ impl<'a> Engine<'a> {
                 self.backlog += outcome.concurrent_work_cpu_ns;
                 self.finish_reclaim(outcome.live_after)?;
                 if self.batching {
-                    self.batch_identical_cycles(&outcome, &input, threads, inflation, trigger_point)?;
+                    self.batch_identical_cycles(
+                        &outcome,
+                        &input,
+                        threads,
+                        inflation,
+                        trigger_point,
+                    )?;
                 }
                 Ok(())
             }
@@ -579,10 +579,12 @@ impl<'a> Engine<'a> {
         self.telemetry.gc_count += 1;
         let n = self.telemetry.gc_count;
         if n.is_multiple_of(self.heap_trace_stride) {
-            self.telemetry.heap_trace.push(crate::telemetry::HeapSample {
-                time: self.now,
-                occupied_bytes: self.heap.occupied(),
-            });
+            self.telemetry
+                .heap_trace
+                .push(crate::telemetry::HeapSample {
+                    time: self.now,
+                    occupied_bytes: self.heap.occupied(),
+                });
             if self.telemetry.heap_trace.len() >= HEAP_TRACE_CAP {
                 self.heap_trace_stride *= 2;
                 let kept: Vec<_> = self
@@ -657,7 +659,11 @@ impl<'a> Engine<'a> {
         };
         let young = plan_cycle(&self.model, &steady_input, CollectionRequest::Normal);
         let full = plan_cycle(&self.model, &steady_input, CollectionRequest::Full);
-        let period = self.model.full_gc_period.map(|p| p as f64).unwrap_or(f64::INFINITY);
+        let period = self
+            .model
+            .full_gc_period
+            .map(|p| p as f64)
+            .unwrap_or(f64::INFINITY);
         let blend = |y: f64, f: f64| y + (f - y).max(0.0) / period;
 
         let work_left = (self.total_work - self.progress).max(0.0);
@@ -697,13 +703,13 @@ impl<'a> Engine<'a> {
         // during the batch; its time-average is the midpoint.
         let mid = (young.live_after + trigger_point) / 2.0;
         self.telemetry.heap_byte_seconds += mid * span_ns / 1e9;
-        self.telemetry.record_batched_pauses(k, pause_wall, pause_cpu);
+        self.telemetry
+            .record_batched_pauses(k, pause_wall, pause_cpu);
         self.telemetry.gc_concurrent_cpu_ns += concurrent_cpu * k as f64;
         // record_heap_sample below adds the final count of the batch.
         self.telemetry.gc_count += k - 1;
         if period.is_finite() {
-            self.cycles_since_full =
-                ((self.cycles_since_full as u64 + k) % period as u64) as u32;
+            self.cycles_since_full = ((self.cycles_since_full as u64 + k) % period as u64) as u32;
         }
 
         // Heap: k allocate/reclaim rounds net out to the same occupancy.
@@ -811,7 +817,9 @@ mod tests {
         let s = spec(1024, 32);
         let serial = run(&s, &cfg(96, CollectorKind::Serial)).unwrap();
         let parallel = run(&s, &cfg(96, CollectorKind::Parallel)).unwrap();
-        assert!(serial.telemetry().max_pause().unwrap() > parallel.telemetry().max_pause().unwrap());
+        assert!(
+            serial.telemetry().max_pause().unwrap() > parallel.telemetry().max_pause().unwrap()
+        );
     }
 
     #[test]
@@ -928,7 +936,10 @@ mod tests {
         let zgc = run(&s, &cfg(256, CollectorKind::Zgc)).unwrap();
         let wall_ratio = zgc.wall_time().as_secs_f64() / par.wall_time().as_secs_f64();
         let cpu_ratio = zgc.task_clock().as_secs_f64() / par.task_clock().as_secs_f64();
-        assert!(cpu_ratio > wall_ratio, "cpu {cpu_ratio} vs wall {wall_ratio}");
+        assert!(
+            cpu_ratio > wall_ratio,
+            "cpu {cpu_ratio} vs wall {wall_ratio}"
+        );
         assert!(wall_ratio < 1.6, "wall stays comparable: {wall_ratio}");
     }
 }
@@ -1017,7 +1028,8 @@ mod sensitivity_tests {
         let tiered = run(&spec(), &cfg).unwrap();
         let interp = run(
             &spec(),
-            &cfg.clone().with_compiler_mode(CompilerMode::InterpreterOnly),
+            &cfg.clone()
+                .with_compiler_mode(CompilerMode::InterpreterOnly),
         )
         .unwrap();
         assert_eq!(

@@ -222,10 +222,7 @@ mod tests {
     fn check_fits_honours_headroom() {
         let h = HeapState::new(100.0, 1.0);
         assert!(h.check_fits(89.0, 0.1).is_ok());
-        assert_eq!(
-            h.check_fits(95.0, 0.1),
-            Err(HeapError::LiveExceedsCapacity)
-        );
+        assert_eq!(h.check_fits(95.0, 0.1), Err(HeapError::LiveExceedsCapacity));
     }
 
     proptest! {

@@ -130,7 +130,11 @@ impl ProgressTrace {
             .partition_point(|s| s.end < t)
             .min(self.segments.len() - 1);
         let seg = &self.segments[idx];
-        let before = if idx == 0 { 0.0 } else { self.cumulative[idx - 1] };
+        let before = if idx == 0 {
+            0.0
+        } else {
+            self.cumulative[idx - 1]
+        };
         if t >= seg.end {
             return self.cumulative[idx];
         }
@@ -145,13 +149,18 @@ impl ProgressTrace {
             return self.segments.first().map(|s| s.start);
         }
         // Binary search over cumulative progress at segment ends.
-        let idx = self
-            .cumulative
-            .partition_point(|&c| c < target);
+        let idx = self.cumulative.partition_point(|&c| c < target);
         let seg = self.segments.get(idx)?;
-        let before = if idx == 0 { 0.0 } else { self.cumulative[idx - 1] };
+        let before = if idx == 0 {
+            0.0
+        } else {
+            self.cumulative[idx - 1]
+        };
         let need = target - before;
-        debug_assert!(seg.worker_rate > 0.0, "progress advanced in a zero-rate segment");
+        debug_assert!(
+            seg.worker_rate > 0.0,
+            "progress advanced in a zero-rate segment"
+        );
         let dt = need / seg.worker_rate;
         Some(seg.start + SimDuration::from_nanos(dt.round() as u64))
     }
@@ -186,9 +195,7 @@ impl ProgressCursor<'_> {
         if target <= 0.0 {
             return self.trace.segments.first().map(|s| s.start);
         }
-        while self.idx < self.trace.cumulative.len()
-            && self.trace.cumulative[self.idx] < target
-        {
+        while self.idx < self.trace.cumulative.len() && self.trace.cumulative[self.idx] < target {
             self.idx += 1;
         }
         let seg = self.trace.segments.get(self.idx)?;
@@ -267,9 +274,17 @@ mod tests {
         let t = trace_with_pause();
         assert_eq!(t.progress_at_time(SimTime::from_nanos(0)), 0.0);
         assert_eq!(t.progress_at_time(SimTime::from_nanos(50)), 100.0);
-        assert_eq!(t.progress_at_time(SimTime::from_nanos(150)), 200.0, "flat during pause");
+        assert_eq!(
+            t.progress_at_time(SimTime::from_nanos(150)),
+            200.0,
+            "flat during pause"
+        );
         assert_eq!(t.progress_at_time(SimTime::from_nanos(250)), 250.0);
-        assert_eq!(t.progress_at_time(SimTime::from_nanos(999)), 300.0, "clamped past end");
+        assert_eq!(
+            t.progress_at_time(SimTime::from_nanos(999)),
+            300.0,
+            "clamped past end"
+        );
     }
 
     #[test]

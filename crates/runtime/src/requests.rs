@@ -84,7 +84,8 @@ pub fn extract_events(
         }
         // Pre-determined demands: log-normal weights normalised so the
         // worker's requests exactly exhaust its progress budget.
-        let mut rng = SmallRng::seed_from_u64(seed ^ (0x9E3779B97F4A7C15u64.wrapping_mul(w as u64 + 1)));
+        let mut rng =
+            SmallRng::seed_from_u64(seed ^ (0x9E3779B97F4A7C15u64.wrapping_mul(w as u64 + 1)));
         let mut weights = Vec::with_capacity(count as usize);
         let mut sum = 0.0;
         for _ in 0..count {
@@ -109,10 +110,13 @@ pub fn extract_events(
             // Clamp the final boundary to the trace's total progress to
             // absorb floating-point drift.
             let target = cumulative.min(total);
+            // The trace is non-empty here (segments()[0] above); if the
+            // cursor still cannot place the boundary, degrade to a
+            // zero-length request rather than panicking.
             let end = cursor
                 .time_at_progress(target)
                 .or_else(|| trace.end_time())
-                .expect("trace is non-empty");
+                .unwrap_or(start);
             events.push(RequestEvent { start, end });
             start = end;
         }
@@ -198,16 +202,14 @@ pub fn replay_open_loop_at(
         for (k, weight) in weights.iter().enumerate() {
             let arrival = t0
                 + crate::time::SimDuration::from_nanos(
-                    (span * k as f64 / count as f64).round() as u64,
+                    (span * k as f64 / count as f64).round() as u64
                 );
             let demand = weight / sum * total * load;
             // Service starts when both the request has arrived and the
             // worker has finished everything before it.
             let start_progress = trace.progress_at_time(arrival).max(server_free_progress);
             let finish_progress = (start_progress + demand).min(total);
-            let end = trace
-                .time_at_progress(finish_progress)
-                .unwrap_or(end_time);
+            let end = trace.time_at_progress(finish_progress).unwrap_or(end_time);
             server_free_progress = finish_progress;
             events.push(RequestEvent {
                 start: arrival,
@@ -285,7 +287,11 @@ mod tests {
         // Total progress 1000; each request needs 250.
         let events = extract_events(&t, &p, 1);
         let latencies: Vec<u64> = events.iter().map(|e| e.latency().as_nanos()).collect();
-        assert_eq!(latencies, vec![250, 750, 250, 250], "second request eats the pause");
+        assert_eq!(
+            latencies,
+            vec![250, 750, 250, 250],
+            "second request eats the pause"
+        );
     }
 
     #[test]

@@ -150,7 +150,9 @@ mod tests {
             gc_count: 7,
         };
         assert!(thrash.to_string().contains("7 collections"));
-        assert!(RunError::InvalidConfig("x".into()).to_string().contains("x"));
+        assert!(RunError::InvalidConfig("x".into())
+            .to_string()
+            .contains("x"));
     }
 
     #[test]

@@ -19,6 +19,19 @@ pub struct SpecError {
     reason: &'static str,
 }
 
+impl SpecError {
+    /// The spec field that failed validation (dotted path, e.g.
+    /// `requests.count`).
+    pub fn field(&self) -> &'static str {
+        self.field
+    }
+
+    /// Why the field is invalid.
+    pub fn reason(&self) -> &'static str {
+        self.reason
+    }
+}
+
 impl fmt::Display for SpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "invalid mutator spec: {} {}", self.field, self.reason)
@@ -47,7 +60,13 @@ pub struct RequestProfile {
 }
 
 impl RequestProfile {
-    fn validate(&self) -> Result<(), SpecError> {
+    /// Check the profile's own invariants. Shared by the spec builder and
+    /// the `chopin-lint` static validator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] naming the first invalid field.
+    pub fn validate(&self) -> Result<(), SpecError> {
         if self.count == 0 {
             return Err(SpecError {
                 field: "requests.count",
@@ -257,6 +276,117 @@ impl MutatorSpec {
         self.total_allocation as f64 / self.total_work.as_nanos().max(1) as f64
     }
 
+    /// Check every field invariant the engine relies on. The builder calls
+    /// this before releasing a spec, and the `chopin-lint` static validator
+    /// calls it on already-built specs, so both enforce identical rules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] naming the first invalid field.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        let s = self;
+        if s.name.is_empty() {
+            return Err(SpecError {
+                field: "name",
+                reason: "must be non-empty",
+            });
+        }
+        if s.threads == 0 {
+            return Err(SpecError {
+                field: "threads",
+                reason: "must be positive",
+            });
+        }
+        if !(0.0..=1.0).contains(&s.parallel_efficiency) {
+            return Err(SpecError {
+                field: "parallel_efficiency",
+                reason: "must lie in [0, 1]",
+            });
+        }
+        if !(0.0..=1.0).contains(&s.kernel_fraction) {
+            return Err(SpecError {
+                field: "kernel_fraction",
+                reason: "must lie in [0, 1]",
+            });
+        }
+        if s.total_work.is_zero() {
+            return Err(SpecError {
+                field: "total_work",
+                reason: "must be positive",
+            });
+        }
+        if s.mean_object_size == 0 {
+            return Err(SpecError {
+                field: "mean_object_size",
+                reason: "must be positive",
+            });
+        }
+        if s.live_peak < s.live_floor {
+            return Err(SpecError {
+                field: "live_peak",
+                reason: "must be at least live_floor",
+            });
+        }
+        if s.live_peak == 0 {
+            return Err(SpecError {
+                field: "live_peak",
+                reason: "must be positive",
+            });
+        }
+        if !(0.0..=1.0).contains(&s.build_fraction) {
+            return Err(SpecError {
+                field: "build_fraction",
+                reason: "must lie in [0, 1]",
+            });
+        }
+        if !(0.0..=1.0).contains(&s.survival_fraction) {
+            return Err(SpecError {
+                field: "survival_fraction",
+                reason: "must lie in [0, 1]",
+            });
+        }
+        if !(s.uncompressed_inflation >= 1.0 && s.uncompressed_inflation.is_finite()) {
+            return Err(SpecError {
+                field: "uncompressed_inflation",
+                reason: "must be at least 1",
+            });
+        }
+        if !(0.0..=1.0).contains(&s.freq_sensitivity) {
+            return Err(SpecError {
+                field: "freq_sensitivity",
+                reason: "must lie in [0, 1]",
+            });
+        }
+        if !(s.memory_sensitivity.is_finite() && s.memory_sensitivity >= 0.0) {
+            return Err(SpecError {
+                field: "memory_sensitivity",
+                reason: "must be finite and non-negative",
+            });
+        }
+        if !(s.llc_sensitivity.is_finite() && s.llc_sensitivity > -0.1) {
+            return Err(SpecError {
+                field: "llc_sensitivity",
+                reason: "must be finite and above -0.1",
+            });
+        }
+        if !(s.forced_c2_cost.is_finite() && s.forced_c2_cost >= 0.0) {
+            return Err(SpecError {
+                field: "forced_c2_cost",
+                reason: "must be finite and non-negative",
+            });
+        }
+        if !(s.interpreter_cost.is_finite() && s.interpreter_cost >= 0.0) {
+            return Err(SpecError {
+                field: "interpreter_cost",
+                reason: "must be finite and non-negative",
+            });
+        }
+        if let Some(r) = &s.requests {
+            r.validate()?;
+        }
+        Ok(())
+    }
+
     /// Live bytes (application view) once `progress` of `total_work` useful
     /// nanoseconds have completed.
     pub fn live_at(&self, progress_ns: f64) -> f64 {
@@ -385,106 +515,7 @@ impl MutatorSpecBuilder {
     ///
     /// Returns [`SpecError`] describing the first invalid field.
     pub fn build(self) -> Result<MutatorSpec, SpecError> {
-        let s = &self.spec;
-        if s.name.is_empty() {
-            return Err(SpecError {
-                field: "name",
-                reason: "must be non-empty",
-            });
-        }
-        if s.threads == 0 {
-            return Err(SpecError {
-                field: "threads",
-                reason: "must be positive",
-            });
-        }
-        if !(0.0..=1.0).contains(&s.parallel_efficiency) {
-            return Err(SpecError {
-                field: "parallel_efficiency",
-                reason: "must lie in [0, 1]",
-            });
-        }
-        if !(0.0..=1.0).contains(&s.kernel_fraction) {
-            return Err(SpecError {
-                field: "kernel_fraction",
-                reason: "must lie in [0, 1]",
-            });
-        }
-        if s.total_work.is_zero() {
-            return Err(SpecError {
-                field: "total_work",
-                reason: "must be positive",
-            });
-        }
-        if s.mean_object_size == 0 {
-            return Err(SpecError {
-                field: "mean_object_size",
-                reason: "must be positive",
-            });
-        }
-        if s.live_peak < s.live_floor {
-            return Err(SpecError {
-                field: "live_peak",
-                reason: "must be at least live_floor",
-            });
-        }
-        if s.live_peak == 0 {
-            return Err(SpecError {
-                field: "live_peak",
-                reason: "must be positive",
-            });
-        }
-        if !(0.0..=1.0).contains(&s.build_fraction) {
-            return Err(SpecError {
-                field: "build_fraction",
-                reason: "must lie in [0, 1]",
-            });
-        }
-        if !(0.0..=1.0).contains(&s.survival_fraction) {
-            return Err(SpecError {
-                field: "survival_fraction",
-                reason: "must lie in [0, 1]",
-            });
-        }
-        if !(s.uncompressed_inflation >= 1.0 && s.uncompressed_inflation.is_finite()) {
-            return Err(SpecError {
-                field: "uncompressed_inflation",
-                reason: "must be at least 1",
-            });
-        }
-        if !(0.0..=1.0).contains(&s.freq_sensitivity) {
-            return Err(SpecError {
-                field: "freq_sensitivity",
-                reason: "must lie in [0, 1]",
-            });
-        }
-        if !(s.memory_sensitivity.is_finite() && s.memory_sensitivity >= 0.0) {
-            return Err(SpecError {
-                field: "memory_sensitivity",
-                reason: "must be finite and non-negative",
-            });
-        }
-        if !(s.llc_sensitivity.is_finite() && s.llc_sensitivity > -0.1) {
-            return Err(SpecError {
-                field: "llc_sensitivity",
-                reason: "must be finite and above -0.1",
-            });
-        }
-        if !(s.forced_c2_cost.is_finite() && s.forced_c2_cost >= 0.0) {
-            return Err(SpecError {
-                field: "forced_c2_cost",
-                reason: "must be finite and non-negative",
-            });
-        }
-        if !(s.interpreter_cost.is_finite() && s.interpreter_cost >= 0.0) {
-            return Err(SpecError {
-                field: "interpreter_cost",
-                reason: "must be finite and non-negative",
-            });
-        }
-        if let Some(r) = &s.requests {
-            r.validate()?;
-        }
+        self.spec.validate()?;
         Ok(self.spec)
     }
 }

@@ -27,15 +27,15 @@ struct Scenario {
 
 fn arb_scenario() -> impl Strategy<Value = Scenario> {
     (
-        1u32..24,                 // threads
-        0.0f64..1.0,              // parallel efficiency
-        10u64..200,               // work (ms)
-        4u64..256,                // allocation (MB)
-        2u64..24,                 // live peak (MB)
-        0.0f64..0.3,              // survival
+        1u32..24,    // threads
+        0.0f64..1.0, // parallel efficiency
+        10u64..200,  // work (ms)
+        4u64..256,   // allocation (MB)
+        2u64..24,    // live peak (MB)
+        0.0f64..0.3, // survival
         arb_collector(),
-        2u64..8,                  // heap as multiple of live peak
-        0u64..64,                 // seed
+        2u64..8,  // heap as multiple of live peak
+        0u64..64, // seed
     )
         .prop_map(
             |(threads, pe, work_ms, alloc_mb, live_mb, survival, collector, heap_mult, seed)| {

@@ -25,6 +25,10 @@
 //! assert_eq!(spec.threads(), 32, "lusearch has 32 client threads");
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod profile;
 pub mod suite;
 

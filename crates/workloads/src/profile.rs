@@ -165,9 +165,7 @@ impl WorkloadProfile {
         match size {
             SizeClass::Small => Some(self.min_heap_small_mb / self.min_heap_default_mb),
             SizeClass::Default => Some(1.0),
-            SizeClass::Large => self
-                .min_heap_large_mb
-                .map(|l| l / self.min_heap_default_mb),
+            SizeClass::Large => self.min_heap_large_mb.map(|l| l / self.min_heap_default_mb),
             SizeClass::VLarge => self
                 .min_heap_vlarge_mb
                 .map(|v| v / self.min_heap_default_mb),
@@ -393,10 +391,7 @@ mod tests {
         assert_eq!(p.size_scale(SizeClass::Small), Some(0.2));
         assert_eq!(p.size_scale(SizeClass::Large), Some(10.0));
         assert_eq!(p.size_scale(SizeClass::VLarge), None);
-        assert_eq!(
-            p.min_heap_bytes(SizeClass::Default),
-            Some(100 * (1 << 20))
-        );
+        assert_eq!(p.min_heap_bytes(SizeClass::Default), Some(100 * (1 << 20)));
     }
 
     #[test]

@@ -9,7 +9,8 @@ use crate::profile::{Provenance, WorkloadProfile};
 pub fn profile() -> WorkloadProfile {
     WorkloadProfile {
         name: "batik",
-        description: "Renders a number of SVG files with the Apache Batik scalable vector graphics toolkit",
+        description:
+            "Renders a number of SVG files with the Apache Batik scalable vector graphics toolkit",
         new_in_chopin: false,
         min_heap_default_mb: 175.0,
         min_heap_uncompressed_mb: 229.0,

@@ -43,10 +43,10 @@ pub fn profile() -> WorkloadProfile {
 /// for reports and documentation.
 pub fn highlights() -> &'static [&'static str] {
     &[
-    "computes physico-chemical properties of protein sequences (>300 KLOC framework)",
-    "the tightest hot-code focus (BEF) and the highest IPC in the suite (4.76)",
-    "the lowest data-cache miss rate and among the lowest stalls of any kind",
-    "one of the most heap-size-sensitive benchmarks (GSS 7107%)",
+        "computes physico-chemical properties of protein sequences (>300 KLOC framework)",
+        "the tightest hot-code focus (BEF) and the highest IPC in the suite (4.76)",
+        "the lowest data-cache miss rate and among the lowest stalls of any kind",
+        "one of the most heap-size-sensitive benchmarks (GSS 7107%)",
     ]
 }
 

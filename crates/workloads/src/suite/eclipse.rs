@@ -43,10 +43,10 @@ pub fn profile() -> WorkloadProfile {
 /// for reports and documentation.
 pub fn highlights() -> &'static [&'static str] {
     &[
-    "runs the Eclipse IDE performance tests over a >6 MLOC codebase",
-    "the highest concentration of hot code (BEF rank 1)",
-    "among the most compiler-configuration-sensitive workloads (PCC, PCS)",
-    "suffers high bad speculation from branch mispredicts (UBP, UBS)",
+        "runs the Eclipse IDE performance tests over a >6 MLOC codebase",
+        "the highest concentration of hot code (BEF rank 1)",
+        "among the most compiler-configuration-sensitive workloads (PCC, PCS)",
+        "suffers high bad speculation from branch mispredicts (UBP, UBS)",
     ]
 }
 

@@ -43,10 +43,10 @@ pub fn profile() -> WorkloadProfile {
 /// for reports and documentation.
 pub fn highlights() -> &'static [&'static str] {
     &[
-    "ALS matrix factorization of the Netflix Challenge dataset on the GraphChi engine",
-    "the most compiler-sensitive workload in the suite (PCS rank 1)",
-    "the lowest front-end stalls and bad speculation, one of the best IPCs",
-    "its large configuration needs a 1.1 GB minimum heap",
+        "ALS matrix factorization of the Netflix Challenge dataset on the GraphChi engine",
+        "the most compiler-sensitive workload in the suite (PCS rank 1)",
+        "the lowest front-end stalls and bad speculation, one of the best IPCs",
+        "its large configuration needs a 1.1 GB minimum heap",
     ]
 }
 

@@ -47,10 +47,10 @@ pub fn profile() -> WorkloadProfile {
 /// for reports and documentation.
 pub fn highlights() -> &'static [&'static str] {
     &[
-    "TPC-C-like transactions over an in-memory database: build a large database, then query it",
-    "the largest heaps in the suite: 681 MB default, 10.2 GB large, 20.6 GB vlarge",
-    "very low memory turnover (GTO) but the strongest memory-speed sensitivity (PMS 40%)",
-    "its latency distributions under the five collectors are the paper's Figure 6 case study",
+        "TPC-C-like transactions over an in-memory database: build a large database, then query it",
+        "the largest heaps in the suite: 681 MB default, 10.2 GB large, 20.6 GB vlarge",
+        "very low memory turnover (GTO) but the strongest memory-speed sensitivity (PMS 40%)",
+        "its latency distributions under the five collectors are the paper's Figure 6 case study",
     ]
 }
 

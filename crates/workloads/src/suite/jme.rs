@@ -47,10 +47,10 @@ pub fn profile() -> WorkloadProfile {
 /// for reports and documentation.
 pub fn highlights() -> &'static [&'static str] {
     &[
-    "renders video frames with the jMonkeyEngine 3-D game engine, reporting per-frame latency",
-    "the least GC-intensive workload in the suite (31 collections at 2x heap)",
-    "insensitive to frequency scaling, compiler choice and heap size, consistent with GPU use",
-    "the lowest SMT contention in the suite (USC)",
+        "renders video frames with the jMonkeyEngine 3-D game engine, reporting per-frame latency",
+        "the least GC-intensive workload in the suite (31 collections at 2x heap)",
+        "insensitive to frequency scaling, compiler choice and heap size, consistent with GPU use",
+        "the lowest SMT contention in the suite (USC)",
     ]
 }
 

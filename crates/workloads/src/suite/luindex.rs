@@ -43,10 +43,10 @@ pub fn profile() -> WorkloadProfile {
 /// for reports and documentation.
 pub fn highlights() -> &'static [&'static str] {
     &[
-    "builds a Lucene search index from a document corpus (~830 KLOC framework)",
-    "allocates the largest objects in the suite (AOA 211 bytes)",
-    "the second most LLC-size-sensitive workload (PLS 38%)",
-    "high IPC despite among the worst bad-speculation rates",
+        "builds a Lucene search index from a document corpus (~830 KLOC framework)",
+        "allocates the largest objects in the suite (AOA 211 bytes)",
+        "the second most LLC-size-sensitive workload (PLS 38%)",
+        "high IPC despite among the worst bad-speculation rates",
     ]
 }
 

@@ -47,10 +47,10 @@ pub fn profile() -> WorkloadProfile {
 /// for reports and documentation.
 pub fn highlights() -> &'static [&'static str] {
     &[
-    "the petclinic workload on Spring Boot with a deterministic request stream",
-    "one of the highest unique bytecode and function-call counts in the suite",
-    "strong memory-speed sensitivity (PMS 20%) and high parallel efficiency (PPE 36%)",
-    "one of the nine latency-sensitive workloads",
+        "the petclinic workload on Spring Boot with a deterministic request stream",
+        "one of the highest unique bytecode and function-call counts in the suite",
+        "strong memory-speed sensitivity (PMS 20%) and high parallel efficiency (PPE 36%)",
+        "one of the nine latency-sensitive workloads",
     ]
 }
 

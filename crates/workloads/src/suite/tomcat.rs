@@ -50,10 +50,10 @@ pub fn profile() -> WorkloadProfile {
 /// for reports and documentation.
 pub fn highlights() -> &'static [&'static str] {
     &[
-    "serves HTTP requests through the Tomcat servlet container against a deterministic client",
-    "kernel-heavy (PKP 19%) and insensitive to CPU frequency (PFS 2%)",
-    "among the most front-end-bound workloads (USF 45)",
-    "appendix table truncated in our source: non-Table-2 cells are estimates",
+        "serves HTTP requests through the Tomcat servlet container against a deterministic client",
+        "kernel-heavy (PKP 19%) and insensitive to CPU frequency (PFS 2%)",
+        "among the most front-end-bound workloads (USF 45)",
+        "appendix table truncated in our source: non-Table-2 cells are estimates",
     ]
 }
 

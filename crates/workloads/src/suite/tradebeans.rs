@@ -50,10 +50,10 @@ pub fn profile() -> WorkloadProfile {
 /// for reports and documentation.
 pub fn highlights() -> &'static [&'static str] {
     &[
-    "the DayTrader stock-trading benchmark via EJB beans over an in-memory h2 database",
-    "leaks noticeably across iterations (GLK 26%)",
-    "the second-largest ARM-vs-x86 slowdown in the suite (UAA 144)",
-    "appendix table truncated in our source: non-Table-2 cells are estimates",
+        "the DayTrader stock-trading benchmark via EJB beans over an in-memory h2 database",
+        "leaks noticeably across iterations (GLK 26%)",
+        "the second-largest ARM-vs-x86 slowdown in the suite (UAA 144)",
+        "appendix table truncated in our source: non-Table-2 cells are estimates",
     ]
 }
 

@@ -46,10 +46,10 @@ pub fn profile() -> WorkloadProfile {
 /// for reports and documentation.
 pub fn highlights() -> &'static [&'static str] {
     &[
-    "decodes 1-D and 2-D barcode images with the ZXing library",
-    "the largest iteration-to-iteration memory leakage in the suite (GLK 120%)",
-    "the only workload slowed by enabling frequency boost (PFS -1%)",
-    "appendix table truncated in our source: non-Table-2 cells are estimates",
+        "decodes 1-D and 2-D barcode images with the ZXing library",
+        "the largest iteration-to-iteration memory leakage in the suite (GLK 120%)",
+        "the only workload slowed by enabling frequency boost (PFS -1%)",
+        "appendix table truncated in our source: non-Table-2 cells are estimates",
     ]
 }
 

@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         size: SizeClass::Default,
     };
 
-    println!("sweeping cassandra across {} collectors...", config.collectors.len());
+    println!(
+        "sweeping cassandra across {} collectors...",
+        config.collectors.len()
+    );
     let result = run_sweep(&profile, &config)?;
 
     for clock in [Clock::Wall, Clock::Task] {
@@ -42,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          threads -- the cassandra effect of Figure 5."
     );
     for f in &result.failures {
-        println!("skipped: {} at {:.2}x ({})", f.collector, f.heap_factor, f.reason);
+        println!(
+            "skipped: {} at {:.2}x ({})",
+            f.collector, f.heap_factor, f.reason
+        );
     }
     Ok(())
 }

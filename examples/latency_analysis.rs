@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         for (name, window) in [
             ("simple latency", SmoothingWindow::None),
-            ("metered latency (100ms)", SmoothingWindow::Duration(SimDuration::from_millis(100))),
+            (
+                "metered latency (100ms)",
+                SmoothingWindow::Duration(SimDuration::from_millis(100)),
+            ),
             ("metered latency (full)", SmoothingWindow::Full),
         ] {
             let latencies = match window {

@@ -34,7 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<10} {:>22} {:>22} {:>22}",
         "collector", "simple p50/p99/p99.9", "metered p50/p99/p99.9", "open p50/p99/p99.9"
     );
-    for collector in [CollectorKind::Serial, CollectorKind::G1, CollectorKind::Shenandoah] {
+    for collector in [
+        CollectorKind::Serial,
+        CollectorKind::G1,
+        CollectorKind::Shenandoah,
+    ] {
         let runs = bench
             .runner()
             .collector(collector)
@@ -55,11 +59,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         let simple =
             LatencyDistribution::from_durations(simple_latencies(&closed)).expect("non-empty");
-        let metered = LatencyDistribution::from_durations(metered_latencies(
-            &closed,
-            SmoothingWindow::Full,
-        ))
-        .expect("non-empty");
+        let metered =
+            LatencyDistribution::from_durations(metered_latencies(&closed, SmoothingWindow::Full))
+                .expect("non-empty");
         let open_dist =
             LatencyDistribution::from_durations(simple_latencies(&open)).expect("non-empty");
         println!(

@@ -12,7 +12,10 @@ use chopin::runtime::collector::CollectorKind;
 use chopin::workloads::suite;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("{:<12} {:>12} {:>14} {:>14}", "benchmark", "nominal GMD", "measured (G1)", "measured (ZGC)");
+    println!(
+        "{:<12} {:>12} {:>14} {:>14}",
+        "benchmark", "nominal GMD", "measured (G1)", "measured (ZGC)"
+    );
     for name in ["fop", "lusearch", "jython", "pmd"] {
         let profile = suite::by_name(name).expect("known benchmark");
         let g1 = MinHeapSearch::default().find(&profile)?;

@@ -20,7 +20,11 @@ fn events_with_pauses(pauses: &[(u64, u64)]) -> Vec<RequestEvent> {
     let total_ms = 1000;
     let mut t = 0u64;
     for &(at, len) in pauses {
-        trace.push(SimTime::from_nanos(t * 1_000_000), SimTime::from_nanos(at * 1_000_000), 1.0);
+        trace.push(
+            SimTime::from_nanos(t * 1_000_000),
+            SimTime::from_nanos(at * 1_000_000),
+            1.0,
+        );
         trace.push(
             SimTime::from_nanos(at * 1_000_000),
             SimTime::from_nanos((at + len) * 1_000_000),
@@ -42,7 +46,10 @@ fn events_with_pauses(pauses: &[(u64, u64)]) -> Vec<RequestEvent> {
 }
 
 fn report(label: &str, events: &[RequestEvent]) {
-    let metered = metered_latencies(events, SmoothingWindow::Duration(SimDuration::from_millis(100)));
+    let metered = metered_latencies(
+        events,
+        SmoothingWindow::Duration(SimDuration::from_millis(100)),
+    );
     let dist = LatencyDistribution::from_durations(metered).expect("non-empty");
     println!(
         "{label:<36} max pause is the same story, but p99 {:>8.3}ms  p99.9 {:>8.3}ms",

@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("timed (last) iteration:");
     println!("  wall time        {}", timed.wall_time());
     println!("  task clock       {}", timed.task_clock());
-    println!("  STW pause total  {}", timed.telemetry().total_pause_wall());
+    println!(
+        "  STW pause total  {}",
+        timed.telemetry().total_pause_wall()
+    );
     println!(
         "  max pause        {}",
         timed

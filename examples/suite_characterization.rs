@@ -49,6 +49,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         by_pc1.last().expect("non-empty").0,
         by_pc1.last().expect("non-empty").1
     );
-    println!("\nTable 2's twelve most determinant metrics: {}", TABLE2_METRICS.join(" "));
+    println!(
+        "\nTable 2's twelve most determinant metrics: {}",
+        TABLE2_METRICS.join(" ")
+    );
     Ok(())
 }

@@ -37,6 +37,9 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use chopin_analysis as analysis;
 pub use chopin_core as core;
 pub use chopin_harness as harness;

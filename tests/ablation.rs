@@ -37,8 +37,7 @@ fn removing_shenandoah_barriers_recovers_mutator_throughput() {
     )
     .expect("completes");
 
-    let mutator_ratio =
-        stock.telemetry().mutator_cpu_ns / ablated.telemetry().mutator_cpu_ns;
+    let mutator_ratio = stock.telemetry().mutator_cpu_ns / ablated.telemetry().mutator_cpu_ns;
     let expected = 1.0 / (1.0 - tax);
     assert!(
         (mutator_ratio - expected).abs() < 0.02,
@@ -56,8 +55,11 @@ fn doubling_mark_cost_shows_up_in_gc_cpu() {
         .expect("valid");
     let heap = profile.min_heap_bytes(SizeClass::Default).expect("gmd") * 3;
 
-    let stock = run(&spec, &RunConfig::new(heap, CollectorKind::G1).with_noise(0.0))
-        .expect("completes");
+    let stock = run(
+        &spec,
+        &RunConfig::new(heap, CollectorKind::G1).with_noise(0.0),
+    )
+    .expect("completes");
     let mut heavy = CollectorKind::G1.model();
     heavy.work_multiplier *= 2.0;
     let ablated = run(
@@ -109,9 +111,7 @@ fn average_occupancy_reflects_the_memory_use_curve() {
         .run()
         .expect("completes");
     let timed = h2.timed();
-    let avg = timed
-        .telemetry()
-        .average_occupancy_bytes(timed.wall_time());
+    let avg = timed.telemetry().average_occupancy_bytes(timed.wall_time());
     let capacity = timed.config().heap_bytes() as f64;
     assert!(avg > 0.0);
     assert!(

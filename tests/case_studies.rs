@@ -30,10 +30,8 @@ fn cassandra_task_clock_tells_a_different_story_than_wall_clock() {
     let g1 = run("cassandra", CollectorKind::G1, 3.0);
     let zgc = run("cassandra", CollectorKind::Zgc, 3.0);
 
-    let wall_ratio =
-        zgc.timed().wall_time().as_secs_f64() / g1.timed().wall_time().as_secs_f64();
-    let task_ratio =
-        zgc.timed().task_clock().as_secs_f64() / g1.timed().task_clock().as_secs_f64();
+    let wall_ratio = zgc.timed().wall_time().as_secs_f64() / g1.timed().wall_time().as_secs_f64();
+    let task_ratio = zgc.timed().task_clock().as_secs_f64() / g1.timed().task_clock().as_secs_f64();
 
     assert!(
         wall_ratio < 1.15,
@@ -90,8 +88,7 @@ fn h2_metered_latency_is_close_to_simple_latency() {
     let runs = run("h2", CollectorKind::G1, 2.0);
     let events = events_of(runs.timed(), spec.requests()).expect("latency-sensitive");
 
-    let simple =
-        LatencyDistribution::from_durations(simple_latencies(&events)).expect("non-empty");
+    let simple = LatencyDistribution::from_durations(simple_latencies(&events)).expect("non-empty");
     let metered =
         LatencyDistribution::from_durations(metered_latencies(&events, SmoothingWindow::Full))
             .expect("non-empty");

@@ -92,6 +92,11 @@ fn profiles_and_dataset_agree_on_shared_columns() {
         assert_eq!(row.value("GMD"), Some(p.min_heap_default_mb), "{}", p.name);
         assert_eq!(row.value("GTO"), Some(p.turnover), "{}", p.name);
         assert_eq!(row.value("GLK"), Some(p.leak_pct), "{}", p.name);
-        assert_eq!(row.value("PWU"), Some(p.warmup_iterations as f64), "{}", p.name);
+        assert_eq!(
+            row.value("PWU"),
+            Some(p.warmup_iterations as f64),
+            "{}",
+            p.name
+        );
     }
 }

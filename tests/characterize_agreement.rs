@@ -56,7 +56,10 @@ fn emergent_statistics_rank_correlate_with_published_values() {
     }
 
     // PWU: warmup honours the published iterations-to-warm-up.
-    let pwu: Vec<f64> = measured.iter().map(|m| m.warmup_iterations as f64).collect();
+    let pwu: Vec<f64> = measured
+        .iter()
+        .map(|m| m.warmup_iterations as f64)
+        .collect();
     let rho = rank_agreement(&published("PWU"), &pwu).expect("defined");
     assert!(rho > 0.85, "PWU rank agreement: {rho:.3}");
 }

@@ -88,9 +88,18 @@ fn figure1a_wall_clock_winners_are_parallel_and_g1() {
     let serial = at(&curves, CollectorKind::Serial, 6.0);
     let shen = at(&curves, CollectorKind::Shenandoah, 6.0);
     let zgc = at(&curves, CollectorKind::Zgc, 6.0);
-    assert!(parallel < serial && g1 < serial, "single-threaded pauses cost wall time");
-    assert!(parallel < shen && parallel < zgc, "parallel beats concurrent on wall");
-    assert!(parallel < 1.15 && g1 < 1.2, "winners are single-digit-ish percent");
+    assert!(
+        parallel < serial && g1 < serial,
+        "single-threaded pauses cost wall time"
+    );
+    assert!(
+        parallel < shen && parallel < zgc,
+        "parallel beats concurrent on wall"
+    );
+    assert!(
+        parallel < 1.15 && g1 < 1.2,
+        "winners are single-digit-ish percent"
+    );
 }
 
 #[test]

@@ -9,7 +9,11 @@ use chopin::runtime::time::SimDuration;
 use chopin::workloads::SizeClass;
 use proptest::prelude::*;
 
-fn events_for(collector: CollectorKind, factor: f64, seed: u64) -> Vec<chopin::runtime::requests::RequestEvent> {
+fn events_for(
+    collector: CollectorKind,
+    factor: f64,
+    seed: u64,
+) -> Vec<chopin::runtime::requests::RequestEvent> {
     let suite = Suite::chopin();
     let bench = suite.benchmark("spring").expect("in suite");
     let spec = bench

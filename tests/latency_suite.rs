@@ -39,11 +39,9 @@ fn all_nine_latency_workloads_report_events() {
         // Distributions are well-formed on every metric.
         let simple = LatencyDistribution::from_durations(simple_latencies(&events))
             .unwrap_or_else(|| panic!("{}: empty distribution", bench.name()));
-        let metered = LatencyDistribution::from_durations(metered_latencies(
-            &events,
-            SmoothingWindow::Full,
-        ))
-        .expect("non-empty");
+        let metered =
+            LatencyDistribution::from_durations(metered_latencies(&events, SmoothingWindow::Full))
+                .expect("non-empty");
         assert!(simple.percentile(50.0) > 0.0, "{}", bench.name());
         assert!(
             metered.percentile(99.0) >= simple.percentile(99.0) - 1e-9,
@@ -76,7 +74,16 @@ fn jme_frames_are_the_smallest_event_set() {
             .count
     };
     let jme = count("jme");
-    for other in ["cassandra", "h2", "kafka", "lusearch", "spring", "tomcat", "tradebeans", "tradesoap"] {
+    for other in [
+        "cassandra",
+        "h2",
+        "kafka",
+        "lusearch",
+        "spring",
+        "tomcat",
+        "tradebeans",
+        "tradesoap",
+    ] {
         assert!(count(other) > jme, "{other}");
     }
 }

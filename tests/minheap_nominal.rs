@@ -35,7 +35,10 @@ fn min_heap_ordering_across_size_classes() {
     }
     .find(&profile)
     .expect("large");
-    assert!(small < default && default < large, "{small} {default} {large}");
+    assert!(
+        small < default && default < large,
+        "{small} {default} {large}"
+    );
 }
 
 #[test]

@@ -69,7 +69,11 @@ fn but_the_mmu_winner_has_worse_user_experienced_latency() {
 
 #[test]
 fn mmu_curves_are_monotone_on_engine_output() {
-    for collector in [CollectorKind::Serial, CollectorKind::G1, CollectorKind::Shenandoah] {
+    for collector in [
+        CollectorKind::Serial,
+        CollectorKind::G1,
+        CollectorKind::Shenandoah,
+    ] {
         let set = run("lusearch", collector, 2.0);
         let curve = mmu_curve(set.timed().progress());
         assert!(!curve.is_empty(), "{collector}");
@@ -90,5 +94,8 @@ fn serial_mmu_collapses_at_pause_scale_windows() {
     // workload.
     let set = run("lusearch", CollectorKind::Serial, 1.5);
     let small = mmu(set.timed().progress(), SimDuration::from_millis(1)).expect("defined");
-    assert!(small < 0.05, "a 1ms window fits inside a Serial pause: {small}");
+    assert!(
+        small < 0.05,
+        "a 1ms window fits inside a Serial pause: {small}"
+    );
 }

@@ -110,8 +110,7 @@ fn an_underloaded_pause_free_queue_never_builds() {
     let closed = events_of(timed, Some(requests)).expect("events");
     let simple = LatencyDistribution::from_durations(simple_latencies(&closed)).expect("events");
     let open = replay_open_loop_at(timed.progress(), requests, timed.config().seed(), 0.6);
-    let open_dist =
-        LatencyDistribution::from_durations(simple_latencies(&open)).expect("events");
+    let open_dist = LatencyDistribution::from_durations(simple_latencies(&open)).expect("events");
 
     let m_simple = simple.percentile(50.0);
     let m_open = open_dist.percentile(50.0);

@@ -14,7 +14,11 @@ fn size_classes_scale_specs_monotonically() {
         };
         let small = alloc(SizeClass::Small).expect("small always exists");
         let default = alloc(SizeClass::Default).expect("default always exists");
-        assert!(small <= default, "{}: small {small} vs default {default}", profile.name);
+        assert!(
+            small <= default,
+            "{}: small {small} vs default {default}",
+            profile.name
+        );
         if let Some(large) = alloc(SizeClass::Large) {
             assert!(
                 default <= large,
@@ -23,7 +27,11 @@ fn size_classes_scale_specs_monotonically() {
             );
         }
         if let Some(vlarge) = alloc(SizeClass::VLarge) {
-            assert!(alloc(SizeClass::Large).unwrap_or(default) <= vlarge, "{}", profile.name);
+            assert!(
+                alloc(SizeClass::Large).unwrap_or(default) <= vlarge,
+                "{}",
+                profile.name
+            );
         }
     }
 }
@@ -41,7 +49,10 @@ fn published_size_minimums_are_ordered() {
         }
         if let Some(vlarge) = profile.min_heap_vlarge_mb {
             assert!(
-                profile.min_heap_large_mb.unwrap_or(profile.min_heap_default_mb) <= vlarge,
+                profile
+                    .min_heap_large_mb
+                    .unwrap_or(profile.min_heap_default_mb)
+                    <= vlarge,
                 "{}",
                 profile.name
             );

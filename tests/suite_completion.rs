@@ -19,11 +19,7 @@ fn all_22_benchmarks_complete_with_the_baseline_configuration() {
             .run()
             .unwrap_or_else(|e| panic!("{} failed: {e}", bench.name()));
         assert_eq!(runs.iterations().len(), 5, "{}", bench.name());
-        assert!(
-            runs.timed().wall_time().as_nanos() > 0,
-            "{}",
-            bench.name()
-        );
+        assert!(runs.timed().wall_time().as_nanos() > 0, "{}", bench.name());
     }
 }
 
@@ -63,9 +59,8 @@ fn zgc_has_missing_points_at_one_times_minheap() {
             .heap_factor(1.0)
             .iterations(1)
             .run();
-        if let Err(BenchmarkError::Run(
-            RunError::OutOfMemory { .. } | RunError::GcThrash { .. },
-        )) = result
+        if let Err(BenchmarkError::Run(RunError::OutOfMemory { .. } | RunError::GcThrash { .. })) =
+            result
         {
             zgc_failures += 1;
         }

@@ -1,0 +1,65 @@
+//! Offline stub of `crossbeam`: scoped threads with crossbeam's API shape,
+//! implemented over `std::thread::scope` (stable since Rust 1.63).
+
+#![forbid(unsafe_code)]
+
+/// Scoped-thread API mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+    use std::thread::ScopedJoinHandle;
+
+    /// A scope handle passed to [`scope`]'s closure and to each spawned
+    /// thread's closure (crossbeam's signature).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread scoped to this scope. The closure receives the
+        /// scope handle, matching crossbeam's `|scope| ...` signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let me = *self;
+            self.inner.spawn(move || f(&me))
+        }
+    }
+
+    /// Run `f` with a thread scope; all threads spawned inside are joined
+    /// before this returns. The `Result` mirrors crossbeam's signature —
+    /// with `std::thread::scope` underneath, a panicking child re-panics at
+    /// scope exit rather than surfacing as `Err`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_join_before_return() {
+        let counter = AtomicUsize::new(0);
+        let r = super::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+        });
+        assert!(r.is_ok());
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+}

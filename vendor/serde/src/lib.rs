@@ -1,0 +1,16 @@
+//! Offline stub of `serde`: marker traits plus the no-op derives.
+//!
+//! Nothing in this workspace serializes data through serde — the derives
+//! are forward-looking annotation — so the traits are pure markers and the
+//! derive macros (from the sibling `serde_derive` stub) expand to nothing.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

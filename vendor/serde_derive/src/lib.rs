@@ -1,0 +1,19 @@
+//! Offline stub of `serde_derive`: the derive macros expand to nothing.
+//!
+//! This workspace uses `#[derive(Serialize, Deserialize)]` purely as
+//! forward-looking annotation — no code path performs serialization — so
+//! empty expansions are sufficient and keep the build self-contained.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
