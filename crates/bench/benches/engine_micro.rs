@@ -1,11 +1,16 @@
 //! Microbenchmarks of the simulation engine itself: per-collector run cost
-//! on a mid-weight workload, minimum-heap search, and the progress-trace
-//! request inversion.
+//! on a mid-weight workload, minimum-heap search, the progress-trace
+//! request inversion, and the observer overhead comparison (a no-op
+//! observer must cost nothing; a recording observer, one ring push per
+//! event).
 
 use chopin_core::minheap::MinHeapSearch;
 use chopin_core::BenchmarkRunner;
+use chopin_obs::{EventRecorder, NoopObserver};
 use chopin_runtime::collector::CollectorKind;
-use chopin_workloads::suite;
+use chopin_runtime::config::RunConfig;
+use chopin_runtime::engine::run_with_observer;
+use chopin_workloads::{suite, SizeClass};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
@@ -28,6 +33,26 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("minheap_search_fop", |b| {
         b.iter(|| MinHeapSearch::default().find(&fop).expect("found"))
+    });
+
+    // Observer overhead: the no-op path must match the plain engine (it
+    // monomorphises to the same code), and the recording path shows the
+    // true cost of a full flight recording.
+    let spec = fop
+        .to_spec(SizeClass::Default)
+        .expect("default size exists")
+        .expect("spec is valid");
+    let heap = fop.min_heap_bytes(SizeClass::Default).expect("published") * 2;
+    let config = RunConfig::new(heap, CollectorKind::G1).with_noise(0.0);
+    group.sample_size(20);
+    group.bench_function("fop_g1_2x_noop_observer", |b| {
+        b.iter(|| run_with_observer(&spec, &config, &mut NoopObserver).expect("completes"))
+    });
+    group.bench_function("fop_g1_2x_recording_observer", |b| {
+        b.iter(|| {
+            let mut recorder = EventRecorder::new();
+            run_with_observer(&spec, &config, &mut recorder).expect("completes")
+        })
     });
     group.finish();
 }

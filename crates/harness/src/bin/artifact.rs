@@ -8,12 +8,25 @@
 //! artifact validate          # scorecard: PASS/FAIL per headline claim
 //! artifact lint [--json]     # static validation; non-zero exit on errors
 //! artifact lint --rules      # print the rule catalogue
+//! artifact trace             # observed h2 run -> Perfetto trace + metrics
 //! ```
+//!
+//! `artifact trace [-b BENCH] [--collector NAME] [--heap-factor F]
+//! [--trace-out FILE] [--events-out FILE] [--check]` runs one benchmark
+//! with the engine's tracing observer attached, writes a
+//! Chrome-trace/Perfetto JSON document (open it at ui.perfetto.dev) and
+//! prints the folded metrics registry. `--check` re-validates the written
+//! document (well-formed JSON, matched B/E spans, expected tracks) and
+//! exits non-zero on any defect — the CI gate.
 
 use chopin_harness::cli::Args;
+use chopin_harness::obs::{observe_benchmark, ObsOptions, DEFAULT_EVENTS_OUT, DEFAULT_TRACE_OUT};
 use chopin_harness::presets::Preset;
+use chopin_obs::validate_chrome_trace;
+use chopin_runtime::collector::CollectorKind;
 
-const USAGE: &str = "usage: artifact <kick-the-tires|lbo|latency|validate|lint> [--json|--rules]";
+const USAGE: &str =
+    "usage: artifact <kick-the-tires|lbo|latency|validate|lint|trace> [--json|--rules|--check]";
 
 fn run_lint(args: &Args) -> i32 {
     if args.has("rules") {
@@ -36,6 +49,107 @@ fn run_lint(args: &Args) -> i32 {
     i32::from(report.has_errors())
 }
 
+fn run_trace(args: &Args) -> i32 {
+    let bench = args.value("b").unwrap_or("h2");
+    let collector: CollectorKind = match args.value("collector").unwrap_or("shenandoah").parse() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let factor = match args.get_or("heap-factor", 2.0) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let opts = ObsOptions {
+        trace_out: Some(
+            args.value("trace-out")
+                .unwrap_or(DEFAULT_TRACE_OUT)
+                .to_string(),
+        ),
+        events_out: Some(
+            args.value("events-out")
+                .unwrap_or(DEFAULT_EVENTS_OUT)
+                .to_string(),
+        ),
+    };
+    if let Err(e) = opts.validate() {
+        eprintln!("error: {e}");
+        return 2;
+    }
+
+    eprintln!("artifact trace: {bench} ({collector} @ {factor:.1}x)");
+    let observed = match observe_benchmark(bench, collector, factor) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    if let Err(e) = &observed.outcome {
+        eprintln!("note: run failed ({e}); trace covers the failure");
+    }
+    let trace = observed.trace();
+    let json = trace.to_json();
+    let paths = match opts.export(Some(&trace), Some(&observed.recorder)) {
+        Ok(paths) => paths,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    for p in &paths {
+        println!("wrote {}", p.display());
+    }
+    println!(
+        "{} events recorded ({} dropped by the ring buffer)",
+        observed.recorder.len(),
+        observed.recorder.dropped()
+    );
+    print!("{}", observed.metrics.render_table());
+
+    if args.has("check") {
+        let stats = match validate_chrome_trace(&json) {
+            Ok(stats) => stats,
+            Err(e) => {
+                eprintln!("check FAILED: {e}");
+                return 1;
+            }
+        };
+        let mut failures = Vec::new();
+        if stats.spans_on("mutator") == 0 {
+            failures.push("no mutator spans".to_string());
+        }
+        if stats.spans_on("gc-stw") == 0 {
+            failures.push("no stop-the-world pause spans".to_string());
+        }
+        if collector.is_concurrent() && stats.spans_on("gc-concurrent") == 0 {
+            failures.push("no concurrent-cycle spans for a concurrent collector".to_string());
+        }
+        if failures.is_empty() {
+            println!(
+                "check OK: {} trace events, {} mutator / {} stw / {} concurrent spans",
+                stats.total_events,
+                stats.spans_on("mutator"),
+                stats.spans_on("gc-stw"),
+                stats.spans_on("gc-concurrent"),
+            );
+            0
+        } else {
+            for f in &failures {
+                eprintln!("check FAILED: {f}");
+            }
+            1
+        }
+    } else {
+        0
+    }
+}
+
 fn main() {
     let args = Args::from_env();
     let Some(command) = args.positionals().first() else {
@@ -44,6 +158,9 @@ fn main() {
     };
     if command == "lint" {
         std::process::exit(run_lint(&args));
+    }
+    if command == "trace" {
+        std::process::exit(run_trace(&args));
     }
     let Some(preset) = Preset::parse(command) else {
         eprintln!("{USAGE}");

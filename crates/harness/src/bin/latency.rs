@@ -5,17 +5,26 @@
 //! latency -b cassandra            # Figure 3 panels
 //! latency -b h2 --heaps 2,6      # Figure 6 panels
 //! latency -b all                  # every latency-sensitive workload
+//! latency -b h2 --trace-out h2.json   # + Perfetto trace of an
+//!                                     #   observed Shenandoah run
 //! ```
 
 use chopin_core::latency::SmoothingWindow;
 use chopin_core::Suite;
 use chopin_harness::cli::Args;
+use chopin_harness::obs::{add_spans_to_trace, observe_benchmark, with_suffix, ObsOptions};
 use chopin_harness::output::ResultsDir;
 use chopin_harness::LatencyExperiment;
+use chopin_runtime::collector::CollectorKind;
 use chopin_runtime::time::SimDuration;
 
 fn main() {
     let args = Args::from_env();
+    let obs = ObsOptions::from_args(&args);
+    if let Err(e) = obs.validate() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
     let mut benchmarks = args.list("b");
     if benchmarks.is_empty() {
         benchmarks = vec!["cassandra".to_string()];
@@ -54,6 +63,40 @@ fn main() {
             }
         }
         println!("{}", experiment.render_report());
+        println!("{}", experiment.render_pause_report());
+
+        if obs.enabled() {
+            // One observed run with the concurrent collector at the
+            // smallest measured heap: the trace where pacing is visible.
+            let collector = CollectorKind::Shenandoah;
+            let factor = heaps.first().copied().unwrap_or(2.0);
+            let per_bench = if benchmarks.len() > 1 {
+                chopin_harness::obs::ObsOptions {
+                    trace_out: obs.trace_out.as_deref().map(|p| with_suffix(p, bench)),
+                    events_out: obs.events_out.as_deref().map(|p| with_suffix(p, bench)),
+                }
+            } else {
+                obs.clone()
+            };
+            let outcome = observe_benchmark(bench, collector, factor).and_then(|observed| {
+                let mut trace = observed.trace();
+                add_spans_to_trace(&mut trace, &experiment.spans);
+                per_bench
+                    .export(Some(&trace), Some(&observed.recorder))
+                    .map_err(chopin_harness::ExperimentError::Io)
+            });
+            match outcome {
+                Ok(paths) => {
+                    for p in paths {
+                        eprintln!("latency: wrote {}", p.display());
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
 
         // §4.4: "as well as optionally saving the complete data to file
         // for offline analysis".

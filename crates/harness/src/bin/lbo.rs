@@ -6,16 +6,24 @@
 //! lbo -b cassandra,lusearch   # Figure 5
 //! lbo -b fop --invocations 5  # appendix figure for one benchmark
 //! lbo --quick                 # coarse grid for smoke runs
+//! lbo -b fop --trace-out t.json  # + Perfetto trace (sweep spans
+//!                                #   and one observed engine run)
 //! ```
 
 use chopin_core::lbo::Clock;
 use chopin_core::sweep::SweepConfig;
 use chopin_harness::cli::Args;
+use chopin_harness::obs::{add_spans_to_trace, observe_benchmark, ObsOptions};
 use chopin_harness::output::ResultsDir;
 use chopin_harness::LboExperiment;
 
 fn main() {
     let args = Args::from_env();
+    let obs = ObsOptions::from_args(&args);
+    if let Err(e) = obs.validate() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
     let benchmarks = args.list("b");
     let mut sweep = if args.has("quick") {
         SweepConfig::quick()
@@ -79,6 +87,30 @@ fn main() {
             let name = format!("lbo_{}.txt", experiment.sweeps[i].benchmark);
             if let Err(e) = dir.write(&name, &report) {
                 eprintln!("warning: {e}");
+            }
+        }
+    }
+
+    if obs.enabled() {
+        let bench = experiment.sweeps[0].benchmark.clone();
+        let collector = sweep.collectors[0];
+        let factor = sweep.heap_factors[0];
+        eprintln!("lbo: tracing {bench} ({collector} @ {factor:.1}x)");
+        let outcome = observe_benchmark(&bench, collector, factor).and_then(|observed| {
+            let mut trace = observed.trace();
+            add_spans_to_trace(&mut trace, &experiment.spans);
+            obs.export(Some(&trace), Some(&observed.recorder))
+                .map_err(chopin_harness::ExperimentError::Io)
+        });
+        match outcome {
+            Ok(paths) => {
+                for p in paths {
+                    eprintln!("lbo: wrote {}", p.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
             }
         }
     }

@@ -5,14 +5,27 @@
 //! ```text
 //! runbms -b fop --invocations 3
 //! runbms -b all --quick > results.csv
+//! runbms -b fop --trace-out t.json --events-out e.jsonl
 //! ```
+//!
+//! With `--trace-out`, the per-benchmark sweep wall times land on a
+//! harness track and the first benchmark is re-run once with the engine's
+//! tracing observer attached, so the file opens in ui.perfetto.dev with
+//! both views. `--events-out` writes that observed run's event stream as
+//! JSON Lines.
 
 use chopin_core::sweep::SweepConfig;
 use chopin_core::Suite;
 use chopin_harness::cli::Args;
+use chopin_harness::obs::{add_spans_to_trace, observe_benchmark, ObsOptions, SpanSink};
 
 fn main() {
     let args = Args::from_env();
+    let obs = ObsOptions::from_args(&args);
+    if let Err(e) = obs.validate() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
     let mut benchmarks = args.list("b");
     if benchmarks.is_empty() || benchmarks == ["all"] {
         benchmarks = Suite::chopin()
@@ -33,10 +46,13 @@ fn main() {
         .get_or("iterations", sweep.iterations)
         .unwrap_or(sweep.iterations);
 
+    let sink = SpanSink::new();
     println!("benchmark,collector,heap_factor,wall_s,task_s,wall_distillable_s,task_distillable_s");
     for bench in &benchmarks {
         eprintln!("runbms: {bench}");
-        match chopin_harness::sweep_benchmark(bench, &sweep) {
+        match sink.time(&format!("sweep:{bench}"), || {
+            chopin_harness::sweep_benchmark(bench, &sweep)
+        }) {
             Ok(result) => {
                 for s in &result.samples {
                     println!(
@@ -55,6 +71,34 @@ fn main() {
                         "  skipped {} @ {:.2}x: {}",
                         f.collector, f.heap_factor, f.reason
                     );
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if obs.enabled() {
+        let bench = &benchmarks[0];
+        let collector = sweep.collectors[0];
+        let factor = sweep.heap_factors[0];
+        eprintln!("runbms: tracing {bench} ({collector} @ {factor:.1}x)");
+        match observe_benchmark(bench, collector, factor) {
+            Ok(observed) => {
+                let mut trace = observed.trace();
+                add_spans_to_trace(&mut trace, &sink.spans());
+                match obs.export(Some(&trace), Some(&observed.recorder)) {
+                    Ok(paths) => {
+                        for p in paths {
+                            eprintln!("runbms: wrote {}", p.display());
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(1);
+                    }
                 }
             }
             Err(e) => {

@@ -4,16 +4,32 @@
 //! ```text
 //! suite                 # the overview table
 //! suite -b lusearch     # one workload's profile and highlights
+//! suite -b h2 --trace-out h2.json   # + Perfetto trace of one run
 //! ```
+//!
+//! With `-b` and `--trace-out`/`--events-out`, each selected workload is
+//! run once (G1, 2× heap) with the engine's tracing observer attached and
+//! the trace/event stream written out (suffixed per benchmark when several
+//! are selected).
 
 use chopin_core::Suite;
 use chopin_harness::cli::Args;
+use chopin_harness::obs::{observe_benchmark, with_suffix, ObsOptions};
 use chopin_harness::plot::render_table;
+use chopin_runtime::collector::CollectorKind;
 use chopin_workloads::suite as workloads;
 
 fn main() {
     let args = Args::from_env();
+    let obs = ObsOptions::from_args(&args);
+    if let Err(e) = obs.validate() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
     let selected = args.list("b");
+    if obs.enabled() && selected.is_empty() {
+        eprintln!("warning: --trace-out/--events-out need a workload (-b NAME); ignoring");
+    }
     if !selected.is_empty() {
         for name in &selected {
             let Some(profile) = workloads::by_name(name) else {
@@ -44,6 +60,30 @@ fn main() {
                 }
             }
             println!();
+            if obs.enabled() {
+                let per_bench = if selected.len() > 1 {
+                    ObsOptions {
+                        trace_out: obs.trace_out.as_deref().map(|p| with_suffix(p, name)),
+                        events_out: obs.events_out.as_deref().map(|p| with_suffix(p, name)),
+                    }
+                } else {
+                    obs.clone()
+                };
+                let outcome = observe_benchmark(name, CollectorKind::G1, 2.0)
+                    .map_err(|e| e.to_string())
+                    .and_then(|o| per_bench.export(Some(&o.trace()), Some(&o.recorder)));
+                match outcome {
+                    Ok(paths) => {
+                        for p in paths {
+                            eprintln!("suite: wrote {}", p.display());
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
         }
         return;
     }

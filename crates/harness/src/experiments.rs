@@ -3,8 +3,9 @@
 //! the binaries, the Criterion benches and the integration tests all share
 //! one implementation.
 
+use crate::obs::{HarnessSpan, SpanSink};
 use crate::plot::{render_chart, render_table, to_csv, ChartOptions, Series};
-use crate::runner::run_suite_sweeps;
+use crate::runner::run_suite_sweeps_spanned;
 use chopin_core::latency::{
     events_of, metered_latencies, simple_latencies, LatencyDistribution, SmoothingWindow,
 };
@@ -12,6 +13,7 @@ use chopin_core::lbo::{geomean_curves, Clock, LboAnalysis};
 use chopin_core::nominal::{self, score_table, METRICS, TABLE2_METRICS};
 use chopin_core::sweep::{run_sweep, SweepConfig, SweepResult};
 use chopin_core::{BenchmarkError, BenchmarkRunner, Suite};
+use chopin_obs::{format_ns, LogHistogram};
 use chopin_runtime::collector::CollectorKind;
 use chopin_runtime::time::SimDuration;
 use chopin_workloads::SizeClass;
@@ -29,6 +31,8 @@ pub enum ExperimentError {
     Analysis(chopin_analysis::AnalysisError),
     /// The requested workload has no latency events.
     NotLatencySensitive(String),
+    /// Persisting experiment output (trace/event files) failed.
+    Io(String),
 }
 
 impl fmt::Display for ExperimentError {
@@ -40,6 +44,7 @@ impl fmt::Display for ExperimentError {
             ExperimentError::NotLatencySensitive(b) => {
                 write!(f, "{b} is not a latency-sensitive workload")
             }
+            ExperimentError::Io(e) => write!(f, "{e}"),
         }
     }
 }
@@ -68,6 +73,9 @@ pub struct LboExperiment {
     pub wall: Vec<LboAnalysis>,
     /// Per-benchmark task-clock LBO analyses.
     pub task: Vec<LboAnalysis>,
+    /// Wall-time spans of the experiment's phases (per-benchmark sweeps
+    /// plus the analysis pass) for the `--trace-out` harness track.
+    pub spans: Vec<HarnessSpan>,
 }
 
 impl LboExperiment {
@@ -96,14 +104,25 @@ impl LboExperiment {
                 .collect::<Result<_, _>>()?
         };
 
-        let sweeps = run_suite_sweeps(&selected, sweep)?;
-        let mut wall = Vec::with_capacity(sweeps.len());
-        let mut task = Vec::with_capacity(sweeps.len());
-        for s in &sweeps {
-            wall.push(LboAnalysis::compute(&s.samples, Clock::Wall)?);
-            task.push(LboAnalysis::compute(&s.samples, Clock::Task)?);
-        }
-        Ok(LboExperiment { sweeps, wall, task })
+        let sink = SpanSink::new();
+        let sweeps = run_suite_sweeps_spanned(&selected, sweep, &sink)?;
+        let (wall, task) = sink.time("lbo:analysis", || {
+            let mut wall = Vec::with_capacity(sweeps.len());
+            let mut task = Vec::with_capacity(sweeps.len());
+            for s in &sweeps {
+                wall.push(LboAnalysis::compute(&s.samples, Clock::Wall));
+                task.push(LboAnalysis::compute(&s.samples, Clock::Task));
+            }
+            (wall, task)
+        });
+        let wall = wall.into_iter().collect::<Result<Vec<_>, _>>()?;
+        let task = task.into_iter().collect::<Result<Vec<_>, _>>()?;
+        Ok(LboExperiment {
+            sweeps,
+            wall,
+            task,
+            spans: sink.spans(),
+        })
     }
 
     /// The geometric-mean curves over all swept benchmarks (Figure 1).
@@ -216,6 +235,14 @@ pub struct LatencyExperiment {
         f64,
         Vec<chopin_runtime::requests::RequestEvent>,
     )>,
+    /// Per-cell GC pause histograms from the timed iteration's telemetry
+    /// ([`chopin_runtime::telemetry::Telemetry::pause_histogram`]) — the
+    /// quantile source for the pause report, replacing ad-hoc scans over
+    /// the pause vector.
+    pub pause_histograms: Vec<(CollectorKind, f64, LogHistogram)>,
+    /// Wall-time spans of each measured (collector, heap-factor) cell for
+    /// the `--trace-out` harness track.
+    pub spans: Vec<HarnessSpan>,
 }
 
 impl LatencyExperiment {
@@ -250,20 +277,29 @@ impl LatencyExperiment {
             SmoothingWindow::Duration(SimDuration::from_millis(100)),
             SmoothingWindow::Full,
         ];
+        let sink = SpanSink::new();
         let mut distributions = Vec::new();
         let mut raw_events = Vec::new();
+        let mut pause_histograms = Vec::new();
         for &factor in heap_factors {
             for collector in CollectorKind::ALL {
-                let outcome = BenchmarkRunner::for_profile(profile.clone())
-                    .collector(collector)
-                    .heap_factor(factor)
-                    .iterations(2)
-                    .run();
+                let outcome = sink.time(&format!("latency:{collector}@{factor:.1}x"), || {
+                    BenchmarkRunner::for_profile(profile.clone())
+                        .collector(collector)
+                        .heap_factor(factor)
+                        .iterations(2)
+                        .run()
+                });
                 let set = match outcome {
                     Ok(set) => set,
                     Err(BenchmarkError::Run(_)) => continue,
                     Err(e) => return Err(e.into()),
                 };
+                pause_histograms.push((
+                    collector,
+                    factor,
+                    set.timed().telemetry().pause_histogram(),
+                ));
                 let events = events_of(set.timed(), spec.requests())
                     .expect("latency-sensitive by construction");
                 raw_events.push((collector, factor, events.clone()));
@@ -282,6 +318,8 @@ impl LatencyExperiment {
             benchmark: benchmark.to_string(),
             distributions,
             raw_events,
+            pause_histograms,
+            spans: sink.spans(),
         })
     }
 
@@ -368,6 +406,40 @@ impl LatencyExperiment {
                 "p99",
                 "p99.9",
                 "p99.99",
+            ],
+            &rows,
+        )
+    }
+
+    /// The GC pause tail per (collector, heap factor), read off the
+    /// telemetry's log-bucketed pause histogram. Request latency tails
+    /// (above) and the pause tails that cause them side by side is exactly
+    /// the comparison §4.4 makes.
+    pub fn render_pause_report(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .pause_histograms
+            .iter()
+            .map(|(collector, factor, h)| {
+                vec![
+                    collector.label().to_string(),
+                    format!("{factor:.1}"),
+                    h.count().to_string(),
+                    format_ns(h.p50()),
+                    format_ns(h.p99()),
+                    format_ns(h.p999()),
+                    format_ns(h.max()),
+                ]
+            })
+            .collect();
+        render_table(
+            &[
+                "collector",
+                "heap",
+                "pauses",
+                "pause p50",
+                "pause p99",
+                "pause p99.9",
+                "pause max",
             ],
             &rows,
         )
@@ -586,6 +658,26 @@ mod tests {
         assert!(report.contains("LBO wall overheads for fop"), "{report}");
         let geo = exp.render_geomean(Clock::Task).unwrap();
         assert!(geo.contains("Figure 1(b)"), "{geo}");
+        let names: Vec<&str> = exp.spans.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"sweep:fop"), "{names:?}");
+        assert!(names.contains(&"lbo:analysis"), "{names:?}");
+    }
+
+    #[test]
+    fn latency_experiment_exposes_pause_histograms_and_spans() {
+        let exp = LatencyExperiment::run("cassandra", &[2.0]).unwrap();
+        assert!(!exp.pause_histograms.is_empty());
+        assert!(exp
+            .pause_histograms
+            .iter()
+            .all(|(_, f, h)| *f == 2.0 && h.count() > 0));
+        let report = exp.render_pause_report();
+        assert!(report.contains("pause p99"), "{report}");
+        assert!(
+            exp.spans.iter().any(|s| s.name.starts_with("latency:")),
+            "{:?}",
+            exp.spans
+        );
     }
 
     #[test]

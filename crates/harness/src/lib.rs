@@ -15,6 +15,9 @@
 //! * [`lint`] — the `artifact lint` static-validation pass: the
 //!   [`chopin_lint`] rule catalogue over the suite plus every preset
 //!   configuration above.
+//! * [`obs`] — `--trace-out`/`--events-out` plumbing: observed runs with
+//!   the engine's [`chopin_obs`] tracing hook attached, harness wall-time
+//!   spans, and Perfetto-compatible export (`artifact trace`).
 //! * [`output`] — the results folder the artifact workflow writes into.
 //! * [`validate`] — the reproduction scorecard: re-verify the paper's
 //!   headline claims with fresh measurements (`artifact validate`).
@@ -28,6 +31,7 @@
 pub mod cli;
 pub mod experiments;
 pub mod lint;
+pub mod obs;
 pub mod output;
 pub mod plot;
 pub mod presets;
@@ -38,5 +42,6 @@ pub use experiments::{
     heap_trace, nominal_table, pca_figure, sweep_benchmark, table1, table2, ExperimentError,
     LatencyExperiment, LboExperiment,
 };
+pub use obs::{observe_benchmark, ObsOptions, ObservedRun, SpanSink};
 pub use presets::Preset;
-pub use runner::run_suite_sweeps;
+pub use runner::{run_suite_sweeps, run_suite_sweeps_spanned};

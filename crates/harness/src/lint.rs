@@ -36,6 +36,15 @@ pub fn lint_all() -> LintReport {
         "preset:kick-the-tires",
         &crate::presets::KICK_THE_TIRES_HEAP_FACTORS,
     ));
+    // R6: the `artifact trace` default output configuration.
+    diagnostics.extend(chopin_lint::lint_obs_config(
+        "preset:trace",
+        &chopin_obs::ObsConfig {
+            trace_out: Some(crate::obs::DEFAULT_TRACE_OUT.to_string()),
+            events_out: Some(crate::obs::DEFAULT_EVENTS_OUT.to_string()),
+            ..chopin_obs::ObsConfig::default()
+        },
+    ));
     LintReport::new(diagnostics)
 }
 

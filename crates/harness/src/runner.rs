@@ -7,6 +7,7 @@
 //! real hardware, where co-running benchmarks would perturb each other —
 //! one of the luxuries of simulation).
 
+use crate::obs::SpanSink;
 use chopin_core::sweep::{run_sweep, SweepConfig, SweepResult};
 use chopin_core::BenchmarkError;
 use chopin_workloads::WorkloadProfile;
@@ -23,6 +24,20 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 pub fn run_suite_sweeps(
     profiles: &[WorkloadProfile],
     config: &SweepConfig,
+) -> Result<Vec<SweepResult>, BenchmarkError> {
+    run_suite_sweeps_spanned(profiles, config, &SpanSink::default())
+}
+
+/// [`run_suite_sweeps`] with a wall-time span recorded per benchmark sweep
+/// into `spans` (the `--trace-out` harness track).
+///
+/// # Errors
+///
+/// See [`run_suite_sweeps`].
+pub fn run_suite_sweeps_spanned(
+    profiles: &[WorkloadProfile],
+    config: &SweepConfig,
+    spans: &SpanSink,
 ) -> Result<Vec<SweepResult>, BenchmarkError> {
     if profiles.is_empty() {
         return Ok(Vec::new());
@@ -43,7 +58,8 @@ pub fn run_suite_sweeps(
                 if i >= profiles.len() {
                     break;
                 }
-                let outcome = run_sweep(&profiles[i], config);
+                let name = format!("sweep:{}", profiles[i].name);
+                let outcome = spans.time(&name, || run_sweep(&profiles[i], config));
                 results.lock()[i] = Some(outcome);
             });
         }
@@ -87,6 +103,26 @@ mod tests {
         assert_eq!(out[0].benchmark, "fop");
         assert_eq!(out[1].benchmark, "jython");
         assert!(!out[0].samples.is_empty());
+    }
+
+    #[test]
+    fn spanned_sweeps_record_one_span_per_benchmark() {
+        let profiles = vec![
+            suite::by_name("fop").unwrap(),
+            suite::by_name("jython").unwrap(),
+        ];
+        let cfg = SweepConfig {
+            collectors: vec![CollectorKind::G1],
+            heap_factors: vec![2.0],
+            invocations: 1,
+            iterations: 1,
+            size: SizeClass::Default,
+        };
+        let sink = SpanSink::new();
+        run_suite_sweeps_spanned(&profiles, &cfg, &sink).unwrap();
+        let mut names: Vec<String> = sink.spans().into_iter().map(|s| s.name).collect();
+        names.sort();
+        assert_eq!(names, vec!["sweep:fop", "sweep:jython"]);
     }
 
     #[test]

@@ -24,6 +24,8 @@
 //! * **R4xx** — methodology sanity: smoothing windows, LBO grids,
 //!   percentile configurations ([`rules::methodology`]).
 //! * **R5xx** — suite-registry invariants ([`rules::registry`]).
+//! * **R6xx** — observability configuration: export paths, event-ring
+//!   capacity, pause-histogram bounds ([`rules::obs`]).
 //!
 //! # Examples
 //!
@@ -43,6 +45,7 @@ pub use diagnostic::{Diagnostic, LintReport, Severity};
 pub use rules::config::{lint_collector_model, lint_collector_models, lint_sweep_config};
 pub use rules::methodology::{lint_lbo_grid, lint_percentiles, lint_smoothing};
 pub use rules::nominal::lint_score_table;
+pub use rules::obs::lint_obs_config;
 pub use rules::registry::lint_registry;
 pub use rules::spec::{lint_latency_set, lint_profile};
 pub use rules::{RuleDef, RULES};
@@ -90,6 +93,12 @@ pub fn lint_suite() -> LintReport {
 
     // R4: the shipped percentile configurations.
     diagnostics.extend(rules::methodology::lint_shipped_percentiles());
+
+    // R6: the default observability configuration.
+    diagnostics.extend(rules::obs::lint_obs_config(
+        "default",
+        &chopin_obs::ObsConfig::default(),
+    ));
 
     LintReport::new(diagnostics)
 }

@@ -1,14 +1,16 @@
-//! The rule catalogue, grouped into five families:
+//! The rule catalogue, grouped into six families:
 //!
 //! * **R1xx** ([`nominal`]) — nominal-statistic completeness and ranges.
 //! * **R2xx** ([`spec`]) — cross-field workload-spec consistency.
 //! * **R3xx** ([`config`]) — heap/collector configuration feasibility.
 //! * **R4xx** ([`methodology`]) — latency/LBO methodology sanity.
 //! * **R5xx** ([`registry`]) — suite-registry invariants.
+//! * **R6xx** ([`obs`]) — observability-configuration validity.
 
 pub mod config;
 pub mod methodology;
 pub mod nominal;
+pub mod obs;
 pub mod registry;
 pub mod spec;
 
@@ -28,7 +30,7 @@ pub struct RuleDef {
 /// Every rule the linter implements, in id order. Rendered by
 /// `artifact lint --rules` and kept in sync with the rule modules by the
 /// crate's tests.
-pub const RULES: [RuleDef; 24] = [
+pub const RULES: [RuleDef; 27] = [
     RuleDef {
         id: "R101",
         severity: Severity::Error,
@@ -148,6 +150,21 @@ pub const RULES: [RuleDef; 24] = [
         id: "R505",
         severity: Severity::Error,
         summary: "exactly 9 workloads are latency-sensitive",
+    },
+    RuleDef {
+        id: "R601",
+        severity: Severity::Error,
+        summary: "trace/event export paths are writable-shaped files, not directories",
+    },
+    RuleDef {
+        id: "R602",
+        severity: Severity::Error,
+        summary: "the event ring capacity is positive",
+    },
+    RuleDef {
+        id: "R603",
+        severity: Severity::Error,
+        summary: "pause-histogram bucket bounds are positive and strictly increasing",
     },
 ];
 

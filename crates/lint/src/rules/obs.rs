@@ -1,0 +1,188 @@
+//! R6xx: observability configuration validity — export paths, event-ring
+//! capacity and pause-histogram bucket bounds.
+//!
+//! A bad observability configuration fails *after* the simulation has run
+//! (an unwritable trace path) or silently degrades the data (a zero-sized
+//! ring, non-monotone histogram buckets). These rules reject it before a
+//! single slice executes.
+
+use crate::diagnostic::Diagnostic;
+use chopin_obs::ObsConfig;
+
+/// R601: an export path must be writable-shaped — non-empty, not a
+/// directory-like path (no trailing separator), and not pointing into a
+/// parent that is obviously not a directory name (empty component).
+fn lint_output_path(name: &str, flag: &str, path: &str) -> Vec<Diagnostic> {
+    let loc = format!("obs:{name}:{flag}");
+    let mut out = Vec::new();
+    if path.trim().is_empty() {
+        out.push(
+            Diagnostic::error("R601", loc, format!("{flag} path is empty"))
+                .with_hint("pass a file path, e.g. out/trace.json"),
+        );
+        return out;
+    }
+    if path.ends_with('/') || path.ends_with('\\') {
+        out.push(
+            Diagnostic::error(
+                "R601",
+                loc.clone(),
+                format!("{flag} path `{path}` names a directory, not a file"),
+            )
+            .with_hint("append a file name, e.g. trace.json"),
+        );
+    }
+    if path.contains("//") {
+        // `a//b` style paths hide typos; absolute paths legitimately start
+        // with a single separator and trailing ones are caught above.
+        out.push(
+            Diagnostic::error(
+                "R601",
+                loc,
+                format!("{flag} path `{path}` contains an empty component"),
+            )
+            .with_hint("remove the doubled separator"),
+        );
+    }
+    out
+}
+
+/// Lint one observability configuration: R601 (export paths are
+/// writable-shaped), R602 (ring capacity is positive), R603 (histogram
+/// bounds are positive, finite in count, strictly increasing).
+///
+/// # Examples
+///
+/// ```
+/// use chopin_obs::ObsConfig;
+///
+/// assert!(chopin_lint::lint_obs_config("default", &ObsConfig::default()).is_empty());
+/// let bad = ObsConfig { ring_capacity: 0, ..ObsConfig::default() };
+/// assert!(!chopin_lint::lint_obs_config("bad", &bad).is_empty());
+/// ```
+pub fn lint_obs_config(name: &str, config: &ObsConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // R601: output paths.
+    if let Some(path) = &config.events_out {
+        out.extend(lint_output_path(name, "--events-out", path));
+    }
+    if let Some(path) = &config.trace_out {
+        out.extend(lint_output_path(name, "--trace-out", path));
+    }
+
+    // R602: ring capacity.
+    if config.ring_capacity == 0 {
+        out.push(
+            Diagnostic::error(
+                "R602",
+                format!("obs:{name}:ring"),
+                "event ring capacity is 0; every event would be dropped",
+            )
+            .with_hint("use a positive capacity (default 65536)"),
+        );
+    }
+
+    // R603: histogram bounds.
+    let bounds = &config.pause_histogram_bounds;
+    let loc = format!("obs:{name}:histogram");
+    if bounds.is_empty() {
+        out.push(
+            Diagnostic::error(
+                "R603",
+                loc.clone(),
+                "pause histogram has no bucket bounds; every pause lands in one overflow bucket \
+                 and quantiles collapse to the maximum",
+            )
+            .with_hint("use chopin_obs::default_pause_bounds()"),
+        );
+    }
+    if bounds.first().is_some_and(|&b| b == 0) {
+        out.push(
+            Diagnostic::error(
+                "R603",
+                loc.clone(),
+                "histogram bucket bound 0 is degenerate",
+            )
+            .with_hint("bounds must be positive nanosecond values"),
+        );
+    }
+    for w in bounds.windows(2) {
+        if w[0] >= w[1] {
+            out.push(
+                Diagnostic::error(
+                    "R603",
+                    loc,
+                    format!(
+                        "histogram bounds are not strictly increasing: {} then {}",
+                        w[0], w[1]
+                    ),
+                )
+                .with_hint("sort and deduplicate the bucket bounds"),
+            );
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_clean() {
+        assert!(lint_obs_config("default", &ObsConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn good_paths_are_clean() {
+        let cfg = ObsConfig {
+            events_out: Some("out/events.jsonl".to_string()),
+            trace_out: Some("/tmp/trace.json".to_string()),
+            ..ObsConfig::default()
+        };
+        assert!(lint_obs_config("ok", &cfg).is_empty());
+    }
+
+    #[test]
+    fn r601_rejects_directory_and_empty_paths() {
+        for bad in ["", "   ", "out/", "out//trace.json"] {
+            let cfg = ObsConfig {
+                trace_out: Some(bad.to_string()),
+                ..ObsConfig::default()
+            };
+            let diags = lint_obs_config("bad", &cfg);
+            assert!(
+                diags.iter().any(|d| d.rule == "R601"),
+                "path {bad:?} should fire R601"
+            );
+        }
+    }
+
+    #[test]
+    fn r602_rejects_zero_capacity() {
+        let cfg = ObsConfig {
+            ring_capacity: 0,
+            ..ObsConfig::default()
+        };
+        let diags = lint_obs_config("bad", &cfg);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "R602");
+    }
+
+    #[test]
+    fn r603_rejects_degenerate_bounds() {
+        for bad in [vec![], vec![0, 10], vec![10, 10, 20], vec![20, 10]] {
+            let cfg = ObsConfig {
+                pause_histogram_bounds: bad.clone(),
+                ..ObsConfig::default()
+            };
+            let diags = lint_obs_config("bad", &cfg);
+            assert!(
+                diags.iter().any(|d| d.rule == "R603"),
+                "bounds {bad:?} should fire R603"
+            );
+        }
+    }
+}

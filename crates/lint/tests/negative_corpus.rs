@@ -11,6 +11,7 @@ use chopin_core::nominal::dataset::{NominalRow, RowProvenance, METRIC_COUNT};
 use chopin_core::nominal::score::ScoredMetric;
 use chopin_core::sweep::SweepConfig;
 use chopin_lint::{Diagnostic, Severity};
+use chopin_obs::ObsConfig;
 use chopin_runtime::collector::CollectorKind;
 use chopin_workloads::profile::WorkloadProfile;
 use chopin_workloads::suite;
@@ -234,11 +235,52 @@ fn r505_dropped_latency_benchmark() {
 }
 
 #[test]
+fn r601_trace_path_is_a_directory() {
+    let config = ObsConfig {
+        trace_out: Some("out/traces/".to_string()),
+        ..ObsConfig::default()
+    };
+    let diags = chopin_lint::lint_obs_config("broken", &config);
+    assert_eq!(ids(&diags), vec!["R601"], "{diags:?}");
+}
+
+#[test]
+fn r601_empty_events_path() {
+    let config = ObsConfig {
+        events_out: Some(String::new()),
+        ..ObsConfig::default()
+    };
+    let diags = chopin_lint::lint_obs_config("broken", &config);
+    assert_eq!(ids(&diags), vec!["R601"], "{diags:?}");
+}
+
+#[test]
+fn r602_zero_ring_capacity() {
+    let config = ObsConfig {
+        ring_capacity: 0,
+        ..ObsConfig::default()
+    };
+    let diags = chopin_lint::lint_obs_config("broken", &config);
+    assert_eq!(ids(&diags), vec!["R602"], "{diags:?}");
+}
+
+#[test]
+fn r603_non_monotone_histogram_bounds() {
+    let config = ObsConfig {
+        pause_histogram_bounds: vec![1_000, 4_000, 2_000],
+        ..ObsConfig::default()
+    };
+    let diags = chopin_lint::lint_obs_config("broken", &config);
+    assert_eq!(ids(&diags), vec!["R603"], "{diags:?}");
+}
+
+#[test]
 fn every_fired_rule_is_in_the_catalogue() {
     // Cross-check: each id asserted above resolves in the catalogue.
     for id in [
         "R101", "R102", "R103", "R104", "R202", "R203", "R204", "R205", "R206", "R301", "R302",
-        "R303", "R304", "R402", "R403", "R404", "R501", "R502", "R503", "R505",
+        "R303", "R304", "R402", "R403", "R404", "R501", "R502", "R503", "R505", "R601", "R602",
+        "R603",
     ] {
         assert!(
             chopin_lint::rules::rule(id).is_some(),

@@ -1,0 +1,69 @@
+//! Observability configuration, shared by the harness CLI and the lint
+//! rules that validate it.
+
+use crate::metrics::default_pause_bounds;
+use crate::recorder::DEFAULT_RING_CAPACITY;
+
+/// Where and how a run's observability output is produced.
+///
+/// Built from the harness's `--events-out` / `--trace-out` flags; the
+/// defaults disable both exports. `chopin-lint`'s R6xx rules validate an
+/// instance before a run starts, so a misconfigured path or a degenerate
+/// histogram fails fast instead of after an hour of simulation.
+///
+/// # Examples
+///
+/// ```
+/// use chopin_obs::ObsConfig;
+///
+/// let cfg = ObsConfig::default();
+/// assert!(!cfg.enabled());
+/// let cfg = ObsConfig {
+///     trace_out: Some("out/trace.json".to_string()),
+///     ..ObsConfig::default()
+/// };
+/// assert!(cfg.enabled());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsConfig {
+    /// JSONL event-stream output path (`--events-out`), if any.
+    pub events_out: Option<String>,
+    /// Chrome-trace JSON output path (`--trace-out`), if any.
+    pub trace_out: Option<String>,
+    /// Event-recorder ring capacity, in events.
+    pub ring_capacity: usize,
+    /// Upper bucket bounds for the pause-duration histogram, in
+    /// nanoseconds; must be strictly increasing and positive.
+    pub pause_histogram_bounds: Vec<u64>,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            events_out: None,
+            trace_out: None,
+            ring_capacity: DEFAULT_RING_CAPACITY,
+            pause_histogram_bounds: default_pause_bounds(),
+        }
+    }
+}
+
+impl ObsConfig {
+    /// Whether any export is requested.
+    pub fn enabled(&self) -> bool {
+        self.events_out.is_some() || self.trace_out.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_disabled_but_well_formed() {
+        let cfg = ObsConfig::default();
+        assert!(!cfg.enabled());
+        assert!(cfg.ring_capacity > 0);
+        assert!(cfg.pause_histogram_bounds.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,57 @@
+//! Observability for the chopin runtime: engine event tracing, a metrics
+//! registry, and Perfetto-compatible trace export.
+//!
+//! The simulation engine is generic over an [`Observer`] and calls it at
+//! every interesting transition — mutator slices, GC trigger decisions,
+//! stop-the-world pauses, concurrent cycles, allocation pacing, batching
+//! fast-forwards, futile collections and out-of-memory declarations. The
+//! default [`NoopObserver`] monomorphises those calls away, so unobserved
+//! runs pay nothing; attaching a recorder turns the same run into data:
+//!
+//! * [`EventRecorder`] — a bounded ring buffer of [`Event`]s with JSONL
+//!   export, for programmatic analysis of a run's transition stream.
+//! * [`ChromeTrace`] — a Chrome-trace-event / Perfetto exporter that
+//!   renders mutator slices, pauses and concurrent cycles as named spans
+//!   on per-"thread" tracks, openable in `ui.perfetto.dev`.
+//! * [`MetricsRegistry`] / [`MetricsObserver`] — counters, gauges and a
+//!   log-bucketed pause histogram ([`LogHistogram`]) with p50/p90/p99/
+//!   p99.9 accessors, so experiments stop re-scanning raw pause vectors.
+//!
+//! This crate is dependency-free and timestamp-unit'd in raw simulated
+//! nanoseconds, so the runtime can depend on it without a cycle.
+//!
+//! # Examples
+//!
+//! ```
+//! use chopin_obs::{ChromeTrace, Event, EventRecorder, Observer, PauseKind};
+//!
+//! let mut rec = EventRecorder::new();
+//! rec.record(Event::PauseBegin { at: 1_000, kind: PauseKind::Young });
+//! rec.record(Event::PauseEnd { at: 3_000, kind: PauseKind::Young, gc_cpu_ns: 1_500.0 });
+//!
+//! let trace = ChromeTrace::from_events(rec.events());
+//! let stats = chopin_obs::validate_chrome_trace(&trace.to_json()).unwrap();
+//! assert_eq!(stats.spans_on("gc-stw"), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod config;
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod observer;
+pub mod recorder;
+pub mod trace;
+
+pub use config::ObsConfig;
+pub use event::{Event, PauseKind, TriggerReason};
+pub use json::{validate_chrome_trace, JsonValue, TraceStats};
+pub use metrics::{
+    default_pause_bounds, format_ns, LogHistogram, MetricsObserver, MetricsRegistry,
+};
+pub use observer::{NoopObserver, Observer, Tee};
+pub use recorder::{event_json, EventRecorder, DEFAULT_RING_CAPACITY};
+pub use trace::ChromeTrace;

@@ -1,0 +1,100 @@
+//! The `Observer` trait: the engine's tracing hook.
+//!
+//! The engine is generic over its observer, so the default
+//! [`NoopObserver`] monomorphises every `record` call to nothing — a run
+//! without an attached observer pays zero cost, which is what licenses
+//! calling the hook from the hottest paths of the event loop.
+
+use crate::event::Event;
+
+/// A sink for engine events.
+///
+/// Implementations must be passive: an observer receives copies of engine
+/// state and must never feed anything back, so attaching one cannot
+/// perturb the simulation (the runtime's determinism guard test asserts
+/// exactly this).
+pub trait Observer {
+    /// Receive one engine event.
+    fn record(&mut self, event: Event);
+}
+
+/// The do-nothing observer: the default for unobserved runs.
+///
+/// # Examples
+///
+/// ```
+/// use chopin_obs::{Event, NoopObserver, Observer};
+///
+/// let mut obs = NoopObserver;
+/// obs.record(Event::SliceBegin { at: 0 }); // compiles away entirely
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl Observer for NoopObserver {
+    #[inline(always)]
+    fn record(&mut self, _event: Event) {}
+}
+
+impl<O: Observer + ?Sized> Observer for &mut O {
+    #[inline]
+    fn record(&mut self, event: Event) {
+        (**self).record(event);
+    }
+}
+
+/// Fan one event stream out to two observers (e.g. an
+/// [`crate::EventRecorder`] and a [`crate::MetricsObserver`] on the same
+/// run).
+///
+/// # Examples
+///
+/// ```
+/// use chopin_obs::{Event, EventRecorder, MetricsObserver, Observer, Tee};
+///
+/// let mut tee = Tee(EventRecorder::new(), MetricsObserver::new());
+/// tee.record(Event::SliceBegin { at: 0 });
+/// assert_eq!(tee.0.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Tee<A, B>(pub A, pub B);
+
+impl<A: Observer, B: Observer> Observer for Tee<A, B> {
+    #[inline]
+    fn record(&mut self, event: Event) {
+        self.0.record(event);
+        self.1.record(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Counter(u64);
+    impl Observer for Counter {
+        fn record(&mut self, _: Event) {
+            self.0 += 1;
+        }
+    }
+
+    #[test]
+    fn tee_delivers_to_both() {
+        let mut tee = Tee(Counter::default(), Counter::default());
+        tee.record(Event::SliceBegin { at: 1 });
+        tee.record(Event::ThrottleRelease { at: 2 });
+        assert_eq!(tee.0 .0, 2);
+        assert_eq!(tee.1 .0, 2);
+    }
+
+    #[test]
+    fn mutable_references_are_observers() {
+        let mut counter = Counter::default();
+        {
+            let mut by_ref: &mut Counter = &mut counter;
+            Observer::record(&mut by_ref, Event::SliceBegin { at: 0 });
+        }
+        assert_eq!(counter.0, 1);
+    }
+}

@@ -34,8 +34,9 @@ use crate::heap::HeapState;
 use crate::progress::ProgressTrace;
 use crate::result::{RunError, RunResult};
 use crate::spec::MutatorSpec;
-use crate::telemetry::{PauseRecord, Telemetry};
+use crate::telemetry::{PauseRecord, Telemetry, ThrottleInterval};
 use crate::time::{SimDuration, SimTime};
+use chopin_obs::{Event, NoopObserver, Observer, PauseKind, TriggerReason};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -103,11 +104,74 @@ const BOOST_CLOCK_GAIN: f64 = 0.20;
 /// # }
 /// ```
 pub fn run(spec: &MutatorSpec, config: &RunConfig) -> Result<RunResult, RunError> {
+    run_with_observer(spec, config, &mut NoopObserver)
+}
+
+/// Run one iteration of `spec` under `config`, delivering every engine
+/// transition to `observer` as a [`chopin_obs::Event`].
+///
+/// The engine is monomorphised over the observer type, so [`run`] (which
+/// passes [`NoopObserver`]) compiles the hooks away entirely. Observers
+/// are passive: the result is bit-identical whatever observer is attached
+/// (the `observer_determinism` integration test asserts this).
+///
+/// # Errors
+///
+/// Same as [`run`].
+///
+/// # Examples
+///
+/// ```
+/// use chopin_obs::EventRecorder;
+/// use chopin_runtime::engine::run_with_observer;
+/// use chopin_runtime::spec::MutatorSpec;
+/// use chopin_runtime::config::RunConfig;
+/// use chopin_runtime::collector::CollectorKind;
+/// use chopin_runtime::time::SimDuration;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let spec = MutatorSpec::builder("demo")
+///     .threads(4)
+///     .total_work(SimDuration::from_millis(50))
+///     .total_allocation(256 << 20)
+///     .live_range(8 << 20, 16 << 20)
+///     .build()?;
+/// let mut rec = EventRecorder::new();
+/// let result = run_with_observer(&spec, &RunConfig::new(64 << 20, CollectorKind::G1), &mut rec)?;
+/// assert!(result.telemetry().gc_count > 0);
+/// assert!(rec.events().any(|e| e.type_label() == "pause_begin"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_with_observer<O: Observer>(
+    spec: &MutatorSpec,
+    config: &RunConfig,
+    observer: &mut O,
+) -> Result<RunResult, RunError> {
     let config = config
         .clone()
         .validated()
         .map_err(|e| RunError::InvalidConfig(e.to_string()))?;
-    Engine::new(spec, &config).run()
+    Engine::new(spec, &config, observer).run()
+}
+
+/// The observer-side pause kind for a collection.
+fn pause_kind(kind: CollectionKind) -> PauseKind {
+    match kind {
+        CollectionKind::Young => PauseKind::Young,
+        CollectionKind::Full => PauseKind::Full,
+        CollectionKind::Concurrent => PauseKind::ConcurrentMark,
+        CollectionKind::Degenerate => PauseKind::Degenerate,
+    }
+}
+
+/// The observer-side trigger reason for a collection request.
+fn trigger_reason(request: CollectionRequest) -> TriggerReason {
+    match request {
+        CollectionRequest::Normal => TriggerReason::OccupancyThreshold,
+        CollectionRequest::Degenerate => TriggerReason::Exhaustion,
+        CollectionRequest::Full => TriggerReason::PeriodicFull,
+    }
 }
 
 /// A concurrent cycle in flight (Shenandoah/ZGC).
@@ -118,10 +182,11 @@ struct ActiveCycle {
     alloc_at_trigger: f64,
 }
 
-struct Engine<'a> {
+struct Engine<'a, O: Observer> {
     spec: &'a MutatorSpec,
     config: RunConfig,
     model: CollectorModel,
+    obs: &'a mut O,
 
     now: SimTime,
     progress: f64,
@@ -148,10 +213,12 @@ struct Engine<'a> {
     slices: u64,
     heap_trace_stride: u64,
     batching: bool,
+    /// Open pacing interval: (onset time, harshest throttle so far).
+    throttle_open: Option<(SimTime, f64)>,
 }
 
-impl<'a> Engine<'a> {
-    fn new(spec: &'a MutatorSpec, config: &RunConfig) -> Self {
+impl<'a, O: Observer> Engine<'a, O> {
+    fn new(spec: &'a MutatorSpec, config: &RunConfig, obs: &'a mut O) -> Self {
         let model = config
             .collector_model_override()
             .cloned()
@@ -211,6 +278,7 @@ impl<'a> Engine<'a> {
             spec,
             config: config.clone(),
             model,
+            obs,
             now: SimTime::ZERO,
             progress: 0.0,
             total_work,
@@ -227,7 +295,52 @@ impl<'a> Engine<'a> {
             slices: 0,
             heap_trace_stride: 1,
             batching: est_cycles > BATCH_THRESHOLD_CYCLES,
+            throttle_open: None,
         }
+    }
+
+    /// Record a pacing transition: opens/extends/closes the current
+    /// throttle interval and emits the onset/release events. Driven purely
+    /// by engine state, so the recorded intervals are observer-independent.
+    fn note_throttle(&mut self, throttle: f64) {
+        let throttled = throttle < 1.0;
+        match &mut self.throttle_open {
+            None if throttled => {
+                self.obs.record(Event::ThrottleOnset {
+                    at: self.now.as_nanos(),
+                    throttle,
+                });
+                self.throttle_open = Some((self.now, throttle));
+            }
+            Some((_, min)) if throttled => *min = min.min(throttle),
+            Some(_) => self.close_throttle_interval(),
+            None => {}
+        }
+    }
+
+    /// Close any open pacing interval at the current time.
+    fn close_throttle_interval(&mut self) {
+        if let Some((start, min_throttle)) = self.throttle_open.take() {
+            self.obs.record(Event::ThrottleRelease {
+                at: self.now.as_nanos(),
+            });
+            self.telemetry.record_throttle_interval(ThrottleInterval {
+                start,
+                duration: self.now.saturating_since(start),
+                min_throttle,
+            });
+        }
+    }
+
+    /// Emit the out-of-memory event and build the error (every OOM exit
+    /// goes through here so observers always see the declaration).
+    fn declare_oom(&mut self) -> RunError {
+        self.obs.record(Event::OomDeclared {
+            at: self.now.as_nanos(),
+            live_bytes: self.live_heap(self.progress),
+            capacity_bytes: self.heap.capacity(),
+        });
+        self.oom()
     }
 
     /// The mutator-throughput fraction lost to GC barriers. Barriers are
@@ -257,7 +370,7 @@ impl<'a> Engine<'a> {
         // The live floor occupies the heap before the iteration starts.
         let live0 = self.live_heap(0.0);
         if live0 >= self.heap.capacity() * (1.0 - FUTILE_FREE_FRACTION) {
-            return Err(self.oom());
+            return Err(self.declare_oom());
         }
         self.heap.reclaim_to(live0);
 
@@ -317,6 +430,7 @@ impl<'a> Engine<'a> {
             let progress_rate = unthrottled_progress_rate * throttle;
             let alloc_heap_rate = unthrottled_alloc_heap_rate * throttle;
             let cpu_burn_rate = m_cpus * throttle;
+            self.note_throttle(throttle);
 
             // --- Time to each candidate event -----------------------------
             let mut dt = if progress_rate > 0.0 {
@@ -382,6 +496,9 @@ impl<'a> Engine<'a> {
             let end = self.now + SimDuration::from_nanos(dt_ns.ceil() as u64);
             let span = (end - self.now).as_nanos() as f64;
             if span > 0.0 {
+                self.obs.record(Event::SliceBegin {
+                    at: self.now.as_nanos(),
+                });
                 self.progress += progress_rate * span;
                 // Trapezoidal area under the occupancy curve (occupancy
                 // grows linearly within a slice).
@@ -407,6 +524,11 @@ impl<'a> Engine<'a> {
                 self.backlog = (self.backlog - remaining).max(0.0);
                 self.trace.push(self.now, end, progress_rate / threads);
                 self.now = end;
+                self.obs.record(Event::SliceEnd {
+                    at: end.as_nanos(),
+                    progress_rate,
+                    throttle,
+                });
             }
 
             // --- Handle events --------------------------------------------
@@ -425,6 +547,9 @@ impl<'a> Engine<'a> {
                 self.handle_trigger(hw, gc_speed, threads, inflation, trigger_point, capacity)?;
             }
         }
+
+        // The run ends mid-interval if pacing was still engaged.
+        self.close_throttle_interval();
 
         if self.telemetry.heap_trace.len() > HEAP_TRACE_CAP {
             let stride = self.telemetry.heap_trace.len() / HEAP_TRACE_CAP + 1;
@@ -461,7 +586,7 @@ impl<'a> Engine<'a> {
     ) -> Result<(), RunError> {
         if self.model.exhaustion == ExhaustionPolicy::Fail {
             // The Epsilon collector never reclaims: exhaustion is fatal.
-            return Err(self.oom());
+            return Err(self.declare_oom());
         }
         let request = match self.model.full_gc_period {
             Some(period) => {
@@ -479,6 +604,12 @@ impl<'a> Engine<'a> {
             }
             None => CollectionRequest::Normal,
         };
+        self.obs.record(Event::GcTrigger {
+            at: self.now.as_nanos(),
+            reason: trigger_reason(request),
+            occupied_bytes: self.heap.occupied(),
+            capacity_bytes: capacity,
+        });
 
         let input = CycleInput {
             live_bytes: self.live_heap(self.progress),
@@ -500,6 +631,10 @@ impl<'a> Engine<'a> {
             CollectionKind::Concurrent => {
                 // Small STW pause (init/final mark), then the cycle runs.
                 self.apply_pause(&outcome, threads);
+                self.obs.record(Event::ConcurrentBegin {
+                    at: self.now.as_nanos(),
+                    work_cpu_ns: outcome.concurrent_work_cpu_ns,
+                });
                 self.cycle = Some(ActiveCycle {
                     work_remaining: outcome.concurrent_work_cpu_ns,
                     live_after: outcome.live_after,
@@ -530,10 +665,20 @@ impl<'a> Engine<'a> {
     fn apply_pause(&mut self, outcome: &CycleOutcome, threads: f64) {
         let start = self.now;
         let end = self.now + outcome.stw_wall;
+        let kind = pause_kind(outcome.kind);
+        self.obs.record(Event::PauseBegin {
+            at: start.as_nanos(),
+            kind,
+        });
         self.trace.push(start, end, 0.0);
         self.telemetry.heap_byte_seconds +=
             self.heap.occupied() * outcome.stw_wall.as_nanos() as f64 / 1e9;
         self.now = end;
+        self.obs.record(Event::PauseEnd {
+            at: end.as_nanos(),
+            kind,
+            gc_cpu_ns: outcome.stw_work_cpu_ns,
+        });
         if self.telemetry.pauses.len() < PAUSE_RECORD_CAP {
             self.telemetry.record_pause(PauseRecord {
                 start,
@@ -566,8 +711,12 @@ impl<'a> Engine<'a> {
             || room_to_trigger < capacity * (FUTILE_FREE_FRACTION / 2.0);
         if futile {
             self.futile_streak += 1;
+            self.obs.record(Event::FutileCollection {
+                at: self.now.as_nanos(),
+                streak: self.futile_streak,
+            });
             if self.futile_streak >= MAX_FUTILE {
-                return Err(self.oom());
+                return Err(self.declare_oom());
             }
         } else {
             self.futile_streak = 0;
@@ -603,6 +752,10 @@ impl<'a> Engine<'a> {
     /// allocation that happened during the cycle as floating garbage.
     fn complete_concurrent_cycle(&mut self, cycle: ActiveCycle) -> Result<(), RunError> {
         let floated = (self.heap.total_allocated() - cycle.alloc_at_trigger).max(0.0);
+        self.obs.record(Event::ConcurrentEnd {
+            at: self.now.as_nanos(),
+            floated_bytes: floated,
+        });
         self.finish_reclaim(cycle.live_after + floated)
     }
 
@@ -696,6 +849,12 @@ impl<'a> Engine<'a> {
         };
         self.trace.push(start, end, avg_worker_rate);
         self.now = end;
+        self.obs.record(Event::BatchFastForward {
+            at: start.as_nanos(),
+            end: end.as_nanos(),
+            cycles: k,
+            pause_wall_each_ns: pause_wall.as_nanos(),
+        });
 
         self.progress += total_progress;
         self.telemetry.mutator_cpu_ns += eff_cpus * mutate_wall * k as f64;

@@ -13,7 +13,7 @@
 
 use crate::collector::CollectionKind;
 use crate::result::RunResult;
-use crate::telemetry::{HeapSample, PauseRecord};
+use crate::telemetry::{HeapSample, PauseRecord, ThrottleInterval};
 use std::fmt::Write as _;
 
 /// Render the run's GC log.
@@ -57,10 +57,11 @@ pub fn render_gc_log(result: &RunResult) -> String {
         format_bytes(result.config().heap_bytes() as f64),
     );
 
-    // Merge pauses and heap samples by time.
+    // Merge pauses, heap samples and pacing intervals by time.
     enum Event<'a> {
         Pause(&'a PauseRecord),
         Heap(&'a HeapSample),
+        Throttle(&'a ThrottleInterval),
     }
     let mut events: Vec<(u64, Event)> = telemetry
         .pauses
@@ -71,6 +72,12 @@ pub fn render_gc_log(result: &RunResult) -> String {
                 .heap_trace
                 .iter()
                 .map(|h| (h.time.as_nanos(), Event::Heap(h))),
+        )
+        .chain(
+            telemetry
+                .throttle_intervals
+                .iter()
+                .map(|t| (t.start.as_nanos(), Event::Throttle(t))),
         )
         .collect();
     events.sort_by_key(|(t, _)| *t);
@@ -96,6 +103,26 @@ pub fn render_gc_log(result: &RunResult) -> String {
                     h.time.as_secs_f64(),
                     format_bytes(h.occupied_bytes),
                 );
+            }
+            Event::Throttle(t) => {
+                // OpenJDK prints pacing via `-Xlog:gc+ergo` ("Pacer for
+                // ..."), and allocation stalls as their own lines.
+                if t.stalled() {
+                    let _ = writeln!(
+                        out,
+                        "[{:.3}s][info][gc,ergo] Allocation stall: mutator blocked for {:.3}ms",
+                        t.start.as_secs_f64(),
+                        t.duration.as_millis_f64(),
+                    );
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "[{:.3}s][info][gc,ergo] Pacer: mutator throttled to {:.0}% for {:.3}ms",
+                        t.start.as_secs_f64(),
+                        t.min_throttle * 100.0,
+                        t.duration.as_millis_f64(),
+                    );
+                }
             }
         }
     }
@@ -202,6 +229,46 @@ mod tests {
     fn concurrent_log_marks_init_final_pauses() {
         let log = render_gc_log(&result_for(CollectorKind::Shenandoah));
         assert!(log.contains("Pause Init/Final Mark"), "{log}");
+    }
+
+    #[test]
+    fn throttled_run_logs_pacer_intervals() {
+        // The hot-allocation regime that engages Shenandoah's pacer (same
+        // shape as the engine's throttling test).
+        let spec = MutatorSpec::builder("log-test-pacing")
+            .threads(32)
+            .parallel_efficiency(0.4)
+            .total_work(SimDuration::from_millis(400))
+            .total_allocation(16 << 30)
+            .live_range(8 << 20, 12 << 20)
+            .survival_fraction(0.02)
+            .build()
+            .unwrap();
+        let result = run(
+            &spec,
+            &RunConfig::new(48 << 20, CollectorKind::Shenandoah).with_noise(0.0),
+        )
+        .unwrap();
+        assert!(!result.telemetry().throttle_intervals.is_empty());
+        let log = render_gc_log(&result);
+        assert!(
+            log.contains("[gc,ergo] Pacer: mutator throttled to")
+                || log.contains("[gc,ergo] Allocation stall"),
+            "per-interval pacing lines must appear: {log}"
+        );
+        assert!(
+            log.contains("allocation throttled for"),
+            "the aggregate line stays: {log}"
+        );
+        // Every recorded interval renders exactly one line.
+        let interval_lines = log.lines().filter(|l| l.contains("[gc,ergo]")).count();
+        assert_eq!(interval_lines, result.telemetry().throttle_intervals.len());
+    }
+
+    #[test]
+    fn unthrottled_run_has_no_pacer_lines() {
+        let log = render_gc_log(&result_for(CollectorKind::G1));
+        assert!(!log.contains("[gc,ergo]"), "{log}");
     }
 
     #[test]

@@ -72,7 +72,7 @@ pub mod time;
 
 pub use collector::CollectorKind;
 pub use config::RunConfig;
-pub use engine::run;
+pub use engine::{run, run_with_observer};
 pub use machine::MachineConfig;
 pub use result::{RunError, RunResult};
 pub use spec::{MutatorSpec, RequestProfile};

@@ -8,7 +8,12 @@
 
 use crate::collector::CollectionKind;
 use crate::time::{SimDuration, SimTime};
+use chopin_obs::LogHistogram;
 use serde::{Deserialize, Serialize};
+
+/// Individual throttle intervals kept before dropping detail (the
+/// aggregate [`Telemetry::throttled_wall`] stays exact regardless).
+const THROTTLE_INTERVAL_CAP: usize = 10_000;
 
 /// One stop-the-world pause.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -33,6 +38,27 @@ pub struct HeapSample {
     pub occupied_bytes: f64,
 }
 
+/// One contiguous interval during which a pacing collector (Shenandoah,
+/// ZGC) slowed or stalled the mutator to protect an in-flight concurrent
+/// cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThrottleInterval {
+    /// Wall time at which pacing engaged.
+    pub start: SimTime,
+    /// Wall-clock length of the interval (pauses inside it included).
+    pub duration: SimDuration,
+    /// The harshest throttle factor applied during the interval
+    /// (1.0 = unthrottled, 0.0 = full allocation stall).
+    pub min_throttle: f64,
+}
+
+impl ThrottleInterval {
+    /// Whether the mutator was fully stalled at some point.
+    pub fn stalled(&self) -> bool {
+        self.min_throttle <= 0.0
+    }
+}
+
 /// Accumulated telemetry for one run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Telemetry {
@@ -51,6 +77,9 @@ pub struct Telemetry {
     /// Wall-clock time during which allocation was throttled or stalled
     /// (Shenandoah pacing, ZGC allocation stalls).
     pub throttled_wall: SimDuration,
+    /// Contiguous pacing intervals, in time order (individual records are
+    /// kept up to a cap; [`Telemetry::throttled_wall`] stays exact).
+    pub throttle_intervals: Vec<ThrottleInterval>,
     /// Number of collections completed.
     pub gc_count: u64,
     /// Number of degenerate (fallback full STW) collections.
@@ -100,6 +129,40 @@ impl Telemetry {
         self.batched_pause_count += count;
         self.batched_pause_wall += each * count;
         self.gc_stw_cpu_ns += gc_cpu_each * count as f64;
+    }
+
+    /// Record one contiguous pacing interval (dropped past the cap; the
+    /// aggregate counters are the source of truth for totals).
+    pub fn record_throttle_interval(&mut self, interval: ThrottleInterval) {
+        if self.throttle_intervals.len() < THROTTLE_INTERVAL_CAP {
+            self.throttle_intervals.push(interval);
+        }
+    }
+
+    /// Fold every pause into a log-bucketed [`LogHistogram`] with exact
+    /// count and sum side-channels — the quantile source for latency and
+    /// LBO analysis, replacing repeated scans over [`Telemetry::pauses`].
+    ///
+    /// Batched pauses (from the engine's fast-forward through thrash
+    /// regimes) enter at their aggregate mean duration, split across two
+    /// adjacent values so the histogram's count and sum match
+    /// [`Telemetry::batched_pause_count`] and
+    /// [`Telemetry::total_pause_wall`] exactly. Within a single batch the
+    /// folded cycles are identical, so the mean loses nothing; across
+    /// batches only the per-batch spread is elided.
+    pub fn pause_histogram(&self) -> LogHistogram {
+        let mut h = LogHistogram::new();
+        for p in &self.pauses {
+            h.record(p.duration.as_nanos());
+        }
+        let count = self.batched_pause_count;
+        let wall = self.batched_pause_wall.as_nanos();
+        if let Some(mean) = wall.checked_div(count) {
+            let rem = wall - mean * count; // rem < count
+            h.record_n(mean, count - rem);
+            h.record_n(mean + 1, rem);
+        }
+        h
     }
 
     /// Total wall-clock time spent in stop-the-world pauses — the quantity
@@ -189,6 +252,35 @@ mod tests {
     #[test]
     fn empty_telemetry_has_no_max_pause() {
         assert_eq!(Telemetry::new().max_pause(), None);
+    }
+
+    #[test]
+    fn pause_histogram_matches_exact_aggregates() {
+        let mut t = Telemetry::new();
+        t.record_pause(pause(2, CollectionKind::Young));
+        t.record_pause(pause(7, CollectionKind::Full));
+        // Two batches with different per-pause durations: the combined
+        // mean does not divide evenly, exercising the remainder split.
+        t.record_batched_pauses(2, SimDuration::from_nanos(1_000_001), 0.0);
+        t.record_batched_pauses(1, SimDuration::from_nanos(3_000_000), 0.0);
+        let h = t.pause_histogram();
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), u128::from(t.total_pause_wall().as_nanos()));
+        assert_eq!(h.max(), 7_000_000);
+    }
+
+    #[test]
+    fn throttle_intervals_are_capped() {
+        let mut t = Telemetry::new();
+        for i in 0..(super::THROTTLE_INTERVAL_CAP + 10) {
+            t.record_throttle_interval(ThrottleInterval {
+                start: SimTime::from_nanos(i as u64),
+                duration: SimDuration::from_nanos(1),
+                min_throttle: 0.5,
+            });
+        }
+        assert_eq!(t.throttle_intervals.len(), super::THROTTLE_INTERVAL_CAP);
+        assert!(!t.throttle_intervals[0].stalled());
     }
 
     #[test]
