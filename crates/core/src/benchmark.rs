@@ -9,6 +9,7 @@
 //! machine of §6.1.3.
 
 use crate::iteration::{warmup_scale, IterationSet};
+use chopin_faults::FaultPlan;
 use chopin_runtime::collector::CollectorKind;
 use chopin_runtime::config::{CompilerMode, RunConfig};
 use chopin_runtime::machine::MachineConfig;
@@ -191,6 +192,7 @@ pub struct BenchmarkRunner {
     noise_override: Option<f64>,
     compressed_oops: Option<bool>,
     compiler_mode: CompilerMode,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl BenchmarkRunner {
@@ -213,6 +215,7 @@ impl BenchmarkRunner {
             noise_override: None,
             compressed_oops: None,
             compiler_mode: CompilerMode::Tiered,
+            fault_plan: None,
         }
     }
 
@@ -287,6 +290,14 @@ impl BenchmarkRunner {
         self
     }
 
+    /// Inject a deterministic fault plan into every iteration of the run
+    /// (chaos experiments). The plan should already have passed
+    /// [`FaultPlan::validate`]; an empty plan is equivalent to no plan.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = if plan.is_empty() { None } else { Some(plan) };
+        self
+    }
+
     /// The heap size this configuration resolves to, in bytes.
     ///
     /// # Errors
@@ -351,7 +362,10 @@ impl BenchmarkRunner {
             if let Some(oops) = self.compressed_oops {
                 config = config.with_compressed_oops(oops);
             }
-            results.push(chopin_runtime::engine::run(&spec, &config)?);
+            results.push(match &self.fault_plan {
+                None => chopin_runtime::engine::run(&spec, &config)?,
+                Some(plan) => chopin_runtime::engine::run_with_faults(&spec, &config, plan)?,
+            });
         }
         Ok(IterationSet::new(results))
     }
@@ -440,6 +454,36 @@ mod tests {
             set.timed().wall_time().as_secs_f64(),
             walls[4],
             "the timed iteration is the last"
+        );
+    }
+
+    #[test]
+    fn fault_plan_perturbs_the_run_deterministically() {
+        let s = Suite::chopin();
+        let plan = FaultPlan::new(5).with_window(
+            1_000_000,
+            50_000_000,
+            chopin_faults::FaultKind::AllocSpike { factor: 3.0 },
+        );
+        let runner = s
+            .benchmark("fop")
+            .unwrap()
+            .runner()
+            .iterations(1)
+            .noise(0.0);
+        let clean = runner.clone().run().unwrap();
+        let faulted = runner.clone().faults(plan.clone()).run().unwrap();
+        let again = runner.faults(plan).run().unwrap();
+        assert!(faulted.timed().telemetry().faults_injected > 0);
+        assert_eq!(
+            faulted.timed(),
+            again.timed(),
+            "fault-injected runs are as deterministic as clean ones"
+        );
+        assert_ne!(
+            clean.timed(),
+            faulted.timed(),
+            "the injected spike must leave a mark"
         );
     }
 

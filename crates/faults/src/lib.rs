@@ -1,0 +1,41 @@
+//! Deterministic fault injection for the chopin simulated runtime.
+//!
+//! The paper's credibility rests on collectors behaving sanely under
+//! duress — degenerate collections, pacing stalls, out-of-memory — exactly
+//! the regimes that are hardest to reach on purpose from a well-formed
+//! workload. This crate provides a *deterministic, seeded* fault plane so
+//! those regimes can be scheduled instead of hoped for:
+//!
+//! * [`FaultPlan`] — a validated schedule of fault windows (validated the
+//!   same way `MutatorSpec` is: a builder plus a typed error), with a
+//!   seeded storm generator for spreading many windows over a run horizon.
+//! * [`FaultClock`] — the engine-side hook. The engine is monomorphised
+//!   over its fault clock exactly as it is over its observer: the
+//!   [`NoFaults`] instantiation advertises `NOOP = true` and every fault
+//!   branch in the engine is guarded by that constant, so the no-fault
+//!   path compiles to the pre-change engine and stays bit-identical.
+//! * [`ScheduledFaults`] — the live clock built from a plan: per-slice it
+//!   reports the combined effect of every active window plus the time of
+//!   the next fault boundary, so the engine can bound its slices and open
+//!   or close windows at exact simulated times.
+//! * [`SupervisorPolicy`] — the retry/backoff/deadline configuration of
+//!   the harness sweep supervisor, kept here so the lint crate can
+//!   validate it (rules R701–R704) without depending on the harness.
+//!
+//! Everything is deterministic: plans are pure data, storms derive from
+//! the plan seed, and the clock consults nothing but the simulated time
+//! it is handed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod clock;
+pub mod plan;
+pub mod policy;
+
+pub use clock::{FaultClock, FaultSample, NoFaults, ScheduledFaults};
+pub use plan::{FaultKind, FaultPlan, FaultPlanError, FaultWindow, MAX_FAULT_FACTOR, MAX_WINDOWS};
+pub use policy::{
+    PolicyError, SupervisorPolicy, MAX_BACKOFF_MS, MAX_DEADLINE_MS, MAX_RETRIES_BOUND,
+};

@@ -9,7 +9,17 @@
 //! artifact lint [--json]     # static validation; non-zero exit on errors
 //! artifact lint --rules      # print the rule catalogue
 //! artifact trace             # observed h2 run -> Perfetto trace + metrics
+//! artifact chaos [--check]   # seeded fault-injection smoke suite
 //! ```
+//!
+//! `artifact chaos [-b BENCHES] [--faults PRESET[:SEED]] [--cell-deadline
+//! MS] [--retries N]` sweeps a small benchmark set across all collectors
+//! under an injected fault preset (default `chaos`), supervised. With
+//! `--check` it verifies the resilience invariants — every cell completes
+//! or is quarantined with a structured reason (never an abort), completed
+//! samples conserve time (distillable ≤ total, all finite and positive)
+//! and every LBO curve stays ≥ 1 — and exits non-zero on any violation:
+//! the CI chaos gate.
 //!
 //! `artifact trace [-b BENCH] [--collector NAME] [--heap-factor F]
 //! [--trace-out FILE] [--events-out FILE] [--check]` runs one benchmark
@@ -19,14 +29,143 @@
 //! document (well-formed JSON, matched B/E spans, expected tracks) and
 //! exits non-zero on any defect — the CI gate.
 
+use chopin_core::lbo::{Clock, LboAnalysis};
 use chopin_harness::cli::Args;
 use chopin_harness::obs::{observe_benchmark, ObsOptions, DEFAULT_EVENTS_OUT, DEFAULT_TRACE_OUT};
 use chopin_harness::presets::Preset;
+use chopin_harness::supervisor::{plan_from_args, policy_from_args, SuiteSupervisor};
 use chopin_obs::validate_chrome_trace;
 use chopin_runtime::collector::CollectorKind;
+use chopin_workloads::faults::{preset as fault_preset, DEFAULT_HORIZON_NS, FALLBACK_SEED};
 
-const USAGE: &str =
-    "usage: artifact <kick-the-tires|lbo|latency|validate|lint|trace> [--json|--rules|--check]";
+const USAGE: &str = "usage: artifact <kick-the-tires|lbo|latency|validate|lint|trace|chaos> \
+                     [--json|--rules|--check]";
+
+fn run_chaos(args: &Args) -> i32 {
+    let mut benchmarks = args.list("b");
+    if benchmarks.is_empty() {
+        benchmarks = vec!["fop".to_string(), "lusearch".to_string()];
+    }
+    let mut profiles = Vec::new();
+    for name in &benchmarks {
+        match chopin_workloads::suite::by_name(name) {
+            Some(p) => profiles.push(p),
+            None => {
+                eprintln!("error: unknown benchmark `{name}`");
+                return 2;
+            }
+        }
+    }
+    let plan = match plan_from_args(args) {
+        Ok(Some(plan)) => plan,
+        Ok(None) => {
+            fault_preset("chaos", FALLBACK_SEED, DEFAULT_HORIZON_NS).expect("chaos is a preset")
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let policy = match policy_from_args(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let sweep = chopin_harness::presets::chaos_sweep_config();
+    eprintln!(
+        "artifact chaos: {} benchmark(s) x {} collectors under seeded faults (seed {})",
+        profiles.len(),
+        sweep.collectors.len(),
+        plan.seed
+    );
+    let report = match SuiteSupervisor::new(policy)
+        .with_faults(plan)
+        .run(&profiles, &sweep)
+    {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+
+    println!(
+        "{} cell(s): {} completed, {} infeasible at small heaps, {} quarantined, {} retries",
+        report.metrics.counter("supervisor.cells"),
+        report.metrics.counter("supervisor.cells.completed"),
+        report.metrics.counter("supervisor.cells.infeasible"),
+        report.metrics.counter("supervisor.cells.quarantined"),
+        report.metrics.counter("supervisor.retries"),
+    );
+    print!("{}", report.quarantine_summary());
+
+    if !args.has("check") {
+        return 0;
+    }
+    let mut failures = Vec::new();
+    let completed = report.metrics.counter("supervisor.cells.completed");
+    let quarantined = report.metrics.counter("supervisor.cells.quarantined");
+    if completed + quarantined != report.metrics.counter("supervisor.cells") {
+        failures.push("cell accounting does not balance".to_string());
+    }
+    if completed == 0 {
+        failures.push("no cell completed under the fault plan".to_string());
+    }
+    for result in &report.results {
+        for s in &result.samples {
+            let finite = [
+                s.wall_s,
+                s.task_s,
+                s.wall_distillable_s,
+                s.task_distillable_s,
+            ]
+            .iter()
+            .all(|v| v.is_finite() && *v > 0.0);
+            if !finite {
+                failures.push(format!(
+                    "{}: non-finite or non-positive time",
+                    result.benchmark
+                ));
+            }
+            if s.wall_distillable_s > s.wall_s + 1e-12 || s.task_distillable_s > s.task_s + 1e-12 {
+                failures.push(format!(
+                    "{}: distillable time exceeds total ({} {:.2}x)",
+                    result.benchmark, s.collector, s.heap_factor
+                ));
+            }
+        }
+        for clock in [Clock::Wall, Clock::Task] {
+            let Ok(lbo) = LboAnalysis::compute(&result.samples, clock) else {
+                continue;
+            };
+            for &collector in &sweep.collectors {
+                let Some(curve) = lbo.curve(collector) else {
+                    continue;
+                };
+                for point in curve {
+                    if point.overhead.mean() < 1.0 - 1e-9 {
+                        failures.push(format!(
+                            "{}: LBO < 1 for {} at {:.2}x under faults",
+                            result.benchmark, collector, point.heap_factor
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("check OK: invariants hold under injected duress");
+        0
+    } else {
+        failures.dedup();
+        for f in &failures {
+            eprintln!("check FAILED: {f}");
+        }
+        1
+    }
+}
 
 fn run_lint(args: &Args) -> i32 {
     if args.has("rules") {
@@ -161,6 +300,9 @@ fn main() {
     }
     if command == "trace" {
         std::process::exit(run_trace(&args));
+    }
+    if command == "chaos" {
+        std::process::exit(run_chaos(&args));
     }
     let Some(preset) = Preset::parse(command) else {
         eprintln!("{USAGE}");

@@ -7,13 +7,18 @@
 //! latency -b all                  # every latency-sensitive workload
 //! latency -b h2 --trace-out h2.json   # + Perfetto trace of an
 //!                                     #   observed Shenandoah run
+//! latency -b h2 --trace-out h2.json --faults storm:7
+//!                                     # ... under an injected stall storm
 //! ```
 
 use chopin_core::latency::SmoothingWindow;
 use chopin_core::Suite;
 use chopin_harness::cli::Args;
-use chopin_harness::obs::{add_spans_to_trace, observe_benchmark, with_suffix, ObsOptions};
+use chopin_harness::obs::{
+    add_spans_to_trace, observe_benchmark_with_faults, with_suffix, ObsOptions,
+};
 use chopin_harness::output::ResultsDir;
+use chopin_harness::supervisor::plan_from_args;
 use chopin_harness::LatencyExperiment;
 use chopin_runtime::collector::CollectorKind;
 use chopin_runtime::time::SimDuration;
@@ -25,6 +30,13 @@ fn main() {
         eprintln!("error: {e}");
         std::process::exit(2);
     }
+    let plan = match plan_from_args(&args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     let mut benchmarks = args.list("b");
     if benchmarks.is_empty() {
         benchmarks = vec!["cassandra".to_string()];
@@ -78,13 +90,14 @@ fn main() {
             } else {
                 obs.clone()
             };
-            let outcome = observe_benchmark(bench, collector, factor).and_then(|observed| {
-                let mut trace = observed.trace();
-                add_spans_to_trace(&mut trace, &experiment.spans);
-                per_bench
-                    .export(Some(&trace), Some(&observed.recorder))
-                    .map_err(chopin_harness::ExperimentError::Io)
-            });
+            let outcome = observe_benchmark_with_faults(bench, collector, factor, plan.as_ref())
+                .and_then(|observed| {
+                    let mut trace = observed.trace();
+                    add_spans_to_trace(&mut trace, &experiment.spans);
+                    per_bench
+                        .export(Some(&trace), Some(&observed.recorder))
+                        .map_err(chopin_harness::ExperimentError::Io)
+                });
             match outcome {
                 Ok(paths) => {
                     for p in paths {

@@ -8,14 +8,84 @@
 //! lbo --quick                 # coarse grid for smoke runs
 //! lbo -b fop --trace-out t.json  # + Perfetto trace (sweep spans
 //!                                #   and one observed engine run)
+//! lbo -b fop --faults chaos:42   # sweeps under injected duress,
+//!                                #   supervised (retry + quarantine)
 //! ```
+//!
+//! Any supervisor flag (`--faults`, `--journal`, `--resume`,
+//! `--cell-deadline`, `--retries`, `--backoff-ms`) routes the sweeps
+//! through the resilient supervisor; quarantined cells are reported on
+//! stderr and the LBO analysis proceeds over the completed cells.
 
-use chopin_core::lbo::Clock;
+use chopin_core::lbo::{Clock, LboAnalysis};
 use chopin_core::sweep::SweepConfig;
 use chopin_harness::cli::Args;
-use chopin_harness::obs::{add_spans_to_trace, observe_benchmark, ObsOptions};
+use chopin_harness::obs::{add_spans_to_trace, observe_benchmark_with_faults, ObsOptions};
 use chopin_harness::output::ResultsDir;
+use chopin_harness::supervisor::{
+    plan_from_args, policy_from_args, supervision_requested, SuiteSupervisor,
+};
 use chopin_harness::LboExperiment;
+
+/// Run the sweeps under the supervisor and shape the outcome like
+/// [`LboExperiment::run`] so the rendering below is shared.
+fn run_supervised(benchmarks: &[String], sweep: &SweepConfig, args: &Args) -> LboExperiment {
+    let policy = policy_from_args(args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let names: Vec<String> = if benchmarks.is_empty() {
+        chopin_core::Suite::chopin()
+            .names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    } else {
+        benchmarks.to_vec()
+    };
+    let mut profiles = Vec::new();
+    for name in &names {
+        match chopin_workloads::suite::by_name(name) {
+            Some(p) => profiles.push(p),
+            None => {
+                eprintln!("error: unknown benchmark `{name}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut supervisor = SuiteSupervisor::new(policy).resume(args.has("resume"));
+    if let Ok(Some(plan)) = plan_from_args(args) {
+        supervisor = supervisor.with_faults(plan);
+    }
+    if let Some(path) = args.value("journal") {
+        supervisor = supervisor.with_journal(path);
+    }
+    let report = supervisor.run(&profiles, sweep).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    if !report.is_clean() {
+        eprint!("{}", report.quarantine_summary());
+    }
+    let analyse = |clock| -> Vec<LboAnalysis> {
+        report
+            .results
+            .iter()
+            .map(|s| {
+                LboAnalysis::compute(&s.samples, clock).unwrap_or_else(|e| {
+                    eprintln!("error: {}: {e}", s.benchmark);
+                    std::process::exit(1);
+                })
+            })
+            .collect()
+    };
+    LboExperiment {
+        wall: analyse(Clock::Wall),
+        task: analyse(Clock::Task),
+        sweeps: report.results,
+        spans: Vec::new(),
+    }
+}
 
 fn main() {
     let args = Args::from_env();
@@ -49,11 +119,15 @@ fn main() {
         sweep.invocations
     );
 
-    let experiment = match LboExperiment::run(&benchmarks, &sweep) {
-        Ok(e) => e,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(1);
+    let experiment = if supervision_requested(&args) {
+        run_supervised(&benchmarks, &sweep, &args)
+    } else {
+        match LboExperiment::run(&benchmarks, &sweep) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
         }
     };
 
@@ -96,12 +170,14 @@ fn main() {
         let collector = sweep.collectors[0];
         let factor = sweep.heap_factors[0];
         eprintln!("lbo: tracing {bench} ({collector} @ {factor:.1}x)");
-        let outcome = observe_benchmark(&bench, collector, factor).and_then(|observed| {
-            let mut trace = observed.trace();
-            add_spans_to_trace(&mut trace, &experiment.spans);
-            obs.export(Some(&trace), Some(&observed.recorder))
-                .map_err(chopin_harness::ExperimentError::Io)
-        });
+        let plan = plan_from_args(&args).ok().flatten();
+        let outcome = observe_benchmark_with_faults(&bench, collector, factor, plan.as_ref())
+            .and_then(|observed| {
+                let mut trace = observed.trace();
+                add_spans_to_trace(&mut trace, &experiment.spans);
+                obs.export(Some(&trace), Some(&observed.recorder))
+                    .map_err(chopin_harness::ExperimentError::Io)
+            });
         match outcome {
             Ok(paths) => {
                 for p in paths {

@@ -6,7 +6,17 @@
 //! runbms -b fop --invocations 3
 //! runbms -b all --quick > results.csv
 //! runbms -b fop --trace-out t.json --events-out e.jsonl
+//! runbms -b all --quick --journal run.journal --resume
+//! runbms -b fop --faults chaos:42 --cell-deadline 60000 --retries 2
 //! ```
+//!
+//! Any supervisor flag (`--faults PRESET[:SEED]`, `--journal FILE`,
+//! `--resume`, `--cell-deadline MS`, `--retries N`, `--backoff-ms MS`)
+//! routes the sweep through the resilient supervisor: cells that panic or
+//! hang are retried with backoff and then quarantined instead of killing
+//! the run, completed cells are journalled so `--resume` restarts where an
+//! interrupted suite stopped, and the exit code is 3 when any cell ended
+//! up quarantined (completed results are still printed).
 //!
 //! With `--trace-out`, the per-benchmark sweep wall times land on a
 //! harness track and the first benchmark is re-run once with the engine's
@@ -14,10 +24,93 @@
 //! both views. `--events-out` writes that observed run's event stream as
 //! JSON Lines.
 
-use chopin_core::sweep::SweepConfig;
+use chopin_core::sweep::{SweepConfig, SweepResult};
 use chopin_core::Suite;
+use chopin_faults::FaultPlan;
 use chopin_harness::cli::Args;
-use chopin_harness::obs::{add_spans_to_trace, observe_benchmark, ObsOptions, SpanSink};
+use chopin_harness::obs::{
+    add_spans_to_trace, observe_benchmark_with_faults, ObsOptions, SpanSink,
+};
+use chopin_harness::supervisor::{
+    plan_from_args, policy_from_args, supervision_requested, SuiteSupervisor,
+};
+
+fn print_samples(result: &SweepResult) {
+    for s in &result.samples {
+        println!(
+            "{},{},{},{},{},{},{}",
+            result.benchmark,
+            s.collector,
+            s.heap_factor,
+            s.wall_s,
+            s.task_s,
+            s.wall_distillable_s,
+            s.task_distillable_s
+        );
+    }
+    for f in &result.failures {
+        eprintln!(
+            "  skipped {} @ {:.2}x: {}",
+            f.collector, f.heap_factor, f.reason
+        );
+    }
+}
+
+fn run_supervised(
+    benchmarks: &[String],
+    sweep: &SweepConfig,
+    args: &Args,
+    faults: Option<FaultPlan>,
+) -> i32 {
+    let policy = match policy_from_args(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let mut profiles = Vec::new();
+    for name in benchmarks {
+        match chopin_workloads::suite::by_name(name) {
+            Some(p) => profiles.push(p),
+            None => {
+                eprintln!("error: unknown benchmark `{name}`");
+                return 2;
+            }
+        }
+    }
+    let mut supervisor = SuiteSupervisor::new(policy).resume(args.has("resume"));
+    if let Some(plan) = faults {
+        supervisor = supervisor.with_faults(plan);
+    }
+    if let Some(path) = args.value("journal") {
+        supervisor = supervisor.with_journal(path);
+    }
+    let report = match supervisor.run(&profiles, sweep) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    for result in &report.results {
+        print_samples(result);
+    }
+    eprintln!(
+        "runbms: {} cell(s), {} completed ({} resumed, {} infeasible), {} retries",
+        report.metrics.counter("supervisor.cells"),
+        report.metrics.counter("supervisor.cells.completed"),
+        report.metrics.counter("supervisor.cells.resumed"),
+        report.metrics.counter("supervisor.cells.infeasible"),
+        report.metrics.counter("supervisor.retries"),
+    );
+    if report.is_clean() {
+        0
+    } else {
+        eprint!("{}", report.quarantine_summary());
+        3
+    }
+}
 
 fn main() {
     let args = Args::from_env();
@@ -26,6 +119,13 @@ fn main() {
         eprintln!("error: {e}");
         std::process::exit(2);
     }
+    let faults = match plan_from_args(&args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     let mut benchmarks = args.list("b");
     if benchmarks.is_empty() || benchmarks == ["all"] {
         benchmarks = Suite::chopin()
@@ -46,33 +146,19 @@ fn main() {
         .get_or("iterations", sweep.iterations)
         .unwrap_or(sweep.iterations);
 
-    let sink = SpanSink::new();
     println!("benchmark,collector,heap_factor,wall_s,task_s,wall_distillable_s,task_distillable_s");
+
+    if supervision_requested(&args) {
+        std::process::exit(run_supervised(&benchmarks, &sweep, &args, faults));
+    }
+
+    let sink = SpanSink::new();
     for bench in &benchmarks {
         eprintln!("runbms: {bench}");
         match sink.time(&format!("sweep:{bench}"), || {
             chopin_harness::sweep_benchmark(bench, &sweep)
         }) {
-            Ok(result) => {
-                for s in &result.samples {
-                    println!(
-                        "{},{},{},{},{},{},{}",
-                        bench,
-                        s.collector,
-                        s.heap_factor,
-                        s.wall_s,
-                        s.task_s,
-                        s.wall_distillable_s,
-                        s.task_distillable_s
-                    );
-                }
-                for f in &result.failures {
-                    eprintln!(
-                        "  skipped {} @ {:.2}x: {}",
-                        f.collector, f.heap_factor, f.reason
-                    );
-                }
-            }
+            Ok(result) => print_samples(&result),
             Err(e) => {
                 eprintln!("error: {e}");
                 std::process::exit(1);
@@ -85,7 +171,7 @@ fn main() {
         let collector = sweep.collectors[0];
         let factor = sweep.heap_factors[0];
         eprintln!("runbms: tracing {bench} ({collector} @ {factor:.1}x)");
-        match observe_benchmark(bench, collector, factor) {
+        match observe_benchmark_with_faults(bench, collector, factor, None) {
             Ok(observed) => {
                 let mut trace = observed.trace();
                 add_spans_to_trace(&mut trace, &sink.spans());

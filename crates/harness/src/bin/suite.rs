@@ -5,6 +5,7 @@
 //! suite                 # the overview table
 //! suite -b lusearch     # one workload's profile and highlights
 //! suite -b h2 --trace-out h2.json   # + Perfetto trace of one run
+//! suite -b h2 --trace-out h2.json --faults chaos   # ... under duress
 //! ```
 //!
 //! With `-b` and `--trace-out`/`--events-out`, each selected workload is
@@ -14,8 +15,9 @@
 
 use chopin_core::Suite;
 use chopin_harness::cli::Args;
-use chopin_harness::obs::{observe_benchmark, with_suffix, ObsOptions};
+use chopin_harness::obs::{observe_benchmark_with_faults, with_suffix, ObsOptions};
 use chopin_harness::plot::render_table;
+use chopin_harness::supervisor::plan_from_args;
 use chopin_runtime::collector::CollectorKind;
 use chopin_workloads::suite as workloads;
 
@@ -26,6 +28,13 @@ fn main() {
         eprintln!("error: {e}");
         std::process::exit(2);
     }
+    let plan = match plan_from_args(&args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     let selected = args.list("b");
     if obs.enabled() && selected.is_empty() {
         eprintln!("warning: --trace-out/--events-out need a workload (-b NAME); ignoring");
@@ -69,9 +78,10 @@ fn main() {
                 } else {
                     obs.clone()
                 };
-                let outcome = observe_benchmark(name, CollectorKind::G1, 2.0)
-                    .map_err(|e| e.to_string())
-                    .and_then(|o| per_bench.export(Some(&o.trace()), Some(&o.recorder)));
+                let outcome =
+                    observe_benchmark_with_faults(name, CollectorKind::G1, 2.0, plan.as_ref())
+                        .map_err(|e| e.to_string())
+                        .and_then(|o| per_bench.export(Some(&o.trace()), Some(&o.recorder)));
                 match outcome {
                     Ok(paths) => {
                         for p in paths {

@@ -105,7 +105,7 @@ impl LboExperiment {
         };
 
         let sink = SpanSink::new();
-        let sweeps = run_suite_sweeps_spanned(&selected, sweep, &sink)?;
+        let sweeps = run_suite_sweeps_spanned(&selected, sweep, &sink).into_result()?;
         let (wall, task) = sink.time("lbo:analysis", || {
             let mut wall = Vec::with_capacity(sweeps.len());
             let mut task = Vec::with_capacity(sweeps.len());

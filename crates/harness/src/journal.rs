@@ -1,0 +1,500 @@
+//! The crash-safe sweep journal: a JSONL record of completed cells that
+//! lets an interrupted suite resume without redoing finished work.
+//!
+//! Every time a cell completes, the whole journal is rewritten to a
+//! sibling `.tmp` file and atomically renamed over the real path, so the
+//! on-disk journal is always a complete, parseable document — a crash
+//! mid-write can only lose the newest cell, never corrupt the file. The
+//! first line is a header carrying a fingerprint of the suite
+//! configuration; resume refuses a journal whose fingerprint does not
+//! match, because replaying cells from a different configuration would
+//! silently mix incompatible results.
+//!
+//! Serialisation is hand-rolled (the vendored `serde` is a marker stub)
+//! and parsing reuses [`chopin_obs::json`]. Floats are written with
+//! `{:?}`, whose shortest-round-trip output restores the exact bits on
+//! parse — the property the byte-identical resume guarantee rests on.
+
+use chopin_core::lbo::RunSample;
+use chopin_obs::json::{self, JsonValue};
+use chopin_runtime::collector::CollectorKind;
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// The header tag identifying a chopin sweep journal.
+const JOURNAL_TAG: &str = "chopin-sweep";
+
+/// The journal format version.
+const JOURNAL_VERSION: f64 = 1.0;
+
+/// Identity of one sweep cell: benchmark × collector × heap factor.
+#[derive(Debug, Clone)]
+pub struct CellKey {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Collector under test.
+    pub collector: CollectorKind,
+    /// Heap factor (multiple of the nominal minimum heap).
+    pub heap_factor: f64,
+}
+
+impl CellKey {
+    /// Exact-key equality (heap factors compared bitwise: journalled
+    /// factors round-trip exactly through `{:?}`).
+    pub fn matches(&self, other: &CellKey) -> bool {
+        self.benchmark == other.benchmark
+            && self.collector == other.collector
+            && self.heap_factor.to_bits() == other.heap_factor.to_bits()
+    }
+}
+
+/// What a completed cell produced. Quarantined cells are deliberately
+/// *not* representable: only real outcomes are journalled, so a resumed
+/// suite retries everything that never finished.
+#[derive(Debug, Clone)]
+pub struct CellRecord {
+    /// One sample per completed invocation of the cell.
+    pub samples: Vec<RunSample>,
+    /// The infeasibility reason (OOM/thrash), if the cell could not run to
+    /// completion at this heap size — the paper's missing data points.
+    pub infeasible: Option<String>,
+}
+
+/// One journal line: a cell and its outcome.
+#[derive(Debug, Clone)]
+pub struct JournalEntry {
+    /// Which cell completed.
+    pub key: CellKey,
+    /// What it produced.
+    pub record: CellRecord,
+}
+
+/// A journal operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// Filesystem failure, stringified.
+    Io(String),
+    /// The file exists but is not a valid journal.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal io error: {e}"),
+            JournalError::Parse { line, message } => {
+                write!(f, "journal parse error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e.to_string())
+    }
+}
+
+/// FNV-1a over the canonical description of a suite configuration; the
+/// resume guard's notion of "same experiment".
+pub fn fingerprint_of(parts: &[&str]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        for byte in part.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Separate the parts so ["ab","c"] and ["a","bc"] differ.
+        hash ^= 0xff;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The crash-safe journal of completed sweep cells.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    fingerprint: u64,
+    entries: Vec<JournalEntry>,
+}
+
+impl Journal {
+    /// Start a fresh journal at `path` (truncating any previous file) and
+    /// persist the header.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] if the file cannot be written.
+    pub fn create(path: &Path, fingerprint: u64) -> Result<Journal, JournalError> {
+        let journal = Journal {
+            path: path.to_path_buf(),
+            fingerprint,
+            entries: Vec::new(),
+        };
+        journal.persist()?;
+        Ok(journal)
+    }
+
+    /// Load an existing journal from `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] if the file cannot be read,
+    /// [`JournalError::Parse`] if any line is not valid journal content.
+    pub fn load(path: &Path) -> Result<Journal, JournalError> {
+        let text = fs::read_to_string(path)?;
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines.next().ok_or(JournalError::Parse {
+            line: 1,
+            message: "empty file".to_string(),
+        })?;
+        let fingerprint =
+            parse_header(header).map_err(|message| JournalError::Parse { line: 1, message })?;
+        let mut entries = Vec::new();
+        for (i, line) in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            entries.push(parse_entry(line).map_err(|message| JournalError::Parse {
+                line: i + 1,
+                message,
+            })?);
+        }
+        Ok(Journal {
+            path: path.to_path_buf(),
+            fingerprint,
+            entries,
+        })
+    }
+
+    /// The configuration fingerprint this journal was created with.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Number of completed cells on record.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no cells have completed yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The outcome of `key`, if that cell already completed.
+    pub fn lookup(&self, key: &CellKey) -> Option<&CellRecord> {
+        self.entries
+            .iter()
+            .find(|e| e.key.matches(key))
+            .map(|e| &e.record)
+    }
+
+    /// Record a completed cell and atomically persist the whole journal.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] if the rewrite fails (the entry is still
+    /// retained in memory).
+    pub fn record(&mut self, entry: JournalEntry) -> Result<(), JournalError> {
+        self.entries.push(entry);
+        self.persist()
+    }
+
+    /// Rewrite the journal via tmp-then-rename so the on-disk file is
+    /// replaced atomically.
+    fn persist(&self) -> Result<(), JournalError> {
+        let mut text = String::new();
+        let _ = writeln!(
+            text,
+            "{{\"journal\":{},\"version\":{JOURNAL_VERSION:?},\"fingerprint\":\"{:016x}\"}}",
+            json_string(JOURNAL_TAG),
+            self.fingerprint
+        );
+        for entry in &self.entries {
+            text.push_str(&render_entry(entry));
+            text.push('\n');
+        }
+        let tmp = self.path.with_extension("journal.tmp");
+        {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(text.as_bytes())?;
+            file.sync_all()?;
+        }
+        fs::rename(&tmp, &self.path)?;
+        Ok(())
+    }
+}
+
+/// Escape a string as a JSON string literal, quotes included.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn render_sample(s: &RunSample) -> String {
+    format!(
+        "{{\"collector\":{},\"heap_factor\":{:?},\"wall_s\":{:?},\"task_s\":{:?},\
+         \"wall_distillable_s\":{:?},\"task_distillable_s\":{:?}}}",
+        json_string(&s.collector.to_string()),
+        s.heap_factor,
+        s.wall_s,
+        s.task_s,
+        s.wall_distillable_s,
+        s.task_distillable_s,
+    )
+}
+
+fn render_entry(entry: &JournalEntry) -> String {
+    let samples: Vec<String> = entry.record.samples.iter().map(render_sample).collect();
+    let infeasible = match &entry.record.infeasible {
+        Some(reason) => json_string(reason),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"benchmark\":{},\"collector\":{},\"heap_factor\":{:?},\"samples\":[{}],\"infeasible\":{}}}",
+        json_string(&entry.key.benchmark),
+        json_string(&entry.key.collector.to_string()),
+        entry.key.heap_factor,
+        samples.join(","),
+        infeasible,
+    )
+}
+
+fn str_field(obj: &JsonValue, key: &str) -> Result<String, String> {
+    obj.get(key)
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field `{key}`"))
+}
+
+fn num_field(obj: &JsonValue, key: &str) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(JsonValue::as_num)
+        .ok_or_else(|| format!("missing number field `{key}`"))
+}
+
+fn collector_field(obj: &JsonValue, key: &str) -> Result<CollectorKind, String> {
+    str_field(obj, key)?
+        .parse::<CollectorKind>()
+        .map_err(|e| e.to_string())
+}
+
+fn parse_header(line: &str) -> Result<u64, String> {
+    let obj = json::parse(line).map_err(|e| e.to_string())?;
+    let tag = str_field(&obj, "journal")?;
+    if tag != JOURNAL_TAG {
+        return Err(format!("not a sweep journal (tag `{tag}`)"));
+    }
+    let version = num_field(&obj, "version")?;
+    if version != JOURNAL_VERSION {
+        return Err(format!("unsupported journal version {version}"));
+    }
+    let hex = str_field(&obj, "fingerprint")?;
+    u64::from_str_radix(&hex, 16).map_err(|e| format!("bad fingerprint `{hex}`: {e}"))
+}
+
+fn parse_sample(value: &JsonValue) -> Result<RunSample, String> {
+    Ok(RunSample {
+        collector: collector_field(value, "collector")?,
+        heap_factor: num_field(value, "heap_factor")?,
+        wall_s: num_field(value, "wall_s")?,
+        task_s: num_field(value, "task_s")?,
+        wall_distillable_s: num_field(value, "wall_distillable_s")?,
+        task_distillable_s: num_field(value, "task_distillable_s")?,
+    })
+}
+
+fn parse_entry(line: &str) -> Result<JournalEntry, String> {
+    let obj = json::parse(line).map_err(|e| e.to_string())?;
+    let key = CellKey {
+        benchmark: str_field(&obj, "benchmark")?,
+        collector: collector_field(&obj, "collector")?,
+        heap_factor: num_field(&obj, "heap_factor")?,
+    };
+    let samples = obj
+        .get("samples")
+        .and_then(JsonValue::as_arr)
+        .ok_or("missing array field `samples`")?
+        .iter()
+        .map(parse_sample)
+        .collect::<Result<Vec<_>, _>>()?;
+    let infeasible = match obj.get("infeasible") {
+        None | Some(JsonValue::Null) => None,
+        Some(JsonValue::Str(s)) => Some(s.clone()),
+        Some(_) => return Err("field `infeasible` must be a string or null".to_string()),
+    };
+    Ok(JournalEntry {
+        key,
+        record: CellRecord {
+            samples,
+            infeasible,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(wall: f64) -> RunSample {
+        RunSample {
+            collector: CollectorKind::Shenandoah,
+            heap_factor: 2.5,
+            wall_s: wall,
+            task_s: wall * 7.0,
+            wall_distillable_s: wall * 0.9,
+            task_distillable_s: wall * 6.3,
+        }
+    }
+
+    fn entry(benchmark: &str, factor: f64) -> JournalEntry {
+        JournalEntry {
+            key: CellKey {
+                benchmark: benchmark.to_string(),
+                collector: CollectorKind::Shenandoah,
+                heap_factor: factor,
+            },
+            record: CellRecord {
+                samples: vec![sample(0.1234567890123), sample(1e-7)],
+                infeasible: None,
+            },
+        }
+    }
+
+    #[test]
+    fn round_trip_restores_exact_bits() {
+        let dir = std::env::temp_dir().join(format!("chopin-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("round_trip.journal");
+        let mut journal = Journal::create(&path, 0xfeed_beef).unwrap();
+        journal.record(entry("fop", 2.5)).unwrap();
+        journal
+            .record(JournalEntry {
+                key: CellKey {
+                    benchmark: "pmd".to_string(),
+                    collector: CollectorKind::Zgc,
+                    heap_factor: 1.0,
+                },
+                record: CellRecord {
+                    samples: Vec::new(),
+                    infeasible: Some("run failed: out of memory \"quoted\"\n".to_string()),
+                },
+            })
+            .unwrap();
+
+        let loaded = Journal::load(&path).unwrap();
+        assert_eq!(loaded.fingerprint(), 0xfeed_beef);
+        assert_eq!(loaded.len(), 2);
+        let record = loaded
+            .lookup(&CellKey {
+                benchmark: "fop".to_string(),
+                collector: CollectorKind::Shenandoah,
+                heap_factor: 2.5,
+            })
+            .expect("fop cell is journalled");
+        assert_eq!(record.samples.len(), 2);
+        assert_eq!(
+            record.samples[0].wall_s.to_bits(),
+            0.1234567890123f64.to_bits()
+        );
+        assert_eq!(record.samples[1].wall_s.to_bits(), 1e-7f64.to_bits());
+        let infeasible = loaded
+            .lookup(&CellKey {
+                benchmark: "pmd".to_string(),
+                collector: CollectorKind::Zgc,
+                heap_factor: 1.0,
+            })
+            .expect("pmd cell is journalled");
+        assert_eq!(
+            infeasible.infeasible.as_deref(),
+            Some("run failed: out of memory \"quoted\"\n")
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn persist_is_atomic_no_tmp_left_behind() {
+        let dir = std::env::temp_dir().join(format!("chopin-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("atomic.journal");
+        let mut journal = Journal::create(&path, 1).unwrap();
+        journal.record(entry("fop", 2.0)).unwrap();
+        assert!(path.exists());
+        assert!(
+            !path.with_extension("journal.tmp").exists(),
+            "tmp file must be renamed away"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_or_foreign_files_are_rejected_with_line_numbers() {
+        let dir = std::env::temp_dir().join(format!("chopin-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.journal");
+
+        std::fs::write(&path, "not json\n").unwrap();
+        assert!(matches!(
+            Journal::load(&path),
+            Err(JournalError::Parse { line: 1, .. })
+        ));
+
+        std::fs::write(
+            &path,
+            "{\"journal\":\"other-tool\",\"version\":1,\"fingerprint\":\"00\"}\n",
+        )
+        .unwrap();
+        let err = Journal::load(&path).unwrap_err();
+        assert!(err.to_string().contains("not a sweep journal"), "{err}");
+
+        std::fs::write(
+            &path,
+            "{\"journal\":\"chopin-sweep\",\"version\":1,\"fingerprint\":\"00\"}\n{\"oops\":1}\n",
+        )
+        .unwrap();
+        assert!(matches!(
+            Journal::load(&path),
+            Err(JournalError::Parse { line: 2, .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fingerprints_separate_parts_and_content() {
+        assert_ne!(fingerprint_of(&["ab", "c"]), fingerprint_of(&["a", "bc"]));
+        assert_ne!(fingerprint_of(&["a"]), fingerprint_of(&["b"]));
+        assert_eq!(fingerprint_of(&["a", "b"]), fingerprint_of(&["a", "b"]));
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = Journal::load(Path::new("/nonexistent/dir/x.journal")).unwrap_err();
+        assert!(matches!(err, JournalError::Io(_)));
+    }
+}

@@ -19,6 +19,11 @@
 //!   the engine's [`chopin_obs`] tracing hook attached, harness wall-time
 //!   spans, and Perfetto-compatible export (`artifact trace`).
 //! * [`output`] — the results folder the artifact workflow writes into.
+//! * [`supervisor`] — the resilient sweep supervisor: per-cell panic
+//!   isolation, deadlines, retry with backoff, quarantine reports and
+//!   deterministic fault injection (`--faults`).
+//! * [`journal`] — the supervisor's crash-safe completed-cell journal
+//!   backing `--resume`.
 //! * [`validate`] — the reproduction scorecard: re-verify the paper's
 //!   headline claims with fresh measurements (`artifact validate`).
 //!
@@ -30,12 +35,14 @@
 
 pub mod cli;
 pub mod experiments;
+pub mod journal;
 pub mod lint;
 pub mod obs;
 pub mod output;
 pub mod plot;
 pub mod presets;
 pub mod runner;
+pub mod supervisor;
 pub mod validate;
 
 pub use experiments::{
@@ -44,4 +51,7 @@ pub use experiments::{
 };
 pub use obs::{observe_benchmark, ObsOptions, ObservedRun, SpanSink};
 pub use presets::Preset;
-pub use runner::{run_suite_sweeps, run_suite_sweeps_spanned};
+pub use runner::{run_suite_sweeps, run_suite_sweeps_spanned, SuiteSweepOutcome, SweepError};
+pub use supervisor::{
+    QuarantineEntry, QuarantineReason, SuiteReport, SuiteSupervisor, SuperviseError,
+};

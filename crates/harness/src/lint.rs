@@ -17,6 +17,7 @@ pub fn preset_sweep_configs() -> Vec<(&'static str, SweepConfig)> {
     vec![
         ("preset:lbo", crate::presets::lbo_sweep_config()),
         ("preset:validate", crate::validate::scorecard_sweep_config()),
+        ("preset:chaos", crate::presets::chaos_sweep_config()),
     ]
 }
 

@@ -12,10 +12,11 @@
 use crate::cli::Args;
 use crate::experiments::ExperimentError;
 use chopin_core::{BenchmarkError, Suite};
+use chopin_faults::{FaultPlan, NoFaults, ScheduledFaults};
 use chopin_obs::{ChromeTrace, EventRecorder, MetricsObserver, MetricsRegistry, ObsConfig, Tee};
 use chopin_runtime::collector::CollectorKind;
 use chopin_runtime::config::RunConfig;
-use chopin_runtime::engine::run_with_observer;
+use chopin_runtime::engine::run_with_observer_and_faults;
 use chopin_runtime::result::{RunError, RunResult};
 use chopin_workloads::SizeClass;
 use parking_lot::Mutex;
@@ -234,6 +235,22 @@ pub fn observe_benchmark(
     collector: CollectorKind,
     heap_factor: f64,
 ) -> Result<ObservedRun, ExperimentError> {
+    observe_benchmark_with_faults(benchmark, collector, heap_factor, None)
+}
+
+/// [`observe_benchmark`] with an optional deterministic fault plan
+/// injected into the run (the `--faults` flag): fault onsets and clears
+/// land on their own trace track alongside the engine's.
+///
+/// # Errors
+///
+/// See [`observe_benchmark`].
+pub fn observe_benchmark_with_faults(
+    benchmark: &str,
+    collector: CollectorKind,
+    heap_factor: f64,
+    faults: Option<&FaultPlan>,
+) -> Result<ObservedRun, ExperimentError> {
     let suite = Suite::chopin();
     let bench = suite
         .benchmark(benchmark)
@@ -250,7 +267,12 @@ pub fn observe_benchmark(
     let config = RunConfig::new(heap, collector).with_noise(0.0);
 
     let mut tee = Tee(EventRecorder::new(), MetricsObserver::new());
-    let outcome = run_with_observer(&spec, &config, &mut tee);
+    let outcome = match faults {
+        None => run_with_observer_and_faults(&spec, &config, &mut tee, NoFaults),
+        Some(plan) => {
+            run_with_observer_and_faults(&spec, &config, &mut tee, ScheduledFaults::new(plan))
+        }
+    };
     let Tee(recorder, metrics) = tee;
     Ok(ObservedRun {
         benchmark: benchmark.to_string(),

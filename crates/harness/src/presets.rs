@@ -86,6 +86,18 @@ pub fn lbo_sweep_config() -> SweepConfig {
     }
 }
 
+/// The chaos suite's sweep configuration: every collector over a tight
+/// and a generous heap, run under injected faults by `artifact chaos`.
+/// Exposed so `artifact lint` can statically validate it.
+pub fn chaos_sweep_config() -> SweepConfig {
+    SweepConfig {
+        heap_factors: vec![2.0, 4.0],
+        invocations: 1,
+        iterations: 2,
+        ..SweepConfig::default()
+    }
+}
+
 /// The A.5 basic test: fop (the fastest benchmark) on the default and one
 /// concurrent collector at two heap sizes, with latency from one
 /// latency-sensitive workload.

@@ -1,0 +1,890 @@
+//! The resilient sweep supervisor: per-cell panic isolation, wall-clock
+//! deadlines, retry with exponential backoff, a crash-safe resume journal
+//! and graceful degradation into a quarantine report.
+//!
+//! [`run_suite_sweeps`](crate::runner::run_suite_sweeps) assumes every
+//! cell is well-behaved; a long unattended campaign cannot. The supervisor
+//! wraps each cell (benchmark × collector × heap factor) in an isolation
+//! boundary: a panicking cell is caught, a hung cell is abandoned at its
+//! deadline, and both are retried with exponential backoff before being
+//! quarantined with a structured reason. Completed cells are journalled
+//! atomically ([`crate::journal`]), so an interrupted suite resumes
+//! exactly where it stopped — and because cells are assembled in schedule
+//! order rather than completion order, a resumed suite reproduces the
+//! uninterrupted run byte for byte. The supervisor never aborts on a bad
+//! cell: it always returns every completed [`SweepResult`] plus the
+//! quarantine list.
+
+use crate::journal::{fingerprint_of, CellKey, CellRecord, Journal, JournalEntry, JournalError};
+use chopin_core::benchmark::{BenchmarkError, BenchmarkRunner};
+use chopin_core::lbo::RunSample;
+use chopin_core::sweep::{SweepConfig, SweepFailure, SweepResult};
+use chopin_faults::{FaultPlan, PolicyError, SupervisorPolicy};
+use chopin_obs::MetricsRegistry;
+use chopin_runtime::collector::CollectorKind;
+use chopin_runtime::result::RunError;
+use chopin_workloads::WorkloadProfile;
+use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+/// One unit of supervised work: a benchmark × collector × heap-factor
+/// cell, covering all of the cell's invocations.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Collector under test.
+    pub collector: CollectorKind,
+    /// Heap factor (multiple of the nominal minimum heap).
+    pub heap_factor: f64,
+}
+
+impl Cell {
+    fn key(&self) -> CellKey {
+        CellKey {
+            benchmark: self.benchmark.clone(),
+            collector: self.collector,
+            heap_factor: self.heap_factor,
+        }
+    }
+}
+
+/// What a cell produced when it ran to completion.
+#[derive(Debug, Clone, Default)]
+pub struct CellOutcome {
+    /// One sample per completed invocation.
+    pub samples: Vec<RunSample>,
+    /// Set when the cell is infeasible at this heap size (OOM/thrash) —
+    /// a real, deterministic outcome, recorded as a [`SweepFailure`]
+    /// rather than retried.
+    pub infeasible: Option<String>,
+}
+
+/// Executes one cell. The default implementation runs the benchmark
+/// through [`BenchmarkRunner`]; chaos tests substitute runners that
+/// panic, hang or fail on schedule.
+pub trait CellRunner: Send + Sync {
+    /// Run every invocation of `cell` and return the outcome.
+    ///
+    /// # Errors
+    ///
+    /// A stringified transient failure; the supervisor retries it.
+    fn run_cell(
+        &self,
+        profile: &WorkloadProfile,
+        cell: &Cell,
+        config: &SweepConfig,
+    ) -> Result<CellOutcome, String>;
+
+    /// Extra material for the resume fingerprint (e.g. a fault plan):
+    /// journals written under a different runner configuration must not
+    /// be resumed from.
+    fn fingerprint(&self) -> String {
+        String::new()
+    }
+}
+
+/// The production [`CellRunner`]: [`BenchmarkRunner`] invocations with an
+/// optional deterministic fault plan injected into every run.
+#[derive(Debug, Clone, Default)]
+pub struct SweepCellRunner {
+    faults: Option<FaultPlan>,
+}
+
+impl SweepCellRunner {
+    /// A fault-free runner.
+    pub fn new() -> SweepCellRunner {
+        SweepCellRunner::default()
+    }
+
+    /// A runner injecting `plan` into every invocation.
+    pub fn with_faults(plan: FaultPlan) -> SweepCellRunner {
+        SweepCellRunner {
+            faults: (!plan.is_empty()).then_some(plan),
+        }
+    }
+}
+
+impl CellRunner for SweepCellRunner {
+    fn run_cell(
+        &self,
+        profile: &WorkloadProfile,
+        cell: &Cell,
+        config: &SweepConfig,
+    ) -> Result<CellOutcome, String> {
+        let mut outcome = CellOutcome::default();
+        for invocation in 0..config.invocations {
+            let mut runner = BenchmarkRunner::for_profile(profile.clone())
+                .collector(cell.collector)
+                .size(config.size)
+                .heap_factor(cell.heap_factor)
+                .iterations(config.iterations)
+                .seed(1 + u64::from(invocation));
+            if let Some(plan) = &self.faults {
+                runner = runner.faults(plan.clone());
+            }
+            match runner.run() {
+                Ok(set) => outcome
+                    .samples
+                    .push(RunSample::from_result(set.timed(), cell.heap_factor)),
+                Err(BenchmarkError::Run(
+                    e @ (RunError::OutOfMemory { .. } | RunError::GcThrash { .. }),
+                )) => {
+                    outcome.infeasible = Some(e.to_string());
+                    return Ok(outcome);
+                }
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+        Ok(outcome)
+    }
+
+    fn fingerprint(&self) -> String {
+        match &self.faults {
+            None => String::new(),
+            Some(plan) => format!("{plan:?}"),
+        }
+    }
+}
+
+/// Why a cell was quarantined after exhausting its retries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// The cell panicked; the payload message is preserved.
+    Panicked(String),
+    /// The cell exceeded its wall-clock budget and was abandoned.
+    DeadlineExceeded {
+        /// The budget it blew, in milliseconds.
+        budget_ms: u64,
+    },
+    /// The cell returned a transient error every attempt.
+    Errored(String),
+}
+
+impl std::fmt::Display for QuarantineReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuarantineReason::Panicked(msg) => write!(f, "panicked: {msg}"),
+            QuarantineReason::DeadlineExceeded { budget_ms } => {
+                write!(f, "exceeded the {budget_ms}ms cell deadline")
+            }
+            QuarantineReason::Errored(msg) => write!(f, "errored: {msg}"),
+        }
+    }
+}
+
+/// One quarantined cell: which, after how many attempts, and why.
+#[derive(Debug, Clone)]
+pub struct QuarantineEntry {
+    /// The cell that never completed.
+    pub cell: Cell,
+    /// Total attempts made (first try plus retries).
+    pub attempts: u32,
+    /// The final failure.
+    pub reason: QuarantineReason,
+}
+
+/// The supervisor's product: every completed sweep result, the structured
+/// quarantine report, and execution counters.
+#[derive(Debug)]
+pub struct SuiteReport {
+    /// One result per input profile, in input order, holding every
+    /// completed cell's samples and infeasibility failures.
+    pub results: Vec<SweepResult>,
+    /// Cells that never completed, with structured reasons.
+    pub quarantined: Vec<QuarantineEntry>,
+    /// Supervision counters: `supervisor.cells`, `.cells.completed`,
+    /// `.cells.resumed`, `.cells.infeasible`, `.cells.quarantined`,
+    /// `supervisor.retries`.
+    pub metrics: MetricsRegistry,
+}
+
+impl SuiteReport {
+    /// Whether every cell completed (nothing quarantined).
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+
+    /// Render the quarantine report as text, one line per cell.
+    pub fn quarantine_summary(&self) -> String {
+        if self.is_clean() {
+            return "all cells completed\n".to_string();
+        }
+        let mut out = format!("{} cell(s) quarantined:\n", self.quarantined.len());
+        for q in &self.quarantined {
+            out.push_str(&format!(
+                "  {} / {} / {:.2}x after {} attempt(s): {}\n",
+                q.cell.benchmark, q.cell.collector, q.cell.heap_factor, q.attempts, q.reason
+            ));
+        }
+        out
+    }
+}
+
+/// The supervisor failed before any cell ran.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SuperviseError {
+    /// The policy failed validation (rule R704).
+    Policy(PolicyError),
+    /// The journal could not be created, read or written.
+    Journal(JournalError),
+    /// `--resume` pointed at a journal from a different configuration.
+    JournalMismatch {
+        /// Fingerprint of the requested configuration.
+        expected: u64,
+        /// Fingerprint found in the journal.
+        found: u64,
+    },
+}
+
+impl std::fmt::Display for SuperviseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SuperviseError::Policy(e) => write!(f, "{e}"),
+            SuperviseError::Journal(e) => write!(f, "{e}"),
+            SuperviseError::JournalMismatch { expected, found } => write!(
+                f,
+                "journal fingerprint {found:016x} does not match this configuration \
+                 ({expected:016x}); refusing to resume across configurations"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SuperviseError {}
+
+impl From<JournalError> for SuperviseError {
+    fn from(e: JournalError) -> Self {
+        SuperviseError::Journal(e)
+    }
+}
+
+/// Whether any supervisor flag is on the command line — the binaries use
+/// this to route a sweep through the supervisor instead of the plain
+/// runner.
+pub fn supervision_requested(args: &crate::cli::Args) -> bool {
+    [
+        "faults",
+        "journal",
+        "resume",
+        "cell-deadline",
+        "retries",
+        "backoff-ms",
+    ]
+    .iter()
+    .any(|f| args.has(f))
+}
+
+/// Build a [`SupervisorPolicy`] from `--cell-deadline MS` (0 disables the
+/// watchdog), `--retries N` and `--backoff-ms MS`, starting from the
+/// defaults.
+///
+/// # Errors
+///
+/// A human-readable message for an unparsable value; range checks are
+/// left to [`SupervisorPolicy::validate`] (rule R704).
+pub fn policy_from_args(args: &crate::cli::Args) -> Result<SupervisorPolicy, String> {
+    let defaults = SupervisorPolicy::default();
+    let deadline_ms = args
+        .get_or("cell-deadline", defaults.cell_deadline_ms.unwrap_or(0))
+        .map_err(|e| e.to_string())?;
+    Ok(SupervisorPolicy {
+        cell_deadline_ms: (deadline_ms > 0).then_some(deadline_ms),
+        max_retries: args
+            .get_or("retries", defaults.max_retries)
+            .map_err(|e| e.to_string())?,
+        backoff_base_ms: args
+            .get_or("backoff-ms", defaults.backoff_base_ms)
+            .map_err(|e| e.to_string())?,
+        backoff_max_ms: defaults.backoff_max_ms,
+    })
+}
+
+/// Parse `--faults PRESET[:SEED]` into a plan, if the flag is present.
+///
+/// # Errors
+///
+/// The flag is present without a value, names an unknown preset, or
+/// carries a malformed seed.
+pub fn plan_from_args(args: &crate::cli::Args) -> Result<Option<FaultPlan>, String> {
+    if !args.has("faults") {
+        return Ok(None);
+    }
+    let flag = args
+        .value("faults")
+        .ok_or("--faults needs a preset name (e.g. --faults chaos)")?;
+    chopin_workloads::faults::parse_flag(flag, chopin_workloads::faults::DEFAULT_HORIZON_NS)
+        .map(Some)
+}
+
+/// What one supervised attempt of a cell produced.
+enum Attempt {
+    Completed(CellOutcome),
+    Errored(String),
+    Panicked(String),
+    TimedOut(u64),
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run one attempt of `cell` on a watchdog-supervised worker thread. On
+/// deadline expiry the worker is abandoned (it parks on a dead channel
+/// and exits whenever its run returns); the attempt is charged as timed
+/// out either way.
+fn run_attempt(
+    runner: Arc<dyn CellRunner>,
+    profile: WorkloadProfile,
+    cell: Cell,
+    config: SweepConfig,
+    deadline_ms: Option<u64>,
+) -> Attempt {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            runner.run_cell(&profile, &cell, &config)
+        }));
+        let _ = tx.send(result);
+    });
+    let received = match deadline_ms {
+        Some(ms) => match rx.recv_timeout(Duration::from_millis(ms)) {
+            Ok(result) => result,
+            Err(mpsc::RecvTimeoutError::Timeout) => return Attempt::TimedOut(ms),
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return Attempt::Panicked("cell worker vanished".to_string())
+            }
+        },
+        None => match rx.recv() {
+            Ok(result) => result,
+            Err(_) => return Attempt::Panicked("cell worker vanished".to_string()),
+        },
+    };
+    match received {
+        Ok(Ok(outcome)) => Attempt::Completed(outcome),
+        Ok(Err(message)) => Attempt::Errored(message),
+        Err(payload) => Attempt::Panicked(panic_message(payload)),
+    }
+}
+
+/// The resilient suite supervisor. See the module docs for the contract.
+///
+/// # Examples
+///
+/// ```
+/// use chopin_core::sweep::SweepConfig;
+/// use chopin_faults::SupervisorPolicy;
+/// use chopin_harness::supervisor::SuiteSupervisor;
+/// use chopin_workloads::suite;
+///
+/// let profiles = vec![suite::by_name("fop").expect("in the suite")];
+/// let mut config = SweepConfig::quick();
+/// config.heap_factors = vec![2.0];
+/// let report = SuiteSupervisor::new(SupervisorPolicy::default())
+///     .run(&profiles, &config)
+///     .expect("policy and journal are fine");
+/// assert!(report.is_clean());
+/// assert_eq!(report.results.len(), 1);
+/// assert!(!report.results[0].samples.is_empty());
+/// ```
+pub struct SuiteSupervisor {
+    policy: SupervisorPolicy,
+    runner: Arc<dyn CellRunner>,
+    journal_path: Option<PathBuf>,
+    resume: bool,
+}
+
+impl SuiteSupervisor {
+    /// A supervisor running real benchmark cells under `policy`.
+    pub fn new(policy: SupervisorPolicy) -> SuiteSupervisor {
+        SuiteSupervisor {
+            policy,
+            runner: Arc::new(SweepCellRunner::new()),
+            journal_path: None,
+            resume: false,
+        }
+    }
+
+    /// Inject a deterministic fault plan into every cell (`--faults`).
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> SuiteSupervisor {
+        self.runner = Arc::new(SweepCellRunner::with_faults(plan));
+        self
+    }
+
+    /// Substitute the cell runner (chaos tests).
+    #[must_use]
+    pub fn with_runner(mut self, runner: Arc<dyn CellRunner>) -> SuiteSupervisor {
+        self.runner = runner;
+        self
+    }
+
+    /// Journal completed cells to `path` (`--journal`).
+    #[must_use]
+    pub fn with_journal(mut self, path: impl Into<PathBuf>) -> SuiteSupervisor {
+        self.journal_path = Some(path.into());
+        self
+    }
+
+    /// Resume from the journal if it exists (`--resume`): journalled cells
+    /// are replayed from disk instead of re-run; quarantined cells were
+    /// never journalled, so they are retried.
+    #[must_use]
+    pub fn resume(mut self, resume: bool) -> SuiteSupervisor {
+        self.resume = resume;
+        self
+    }
+
+    fn fingerprint(&self, profiles: &[WorkloadProfile], config: &SweepConfig) -> u64 {
+        let mut parts: Vec<String> = profiles.iter().map(|p| p.name.to_string()).collect();
+        parts.push(format!("{:?}", config.collectors));
+        parts.push(format!("{:?}", config.heap_factors));
+        parts.push(format!("{:?}", config.invocations));
+        parts.push(format!("{:?}", config.iterations));
+        parts.push(format!("{:?}", config.size));
+        parts.push(self.runner.fingerprint());
+        let refs: Vec<&str> = parts.iter().map(String::as_str).collect();
+        fingerprint_of(&refs)
+    }
+
+    /// Run the supervised suite: every cell of `profiles` × the sweep
+    /// grid, in parallel, with retries, deadlines and quarantine.
+    ///
+    /// # Errors
+    ///
+    /// Only setup can fail ([`SuperviseError`]): an invalid policy, a
+    /// journal that cannot be opened, or a resume fingerprint mismatch.
+    /// Cell failures never abort the suite.
+    pub fn run(
+        &self,
+        profiles: &[WorkloadProfile],
+        config: &SweepConfig,
+    ) -> Result<SuiteReport, SuperviseError> {
+        self.policy.validate().map_err(SuperviseError::Policy)?;
+        let fingerprint = self.fingerprint(profiles, config);
+
+        let journal = match &self.journal_path {
+            None => None,
+            Some(path) => {
+                if self.resume && path.exists() {
+                    let loaded = Journal::load(path)?;
+                    if loaded.fingerprint() != fingerprint {
+                        return Err(SuperviseError::JournalMismatch {
+                            expected: fingerprint,
+                            found: loaded.fingerprint(),
+                        });
+                    }
+                    Some(loaded)
+                } else {
+                    Some(Journal::create(path, fingerprint)?)
+                }
+            }
+        };
+
+        // The schedule: cells in deterministic (profile, collector,
+        // factor) order. Results are assembled in this order regardless of
+        // completion order, so parallel supervision stays reproducible.
+        let mut cells: Vec<(usize, Cell)> = Vec::new();
+        for (pi, profile) in profiles.iter().enumerate() {
+            for &collector in &config.collectors {
+                for &factor in &config.heap_factors {
+                    cells.push((
+                        pi,
+                        Cell {
+                            benchmark: profile.name.to_string(),
+                            collector,
+                            heap_factor: factor,
+                        },
+                    ));
+                }
+            }
+        }
+
+        enum Slot {
+            Completed(CellOutcome),
+            Quarantined(QuarantineEntry),
+        }
+
+        let mut metrics = MetricsRegistry::new();
+        metrics.inc("supervisor.cells", cells.len() as u64);
+        let metrics = Mutex::new(metrics);
+        let journal = Mutex::new(journal);
+        let slots: Mutex<Vec<Option<Slot>>> = Mutex::new((0..cells.len()).map(|_| None).collect());
+        let next = AtomicUsize::new(0);
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(cells.len().max(1));
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= cells.len() {
+                        break;
+                    }
+                    let (pi, cell) = &cells[i];
+                    let profile = &profiles[*pi];
+
+                    if let Some(record) = journal
+                        .lock()
+                        .as_ref()
+                        .and_then(|j| j.lookup(&cell.key()).cloned())
+                    {
+                        let mut m = metrics.lock();
+                        m.inc("supervisor.cells.resumed", 1);
+                        m.inc("supervisor.cells.completed", 1);
+                        if record.infeasible.is_some() {
+                            m.inc("supervisor.cells.infeasible", 1);
+                        }
+                        drop(m);
+                        slots.lock()[i] = Some(Slot::Completed(CellOutcome {
+                            samples: record.samples,
+                            infeasible: record.infeasible,
+                        }));
+                        continue;
+                    }
+
+                    let slot = match self.supervise_cell(profile, cell, config, &metrics) {
+                        Ok(outcome) => {
+                            let mut m = metrics.lock();
+                            m.inc("supervisor.cells.completed", 1);
+                            if outcome.infeasible.is_some() {
+                                m.inc("supervisor.cells.infeasible", 1);
+                            }
+                            drop(m);
+                            if let Some(j) = journal.lock().as_mut() {
+                                // A journal write failure must not lose the
+                                // computed outcome; the suite continues and
+                                // only resume fidelity degrades.
+                                let _ = j.record(JournalEntry {
+                                    key: cell.key(),
+                                    record: CellRecord {
+                                        samples: outcome.samples.clone(),
+                                        infeasible: outcome.infeasible.clone(),
+                                    },
+                                });
+                            }
+                            Slot::Completed(outcome)
+                        }
+                        Err(entry) => {
+                            metrics.lock().inc("supervisor.cells.quarantined", 1);
+                            Slot::Quarantined(entry)
+                        }
+                    };
+                    slots.lock()[i] = Some(slot);
+                });
+            }
+        })
+        .expect("supervisor workers do not panic");
+
+        let mut results: Vec<SweepResult> = profiles
+            .iter()
+            .map(|p| SweepResult {
+                benchmark: p.name.to_string(),
+                samples: Vec::new(),
+                failures: Vec::new(),
+            })
+            .collect();
+        let mut quarantined = Vec::new();
+        for (slot, (pi, cell)) in slots.into_inner().into_iter().zip(cells) {
+            match slot.expect("every cell visited") {
+                Slot::Completed(outcome) => {
+                    results[pi].samples.extend(outcome.samples);
+                    if let Some(reason) = outcome.infeasible {
+                        results[pi].failures.push(SweepFailure {
+                            collector: cell.collector,
+                            heap_factor: cell.heap_factor,
+                            reason,
+                        });
+                    }
+                }
+                Slot::Quarantined(entry) => quarantined.push(entry),
+            }
+        }
+
+        Ok(SuiteReport {
+            results,
+            quarantined,
+            metrics: metrics.into_inner(),
+        })
+    }
+
+    /// Attempt one cell up to `1 + max_retries` times with exponential
+    /// backoff; the last failure becomes the quarantine reason.
+    fn supervise_cell(
+        &self,
+        profile: &WorkloadProfile,
+        cell: &Cell,
+        config: &SweepConfig,
+        metrics: &Mutex<MetricsRegistry>,
+    ) -> Result<CellOutcome, QuarantineEntry> {
+        let attempts = 1 + self.policy.max_retries;
+        let mut last = QuarantineReason::Errored("cell never attempted".to_string());
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                metrics.lock().inc("supervisor.retries", 1);
+                std::thread::sleep(Duration::from_millis(self.policy.backoff_ms(attempt - 1)));
+            }
+            match run_attempt(
+                Arc::clone(&self.runner),
+                profile.clone(),
+                cell.clone(),
+                config.clone(),
+                self.policy.cell_deadline_ms,
+            ) {
+                Attempt::Completed(outcome) => return Ok(outcome),
+                Attempt::Errored(msg) => last = QuarantineReason::Errored(msg),
+                Attempt::Panicked(msg) => last = QuarantineReason::Panicked(msg),
+                Attempt::TimedOut(ms) => {
+                    last = QuarantineReason::DeadlineExceeded { budget_ms: ms }
+                }
+            }
+        }
+        Err(QuarantineEntry {
+            cell: cell.clone(),
+            attempts,
+            reason: last,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chopin_workloads::suite;
+    use std::sync::atomic::AtomicU32;
+
+    fn one_cell_config() -> SweepConfig {
+        SweepConfig {
+            collectors: vec![CollectorKind::G1],
+            heap_factors: vec![2.0],
+            invocations: 1,
+            iterations: 1,
+            size: chopin_workloads::SizeClass::Default,
+        }
+    }
+
+    fn fast_policy() -> SupervisorPolicy {
+        SupervisorPolicy {
+            cell_deadline_ms: Some(30_000),
+            max_retries: 2,
+            backoff_base_ms: 1,
+            backoff_max_ms: 4,
+        }
+    }
+
+    /// A runner that fails (panic or error) a set number of times per cell
+    /// before succeeding with a canned sample.
+    struct FlakyRunner {
+        failures_before_success: u32,
+        panic_instead: bool,
+        calls: AtomicU32,
+    }
+
+    impl CellRunner for FlakyRunner {
+        fn run_cell(
+            &self,
+            _profile: &WorkloadProfile,
+            cell: &Cell,
+            _config: &SweepConfig,
+        ) -> Result<CellOutcome, String> {
+            let n = self.calls.fetch_add(1, Ordering::Relaxed);
+            if n < self.failures_before_success {
+                if self.panic_instead {
+                    panic!("injected chaos panic #{n}");
+                }
+                return Err(format!("injected transient error #{n}"));
+            }
+            Ok(CellOutcome {
+                samples: vec![RunSample {
+                    collector: cell.collector,
+                    heap_factor: cell.heap_factor,
+                    wall_s: 1.0,
+                    task_s: 2.0,
+                    wall_distillable_s: 0.9,
+                    task_distillable_s: 1.8,
+                }],
+                infeasible: None,
+            })
+        }
+    }
+
+    /// A runner whose cells hang forever.
+    struct HangingRunner;
+
+    impl CellRunner for HangingRunner {
+        fn run_cell(
+            &self,
+            _profile: &WorkloadProfile,
+            _cell: &Cell,
+            _config: &SweepConfig,
+        ) -> Result<CellOutcome, String> {
+            loop {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+
+    #[test]
+    fn transient_errors_are_retried_to_success() {
+        let profiles = vec![suite::by_name("fop").unwrap()];
+        let report = SuiteSupervisor::new(fast_policy())
+            .with_runner(Arc::new(FlakyRunner {
+                failures_before_success: 2,
+                panic_instead: false,
+                calls: AtomicU32::new(0),
+            }))
+            .run(&profiles, &one_cell_config())
+            .unwrap();
+        assert!(report.is_clean(), "{}", report.quarantine_summary());
+        assert_eq!(report.results[0].samples.len(), 1);
+        assert_eq!(report.metrics.counter("supervisor.retries"), 2);
+        assert_eq!(report.metrics.counter("supervisor.cells.completed"), 1);
+    }
+
+    #[test]
+    fn panics_are_contained_and_retried() {
+        let profiles = vec![suite::by_name("fop").unwrap()];
+        let report = SuiteSupervisor::new(fast_policy())
+            .with_runner(Arc::new(FlakyRunner {
+                failures_before_success: 1,
+                panic_instead: true,
+                calls: AtomicU32::new(0),
+            }))
+            .run(&profiles, &one_cell_config())
+            .unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.metrics.counter("supervisor.retries"), 1);
+    }
+
+    #[test]
+    fn persistent_panics_end_in_quarantine_not_abort() {
+        let profiles = vec![suite::by_name("fop").unwrap()];
+        let report = SuiteSupervisor::new(fast_policy())
+            .with_runner(Arc::new(FlakyRunner {
+                failures_before_success: u32::MAX,
+                panic_instead: true,
+                calls: AtomicU32::new(0),
+            }))
+            .run(&profiles, &one_cell_config())
+            .unwrap();
+        assert_eq!(report.quarantined.len(), 1);
+        let q = &report.quarantined[0];
+        assert_eq!(q.attempts, 3, "one try plus two retries");
+        assert!(
+            matches!(&q.reason, QuarantineReason::Panicked(m) if m.contains("injected chaos")),
+            "{:?}",
+            q.reason
+        );
+        assert!(report.quarantine_summary().contains("fop"));
+        assert_eq!(report.metrics.counter("supervisor.cells.quarantined"), 1);
+    }
+
+    #[test]
+    fn hung_cells_hit_the_deadline_and_quarantine() {
+        let profiles = vec![suite::by_name("fop").unwrap()];
+        let policy = SupervisorPolicy {
+            cell_deadline_ms: Some(30),
+            max_retries: 1,
+            backoff_base_ms: 1,
+            backoff_max_ms: 2,
+        };
+        let report = SuiteSupervisor::new(policy)
+            .with_runner(Arc::new(HangingRunner))
+            .run(&profiles, &one_cell_config())
+            .unwrap();
+        assert_eq!(report.quarantined.len(), 1);
+        assert!(matches!(
+            report.quarantined[0].reason,
+            QuarantineReason::DeadlineExceeded { budget_ms: 30 }
+        ));
+    }
+
+    #[test]
+    fn invalid_policy_is_rejected_up_front() {
+        let profiles = vec![suite::by_name("fop").unwrap()];
+        let bad = SupervisorPolicy {
+            backoff_base_ms: 0,
+            ..SupervisorPolicy::default()
+        };
+        let err = SuiteSupervisor::new(bad)
+            .run(&profiles, &one_cell_config())
+            .unwrap_err();
+        assert!(matches!(err, SuperviseError::Policy(_)), "{err}");
+    }
+
+    #[test]
+    fn supervised_suite_matches_the_plain_runner() {
+        // With nothing going wrong, supervision is invisible: same samples,
+        // same failures, same order as a direct sweep.
+        let profiles = vec![suite::by_name("fop").unwrap()];
+        let config = SweepConfig {
+            collectors: vec![CollectorKind::G1, CollectorKind::Zgc],
+            heap_factors: vec![1.0, 2.0],
+            invocations: 2,
+            iterations: 1,
+            size: chopin_workloads::SizeClass::Default,
+        };
+        let report = SuiteSupervisor::new(SupervisorPolicy::default())
+            .run(&profiles, &config)
+            .unwrap();
+        let direct = chopin_core::sweep::run_sweep(&profiles[0], &config).unwrap();
+        assert_eq!(report.results[0].samples, direct.samples);
+        assert_eq!(report.results[0].failures, direct.failures);
+    }
+
+    #[test]
+    fn cli_flags_build_policies_and_plans() {
+        use crate::cli::Args;
+        let args = Args::parse([
+            "--cell-deadline",
+            "0",
+            "--retries",
+            "5",
+            "--faults",
+            "storm:9",
+        ]);
+        assert!(supervision_requested(&args));
+        let policy = policy_from_args(&args).unwrap();
+        assert_eq!(policy.cell_deadline_ms, None, "0 disables the watchdog");
+        assert_eq!(policy.max_retries, 5);
+        let plan = plan_from_args(&args).unwrap().unwrap();
+        assert_eq!(plan.seed, 9);
+
+        assert!(!supervision_requested(&Args::parse(["-b", "fop"])));
+        assert!(plan_from_args(&Args::parse(["-b", "fop"]))
+            .unwrap()
+            .is_none());
+        assert!(plan_from_args(&Args::parse(["--faults", "tsunami"])).is_err());
+    }
+
+    #[test]
+    fn infeasible_cells_are_recorded_not_retried() {
+        let profiles = vec![suite::by_name("fop").unwrap()];
+        let config = SweepConfig {
+            collectors: vec![CollectorKind::Zgc],
+            heap_factors: vec![1.0],
+            invocations: 2,
+            iterations: 1,
+            size: chopin_workloads::SizeClass::Default,
+        };
+        let report = SuiteSupervisor::new(fast_policy())
+            .run(&profiles, &config)
+            .unwrap();
+        assert!(report.is_clean(), "infeasible is an outcome, not a fault");
+        assert_eq!(report.results[0].failures.len(), 1);
+        assert_eq!(report.metrics.counter("supervisor.cells.infeasible"), 1);
+        assert_eq!(report.metrics.counter("supervisor.retries"), 0);
+    }
+}

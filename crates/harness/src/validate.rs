@@ -70,7 +70,9 @@ pub fn run_scorecard() -> Vec<CheckResult> {
     // --- Figure 1: the suite-wide sweep -------------------------------
     let sweep = scorecard_sweep_config();
     let profiles = suite::all();
-    let sweeps = run_suite_sweeps(&profiles, &sweep).expect("suite sweeps run");
+    let sweeps = run_suite_sweeps(&profiles, &sweep)
+        .into_result()
+        .expect("suite sweeps run");
     let task: Vec<LboAnalysis> = sweeps
         .iter()
         .map(|s| LboAnalysis::compute(&s.samples, Clock::Task).expect("analysis"))

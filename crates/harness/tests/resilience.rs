@@ -1,0 +1,223 @@
+//! End-to-end resilience guarantees: a suite killed mid-run by an
+//! injected panic and then resumed from its journal produces a results
+//! CSV byte-identical to an uninterrupted run, and every collector
+//! survives the chaos fault preset with the measurement invariants
+//! (time conservation, LBO ≥ 1) intact or lands in quarantine with a
+//! structured reason — never a harness abort.
+
+use chopin_core::lbo::{Clock, LboAnalysis};
+use chopin_core::sweep::{SweepConfig, SweepResult};
+use chopin_faults::SupervisorPolicy;
+use chopin_harness::supervisor::{
+    Cell, CellOutcome, CellRunner, SuiteSupervisor, SuperviseError, SweepCellRunner,
+};
+use chopin_runtime::collector::CollectorKind;
+use chopin_workloads::{faults, suite, SizeClass, WorkloadProfile};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn temp_journal(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("chopin-resilience-{tag}-{}", std::process::id()))
+}
+
+fn small_config() -> SweepConfig {
+    SweepConfig {
+        collectors: vec![CollectorKind::G1, CollectorKind::Parallel],
+        heap_factors: vec![2.0, 3.0],
+        invocations: 1,
+        iterations: 1,
+        size: SizeClass::Default,
+    }
+}
+
+fn fast_policy() -> SupervisorPolicy {
+    SupervisorPolicy {
+        cell_deadline_ms: Some(60_000),
+        max_retries: 1,
+        backoff_base_ms: 1,
+        backoff_max_ms: 2,
+    }
+}
+
+/// The runbms CSV, rendered from supervised results.
+fn render_csv(results: &[SweepResult]) -> String {
+    let mut csv = String::from(
+        "benchmark,collector,heap_factor,wall_s,task_s,wall_distillable_s,task_distillable_s\n",
+    );
+    for result in results {
+        for s in &result.samples {
+            csv.push_str(&format!(
+                "{},{},{},{},{},{},{}\n",
+                result.benchmark,
+                s.collector,
+                s.heap_factor,
+                s.wall_s,
+                s.task_s,
+                s.wall_distillable_s,
+                s.task_distillable_s
+            ));
+        }
+    }
+    csv
+}
+
+/// Delegates to the real cell runner but panics persistently on one
+/// victim cell — the injected mid-suite kill.
+struct PanicOn {
+    inner: SweepCellRunner,
+    victim: (CollectorKind, f64),
+}
+
+impl CellRunner for PanicOn {
+    fn run_cell(
+        &self,
+        profile: &WorkloadProfile,
+        cell: &Cell,
+        config: &SweepConfig,
+    ) -> Result<CellOutcome, String> {
+        if cell.collector == self.victim.0 && cell.heap_factor == self.victim.1 {
+            panic!("injected mid-suite kill");
+        }
+        self.inner.run_cell(profile, cell, config)
+    }
+
+    fn fingerprint(&self) -> String {
+        // Same fingerprint as the clean runner: the kill simulates a crash
+        // of the same configuration, not a different experiment.
+        self.inner.fingerprint()
+    }
+}
+
+#[test]
+fn killed_then_resumed_suite_reproduces_the_uninterrupted_csv() {
+    let profiles = vec![suite::by_name("fop").expect("fop exists")];
+    let config = small_config();
+    let journal_path = temp_journal("resume");
+    let _ = std::fs::remove_file(&journal_path);
+
+    // The reference: one uninterrupted, unsupervised-journal run.
+    let uninterrupted = SuiteSupervisor::new(fast_policy())
+        .run(&profiles, &config)
+        .expect("setup is valid");
+    assert!(uninterrupted.is_clean());
+    let reference_csv = render_csv(&uninterrupted.results);
+
+    // First attempt: one cell dies by injected panic every attempt, so it
+    // is quarantined and — crucially — NOT journalled.
+    let first = SuiteSupervisor::new(fast_policy())
+        .with_runner(Arc::new(PanicOn {
+            inner: SweepCellRunner::new(),
+            victim: (CollectorKind::Parallel, 3.0),
+        }))
+        .with_journal(&journal_path)
+        .run(&profiles, &config)
+        .expect("setup is valid");
+    assert_eq!(first.quarantined.len(), 1, "{}", first.quarantine_summary());
+    assert_eq!(
+        first.metrics.counter("supervisor.cells.completed"),
+        3,
+        "the other cells completed and were journalled"
+    );
+
+    // Resume: journalled cells replay from disk, the quarantined cell is
+    // retried with the healthy runner and now completes.
+    let resumed = SuiteSupervisor::new(fast_policy())
+        .with_journal(&journal_path)
+        .resume(true)
+        .run(&profiles, &config)
+        .expect("journal fingerprint matches");
+    assert!(resumed.is_clean(), "{}", resumed.quarantine_summary());
+    assert_eq!(resumed.metrics.counter("supervisor.cells.resumed"), 3);
+
+    assert_eq!(
+        render_csv(&resumed.results),
+        reference_csv,
+        "resumed suite must be byte-identical to the uninterrupted run"
+    );
+    let _ = std::fs::remove_file(&journal_path);
+}
+
+#[test]
+fn resume_refuses_a_journal_from_a_different_configuration() {
+    let profiles = vec![suite::by_name("fop").expect("fop exists")];
+    let config = small_config();
+    let journal_path = temp_journal("mismatch");
+    let _ = std::fs::remove_file(&journal_path);
+
+    SuiteSupervisor::new(fast_policy())
+        .with_journal(&journal_path)
+        .run(&profiles, &config)
+        .expect("setup is valid");
+
+    let mut other = config.clone();
+    other.heap_factors = vec![2.0, 6.0];
+    let err = SuiteSupervisor::new(fast_policy())
+        .with_journal(&journal_path)
+        .resume(true)
+        .run(&profiles, &other)
+        .expect_err("a different grid must not resume from this journal");
+    assert!(
+        matches!(err, SuperviseError::JournalMismatch { .. }),
+        "{err}"
+    );
+    let _ = std::fs::remove_file(&journal_path);
+}
+
+#[test]
+fn every_collector_survives_chaos_with_invariants_intact() {
+    let profiles = vec![suite::by_name("fop").expect("fop exists")];
+    let config = SweepConfig {
+        collectors: CollectorKind::ALL.to_vec(),
+        heap_factors: vec![2.0, 4.0],
+        invocations: 1,
+        iterations: 2,
+        size: SizeClass::Default,
+    };
+    let plan = faults::preset("chaos", 42, faults::DEFAULT_HORIZON_NS).expect("chaos preset");
+
+    // Never a harness abort: run() only fails on setup.
+    let report = SuiteSupervisor::new(fast_policy())
+        .with_faults(plan)
+        .run(&profiles, &config)
+        .expect("setup is valid");
+
+    // Faults are injected engine-side deterministically, so no cell should
+    // panic or hang; duress shows up as samples or infeasibility.
+    assert!(report.is_clean(), "{}", report.quarantine_summary());
+    assert!(
+        !report.results[0].samples.is_empty(),
+        "chaos must not wipe out the whole grid"
+    );
+
+    for s in &report.results[0].samples {
+        for v in [
+            s.wall_s,
+            s.task_s,
+            s.wall_distillable_s,
+            s.task_distillable_s,
+        ] {
+            assert!(v.is_finite() && v > 0.0, "times stay physical: {s:?}");
+        }
+        assert!(
+            s.wall_distillable_s <= s.wall_s + 1e-12 && s.task_distillable_s <= s.task_s + 1e-12,
+            "distillable time cannot exceed total time: {s:?}"
+        );
+    }
+
+    for clock in [Clock::Wall, Clock::Task] {
+        let lbo = LboAnalysis::compute(&report.results[0].samples, clock).expect("analysis");
+        for &collector in &config.collectors {
+            let Some(curve) = lbo.curve(collector) else {
+                continue;
+            };
+            for point in curve {
+                assert!(
+                    point.overhead.mean() >= 1.0 - 1e-9,
+                    "LBO stays >= 1 under duress: {collector} at {:.2}x -> {}",
+                    point.heap_factor,
+                    point.overhead.mean()
+                );
+            }
+        }
+    }
+}

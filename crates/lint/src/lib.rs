@@ -26,6 +26,9 @@
 //! * **R5xx** — suite-registry invariants ([`rules::registry`]).
 //! * **R6xx** — observability configuration: export paths, event-ring
 //!   capacity, pause-histogram bounds ([`rules::obs`]).
+//! * **R7xx** — fault-injection validity: seeded plans, bounded
+//!   magnitudes, in-horizon windows, sane supervisor budgets
+//!   ([`rules::faults`]).
 //!
 //! # Examples
 //!
@@ -43,6 +46,7 @@ pub mod rules;
 
 pub use diagnostic::{Diagnostic, LintReport, Severity};
 pub use rules::config::{lint_collector_model, lint_collector_models, lint_sweep_config};
+pub use rules::faults::{lint_fault_plan, lint_supervisor_policy};
 pub use rules::methodology::{lint_lbo_grid, lint_percentiles, lint_smoothing};
 pub use rules::nominal::lint_score_table;
 pub use rules::obs::lint_obs_config;
@@ -98,6 +102,18 @@ pub fn lint_suite() -> LintReport {
     diagnostics.extend(rules::obs::lint_obs_config(
         "default",
         &chopin_obs::ObsConfig::default(),
+    ));
+
+    // R7: every shipped fault preset and the default supervisor policy.
+    let horizon = chopin_workloads::faults::DEFAULT_HORIZON_NS;
+    for name in chopin_workloads::faults::PRESET_NAMES {
+        if let Some(plan) = chopin_workloads::faults::preset(name, 1, horizon) {
+            diagnostics.extend(rules::faults::lint_fault_plan(name, &plan, Some(horizon)));
+        }
+    }
+    diagnostics.extend(rules::faults::lint_supervisor_policy(
+        "default",
+        &chopin_faults::SupervisorPolicy::default(),
     ));
 
     LintReport::new(diagnostics)

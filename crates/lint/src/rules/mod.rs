@@ -1,4 +1,4 @@
-//! The rule catalogue, grouped into six families:
+//! The rule catalogue, grouped into seven families:
 //!
 //! * **R1xx** ([`nominal`]) — nominal-statistic completeness and ranges.
 //! * **R2xx** ([`spec`]) — cross-field workload-spec consistency.
@@ -6,8 +6,10 @@
 //! * **R4xx** ([`methodology`]) — latency/LBO methodology sanity.
 //! * **R5xx** ([`registry`]) — suite-registry invariants.
 //! * **R6xx** ([`obs`]) — observability-configuration validity.
+//! * **R7xx** ([`faults`]) — fault-plan and supervisor-policy validity.
 
 pub mod config;
+pub mod faults;
 pub mod methodology;
 pub mod nominal;
 pub mod obs;
@@ -30,7 +32,7 @@ pub struct RuleDef {
 /// Every rule the linter implements, in id order. Rendered by
 /// `artifact lint --rules` and kept in sync with the rule modules by the
 /// crate's tests.
-pub const RULES: [RuleDef; 27] = [
+pub const RULES: [RuleDef; 31] = [
     RuleDef {
         id: "R101",
         severity: Severity::Error,
@@ -165,6 +167,26 @@ pub const RULES: [RuleDef; 27] = [
         id: "R603",
         severity: Severity::Error,
         summary: "pause-histogram bucket bounds are positive and strictly increasing",
+    },
+    RuleDef {
+        id: "R701",
+        severity: Severity::Error,
+        summary: "non-empty fault plans carry a non-zero seed (reproducible chaos)",
+    },
+    RuleDef {
+        id: "R702",
+        severity: Severity::Error,
+        summary: "fault magnitudes are finite and within their documented ranges",
+    },
+    RuleDef {
+        id: "R703",
+        severity: Severity::Error,
+        summary: "fault windows have positive duration, lie within the run horizon and stay under the window cap",
+    },
+    RuleDef {
+        id: "R704",
+        severity: Severity::Error,
+        summary: "supervisor retry/backoff/deadline budgets are positive and bounded",
     },
 ];
 

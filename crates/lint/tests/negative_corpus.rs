@@ -10,6 +10,7 @@
 use chopin_core::nominal::dataset::{NominalRow, RowProvenance, METRIC_COUNT};
 use chopin_core::nominal::score::ScoredMetric;
 use chopin_core::sweep::SweepConfig;
+use chopin_faults::{FaultKind, FaultPlan, SupervisorPolicy};
 use chopin_lint::{Diagnostic, Severity};
 use chopin_obs::ObsConfig;
 use chopin_runtime::collector::CollectorKind;
@@ -275,12 +276,74 @@ fn r603_non_monotone_histogram_bounds() {
 }
 
 #[test]
+fn r701_unseeded_fault_plan() {
+    let plan = FaultPlan::new(0).with_window(0, 1_000, FaultKind::ForceDegenerate);
+    let diags = chopin_lint::lint_fault_plan("broken", &plan, None);
+    assert_eq!(ids(&diags), vec!["R701"], "{diags:?}");
+}
+
+#[test]
+fn r702_non_finite_spike_factor() {
+    let plan = FaultPlan::new(1).with_window(
+        0,
+        1_000,
+        FaultKind::AllocSpike {
+            factor: f64::INFINITY,
+        },
+    );
+    let diags = chopin_lint::lint_fault_plan("broken", &plan, None);
+    assert_eq!(ids(&diags), vec!["R702"], "{diags:?}");
+}
+
+#[test]
+fn r702_squeeze_fraction_of_one() {
+    let plan = FaultPlan::new(1).with_window(0, 1_000, FaultKind::HeapSqueeze { fraction: 1.0 });
+    let diags = chopin_lint::lint_fault_plan("broken", &plan, None);
+    assert_eq!(ids(&diags), vec!["R702"], "{diags:?}");
+}
+
+#[test]
+fn r703_window_beyond_the_horizon() {
+    let plan = FaultPlan::new(1).with_window(0, 2_000, FaultKind::ForceDegenerate);
+    let diags = chopin_lint::lint_fault_plan("broken", &plan, Some(1_000));
+    assert_eq!(ids(&diags), vec!["R703"], "{diags:?}");
+}
+
+#[test]
+fn r703_inverted_window() {
+    let plan = FaultPlan::new(1).with_window(500, 100, FaultKind::ForceDegenerate);
+    let diags = chopin_lint::lint_fault_plan("broken", &plan, None);
+    assert_eq!(ids(&diags), vec!["R703"], "{diags:?}");
+}
+
+#[test]
+fn r704_zero_backoff_base() {
+    let policy = SupervisorPolicy {
+        backoff_base_ms: 0,
+        ..SupervisorPolicy::default()
+    };
+    let diags = chopin_lint::lint_supervisor_policy("broken", &policy);
+    assert_eq!(ids(&diags), vec!["R704"], "{diags:?}");
+}
+
+#[test]
+fn r704_inverted_backoff_bounds() {
+    let policy = SupervisorPolicy {
+        backoff_base_ms: 500,
+        backoff_max_ms: 100,
+        ..SupervisorPolicy::default()
+    };
+    let diags = chopin_lint::lint_supervisor_policy("broken", &policy);
+    assert_eq!(ids(&diags), vec!["R704"], "{diags:?}");
+}
+
+#[test]
 fn every_fired_rule_is_in_the_catalogue() {
     // Cross-check: each id asserted above resolves in the catalogue.
     for id in [
         "R101", "R102", "R103", "R104", "R202", "R203", "R204", "R205", "R206", "R301", "R302",
         "R303", "R304", "R402", "R403", "R404", "R501", "R502", "R503", "R505", "R601", "R602",
-        "R603",
+        "R603", "R701", "R702", "R703", "R704",
     ] {
         assert!(
             chopin_lint::rules::rule(id).is_some(),

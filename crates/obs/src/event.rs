@@ -70,6 +70,66 @@ impl PauseKind {
     }
 }
 
+/// The kind of injected fault (the observer-side mirror of the fault
+/// plane's `FaultKind`, without magnitudes — those travel on the event).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Allocation-rate spike.
+    AllocSpike,
+    /// Transient heap-capacity squeeze.
+    HeapSqueeze,
+    /// GC-thread slowdown.
+    GcSlowdown,
+    /// Scheduled pacing-stall storm.
+    StallStorm,
+    /// Forced degenerate collections.
+    ForceDegenerate,
+}
+
+impl FaultKind {
+    /// Every kind, in bit order (matches the fault plane's mask layout).
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::AllocSpike,
+        FaultKind::HeapSqueeze,
+        FaultKind::GcSlowdown,
+        FaultKind::StallStorm,
+        FaultKind::ForceDegenerate,
+    ];
+
+    /// Stable lower-snake label used in exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::AllocSpike => "alloc_spike",
+            FaultKind::HeapSqueeze => "heap_squeeze",
+            FaultKind::GcSlowdown => "gc_slowdown",
+            FaultKind::StallStorm => "stall_storm",
+            FaultKind::ForceDegenerate => "force_degenerate",
+        }
+    }
+
+    /// Span name used on the fault trace track.
+    pub fn span_name(self) -> &'static str {
+        match self {
+            FaultKind::AllocSpike => "Fault: Alloc Spike",
+            FaultKind::HeapSqueeze => "Fault: Heap Squeeze",
+            FaultKind::GcSlowdown => "Fault: GC Slowdown",
+            FaultKind::StallStorm => "Fault: Stall Storm",
+            FaultKind::ForceDegenerate => "Fault: Forced Degenerate",
+        }
+    }
+
+    /// The kind's position in per-kind bookkeeping arrays.
+    pub fn index(self) -> usize {
+        match self {
+            FaultKind::AllocSpike => 0,
+            FaultKind::HeapSqueeze => 1,
+            FaultKind::GcSlowdown => 2,
+            FaultKind::StallStorm => 3,
+            FaultKind::ForceDegenerate => 4,
+        }
+    }
+}
+
 /// One engine transition. All timestamps are simulated nanoseconds since
 /// the start of the run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -173,6 +233,25 @@ pub enum Event {
         /// Heap capacity in bytes.
         capacity_bytes: f64,
     },
+    /// An injected fault window opened (fault plane).
+    FaultOnset {
+        /// Onset time.
+        at: u64,
+        /// The kind of fault that engaged.
+        kind: FaultKind,
+        /// The fault's magnitude (combined over overlapping windows):
+        /// spike/slowdown factor, squeeze capacity fraction remaining, or
+        /// stall throttle cap; 1.0 for forced-degenerate.
+        magnitude: f64,
+    },
+    /// An injected fault window closed.
+    FaultClear {
+        /// Clear time.
+        at: u64,
+        /// The kind of fault that cleared (matches the preceding
+        /// `FaultOnset`).
+        kind: FaultKind,
+    },
 }
 
 impl Event {
@@ -190,7 +269,9 @@ impl Event {
             | Event::ThrottleRelease { at }
             | Event::BatchFastForward { at, .. }
             | Event::FutileCollection { at, .. }
-            | Event::OomDeclared { at, .. } => at,
+            | Event::OomDeclared { at, .. }
+            | Event::FaultOnset { at, .. }
+            | Event::FaultClear { at, .. } => at,
         }
     }
 
@@ -209,6 +290,8 @@ impl Event {
             Event::BatchFastForward { .. } => "batch_fast_forward",
             Event::FutileCollection { .. } => "futile_collection",
             Event::OomDeclared { .. } => "oom_declared",
+            Event::FaultOnset { .. } => "fault_onset",
+            Event::FaultClear { .. } => "fault_clear",
         }
     }
 }
@@ -241,5 +324,31 @@ mod tests {
             Event::ThrottleRelease { at: 0 }.type_label(),
             "throttle_release"
         );
+        assert_eq!(FaultKind::StallStorm.label(), "stall_storm");
+        assert_eq!(FaultKind::HeapSqueeze.span_name(), "Fault: Heap Squeeze");
+    }
+
+    #[test]
+    fn fault_events_carry_timestamps_and_labels() {
+        let onset = Event::FaultOnset {
+            at: 42,
+            kind: FaultKind::AllocSpike,
+            magnitude: 4.0,
+        };
+        assert_eq!(onset.at(), 42);
+        assert_eq!(onset.type_label(), "fault_onset");
+        let clear = Event::FaultClear {
+            at: 99,
+            kind: FaultKind::AllocSpike,
+        };
+        assert_eq!(clear.at(), 99);
+        assert_eq!(clear.type_label(), "fault_clear");
+    }
+
+    #[test]
+    fn fault_kind_indices_match_bit_order() {
+        for (i, kind) in FaultKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
     }
 }

@@ -47,7 +47,7 @@ pub mod recorder;
 pub mod trace;
 
 pub use config::ObsConfig;
-pub use event::{Event, PauseKind, TriggerReason};
+pub use event::{Event, FaultKind, PauseKind, TriggerReason};
 pub use json::{validate_chrome_trace, JsonValue, TraceStats};
 pub use metrics::{
     default_pause_bounds, format_ns, LogHistogram, MetricsObserver, MetricsRegistry,

@@ -347,6 +347,8 @@ pub struct MetricsObserver {
     open_pause: Option<u64>,
     open_concurrent: Option<u64>,
     open_throttle: Option<u64>,
+    // Onset time of each open fault window, indexed by FaultKind::index().
+    open_faults: [Option<u64>; 5],
 }
 
 impl MetricsObserver {
@@ -412,6 +414,16 @@ impl Observer for MetricsObserver {
             }
             Event::FutileCollection { .. } => m.inc("gc.futile", 1),
             Event::OomDeclared { .. } => m.inc("engine.oom", 1),
+            Event::FaultOnset { at, kind, .. } => {
+                m.inc("faults.injected", 1);
+                m.inc(&format!("faults.injected.{}", kind.label()), 1);
+                self.open_faults[kind.index()] = Some(at);
+            }
+            Event::FaultClear { at, kind } => {
+                if let Some(begin) = self.open_faults[kind.index()].take() {
+                    m.observe("fault_window_ns", at.saturating_sub(begin));
+                }
+            }
         }
     }
 }
@@ -512,6 +524,37 @@ mod tests {
         assert_eq!(h.count(), 6);
         assert_eq!(h.sum(), 2_000 + 5 * 400);
         assert_eq!(h.max(), 2_000);
+    }
+
+    #[test]
+    fn metrics_observer_counts_fault_windows() {
+        use crate::event::FaultKind;
+        let mut obs = MetricsObserver::new();
+        obs.record(Event::FaultOnset {
+            at: 1_000,
+            kind: FaultKind::AllocSpike,
+            magnitude: 4.0,
+        });
+        obs.record(Event::FaultOnset {
+            at: 2_000,
+            kind: FaultKind::StallStorm,
+            magnitude: 0.1,
+        });
+        obs.record(Event::FaultClear {
+            at: 5_000,
+            kind: FaultKind::AllocSpike,
+        });
+        obs.record(Event::FaultClear {
+            at: 9_000,
+            kind: FaultKind::StallStorm,
+        });
+        let m = obs.registry();
+        assert_eq!(m.counter("faults.injected"), 2);
+        assert_eq!(m.counter("faults.injected.alloc_spike"), 1);
+        assert_eq!(m.counter("faults.injected.stall_storm"), 1);
+        let h = m.get_histogram("fault_window_ns").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 4_000 + 7_000);
     }
 
     #[test]

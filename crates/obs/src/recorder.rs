@@ -173,6 +173,15 @@ pub fn event_json(event: &Event) -> String {
             fields.push(("live_bytes".into(), json_num(live_bytes)));
             fields.push(("capacity_bytes".into(), json_num(capacity_bytes)));
         }
+        Event::FaultOnset {
+            kind, magnitude, ..
+        } => {
+            fields.push(("kind".into(), json_str(kind.label())));
+            fields.push(("magnitude".into(), json_num(magnitude)));
+        }
+        Event::FaultClear { kind, .. } => {
+            fields.push(("kind".into(), json_str(kind.label())));
+        }
     }
     let body: Vec<String> = fields
         .into_iter()
@@ -255,6 +264,26 @@ mod tests {
         for line in lines {
             crate::json::parse(line).expect("every JSONL line parses");
         }
+    }
+
+    #[test]
+    fn fault_events_render_kind_and_magnitude() {
+        use crate::event::FaultKind;
+        let onset = event_json(&Event::FaultOnset {
+            at: 10,
+            kind: FaultKind::GcSlowdown,
+            magnitude: 8.0,
+        });
+        assert!(onset.contains("\"type\":\"fault_onset\""), "{onset}");
+        assert!(onset.contains("\"kind\":\"gc_slowdown\""), "{onset}");
+        assert!(onset.contains("\"magnitude\":8.0"), "{onset}");
+        let clear = event_json(&Event::FaultClear {
+            at: 20,
+            kind: FaultKind::GcSlowdown,
+        });
+        assert!(clear.contains("\"type\":\"fault_clear\""), "{clear}");
+        crate::json::parse(&onset).expect("onset parses");
+        crate::json::parse(&clear).expect("clear parses");
     }
 
     #[test]

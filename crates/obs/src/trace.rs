@@ -22,6 +22,12 @@ pub const TID_GC_CONCURRENT: u32 = 3;
 pub const TID_PACING: u32 = 4;
 /// Track id for engine decision instants (triggers, futile streaks, OOM).
 pub const TID_ENGINE: u32 = 5;
+/// Base track id for injected fault windows. Each fault kind gets its own
+/// track at `TID_FAULTS + kind.index()` so overlapping windows of
+/// different kinds render as independent spans (Chrome `B`/`E` pairs must
+/// nest within a track, and fault windows can close in any order). The
+/// tracks are named lazily, so traces of clean runs are unchanged.
+pub const TID_FAULTS: u32 = 6;
 
 const PID: u32 = 1;
 
@@ -271,9 +277,26 @@ impl ChromeTrace {
                         ("capacity_bytes", capacity_bytes),
                     ],
                 ),
+                Event::FaultOnset { at, kind, .. } => {
+                    let tid = trace.fault_track(kind);
+                    trace.begin(tid, kind.span_name(), us(at));
+                }
+                Event::FaultClear { at, kind } => {
+                    let tid = trace.fault_track(kind);
+                    trace.end(tid, us(at));
+                }
             }
         }
         trace
+    }
+
+    /// The per-kind fault track, naming it on first use.
+    fn fault_track(&mut self, kind: crate::event::FaultKind) -> u32 {
+        let tid = TID_FAULTS + kind.index() as u32;
+        if !self.thread_names.contains_key(&tid) {
+            self.thread_name(tid, &format!("faults:{}", kind.label()));
+        }
+        tid
     }
 }
 
@@ -408,6 +431,49 @@ mod tests {
             .get("gc-stw")
             .unwrap()
             .contains(&"Pause Init/Final Mark".to_string()));
+    }
+
+    #[test]
+    fn fault_windows_render_on_per_kind_tracks() {
+        use crate::event::FaultKind;
+        // Overlapping windows of different kinds that close in non-LIFO
+        // order: per-kind tracks keep the B/E pairs matched.
+        let events = vec![
+            Event::FaultOnset {
+                at: 0,
+                kind: FaultKind::AllocSpike,
+                magnitude: 4.0,
+            },
+            Event::FaultOnset {
+                at: 500,
+                kind: FaultKind::StallStorm,
+                magnitude: 0.2,
+            },
+            Event::FaultClear {
+                at: 1_000,
+                kind: FaultKind::AllocSpike,
+            },
+            Event::FaultClear {
+                at: 2_000,
+                kind: FaultKind::StallStorm,
+            },
+        ];
+        let trace = ChromeTrace::from_events(&events);
+        let stats = validate_chrome_trace(&trace.to_json()).unwrap();
+        assert_eq!(stats.spans_on("faults:alloc_spike"), 1);
+        assert_eq!(stats.spans_on("faults:stall_storm"), 1);
+        assert!(stats
+            .span_names_by_track
+            .get("faults:alloc_spike")
+            .unwrap()
+            .contains(&"Fault: Alloc Spike".to_string()));
+    }
+
+    #[test]
+    fn clean_traces_omit_fault_tracks() {
+        let events = vec![Event::SliceBegin { at: 0 }];
+        let json = ChromeTrace::from_events(&events).to_json();
+        assert!(!json.contains("faults:"), "{json}");
     }
 
     #[test]

@@ -135,11 +135,17 @@ pub fn plan_cycle(
     } else {
         // Single-generation concurrent collector: every cycle traces the
         // entire live set (this is the architectural root of the high
-        // overheads Figure 1 shows for the newest collectors).
+        // overheads Figure 1 shows for the newest collectors). A degenerate
+        // request abandons concurrency and does the whole cycle
+        // stop-the-world (Shenandoah's "Degenerated GC").
         (
             input.live_bytes + survivors,
             (input.live_bytes + survivors) * model.evac_share,
-            CollectionKind::Concurrent,
+            if request == CollectionRequest::Degenerate {
+                CollectionKind::Degenerate
+            } else {
+                CollectionKind::Concurrent
+            },
         )
     };
 

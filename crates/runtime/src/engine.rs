@@ -34,8 +34,10 @@ use crate::heap::HeapState;
 use crate::progress::ProgressTrace;
 use crate::result::{RunError, RunResult};
 use crate::spec::MutatorSpec;
-use crate::telemetry::{PauseRecord, Telemetry, ThrottleInterval};
+use crate::telemetry::{FaultInterval, PauseRecord, Telemetry, ThrottleInterval};
 use crate::time::{SimDuration, SimTime};
+use chopin_faults::{FaultClock, FaultPlan, FaultSample, NoFaults, ScheduledFaults};
+use chopin_obs::FaultKind as ObsFaultKind;
 use chopin_obs::{Event, NoopObserver, Observer, PauseKind, TriggerReason};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -148,11 +150,85 @@ pub fn run_with_observer<O: Observer>(
     config: &RunConfig,
     observer: &mut O,
 ) -> Result<RunResult, RunError> {
+    run_with_observer_and_faults(spec, config, observer, NoFaults)
+}
+
+/// Run one iteration of `spec` under `config` with the fault windows of
+/// `plan` injected at their scheduled simulated times.
+///
+/// Fault-injected runs are exactly as deterministic as clean ones: the
+/// plan is pure data and the engine transitions windows at exact simulated
+/// times, so the same plan yields bit-identical results. The plan should
+/// already be validated ([`FaultPlan::validate`]); malformed windows are
+/// simply never active.
+///
+/// # Errors
+///
+/// Same as [`run`] — note that a harsh enough plan can legitimately drive
+/// a run into [`RunError::OutOfMemory`] or [`RunError::GcThrash`]; that is
+/// the point of injecting faults.
+///
+/// # Examples
+///
+/// ```
+/// use chopin_faults::{FaultKind, FaultPlan};
+/// use chopin_runtime::engine::{run, run_with_faults};
+/// use chopin_runtime::spec::MutatorSpec;
+/// use chopin_runtime::config::RunConfig;
+/// use chopin_runtime::collector::CollectorKind;
+/// use chopin_runtime::time::SimDuration;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let spec = MutatorSpec::builder("demo")
+///     .threads(4)
+///     .total_work(SimDuration::from_millis(50))
+///     .total_allocation(256 << 20)
+///     .live_range(8 << 20, 16 << 20)
+///     .build()?;
+/// let config = RunConfig::new(64 << 20, CollectorKind::G1).with_noise(0.0);
+/// let clean = run(&spec, &config)?;
+/// let plan = FaultPlan::new(7).with_window(
+///     1_000_000,
+///     20_000_000,
+///     FaultKind::AllocSpike { factor: 3.0 },
+/// );
+/// let faulted = run_with_faults(&spec, &config, &plan)?;
+/// assert!(faulted.telemetry().faults_injected > 0);
+/// assert!(faulted.telemetry().gc_count > clean.telemetry().gc_count);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_with_faults(
+    spec: &MutatorSpec,
+    config: &RunConfig,
+    plan: &FaultPlan,
+) -> Result<RunResult, RunError> {
+    run_with_observer_and_faults(spec, config, &mut NoopObserver, ScheduledFaults::new(plan))
+}
+
+/// Run one iteration of `spec` under `config` with both an observer and a
+/// fault clock attached — the fully general entry point that [`run`],
+/// [`run_with_observer`] and [`run_with_faults`] specialise.
+///
+/// The engine is monomorphised over both hooks: [`NoFaults`] advertises
+/// `NOOP = true` and every fault branch is guarded by that constant, so
+/// the no-fault instantiations compile to the pre-fault engine and stay
+/// bit-identical (asserted by the `fault_determinism` integration tests).
+///
+/// # Errors
+///
+/// Same as [`run_with_faults`].
+pub fn run_with_observer_and_faults<O: Observer, F: FaultClock>(
+    spec: &MutatorSpec,
+    config: &RunConfig,
+    observer: &mut O,
+    faults: F,
+) -> Result<RunResult, RunError> {
     let config = config
         .clone()
         .validated()
         .map_err(|e| RunError::InvalidConfig(e.to_string()))?;
-    Engine::new(spec, &config, observer).run()
+    Engine::new(spec, &config, observer, faults).run()
 }
 
 /// The observer-side pause kind for a collection.
@@ -182,11 +258,12 @@ struct ActiveCycle {
     alloc_at_trigger: f64,
 }
 
-struct Engine<'a, O: Observer> {
+struct Engine<'a, O: Observer, F: FaultClock> {
     spec: &'a MutatorSpec,
     config: RunConfig,
     model: CollectorModel,
     obs: &'a mut O,
+    faults: F,
 
     now: SimTime,
     progress: f64,
@@ -215,10 +292,16 @@ struct Engine<'a, O: Observer> {
     batching: bool,
     /// Open pacing interval: (onset time, harshest throttle so far).
     throttle_open: Option<(SimTime, f64)>,
+    /// The fault sample taken at the top of the current slice (IDENTITY
+    /// when the fault clock is [`NoFaults`]).
+    fault_now: FaultSample,
+    /// Open fault intervals: (onset time, harshest magnitude so far),
+    /// indexed by fault-kind bit position.
+    open_faults: [Option<(SimTime, f64)>; 5],
 }
 
-impl<'a, O: Observer> Engine<'a, O> {
-    fn new(spec: &'a MutatorSpec, config: &RunConfig, obs: &'a mut O) -> Self {
+impl<'a, O: Observer, F: FaultClock> Engine<'a, O, F> {
+    fn new(spec: &'a MutatorSpec, config: &RunConfig, obs: &'a mut O, faults: F) -> Self {
         let model = config
             .collector_model_override()
             .cloned()
@@ -279,6 +362,7 @@ impl<'a, O: Observer> Engine<'a, O> {
             config: config.clone(),
             model,
             obs,
+            faults,
             now: SimTime::ZERO,
             progress: 0.0,
             total_work,
@@ -294,8 +378,100 @@ impl<'a, O: Observer> Engine<'a, O> {
             futile_streak: 0,
             slices: 0,
             heap_trace_stride: 1,
-            batching: est_cycles > BATCH_THRESHOLD_CYCLES,
+            // Faults break the identical-cycles premise of the batching
+            // fast-forward, so batching only arms on the no-fault path.
+            batching: est_cycles > BATCH_THRESHOLD_CYCLES && F::NOOP,
             throttle_open: None,
+            fault_now: FaultSample::IDENTITY,
+            open_faults: [None; 5],
+        }
+    }
+
+    /// The per-kind magnitude an event/interval reports for `kind` under
+    /// the combined sample `fs`.
+    fn fault_magnitude(kind: ObsFaultKind, fs: &FaultSample) -> f64 {
+        match kind {
+            ObsFaultKind::AllocSpike => fs.alloc_factor,
+            ObsFaultKind::HeapSqueeze => fs.capacity_factor,
+            ObsFaultKind::GcSlowdown => 1.0 / fs.gc_speed_factor,
+            ObsFaultKind::StallStorm => fs.throttle_cap,
+            ObsFaultKind::ForceDegenerate => 1.0,
+        }
+    }
+
+    /// Open, extend or close per-kind fault intervals against the slice's
+    /// sample, emitting onset/clear events and recording telemetry. Driven
+    /// purely by the sampled fault state, so fault-injected runs stay
+    /// deterministic. Only called when the fault clock is live.
+    fn note_faults(&mut self, fs: &FaultSample) {
+        for kind in ObsFaultKind::ALL {
+            let i = kind.index();
+            let active = fs.active_mask & (1u8 << i) != 0;
+            match (self.open_faults[i], active) {
+                (None, true) => {
+                    let magnitude = Self::fault_magnitude(kind, fs);
+                    self.obs.record(Event::FaultOnset {
+                        at: self.now.as_nanos(),
+                        kind,
+                        magnitude,
+                    });
+                    self.open_faults[i] = Some((self.now, magnitude));
+                }
+                (Some((start, harshest)), true) => {
+                    let magnitude = Self::fault_magnitude(kind, fs);
+                    // Harsher = larger for spikes/slowdowns, smaller for
+                    // the capacity and throttle caps.
+                    let harsher = match kind {
+                        ObsFaultKind::AllocSpike | ObsFaultKind::GcSlowdown => {
+                            harshest.max(magnitude)
+                        }
+                        ObsFaultKind::HeapSqueeze | ObsFaultKind::StallStorm => {
+                            harshest.min(magnitude)
+                        }
+                        ObsFaultKind::ForceDegenerate => 1.0,
+                    };
+                    self.open_faults[i] = Some((start, harsher));
+                }
+                (Some(open), false) => self.close_fault_interval(kind, open),
+                (None, false) => {}
+            }
+        }
+    }
+
+    /// Close one fault interval: emit the clear event and record the
+    /// telemetry interval with the harshest magnitude seen.
+    fn close_fault_interval(&mut self, kind: ObsFaultKind, (start, harshest): (SimTime, f64)) {
+        self.open_faults[kind.index()] = None;
+        self.obs.record(Event::FaultClear {
+            at: self.now.as_nanos(),
+            kind,
+        });
+        let fault_kind = match kind {
+            ObsFaultKind::AllocSpike => chopin_faults::FaultKind::AllocSpike { factor: harshest },
+            ObsFaultKind::HeapSqueeze => chopin_faults::FaultKind::HeapSqueeze {
+                fraction: 1.0 - harshest,
+            },
+            ObsFaultKind::GcSlowdown => chopin_faults::FaultKind::GcSlowdown { factor: harshest },
+            ObsFaultKind::StallStorm => chopin_faults::FaultKind::StallStorm { throttle: harshest },
+            ObsFaultKind::ForceDegenerate => chopin_faults::FaultKind::ForceDegenerate,
+        };
+        self.telemetry.record_fault_interval(FaultInterval {
+            start,
+            duration: self.now.saturating_since(start),
+            kind: fault_kind,
+        });
+    }
+
+    /// Close every fault interval still open (the run ended inside a
+    /// window).
+    fn close_all_fault_intervals(&mut self) {
+        if F::NOOP {
+            return;
+        }
+        for kind in ObsFaultKind::ALL {
+            if let Some(open) = self.open_faults[kind.index()] {
+                self.close_fault_interval(kind, open);
+            }
         }
     }
 
@@ -399,6 +575,45 @@ impl<'a, O: Observer> Engine<'a, O> {
                 });
             }
 
+            // --- Sample the fault plane -----------------------------------
+            // Every use below is guarded by `F::NOOP`, so the no-fault
+            // instantiation monomorphises to the pre-fault engine and its
+            // results stay bit-identical.
+            let fs = if F::NOOP {
+                FaultSample::IDENTITY
+            } else {
+                self.faults.sample(self.now.as_nanos())
+            };
+            if !F::NOOP {
+                self.note_faults(&fs);
+                self.fault_now = fs;
+            }
+            let alloc_intensity_eff = if F::NOOP {
+                self.alloc_intensity
+            } else {
+                self.alloc_intensity * fs.alloc_factor
+            };
+            let gc_speed_eff = if F::NOOP {
+                gc_speed
+            } else {
+                gc_speed * fs.gc_speed_factor
+            };
+            let capacity_eff = if F::NOOP {
+                capacity
+            } else {
+                capacity * fs.capacity_factor
+            };
+            let trigger_point_eff = if F::NOOP {
+                trigger_point
+            } else {
+                trigger_point * fs.capacity_factor
+            };
+            let free_eff = if F::NOOP {
+                self.heap.free()
+            } else {
+                (capacity_eff - self.heap.occupied()).max(0.0)
+            };
+
             // --- Rates for this slice -------------------------------------
             let gc_active = self.cycle.is_some() || self.backlog > 0.0;
             let gc_cpus = if gc_active { conc_threads } else { 0.0 };
@@ -406,8 +621,8 @@ impl<'a, O: Observer> Engine<'a, O> {
             let m_cpus = eff_cpus.min(avail);
             let unthrottled_progress_rate = m_cpus * speed * (1.0 - tax);
             let unthrottled_alloc_heap_rate =
-                unthrottled_progress_rate * self.alloc_intensity * inflation;
-            let gc_rate = gc_cpus * gc_speed * self.model.gc_parallel_efficiency;
+                unthrottled_progress_rate * alloc_intensity_eff * inflation;
+            let gc_rate = gc_cpus * gc_speed_eff * self.model.gc_parallel_efficiency;
 
             // Shenandoah/ZGC pacing: slow the mutator so allocation fits in
             // the remaining headroom until the cycle completes.
@@ -416,15 +631,28 @@ impl<'a, O: Observer> Engine<'a, O> {
                 if self.model.exhaustion == ExhaustionPolicy::ThrottleAllocation && gc_rate > 0.0 {
                     let remaining_wall = cycle.work_remaining / gc_rate;
                     let projected = unthrottled_alloc_heap_rate * remaining_wall;
-                    let free = self.heap.free();
+                    let free = free_eff;
                     if projected > free * 0.9 {
                         throttle = ((free * 0.9) / projected).clamp(THROTTLE_FLOOR, 1.0);
-                        if free < capacity * 0.002 {
+                        if free < capacity_eff * 0.002 {
                             // Hard allocation stall.
                             throttle = 0.0;
                         }
                     }
                 }
+            }
+            if !F::NOOP {
+                // A stall storm caps the throttle for the window's span.
+                // With a boundary ahead the slice is bounded there, so even
+                // a full stall rides through and the clock keeps advancing;
+                // with none (defensive — an active window always schedules
+                // its close) the floor prevents an infinite stall.
+                let cap = if fs.next_change_ns == u64::MAX {
+                    fs.throttle_cap.max(THROTTLE_FLOOR)
+                } else {
+                    fs.throttle_cap
+                };
+                throttle = throttle.min(cap);
             }
 
             let progress_rate = unthrottled_progress_rate * throttle;
@@ -443,7 +671,8 @@ impl<'a, O: Observer> Engine<'a, O> {
 
             // GC trigger (only when no cycle is already running).
             if self.cycle.is_none() && alloc_heap_rate > 0.0 {
-                let to_trigger = (trigger_point - self.heap.occupied()).max(0.0) / alloc_heap_rate;
+                let to_trigger =
+                    (trigger_point_eff - self.heap.occupied()).max(0.0) / alloc_heap_rate;
                 if to_trigger <= dt {
                     dt = to_trigger;
                     fire_trigger = true;
@@ -466,7 +695,7 @@ impl<'a, O: Observer> Engine<'a, O> {
             // slice while a cycle is in flight so pacing stays responsive.
             if self.cycle.is_some() {
                 if alloc_heap_rate > 0.0 {
-                    let to_full = self.heap.free() / alloc_heap_rate;
+                    let to_full = free_eff / alloc_heap_rate;
                     if to_full < dt {
                         dt = to_full;
                         fire_trigger = false;
@@ -476,6 +705,19 @@ impl<'a, O: Observer> Engine<'a, O> {
                 let cap = 2e6; // 2ms responsiveness bound
                 if dt > cap {
                     dt = cap;
+                    fire_trigger = false;
+                    fire_completion = false;
+                }
+            }
+
+            // Bound the slice at the next fault boundary so windows open
+            // and close at exact simulated times (this is what keeps
+            // fault-injected runs deterministic, and what lets a hard
+            // stall storm ride through to its scheduled end).
+            if !F::NOOP && fs.next_change_ns != u64::MAX {
+                let to_boundary = (fs.next_change_ns - self.now.as_nanos()) as f64;
+                if to_boundary < dt {
+                    dt = to_boundary;
                     fire_trigger = false;
                     fire_completion = false;
                 }
@@ -504,7 +746,7 @@ impl<'a, O: Observer> Engine<'a, O> {
                 // grows linearly within a slice).
                 let occ0 = self.heap.occupied();
                 self.heap
-                    .allocate(progress_rate * span * self.alloc_intensity);
+                    .allocate(progress_rate * span * alloc_intensity_eff);
                 let occ1 = self.heap.occupied();
                 self.telemetry.heap_byte_seconds += (occ0 + occ1) / 2.0 * span / 1e9;
                 self.telemetry.mutator_cpu_ns += cpu_burn_rate * span;
@@ -544,12 +786,21 @@ impl<'a, O: Observer> Engine<'a, O> {
             }
 
             if fire_trigger && self.cycle.is_none() {
-                self.handle_trigger(hw, gc_speed, threads, inflation, trigger_point, capacity)?;
+                self.handle_trigger(
+                    hw,
+                    gc_speed_eff,
+                    threads,
+                    inflation,
+                    trigger_point_eff,
+                    capacity_eff,
+                )?;
             }
         }
 
-        // The run ends mid-interval if pacing was still engaged.
+        // The run ends mid-interval if pacing was still engaged, and
+        // inside fault windows if the plan outlives the work.
         self.close_throttle_interval();
+        self.close_all_fault_intervals();
 
         if self.telemetry.heap_trace.len() > HEAP_TRACE_CAP {
             let stride = self.telemetry.heap_trace.len() / HEAP_TRACE_CAP + 1;
@@ -588,12 +839,19 @@ impl<'a, O: Observer> Engine<'a, O> {
             // The Epsilon collector never reclaims: exhaustion is fatal.
             return Err(self.declare_oom());
         }
-        let request = match self.model.full_gc_period {
+        // `capacity` is the fault-effective capacity (identical to the real
+        // capacity when no squeeze is active).
+        let free = if F::NOOP {
+            self.heap.free()
+        } else {
+            (capacity - self.heap.occupied()).max(0.0)
+        };
+        let mut request = match self.model.full_gc_period {
             Some(period) => {
                 // Degenerate if concurrent marking has fallen far behind.
                 let degenerate = self.model.exhaustion == ExhaustionPolicy::DegenerateFull
                     && self.backlog > 0.0
-                    && self.heap.free() < capacity * 0.02;
+                    && free < capacity * 0.02;
                 if degenerate {
                     CollectionRequest::Degenerate
                 } else if self.cycles_since_full + 1 >= period {
@@ -604,6 +862,11 @@ impl<'a, O: Observer> Engine<'a, O> {
             }
             None => CollectionRequest::Normal,
         };
+        // An active forced-degenerate fault turns ordinary collections into
+        // degenerate STW fallbacks for every collector.
+        if !F::NOOP && self.fault_now.force_degenerate && request == CollectionRequest::Normal {
+            request = CollectionRequest::Degenerate;
+        }
         self.obs.record(Event::GcTrigger {
             at: self.now.as_nanos(),
             reason: trigger_reason(request),
@@ -704,10 +967,22 @@ impl<'a, O: Observer> Engine<'a, O> {
     fn finish_reclaim(&mut self, live_after: f64) -> Result<(), RunError> {
         self.heap.reclaim_to(live_after);
         self.record_heap_sample();
-        let capacity = self.heap.capacity();
+        // Futility is judged against the fault-effective capacity: a heap
+        // squeeze shrinks the room a collection must clear, which is how
+        // the squeeze reaches the futile-streak and OOM paths.
+        let capacity = if F::NOOP {
+            self.heap.capacity()
+        } else {
+            self.heap.capacity() * self.fault_now.capacity_factor
+        };
         let trigger_point = capacity * self.model.trigger_occupancy;
         let room_to_trigger = trigger_point - self.heap.occupied();
-        let futile = self.heap.free() < capacity * FUTILE_FREE_FRACTION
+        let free = if F::NOOP {
+            self.heap.free()
+        } else {
+            (capacity - self.heap.occupied()).max(0.0)
+        };
+        let futile = free < capacity * FUTILE_FREE_FRACTION
             || room_to_trigger < capacity * (FUTILE_FREE_FRACTION / 2.0);
         if futile {
             self.futile_streak += 1;

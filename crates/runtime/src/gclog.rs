@@ -13,7 +13,7 @@
 
 use crate::collector::CollectionKind;
 use crate::result::RunResult;
-use crate::telemetry::{HeapSample, PauseRecord, ThrottleInterval};
+use crate::telemetry::{FaultInterval, HeapSample, PauseRecord, ThrottleInterval};
 use std::fmt::Write as _;
 
 /// Render the run's GC log.
@@ -57,11 +57,12 @@ pub fn render_gc_log(result: &RunResult) -> String {
         format_bytes(result.config().heap_bytes() as f64),
     );
 
-    // Merge pauses, heap samples and pacing intervals by time.
+    // Merge pauses, heap samples, pacing and fault intervals by time.
     enum Event<'a> {
         Pause(&'a PauseRecord),
         Heap(&'a HeapSample),
         Throttle(&'a ThrottleInterval),
+        Fault(&'a FaultInterval),
     }
     let mut events: Vec<(u64, Event)> = telemetry
         .pauses
@@ -78,6 +79,12 @@ pub fn render_gc_log(result: &RunResult) -> String {
                 .throttle_intervals
                 .iter()
                 .map(|t| (t.start.as_nanos(), Event::Throttle(t))),
+        )
+        .chain(
+            telemetry
+                .fault_intervals
+                .iter()
+                .map(|f| (f.start.as_nanos(), Event::Fault(f))),
         )
         .collect();
     events.sort_by_key(|(t, _)| *t);
@@ -124,6 +131,16 @@ pub fn render_gc_log(result: &RunResult) -> String {
                     );
                 }
             }
+            Event::Fault(f) => {
+                let _ = writeln!(
+                    out,
+                    "[{:.3}s][info][gc,fault] Injected {} (magnitude {:.3}) active for {:.3}ms",
+                    f.start.as_secs_f64(),
+                    f.kind.label(),
+                    f.kind.magnitude(),
+                    f.duration.as_millis_f64(),
+                );
+            }
         }
     }
 
@@ -142,6 +159,19 @@ pub fn render_gc_log(result: &RunResult) -> String {
             "[{:.3}s][info][gc] allocation throttled for {} of wall time (pacing/stalls)",
             result.wall_time().as_secs_f64(),
             telemetry.throttled_wall,
+        );
+    }
+    if telemetry.faults_injected > 0 {
+        let degenerate_note = if telemetry.degenerate_count > 0 {
+            format!(", {} degenerate collections", telemetry.degenerate_count)
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            out,
+            "[{:.3}s][info][gc,fault] {} fault intervals injected{degenerate_note} (deterministic fault plan)",
+            result.wall_time().as_secs_f64(),
+            telemetry.faults_injected,
         );
     }
     let _ = writeln!(
@@ -269,6 +299,72 @@ mod tests {
     fn unthrottled_run_has_no_pacer_lines() {
         let log = render_gc_log(&result_for(CollectorKind::G1));
         assert!(!log.contains("[gc,ergo]"), "{log}");
+    }
+
+    #[test]
+    fn fault_injected_run_logs_fault_lines() {
+        use crate::engine::run_with_faults;
+        use chopin_faults::{FaultKind, FaultPlan};
+        let spec = MutatorSpec::builder("log-test-faults")
+            .threads(8)
+            .parallel_efficiency(0.5)
+            .total_work(SimDuration::from_millis(100))
+            .total_allocation(512 << 20)
+            .live_range(8 << 20, 16 << 20)
+            .build()
+            .unwrap();
+        let plan = FaultPlan::new(3).with_window(
+            1_000_000,
+            30_000_000,
+            FaultKind::AllocSpike { factor: 3.0 },
+        );
+        let result = run_with_faults(
+            &spec,
+            &RunConfig::new(48 << 20, CollectorKind::G1).with_noise(0.0),
+            &plan,
+        )
+        .unwrap();
+        assert_eq!(result.telemetry().faults_injected, 1);
+        let log = render_gc_log(&result);
+        assert!(log.contains("[gc,fault] Injected alloc_spike"), "{log}");
+        assert!(log.contains("fault intervals injected"), "{log}");
+    }
+
+    #[test]
+    fn stall_storm_logs_pacer_lines_on_a_non_pacing_collector() {
+        use crate::engine::run_with_faults;
+        use chopin_faults::{FaultKind, FaultPlan};
+        let spec = MutatorSpec::builder("log-test-storm")
+            .threads(8)
+            .parallel_efficiency(0.5)
+            .total_work(SimDuration::from_millis(100))
+            .total_allocation(512 << 20)
+            .live_range(8 << 20, 16 << 20)
+            .build()
+            .unwrap();
+        let plan = FaultPlan::new(9).with_window(
+            2_000_000,
+            12_000_000,
+            FaultKind::StallStorm { throttle: 0.25 },
+        );
+        let result = run_with_faults(
+            &spec,
+            &RunConfig::new(48 << 20, CollectorKind::G1).with_noise(0.0),
+            &plan,
+        )
+        .unwrap();
+        let log = render_gc_log(&result);
+        assert!(
+            log.contains("[gc,ergo] Pacer: mutator throttled to 25%"),
+            "storm shows as pacing: {log}"
+        );
+        assert!(log.contains("[gc,fault] Injected stall_storm"), "{log}");
+    }
+
+    #[test]
+    fn clean_run_has_no_fault_lines() {
+        let log = render_gc_log(&result_for(CollectorKind::G1));
+        assert!(!log.contains("[gc,fault]"), "{log}");
     }
 
     #[test]

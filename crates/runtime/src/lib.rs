@@ -72,8 +72,9 @@ pub mod time;
 
 pub use collector::CollectorKind;
 pub use config::RunConfig;
-pub use engine::{run, run_with_observer};
+pub use engine::{run, run_with_faults, run_with_observer, run_with_observer_and_faults};
 pub use machine::MachineConfig;
 pub use result::{RunError, RunResult};
 pub use spec::{MutatorSpec, RequestProfile};
+pub use telemetry::FaultInterval;
 pub use time::{SimDuration, SimTime};

@@ -8,12 +8,18 @@
 
 use crate::collector::CollectionKind;
 use crate::time::{SimDuration, SimTime};
+use chopin_faults::FaultKind;
 use chopin_obs::LogHistogram;
 use serde::{Deserialize, Serialize};
 
 /// Individual throttle intervals kept before dropping detail (the
 /// aggregate [`Telemetry::throttled_wall`] stays exact regardless).
 const THROTTLE_INTERVAL_CAP: usize = 10_000;
+
+/// Individual fault intervals kept; matches the fault plane's window cap,
+/// so every planned window can be recorded ([`Telemetry::faults_injected`]
+/// stays exact regardless).
+const FAULT_INTERVAL_CAP: usize = chopin_faults::MAX_WINDOWS;
 
 /// One stop-the-world pause.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -59,6 +65,19 @@ impl ThrottleInterval {
     }
 }
 
+/// One contiguous interval during which an injected fault of one kind was
+/// active (overlapping windows of the same kind merge into one interval).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultInterval {
+    /// Wall time at which the fault engaged.
+    pub start: SimTime,
+    /// Wall-clock length of the interval.
+    pub duration: SimDuration,
+    /// The kind of fault, carrying the harshest magnitude applied during
+    /// the interval.
+    pub kind: FaultKind,
+}
+
 /// Accumulated telemetry for one run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Telemetry {
@@ -96,6 +115,11 @@ pub struct Telemetry {
     pub batched_pause_wall: SimDuration,
     /// Number of pauses folded into [`Telemetry::batched_pause_wall`].
     pub batched_pause_count: u64,
+    /// Injected-fault intervals, in onset order (empty on clean runs; kept
+    /// up to the fault plane's window cap).
+    pub fault_intervals: Vec<FaultInterval>,
+    /// Number of fault intervals that engaged (exact even past the cap).
+    pub faults_injected: u64,
 }
 
 impl Telemetry {
@@ -136,6 +160,15 @@ impl Telemetry {
     pub fn record_throttle_interval(&mut self, interval: ThrottleInterval) {
         if self.throttle_intervals.len() < THROTTLE_INTERVAL_CAP {
             self.throttle_intervals.push(interval);
+        }
+    }
+
+    /// Record one injected-fault interval (dropped past the cap;
+    /// [`Telemetry::faults_injected`] stays exact).
+    pub fn record_fault_interval(&mut self, interval: FaultInterval) {
+        self.faults_injected += 1;
+        if self.fault_intervals.len() < FAULT_INTERVAL_CAP {
+            self.fault_intervals.push(interval);
         }
     }
 
@@ -281,6 +314,27 @@ mod tests {
         }
         assert_eq!(t.throttle_intervals.len(), super::THROTTLE_INTERVAL_CAP);
         assert!(!t.throttle_intervals[0].stalled());
+    }
+
+    #[test]
+    fn fault_intervals_count_exactly_and_cap_records() {
+        let mut t = Telemetry::new();
+        for i in 0..(super::FAULT_INTERVAL_CAP + 5) {
+            t.record_fault_interval(FaultInterval {
+                start: SimTime::from_nanos(i as u64),
+                duration: SimDuration::from_nanos(10),
+                kind: FaultKind::AllocSpike { factor: 2.0 },
+            });
+        }
+        assert_eq!(t.faults_injected, (super::FAULT_INTERVAL_CAP + 5) as u64);
+        assert_eq!(t.fault_intervals.len(), super::FAULT_INTERVAL_CAP);
+    }
+
+    #[test]
+    fn clean_telemetry_has_no_faults() {
+        let t = Telemetry::new();
+        assert_eq!(t.faults_injected, 0);
+        assert!(t.fault_intervals.is_empty());
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! The suite-wide determinism guard required by the fault-injection work:
+//! with no fault plan and no observer, every one of the 22 workload
+//! profiles must produce a bit-identical [`RunResult`] run after run, and
+//! attaching an observer (which routes through the same
+//! `run_with_observer_and_faults` entry point as fault injection) must not
+//! perturb a single bit.
+//!
+//! This is the contract that lets the chaos experiments trust a clean
+//! baseline: if the no-fault path ever diverges from the pre-fault-plane
+//! engine, every A/B comparison against faulted runs is invalid.
+
+use chopin_obs::{EventRecorder, MetricsObserver, Tee};
+use chopin_runtime::collector::CollectorKind;
+use chopin_runtime::config::RunConfig;
+use chopin_runtime::engine::{run, run_with_observer};
+use chopin_workloads::{suite, SizeClass};
+
+#[test]
+fn all_22_workloads_are_bit_identical_without_faults_or_observers() {
+    let profiles = suite::all();
+    assert_eq!(profiles.len(), 22, "the full DaCapo Chopin suite");
+
+    for (i, profile) in profiles.iter().enumerate() {
+        let spec = profile
+            .to_spec(SizeClass::Default)
+            .expect("default size exists")
+            .expect("profile is valid");
+        let min_heap = profile
+            .min_heap_bytes(SizeClass::Default)
+            .expect("default size exists");
+        // A comfortable heap so every profile completes, and a rotating
+        // collector so all five engine paths get suite coverage.
+        let collector = CollectorKind::ALL[i % CollectorKind::ALL.len()];
+        let config = RunConfig::new(min_heap * 3, collector);
+
+        let first = run(&spec, &config).map_err(|e| e.to_string());
+        let second = run(&spec, &config).map_err(|e| e.to_string());
+        assert_eq!(
+            first, second,
+            "{}/{collector:?}: repeated runs must be bit-identical",
+            profile.name
+        );
+
+        let mut tee = Tee(EventRecorder::new(), MetricsObserver::new());
+        let observed = run_with_observer(&spec, &config, &mut tee).map_err(|e| e.to_string());
+        assert_eq!(
+            first, observed,
+            "{}/{collector:?}: an observer must not perturb the run",
+            profile.name
+        );
+    }
+}

@@ -20,7 +20,9 @@ fn quick_sweep() -> SweepConfig {
 
 fn geomeans(clock: Clock) -> BTreeMap<CollectorKind, Vec<(f64, f64)>> {
     let profiles = suite::all();
-    let sweeps = run_suite_sweeps(&profiles, &quick_sweep()).expect("sweeps run");
+    let sweeps = run_suite_sweeps(&profiles, &quick_sweep())
+        .into_result()
+        .expect("sweeps run");
     let analyses: Vec<LboAnalysis> = sweeps
         .iter()
         .map(|s| LboAnalysis::compute(&s.samples, clock).expect("analysis"))
