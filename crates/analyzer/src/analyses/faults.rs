@@ -1,0 +1,85 @@
+//! Fault-window reachability (rules R806, R807).
+//!
+//! Fault windows are scheduled in simulated nanoseconds; the run only
+//! reaches as many of them as its invocations last. A plan whose earliest
+//! window starts far beyond any invocation's horizon injects nothing — a
+//! "chaos" campaign that silently measured the baseline (an error). The
+//! opposite failure is faults covering essentially the whole run: that is
+//! a different steady state, not a perturbation experiment, and the
+//! results would be mislabelled (a warning).
+
+use crate::ir::PlanIR;
+use chopin_lint::Diagnostic;
+
+/// The margin by which a fault's start must overshoot the *longest*
+/// estimated invocation before the plan is declared dead. Invocation
+/// estimates come from nominal statistics, so reachability is only
+/// certain with a wide safety factor.
+const DEAD_MARGIN: f64 = 10.0;
+
+/// Fraction of the shortest invocation that may be fault-covered before
+/// the plan stops being a perturbation experiment.
+const BLANKET_FRACTION: f64 = 0.95;
+
+/// Run the fault-window reachability analysis.
+pub fn analyze(plan: &PlanIR) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+    let Some(faults) = &plan.faults else {
+        return diagnostics;
+    };
+    let cells = plan.cells();
+    let feasible_est: Vec<f64> = cells
+        .iter()
+        .filter(|c| c.feasible)
+        .map(|c| c.est_invocation_s)
+        .collect();
+    let (Some(max_est), Some(min_est)) = (
+        feasible_est.iter().copied().max_by(f64::total_cmp),
+        feasible_est.iter().copied().min_by(f64::total_cmp),
+    ) else {
+        return diagnostics; // nothing runnable; the heap analysis reports that
+    };
+
+    let location = format!("{}:faults", plan.location());
+    if let Some(first_start) = faults.first_start_ns() {
+        let max_est_ns = max_est * 1e9;
+        if first_start as f64 >= DEAD_MARGIN * max_est_ns {
+            diagnostics.push(
+                Diagnostic::error(
+                    "R806",
+                    location.clone(),
+                    format!(
+                        "dead fault plan: the earliest window starts at {:.2e} ns, but the \
+                         longest invocation is only ~{:.2e} ns of simulated time — no fault \
+                         can ever fire",
+                        first_start as f64, max_est_ns
+                    ),
+                )
+                .with_hint(
+                    "schedule windows inside the run (the --faults presets scale to a \
+                     horizon) or drop the fault plan"
+                        .to_string(),
+                ),
+            );
+            return diagnostics;
+        }
+    }
+
+    let min_est_ns = (min_est * 1e9) as u64;
+    let covered = faults.coverage_ns_within(min_est_ns);
+    if min_est_ns > 0 && covered as f64 >= BLANKET_FRACTION * min_est_ns as f64 {
+        diagnostics.push(
+            Diagnostic::warn(
+                "R807",
+                location,
+                format!(
+                    "fault windows cover {:.0}% of the shortest invocation: this measures \
+                     an always-degraded regime, not a perturbation",
+                    100.0 * covered as f64 / min_est_ns as f64
+                ),
+            )
+            .with_hint("reduce window duty cycles so runs include fault-free time".to_string()),
+        );
+    }
+    diagnostics
+}

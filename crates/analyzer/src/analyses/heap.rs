@@ -1,0 +1,72 @@
+//! Heap feasibility: interval analysis of the sweep grid against each
+//! benchmark's collector-adjusted minimum heap (rules R801, R802).
+//!
+//! A sweep cell whose heap lies below the nominal minimum (inflated by
+//! GMU/GMD for collectors that cannot compress pointers) is a predictable
+//! missing data point: the run will OOM or thrash, deterministically.
+//! Scattered infeasible cells at small factors are the paper's expected
+//! "missing data points" (a warning); a benchmark × collector pair with
+//! *no* feasible cell anywhere in the grid produces no data at all, which
+//! invalidates cross-collector comparisons (an error).
+
+use crate::ir::PlanIR;
+use chopin_lint::Diagnostic;
+
+/// Run the heap feasibility analysis.
+pub fn analyze(plan: &PlanIR) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+    let cells = plan.cells();
+    for (bi, b) in plan.benchmarks.iter().enumerate() {
+        for &collector in &plan.config.collectors {
+            let pair: Vec<_> = cells
+                .iter()
+                .filter(|c| c.benchmark == bi && c.collector == collector)
+                .collect();
+            let infeasible: Vec<f64> = pair
+                .iter()
+                .filter(|c| !c.feasible)
+                .map(|c| c.heap_factor)
+                .collect();
+            let location = format!("{}:{}/{}", plan.location(), b.name, collector);
+            if infeasible.len() == pair.len() && !pair.is_empty() {
+                diagnostics.push(
+                    Diagnostic::error(
+                        "R801",
+                        location,
+                        format!(
+                            "no feasible heap cell: every factor in {:?} lies below the \
+                             collector-adjusted minimum ({:.2}x the nominal minimum heap)",
+                            plan.config.heap_factors, b.inflation
+                        ),
+                    )
+                    .with_hint(format!(
+                        "add a heap factor of at least {:.2}, or drop {} from the sweep",
+                        b.inflation, collector
+                    )),
+                );
+            } else if !infeasible.is_empty() {
+                diagnostics.push(
+                    Diagnostic::warn(
+                        "R802",
+                        location,
+                        format!(
+                            "{} of {} cells are predictably infeasible (factors {:?} below \
+                             the {:.2}x collector-adjusted minimum) and will be missing \
+                             data points",
+                            infeasible.len(),
+                            pair.len(),
+                            infeasible,
+                            b.inflation
+                        ),
+                    )
+                    .with_hint(
+                        "expected for uncompressed-pointer collectors at small heaps; \
+                         plots should note the missing cells"
+                            .to_string(),
+                    ),
+                );
+            }
+        }
+    }
+    diagnostics
+}

@@ -1,0 +1,17 @@
+//! The static analyses that run over a compiled [`PlanIR`]:
+//!
+//! * [`heap`] — interval analysis of heap sizes against per-benchmark
+//!   minimum heaps and pointer-compression inflation (R801, R802).
+//! * [`warmup`] — methodology and warmup/steady-state sufficiency
+//!   (R803, R804, R805).
+//! * [`faults`] — fault-window reachability against the run's estimated
+//!   simulated horizon (R806, R807).
+//! * [`cost`] — a cost model bounding sweep time against the supervisor's
+//!   deadlines and journalling posture (R808, R809).
+//!
+//! [`PlanIR`]: crate::PlanIR
+
+pub mod cost;
+pub mod faults;
+pub mod heap;
+pub mod warmup;

@@ -1,0 +1,95 @@
+//! Methodology and warmup sufficiency (rules R803, R804, R805).
+//!
+//! Traini et al. show under-provisioned warmup silently corrupts
+//! steady-state results: the timed iteration is the *last* one, so a plan
+//! with a single iteration times the cold start (an error), and a plan
+//! whose iteration count leaves the timed iteration above the suite's
+//! 1.5 % warmup threshold reports JIT transients as collector behaviour
+//! (a warning, since the residual is bounded and quantified). The latency
+//! methodology additionally requires a request stream to meter — running
+//! it on a batch benchmark cannot produce latency data at all.
+
+use crate::ir::{Methodology, PlanIR};
+use chopin_core::iteration::{residual_warmup, steady_state_iterations};
+use chopin_lint::Diagnostic;
+
+/// The PWU statistic's threshold: the timed iteration should be within
+/// 1.5 % of warmed-up cost.
+const WARM_THRESHOLD: f64 = 0.015;
+
+/// Run the methodology/warmup analysis.
+pub fn analyze(plan: &PlanIR) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+
+    if plan.methodology == Methodology::Latency {
+        for b in plan.benchmarks.iter().filter(|b| !b.latency_sensitive) {
+            diagnostics.push(
+                Diagnostic::error(
+                    "R803",
+                    format!("{}:{}", plan.location(), b.name),
+                    format!(
+                        "{} has no request stream: the metered-latency methodology \
+                         cannot produce latency data for it",
+                        b.name
+                    ),
+                )
+                .with_hint(
+                    "pick one of the nine latency-sensitive benchmarks \
+                     (cassandra, h2, jme, kafka, lusearch, spring, tomcat, \
+                     tradebeans, tradesoap)"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+
+    if !plan.methodology.times_steady_state() {
+        return diagnostics;
+    }
+
+    if plan.config.iterations < 2 {
+        diagnostics.push(
+            Diagnostic::error(
+                "R804",
+                plan.location(),
+                "a single iteration times iteration 0: the cold start (class loading, \
+                 tier-1 code) is reported as steady state"
+                    .to_string(),
+            )
+            .with_hint("run at least 2 iterations; the paper times the 5th".to_string()),
+        );
+        return diagnostics;
+    }
+
+    // The worst-warmed benchmark bounds the residual for the whole plan.
+    if let Some(worst) = plan.benchmarks.iter().max_by(|a, b| {
+        residual_warmup(plan.config.iterations, a.pwu)
+            .total_cmp(&residual_warmup(plan.config.iterations, b.pwu))
+    }) {
+        let residual = residual_warmup(plan.config.iterations, worst.pwu);
+        if residual > WARM_THRESHOLD {
+            diagnostics.push(
+                Diagnostic::warn(
+                    "R805",
+                    format!("{}:{}", plan.location(), worst.name),
+                    format!(
+                        "the timed iteration ({} of {}) is still ~{:.1}% above \
+                         steady state for {} (PWU {})",
+                        plan.config.iterations - 1,
+                        plan.config.iterations,
+                        residual * 100.0,
+                        worst.name,
+                        worst.pwu
+                    ),
+                )
+                .with_hint(format!(
+                    "raise iterations to {} to time a warmed-up iteration \
+                     (Traini et al.)",
+                    steady_state_iterations(worst.pwu)
+                )),
+            );
+        }
+    }
+
+    diagnostics
+}

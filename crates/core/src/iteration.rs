@@ -44,6 +44,36 @@ pub fn warmup_scale(iteration: u32, pwu: u32) -> f64 {
     1.0 + COLD_OVERHEAD * decay.powi(iteration as i32)
 }
 
+/// Residual warmup overhead at the iteration a plan actually times.
+///
+/// The timed iteration is the *last* of `iterations` (see
+/// [`IterationSet::timed`]), i.e. 0-based index `iterations - 1`; this
+/// returns `warmup_scale` there minus 1 — the fraction by which that
+/// iteration is still slower than steady state. Pre-flight analyses
+/// compare it against the 1.5 % PWU threshold.
+///
+/// # Examples
+///
+/// ```
+/// use chopin_core::iteration::residual_warmup;
+///
+/// // 5 iterations of a PWU-9 workload time iteration 4 — still cold.
+/// assert!(residual_warmup(5, 9) > 0.015);
+/// // 10 iterations reach iteration 9 = PWU, warm by construction.
+/// assert!(residual_warmup(10, 9) <= 0.015 + 1e-9);
+/// ```
+pub fn residual_warmup(iterations: u32, pwu: u32) -> f64 {
+    warmup_scale(iterations.saturating_sub(1), pwu) - 1.0
+}
+
+/// The iteration count that times a warmed-up iteration for a workload
+/// with warmup statistic `pwu`: iteration index `pwu` is the first within
+/// 1.5 % of best, so `pwu + 1` iterations are needed for the timed (last)
+/// iteration to be it.
+pub fn steady_state_iterations(pwu: u32) -> u32 {
+    pwu.max(1) + 1
+}
+
 /// The iterations of one simulated invocation, in execution order.
 ///
 /// # Examples
@@ -138,6 +168,18 @@ mod tests {
                 let before = warmup_scale(pwu - 2, pwu);
                 assert!(before > 1.0 + WARM_THRESHOLD, "pwu={pwu}: not warm before");
             }
+        }
+    }
+
+    #[test]
+    fn steady_state_iterations_reach_the_warm_threshold() {
+        for pwu in [1u32, 2, 5, 9] {
+            let n = steady_state_iterations(pwu);
+            assert!(
+                residual_warmup(n, pwu) <= WARM_THRESHOLD + 1e-9,
+                "pwu={pwu}"
+            );
+            assert!(residual_warmup(n - 1, pwu) > WARM_THRESHOLD, "pwu={pwu}");
         }
     }
 

@@ -13,6 +13,42 @@ use chopin_runtime::result::RunError;
 use chopin_workloads::{SizeClass, WorkloadProfile};
 use std::fmt;
 
+/// The nominal minimum heap `profile` needs under `collector` at `size`,
+/// in bytes — the published GMD-style minimum inflated by the workload's
+/// GMU/GMD ratio when the collector cannot use compressed pointers
+/// (today: ZGC).
+///
+/// This is the static counterpart of [`MinHeapSearch::find`]: it consults
+/// only published nominal statistics, so pre-flight analyses can reason
+/// about sweep feasibility without running the simulator. Returns `None`
+/// when the profile does not publish a minimum for `size`.
+///
+/// # Examples
+///
+/// ```
+/// use chopin_core::minheap::required_heap_bytes;
+/// use chopin_runtime::collector::CollectorKind;
+/// use chopin_workloads::SizeClass;
+///
+/// let pmd = chopin_workloads::suite::by_name("pmd").unwrap();
+/// let g1 = required_heap_bytes(&pmd, CollectorKind::G1, SizeClass::Default).unwrap();
+/// let zgc = required_heap_bytes(&pmd, CollectorKind::Zgc, SizeClass::Default).unwrap();
+/// assert!(zgc > g1, "uncompressed pointers inflate the minimum heap");
+/// ```
+pub fn required_heap_bytes(
+    profile: &WorkloadProfile,
+    collector: CollectorKind,
+    size: SizeClass,
+) -> Option<u64> {
+    let base = profile.min_heap_bytes(size)?;
+    let inflation = if collector.supports_compressed_oops() {
+        1.0
+    } else {
+        profile.uncompressed_inflation()
+    };
+    Some((base as f64 * inflation).ceil() as u64)
+}
+
 /// Error raised by the minimum-heap search.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MinHeapError {

@@ -59,6 +59,20 @@ impl SweepConfig {
             size: SizeClass::Default,
         }
     }
+
+    /// Number of (collector, heap factor) cells per benchmark this
+    /// configuration sweeps.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use chopin_core::sweep::SweepConfig;
+    ///
+    /// assert_eq!(SweepConfig::default().cell_count(), 5 * 11);
+    /// ```
+    pub fn cell_count(&self) -> usize {
+        self.collectors.len() * self.heap_factors.len()
+    }
 }
 
 /// A cell that failed to run, with the reason — the paper's missing data

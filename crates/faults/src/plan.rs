@@ -269,6 +269,65 @@ impl FaultPlan {
         self.windows.iter().map(|w| w.end_ns).max()
     }
 
+    /// The earliest scheduled fault start, if any — the simulated time a
+    /// run must reach before the plan perturbs anything at all.
+    pub fn first_start_ns(&self) -> Option<u64> {
+        self.windows.iter().map(|w| w.start_ns).min()
+    }
+
+    /// The windows whose start lies inside `[0, horizon_ns)` — the ones a
+    /// run of that simulated length can actually observe engaging.
+    pub fn reachable_windows(&self, horizon_ns: u64) -> usize {
+        self.windows
+            .iter()
+            .filter(|w| w.start_ns < horizon_ns)
+            .count()
+    }
+
+    /// Simulated nanoseconds of `[0, horizon_ns)` covered by at least one
+    /// window — the union of the clipped window intervals, so overlapping
+    /// windows are not double-counted. Pre-flight analysis uses this to
+    /// tell a perturbation from an always-on regime change.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use chopin_faults::{FaultKind, FaultPlan};
+    ///
+    /// let plan = FaultPlan::new(1)
+    ///     .with_window(0, 60, FaultKind::ForceDegenerate)
+    ///     .with_window(40, 100, FaultKind::ForceDegenerate); // overlaps by 20
+    /// assert_eq!(plan.coverage_ns_within(100), 100);
+    /// assert_eq!(plan.coverage_ns_within(50), 50);
+    /// ```
+    pub fn coverage_ns_within(&self, horizon_ns: u64) -> u64 {
+        let mut spans: Vec<(u64, u64)> = self
+            .windows
+            .iter()
+            .filter(|w| w.start_ns < horizon_ns && w.end_ns > w.start_ns)
+            .map(|w| (w.start_ns, w.end_ns.min(horizon_ns)))
+            .collect();
+        spans.sort_unstable();
+        let mut covered = 0u64;
+        let mut open: Option<(u64, u64)> = None;
+        for (start, end) in spans {
+            match open {
+                Some((_, open_end)) if start <= open_end => {
+                    open = open.map(|(s, e)| (s, e.max(end)));
+                }
+                Some((open_start, open_end)) => {
+                    covered += open_end - open_start;
+                    open = Some((start, end));
+                }
+                None => open = Some((start, end)),
+            }
+        }
+        if let Some((s, e)) = open {
+            covered += e - s;
+        }
+        covered
+    }
+
     /// Validate the plan: seeded (non-zero seed for non-empty plans),
     /// finite in-range magnitudes, positive-duration windows that lie
     /// within `horizon_ns` when one is given, and a bounded window count.
@@ -403,6 +462,24 @@ mod tests {
             0.25,
         );
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn window_introspection_reports_reach_and_coverage() {
+        let plan = FaultPlan::new(1)
+            .with_window(100, 200, FaultKind::ForceDegenerate)
+            .with_window(150, 300, FaultKind::ForceDegenerate)
+            .with_window(1_000, 1_100, FaultKind::ForceDegenerate);
+        assert_eq!(plan.first_start_ns(), Some(100));
+        assert_eq!(plan.reachable_windows(100), 0);
+        assert_eq!(plan.reachable_windows(151), 2);
+        assert_eq!(plan.reachable_windows(u64::MAX), 3);
+        // [100,300) merged = 200ns, clipped at various horizons.
+        assert_eq!(plan.coverage_ns_within(100), 0);
+        assert_eq!(plan.coverage_ns_within(250), 150);
+        assert_eq!(plan.coverage_ns_within(2_000), 300);
+        assert_eq!(FaultPlan::new(1).first_start_ns(), None);
+        assert_eq!(FaultPlan::new(1).coverage_ns_within(1_000), 0);
     }
 
     #[test]

@@ -8,9 +8,23 @@
 //! artifact validate          # scorecard: PASS/FAIL per headline claim
 //! artifact lint [--json]     # static validation; non-zero exit on errors
 //! artifact lint --rules      # print the rule catalogue
+//! artifact analyze [--check] # pre-flight analyze every shipped plan
+//! artifact analyze --plan demo:cold-start     # one plan (R8xx errors)
+//! artifact analyze --plan lbo --results r.csv # + provenance checking
 //! artifact trace             # observed h2 run -> Perfetto trace + metrics
 //! artifact chaos [--check]   # seeded fault-injection smoke suite
 //! ```
+//!
+//! `artifact analyze [--plan NAME] [--results FILE] [--json]` compiles a
+//! named experiment plan (a shipped preset or a deliberately broken
+//! `demo:*` plan; all shipped plans when `--plan` is omitted) and runs
+//! the `chopin-analyzer` static pass over it: heap feasibility, warmup
+//! sufficiency, fault-window reachability and the wall-time cost model
+//! (rules R801–R809). With `--results FILE` the given runbms CSV or
+//! sweep journal is additionally checked for provenance against the
+//! plan (rules R810–R813). The exit code is non-zero exactly when any
+//! error-severity finding is reported, so `--check` (accepted for
+//! symmetry with the other CI gates) needs no special casing.
 //!
 //! `artifact chaos [-b BENCHES] [--faults PRESET[:SEED]] [--cell-deadline
 //! MS] [--retries N]` sweeps a small benchmark set across all collectors
@@ -32,14 +46,15 @@
 use chopin_core::lbo::{Clock, LboAnalysis};
 use chopin_harness::cli::Args;
 use chopin_harness::obs::{observe_benchmark, ObsOptions, DEFAULT_EVENTS_OUT, DEFAULT_TRACE_OUT};
+use chopin_harness::preflight;
 use chopin_harness::presets::Preset;
 use chopin_harness::supervisor::{plan_from_args, policy_from_args, SuiteSupervisor};
 use chopin_obs::validate_chrome_trace;
 use chopin_runtime::collector::CollectorKind;
 use chopin_workloads::faults::{preset as fault_preset, DEFAULT_HORIZON_NS, FALLBACK_SEED};
 
-const USAGE: &str = "usage: artifact <kick-the-tires|lbo|latency|validate|lint|trace|chaos> \
-                     [--json|--rules|--check]";
+const USAGE: &str = "usage: artifact <kick-the-tires|lbo|latency|validate|lint|analyze|trace|\
+                     chaos> [--json|--rules|--check|--plan NAME|--results FILE]";
 
 fn run_chaos(args: &Args) -> i32 {
     let mut benchmarks = args.list("b");
@@ -169,23 +184,75 @@ fn run_chaos(args: &Args) -> i32 {
 
 fn run_lint(args: &Args) -> i32 {
     if args.has("rules") {
-        for rule in chopin_lint::RULES.iter() {
-            println!(
-                "{:<6} {:<6} {}",
-                rule.id,
-                rule.severity.label(),
-                rule.summary
-            );
-        }
+        print!("{}", chopin_lint::render_catalogue());
         return 0;
     }
     let report = chopin_harness::lint::lint_all();
+    emit_report(&report, args)
+}
+
+/// Shared report rendering for `lint` and `analyze`: table or `--json`,
+/// exit code from the shared severity model (non-zero iff any error).
+fn emit_report(report: &chopin_lint::LintReport, args: &Args) -> i32 {
     if args.has("json") {
         println!("{}", report.render_json());
     } else {
         print!("{}", report.render_table());
     }
-    i32::from(report.has_errors())
+    report.exit_code()
+}
+
+fn run_analyze(args: &Args) -> i32 {
+    if args.has("rules") {
+        print!("{}", chopin_lint::render_catalogue());
+        return 0;
+    }
+    let report = match args.value("plan") {
+        Some(name) => {
+            let Some(plan) = preflight::plan_by_name(name) else {
+                eprintln!(
+                    "error: unknown plan `{name}` (shipped: {}; demos: {})",
+                    preflight::PLAN_NAMES.join(", "),
+                    chopin_analyzer::demo::DEMOS
+                        .iter()
+                        .map(|(n, _)| *n)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                return 2;
+            };
+            let mut report = chopin_analyzer::analyze(&plan);
+            if let Some(path) = args.value("results") {
+                match std::fs::read_to_string(path) {
+                    Ok(text) => report.extend(chopin_analyzer::analyze_artifact(&plan, &text)),
+                    Err(e) => {
+                        eprintln!("error: cannot read {path}: {e}");
+                        return 2;
+                    }
+                }
+            }
+            report
+        }
+        None => {
+            if args.has("results") {
+                eprintln!("error: --results needs --plan NAME to check provenance against");
+                return 2;
+            }
+            let mut diagnostics = Vec::new();
+            for plan in preflight::shipped_plans() {
+                let report = chopin_analyzer::analyze(&plan);
+                eprintln!(
+                    "analyze: plan `{}`: {} error(s), {} warning(s)",
+                    plan.name,
+                    report.error_count(),
+                    report.warn_count()
+                );
+                diagnostics.extend(report.diagnostics);
+            }
+            chopin_lint::LintReport::new(diagnostics)
+        }
+    };
+    emit_report(&report, args)
 }
 
 fn run_trace(args: &Args) -> i32 {
@@ -297,6 +364,9 @@ fn main() {
     };
     if command == "lint" {
         std::process::exit(run_lint(&args));
+    }
+    if command == "analyze" {
+        std::process::exit(run_analyze(&args));
     }
     if command == "trace" {
         std::process::exit(run_trace(&args));

@@ -10,14 +10,22 @@
 //! latency -b h2 --trace-out h2.json --faults storm:7
 //!                                     # ... under an injected stall storm
 //! ```
+//!
+//! Every invocation is pre-flight analyzed first (`chopin-analyzer`):
+//! in particular, asking for metered latency from a benchmark without a
+//! request stream is rejected statically (rule R803) with exit 2.
+//! `--no-preflight` bypasses the gate.
 
+use chopin_analyzer::Methodology;
 use chopin_core::latency::SmoothingWindow;
+use chopin_core::sweep::SweepConfig;
 use chopin_core::Suite;
 use chopin_harness::cli::Args;
 use chopin_harness::obs::{
     add_spans_to_trace, observe_benchmark_with_faults, with_suffix, ObsOptions,
 };
 use chopin_harness::output::ResultsDir;
+use chopin_harness::preflight;
 use chopin_harness::supervisor::plan_from_args;
 use chopin_harness::LatencyExperiment;
 use chopin_runtime::collector::CollectorKind;
@@ -55,6 +63,20 @@ fn main() {
             list.iter().filter_map(|s| s.parse().ok()).collect()
         }
     };
+
+    // The metered-latency methodology sweeps all collectors over the
+    // requested heaps; R803 rejects benchmarks without a request stream.
+    let sweep = SweepConfig {
+        collectors: CollectorKind::ALL.to_vec(),
+        heap_factors: heaps.clone(),
+        invocations: 1,
+        iterations: 2,
+        ..SweepConfig::default()
+    };
+    preflight::gate(
+        &args,
+        preflight::plan_for_args("latency", Methodology::Latency, &benchmarks, &sweep, &args),
+    );
 
     for bench in &benchmarks {
         eprintln!("measuring latency for {bench} at heaps {heaps:?}");

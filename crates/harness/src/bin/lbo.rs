@@ -16,12 +16,18 @@
 //! `--cell-deadline`, `--retries`, `--backoff-ms`) routes the sweeps
 //! through the resilient supervisor; quarantined cells are reported on
 //! stderr and the LBO analysis proceeds over the completed cells.
+//!
+//! Every invocation is pre-flight analyzed first (`chopin-analyzer`):
+//! statically broken plans abort with exit 2 and an R8xx diagnostic
+//! table before any simulation starts. `--no-preflight` bypasses.
 
+use chopin_analyzer::Methodology;
 use chopin_core::lbo::{Clock, LboAnalysis};
 use chopin_core::sweep::SweepConfig;
 use chopin_harness::cli::Args;
 use chopin_harness::obs::{add_spans_to_trace, observe_benchmark_with_faults, ObsOptions};
 use chopin_harness::output::ResultsDir;
+use chopin_harness::preflight;
 use chopin_harness::supervisor::{
     plan_from_args, policy_from_args, supervision_requested, SuiteSupervisor,
 };
@@ -106,6 +112,20 @@ fn main() {
     sweep.iterations = args
         .get_or("iterations", sweep.iterations)
         .unwrap_or(sweep.iterations);
+
+    let plan_benchmarks: Vec<String> = if benchmarks.is_empty() {
+        chopin_core::Suite::chopin()
+            .names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    } else {
+        benchmarks.clone()
+    };
+    preflight::gate(
+        &args,
+        preflight::plan_for_args("lbo", Methodology::Lbo, &plan_benchmarks, &sweep, &args),
+    );
 
     eprintln!(
         "running LBO sweep: {} benchmark(s), {} collectors, {} heap factors, {} invocation(s)",

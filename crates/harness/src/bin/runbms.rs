@@ -18,12 +18,19 @@
 //! interrupted suite stopped, and the exit code is 3 when any cell ended
 //! up quarantined (completed results are still printed).
 //!
+//! Every invocation is pre-flight analyzed first (`chopin-analyzer`):
+//! plans the static analyses prove broken — infeasible heap grids, dead
+//! fault windows, cold-start timing, unmeetable deadlines — abort with
+//! exit 2 and an R8xx diagnostic table before any simulation starts.
+//! `--no-preflight` bypasses the gate.
+//!
 //! With `--trace-out`, the per-benchmark sweep wall times land on a
 //! harness track and the first benchmark is re-run once with the engine's
 //! tracing observer attached, so the file opens in ui.perfetto.dev with
 //! both views. `--events-out` writes that observed run's event stream as
 //! JSON Lines.
 
+use chopin_analyzer::Methodology;
 use chopin_core::sweep::{SweepConfig, SweepResult};
 use chopin_core::Suite;
 use chopin_faults::FaultPlan;
@@ -31,6 +38,7 @@ use chopin_harness::cli::Args;
 use chopin_harness::obs::{
     add_spans_to_trace, observe_benchmark_with_faults, ObsOptions, SpanSink,
 };
+use chopin_harness::preflight;
 use chopin_harness::supervisor::{
     plan_from_args, policy_from_args, supervision_requested, SuiteSupervisor,
 };
@@ -145,6 +153,11 @@ fn main() {
     sweep.iterations = args
         .get_or("iterations", sweep.iterations)
         .unwrap_or(sweep.iterations);
+
+    preflight::gate(
+        &args,
+        preflight::plan_for_args("runbms", Methodology::Sweep, &benchmarks, &sweep, &args),
+    );
 
     println!("benchmark,collector,heap_factor,wall_s,task_s,wall_distillable_s,task_distillable_s");
 

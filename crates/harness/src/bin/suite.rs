@@ -12,11 +12,18 @@
 //! run once (G1, 2× heap) with the engine's tracing observer attached and
 //! the trace/event stream written out (suffixed per benchmark when several
 //! are selected).
+//!
+//! Selections are pre-flight analyzed first (`chopin-analyzer`); a
+//! statically broken configuration exits 2 before anything runs.
+//! `--no-preflight` bypasses the gate.
 
+use chopin_analyzer::Methodology;
+use chopin_core::sweep::SweepConfig;
 use chopin_core::Suite;
 use chopin_harness::cli::Args;
 use chopin_harness::obs::{observe_benchmark_with_faults, with_suffix, ObsOptions};
 use chopin_harness::plot::render_table;
+use chopin_harness::preflight;
 use chopin_harness::supervisor::plan_from_args;
 use chopin_runtime::collector::CollectorKind;
 use chopin_workloads::suite as workloads;
@@ -40,6 +47,19 @@ fn main() {
         eprintln!("warning: --trace-out/--events-out need a workload (-b NAME); ignoring");
     }
     if !selected.is_empty() {
+        // Pre-flight the observed-run configuration (G1 at 2x) before
+        // touching the engine; statically broken selections exit 2.
+        let sweep = SweepConfig {
+            collectors: vec![CollectorKind::G1],
+            heap_factors: vec![2.0],
+            invocations: 1,
+            iterations: 1,
+            ..SweepConfig::default()
+        };
+        preflight::gate(
+            &args,
+            preflight::plan_for_args("suite", Methodology::Suite, &selected, &sweep, &args),
+        );
         for name in &selected {
             let Some(profile) = workloads::by_name(name) else {
                 eprintln!("error: unknown benchmark `{name}`");

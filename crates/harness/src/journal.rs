@@ -16,7 +16,7 @@
 //! parse — the property the byte-identical resume guarantee rests on.
 
 use chopin_core::lbo::RunSample;
-use chopin_obs::json::{self, JsonValue};
+use chopin_obs::json::{self, json_string, JsonValue};
 use chopin_runtime::collector::CollectorKind;
 use std::fmt::Write as _;
 use std::fs;
@@ -105,20 +105,10 @@ impl From<std::io::Error> for JournalError {
 }
 
 /// FNV-1a over the canonical description of a suite configuration; the
-/// resume guard's notion of "same experiment".
-pub fn fingerprint_of(parts: &[&str]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for part in parts {
-        for byte in part.as_bytes() {
-            hash ^= u64::from(*byte);
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        // Separate the parts so ["ab","c"] and ["a","bc"] differ.
-        hash ^= 0xff;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
+/// resume guard's notion of "same experiment". Re-exported from
+/// `chopin-analyzer`, which owns the canonical recipe so the static
+/// pre-flight pass can predict journal fingerprints exactly.
+pub use chopin_analyzer::fingerprint_of;
 
 /// The crash-safe journal of completed sweep cells.
 #[derive(Debug)]
@@ -234,27 +224,6 @@ impl Journal {
         fs::rename(&tmp, &self.path)?;
         Ok(())
     }
-}
-
-/// Escape a string as a JSON string literal, quotes included.
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 fn render_sample(s: &RunSample) -> String {

@@ -15,6 +15,10 @@
 //! * [`lint`] — the `artifact lint` static-validation pass: the
 //!   [`chopin_lint`] rule catalogue over the suite plus every preset
 //!   configuration above.
+//! * [`preflight`] — the default pre-flight gate: every binary compiles
+//!   its command line into a [`chopin_analyzer::PlanIR`] and refuses to
+//!   start a statically-broken experiment (`--no-preflight` to bypass);
+//!   also the named plan registry behind `artifact analyze`.
 //! * [`obs`] — `--trace-out`/`--events-out` plumbing: observed runs with
 //!   the engine's [`chopin_obs`] tracing hook attached, harness wall-time
 //!   spans, and Perfetto-compatible export (`artifact trace`).
@@ -40,6 +44,7 @@ pub mod lint;
 pub mod obs;
 pub mod output;
 pub mod plot;
+pub mod preflight;
 pub mod presets;
 pub mod runner;
 pub mod supervisor;

@@ -1,0 +1,336 @@
+//! The default pre-flight gate: compile the command line into a
+//! [`PlanIR`] and refuse to start an experiment the static analyses
+//! prove broken.
+//!
+//! Every runnable binary (`runbms`, `lbo`, `latency`, `suite`) calls
+//! [`gate`] after resolving its flags and before simulating anything.
+//! Analyzer *errors* (R801, R803, R804, R806, R808, provenance errors)
+//! abort with exit code 2 and a rendered diagnostic table; *warnings*
+//! are printed but do not block. `--no-preflight` skips the gate
+//! entirely — the escape hatch for deliberately running a plan the
+//! analyses reject.
+//!
+//! The module also owns the named plan registry behind `artifact
+//! analyze --plan NAME`: one [`PlanIR`] per shipped preset (the exact
+//! configurations the presets execute) plus the deliberately broken
+//! `demo:*` plans from [`chopin_analyzer::demo`].
+
+use crate::cli::Args;
+use crate::supervisor::{plan_from_args, policy_from_args, supervision_requested};
+use chopin_analyzer::{demo, Methodology, PlanIR};
+use chopin_core::sweep::SweepConfig;
+use chopin_core::Suite;
+use chopin_faults::SupervisorPolicy;
+use chopin_lint::LintReport;
+use chopin_runtime::collector::CollectorKind;
+use chopin_workloads::{suite, SizeClass, WorkloadProfile};
+
+/// Every named shipped plan `artifact analyze --plan` accepts, beyond
+/// the `demo:*` family.
+pub const PLAN_NAMES: [&str; 7] = [
+    "default",
+    "quick",
+    "lbo",
+    "latency",
+    "kick-the-tires",
+    "validate",
+    "chaos",
+];
+
+fn resolve_profiles(benchmarks: &[String]) -> Result<Vec<WorkloadProfile>, String> {
+    let mut profiles = Vec::with_capacity(benchmarks.len());
+    for name in benchmarks {
+        profiles.push(suite::by_name(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?);
+    }
+    Ok(profiles)
+}
+
+fn whole_suite() -> Vec<String> {
+    Suite::chopin()
+        .names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+}
+
+/// Compile the plan a binary is about to execute from its resolved
+/// flags: faults from `--faults`, the supervisor policy from
+/// `--cell-deadline`/`--retries`/`--backoff-ms` when supervision is
+/// requested (no watchdog otherwise), journalling from `--journal`.
+///
+/// # Errors
+///
+/// A human-readable message for an unknown benchmark, a malformed
+/// supervisor flag or a profile without a minimum heap at the plan's
+/// size class.
+pub fn plan_for_args(
+    name: &str,
+    methodology: Methodology,
+    benchmarks: &[String],
+    config: &SweepConfig,
+    args: &Args,
+) -> Result<PlanIR, String> {
+    let profiles = resolve_profiles(benchmarks)?;
+    let faults = plan_from_args(args)?;
+    let policy = if supervision_requested(args) {
+        policy_from_args(args)?
+    } else {
+        // An unsupervised run has no watchdog: nothing for R808 to bound.
+        SupervisorPolicy {
+            cell_deadline_ms: None,
+            ..SupervisorPolicy::default()
+        }
+    };
+    PlanIR::compile(
+        name,
+        methodology,
+        &profiles,
+        config.clone(),
+        faults,
+        policy,
+        args.has("journal") || args.has("resume"),
+    )
+}
+
+/// Run the analyses over `plan` and return the findings (rule order).
+/// Pure — the rendering/exit policy lives in [`gate`].
+pub fn preflight_report(plan: &PlanIR) -> LintReport {
+    chopin_analyzer::analyze(plan)
+}
+
+/// The binaries' pre-flight gate. Prints findings to stderr; exits the
+/// process with code 2 when the plan has analyzer errors (unless
+/// `--no-preflight`).
+pub fn gate(args: &Args, plan: Result<PlanIR, String>) {
+    if args.has("no-preflight") {
+        eprintln!("preflight: skipped (--no-preflight)");
+        return;
+    }
+    let plan = match plan {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let report = preflight_report(&plan);
+    if report.has_errors() {
+        eprint!("{}", report.render_table());
+        eprintln!(
+            "preflight: {} error(s) in plan `{}`; fix the plan or rerun with --no-preflight",
+            report.error_count(),
+            plan.name
+        );
+        std::process::exit(2);
+    }
+    if report.warn_count() > 0 {
+        eprint!("{}", report.render_table());
+    }
+    eprintln!(
+        "preflight: plan `{}` OK ({} warning(s))",
+        plan.name,
+        report.warn_count()
+    );
+}
+
+fn compile_shipped(
+    name: &str,
+    methodology: Methodology,
+    benchmarks: &[String],
+    config: SweepConfig,
+    faults: Option<chopin_faults::FaultPlan>,
+    policy: SupervisorPolicy,
+) -> PlanIR {
+    let profiles = resolve_profiles(benchmarks)
+        .unwrap_or_else(|e| unreachable!("shipped plan `{name}` references the suite: {e}"));
+    PlanIR::compile(name, methodology, &profiles, config, faults, policy, false)
+        .unwrap_or_else(|e| unreachable!("shipped plan `{name}` compiles: {e}"))
+}
+
+/// Build a named plan: a shipped preset from [`PLAN_NAMES`] or a
+/// deliberately broken [`demo`] plan. `None` for unknown names.
+pub fn plan_by_name(name: &str) -> Option<PlanIR> {
+    if name.starts_with("demo:") {
+        return demo::demo_plan(name);
+    }
+    let no_watchdog = SupervisorPolicy {
+        cell_deadline_ms: None,
+        ..SupervisorPolicy::default()
+    };
+    let plan = match name {
+        // The default runbms sweep: the whole suite over the paper grid.
+        "default" => compile_shipped(
+            name,
+            Methodology::Sweep,
+            &whole_suite(),
+            SweepConfig::default(),
+            None,
+            no_watchdog,
+        ),
+        // runbms/lbo --quick: the coarse smoke grid.
+        "quick" => compile_shipped(
+            name,
+            Methodology::Sweep,
+            &whole_suite(),
+            SweepConfig::quick(),
+            None,
+            no_watchdog,
+        ),
+        // artifact lbo (Figures 1 and 5).
+        "lbo" => compile_shipped(
+            name,
+            Methodology::Lbo,
+            &whole_suite(),
+            crate::presets::lbo_sweep_config(),
+            None,
+            no_watchdog,
+        ),
+        // artifact latency (Figures 3 and 6): the two figure benchmarks.
+        "latency" => compile_shipped(
+            name,
+            Methodology::Latency,
+            &["cassandra".to_string(), "h2".to_string()],
+            SweepConfig {
+                collectors: CollectorKind::ALL.to_vec(),
+                heap_factors: crate::presets::LATENCY_HEAP_FACTORS.to_vec(),
+                invocations: 1,
+                iterations: 2,
+                size: SizeClass::Default,
+            },
+            None,
+            no_watchdog,
+        ),
+        // artifact kick-the-tires (A.5): fop on G1 and ZGC at 2x and 6x.
+        "kick-the-tires" => compile_shipped(
+            name,
+            Methodology::Sweep,
+            &["fop".to_string()],
+            SweepConfig {
+                collectors: vec![CollectorKind::G1, CollectorKind::Zgc],
+                heap_factors: crate::presets::KICK_THE_TIRES_HEAP_FACTORS.to_vec(),
+                invocations: 1,
+                iterations: 2,
+                size: SizeClass::Default,
+            },
+            None,
+            no_watchdog,
+        ),
+        // artifact validate: the scorecard's coarse suite sweep. The
+        // scorecard reports per-run telemetry, so warmup rules do not
+        // apply (Methodology::Suite).
+        "validate" => compile_shipped(
+            name,
+            Methodology::Suite,
+            &whole_suite(),
+            crate::validate::scorecard_sweep_config(),
+            None,
+            no_watchdog,
+        ),
+        // artifact chaos: fop + lusearch under the chaos fault preset,
+        // supervised with the default policy.
+        "chaos" => compile_shipped(
+            name,
+            Methodology::Sweep,
+            &["fop".to_string(), "lusearch".to_string()],
+            crate::presets::chaos_sweep_config(),
+            chopin_workloads::faults::preset(
+                "chaos",
+                chopin_workloads::faults::FALLBACK_SEED,
+                chopin_workloads::faults::DEFAULT_HORIZON_NS,
+            ),
+            SupervisorPolicy::default(),
+        ),
+        _ => return None,
+    };
+    Some(plan)
+}
+
+/// Every shipped plan, compiled — the `artifact analyze --check` corpus.
+pub fn shipped_plans() -> Vec<PlanIR> {
+    PLAN_NAMES
+        .iter()
+        .map(|name| plan_by_name(name).unwrap_or_else(|| unreachable!("{name} is shipped")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_shipped_plan_analyzes_error_free() {
+        for plan in shipped_plans() {
+            let report = preflight_report(&plan);
+            assert!(
+                !report.has_errors(),
+                "shipped plan `{}` must be error-free:\n{}",
+                plan.name,
+                report.render_table()
+            );
+        }
+    }
+
+    #[test]
+    fn every_demo_plan_resolves_and_errors() {
+        for (name, rule) in demo::DEMOS {
+            let plan = plan_by_name(name).unwrap_or_else(|| panic!("{name} resolves"));
+            let report = preflight_report(&plan);
+            assert!(report.has_errors(), "{name} must have errors");
+            assert!(
+                report.diagnostics.iter().any(|d| d.rule == rule),
+                "{name} trips {rule}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_plan_names_are_rejected() {
+        assert!(plan_by_name("nope").is_none());
+        assert!(plan_by_name("demo:nope").is_none());
+    }
+
+    #[test]
+    fn plan_for_args_reads_supervisor_flags() {
+        let args = Args::parse([
+            "--faults",
+            "chaos:9",
+            "--journal",
+            "x.journal",
+            "--cell-deadline",
+            "1000",
+        ]);
+        let plan = plan_for_args(
+            "runbms",
+            Methodology::Sweep,
+            &["fop".to_string()],
+            &SweepConfig::quick(),
+            &args,
+        )
+        .expect("compiles");
+        assert!(plan.faults.is_some());
+        assert!(plan.journalled);
+        assert_eq!(plan.policy.cell_deadline_ms, Some(1000));
+
+        let bare = plan_for_args(
+            "runbms",
+            Methodology::Sweep,
+            &["fop".to_string()],
+            &SweepConfig::quick(),
+            &Args::parse(Vec::<String>::new()),
+        )
+        .expect("compiles");
+        assert_eq!(
+            bare.policy.cell_deadline_ms, None,
+            "no watchdog unsupervised"
+        );
+
+        assert!(plan_for_args(
+            "runbms",
+            Methodology::Sweep,
+            &["no-such-benchmark".to_string()],
+            &SweepConfig::quick(),
+            &Args::parse(Vec::<String>::new()),
+        )
+        .is_err());
+    }
+}

@@ -15,7 +15,7 @@
 //! cell: it always returns every completed [`SweepResult`] plus the
 //! quarantine list.
 
-use crate::journal::{fingerprint_of, CellKey, CellRecord, Journal, JournalEntry, JournalError};
+use crate::journal::{CellKey, CellRecord, Journal, JournalEntry, JournalError};
 use chopin_core::benchmark::{BenchmarkError, BenchmarkRunner};
 use chopin_core::lbo::RunSample;
 use chopin_core::sweep::{SweepConfig, SweepFailure, SweepResult};
@@ -446,15 +446,10 @@ impl SuiteSupervisor {
     }
 
     fn fingerprint(&self, profiles: &[WorkloadProfile], config: &SweepConfig) -> u64 {
-        let mut parts: Vec<String> = profiles.iter().map(|p| p.name.to_string()).collect();
-        parts.push(format!("{:?}", config.collectors));
-        parts.push(format!("{:?}", config.heap_factors));
-        parts.push(format!("{:?}", config.invocations));
-        parts.push(format!("{:?}", config.iterations));
-        parts.push(format!("{:?}", config.size));
-        parts.push(self.runner.fingerprint());
-        let refs: Vec<&str> = parts.iter().map(String::as_str).collect();
-        fingerprint_of(&refs)
+        // The canonical recipe lives in chopin-analyzer so the static
+        // pre-flight pass predicts the exact same value.
+        let names: Vec<&str> = profiles.iter().map(|p| p.name).collect();
+        chopin_analyzer::sweep_fingerprint(&names, config, &self.runner.fingerprint())
     }
 
     /// Run the supervised suite: every cell of `profiles` × the sweep

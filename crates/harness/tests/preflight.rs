@@ -1,0 +1,174 @@
+//! The pre-flight gate, exercised end to end through all four binaries
+//! and `artifact analyze` — the acceptance criteria of the analyzer
+//! work: statically broken invocations exit 2 with the right R8xx rule
+//! before any simulation, `--no-preflight` bypasses the gate, every
+//! shipped plan passes `artifact analyze --check`, and each `demo:*`
+//! plan fails it with exactly the advertised rule.
+
+use std::process::{Command, Output};
+
+fn run(bin: &str, args: &[&str]) -> Output {
+    let path = match bin {
+        "runbms" => env!("CARGO_BIN_EXE_runbms"),
+        "lbo" => env!("CARGO_BIN_EXE_lbo"),
+        "latency" => env!("CARGO_BIN_EXE_latency"),
+        "suite" => env!("CARGO_BIN_EXE_suite"),
+        "artifact" => env!("CARGO_BIN_EXE_artifact"),
+        other => panic!("no such binary {other}"),
+    };
+    Command::new(path)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("{bin} spawns: {e}"))
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn runbms_refuses_a_cold_start_plan_and_no_preflight_bypasses() {
+    let gated = run("runbms", &["-b", "fop", "--quick", "--iterations", "1"]);
+    assert_eq!(gated.status.code(), Some(2), "{}", stderr_of(&gated));
+    assert!(stderr_of(&gated).contains("R804"), "{}", stderr_of(&gated));
+
+    let bypassed = run(
+        "runbms",
+        &[
+            "-b",
+            "fop",
+            "--quick",
+            "--iterations",
+            "1",
+            "--no-preflight",
+        ],
+    );
+    assert_eq!(bypassed.status.code(), Some(0), "{}", stderr_of(&bypassed));
+    assert!(
+        stdout_of(&bypassed).lines().count() > 1,
+        "the bypassed run still emits CSV rows"
+    );
+}
+
+#[test]
+fn lbo_refuses_a_cold_start_plan() {
+    let gated = run("lbo", &["-b", "fop", "--quick", "--iterations", "1"]);
+    assert_eq!(gated.status.code(), Some(2), "{}", stderr_of(&gated));
+    assert!(stderr_of(&gated).contains("R804"), "{}", stderr_of(&gated));
+}
+
+#[test]
+fn latency_refuses_a_batch_benchmark_statically() {
+    let gated = run("latency", &["-b", "fop"]);
+    assert_eq!(gated.status.code(), Some(2), "{}", stderr_of(&gated));
+    assert!(stderr_of(&gated).contains("R803"), "{}", stderr_of(&gated));
+
+    // Bypassed, the same mistake surfaces only at runtime (exit 1).
+    let bypassed = run("latency", &["-b", "fop", "--no-preflight"]);
+    assert_eq!(bypassed.status.code(), Some(1), "{}", stderr_of(&bypassed));
+}
+
+#[test]
+fn suite_preflights_its_observed_run_configuration() {
+    let out = run("suite", &["-b", "fop", "--faults", "chaos"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+    assert!(
+        stderr_of(&out).contains("preflight"),
+        "the gate reports on stderr: {}",
+        stderr_of(&out)
+    );
+}
+
+#[test]
+fn analyze_passes_every_shipped_plan() {
+    let out = run("artifact", &["analyze", "--check"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout_of(&out));
+    for name in chopin_harness::preflight::PLAN_NAMES {
+        assert!(
+            stderr_of(&out).contains(&format!("plan `{name}`")),
+            "{name} is analyzed: {}",
+            stderr_of(&out)
+        );
+    }
+}
+
+#[test]
+fn analyze_fails_each_demo_plan_with_its_advertised_rule() {
+    for (name, rule) in chopin_analyzer::demo::DEMOS {
+        let out = run("artifact", &["analyze", "--check", "--plan", name]);
+        assert_ne!(out.status.code(), Some(0), "{name} must fail the gate");
+        assert!(
+            stdout_of(&out).contains(rule),
+            "{name} reports {rule}: {}",
+            stdout_of(&out)
+        );
+    }
+}
+
+#[test]
+fn analyze_reports_unreadable_results_as_r810() {
+    let path = std::env::temp_dir().join(format!("chopin-preflight-{}.csv", std::process::id()));
+    std::fs::write(&path, "certainly, not, a, results file\n").expect("tmp file writes");
+    let out = run(
+        "artifact",
+        &[
+            "analyze",
+            "--plan",
+            "kick-the-tires",
+            "--results",
+            path.to_str().expect("utf-8 temp path"),
+        ],
+    );
+    assert_ne!(out.status.code(), Some(0));
+    assert!(stdout_of(&out).contains("R810"), "{}", stdout_of(&out));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn analyze_accepts_a_faithful_runbms_csv() {
+    let csv = run("runbms", &["-b", "fop", "--quick"]);
+    assert_eq!(csv.status.code(), Some(0), "{}", stderr_of(&csv));
+    let path = std::env::temp_dir().join(format!("chopin-faithful-{}.csv", std::process::id()));
+    std::fs::write(&path, stdout_of(&csv)).expect("tmp file writes");
+    let out = run(
+        "artifact",
+        &[
+            "analyze",
+            "--plan",
+            "quick",
+            "--results",
+            path.to_str().expect("utf-8 temp path"),
+        ],
+    );
+    // fop alone leaves the rest of the suite uncovered: a warning
+    // (R813), never an error.
+    assert_eq!(out.status.code(), Some(0), "{}", stdout_of(&out));
+    assert!(stdout_of(&out).contains("R813"), "{}", stdout_of(&out));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn analyze_rejects_unknown_plans_with_the_catalogue() {
+    let out = run("artifact", &["analyze", "--plan", "no-such-plan"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr_of(&out).contains("unknown plan"),
+        "{}",
+        stderr_of(&out)
+    );
+    assert!(stderr_of(&out).contains("demo:"), "{}", stderr_of(&out));
+}
+
+#[test]
+fn lint_and_analyze_share_one_rule_catalogue() {
+    let lint = run("artifact", &["lint", "--rules"]);
+    let analyze = run("artifact", &["analyze", "--rules"]);
+    assert_eq!(lint.status.code(), Some(0));
+    assert_eq!(stdout_of(&lint), stdout_of(&analyze));
+    assert!(stdout_of(&lint).contains("R801"), "R8xx rules catalogued");
+    assert!(stdout_of(&lint).contains("R101"), "legacy rules retained");
+}

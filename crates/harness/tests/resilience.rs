@@ -164,6 +164,117 @@ fn resume_refuses_a_journal_from_a_different_configuration() {
 }
 
 #[test]
+fn resume_refuses_a_journal_from_a_different_fault_configuration() {
+    // Regression: the journal fingerprint must incorporate the fault
+    // preset AND its seed — resuming a faulted sweep's journal into a
+    // differently-faulted (or fault-free) sweep would silently mix
+    // results measured under different duress.
+    let profiles = vec![suite::by_name("fop").expect("fop exists")];
+    let config = small_config();
+    let journal_path = temp_journal("fault-mismatch");
+    let _ = std::fs::remove_file(&journal_path);
+
+    let horizon = faults::DEFAULT_HORIZON_NS;
+    let chaos1 = || faults::preset("chaos", 1, horizon).expect("chaos preset");
+
+    SuiteSupervisor::new(fast_policy())
+        .with_faults(chaos1())
+        .with_journal(&journal_path)
+        .run(&profiles, &config)
+        .expect("setup is valid");
+
+    // Same preset, different seed: refused.
+    let err = SuiteSupervisor::new(fast_policy())
+        .with_faults(faults::preset("chaos", 2, horizon).expect("chaos preset"))
+        .with_journal(&journal_path)
+        .resume(true)
+        .run(&profiles, &config)
+        .expect_err("a different fault seed must not resume from this journal");
+    assert!(
+        matches!(err, SuperviseError::JournalMismatch { .. }),
+        "{err}"
+    );
+
+    // Different preset, same seed: refused.
+    let err = SuiteSupervisor::new(fast_policy())
+        .with_faults(faults::preset("storm", 1, horizon).expect("storm preset"))
+        .with_journal(&journal_path)
+        .resume(true)
+        .run(&profiles, &config)
+        .expect_err("a different fault preset must not resume from this journal");
+    assert!(
+        matches!(err, SuperviseError::JournalMismatch { .. }),
+        "{err}"
+    );
+
+    // No faults at all: refused.
+    let err = SuiteSupervisor::new(fast_policy())
+        .with_journal(&journal_path)
+        .resume(true)
+        .run(&profiles, &config)
+        .expect_err("a fault-free sweep must not resume from a faulted journal");
+    assert!(
+        matches!(err, SuperviseError::JournalMismatch { .. }),
+        "{err}"
+    );
+
+    // The exact same fault configuration: resumes.
+    let resumed = SuiteSupervisor::new(fast_policy())
+        .with_faults(chaos1())
+        .with_journal(&journal_path)
+        .resume(true)
+        .run(&profiles, &config)
+        .expect("the identical fault configuration resumes");
+    assert!(
+        resumed.metrics.counter("supervisor.cells.resumed") > 0,
+        "cells replay from the journal"
+    );
+    let _ = std::fs::remove_file(&journal_path);
+}
+
+#[test]
+fn journal_fingerprint_matches_the_analyzers_prediction() {
+    // The provenance pass (R811) predicts the journal fingerprint from
+    // the PlanIR alone; the supervisor must write exactly that value.
+    let profiles = vec![suite::by_name("fop").expect("fop exists")];
+    let config = small_config();
+    let horizon = faults::DEFAULT_HORIZON_NS;
+    let plan = faults::preset("chaos", 42, horizon);
+
+    for fault_plan in [None, plan] {
+        let journal_path = temp_journal("parity");
+        let _ = std::fs::remove_file(&journal_path);
+        let mut supervisor = SuiteSupervisor::new(fast_policy()).with_journal(&journal_path);
+        if let Some(p) = fault_plan.clone() {
+            supervisor = supervisor.with_faults(p);
+        }
+        supervisor.run(&profiles, &config).expect("setup is valid");
+
+        let written = chopin_harness::journal::Journal::load(&journal_path)
+            .expect("journal parses")
+            .fingerprint();
+        let predicted = chopin_analyzer::PlanIR::compile(
+            "parity",
+            chopin_analyzer::Methodology::Sweep,
+            &profiles,
+            config.clone(),
+            fault_plan.clone(),
+            fast_policy(),
+            true,
+        )
+        .expect("plan compiles")
+        .resume_fingerprint();
+        assert_eq!(
+            written,
+            predicted,
+            "supervisor and analyzer disagree on the fingerprint (faults: {})",
+            fault_plan.is_some()
+        );
+        let _ = std::fs::remove_file(&journal_path);
+    }
+}
+
+#[test]
 fn every_collector_survives_chaos_with_invariants_intact() {
     let profiles = vec![suite::by_name("fop").expect("fop exists")];
     let config = SweepConfig {

@@ -1,5 +1,12 @@
 //! Diagnostics and reports: the typed output of every lint rule.
+//!
+//! This is the one severity model and the one report formatter in the
+//! workspace: the `chopin-lint` rule families (R1xx–R7xx), the
+//! `chopin-analyzer` plan/provenance analyses (R8xx) and the harness's
+//! `artifact lint`/`artifact analyze` subcommands all emit
+//! [`Diagnostic`]s and render them through [`LintReport`].
 
+use chopin_obs::json::json_string;
 use std::fmt;
 
 /// How serious a finding is.
@@ -132,6 +139,18 @@ impl LintReport {
             .count()
     }
 
+    /// The process exit code the gate commands (`artifact lint`,
+    /// `artifact analyze --check`) share: 1 when any finding is an
+    /// error, 0 otherwise. Warnings never fail the gate.
+    pub fn exit_code(&self) -> i32 {
+        i32::from(self.has_errors())
+    }
+
+    /// Merge another report's findings into this one.
+    pub fn extend(&mut self, other: LintReport) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
     /// Render as a human-readable table, one row per finding, plus a
     /// summary line.
     pub fn render_table(&self) -> String {
@@ -203,25 +222,6 @@ impl LintReport {
         out.push_str("]}");
         out
     }
-}
-
-/// Escape a string as a JSON string literal.
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 #[cfg(test)]

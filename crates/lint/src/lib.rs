@@ -29,6 +29,8 @@
 //! * **R7xx** — fault-injection validity: seeded plans, bounded
 //!   magnitudes, in-horizon windows, sane supervisor budgets
 //!   ([`rules::faults`]).
+//! * **R8xx** — plan pre-flight and artifact provenance, implemented by
+//!   the `chopin-analyzer` crate against this catalogue.
 //!
 //! # Examples
 //!
@@ -52,7 +54,7 @@ pub use rules::nominal::lint_score_table;
 pub use rules::obs::lint_obs_config;
 pub use rules::registry::lint_registry;
 pub use rules::spec::{lint_latency_set, lint_profile};
-pub use rules::{RuleDef, RULES};
+pub use rules::{render_catalogue, rule, RuleDef, RULES};
 
 use chopin_core::sweep::SweepConfig;
 

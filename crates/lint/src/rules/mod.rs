@@ -1,4 +1,4 @@
-//! The rule catalogue, grouped into seven families:
+//! The rule catalogue, grouped into eight families:
 //!
 //! * **R1xx** ([`nominal`]) — nominal-statistic completeness and ranges.
 //! * **R2xx** ([`spec`]) — cross-field workload-spec consistency.
@@ -7,6 +7,10 @@
 //! * **R5xx** ([`registry`]) — suite-registry invariants.
 //! * **R6xx** ([`obs`]) — observability-configuration validity.
 //! * **R7xx** ([`faults`]) — fault-plan and supervisor-policy validity.
+//! * **R8xx** — plan pre-flight and artifact provenance. These rules are
+//!   catalogued here (one registry, one severity model) but implemented by
+//!   the `chopin-analyzer` crate, which compiles whole experiment plans
+//!   into a typed PlanIR before checking them.
 
 pub mod config;
 pub mod faults;
@@ -32,7 +36,7 @@ pub struct RuleDef {
 /// Every rule the linter implements, in id order. Rendered by
 /// `artifact lint --rules` and kept in sync with the rule modules by the
 /// crate's tests.
-pub const RULES: [RuleDef; 31] = [
+pub const RULES: [RuleDef; 44] = [
     RuleDef {
         id: "R101",
         severity: Severity::Error,
@@ -188,9 +192,90 @@ pub const RULES: [RuleDef; 31] = [
         severity: Severity::Error,
         summary: "supervisor retry/backoff/deadline budgets are positive and bounded",
     },
+    RuleDef {
+        id: "R801",
+        severity: Severity::Error,
+        summary: "every benchmark x collector pair has at least one feasible heap cell in the sweep grid",
+    },
+    RuleDef {
+        id: "R802",
+        severity: Severity::Warn,
+        summary: "individual sweep cells below the collector-adjusted minimum heap are flagged as predictably infeasible",
+    },
+    RuleDef {
+        id: "R803",
+        severity: Severity::Error,
+        summary: "the latency methodology only targets latency-sensitive benchmarks",
+    },
+    RuleDef {
+        id: "R804",
+        severity: Severity::Error,
+        summary: "timed iterations exist beyond iteration 0 (a single iteration measures cold start as steady state)",
+    },
+    RuleDef {
+        id: "R805",
+        severity: Severity::Warn,
+        summary: "residual warmup at the timed iteration is below the steady-state threshold",
+    },
+    RuleDef {
+        id: "R806",
+        severity: Severity::Error,
+        summary: "fault windows start within reach of the planned run (no dead fault plans)",
+    },
+    RuleDef {
+        id: "R807",
+        severity: Severity::Warn,
+        summary: "fault windows do not blanket the whole run (always-on faults are a baseline, not a perturbation)",
+    },
+    RuleDef {
+        id: "R808",
+        severity: Severity::Error,
+        summary: "per-cell cost lower bounds fit inside the supervisor's cell deadline",
+    },
+    RuleDef {
+        id: "R809",
+        severity: Severity::Warn,
+        summary: "long sweeps (over 24h estimated) run with a crash-safe journal",
+    },
+    RuleDef {
+        id: "R810",
+        severity: Severity::Error,
+        summary: "result artifacts parse as a runbms CSV or a sweep journal",
+    },
+    RuleDef {
+        id: "R811",
+        severity: Severity::Error,
+        summary: "result artifacts match the plan that claims them: fingerprint, benchmarks, collectors, heap factors, sample counts",
+    },
+    RuleDef {
+        id: "R812",
+        severity: Severity::Error,
+        summary: "result rows satisfy measurement invariants: finite positive times, distillable <= total, LBO curves >= 1",
+    },
+    RuleDef {
+        id: "R813",
+        severity: Severity::Warn,
+        summary: "artifacts cover every feasible planned cell (incomplete runs are resumable, not publishable)",
+    },
 ];
 
 /// Look up a rule's catalogue entry by id.
 pub fn rule(id: &str) -> Option<&'static RuleDef> {
     RULES.iter().find(|r| r.id == id)
+}
+
+/// Render the catalogue as the table printed by `artifact lint --rules`:
+/// one row per rule with its severity and summary.
+pub fn render_catalogue() -> String {
+    let mut out = String::new();
+    out.push_str("rule  severity  summary\n");
+    for r in &RULES {
+        out.push_str(&format!(
+            "{:<5} {:<9} {}\n",
+            r.id,
+            r.severity.label(),
+            r.summary
+        ));
+    }
+    out
 }

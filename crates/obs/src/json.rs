@@ -78,6 +78,38 @@ impl fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// Escape a string as a JSON string literal, quotes included — the
+/// one escaping routine every hand-rolled exporter in the workspace
+/// shares (the vendored `serde` is a marker stub without a serializer).
+///
+/// # Examples
+///
+/// ```
+/// use chopin_obs::json::json_string;
+///
+/// assert_eq!(json_string("a\"b\n"), "\"a\\\"b\\n\"");
+/// ```
+pub fn json_string(s: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 /// Parse a complete JSON document (trailing whitespace allowed, trailing
 /// garbage rejected).
 ///
@@ -404,6 +436,14 @@ pub fn validate_chrome_trace(json: &str) -> Result<TraceStats, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_string_round_trips_through_the_parser() {
+        let nasty = "line\nbreak\ttab \"quote\" back\\slash \u{1} end";
+        let literal = json_string(nasty);
+        let parsed = parse(&literal).unwrap();
+        assert_eq!(parsed.as_str(), Some(nasty));
+    }
 
     #[test]
     fn parses_nested_documents() {
