@@ -8,10 +8,14 @@
 //!   simulated horizon (R806, R807).
 //! * [`cost`] — a cost model bounding sweep time against the supervisor's
 //!   deadlines and journalling posture (R808, R809).
+//! * [`sandbox`] — process-isolation configuration: rlimit coverage,
+//!   heartbeat-vs-deadline coherence, and hard-fault backend requirements
+//!   (R901, R902, R903).
 //!
 //! [`PlanIR`]: crate::PlanIR
 
 pub mod cost;
 pub mod faults;
 pub mod heap;
+pub mod sandbox;
 pub mod warmup;

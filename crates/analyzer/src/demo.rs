@@ -14,12 +14,13 @@ use chopin_runtime::collector::CollectorKind;
 use chopin_workloads::{suite, SizeClass};
 
 /// Every demo plan name, with the rule its defect trips.
-pub const DEMOS: [(&str, &str); 5] = [
+pub const DEMOS: [(&str, &str); 6] = [
     ("demo:infeasible-heap", "R801"),
     ("demo:cold-start", "R804"),
     ("demo:dead-faults", "R806"),
     ("demo:deadline", "R808"),
     ("demo:latency-mismatch", "R803"),
+    ("demo:hard-thread", "R903"),
 ];
 
 fn base_config() -> SweepConfig {
@@ -124,6 +125,23 @@ pub fn demo_plan(name: &str) -> Option<PlanIR> {
             None,
             SupervisorPolicy::default(),
         ),
+        // A SIGKILL storm under thread isolation: the first victim takes
+        // the whole sweep down with it.
+        "demo:hard-thread" => compile(
+            name,
+            Methodology::Sweep,
+            "fop",
+            SweepConfig {
+                iterations: 9,
+                ..base_config()
+            },
+            None,
+            SupervisorPolicy::default(),
+        )
+        .with_hard_faults(Some(chopin_faults::HardFaultPlan::new(
+            chopin_faults::HardFaultKind::Kill,
+            chopin_faults::DEFAULT_HARD_SEED,
+        ))),
         _ => return None,
     };
     Some(plan)

@@ -12,8 +12,9 @@
 use crate::fingerprint::sweep_fingerprint;
 use chopin_core::iteration::warmup_scale;
 use chopin_core::sweep::SweepConfig;
-use chopin_faults::{FaultPlan, SupervisorPolicy};
+use chopin_faults::{FaultPlan, HardFaultPlan, SupervisorPolicy};
 use chopin_runtime::collector::CollectorKind;
+use chopin_sandbox::{IsolationMode, SandboxPolicy};
 use chopin_workloads::WorkloadProfile;
 
 /// Which experiment methodology the plan drives — the analyses differ:
@@ -129,6 +130,18 @@ pub struct PlanIR {
     pub policy: SupervisorPolicy,
     /// Whether completed cells are journalled (`--journal`/`--resume`).
     pub journalled: bool,
+    /// Which execution backend runs cells (`--isolation`). Not part of
+    /// the resume fingerprint: thread and process runs of the same plan
+    /// are the same experiment on a different engine, and their journals
+    /// are interchangeable.
+    pub isolation: IsolationMode,
+    /// Sandbox tunables (heartbeat cadence, explicit rlimit overrides)
+    /// in effect when `isolation` is process.
+    pub sandbox: SandboxPolicy,
+    /// The hard-fault plan (`--hard-faults`), if any. *Is* part of the
+    /// resume fingerprint: a storm of process deaths changes which cells
+    /// can complete, so its journal must not resume an undisturbed run.
+    pub hard_faults: Option<HardFaultPlan>,
 }
 
 impl PlanIR {
@@ -174,7 +187,31 @@ impl PlanIR {
             faults: faults.filter(|p| !p.is_empty()),
             policy,
             journalled,
+            isolation: IsolationMode::default(),
+            sandbox: SandboxPolicy::default(),
+            hard_faults: None,
         })
+    }
+
+    /// Select the execution backend (the `--isolation` flag).
+    #[must_use]
+    pub fn with_isolation(mut self, isolation: IsolationMode) -> Self {
+        self.isolation = isolation;
+        self
+    }
+
+    /// Override the sandbox tunables.
+    #[must_use]
+    pub fn with_sandbox(mut self, sandbox: SandboxPolicy) -> Self {
+        self.sandbox = sandbox;
+        self
+    }
+
+    /// Attach a hard-fault plan (the `--hard-faults` flag).
+    #[must_use]
+    pub fn with_hard_faults(mut self, hard_faults: Option<HardFaultPlan>) -> Self {
+        self.hard_faults = hard_faults;
+        self
     }
 
     /// Every cell of the plan, in the supervisor's deterministic
@@ -210,10 +247,13 @@ impl PlanIR {
     /// supervisor uses, so provenance checks and `--resume` agree.
     pub fn resume_fingerprint(&self) -> u64 {
         let names: Vec<&str> = self.benchmarks.iter().map(|b| b.name.as_str()).collect();
-        let runner = match &self.faults {
+        let mut runner = match &self.faults {
             None => String::new(),
             Some(plan) => format!("{plan:?}"),
         };
+        if let Some(hard) = &self.hard_faults {
+            runner.push_str(&format!("+hard:{hard:?}"));
+        }
         sweep_fingerprint(&names, &self.config, &runner)
     }
 }
@@ -331,5 +371,26 @@ mod tests {
         assert_ne!(bare, chaos1, "fault preset is part of the identity");
         assert_ne!(chaos1, chaos2, "fault seed is part of the identity");
         assert_ne!(chaos1, storm1, "fault preset name is part of the identity");
+    }
+
+    #[test]
+    fn hard_faults_change_the_fingerprint_but_isolation_does_not() {
+        use chopin_faults::{HardFaultKind, HardFaultPlan};
+        let base = plan(SweepConfig::quick());
+        let bare = base.resume_fingerprint();
+        let process = base.clone().with_isolation(IsolationMode::Process);
+        assert_eq!(
+            bare,
+            process.resume_fingerprint(),
+            "same experiment, different engine: journals must interchange"
+        );
+        let hard = base
+            .clone()
+            .with_hard_faults(Some(HardFaultPlan::new(HardFaultKind::Kill, 7)));
+        assert_ne!(
+            bare,
+            hard.resume_fingerprint(),
+            "a death storm is a different experiment"
+        );
     }
 }

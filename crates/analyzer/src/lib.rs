@@ -60,6 +60,7 @@ pub fn analyze(plan: &PlanIR) -> LintReport {
     diagnostics.extend(analyses::warmup::analyze(plan));
     diagnostics.extend(analyses::faults::analyze(plan));
     diagnostics.extend(analyses::cost::analyze(plan));
+    diagnostics.extend(analyses::sandbox::analyze(plan));
     diagnostics.sort_by(|a, b| a.rule.cmp(b.rule).then_with(|| a.location.cmp(&b.location)));
     LintReport::new(diagnostics)
 }

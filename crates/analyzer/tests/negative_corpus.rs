@@ -413,3 +413,114 @@ fn a_faithful_artifact_passes_provenance() {
     let report = analyze_artifact(&sane_plan(), &csv);
     assert!(report.diagnostics.is_empty(), "{}", report.render_table());
 }
+
+#[test]
+fn r901_rlimit_override_below_the_largest_cell() {
+    use chopin_sandbox::{IsolationMode, SandboxPolicy};
+    let plan = compile(
+        &["fop"],
+        Methodology::Sweep,
+        SweepConfig {
+            iterations: 9,
+            ..small_config()
+        },
+        None,
+        SupervisorPolicy::default(),
+        false,
+    )
+    .with_isolation(IsolationMode::Process)
+    .with_sandbox(SandboxPolicy {
+        rlimit_as_bytes: Some(1 << 20), // 1 MiB: below any cell's heap + base
+        ..SandboxPolicy::default()
+    });
+    let report = analyze(&plan);
+    assert!(report.has_errors());
+    assert_eq!(ids(&report), vec!["R901"], "{}", report.render_table());
+    let r901 = report
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == "R901")
+        .unwrap();
+    assert!(
+        r901.hint
+            .as_deref()
+            .unwrap_or("")
+            .contains("--rlimit-as-mb"),
+        "R901 carries a fix-it hint"
+    );
+}
+
+#[test]
+fn r902_heartbeat_timeout_at_or_above_the_deadline() {
+    use chopin_sandbox::{IsolationMode, SandboxPolicy};
+    let plan = compile(
+        &["fop"],
+        Methodology::Sweep,
+        SweepConfig {
+            iterations: 9,
+            ..small_config()
+        },
+        None,
+        SupervisorPolicy {
+            cell_deadline_ms: Some(200),
+            ..SupervisorPolicy::default()
+        },
+        false,
+    )
+    .with_isolation(IsolationMode::Process)
+    .with_sandbox(SandboxPolicy {
+        heartbeat_interval_ms: 100,
+        heartbeat_grace: 2, // timeout 200ms == deadline: can never fire first
+        ..SandboxPolicy::default()
+    });
+    let report = analyze(&plan);
+    assert!(report.has_errors());
+    assert_eq!(ids(&report), vec!["R902"], "{}", report.render_table());
+    let r902 = report
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == "R902")
+        .unwrap();
+    assert!(
+        r902.hint
+            .as_deref()
+            .unwrap_or("")
+            .contains("--heartbeat-ms"),
+        "R902 carries a fix-it hint"
+    );
+}
+
+#[test]
+fn r903_hard_faults_under_thread_isolation() {
+    use chopin_faults::{HardFaultKind, HardFaultPlan};
+    let plan = compile(
+        &["fop"],
+        Methodology::Sweep,
+        SweepConfig {
+            iterations: 9,
+            ..small_config()
+        },
+        None,
+        SupervisorPolicy::default(),
+        false,
+    )
+    .with_hard_faults(Some(HardFaultPlan::new(
+        HardFaultKind::Kill,
+        chopin_faults::DEFAULT_HARD_SEED,
+    )));
+    let report = analyze(&plan);
+    assert!(report.has_errors());
+    assert_eq!(ids(&report), vec!["R903"], "{}", report.render_table());
+    let r903 = report
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == "R903")
+        .unwrap();
+    assert!(
+        r903.hint
+            .as_deref()
+            .unwrap_or("")
+            .contains("--isolation process"),
+        "R903 carries a fix-it hint"
+    );
+}

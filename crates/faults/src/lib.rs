@@ -21,6 +21,9 @@
 //! * [`SupervisorPolicy`] — the retry/backoff/deadline configuration of
 //!   the harness sweep supervisor, kept here so the lint crate can
 //!   validate it (rules R701–R704) without depending on the harness.
+//! * [`HardFaultPlan`] — the *hard* fault family: deterministic process
+//!   deaths (SIGKILL, abort, OOM blow-up) that no in-process fault clock
+//!   can express and only the process-isolation backend can survive.
 //!
 //! Everything is deterministic: plans are pure data, storms derive from
 //! the plan seed, and the clock consults nothing but the simulated time
@@ -31,10 +34,14 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod clock;
+pub mod hard;
 pub mod plan;
 pub mod policy;
 
 pub use clock::{FaultClock, FaultSample, NoFaults, ScheduledFaults};
+pub use hard::{
+    parse_hard_flag, HardFaultKind, HardFaultPlan, DEFAULT_HARD_SEED, HARD_PRESET_NAMES,
+};
 pub use plan::{FaultKind, FaultPlan, FaultPlanError, FaultWindow, MAX_FAULT_FACTOR, MAX_WINDOWS};
 pub use policy::{
     PolicyError, SupervisorPolicy, MAX_BACKOFF_MS, MAX_DEADLINE_MS, MAX_RETRIES_BOUND,

@@ -83,6 +83,25 @@ impl FaultKind {
         }
     }
 
+    /// Rebuild a kind from its [`FaultKind::label`] and
+    /// [`FaultKind::magnitude`] — the inverse used when plans are
+    /// marshalled across a process boundary. Returns `None` for an
+    /// unknown label.
+    pub fn from_parts(label: &str, magnitude: f64) -> Option<FaultKind> {
+        match label {
+            "alloc_spike" => Some(FaultKind::AllocSpike { factor: magnitude }),
+            "heap_squeeze" => Some(FaultKind::HeapSqueeze {
+                fraction: magnitude,
+            }),
+            "gc_slowdown" => Some(FaultKind::GcSlowdown { factor: magnitude }),
+            "stall_storm" => Some(FaultKind::StallStorm {
+                throttle: magnitude,
+            }),
+            "force_degenerate" => Some(FaultKind::ForceDegenerate),
+            _ => None,
+        }
+    }
+
     /// The kind's position in per-kind bookkeeping arrays (0..[`FaultKind::COUNT`]).
     pub fn index(&self) -> usize {
         match self {

@@ -78,6 +78,26 @@ impl SupervisorPolicy {
             .min(self.backoff_max_ms)
     }
 
+    /// The *jittered* backoff delay before retry attempt `attempt`
+    /// (0-based), in milliseconds: uniform in `[0, backoff_ms(attempt)]`
+    /// ("full jitter").
+    ///
+    /// Plain exponential backoff retries every failed worker in
+    /// deterministic lockstep, re-amplifying exactly the contention spike
+    /// that made them fail. Full jitter spreads the retries across the
+    /// whole window — and seeding it from the cell identity (rather than
+    /// an RNG) keeps every run bit-reproducible: the same cell backs off
+    /// by the same delays on every host, every time.
+    pub fn backoff_jitter_ms(&self, attempt: u32, seed: u64) -> u64 {
+        let ceiling = self.backoff_ms(attempt);
+        if ceiling == u64::MAX {
+            return ceiling;
+        }
+        let mix =
+            crate::hard::splitmix64(seed ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        mix % (ceiling + 1)
+    }
+
     /// Validate the policy: positive, bounded deadline and backoff values
     /// and a bounded retry count (rule R704).
     ///
@@ -154,6 +174,30 @@ mod tests {
         assert_eq!(p.backoff_ms(2), 40);
         assert_eq!(p.backoff_ms(3), 50, "capped");
         assert_eq!(p.backoff_ms(200), 50, "shift overflow saturates");
+    }
+
+    #[test]
+    fn jittered_backoff_stays_in_the_window_and_is_reproducible() {
+        let p = SupervisorPolicy {
+            backoff_base_ms: 10,
+            backoff_max_ms: 1_000,
+            ..SupervisorPolicy::default()
+        };
+        for attempt in 0..8 {
+            for seed in [1u64, 42, 0xDEAD_BEEF] {
+                let jittered = p.backoff_jitter_ms(attempt, seed);
+                assert!(jittered <= p.backoff_ms(attempt));
+                assert_eq!(
+                    jittered,
+                    p.backoff_jitter_ms(attempt, seed),
+                    "same seed + attempt must give the same delay"
+                );
+            }
+        }
+        // Different seeds (different cells) must not retry in lockstep.
+        let delays: Vec<u64> = (0..16).map(|s| p.backoff_jitter_ms(3, s)).collect();
+        let first = delays[0];
+        assert!(delays.iter().any(|&d| d != first), "jitter must spread");
     }
 
     #[test]

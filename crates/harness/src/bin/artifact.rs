@@ -35,6 +35,17 @@
 //! and every LBO curve stays ≥ 1 — and exits non-zero on any violation:
 //! the CI chaos gate.
 //!
+//! Chaos also accepts the isolation flags: `--isolation process` runs
+//! each cell in a sandboxed child, `--hard-faults kill|abort|oom` adds
+//! real process deaths on deterministic victim cells (process isolation
+//! required, rule R903), `--crash-reports FILE` writes one JSONL record
+//! per hard child failure, and `--journal FILE` / `--resume` extend to
+//! crashed sweeps unchanged. Under a hard-fault plan, `--check`
+//! additionally verifies the quarantined set is exactly the plan's
+//! victim set and every victim carries the crash taxonomy its death mode
+//! implies (kill → SIGKILL, abort → SIGABRT, oom → the RLIMIT_AS
+//! backstop) — the CI hard-fault gate.
+//!
 //! `artifact trace [-b BENCH] [--collector NAME] [--heap-factor F]
 //! [--trace-out FILE] [--events-out FILE] [--check]` runs one benchmark
 //! with the engine's tracing observer attached, writes a
@@ -44,13 +55,17 @@
 //! exits non-zero on any defect — the CI gate.
 
 use chopin_core::lbo::{Clock, LboAnalysis};
+use chopin_faults::{HardFaultKind, HardFaultPlan};
 use chopin_harness::cli::Args;
 use chopin_harness::obs::{observe_benchmark, ObsOptions, DEFAULT_EVENTS_OUT, DEFAULT_TRACE_OUT};
 use chopin_harness::preflight;
 use chopin_harness::presets::Preset;
-use chopin_harness::supervisor::{plan_from_args, policy_from_args, SuiteSupervisor};
+use chopin_harness::supervisor::{
+    plan_from_args, policy_from_args, QuarantineReason, SuiteSupervisor,
+};
 use chopin_obs::validate_chrome_trace;
 use chopin_runtime::collector::CollectorKind;
+use chopin_sandbox::limits::{SIGABRT, SIGKILL};
 use chopin_workloads::faults::{preset as fault_preset, DEFAULT_HORIZON_NS, FALLBACK_SEED};
 
 const USAGE: &str = "usage: artifact <kick-the-tires|lbo|latency|validate|lint|analyze|trace|\
@@ -88,6 +103,13 @@ fn run_chaos(args: &Args) -> i32 {
             return 2;
         }
     };
+    let hard = match chopin_harness::sandbox::hard_plan_from_args(args) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
     let sweep = chopin_harness::presets::chaos_sweep_config();
     eprintln!(
         "artifact chaos: {} benchmark(s) x {} collectors under seeded faults (seed {})",
@@ -95,10 +117,20 @@ fn run_chaos(args: &Args) -> i32 {
         sweep.collectors.len(),
         plan.seed
     );
-    let report = match SuiteSupervisor::new(policy)
+    let mut supervisor = SuiteSupervisor::new(policy)
         .with_faults(plan)
-        .run(&profiles, &sweep)
-    {
+        .resume(args.has("resume"));
+    if let Some(path) = args.value("journal") {
+        supervisor = supervisor.with_journal(path);
+    }
+    supervisor = match chopin_harness::sandbox::configure_isolation(supervisor, args) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let report = match supervisor.run(&profiles, &sweep) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
@@ -115,11 +147,17 @@ fn run_chaos(args: &Args) -> i32 {
         report.metrics.counter("supervisor.retries"),
     );
     print!("{}", report.quarantine_summary());
+    if !report.crash_reports.is_empty() {
+        println!("{} crash report(s) collected", report.crash_reports.len());
+    }
 
     if !args.has("check") {
         return 0;
     }
     let mut failures = Vec::new();
+    if let Some(hard) = &hard {
+        check_hard_faults(hard, &benchmarks, &sweep, &report, &mut failures);
+    }
     let completed = report.metrics.counter("supervisor.cells.completed");
     let quarantined = report.metrics.counter("supervisor.cells.quarantined");
     if completed + quarantined != report.metrics.counter("supervisor.cells") {
@@ -179,6 +217,76 @@ fn run_chaos(args: &Args) -> i32 {
             eprintln!("check FAILED: {f}");
         }
         1
+    }
+}
+
+/// The hard-fault leg of `chaos --check`: the quarantined set must be
+/// exactly the plan's victim set, and every victim's quarantine reason
+/// must carry the crash taxonomy its death mode implies.
+fn check_hard_faults(
+    hard: &HardFaultPlan,
+    benchmarks: &[String],
+    sweep: &chopin_core::sweep::SweepConfig,
+    report: &chopin_harness::supervisor::SuiteReport,
+    failures: &mut Vec<String>,
+) {
+    let reason_matches = |reason: &QuarantineReason| match hard.kind {
+        HardFaultKind::Kill => {
+            matches!(reason, QuarantineReason::Signalled { signal } if *signal == SIGKILL)
+        }
+        HardFaultKind::Abort => {
+            matches!(reason, QuarantineReason::Signalled { signal } if *signal == SIGABRT)
+        }
+        HardFaultKind::OomBlowup => matches!(reason, QuarantineReason::OomKilled),
+    };
+    let mut victims = 0;
+    for bench in benchmarks {
+        for &collector in &sweep.collectors {
+            for &factor in &sweep.heap_factors {
+                if !hard.is_victim(bench, &collector.to_string(), factor) {
+                    continue;
+                }
+                victims += 1;
+                let entry = report.quarantined.iter().find(|q| {
+                    q.cell.benchmark == *bench
+                        && q.cell.collector == collector
+                        && q.cell.heap_factor == factor
+                });
+                match entry {
+                    None => failures.push(format!(
+                        "victim {bench} {collector} {factor:.2}x was not quarantined"
+                    )),
+                    Some(q) if !reason_matches(&q.reason) => failures.push(format!(
+                        "victim {bench} {collector} {factor:.2}x quarantined with the wrong \
+                         taxonomy for `{}`: {}",
+                        hard.kind, q.reason
+                    )),
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+    if victims == 0 {
+        failures.push("the hard-fault plan selected no victims on this grid".to_string());
+    }
+    for q in &report.quarantined {
+        if !hard.is_victim(
+            &q.cell.benchmark,
+            &q.cell.collector.to_string(),
+            q.cell.heap_factor,
+        ) {
+            failures.push(format!(
+                "non-victim {} {} {:.2}x was quarantined: {}",
+                q.cell.benchmark, q.cell.collector, q.cell.heap_factor, q.reason
+            ));
+        }
+    }
+    if report.crash_reports.len() < victims {
+        failures.push(format!(
+            "{} victim(s) but only {} crash report(s)",
+            victims,
+            report.crash_reports.len()
+        ));
     }
 }
 
@@ -357,6 +465,9 @@ fn run_trace(args: &Args) -> i32 {
 }
 
 fn main() {
+    // Must run before anything else: under --isolation process this
+    // binary re-spawns itself as a sandboxed cell worker.
+    chopin_harness::worker_entry();
     let args = Args::from_env();
     let Some(command) = args.positionals().first() else {
         eprintln!("{USAGE}");

@@ -15,6 +15,10 @@
 //! in particular, asking for metered latency from a benchmark without a
 //! request stream is rejected statically (rule R803) with exit 2.
 //! `--no-preflight` bypasses the gate.
+//!
+//! `--isolation process` re-runs the whole measurement inside one
+//! sandboxed child process, so an engine crash surfaces as a structured
+//! crash report instead of taking the terminal session down with it.
 
 use chopin_analyzer::Methodology;
 use chopin_core::latency::SmoothingWindow;
@@ -32,7 +36,22 @@ use chopin_runtime::collector::CollectorKind;
 use chopin_runtime::time::SimDuration;
 
 fn main() {
+    // Must run before anything else: under --isolation process this
+    // binary re-spawns itself as a sandboxed worker.
+    chopin_harness::worker_entry();
     let args = Args::from_env();
+    match chopin_harness::sandbox::isolation_from_args(&args) {
+        // latency has no per-cell supervisor path: isolate the whole run
+        // in one sandboxed child instead of one child per cell.
+        Ok(chopin_harness::IsolationMode::Process) => {
+            std::process::exit(chopin_harness::sandbox::reexec_isolated());
+        }
+        Ok(_) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
     let obs = ObsOptions::from_args(&args);
     if let Err(e) = obs.validate() {
         eprintln!("error: {e}");

@@ -13,9 +13,12 @@
 //! ```
 //!
 //! Any supervisor flag (`--faults`, `--journal`, `--resume`,
-//! `--cell-deadline`, `--retries`, `--backoff-ms`) routes the sweeps
-//! through the resilient supervisor; quarantined cells are reported on
-//! stderr and the LBO analysis proceeds over the completed cells.
+//! `--cell-deadline`, `--retries`, `--backoff-ms`, `--isolation`,
+//! `--hard-faults`, `--crash-reports`) routes the sweeps through the
+//! resilient supervisor; quarantined cells are reported on stderr and
+//! the LBO analysis proceeds over the completed cells. With
+//! `--isolation process` each cell runs in a sandboxed child process,
+//! so hard crashes land in quarantine instead of killing the run.
 //!
 //! Every invocation is pre-flight analyzed first (`chopin-analyzer`):
 //! statically broken plans abort with exit 2 and an R8xx diagnostic
@@ -66,6 +69,11 @@ fn run_supervised(benchmarks: &[String], sweep: &SweepConfig, args: &Args) -> Lb
     if let Some(path) = args.value("journal") {
         supervisor = supervisor.with_journal(path);
     }
+    supervisor =
+        chopin_harness::sandbox::configure_isolation(supervisor, args).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        });
     let report = supervisor.run(&profiles, sweep).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(2);
@@ -94,6 +102,9 @@ fn run_supervised(benchmarks: &[String], sweep: &SweepConfig, args: &Args) -> Lb
 }
 
 fn main() {
+    // Must run before anything else: under --isolation process this
+    // binary re-spawns itself as a sandboxed cell worker.
+    chopin_harness::worker_entry();
     let args = Args::from_env();
     let obs = ObsOptions::from_args(&args);
     if let Err(e) = obs.validate() {

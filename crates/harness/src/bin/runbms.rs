@@ -18,6 +18,16 @@
 //! interrupted suite stopped, and the exit code is 3 when any cell ended
 //! up quarantined (completed results are still printed).
 //!
+//! `--isolation process` moves the isolation boundary from a thread to a
+//! sandboxed child OS process per cell (heartbeats, derived
+//! RLIMIT_AS/RLIMIT_CPU; `--heartbeat-ms`, `--rlimit-as-mb`,
+//! `--rlimit-cpu-s` to override), so cells that SIGSEGV, get OOM-killed
+//! or wedge are quarantined with their crash taxonomy instead of taking
+//! the sweep down. `--hard-faults kill|abort|oom[:SEED[:STRIDE]]`
+//! injects real process deaths into deterministic victim cells (process
+//! isolation required, rule R903); `--crash-reports FILE` writes one
+//! JSONL record per hard child failure.
+//!
 //! Every invocation is pre-flight analyzed first (`chopin-analyzer`):
 //! plans the static analyses prove broken — infeasible heap grids, dead
 //! fault windows, cold-start timing, unmeetable deadlines — abort with
@@ -94,6 +104,13 @@ fn run_supervised(
     if let Some(path) = args.value("journal") {
         supervisor = supervisor.with_journal(path);
     }
+    supervisor = match chopin_harness::sandbox::configure_isolation(supervisor, args) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
     let report = match supervisor.run(&profiles, sweep) {
         Ok(r) => r,
         Err(e) => {
@@ -112,6 +129,15 @@ fn run_supervised(
         report.metrics.counter("supervisor.cells.infeasible"),
         report.metrics.counter("supervisor.retries"),
     );
+    if report.metrics.counter("sandbox.spawns") > 0 {
+        eprintln!(
+            "runbms: sandbox: {} spawn(s), {} signalled, {} oom-killed, {} heartbeat kill(s)",
+            report.metrics.counter("sandbox.spawns"),
+            report.metrics.counter("sandbox.exits.signalled"),
+            report.metrics.counter("sandbox.oom_killed"),
+            report.metrics.counter("sandbox.kills.heartbeat"),
+        );
+    }
     if report.is_clean() {
         0
     } else {
@@ -121,6 +147,9 @@ fn run_supervised(
 }
 
 fn main() {
+    // Must run before anything else: under --isolation process this
+    // binary re-spawns itself as a sandboxed cell worker.
+    chopin_harness::worker_entry();
     let args = Args::from_env();
     let obs = ObsOptions::from_args(&args);
     if let Err(e) = obs.validate() {

@@ -14,7 +14,15 @@
 //! and parsing reuses [`chopin_obs::json`]. Floats are written with
 //! `{:?}`, whose shortest-round-trip output restores the exact bits on
 //! parse — the property the byte-identical resume guarantee rests on.
+//!
+//! Besides completed cells, the journal also records quarantine verdicts
+//! ([`QuarantineRecord`]) so a post-mortem can read *why* a cell never
+//! completed — including the hard crash taxonomy (signals, OOM kills,
+//! lost heartbeats) from process isolation. Quarantine records never
+//! satisfy a resume lookup: a resumed run re-attempts those cells and
+//! re-records its own verdicts.
 
+use crate::supervisor::QuarantineReason;
 use chopin_core::lbo::RunSample;
 use chopin_obs::json::{self, json_string, JsonValue};
 use chopin_runtime::collector::CollectorKind;
@@ -71,6 +79,19 @@ pub struct JournalEntry {
     pub record: CellRecord,
 }
 
+/// One quarantine verdict on record: which cell never completed, after
+/// how many attempts, and the structured reason (including the crash
+/// taxonomy under process isolation).
+#[derive(Debug, Clone)]
+pub struct QuarantineRecord {
+    /// The cell that never completed.
+    pub key: CellKey,
+    /// Total attempts made (first try plus retries).
+    pub attempts: u32,
+    /// The final failure.
+    pub reason: QuarantineReason,
+}
+
 /// A journal operation failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JournalError {
@@ -116,6 +137,7 @@ pub struct Journal {
     path: PathBuf,
     fingerprint: u64,
     entries: Vec<JournalEntry>,
+    quarantines: Vec<QuarantineRecord>,
 }
 
 impl Journal {
@@ -130,6 +152,7 @@ impl Journal {
             path: path.to_path_buf(),
             fingerprint,
             entries: Vec::new(),
+            quarantines: Vec::new(),
         };
         journal.persist()?;
         Ok(journal)
@@ -151,19 +174,30 @@ impl Journal {
         let fingerprint =
             parse_header(header).map_err(|message| JournalError::Parse { line: 1, message })?;
         let mut entries = Vec::new();
+        let mut quarantines = Vec::new();
         for (i, line) in lines {
             if line.trim().is_empty() {
                 continue;
             }
-            entries.push(parse_entry(line).map_err(|message| JournalError::Parse {
+            let obj = json::parse(line).map_err(|e| JournalError::Parse {
+                line: i + 1,
+                message: e.to_string(),
+            })?;
+            let parse_err = |message| JournalError::Parse {
                 line: i + 1,
                 message,
-            })?);
+            };
+            if obj.get("quarantined").is_some() {
+                quarantines.push(parse_quarantine(&obj).map_err(parse_err)?);
+            } else {
+                entries.push(parse_entry(&obj).map_err(parse_err)?);
+            }
         }
         Ok(Journal {
             path: path.to_path_buf(),
             fingerprint,
             entries,
+            quarantines,
         })
     }
 
@@ -201,6 +235,31 @@ impl Journal {
         self.persist()
     }
 
+    /// Record a quarantine verdict and atomically persist the whole
+    /// journal. Quarantined cells never satisfy [`Journal::lookup`], so a
+    /// resumed run still re-attempts them.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] if the rewrite fails (the record is still
+    /// retained in memory).
+    pub fn record_quarantine(&mut self, record: QuarantineRecord) -> Result<(), JournalError> {
+        self.quarantines.push(record);
+        self.persist()
+    }
+
+    /// The quarantine verdicts on record, in recording order.
+    pub fn quarantines(&self) -> &[QuarantineRecord] {
+        &self.quarantines
+    }
+
+    /// Drop the quarantine records (a resuming run re-attempts those
+    /// cells and records its own verdicts; stale ones would misdescribe
+    /// the resumed run).
+    pub fn clear_quarantines(&mut self) {
+        self.quarantines.clear();
+    }
+
     /// Rewrite the journal via tmp-then-rename so the on-disk file is
     /// replaced atomically.
     fn persist(&self) -> Result<(), JournalError> {
@@ -215,6 +274,10 @@ impl Journal {
             text.push_str(&render_entry(entry));
             text.push('\n');
         }
+        for record in &self.quarantines {
+            text.push_str(&render_quarantine(record));
+            text.push('\n');
+        }
         let tmp = self.path.with_extension("journal.tmp");
         {
             let mut file = fs::File::create(&tmp)?;
@@ -226,7 +289,7 @@ impl Journal {
     }
 }
 
-fn render_sample(s: &RunSample) -> String {
+pub(crate) fn render_sample(s: &RunSample) -> String {
     format!(
         "{{\"collector\":{},\"heap_factor\":{:?},\"wall_s\":{:?},\"task_s\":{:?},\
          \"wall_distillable_s\":{:?},\"task_distillable_s\":{:?}}}",
@@ -236,6 +299,45 @@ fn render_sample(s: &RunSample) -> String {
         s.task_s,
         s.wall_distillable_s,
         s.task_distillable_s,
+    )
+}
+
+fn render_reason(reason: &QuarantineReason) -> String {
+    match reason {
+        QuarantineReason::Panicked(message) => {
+            format!(
+                "{{\"kind\":\"panicked\",\"message\":{}}}",
+                json_string(message)
+            )
+        }
+        QuarantineReason::DeadlineExceeded { budget_ms } => {
+            format!("{{\"kind\":\"deadline_exceeded\",\"budget_ms\":{budget_ms}}}")
+        }
+        QuarantineReason::Errored(message) => {
+            format!(
+                "{{\"kind\":\"errored\",\"message\":{}}}",
+                json_string(message)
+            )
+        }
+        QuarantineReason::Signalled { signal } => {
+            format!("{{\"kind\":\"signalled\",\"signal\":{signal}}}")
+        }
+        QuarantineReason::OomKilled => "{\"kind\":\"oom_killed\"}".to_string(),
+        QuarantineReason::HeartbeatLost { silent_ms } => {
+            format!("{{\"kind\":\"heartbeat_lost\",\"silent_ms\":{silent_ms}}}")
+        }
+    }
+}
+
+fn render_quarantine(record: &QuarantineRecord) -> String {
+    format!(
+        "{{\"quarantined\":{{\"benchmark\":{},\"collector\":{},\"heap_factor\":{:?}}},\
+         \"attempts\":{},\"reason\":{}}}",
+        json_string(&record.key.benchmark),
+        json_string(&record.key.collector.to_string()),
+        record.key.heap_factor,
+        record.attempts,
+        render_reason(&record.reason),
     )
 }
 
@@ -288,7 +390,7 @@ fn parse_header(line: &str) -> Result<u64, String> {
     u64::from_str_radix(&hex, 16).map_err(|e| format!("bad fingerprint `{hex}`: {e}"))
 }
 
-fn parse_sample(value: &JsonValue) -> Result<RunSample, String> {
+pub(crate) fn parse_sample(value: &JsonValue) -> Result<RunSample, String> {
     Ok(RunSample {
         collector: collector_field(value, "collector")?,
         heap_factor: num_field(value, "heap_factor")?,
@@ -299,12 +401,46 @@ fn parse_sample(value: &JsonValue) -> Result<RunSample, String> {
     })
 }
 
-fn parse_entry(line: &str) -> Result<JournalEntry, String> {
-    let obj = json::parse(line).map_err(|e| e.to_string())?;
+fn parse_reason(value: &JsonValue) -> Result<QuarantineReason, String> {
+    let kind = str_field(value, "kind")?;
+    match kind.as_str() {
+        "panicked" => Ok(QuarantineReason::Panicked(str_field(value, "message")?)),
+        "deadline_exceeded" => Ok(QuarantineReason::DeadlineExceeded {
+            budget_ms: num_field(value, "budget_ms")? as u64,
+        }),
+        "errored" => Ok(QuarantineReason::Errored(str_field(value, "message")?)),
+        "signalled" => Ok(QuarantineReason::Signalled {
+            signal: num_field(value, "signal")? as i32,
+        }),
+        "oom_killed" => Ok(QuarantineReason::OomKilled),
+        "heartbeat_lost" => Ok(QuarantineReason::HeartbeatLost {
+            silent_ms: num_field(value, "silent_ms")? as u64,
+        }),
+        other => Err(format!("unknown quarantine reason kind `{other}`")),
+    }
+}
+
+fn parse_quarantine(obj: &JsonValue) -> Result<QuarantineRecord, String> {
+    let cell = obj
+        .get("quarantined")
+        .ok_or("missing field `quarantined`")?;
+    let reason = obj.get("reason").ok_or("missing field `reason`")?;
+    Ok(QuarantineRecord {
+        key: CellKey {
+            benchmark: str_field(cell, "benchmark")?,
+            collector: collector_field(cell, "collector")?,
+            heap_factor: num_field(cell, "heap_factor")?,
+        },
+        attempts: num_field(obj, "attempts")? as u32,
+        reason: parse_reason(reason)?,
+    })
+}
+
+fn parse_entry(obj: &JsonValue) -> Result<JournalEntry, String> {
     let key = CellKey {
-        benchmark: str_field(&obj, "benchmark")?,
-        collector: collector_field(&obj, "collector")?,
-        heap_factor: num_field(&obj, "heap_factor")?,
+        benchmark: str_field(obj, "benchmark")?,
+        collector: collector_field(obj, "collector")?,
+        heap_factor: num_field(obj, "heap_factor")?,
     };
     let samples = obj
         .get("samples")
@@ -451,6 +587,78 @@ mod tests {
             Journal::load(&path),
             Err(JournalError::Parse { line: 2, .. })
         ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn quarantine_reasons_round_trip_through_jsonl() {
+        // Every QuarantineReason variant — including the hard crash
+        // taxonomy from process isolation — survives a JSONL round trip.
+        let reasons = vec![
+            QuarantineReason::Panicked("boom \"quoted\"\nline".to_string()),
+            QuarantineReason::DeadlineExceeded { budget_ms: 30_000 },
+            QuarantineReason::Errored("flaky disk".to_string()),
+            QuarantineReason::Signalled { signal: 9 },
+            QuarantineReason::Signalled { signal: 11 },
+            QuarantineReason::OomKilled,
+            QuarantineReason::HeartbeatLost { silent_ms: 1_000 },
+        ];
+
+        let dir = std::env::temp_dir().join(format!("chopin-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("quarantine_round_trip.journal");
+        let mut journal = Journal::create(&path, 0xdead).unwrap();
+        for (i, reason) in reasons.iter().enumerate() {
+            journal
+                .record_quarantine(QuarantineRecord {
+                    key: CellKey {
+                        benchmark: "fop".to_string(),
+                        collector: CollectorKind::G1,
+                        heap_factor: 2.0 + i as f64,
+                    },
+                    attempts: 3,
+                    reason: reason.clone(),
+                })
+                .unwrap();
+        }
+
+        let loaded = Journal::load(&path).unwrap();
+        assert_eq!(loaded.quarantines().len(), reasons.len());
+        for (record, reason) in loaded.quarantines().iter().zip(&reasons) {
+            assert_eq!(&record.reason, reason);
+            assert_eq!(record.attempts, 3);
+            assert_eq!(record.key.benchmark, "fop");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn quarantine_records_do_not_satisfy_resume_lookups() {
+        let dir = std::env::temp_dir().join(format!("chopin-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("quarantine_lookup.journal");
+        let key = CellKey {
+            benchmark: "fop".to_string(),
+            collector: CollectorKind::G1,
+            heap_factor: 2.0,
+        };
+        let mut journal = Journal::create(&path, 7).unwrap();
+        journal
+            .record_quarantine(QuarantineRecord {
+                key: key.clone(),
+                attempts: 2,
+                reason: QuarantineReason::Signalled { signal: 9 },
+            })
+            .unwrap();
+
+        let mut loaded = Journal::load(&path).unwrap();
+        assert!(
+            loaded.lookup(&key).is_none(),
+            "a quarantined cell must be re-attempted on resume"
+        );
+        assert!(loaded.is_empty(), "no completed cells on record");
+        loaded.clear_quarantines();
+        assert!(loaded.quarantines().is_empty());
         std::fs::remove_file(&path).ok();
     }
 

@@ -24,10 +24,14 @@
 //!   spans, and Perfetto-compatible export (`artifact trace`).
 //! * [`output`] — the results folder the artifact workflow writes into.
 //! * [`supervisor`] — the resilient sweep supervisor: per-cell panic
-//!   isolation, deadlines, retry with backoff, quarantine reports and
-//!   deterministic fault injection (`--faults`).
+//!   isolation, deadlines, retry with jittered backoff, quarantine
+//!   reports and deterministic fault injection (`--faults`).
+//! * [`sandbox`] — process-isolated cell execution (`--isolation
+//!   process`): sandboxed worker children with derived resource limits,
+//!   the crash taxonomy (signals, OOM kills, lost heartbeats), hard-fault
+//!   injection (`--hard-faults kill|abort|oom`) and crash-report JSONL.
 //! * [`journal`] — the supervisor's crash-safe completed-cell journal
-//!   backing `--resume`.
+//!   backing `--resume`, plus quarantine verdict records.
 //! * [`validate`] — the reproduction scorecard: re-verify the paper's
 //!   headline claims with fresh measurements (`artifact validate`).
 //!
@@ -47,6 +51,7 @@ pub mod plot;
 pub mod preflight;
 pub mod presets;
 pub mod runner;
+pub mod sandbox;
 pub mod supervisor;
 pub mod validate;
 
@@ -57,6 +62,7 @@ pub use experiments::{
 pub use obs::{observe_benchmark, ObsOptions, ObservedRun, SpanSink};
 pub use presets::Preset;
 pub use runner::{run_suite_sweeps, run_suite_sweeps_spanned, SuiteSweepOutcome, SweepError};
+pub use sandbox::{worker_entry, CrashReport, IsolationMode, ProcessCellRunner};
 pub use supervisor::{
-    QuarantineEntry, QuarantineReason, SuiteReport, SuiteSupervisor, SuperviseError,
+    CellFailure, QuarantineEntry, QuarantineReason, SuiteReport, SuiteSupervisor, SuperviseError,
 };

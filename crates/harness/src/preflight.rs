@@ -16,6 +16,7 @@
 //! `demo:*` plans from [`chopin_analyzer::demo`].
 
 use crate::cli::Args;
+use crate::sandbox::{hard_plan_from_args, isolation_from_args, sandbox_policy_from_args};
 use crate::supervisor::{plan_from_args, policy_from_args, supervision_requested};
 use chopin_analyzer::{demo, Methodology, PlanIR};
 use chopin_core::sweep::SweepConfig;
@@ -56,7 +57,11 @@ fn whole_suite() -> Vec<String> {
 /// Compile the plan a binary is about to execute from its resolved
 /// flags: faults from `--faults`, the supervisor policy from
 /// `--cell-deadline`/`--retries`/`--backoff-ms` when supervision is
-/// requested (no watchdog otherwise), journalling from `--journal`.
+/// requested (no watchdog otherwise), journalling from `--journal`,
+/// the isolation backend from `--isolation`, the sandbox policy from
+/// `--heartbeat-ms`/`--rlimit-as-mb`/`--rlimit-cpu-s` and hard faults
+/// from `--hard-faults` — so the R90x sandbox analyses see exactly what
+/// the run would do.
 ///
 /// # Errors
 ///
@@ -81,7 +86,7 @@ pub fn plan_for_args(
             ..SupervisorPolicy::default()
         }
     };
-    PlanIR::compile(
+    Ok(PlanIR::compile(
         name,
         methodology,
         &profiles,
@@ -89,7 +94,10 @@ pub fn plan_for_args(
         faults,
         policy,
         args.has("journal") || args.has("resume"),
-    )
+    )?
+    .with_isolation(isolation_from_args(args)?)
+    .with_sandbox(sandbox_policy_from_args(args)?)
+    .with_hard_faults(hard_plan_from_args(args)?))
 }
 
 /// Run the analyses over `plan` and return the findings (rule order).
@@ -332,5 +340,66 @@ mod tests {
             &Args::parse(Vec::<String>::new()),
         )
         .is_err());
+    }
+
+    #[test]
+    fn plan_for_args_reads_isolation_flags_and_gates_hard_faults() {
+        // Hard faults under the default (thread) backend: the compiled
+        // plan must trip R903 in the pre-flight report.
+        let args = Args::parse(["--hard-faults", "kill", "--retries", "1"]);
+        let plan = plan_for_args(
+            "runbms",
+            Methodology::Sweep,
+            &["fop".to_string()],
+            &SweepConfig::quick(),
+            &args,
+        )
+        .expect("compiles");
+        assert!(plan.hard_faults.is_some());
+        let report = preflight_report(&plan);
+        assert!(
+            report.diagnostics.iter().any(|d| d.rule == "R903"),
+            "thread + hard faults must trip R903:\n{}",
+            report.render_table()
+        );
+
+        // The same hard faults under process isolation pass the gate.
+        let args = Args::parse(["--hard-faults", "kill", "--isolation", "process"]);
+        let plan = plan_for_args(
+            "runbms",
+            Methodology::Sweep,
+            &["fop".to_string()],
+            &SweepConfig::quick(),
+            &args,
+        )
+        .expect("compiles");
+        if chopin_sandbox::supported() {
+            let report = preflight_report(&plan);
+            assert!(
+                !report.diagnostics.iter().any(|d| d.rule == "R903"),
+                "process isolation satisfies R903:\n{}",
+                report.render_table()
+            );
+        }
+
+        // An undersized explicit RLIMIT_AS override trips R901.
+        let args = Args::parse(["--isolation", "process", "--rlimit-as-mb", "1"]);
+        let plan = plan_for_args(
+            "runbms",
+            Methodology::Sweep,
+            &["fop".to_string()],
+            &SweepConfig::quick(),
+            &args,
+        )
+        .expect("compiles");
+        assert_eq!(plan.sandbox.rlimit_as_bytes, Some(1 << 20));
+        if chopin_sandbox::supported() {
+            let report = preflight_report(&plan);
+            assert!(
+                report.diagnostics.iter().any(|d| d.rule == "R901"),
+                "a 1 MiB RLIMIT_AS cannot cover any cell:\n{}",
+                report.render_table()
+            );
+        }
     }
 }

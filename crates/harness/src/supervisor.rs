@@ -1,6 +1,6 @@
 //! The resilient sweep supervisor: per-cell panic isolation, wall-clock
-//! deadlines, retry with exponential backoff, a crash-safe resume journal
-//! and graceful degradation into a quarantine report.
+//! deadlines, retry with jittered exponential backoff, a crash-safe
+//! resume journal and graceful degradation into a quarantine report.
 //!
 //! [`run_suite_sweeps`](crate::runner::run_suite_sweeps) assumes every
 //! cell is well-behaved; a long unattended campaign cannot. The supervisor
@@ -14,15 +14,27 @@
 //! uninterrupted run byte for byte. The supervisor never aborts on a bad
 //! cell: it always returns every completed [`SweepResult`] plus the
 //! quarantine list.
+//!
+//! Under `--isolation process` the isolation boundary is an OS process
+//! instead of a thread ([`crate::sandbox`]): cells that SIGSEGV, get
+//! SIGKILLed, blow their address-space limit or stop heartbeating are
+//! classified into the same quarantine machinery
+//! ([`QuarantineReason::Signalled`], [`QuarantineReason::OomKilled`],
+//! [`QuarantineReason::HeartbeatLost`]) instead of taking the whole
+//! sweep down. Hard-fault injection (`--hard-faults`) requires the
+//! process backend and is rejected up front under threads (rule R903).
 
-use crate::journal::{CellKey, CellRecord, Journal, JournalEntry, JournalError};
+use crate::journal::{CellKey, CellRecord, Journal, JournalEntry, JournalError, QuarantineRecord};
+use crate::sandbox::{write_crash_reports, CrashReport, ProcessCellRunner};
 use chopin_core::benchmark::{BenchmarkError, BenchmarkRunner};
 use chopin_core::lbo::RunSample;
 use chopin_core::sweep::{SweepConfig, SweepFailure, SweepResult};
-use chopin_faults::{FaultPlan, PolicyError, SupervisorPolicy};
+use chopin_faults::{FaultPlan, HardFaultPlan, PolicyError, SupervisorPolicy};
 use chopin_obs::MetricsRegistry;
 use chopin_runtime::collector::CollectorKind;
 use chopin_runtime::result::RunError;
+use chopin_sandbox::limits::signal_name;
+use chopin_sandbox::{IsolationMode, SandboxPolicy};
 use chopin_workloads::WorkloadProfile;
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -53,6 +65,17 @@ impl Cell {
     }
 }
 
+/// The deterministic per-cell seed used to de-correlate retry backoff
+/// across cells (full jitter): a stable hash of the cell identity, so the
+/// same cell jitters the same way on every host and every resume.
+pub fn cell_seed(cell: &Cell) -> u64 {
+    chopin_analyzer::fingerprint_of(&[
+        &cell.benchmark,
+        &cell.collector.to_string(),
+        &format!("{:x}", cell.heap_factor.to_bits()),
+    ])
+}
+
 /// What a cell produced when it ran to completion.
 #[derive(Debug, Clone, Default)]
 pub struct CellOutcome {
@@ -64,21 +87,41 @@ pub struct CellOutcome {
     pub infeasible: Option<String>,
 }
 
+/// How a cell attempt failed, as reported by a [`CellRunner`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellFailure {
+    /// A soft failure worth retrying (I/O hiccup, spawn failure, garbled
+    /// worker payload).
+    Transient(String),
+    /// A classified hard failure from the crash taxonomy. Retried like
+    /// any failure — deterministic victims die identically every attempt
+    /// — and the final attempt's reason becomes the quarantine reason.
+    Crash(QuarantineReason),
+}
+
+impl From<String> for CellFailure {
+    fn from(message: String) -> Self {
+        CellFailure::Transient(message)
+    }
+}
+
 /// Executes one cell. The default implementation runs the benchmark
-/// through [`BenchmarkRunner`]; chaos tests substitute runners that
-/// panic, hang or fail on schedule.
+/// through [`BenchmarkRunner`]; the process backend
+/// ([`ProcessCellRunner`]) marshals the cell into a sandboxed child; and
+/// chaos tests substitute runners that panic, hang or fail on schedule.
 pub trait CellRunner: Send + Sync {
     /// Run every invocation of `cell` and return the outcome.
     ///
     /// # Errors
     ///
-    /// A stringified transient failure; the supervisor retries it.
+    /// A [`CellFailure`]: transient failures are retried with backoff;
+    /// crash failures carry their taxonomy into the quarantine report.
     fn run_cell(
         &self,
         profile: &WorkloadProfile,
         cell: &Cell,
         config: &SweepConfig,
-    ) -> Result<CellOutcome, String>;
+    ) -> Result<CellOutcome, CellFailure>;
 
     /// Extra material for the resume fingerprint (e.g. a fault plan):
     /// journals written under a different runner configuration must not
@@ -86,10 +129,18 @@ pub trait CellRunner: Send + Sync {
     fn fingerprint(&self) -> String {
         String::new()
     }
+
+    /// Whether the runner enforces the cell deadline itself (the process
+    /// backend kills children at the deadline); when true the supervisor
+    /// waits without its own watchdog instead of double-timing.
+    fn handles_deadline(&self) -> bool {
+        false
+    }
 }
 
-/// The production [`CellRunner`]: [`BenchmarkRunner`] invocations with an
-/// optional deterministic fault plan injected into every run.
+/// The production thread-backend [`CellRunner`]: [`BenchmarkRunner`]
+/// invocations with an optional deterministic fault plan injected into
+/// every run.
 #[derive(Debug, Clone, Default)]
 pub struct SweepCellRunner {
     faults: Option<FaultPlan>,
@@ -115,7 +166,7 @@ impl CellRunner for SweepCellRunner {
         profile: &WorkloadProfile,
         cell: &Cell,
         config: &SweepConfig,
-    ) -> Result<CellOutcome, String> {
+    ) -> Result<CellOutcome, CellFailure> {
         let mut outcome = CellOutcome::default();
         for invocation in 0..config.invocations {
             let mut runner = BenchmarkRunner::for_profile(profile.clone())
@@ -137,7 +188,7 @@ impl CellRunner for SweepCellRunner {
                     outcome.infeasible = Some(e.to_string());
                     return Ok(outcome);
                 }
-                Err(e) => return Err(e.to_string()),
+                Err(e) => return Err(e.to_string().into()),
             }
         }
         Ok(outcome)
@@ -156,13 +207,29 @@ impl CellRunner for SweepCellRunner {
 pub enum QuarantineReason {
     /// The cell panicked; the payload message is preserved.
     Panicked(String),
-    /// The cell exceeded its wall-clock budget and was abandoned.
+    /// The cell exceeded its wall-clock budget and was abandoned (thread
+    /// backend) or killed (process backend).
     DeadlineExceeded {
         /// The budget it blew, in milliseconds.
         budget_ms: u64,
     },
     /// The cell returned a transient error every attempt.
     Errored(String),
+    /// The cell's worker process died to a signal (SIGSEGV, SIGABRT,
+    /// SIGKILL, …). Process backend only.
+    Signalled {
+        /// The terminating signal number.
+        signal: i32,
+    },
+    /// The cell's worker process blew its address-space limit and was
+    /// killed by the out-of-memory backstop. Process backend only.
+    OomKilled,
+    /// The cell's worker process stopped heartbeating (wedged, not
+    /// computing) and was killed. Process backend only.
+    HeartbeatLost {
+        /// How long the worker was silent before the kill, milliseconds.
+        silent_ms: u64,
+    },
 }
 
 impl std::fmt::Display for QuarantineReason {
@@ -173,6 +240,15 @@ impl std::fmt::Display for QuarantineReason {
                 write!(f, "exceeded the {budget_ms}ms cell deadline")
             }
             QuarantineReason::Errored(msg) => write!(f, "errored: {msg}"),
+            QuarantineReason::Signalled { signal } => {
+                write!(f, "killed by signal {signal} ({})", signal_name(*signal))
+            }
+            QuarantineReason::OomKilled => {
+                write!(f, "killed by the out-of-memory backstop (RLIMIT_AS)")
+            }
+            QuarantineReason::HeartbeatLost { silent_ms } => {
+                write!(f, "heartbeat lost: worker silent for {silent_ms}ms")
+            }
         }
     }
 }
@@ -197,9 +273,13 @@ pub struct SuiteReport {
     pub results: Vec<SweepResult>,
     /// Cells that never completed, with structured reasons.
     pub quarantined: Vec<QuarantineEntry>,
+    /// One report per hard child failure (process backend only; empty
+    /// under thread isolation).
+    pub crash_reports: Vec<CrashReport>,
     /// Supervision counters: `supervisor.cells`, `.cells.completed`,
     /// `.cells.resumed`, `.cells.infeasible`, `.cells.quarantined`,
-    /// `supervisor.retries`.
+    /// `supervisor.retries` — plus the `sandbox.*` family under process
+    /// isolation.
     pub metrics: MetricsRegistry,
 }
 
@@ -239,6 +319,10 @@ pub enum SuperviseError {
         /// Fingerprint found in the journal.
         found: u64,
     },
+    /// The isolation configuration is unusable: hard faults under the
+    /// thread backend (rule R903), an invalid sandbox policy, or no
+    /// resolvable worker executable.
+    Isolation(String),
 }
 
 impl std::fmt::Display for SuperviseError {
@@ -251,6 +335,7 @@ impl std::fmt::Display for SuperviseError {
                 "journal fingerprint {found:016x} does not match this configuration \
                  ({expected:016x}); refusing to resume across configurations"
             ),
+            SuperviseError::Isolation(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -274,6 +359,12 @@ pub fn supervision_requested(args: &crate::cli::Args) -> bool {
         "cell-deadline",
         "retries",
         "backoff-ms",
+        "isolation",
+        "hard-faults",
+        "crash-reports",
+        "heartbeat-ms",
+        "rlimit-as-mb",
+        "rlimit-cpu-s",
     ]
     .iter()
     .any(|f| args.has(f))
@@ -321,12 +412,55 @@ pub fn plan_from_args(args: &crate::cli::Args) -> Result<Option<FaultPlan>, Stri
         .map(Some)
 }
 
+/// What one cell attempt sends back from its worker thread: the
+/// `catch_unwind`-wrapped runner result.
+pub type AttemptPayload = std::thread::Result<Result<CellOutcome, CellFailure>>;
+
+/// The supervisor's clock: backoff sleeps and attempt waits go through
+/// this trait so tests can substitute a virtual clock and assert exact
+/// backoff schedules without real sleeping.
+pub trait SupervisorClock: Send + Sync {
+    /// Sleep between retries.
+    fn sleep(&self, duration: Duration);
+
+    /// Wait for an attempt's payload, bounded by `budget` when present.
+    ///
+    /// # Errors
+    ///
+    /// `Timeout` when the budget expires first, `Disconnected` when the
+    /// worker vanished without sending.
+    fn recv(
+        &self,
+        rx: &mpsc::Receiver<AttemptPayload>,
+        budget: Option<Duration>,
+    ) -> Result<AttemptPayload, mpsc::RecvTimeoutError>;
+}
+
+/// The production clock: real sleeps, real waits.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealClock;
+
+impl SupervisorClock for RealClock {
+    fn sleep(&self, duration: Duration) {
+        std::thread::sleep(duration);
+    }
+
+    fn recv(
+        &self,
+        rx: &mpsc::Receiver<AttemptPayload>,
+        budget: Option<Duration>,
+    ) -> Result<AttemptPayload, mpsc::RecvTimeoutError> {
+        match budget {
+            Some(budget) => rx.recv_timeout(budget),
+            None => rx.recv().map_err(|_| mpsc::RecvTimeoutError::Disconnected),
+        }
+    }
+}
+
 /// What one supervised attempt of a cell produced.
 enum Attempt {
     Completed(CellOutcome),
-    Errored(String),
-    Panicked(String),
-    TimedOut(u64),
+    Failed(QuarantineReason),
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -342,14 +476,21 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// Run one attempt of `cell` on a watchdog-supervised worker thread. On
 /// deadline expiry the worker is abandoned (it parks on a dead channel
 /// and exits whenever its run returns); the attempt is charged as timed
-/// out either way.
+/// out either way. Runners that enforce the deadline themselves
+/// ([`CellRunner::handles_deadline`]) are waited on without a watchdog.
 fn run_attempt(
     runner: Arc<dyn CellRunner>,
     profile: WorkloadProfile,
     cell: Cell,
     config: SweepConfig,
     deadline_ms: Option<u64>,
+    clock: &dyn SupervisorClock,
 ) -> Attempt {
+    let budget = if runner.handles_deadline() {
+        None
+    } else {
+        deadline_ms.map(Duration::from_millis)
+    };
     let (tx, rx) = mpsc::channel();
     std::thread::spawn(move || {
         let result = catch_unwind(AssertUnwindSafe(|| {
@@ -357,23 +498,21 @@ fn run_attempt(
         }));
         let _ = tx.send(result);
     });
-    let received = match deadline_ms {
-        Some(ms) => match rx.recv_timeout(Duration::from_millis(ms)) {
-            Ok(result) => result,
-            Err(mpsc::RecvTimeoutError::Timeout) => return Attempt::TimedOut(ms),
-            Err(mpsc::RecvTimeoutError::Disconnected) => {
-                return Attempt::Panicked("cell worker vanished".to_string())
-            }
-        },
-        None => match rx.recv() {
-            Ok(result) => result,
-            Err(_) => return Attempt::Panicked("cell worker vanished".to_string()),
-        },
-    };
-    match received {
-        Ok(Ok(outcome)) => Attempt::Completed(outcome),
-        Ok(Err(message)) => Attempt::Errored(message),
-        Err(payload) => Attempt::Panicked(panic_message(payload)),
+    match clock.recv(&rx, budget) {
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            Attempt::Failed(QuarantineReason::DeadlineExceeded {
+                budget_ms: deadline_ms.unwrap_or(0),
+            })
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => Attempt::Failed(QuarantineReason::Panicked(
+            "cell worker vanished".to_string(),
+        )),
+        Ok(Ok(Ok(outcome))) => Attempt::Completed(outcome),
+        Ok(Ok(Err(CellFailure::Transient(message)))) => {
+            Attempt::Failed(QuarantineReason::Errored(message))
+        }
+        Ok(Ok(Err(CellFailure::Crash(reason)))) => Attempt::Failed(reason),
+        Ok(Err(payload)) => Attempt::Failed(QuarantineReason::Panicked(panic_message(payload))),
     }
 }
 
@@ -400,24 +539,38 @@ fn run_attempt(
 pub struct SuiteSupervisor {
     policy: SupervisorPolicy,
     runner: Arc<dyn CellRunner>,
+    faults: Option<FaultPlan>,
+    isolation: IsolationMode,
+    sandbox: SandboxPolicy,
+    hard_faults: Option<HardFaultPlan>,
+    crash_reports_path: Option<PathBuf>,
     journal_path: Option<PathBuf>,
     resume: bool,
+    clock: Arc<dyn SupervisorClock>,
 }
 
 impl SuiteSupervisor {
-    /// A supervisor running real benchmark cells under `policy`.
+    /// A supervisor running real benchmark cells under `policy`, thread
+    /// isolation, the default sandbox policy and the real clock.
     pub fn new(policy: SupervisorPolicy) -> SuiteSupervisor {
         SuiteSupervisor {
             policy,
             runner: Arc::new(SweepCellRunner::new()),
+            faults: None,
+            isolation: IsolationMode::Thread,
+            sandbox: SandboxPolicy::default(),
+            hard_faults: None,
+            crash_reports_path: None,
             journal_path: None,
             resume: false,
+            clock: Arc::new(RealClock),
         }
     }
 
     /// Inject a deterministic fault plan into every cell (`--faults`).
     #[must_use]
     pub fn with_faults(mut self, plan: FaultPlan) -> SuiteSupervisor {
+        self.faults = (!plan.is_empty()).then(|| plan.clone());
         self.runner = Arc::new(SweepCellRunner::with_faults(plan));
         self
     }
@@ -426,6 +579,46 @@ impl SuiteSupervisor {
     #[must_use]
     pub fn with_runner(mut self, runner: Arc<dyn CellRunner>) -> SuiteSupervisor {
         self.runner = runner;
+        self
+    }
+
+    /// Select the isolation backend (`--isolation {thread,process}`).
+    #[must_use]
+    pub fn with_isolation(mut self, isolation: IsolationMode) -> SuiteSupervisor {
+        self.isolation = isolation;
+        self
+    }
+
+    /// Configure the process sandbox (heartbeat cadence, rlimit
+    /// overrides). Only consulted under process isolation.
+    #[must_use]
+    pub fn with_sandbox(mut self, sandbox: SandboxPolicy) -> SuiteSupervisor {
+        self.sandbox = sandbox;
+        self
+    }
+
+    /// Inject hard faults — worker-process deaths — into deterministically
+    /// chosen victim cells (`--hard-faults`). Requires process isolation;
+    /// [`SuiteSupervisor::run`] rejects the combination with threads
+    /// (rule R903).
+    #[must_use]
+    pub fn with_hard_faults(mut self, plan: Option<HardFaultPlan>) -> SuiteSupervisor {
+        self.hard_faults = plan;
+        self
+    }
+
+    /// Write one JSONL crash report per hard child failure to `path`
+    /// (`--crash-reports`).
+    #[must_use]
+    pub fn with_crash_reports(mut self, path: impl Into<PathBuf>) -> SuiteSupervisor {
+        self.crash_reports_path = Some(path.into());
+        self
+    }
+
+    /// Substitute the supervisor clock (virtual-clock tests).
+    #[must_use]
+    pub fn with_clock(mut self, clock: Arc<dyn SupervisorClock>) -> SuiteSupervisor {
+        self.clock = clock;
         self
     }
 
@@ -438,18 +631,68 @@ impl SuiteSupervisor {
 
     /// Resume from the journal if it exists (`--resume`): journalled cells
     /// are replayed from disk instead of re-run; quarantined cells were
-    /// never journalled, so they are retried.
+    /// never journalled as completed, so they are retried.
     #[must_use]
     pub fn resume(mut self, resume: bool) -> SuiteSupervisor {
         self.resume = resume;
         self
     }
+}
 
-    fn fingerprint(&self, profiles: &[WorkloadProfile], config: &SweepConfig) -> u64 {
+/// The runner driving every cell, paired with a concrete handle to the
+/// process backend (when active) for its crash reports and counters.
+type EffectiveRunner = (Arc<dyn CellRunner>, Option<Arc<ProcessCellRunner>>);
+
+impl SuiteSupervisor {
+    /// Resolve the effective cell runner for the configured isolation
+    /// mode, keeping a concrete handle to the process backend for its
+    /// crash reports and sandbox counters.
+    fn effective_runner(&self) -> Result<EffectiveRunner, SuperviseError> {
+        match self.isolation {
+            IsolationMode::Thread => {
+                if self.hard_faults.is_some() {
+                    return Err(SuperviseError::Isolation(
+                        "hard-fault injection requires --isolation process: under thread \
+                         isolation the first victim kills the whole sweep (rule R903)"
+                            .to_string(),
+                    ));
+                }
+                Ok((Arc::clone(&self.runner), None))
+            }
+            IsolationMode::Process => {
+                self.sandbox
+                    .validate()
+                    .map_err(|e| SuperviseError::Isolation(e.to_string()))?;
+                let exe = std::env::current_exe().map_err(|e| {
+                    SuperviseError::Isolation(format!(
+                        "process isolation cannot resolve the worker executable: {e}"
+                    ))
+                })?;
+                let process = Arc::new(ProcessCellRunner::new(
+                    exe,
+                    self.sandbox,
+                    self.policy.cell_deadline_ms,
+                    self.faults.clone(),
+                    self.hard_faults,
+                ));
+                Ok((Arc::clone(&process) as Arc<dyn CellRunner>, Some(process)))
+            }
+        }
+    }
+
+    fn fingerprint(
+        &self,
+        profiles: &[WorkloadProfile],
+        config: &SweepConfig,
+        runner: &dyn CellRunner,
+    ) -> u64 {
         // The canonical recipe lives in chopin-analyzer so the static
-        // pre-flight pass predicts the exact same value.
+        // pre-flight pass predicts the exact same value. The isolation
+        // mode is deliberately not part of it: thread- and process-mode
+        // runs of the same experiment produce identical journals, so a
+        // sweep may be resumed across backends.
         let names: Vec<&str> = profiles.iter().map(|p| p.name).collect();
-        chopin_analyzer::sweep_fingerprint(&names, config, &self.runner.fingerprint())
+        chopin_analyzer::sweep_fingerprint(&names, config, &runner.fingerprint())
     }
 
     /// Run the supervised suite: every cell of `profiles` × the sweep
@@ -458,27 +701,33 @@ impl SuiteSupervisor {
     /// # Errors
     ///
     /// Only setup can fail ([`SuperviseError`]): an invalid policy, a
-    /// journal that cannot be opened, or a resume fingerprint mismatch.
-    /// Cell failures never abort the suite.
+    /// journal that cannot be opened, a resume fingerprint mismatch, or
+    /// an unusable isolation configuration. Cell failures never abort
+    /// the suite.
     pub fn run(
         &self,
         profiles: &[WorkloadProfile],
         config: &SweepConfig,
     ) -> Result<SuiteReport, SuperviseError> {
         self.policy.validate().map_err(SuperviseError::Policy)?;
-        let fingerprint = self.fingerprint(profiles, config);
+        let (runner, process_runner) = self.effective_runner()?;
+        let fingerprint = self.fingerprint(profiles, config, runner.as_ref());
 
         let journal = match &self.journal_path {
             None => None,
             Some(path) => {
                 if self.resume && path.exists() {
-                    let loaded = Journal::load(path)?;
+                    let mut loaded = Journal::load(path)?;
                     if loaded.fingerprint() != fingerprint {
                         return Err(SuperviseError::JournalMismatch {
                             expected: fingerprint,
                             found: loaded.fingerprint(),
                         });
                     }
+                    // Stale quarantine records describe the interrupted
+                    // run; this run re-attempts those cells and records
+                    // its own verdicts.
+                    loaded.clear_quarantines();
                     Some(loaded)
                 } else {
                     Some(Journal::create(path, fingerprint)?)
@@ -550,7 +799,7 @@ impl SuiteSupervisor {
                         continue;
                     }
 
-                    let slot = match self.supervise_cell(profile, cell, config, &metrics) {
+                    let slot = match self.supervise_cell(&runner, profile, cell, config, &metrics) {
                         Ok(outcome) => {
                             let mut m = metrics.lock();
                             m.inc("supervisor.cells.completed", 1);
@@ -574,6 +823,13 @@ impl SuiteSupervisor {
                         }
                         Err(entry) => {
                             metrics.lock().inc("supervisor.cells.quarantined", 1);
+                            if let Some(j) = journal.lock().as_mut() {
+                                let _ = j.record_quarantine(QuarantineRecord {
+                                    key: cell.key(),
+                                    attempts: entry.attempts,
+                                    reason: entry.reason.clone(),
+                                });
+                            }
                             Slot::Quarantined(entry)
                         }
                     };
@@ -608,42 +864,61 @@ impl SuiteSupervisor {
             }
         }
 
+        let mut metrics = metrics.into_inner();
+        let mut crash_reports = Vec::new();
+        if let Some(process) = process_runner {
+            process.merge_metrics(&mut metrics);
+            crash_reports = process.take_reports();
+            if let Some(path) = &self.crash_reports_path {
+                if let Err(e) = write_crash_reports(path, &crash_reports) {
+                    eprintln!(
+                        "warning: could not write crash reports to {}: {e}",
+                        path.display()
+                    );
+                }
+            }
+        }
+
         Ok(SuiteReport {
             results,
             quarantined,
-            metrics: metrics.into_inner(),
+            crash_reports,
+            metrics,
         })
     }
 
-    /// Attempt one cell up to `1 + max_retries` times with exponential
-    /// backoff; the last failure becomes the quarantine reason.
+    /// Attempt one cell up to `1 + max_retries` times, with full-jitter
+    /// exponential backoff seeded from the cell identity so concurrent
+    /// retries de-correlate deterministically; the last failure becomes
+    /// the quarantine reason.
     fn supervise_cell(
         &self,
+        runner: &Arc<dyn CellRunner>,
         profile: &WorkloadProfile,
         cell: &Cell,
         config: &SweepConfig,
         metrics: &Mutex<MetricsRegistry>,
     ) -> Result<CellOutcome, QuarantineEntry> {
         let attempts = 1 + self.policy.max_retries;
+        let seed = cell_seed(cell);
         let mut last = QuarantineReason::Errored("cell never attempted".to_string());
         for attempt in 0..attempts {
             if attempt > 0 {
                 metrics.lock().inc("supervisor.retries", 1);
-                std::thread::sleep(Duration::from_millis(self.policy.backoff_ms(attempt - 1)));
+                self.clock.sleep(Duration::from_millis(
+                    self.policy.backoff_jitter_ms(attempt - 1, seed),
+                ));
             }
             match run_attempt(
-                Arc::clone(&self.runner),
+                Arc::clone(runner),
                 profile.clone(),
                 cell.clone(),
                 config.clone(),
                 self.policy.cell_deadline_ms,
+                self.clock.as_ref(),
             ) {
                 Attempt::Completed(outcome) => return Ok(outcome),
-                Attempt::Errored(msg) => last = QuarantineReason::Errored(msg),
-                Attempt::Panicked(msg) => last = QuarantineReason::Panicked(msg),
-                Attempt::TimedOut(ms) => {
-                    last = QuarantineReason::DeadlineExceeded { budget_ms: ms }
-                }
+                Attempt::Failed(reason) => last = reason,
             }
         }
         Err(QuarantineEntry {
@@ -657,6 +932,7 @@ impl SuiteSupervisor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use chopin_faults::{HardFaultKind, DEFAULT_HARD_SEED};
     use chopin_workloads::suite;
     use std::sync::atomic::AtomicU32;
 
@@ -679,6 +955,44 @@ mod tests {
         }
     }
 
+    /// The virtual clock (no real sleeping): backoff durations are
+    /// recorded for exact assertions, and `expire_deadlines` makes every
+    /// bounded wait time out immediately so deadline tests take no wall
+    /// time.
+    struct VirtualClock {
+        sleeps: Mutex<Vec<u64>>,
+        expire_deadlines: bool,
+    }
+
+    impl VirtualClock {
+        fn new(expire_deadlines: bool) -> Arc<VirtualClock> {
+            Arc::new(VirtualClock {
+                sleeps: Mutex::new(Vec::new()),
+                expire_deadlines,
+            })
+        }
+    }
+
+    impl SupervisorClock for VirtualClock {
+        fn sleep(&self, duration: Duration) {
+            self.sleeps.lock().push(duration.as_millis() as u64);
+        }
+
+        fn recv(
+            &self,
+            rx: &mpsc::Receiver<AttemptPayload>,
+            budget: Option<Duration>,
+        ) -> Result<AttemptPayload, mpsc::RecvTimeoutError> {
+            if self.expire_deadlines && budget.is_some() {
+                return rx.try_recv().map_err(|_| mpsc::RecvTimeoutError::Timeout);
+            }
+            match budget {
+                Some(budget) => rx.recv_timeout(budget),
+                None => rx.recv().map_err(|_| mpsc::RecvTimeoutError::Disconnected),
+            }
+        }
+    }
+
     /// A runner that fails (panic or error) a set number of times per cell
     /// before succeeding with a canned sample.
     struct FlakyRunner {
@@ -693,13 +1007,13 @@ mod tests {
             _profile: &WorkloadProfile,
             cell: &Cell,
             _config: &SweepConfig,
-        ) -> Result<CellOutcome, String> {
+        ) -> Result<CellOutcome, CellFailure> {
             let n = self.calls.fetch_add(1, Ordering::Relaxed);
             if n < self.failures_before_success {
                 if self.panic_instead {
                     panic!("injected chaos panic #{n}");
                 }
-                return Err(format!("injected transient error #{n}"));
+                return Err(format!("injected transient error #{n}").into());
             }
             Ok(CellOutcome {
                 samples: vec![RunSample {
@@ -724,28 +1038,62 @@ mod tests {
             _profile: &WorkloadProfile,
             _cell: &Cell,
             _config: &SweepConfig,
-        ) -> Result<CellOutcome, String> {
+        ) -> Result<CellOutcome, CellFailure> {
             loop {
                 std::thread::sleep(Duration::from_millis(50));
             }
         }
     }
 
+    /// A runner whose cells always die a classified hard death.
+    struct CrashingRunner(QuarantineReason);
+
+    impl CellRunner for CrashingRunner {
+        fn run_cell(
+            &self,
+            _profile: &WorkloadProfile,
+            _cell: &Cell,
+            _config: &SweepConfig,
+        ) -> Result<CellOutcome, CellFailure> {
+            Err(CellFailure::Crash(self.0.clone()))
+        }
+    }
+
     #[test]
-    fn transient_errors_are_retried_to_success() {
+    fn transient_errors_are_retried_to_success_with_jittered_backoff() {
         let profiles = vec![suite::by_name("fop").unwrap()];
-        let report = SuiteSupervisor::new(fast_policy())
+        let clock = VirtualClock::new(false);
+        let policy = fast_policy();
+        let report = SuiteSupervisor::new(policy)
             .with_runner(Arc::new(FlakyRunner {
                 failures_before_success: 2,
                 panic_instead: false,
                 calls: AtomicU32::new(0),
             }))
+            .with_clock(clock.clone())
             .run(&profiles, &one_cell_config())
             .unwrap();
         assert!(report.is_clean(), "{}", report.quarantine_summary());
         assert_eq!(report.results[0].samples.len(), 1);
         assert_eq!(report.metrics.counter("supervisor.retries"), 2);
         assert_eq!(report.metrics.counter("supervisor.cells.completed"), 1);
+
+        // The backoff schedule is the deterministic full-jitter sequence
+        // for this cell's seed — asserted exactly, no timing involved.
+        let cell = Cell {
+            benchmark: "fop".to_string(),
+            collector: CollectorKind::G1,
+            heap_factor: 2.0,
+        };
+        let seed = cell_seed(&cell);
+        let expected: Vec<u64> = (0..2).map(|a| policy.backoff_jitter_ms(a, seed)).collect();
+        assert_eq!(*clock.sleeps.lock(), expected);
+        for (attempt, &slept) in clock.sleeps.lock().iter().enumerate() {
+            assert!(
+                slept <= policy.backoff_ms(attempt as u32),
+                "jitter stays under the deterministic ceiling"
+            );
+        }
     }
 
     #[test]
@@ -757,6 +1105,7 @@ mod tests {
                 panic_instead: true,
                 calls: AtomicU32::new(0),
             }))
+            .with_clock(VirtualClock::new(false))
             .run(&profiles, &one_cell_config())
             .unwrap();
         assert!(report.is_clean());
@@ -772,6 +1121,7 @@ mod tests {
                 panic_instead: true,
                 calls: AtomicU32::new(0),
             }))
+            .with_clock(VirtualClock::new(false))
             .run(&profiles, &one_cell_config())
             .unwrap();
         assert_eq!(report.quarantined.len(), 1);
@@ -795,8 +1145,12 @@ mod tests {
             backoff_base_ms: 1,
             backoff_max_ms: 2,
         };
+        // expire_deadlines: bounded waits time out instantly, so this
+        // test asserts deadline *classification* with zero wall time
+        // spent waiting on the hung workers.
         let report = SuiteSupervisor::new(policy)
             .with_runner(Arc::new(HangingRunner))
+            .with_clock(VirtualClock::new(true))
             .run(&profiles, &one_cell_config())
             .unwrap();
         assert_eq!(report.quarantined.len(), 1);
@@ -804,6 +1158,59 @@ mod tests {
             report.quarantined[0].reason,
             QuarantineReason::DeadlineExceeded { budget_ms: 30 }
         ));
+    }
+
+    #[test]
+    fn crash_failures_carry_their_taxonomy_into_quarantine() {
+        let profiles = vec![suite::by_name("fop").unwrap()];
+        let report = SuiteSupervisor::new(fast_policy())
+            .with_runner(Arc::new(CrashingRunner(QuarantineReason::Signalled {
+                signal: 9,
+            })))
+            .with_clock(VirtualClock::new(false))
+            .run(&profiles, &one_cell_config())
+            .unwrap();
+        assert_eq!(report.quarantined.len(), 1);
+        let q = &report.quarantined[0];
+        assert_eq!(q.attempts, 3, "hard deaths are retried like any failure");
+        assert_eq!(q.reason, QuarantineReason::Signalled { signal: 9 });
+        assert!(
+            report.quarantine_summary().contains("SIGKILL"),
+            "{}",
+            report.quarantine_summary()
+        );
+    }
+
+    #[test]
+    fn quarantine_reasons_render_the_crash_taxonomy() {
+        assert_eq!(
+            QuarantineReason::Signalled { signal: 9 }.to_string(),
+            "killed by signal 9 (SIGKILL)"
+        );
+        assert_eq!(
+            QuarantineReason::Signalled { signal: 11 }.to_string(),
+            "killed by signal 11 (SIGSEGV)"
+        );
+        assert!(QuarantineReason::OomKilled
+            .to_string()
+            .contains("out-of-memory"));
+        assert!(QuarantineReason::HeartbeatLost { silent_ms: 1500 }
+            .to_string()
+            .contains("1500"));
+    }
+
+    #[test]
+    fn hard_faults_under_thread_isolation_are_rejected() {
+        let profiles = vec![suite::by_name("fop").unwrap()];
+        let err = SuiteSupervisor::new(fast_policy())
+            .with_hard_faults(Some(HardFaultPlan::new(
+                HardFaultKind::Kill,
+                DEFAULT_HARD_SEED,
+            )))
+            .run(&profiles, &one_cell_config())
+            .unwrap_err();
+        assert!(matches!(err, SuperviseError::Isolation(_)), "{err}");
+        assert!(err.to_string().contains("R903"), "{err}");
     }
 
     #[test]
@@ -857,6 +1264,14 @@ mod tests {
         let plan = plan_from_args(&args).unwrap().unwrap();
         assert_eq!(plan.seed, 9);
 
+        assert!(supervision_requested(&Args::parse([
+            "--isolation",
+            "process"
+        ])));
+        assert!(supervision_requested(&Args::parse([
+            "--hard-faults",
+            "kill"
+        ])));
         assert!(!supervision_requested(&Args::parse(["-b", "fop"])));
         assert!(plan_from_args(&Args::parse(["-b", "fop"]))
             .unwrap()

@@ -9,7 +9,7 @@ use chopin_core::lbo::{Clock, LboAnalysis};
 use chopin_core::sweep::{SweepConfig, SweepResult};
 use chopin_faults::SupervisorPolicy;
 use chopin_harness::supervisor::{
-    Cell, CellOutcome, CellRunner, SuiteSupervisor, SuperviseError, SweepCellRunner,
+    Cell, CellFailure, CellOutcome, CellRunner, SuiteSupervisor, SuperviseError, SweepCellRunner,
 };
 use chopin_runtime::collector::CollectorKind;
 use chopin_workloads::{faults, suite, SizeClass, WorkloadProfile};
@@ -74,7 +74,7 @@ impl CellRunner for PanicOn {
         profile: &WorkloadProfile,
         cell: &Cell,
         config: &SweepConfig,
-    ) -> Result<CellOutcome, String> {
+    ) -> Result<CellOutcome, CellFailure> {
         if cell.collector == self.victim.0 && cell.heap_factor == self.victim.1 {
             panic!("injected mid-suite kill");
         }

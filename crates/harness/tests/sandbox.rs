@@ -1,0 +1,290 @@
+//! End-to-end process-isolation guarantees (`harness = false` so the
+//! binary can re-enter itself as a sandboxed cell worker):
+//!
+//! 1. A clean process-isolated sweep produces a results CSV
+//!    byte-identical to the thread-isolated run — moving the isolation
+//!    boundary must not move a single bit of the measurements.
+//! 2. A SIGKILL storm that murders several cells mid-iteration completes
+//!    the sweep: every victim is quarantined as `Signalled(SIGKILL)`,
+//!    every survivor's CSV rows stay byte-identical to the undisturbed
+//!    thread-mode reference, and crash reports are written.
+//! 3. Resuming the same stormed sweep from its journal replays the
+//!    survivors from disk and reproduces the final CSV exactly; the
+//!    journal carries the victims' crash taxonomy.
+
+use chopin_core::sweep::{SweepConfig, SweepResult};
+use chopin_faults::{HardFaultKind, HardFaultPlan, SupervisorPolicy};
+use chopin_harness::supervisor::{QuarantineReason, SuiteSupervisor};
+use chopin_harness::IsolationMode;
+use chopin_runtime::collector::CollectorKind;
+use chopin_sandbox::limits::SIGKILL;
+use chopin_workloads::SizeClass;
+use std::path::PathBuf;
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("chopin-sandbox-{tag}-{}", std::process::id()))
+}
+
+fn small_config() -> SweepConfig {
+    SweepConfig {
+        collectors: vec![CollectorKind::G1, CollectorKind::Parallel],
+        heap_factors: vec![2.0, 3.0],
+        invocations: 1,
+        iterations: 1,
+        size: SizeClass::Default,
+    }
+}
+
+fn fast_policy() -> SupervisorPolicy {
+    SupervisorPolicy {
+        cell_deadline_ms: Some(60_000),
+        max_retries: 1,
+        backoff_base_ms: 1,
+        backoff_max_ms: 2,
+    }
+}
+
+fn profiles() -> Vec<chopin_workloads::WorkloadProfile> {
+    ["fop", "lusearch"]
+        .iter()
+        .map(|name| chopin_workloads::suite::by_name(name).expect("suite benchmark"))
+        .collect()
+}
+
+/// The runbms CSV for `results`, optionally restricted to cells that
+/// `keep` accepts — the survivor filter.
+fn render_csv(results: &[SweepResult], keep: impl Fn(&str, CollectorKind, f64) -> bool) -> String {
+    let mut csv = String::new();
+    for result in results {
+        for s in &result.samples {
+            if !keep(&result.benchmark, s.collector, s.heap_factor) {
+                continue;
+            }
+            csv.push_str(&format!(
+                "{},{},{},{},{},{},{}\n",
+                result.benchmark,
+                s.collector,
+                s.heap_factor,
+                s.wall_s,
+                s.task_s,
+                s.wall_distillable_s,
+                s.task_distillable_s
+            ));
+        }
+    }
+    csv
+}
+
+/// A kill plan with at least 3 victims and at least 1 survivor on the
+/// 8-cell grid, found by deterministic seed search — the storm the
+/// acceptance criteria demand.
+fn storm_plan(config: &SweepConfig) -> HardFaultPlan {
+    let cells: Vec<(String, String, f64)> = profiles()
+        .iter()
+        .flat_map(|p| {
+            config.collectors.iter().flat_map(move |c| {
+                config
+                    .heap_factors
+                    .iter()
+                    .map(move |&f| (p.name.to_string(), c.to_string(), f))
+            })
+        })
+        .collect();
+    for seed in 1..=500u64 {
+        let plan = HardFaultPlan {
+            stride: 2,
+            ..HardFaultPlan::new(HardFaultKind::Kill, seed)
+        };
+        let victims = cells
+            .iter()
+            .filter(|(b, c, f)| plan.is_victim(b, c, *f))
+            .count();
+        if victims >= 3 && victims < cells.len() {
+            return plan;
+        }
+    }
+    panic!("no seed in 1..=500 yields a 3-victim storm with a survivor");
+}
+
+/// Scenario 1: moving the isolation boundary must not move the data.
+fn clean_process_run_matches_thread_run() -> String {
+    let profiles = profiles();
+    let config = small_config();
+    let thread = SuiteSupervisor::new(fast_policy())
+        .run(&profiles, &config)
+        .expect("thread run is valid");
+    assert!(thread.is_clean(), "{}", thread.quarantine_summary());
+
+    let process = SuiteSupervisor::new(fast_policy())
+        .with_isolation(IsolationMode::Process)
+        .run(&profiles, &config)
+        .expect("process run is valid");
+    assert!(process.is_clean(), "{}", process.quarantine_summary());
+    assert_eq!(
+        process.metrics.counter("sandbox.spawns"),
+        4 * profiles.len() as u64,
+        "one child per cell"
+    );
+
+    let reference = render_csv(&thread.results, |_, _, _| true);
+    assert_eq!(
+        render_csv(&process.results, |_, _, _| true),
+        reference,
+        "process-isolated CSV must be byte-identical to the thread run"
+    );
+    eprintln!("scenario 1 ok: clean process run is byte-identical");
+    reference
+}
+
+/// Scenario 2: a SIGKILL storm completes the sweep, quarantines exactly
+/// the victims with their taxonomy, and leaves survivor rows untouched.
+fn sigkill_storm_quarantines_victims_and_preserves_survivors(reference_csv: &str) {
+    let profiles = profiles();
+    let config = small_config();
+    let plan = storm_plan(&config);
+    let reports_path = temp_path("crash-reports");
+    let _ = std::fs::remove_file(&reports_path);
+
+    let report = SuiteSupervisor::new(fast_policy())
+        .with_isolation(IsolationMode::Process)
+        .with_hard_faults(Some(plan))
+        .with_crash_reports(&reports_path)
+        .run(&profiles, &config)
+        .expect("stormed run still completes");
+
+    let victims = report.quarantined.len();
+    assert!(victims >= 3, "the storm must kill at least 3 cells");
+    for q in &report.quarantined {
+        assert!(
+            plan.is_victim(
+                &q.cell.benchmark,
+                &q.cell.collector.to_string(),
+                q.cell.heap_factor
+            ),
+            "only planned victims die: {} {} {:.1}x",
+            q.cell.benchmark,
+            q.cell.collector,
+            q.cell.heap_factor
+        );
+        assert!(
+            matches!(q.reason, QuarantineReason::Signalled { signal } if signal == SIGKILL),
+            "victims carry the SIGKILL taxonomy, got: {}",
+            q.reason
+        );
+    }
+    assert_eq!(
+        report.metrics.counter("sandbox.exits.signalled"),
+        report
+            .quarantined
+            .iter()
+            .map(|q| u64::from(q.attempts))
+            .sum::<u64>(),
+        "every victim attempt ended in a signal"
+    );
+
+    // Survivor rows are byte-identical to the undisturbed thread run.
+    let survivors_expected: String = reference_csv
+        .lines()
+        .filter(|line| {
+            let mut parts = line.split(',');
+            let bench = parts.next().unwrap_or_default();
+            let collector = parts.next().unwrap_or_default();
+            let factor: f64 = parts.next().unwrap_or_default().parse().unwrap_or(f64::NAN);
+            !plan.is_victim(bench, collector, factor)
+        })
+        .fold(String::new(), |mut acc, line| {
+            acc.push_str(line);
+            acc.push('\n');
+            acc
+        });
+    assert_eq!(
+        render_csv(&report.results, |_, _, _| true),
+        survivors_expected,
+        "survivor rows must be byte-identical to the undisturbed run"
+    );
+
+    // Crash reports: one per victim attempt, JSONL, signalled.
+    assert_eq!(
+        report.crash_reports.len(),
+        victims * 2,
+        "victims retry once"
+    );
+    let written = std::fs::read_to_string(&reports_path).expect("crash reports written");
+    assert_eq!(written.lines().count(), report.crash_reports.len());
+    for line in written.lines() {
+        assert!(
+            line.contains("\"outcome\":\"signalled\"") && line.contains("\"signal\":9"),
+            "crash report carries the signal: {line}"
+        );
+    }
+    let _ = std::fs::remove_file(&reports_path);
+    eprintln!("scenario 2 ok: {victims} victims quarantined, survivors byte-identical");
+}
+
+/// Scenario 3: `--resume` after the storm replays survivors from the
+/// journal and reproduces the final CSV; the journal carries the
+/// victims' taxonomy.
+fn resume_after_storm_reproduces_the_csv() {
+    let profiles = profiles();
+    let config = small_config();
+    let plan = storm_plan(&config);
+    let journal_path = temp_path("journal");
+    let _ = std::fs::remove_file(&journal_path);
+
+    let stormed = || {
+        SuiteSupervisor::new(fast_policy())
+            .with_isolation(IsolationMode::Process)
+            .with_hard_faults(Some(plan))
+            .with_journal(&journal_path)
+    };
+    let first = stormed()
+        .run(&profiles, &config)
+        .expect("stormed run completes");
+    assert!(!first.quarantined.is_empty());
+    let first_csv = render_csv(&first.results, |_, _, _| true);
+
+    // The interrupted sweep's journal records the victims' taxonomy.
+    let journal = chopin_harness::journal::Journal::load(&journal_path).expect("journal parses");
+    assert_eq!(journal.quarantines().len(), first.quarantined.len());
+    for record in journal.quarantines() {
+        assert!(
+            matches!(record.reason, QuarantineReason::Signalled { signal } if signal == SIGKILL),
+            "journalled quarantine carries the taxonomy"
+        );
+    }
+
+    let resumed = stormed()
+        .resume(true)
+        .run(&profiles, &config)
+        .expect("the same storm resumes from its own journal");
+    assert!(
+        resumed.metrics.counter("supervisor.cells.resumed") > 0,
+        "survivors replay from the journal"
+    );
+    assert_eq!(
+        resumed.quarantined.len(),
+        first.quarantined.len(),
+        "the same victims die again on resume"
+    );
+    assert_eq!(
+        render_csv(&resumed.results, |_, _, _| true),
+        first_csv,
+        "resumed final CSV must be identical"
+    );
+    let _ = std::fs::remove_file(&journal_path);
+    eprintln!("scenario 3 ok: resume reproduces the stormed CSV");
+}
+
+fn main() {
+    // Must run before anything else: the sandboxed children ARE this
+    // binary, re-entered with the worker environment set.
+    chopin_harness::worker_entry();
+    if !chopin_sandbox::supported() {
+        eprintln!("skipping: process isolation is unsupported on this platform");
+        return;
+    }
+    let reference_csv = clean_process_run_matches_thread_run();
+    sigkill_storm_quarantines_victims_and_preserves_survivors(&reference_csv);
+    resume_after_storm_reproduces_the_csv();
+    println!("sandbox integration: all scenarios ok");
+}

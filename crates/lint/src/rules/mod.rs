@@ -1,4 +1,4 @@
-//! The rule catalogue, grouped into eight families:
+//! The rule catalogue, grouped into nine families:
 //!
 //! * **R1xx** ([`nominal`]) — nominal-statistic completeness and ranges.
 //! * **R2xx** ([`spec`]) — cross-field workload-spec consistency.
@@ -11,6 +11,9 @@
 //!   catalogued here (one registry, one severity model) but implemented by
 //!   the `chopin-analyzer` crate, which compiles whole experiment plans
 //!   into a typed PlanIR before checking them.
+//! * **R9xx** — process-isolation (sandbox) configuration: resource-limit
+//!   coverage, heartbeat-vs-deadline coherence, and hard-fault backend
+//!   requirements. Also implemented by `chopin-analyzer`.
 
 pub mod config;
 pub mod faults;
@@ -36,7 +39,7 @@ pub struct RuleDef {
 /// Every rule the linter implements, in id order. Rendered by
 /// `artifact lint --rules` and kept in sync with the rule modules by the
 /// crate's tests.
-pub const RULES: [RuleDef; 44] = [
+pub const RULES: [RuleDef; 47] = [
     RuleDef {
         id: "R101",
         severity: Severity::Error,
@@ -256,6 +259,21 @@ pub const RULES: [RuleDef; 44] = [
         id: "R813",
         severity: Severity::Warn,
         summary: "artifacts cover every feasible planned cell (incomplete runs are resumable, not publishable)",
+    },
+    RuleDef {
+        id: "R901",
+        severity: Severity::Error,
+        summary: "an explicit sandbox RLIMIT_AS override must cover every feasible cell's heap plus the worker base (fix: raise --rlimit-as-mb or drop it to derive limits per cell)",
+    },
+    RuleDef {
+        id: "R902",
+        severity: Severity::Error,
+        summary: "the sandbox heartbeat timeout (interval x grace) must fire before the cell deadline, or wedged cells are never detected (fix: lower --heartbeat-ms or raise --cell-deadline)",
+    },
+    RuleDef {
+        id: "R903",
+        severity: Severity::Error,
+        summary: "hard-fault injection (kill/abort/oom) requires process isolation; under threads the first victim kills the whole sweep (fix: add --isolation process)",
     },
 ];
 

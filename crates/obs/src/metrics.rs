@@ -12,6 +12,33 @@ use crate::observer::Observer;
 use crate::recorder::{json_num, json_str};
 use std::collections::BTreeMap;
 
+/// The `sandbox.*` metric vocabulary the process-isolation layer emits
+/// into a [`MetricsRegistry`]. The registry is string-keyed, so these
+/// constants exist to keep the emitting side (the harness sandbox
+/// runner) and the consuming side (reports, dashboards, tests) spelling
+/// the names identically.
+pub mod sandbox_metrics {
+    /// Counter: worker children spawned.
+    pub const SPAWNS: &str = "sandbox.spawns";
+    /// Counter: children killed by the wall-clock deadline watchdog.
+    pub const KILLS_DEADLINE: &str = "sandbox.kills.deadline";
+    /// Counter: children killed after going silent past the heartbeat
+    /// budget.
+    pub const KILLS_HEARTBEAT: &str = "sandbox.kills.heartbeat";
+    /// Counter: children that died to a signal they did not survive
+    /// (SIGSEGV, SIGABRT, SIGKILL, ...).
+    pub const SIGNALLED: &str = "sandbox.exits.signalled";
+    /// Counter: children OOM-killed by the RLIMIT_AS backstop.
+    pub const OOM_KILLED: &str = "sandbox.oom_killed";
+    /// Counter: heartbeats received across all children.
+    pub const HEARTBEATS: &str = "sandbox.heartbeats";
+    /// Histogram: observed gap between child spawn and its last
+    /// heartbeat, in nanoseconds.
+    pub const HEARTBEAT_GAP_NS: &str = "sandbox.heartbeat_gap_ns";
+    /// Gauge: largest per-cell peak RSS observed, in bytes.
+    pub const PEAK_RSS_MAX_BYTES: &str = "sandbox.peak_rss.max_bytes";
+}
+
 /// A histogram over `u64` values (nanoseconds, by convention) with
 /// logarithmically spaced buckets and exact count/sum/max side-channels.
 ///

@@ -1,0 +1,53 @@
+//! Process-isolation execution layer for sweep cells.
+//!
+//! The supervisor in `chopin-harness` survives *unwinding* failures — a
+//! panicking cell is caught, retried and eventually quarantined. It cannot
+//! survive *hard* failures: a cell that aborts, overflows its stack, spins
+//! forever without yielding, or is OOM-killed takes the whole process (and
+//! every other in-flight cell) down with it. This crate provides the
+//! missing isolation boundary: each cell runs in a child OS process with
+//! resource limits, a heartbeat protocol over its stdout pipe, and typed
+//! result marshalling back to the parent.
+//!
+//! The crate is deliberately dependency-free and knows nothing about
+//! benchmarks or sweeps. The contract is a single request string in, a
+//! single response string out:
+//!
+//! - [`worker::maybe_worker`] is called first thing in a binary's `main`.
+//!   In a normal invocation it returns immediately; when the process was
+//!   spawned as a sandbox worker it reads the request from stdin, applies
+//!   the resource limits from its environment, emits heartbeats, runs the
+//!   handler, prints the framed result and exits.
+//! - [`parent::SandboxPool`] spawns such workers, feeds them requests,
+//!   monitors heartbeats and deadlines, kills the wedged, and classifies
+//!   every ending into the crash taxonomy [`parent::ChildOutcome`]:
+//!   `Completed`, `Failed`, `Panicked`, `Signalled` (SIGSEGV / SIGABRT /
+//!   SIGKILL / …), `OomKilled`, `HeartbeatLost` and `DeadlineExceeded`.
+//!
+//! Process isolation is available on Unix (it needs `setrlimit` and
+//! signal-aware exit statuses); [`supported`] reports availability so
+//! callers can fall back to thread-mode execution elsewhere.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod limits;
+pub mod parent;
+pub mod policy;
+pub mod protocol;
+pub mod worker;
+
+pub use parent::{ChildOutcome, ChildReport, SandboxPool};
+pub use policy::{IsolationMode, SandboxPolicy, SandboxPolicyError};
+
+/// Whether process isolation is available on this platform.
+///
+/// Requires a Unix-like OS: resource limits are applied through
+/// `setrlimit` and crash classification reads the terminating signal out
+/// of the child's exit status. On other platforms callers keep thread-mode
+/// execution.
+#[must_use]
+pub fn supported() -> bool {
+    cfg!(unix)
+}

@@ -1,0 +1,176 @@
+//! End-to-end sandbox test: this binary spawns *itself* as the worker
+//! (the `maybe_worker` call at the top of `main` handles the child role)
+//! and asserts that every branch of the crash taxonomy is reachable and
+//! correctly classified.
+//!
+//! `harness = false`: the worker protocol needs to own `main`.
+
+use std::time::Duration;
+
+use chopin_sandbox::limits::{SIGABRT, SIGKILL};
+use chopin_sandbox::parent::RequestLimits;
+use chopin_sandbox::protocol::ENV_NO_HEARTBEAT;
+use chopin_sandbox::{ChildOutcome, SandboxPolicy, SandboxPool};
+
+/// RLIMIT_AS handed to the self-OOM worker: far below the hoard it
+/// allocates, comfortably above what the test binary needs to start.
+const OOM_RLIMIT_AS: u64 = 256 << 20;
+
+fn main() {
+    chopin_sandbox::worker::maybe_worker(|request| match request.trim() {
+        "ok" => Ok("payload line".to_string()),
+        "empty" => Ok(String::new()),
+        "multiline" => Ok("line one\nline two".to_string()),
+        "err" => Err("transient failure".to_string()),
+        "panic" => panic!("worker panicked on purpose"),
+        "hang" => loop {
+            std::thread::sleep(Duration::from_millis(20));
+        },
+        "kill" => chopin_sandbox::limits::die_by_signal(SIGKILL),
+        "abort" => std::process::abort(),
+        "oom" => {
+            let mut hoard: Vec<Vec<u8>> = Vec::new();
+            loop {
+                hoard.push(vec![0x5A; 32 << 20]);
+            }
+        }
+        other => Err(format!("unknown request {other:?}")),
+    });
+
+    if !chopin_sandbox::supported() {
+        println!("sandbox unsupported on this platform; skipping");
+        return;
+    }
+
+    completion_and_payloads_round_trip();
+    errors_and_panics_are_typed();
+    self_sigkill_classifies_as_signalled();
+    abort_classifies_as_signalled_sigabrt();
+    #[cfg(target_os = "linux")]
+    rlimit_as_breach_classifies_as_oom_killed();
+    silent_workers_lose_their_heartbeat();
+    deadline_overruns_are_killed_and_classified();
+    println!("sandbox worker round-trip: all checks passed");
+}
+
+fn pool(policy: SandboxPolicy) -> SandboxPool {
+    let exe = std::env::current_exe().expect("current_exe");
+    SandboxPool::new(exe, policy)
+}
+
+fn completion_and_payloads_round_trip() {
+    let pool = pool(SandboxPolicy::default());
+    let report = pool.run("ok", RequestLimits::default());
+    assert_eq!(
+        report.outcome,
+        ChildOutcome::Completed("payload line".to_string()),
+        "stderr: {}",
+        report.stderr_tail
+    );
+    assert_eq!(report.exit_code, Some(0));
+
+    let report = pool.run("empty", RequestLimits::default());
+    assert_eq!(report.outcome, ChildOutcome::Completed(String::new()));
+
+    // Payloads containing newlines must survive the line framing.
+    let report = pool.run("multiline", RequestLimits::default());
+    assert_eq!(
+        report.outcome,
+        ChildOutcome::Completed("line one\nline two".to_string())
+    );
+    println!("ok completion_and_payloads_round_trip");
+}
+
+fn errors_and_panics_are_typed() {
+    let pool = pool(SandboxPolicy::default());
+    let report = pool.run("err", RequestLimits::default());
+    assert_eq!(
+        report.outcome,
+        ChildOutcome::Failed("transient failure".to_string())
+    );
+
+    let report = pool.run("panic", RequestLimits::default());
+    assert_eq!(
+        report.outcome,
+        ChildOutcome::Panicked("worker panicked on purpose".to_string())
+    );
+    println!("ok errors_and_panics_are_typed");
+}
+
+fn self_sigkill_classifies_as_signalled() {
+    let pool = pool(SandboxPolicy::default());
+    let report = pool.run("kill", RequestLimits::default());
+    assert_eq!(report.outcome, ChildOutcome::Signalled { signal: SIGKILL });
+    assert_eq!(report.signal, Some(SIGKILL));
+    assert_eq!(report.exit_code, None);
+    println!("ok self_sigkill_classifies_as_signalled");
+}
+
+fn abort_classifies_as_signalled_sigabrt() {
+    let pool = pool(SandboxPolicy::default());
+    let report = pool.run("abort", RequestLimits::default());
+    assert_eq!(report.outcome, ChildOutcome::Signalled { signal: SIGABRT });
+    println!("ok abort_classifies_as_signalled_sigabrt");
+}
+
+#[cfg(target_os = "linux")]
+fn rlimit_as_breach_classifies_as_oom_killed() {
+    let pool = pool(SandboxPolicy::default());
+    let report = pool.run(
+        "oom",
+        RequestLimits {
+            rlimit_as_bytes: Some(OOM_RLIMIT_AS),
+            rlimit_cpu_s: None,
+        },
+    );
+    assert_eq!(
+        report.outcome,
+        ChildOutcome::OomKilled,
+        "exit_code={:?} signal={:?} stderr: {}",
+        report.exit_code,
+        report.signal,
+        report.stderr_tail
+    );
+    assert!(
+        report.peak_rss_bytes.is_some(),
+        "peak RSS should be sampled from procfs"
+    );
+    println!("ok rlimit_as_breach_classifies_as_oom_killed");
+}
+
+fn silent_workers_lose_their_heartbeat() {
+    let policy = SandboxPolicy {
+        heartbeat_interval_ms: 50,
+        heartbeat_grace: 4,
+        ..SandboxPolicy::default()
+    };
+    let pool = pool(policy).env(ENV_NO_HEARTBEAT, "1");
+    let report = pool.run("hang", RequestLimits::default());
+    match report.outcome {
+        ChildOutcome::HeartbeatLost { silent_ms } => {
+            assert!(
+                silent_ms >= policy.heartbeat_timeout_ms(),
+                "killed after only {silent_ms}ms of silence"
+            );
+        }
+        other => panic!("expected HeartbeatLost, got {other:?}"),
+    }
+    println!("ok silent_workers_lose_their_heartbeat");
+}
+
+fn deadline_overruns_are_killed_and_classified() {
+    // Heartbeats flow normally; only the wall-clock deadline fires.
+    let pool = pool(SandboxPolicy::default()).with_deadline_ms(Some(150));
+    let report = pool.run("hang", RequestLimits::default());
+    assert_eq!(
+        report.outcome,
+        ChildOutcome::DeadlineExceeded { budget_ms: 150 },
+        "stderr: {}",
+        report.stderr_tail
+    );
+    assert!(
+        report.last_heartbeat_ms.is_some(),
+        "the worker was beating before the deadline killed it"
+    );
+    println!("ok deadline_overruns_are_killed_and_classified");
+}
