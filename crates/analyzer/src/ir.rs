@@ -152,6 +152,8 @@ impl PlanIR {
     /// A human-readable message when a profile does not publish a minimum
     /// heap for the plan's size class — such a plan cannot run at all, so
     /// there is nothing to analyse.
+    // The compile surface mirrors the plan's seven orthogonal inputs;
+    // bundling them into a struct would just move the arity one level up.
     #[allow(clippy::too_many_arguments)]
     pub fn compile(
         name: impl Into<String>,

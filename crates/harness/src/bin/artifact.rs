@@ -11,6 +11,7 @@
 //! artifact analyze [--check] # pre-flight analyze every shipped plan
 //! artifact analyze --plan demo:cold-start     # one plan (R8xx errors)
 //! artifact analyze --plan lbo --results r.csv # + provenance checking
+//! artifact srclint [--check] [--json]  # lint the workspace's own source
 //! artifact trace             # observed h2 run -> Perfetto trace + metrics
 //! artifact chaos [--check]   # seeded fault-injection smoke suite
 //! ```
@@ -25,6 +26,16 @@
 //! plan (rules R810–R813). The exit code is non-zero exactly when any
 //! error-severity finding is reported, so `--check` (accepted for
 //! symmetry with the other CI gates) needs no special casing.
+//!
+//! `artifact srclint [--check] [--json]` runs the `chopin-srclint`
+//! source-level pass (rules R1001–R1012) over every `src/` tree in the
+//! workspace: determinism hazards (hash iteration, wall clocks, ambient
+//! entropy), soundness boundaries (`unsafe`, process exits, unsupervised
+//! threads) and hygiene (unjustified `#[allow]`, stale suppressions,
+//! catalogue/README drift). Like the other gates, the exit code is
+//! non-zero exactly when an unsuppressed error-severity finding exists,
+//! so `--check` needs no special casing; `--rules` prints the shared
+//! catalogue.
 //!
 //! `artifact chaos [-b BENCHES] [--faults PRESET[:SEED]] [--cell-deadline
 //! MS] [--retries N]` sweeps a small benchmark set across all collectors
@@ -68,8 +79,8 @@ use chopin_runtime::collector::CollectorKind;
 use chopin_sandbox::limits::{SIGABRT, SIGKILL};
 use chopin_workloads::faults::{preset as fault_preset, DEFAULT_HORIZON_NS, FALLBACK_SEED};
 
-const USAGE: &str = "usage: artifact <kick-the-tires|lbo|latency|validate|lint|analyze|trace|\
-                     chaos> [--json|--rules|--check|--plan NAME|--results FILE]";
+const USAGE: &str = "usage: artifact <kick-the-tires|lbo|latency|validate|lint|analyze|srclint|\
+                     trace|chaos> [--json|--rules|--check|--plan NAME|--results FILE]";
 
 fn run_chaos(args: &Args) -> i32 {
     let mut benchmarks = args.list("b");
@@ -310,6 +321,35 @@ fn emit_report(report: &chopin_lint::LintReport, args: &Args) -> i32 {
     report.exit_code()
 }
 
+fn run_srclint(args: &Args) -> i32 {
+    if args.has("rules") {
+        print!("{}", chopin_lint::render_catalogue());
+        return 0;
+    }
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: cannot determine the working directory: {e}");
+            return 2;
+        }
+    };
+    let Some(root) = chopin_srclint::find_workspace_root(&cwd) else {
+        eprintln!(
+            "error: no workspace root above {} (looked for a Cargo.toml with [workspace])",
+            cwd.display()
+        );
+        return 2;
+    };
+    let report = match chopin_srclint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    emit_report(&report, args)
+}
+
 fn run_analyze(args: &Args) -> i32 {
     if args.has("rules") {
         print!("{}", chopin_lint::render_catalogue());
@@ -478,6 +518,9 @@ fn main() {
     }
     if command == "analyze" {
         std::process::exit(run_analyze(&args));
+    }
+    if command == "srclint" {
+        std::process::exit(run_srclint(&args));
     }
     if command == "trace" {
         std::process::exit(run_trace(&args));

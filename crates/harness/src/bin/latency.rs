@@ -92,10 +92,12 @@ fn main() {
         iterations: 2,
         ..SweepConfig::default()
     };
-    preflight::gate(
+    if let Err(code) = preflight::gate(
         &args,
         preflight::plan_for_args("latency", Methodology::Latency, &benchmarks, &sweep, &args),
-    );
+    ) {
+        std::process::exit(code);
+    }
 
     for bench in &benchmarks {
         eprintln!("measuring latency for {bench} at heaps {heaps:?}");

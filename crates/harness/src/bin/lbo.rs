@@ -133,10 +133,12 @@ fn main() {
     } else {
         benchmarks.clone()
     };
-    preflight::gate(
+    if let Err(code) = preflight::gate(
         &args,
         preflight::plan_for_args("lbo", Methodology::Lbo, &plan_benchmarks, &sweep, &args),
-    );
+    ) {
+        std::process::exit(code);
+    }
 
     eprintln!(
         "running LBO sweep: {} benchmark(s), {} collectors, {} heap factors, {} invocation(s)",

@@ -183,10 +183,12 @@ fn main() {
         .get_or("iterations", sweep.iterations)
         .unwrap_or(sweep.iterations);
 
-    preflight::gate(
+    if let Err(code) = preflight::gate(
         &args,
         preflight::plan_for_args("runbms", Methodology::Sweep, &benchmarks, &sweep, &args),
-    );
+    ) {
+        std::process::exit(code);
+    }
 
     println!("benchmark,collector,heap_factor,wall_s,task_s,wall_distillable_s,task_distillable_s");
 

@@ -75,10 +75,12 @@ fn main() {
             iterations: 1,
             ..SweepConfig::default()
         };
-        preflight::gate(
+        if let Err(code) = preflight::gate(
             &args,
             preflight::plan_for_args("suite", Methodology::Suite, &selected, &sweep, &args),
-        );
+        ) {
+            std::process::exit(code);
+        }
         for name in &selected {
             let Some(profile) = workloads::by_name(name) else {
                 eprintln!("error: unknown benchmark `{name}`");

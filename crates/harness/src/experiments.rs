@@ -488,7 +488,7 @@ pub fn pca_figure() -> Result<String, ExperimentError> {
         let mut loadings: Vec<(usize, f64)> = (0..pca.variable_count())
             .map(|v| (v, pca.loading(v, pc)))
             .collect();
-        loadings.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).expect("finite"));
+        loadings.sort_by(|a, b| b.1.abs().total_cmp(&a.1.abs()));
         let top: Vec<String> = loadings
             .iter()
             .take(5)

@@ -18,10 +18,10 @@ use chopin_runtime::collector::CollectorKind;
 use chopin_runtime::config::RunConfig;
 use chopin_runtime::engine::run_with_observer_and_faults;
 use chopin_runtime::result::{RunError, RunResult};
+use chopin_sandbox::clock::WallSpan;
 use chopin_workloads::SizeClass;
 use parking_lot::Mutex;
 use std::path::PathBuf;
-use std::time::Instant;
 
 /// Chrome-trace track id for harness wall-time spans (the engine uses
 /// tracks 1–5; see [`chopin_obs::ChromeTrace::from_events`]).
@@ -141,7 +141,7 @@ pub struct HarnessSpan {
 /// through the parallel sweep runner.
 #[derive(Debug, Default)]
 pub struct SpanSink {
-    epoch: Option<Instant>,
+    epoch: Option<WallSpan>,
     spans: Mutex<Vec<HarnessSpan>>,
 }
 
@@ -149,7 +149,7 @@ impl SpanSink {
     /// A sink whose epoch is now.
     pub fn new() -> SpanSink {
         SpanSink {
-            epoch: Some(Instant::now()),
+            epoch: Some(WallSpan::begin()),
             spans: Mutex::new(Vec::new()),
         }
     }

@@ -171,6 +171,8 @@ pub fn render_chart(series: &[Series], opts: &ChartOptions) -> String {
     out
 }
 
+// A plot mark is inherently eight-dimensional (grid, glyph, point, both
+// axis ranges, canvas size); a params struct would be used exactly once.
 #[allow(clippy::too_many_arguments)]
 fn mark(
     grid: &mut [Vec<char>],

@@ -106,19 +106,21 @@ pub fn preflight_report(plan: &PlanIR) -> LintReport {
     chopin_analyzer::analyze(plan)
 }
 
-/// The binaries' pre-flight gate. Prints findings to stderr; exits the
-/// process with code 2 when the plan has analyzer errors (unless
-/// `--no-preflight`).
-pub fn gate(args: &Args, plan: Result<PlanIR, String>) {
+/// The binaries' pre-flight gate. Prints findings to stderr; returns
+/// `Err(2)` when the plan fails to compile or has analyzer errors
+/// (unless `--no-preflight`). The caller — always a bin entry point —
+/// turns the code into a process exit; library code keeps destructors
+/// and journals intact (srclint R1006).
+pub fn gate(args: &Args, plan: Result<PlanIR, String>) -> Result<(), i32> {
     if args.has("no-preflight") {
         eprintln!("preflight: skipped (--no-preflight)");
-        return;
+        return Ok(());
     }
     let plan = match plan {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(2);
+            return Err(2);
         }
     };
     let report = preflight_report(&plan);
@@ -129,7 +131,7 @@ pub fn gate(args: &Args, plan: Result<PlanIR, String>) {
             report.error_count(),
             plan.name
         );
-        std::process::exit(2);
+        return Err(2);
     }
     if report.warn_count() > 0 {
         eprint!("{}", report.render_table());
@@ -139,6 +141,7 @@ pub fn gate(args: &Args, plan: Result<PlanIR, String>) {
         plan.name,
         report.warn_count()
     );
+    Ok(())
 }
 
 fn compile_shipped(

@@ -31,6 +31,9 @@
 //!   ([`rules::faults`]).
 //! * **R8xx** — plan pre-flight and artifact provenance, implemented by
 //!   the `chopin-analyzer` crate against this catalogue.
+//! * **R10xx** — source-level determinism and soundness over the
+//!   workspace's own Rust code, implemented by the `chopin-srclint`
+//!   crate against this catalogue (`artifact srclint`).
 //!
 //! # Examples
 //!
@@ -137,10 +140,18 @@ mod tests {
 
     #[test]
     fn catalogue_ids_are_unique_and_sorted() {
-        let ids: Vec<&str> = RULES.iter().map(|r| r.id).collect();
-        let mut sorted = ids.clone();
-        sorted.sort_unstable();
-        sorted.dedup();
-        assert_eq!(ids, sorted, "rule ids must be unique and in id order");
+        // Numeric order, not lexicographic: R1001 follows R903.
+        let numbers: Vec<u32> = RULES
+            .iter()
+            .map(|r| r.id[1..].parse().unwrap_or_else(|_| panic!("{}", r.id)))
+            .collect();
+        for pair in numbers.windows(2) {
+            assert!(
+                pair[0] < pair[1],
+                "rule ids must be unique and in numeric id order: R{} then R{}",
+                pair[0],
+                pair[1]
+            );
+        }
     }
 }

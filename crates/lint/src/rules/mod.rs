@@ -14,6 +14,13 @@
 //! * **R9xx** — process-isolation (sandbox) configuration: resource-limit
 //!   coverage, heartbeat-vs-deadline coherence, and hard-fault backend
 //!   requirements. Also implemented by `chopin-analyzer`.
+//! * **R10xx** — source-level determinism and soundness: a static pass
+//!   over the workspace's *own Rust source* (hand-rolled lexer + scope
+//!   tracker, no proc-macro dependency) enforcing the contracts the
+//!   integration tests assume — no nondeterministic hash iteration, no
+//!   raw wall-clock reads, confined `unsafe`, seeded-RNG-only, canonical
+//!   float marshalling. Catalogued here, implemented by the
+//!   `chopin-srclint` crate and run by `artifact srclint`.
 
 pub mod config;
 pub mod faults;
@@ -39,7 +46,7 @@ pub struct RuleDef {
 /// Every rule the linter implements, in id order. Rendered by
 /// `artifact lint --rules` and kept in sync with the rule modules by the
 /// crate's tests.
-pub const RULES: [RuleDef; 47] = [
+pub const RULES: [RuleDef; 59] = [
     RuleDef {
         id: "R101",
         severity: Severity::Error,
@@ -274,6 +281,66 @@ pub const RULES: [RuleDef; 47] = [
         id: "R903",
         severity: Severity::Error,
         summary: "hard-fault injection (kill/abort/oom) requires process isolation; under threads the first victim kills the whole sweep (fix: add --isolation process)",
+    },
+    RuleDef {
+        id: "R1001",
+        severity: Severity::Error,
+        summary: "no HashMap/HashSet in non-test workspace source: hash iteration order is nondeterministic and leaks into CSV/journal/fingerprint bytes (use BTreeMap/BTreeSet or a sorted drain)",
+    },
+    RuleDef {
+        id: "R1002",
+        severity: Severity::Error,
+        summary: "wall-clock reads (Instant::now/SystemTime::now) only inside the SupervisorClock/WallSpan abstractions",
+    },
+    RuleDef {
+        id: "R1003",
+        severity: Severity::Error,
+        summary: "thread::spawn only in the supervision layer (crates/sandbox, the harness supervisor and its sandbox glue)",
+    },
+    RuleDef {
+        id: "R1004",
+        severity: Severity::Error,
+        summary: "persisted-artifact writers marshal floats via shortest-round-trip Debug formatting, never fixed-precision or scientific specs",
+    },
+    RuleDef {
+        id: "R1005",
+        severity: Severity::Error,
+        summary: "`unsafe` is confined to crates/sandbox (the workspace's one audited FFI boundary)",
+    },
+    RuleDef {
+        id: "R1006",
+        severity: Severity::Error,
+        summary: "std::process::exit only in bin entry points: library code returns exit codes so callers keep destructors and journals intact",
+    },
+    RuleDef {
+        id: "R1007",
+        severity: Severity::Error,
+        summary: "no ambient entropy (thread_rng/from_entropy/OsRng/rand::random): every random stream flows from an explicit seed",
+    },
+    RuleDef {
+        id: "R1008",
+        severity: Severity::Error,
+        summary: "#[allow(...)] attributes carry an adjacent justification comment (same line or the line above)",
+    },
+    RuleDef {
+        id: "R1009",
+        severity: Severity::Error,
+        summary: "the srclint engine, this catalogue and the README rule table agree: no rule is implemented but uncatalogued, catalogued but unimplemented, or undocumented",
+    },
+    RuleDef {
+        id: "R1010",
+        severity: Severity::Error,
+        summary: "srclint:allow suppressions are themselves linted: well-formed, carry a reason, name known rules and suppress at least one finding",
+    },
+    RuleDef {
+        id: "R1011",
+        severity: Severity::Error,
+        summary: "no dbg!/todo!/unimplemented! in non-test code",
+    },
+    RuleDef {
+        id: "R1012",
+        severity: Severity::Error,
+        summary: "float orderings use total_cmp, not partial_cmp().unwrap(): a NaN must not panic the sweep mid-suite",
     },
 ];
 

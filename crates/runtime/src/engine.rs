@@ -825,6 +825,9 @@ impl<'a, O: Observer, F: FaultClock> Engine<'a, O, F> {
 
     /// Plan and execute the collection that fires when occupancy reaches
     /// the trigger point.
+    // The trigger handler threads the full collection context (heap
+    // watermarks, cycle state, pacing) — splitting it would duplicate
+    // the engine's field list as a one-off struct.
     #[allow(clippy::too_many_arguments)]
     fn handle_trigger(
         &mut self,

@@ -320,7 +320,7 @@ mod tests {
                 now = next;
             }
             let mut sorted = targets.clone();
-            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sorted.sort_by(|a, b| a.total_cmp(b));
             let times: Vec<_> = sorted.iter().map(|&x| t.time_at_progress(x)).collect();
             // Defined lookups must be monotone non-decreasing.
             let defined: Vec<_> = times.iter().flatten().collect();

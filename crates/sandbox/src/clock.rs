@@ -1,0 +1,68 @@
+//! The workspace's one sanctioned monotonic-clock read.
+//!
+//! Simulated time (`chopin_runtime`) is fully deterministic; wall time
+//! is not, and a raw `Instant::now()` scattered through the codebase is
+//! how nondeterminism leaks into timeouts, heartbeat accounting and —
+//! worst — persisted artifacts. srclint rule R1002 therefore bans raw
+//! clock reads everywhere and this module is the single suppressed
+//! exception: supervision code measures wall spans through [`WallSpan`],
+//! which keeps every read auditable and keeps wall durations out of
+//! deterministic outputs by construction (a [`WallSpan`] renders only
+//! through the supervisor's own logging, never into CSV/journal bytes).
+
+use std::time::Duration;
+use std::time::Instant;
+
+/// A monotonic span anchored at its construction instant.
+///
+/// `Copy` so heartbeat bookkeeping can store and compare spans freely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WallSpan {
+    start: Instant,
+}
+
+impl WallSpan {
+    /// Anchor a span at the current instant.
+    pub fn begin() -> Self {
+        // srclint:allow(R1002, reason = "this is the clock abstraction R1002 routes everyone through; the one raw read lives here")
+        let start = Instant::now();
+        WallSpan { start }
+    }
+
+    /// Wall time elapsed since the anchor.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Wall time elapsed since the anchor, in whole milliseconds.
+    pub fn elapsed_ms(&self) -> u128 {
+        self.elapsed().as_millis()
+    }
+
+    /// Duration from `earlier`'s anchor to this span's anchor
+    /// (saturating to zero if `earlier` is actually later).
+    pub fn since(&self, earlier: &WallSpan) -> Duration {
+        self.start.saturating_duration_since(earlier.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let span = WallSpan::begin();
+        let a = span.elapsed();
+        let b = span.elapsed();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn since_orders_anchors() {
+        let a = WallSpan::begin();
+        let b = WallSpan::begin();
+        assert_eq!(a.since(&b), Duration::ZERO);
+        assert!(b.since(&a) >= Duration::ZERO);
+    }
+}

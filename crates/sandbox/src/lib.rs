@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod clock;
 pub mod limits;
 pub mod parent;
 pub mod policy;

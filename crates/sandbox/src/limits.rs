@@ -34,6 +34,9 @@ pub fn signal_name(signal: i32) -> &'static str {
 pub const OOM_STDERR_MARKER: &str = "memory allocation of";
 
 #[cfg(unix)]
+// The workspace-wide unsafe ban (R1005) stops at this module: setrlimit
+// has no safe std wrapper, so the sandbox declares the libc binding
+// itself and keeps the unsafe surface to these few lines.
 #[allow(unsafe_code)]
 mod ffi {
     //! Hand-declared libc bindings (std links libc on every Unix target).

@@ -6,7 +6,9 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::path::PathBuf;
 use std::process::{Command, Stdio};
 use std::sync::{Arc, Mutex, MutexGuard};
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use crate::clock::WallSpan;
 
 use crate::limits::{OOM_STDERR_MARKER, SIGABRT};
 use crate::policy::SandboxPolicy;
@@ -179,7 +181,7 @@ impl SandboxPool {
             command.env(key, value);
         }
 
-        let spawned_at = Instant::now();
+        let spawned_at = WallSpan::begin();
         let mut child = match command.spawn() {
             Ok(child) => child,
             Err(e) => {
@@ -220,7 +222,7 @@ impl SandboxPool {
                     match protocol::parse(&line) {
                         Some(Frame::Heartbeat) => {
                             let mut inbox = lock(&inbox);
-                            inbox.last_beat = Some(Instant::now());
+                            inbox.last_beat = Some(WallSpan::begin());
                             inbox.beats += 1;
                         }
                         Some(frame) => {
@@ -304,7 +306,7 @@ impl SandboxPool {
             let inbox = lock(&inbox);
             let beat_ms = inbox
                 .last_beat
-                .map(|beat| (beat.duration_since(spawned_at)).as_millis() as u64);
+                .map(|beat| beat.since(&spawned_at).as_millis() as u64);
             (inbox.final_frame.clone(), beat_ms, inbox.beats)
         };
         let stderr_tail = String::from_utf8_lossy(&lock(&stderr_tail)).into_owned();
@@ -331,7 +333,7 @@ enum KillReason {
 }
 
 struct Inbox {
-    last_beat: Option<Instant>,
+    last_beat: Option<WallSpan>,
     beats: u64,
     final_frame: Option<Frame>,
 }

@@ -1,0 +1,40 @@
+// Fixture: idiomatic code that must produce zero diagnostics — ordered
+// collections, test-only wall clocks, a justified #[allow] and a used,
+// reasoned suppression.
+use std::collections::BTreeMap;
+
+pub fn tally(names: &[&str]) -> Vec<(String, usize)> {
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for name in names {
+        *counts.entry((*name).to_string()).or_default() += 1;
+    }
+    counts.into_iter().collect()
+}
+
+pub fn marshal(wall_s: f64) -> String {
+    format!("{wall_s:?}")
+}
+
+// The field mirrors a wire struct the parser fills reflectively.
+#[allow(dead_code)]
+struct Mirrored {
+    field: u32,
+}
+
+pub fn abort_cell(message: &str) -> ! {
+    eprintln!("cell worker: {message}");
+    // srclint:allow(R1006, reason = "fixture models a sanctioned child-process entry point")
+    std::process::exit(0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_read_the_wall_clock() {
+        let start = std::time::Instant::now();
+        assert_eq!(tally(&["a", "a"]), vec![("a".to_string(), 2)]);
+        assert!(start.elapsed().as_secs() < 60);
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: hash-ordered collections in production code (R1001).
+use std::collections::HashMap;
+
+pub fn tally(names: &[&str]) -> Vec<(String, usize)> {
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for name in names {
+        *counts.entry((*name).to_string()).or_default() += 1;
+    }
+    counts.into_iter().collect()
+}

@@ -1,0 +1,8 @@
+// Fixture: raw wall-clock reads outside the clock abstractions (R1002).
+use std::time::Instant;
+
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, u128) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_millis())
+}

@@ -1,0 +1,4 @@
+// Fixture: thread creation outside the supervision layer (R1003).
+pub fn fire_and_forget(work: impl FnOnce() + Send + 'static) {
+    std::thread::spawn(work);
+}

@@ -1,0 +1,6 @@
+// Fixture: lossy float format spec in a persisted-artifact writer
+// (R1004). Only trips when linted under a writer path such as
+// crates/harness/src/journal.rs.
+pub fn csv_row(bench: &str, wall_s: f64) -> String {
+    format!("{bench},{wall_s:.3}")
+}

@@ -1,0 +1,4 @@
+// Fixture: `unsafe` outside crates/sandbox (R1005).
+pub fn reinterpret(bits: u64) -> f64 {
+    unsafe { std::mem::transmute(bits) }
+}

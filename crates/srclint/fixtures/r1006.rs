@@ -1,0 +1,5 @@
+// Fixture: process exit from library code (R1006).
+pub fn bail(message: &str) -> ! {
+    eprintln!("fatal: {message}");
+    std::process::exit(1);
+}

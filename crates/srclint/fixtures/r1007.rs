@@ -1,0 +1,7 @@
+// Fixture: ambient entropy (R1007).
+use rand::thread_rng;
+use rand::Rng;
+
+pub fn jitter_ms() -> u64 {
+    thread_rng().gen_range(0..10)
+}

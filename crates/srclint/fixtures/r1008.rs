@@ -1,0 +1,8 @@
+// Fixture: #[allow(...)] with no adjacent justification comment (R1008).
+// (This header is two lines away from the attribute, so it does not
+// count as adjacent.)
+
+#[allow(dead_code)]
+struct Orphan {
+    field: u32,
+}

@@ -1,0 +1,12 @@
+// Fixture: suppression hygiene (R1010) — one stale suppression whose
+// target line has no matching finding, and one reasonless suppression
+// that therefore suppresses nothing.
+
+// srclint:allow(R1001, reason = "nothing on the next line uses a hash map")
+pub fn innocent() -> u32 {
+    41
+}
+
+pub fn timed() -> std::time::Instant {
+    std::time::Instant::now() // srclint:allow(R1002)
+}

@@ -1,0 +1,4 @@
+// Fixture: leftover stub macros in non-test code (R1011).
+pub fn unfinished(input: &str) -> String {
+    todo!("parse {input}")
+}

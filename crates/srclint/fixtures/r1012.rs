@@ -1,0 +1,5 @@
+// Fixture: NaN-panicking float comparison (R1012).
+pub fn rank(mut scores: Vec<f64>) -> Vec<f64> {
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    scores
+}

@@ -1,0 +1,450 @@
+//! A hand-rolled Rust lexer: just enough token structure for the
+//! source-level rules, with exact line numbers and comments preserved.
+//!
+//! The workspace's vendored-stub policy rules out `syn`/`proc-macro2`,
+//! and the rules only need token *shape* (identifier paths, punctuation
+//! sequences, string contents, comments), not a parse tree. The lexer
+//! therefore handles the lexical grammar precisely — nested block
+//! comments, raw strings with arbitrary `#` fences, byte strings, raw
+//! identifiers, char-literal-vs-lifetime disambiguation — and emits a
+//! flat token stream the scope tracker and rule engine walk.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `unsafe`, `spawn`, ...).
+    Ident,
+    /// A single punctuation character (`:`, `#`, `{`, ...).
+    Punct(char),
+    /// A string or byte-string literal; `text` holds the unquoted body.
+    Str,
+    /// A char or byte-char literal.
+    Char,
+    /// A numeric literal.
+    Number,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A plain comment (`//` or `/* */`); `text` holds the full lexeme.
+    Comment,
+    /// A doc comment (`///`, `//!`, `/** */`, `/*! */`).
+    DocComment,
+}
+
+/// One lexeme with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The lexeme kind.
+    pub kind: TokenKind,
+    /// Identifier text, string body or full comment text; empty for
+    /// punctuation, numbers, chars and lifetimes.
+    pub text: String,
+    /// 1-based line the lexeme starts on.
+    pub line: usize,
+}
+
+impl Token {
+    /// Whether this token is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// Whether this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+
+    /// Whether this token is a comment of either flavour.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::Comment | TokenKind::DocComment)
+    }
+}
+
+/// Lex `src` into a token stream. Never fails: unterminated constructs
+/// are closed at end of input (the rules run on work-in-progress code).
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: usize,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.i += 1;
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: usize) {
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(),
+                '\'' => self.char_or_lifetime(),
+                'r' | 'b' => self.raw_or_ident(),
+                _ if is_ident_start(c) => self.ident(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ => {
+                    let line = self.line;
+                    self.bump();
+                    self.push(TokenKind::Punct(c), String::new(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let start = self.i;
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        let kind =
+            if (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!") {
+                TokenKind::DocComment
+            } else {
+                TokenKind::Comment
+            };
+        self.push(kind, text, line);
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let start = self.i;
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        let kind =
+            if (text.starts_with("/**") && !text.starts_with("/***")) || text.starts_with("/*!") {
+                TokenKind::DocComment
+            } else {
+                TokenKind::Comment
+            };
+        self.push(kind, text, line);
+    }
+
+    /// A plain (escaped) string literal; the opening quote is at `self.i`.
+    fn string(&mut self) {
+        let line = self.line;
+        self.bump();
+        let mut body = String::new();
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => {
+                    self.bump();
+                    if let Some(escaped) = self.bump() {
+                        body.push('\\');
+                        body.push(escaped);
+                    }
+                }
+                '"' => {
+                    self.bump();
+                    break;
+                }
+                _ => {
+                    self.bump();
+                    body.push(c);
+                }
+            }
+        }
+        self.push(TokenKind::Str, body, line);
+    }
+
+    /// A raw string body; `self.i` is at the opening quote, with `fence`
+    /// trailing `#`s required to close.
+    fn raw_string(&mut self, fence: usize) {
+        let line = self.line;
+        self.bump();
+        let start = self.i;
+        let mut end = self.i;
+        while let Some(c) = self.peek(0) {
+            if c == '"' {
+                let mut hashes = 0;
+                while self.peek(1 + hashes) == Some('#') && hashes < fence {
+                    hashes += 1;
+                }
+                if hashes == fence {
+                    end = self.i;
+                    self.bump();
+                    for _ in 0..fence {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+            self.bump();
+            end = self.i;
+        }
+        let body: String = self.chars[start..end].iter().collect();
+        self.push(TokenKind::Str, body, line);
+    }
+
+    /// Disambiguate `'a'` / `'\n'` / `b'x'` from `'lifetime`.
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        let next = self.peek(1);
+        let is_char = match next {
+            Some('\\') => true,
+            Some(c) if is_ident_start(c) => self.peek(2) == Some('\''),
+            Some(_) => true,
+            None => false,
+        };
+        if is_char {
+            self.bump();
+            while let Some(c) = self.bump() {
+                if c == '\\' {
+                    self.bump();
+                } else if c == '\'' {
+                    break;
+                }
+            }
+            self.push(TokenKind::Char, String::new(), line);
+        } else {
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if is_ident_continue(c) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokenKind::Lifetime, String::new(), line);
+        }
+    }
+
+    /// `r`/`b` can start a raw string (`r"`, `r#"`), a byte string
+    /// (`b"`, `br#"`), a byte char (`b'x'`), a raw identifier (`r#id`)
+    /// or a plain identifier (`rate`, `buffer`).
+    fn raw_or_ident(&mut self) {
+        let mut j = 0;
+        if self.peek(0) == Some('b') {
+            j += 1;
+        }
+        let has_r = self.peek(j) == Some('r');
+        if has_r {
+            j += 1;
+        }
+        let mut fence = 0;
+        while self.peek(j + fence) == Some('#') {
+            fence += 1;
+        }
+        if has_r && self.peek(j + fence) == Some('"') {
+            for _ in 0..(j + fence) {
+                self.bump();
+            }
+            self.raw_string(fence);
+            return;
+        }
+        if self.peek(0) == Some('b') && !has_r && self.peek(1) == Some('"') {
+            self.bump();
+            self.string();
+            return;
+        }
+        if self.peek(0) == Some('b') && !has_r && self.peek(1) == Some('\'') {
+            self.bump();
+            self.char_or_lifetime();
+            return;
+        }
+        if self.peek(0) == Some('r') && fence > 0 && j == 1 {
+            if let Some(c) = self.peek(1 + fence) {
+                if is_ident_start(c) && fence == 1 {
+                    // Raw identifier r#name: skip the sigil, lex the name.
+                    self.bump();
+                    self.bump();
+                    self.ident();
+                    return;
+                }
+            }
+        }
+        self.ident();
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let start = self.i;
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                let at_exponent = matches!(c, 'e' | 'E')
+                    && matches!(self.peek(1), Some('+') | Some('-'))
+                    && self.peek(2).is_some_and(|d| d.is_ascii_digit());
+                self.bump();
+                if at_exponent {
+                    self.bump();
+                }
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // A fractional part, not a `..` range or method call.
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Number, String::new(), line);
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents_from_code_tokens() {
+        let src = r##"
+            // a comment mentioning unsafe and HashMap
+            let s = "unsafe HashMap Instant::now";
+            let r = r#"thread::spawn"#;
+            /* block with process::exit */
+            let c = 'x';
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"let".to_string()));
+        assert!(!ids.contains(&"unsafe".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"spawn".to_string()));
+        assert!(!ids.contains(&"exit".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_do_not_swallow_following_code() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let ids = idents(src);
+        assert_eq!(
+            ids,
+            ["fn", "f", "x", "str", "str", "x"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+        );
+        let lifetimes = lex(src)
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 3);
+    }
+
+    #[test]
+    fn char_literals_with_escapes_terminate() {
+        let src = r"let nl = '\n'; let q = '\''; let u = '\u{1F600}'; spawn();";
+        let ids = idents(src);
+        assert!(ids.contains(&"spawn".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments_and_doc_comments_classify() {
+        let toks = lex("/* outer /* inner */ still */ ident\n/// doc\n//! inner doc\n// plain");
+        assert_eq!(toks[0].kind, TokenKind::Comment);
+        assert!(toks[1].is_ident("ident"));
+        assert_eq!(toks[2].kind, TokenKind::DocComment);
+        assert_eq!(toks[3].kind, TokenKind::DocComment);
+        assert_eq!(toks[4].kind, TokenKind::Comment);
+    }
+
+    #[test]
+    fn line_numbers_are_exact() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<usize> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn raw_strings_with_fences_and_byte_strings() {
+        let toks = lex(r###"let a = r#"quote " inside"#; let b = br"bytes"; let c = b"x";"###);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, vec!["quote \" inside", "bytes", "x"]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let src = "for i in 0..10 { let x = 1.5e-3; let y = 2.0f64; let z = 4.max(5); }";
+        let ids = idents(src);
+        assert!(ids.contains(&"max".to_string()));
+        assert_eq!(
+            lex(src)
+                .iter()
+                .filter(|t| t.kind == TokenKind::Number)
+                .count(),
+            6
+        );
+    }
+}

@@ -1,0 +1,365 @@
+//! Source-level determinism and soundness linting over the workspace's
+//! own Rust code: the R1001–R1012 rule family of the shared
+//! `chopin-lint` catalogue, run by `artifact srclint [--check] [--json]`.
+//!
+//! The chopin reproduction's headline contract is byte-identical
+//! artifacts: the same plan and seed must produce the same CSV, journal
+//! and fingerprint bytes whether cells run in-process, in sandboxed
+//! child processes, or resume after a SIGKILL. `chopin-lint` (R1xx–R7xx)
+//! and `chopin-analyzer` (R8xx–R9xx) gate the *configuration*; this
+//! crate gates the *source*: the idioms that silently break that
+//! contract — hash-ordered iteration feeding writers (R1001), raw
+//! wall-clock reads (R1002), unsupervised threads (R1003), lossy float
+//! format specs (R1004), stray `unsafe` (R1005), library-code process
+//! exits (R1006), ambient entropy (R1007), unjustified `#[allow]`
+//! (R1008), leftover debug macros (R1011) and NaN-panicking float
+//! comparisons (R1012) — plus two meta-rules: the engine, the catalogue
+//! and the README table must agree (R1009), and suppressions are
+//! themselves linted (R1010).
+//!
+//! The pass is self-contained: a hand-rolled [`lexer`] (no `syn`, no
+//! `proc-macro2`), a [`scope`] tracker that masks `#[cfg(test)]`
+//! regions, and a [`suppress`] grammar —
+//! `// srclint:allow(R1002, reason = "...")` — whose reasons are
+//! mandatory: a reasonless suppression suppresses nothing and is itself
+//! a finding.
+//!
+//! # Examples
+//!
+//! ```
+//! let diags = chopin_srclint::lint_source(
+//!     "crates/x/src/lib.rs",
+//!     "fn f() { let m = std::collections::HashMap::new(); }\n",
+//! );
+//! assert_eq!(diags[0].rule, "R1001");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+pub mod scope;
+pub mod suppress;
+
+use chopin_lint::{Diagnostic, LintReport};
+use std::path::{Path, PathBuf};
+
+/// Every rule this engine implements, in catalogue order. R1009 fails
+/// if this list and the `chopin_lint` catalogue drift apart.
+pub const ENGINE_RULES: [&str; 12] = [
+    "R1001", "R1002", "R1003", "R1004", "R1005", "R1006", "R1007", "R1008", "R1009", "R1010",
+    "R1011", "R1012",
+];
+
+/// Lint one file's source text.
+///
+/// `path` must be the repo-relative path with forward slashes — several
+/// rules are path-scoped (R1003's supervision allowlist, R1004's writer
+/// set, R1005's sandbox boundary, R1006's bin entry points).
+pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
+    let tokens = lexer::lex(src);
+    let regions = scope::test_regions(&tokens);
+    let code: Vec<&lexer::Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let comment_lines: Vec<usize> = tokens
+        .iter()
+        .filter(|t| t.is_comment())
+        .map(|t| t.line)
+        .collect();
+    let ctx = rules::FileCtx {
+        path,
+        code: &code,
+        regions: &regions,
+        comment_lines: &comment_lines,
+    };
+    let findings = rules::check_file(&ctx);
+    let mut suppressions = suppress::parse_suppressions(&tokens);
+    let mut out = apply_suppressions(findings, &mut suppressions);
+    lint_suppressions(path, &suppressions, &mut out);
+    out.sort_by(|a, b| {
+        let (la, lb) = (location_line(&a.location), location_line(&b.location));
+        la.cmp(&lb).then_with(|| a.rule.cmp(b.rule))
+    });
+    out
+}
+
+fn location_line(location: &str) -> usize {
+    location
+        .rsplit(':')
+        .next()
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Drop findings covered by a well-formed, reasoned suppression on the
+/// same line, marking the suppressions that did work as used.
+fn apply_suppressions(
+    findings: Vec<Diagnostic>,
+    suppressions: &mut [suppress::Suppression],
+) -> Vec<Diagnostic> {
+    findings
+        .into_iter()
+        .filter(|d| {
+            let line = location_line(&d.location);
+            for s in suppressions.iter_mut() {
+                let applicable = s.malformed.is_none()
+                    && s.reason.is_some()
+                    && s.target_line == line
+                    && s.rules.iter().any(|r| r == d.rule);
+                if applicable {
+                    s.used = true;
+                    return false;
+                }
+            }
+            true
+        })
+        .collect()
+}
+
+/// R1010: the suppressions themselves. Malformed, reasonless, unknown-
+/// rule and stale suppressions are each findings; R1010 cannot be
+/// suppressed (these diagnostics are emitted after application).
+fn lint_suppressions(
+    path: &str,
+    suppressions: &[suppress::Suppression],
+    out: &mut Vec<Diagnostic>,
+) {
+    for s in suppressions {
+        let loc = format!("{}:{}", path, s.line);
+        if let Some(err) = &s.malformed {
+            out.push(
+                Diagnostic::error("R1010", loc, format!("malformed suppression: {err}"))
+                    .with_hint("write srclint:allow(R1002, reason = \"why\")"),
+            );
+            continue;
+        }
+        for r in &s.rules {
+            if !ENGINE_RULES.contains(&r.as_str()) {
+                out.push(
+                    Diagnostic::error(
+                        "R1010",
+                        loc.clone(),
+                        format!("suppression names unknown rule {r}"),
+                    )
+                    .with_hint("srclint rules are R1001-R1012"),
+                );
+            }
+        }
+        if s.reason.is_none() {
+            out.push(
+                Diagnostic::error(
+                    "R1010",
+                    loc.clone(),
+                    "suppression carries no reason and therefore suppresses nothing".to_string(),
+                )
+                .with_hint("append reason = \"...\" explaining why the rule is wrong here"),
+            );
+            continue;
+        }
+        if !s.used {
+            out.push(
+                Diagnostic::error(
+                    "R1010",
+                    loc,
+                    "stale suppression: no finding on its target line matches".to_string(),
+                )
+                .with_hint("delete it, or move it next to the code it excuses"),
+            );
+        }
+    }
+}
+
+/// R1009: the engine, the shared catalogue and the README rule table
+/// must agree. Pass the README text when available; `None` skips the
+/// documentation leg (used by unit tests).
+pub fn lint_catalogue(readme: Option<&str>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for id in ENGINE_RULES {
+        if chopin_lint::rule(id).is_none() {
+            out.push(
+                Diagnostic::error(
+                    "R1009",
+                    format!("catalogue:{id}"),
+                    format!("{id} is implemented by the srclint engine but missing from the chopin-lint catalogue"),
+                )
+                .with_hint("register it in chopin_lint::rules::RULES"),
+            );
+        }
+    }
+    for rule in chopin_lint::RULES.iter() {
+        let is_srclint_family = rule.id.len() == 5 && rule.id.starts_with("R10");
+        if is_srclint_family && !ENGINE_RULES.contains(&rule.id) {
+            out.push(
+                Diagnostic::error(
+                    "R1009",
+                    format!("catalogue:{}", rule.id),
+                    format!(
+                        "{} is catalogued but the srclint engine does not implement it",
+                        rule.id
+                    ),
+                )
+                .with_hint("implement it in chopin_srclint::rules or drop the catalogue entry"),
+            );
+        }
+    }
+    if let Some(readme) = readme {
+        for id in ENGINE_RULES {
+            if !readme.contains(&format!("| {id} |")) {
+                out.push(
+                    Diagnostic::error(
+                        "R1009",
+                        format!("README.md:{id}"),
+                        format!("{id} has no row in the README srclint rule table"),
+                    )
+                    .with_hint("document every rule: add a `| R10xx | ... |` row"),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Walk the workspace's own source trees: `crates/*/src/**/*.rs` plus
+/// the root package's `src/`, in sorted (deterministic) order.
+///
+/// `vendor/` is deliberately excluded: the stubs mirror external crate
+/// APIs and are not held to the workspace's determinism contract.
+/// `tests/`, `benches/` and fixture directories never appear because
+/// only `src/` trees are walked.
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        collect_rs(&dir.join("src"), &mut out)?;
+    }
+    collect_rs(&root.join("src"), &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint the whole workspace rooted at `root`: every source file plus
+/// the R1009 catalogue/documentation check.
+pub fn lint_workspace(root: &Path) -> Result<LintReport, String> {
+    let sources =
+        workspace_sources(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let mut diagnostics = Vec::new();
+    for path in &sources {
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        diagnostics.extend(lint_source(&rel, &src));
+    }
+    let readme = std::fs::read_to_string(root.join("README.md")).ok();
+    diagnostics.extend(lint_catalogue(readme.as_deref()));
+    Ok(LintReport::new(diagnostics))
+}
+
+/// Find the workspace root by walking up from `start` until a
+/// `Cargo.toml` declaring `[workspace]` appears.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reasoned_suppression_silences_and_is_used() {
+        let src = "fn f() { let t = std::time::Instant::now(); } // srclint:allow(R1002, reason = \"test double\")\n";
+        assert!(lint_source("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn reasonless_suppression_silences_nothing() {
+        let src = "fn f() { let t = std::time::Instant::now(); } // srclint:allow(R1002)\n";
+        let diags = lint_source("crates/x/src/lib.rs", src);
+        let rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&"R1002"), "{rules:?}");
+        assert!(rules.contains(&"R1010"), "{rules:?}");
+    }
+
+    #[test]
+    fn stale_suppression_is_a_finding() {
+        let src = "// srclint:allow(R1001, reason = \"nothing here\")\nfn f() {}\n";
+        let diags = lint_source("crates/x/src/lib.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "R1010");
+        assert!(diags[0].message.contains("stale"));
+    }
+
+    #[test]
+    fn unknown_rule_in_suppression_is_a_finding() {
+        let src = "fn f() {} // srclint:allow(R9999, reason = \"who\")\n";
+        let diags = lint_source("crates/x/src/lib.rs", src);
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == "R1010" && d.message.contains("R9999")));
+    }
+
+    #[test]
+    fn own_line_suppression_covers_the_next_line() {
+        let src = "// srclint:allow(R1001, reason = \"drained through a sort\")\nfn f(m: HashMap<u32, u32>) {}\n";
+        assert!(lint_source("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn engine_and_catalogue_agree() {
+        assert!(lint_catalogue(None).is_empty());
+    }
+
+    #[test]
+    fn readme_drift_is_r1009() {
+        let diags = lint_catalogue(Some("no table here"));
+        assert_eq!(diags.len(), ENGINE_RULES.len());
+        assert!(diags.iter().all(|d| d.rule == "R1009"));
+    }
+
+    #[test]
+    fn diagnostics_order_by_line() {
+        let src = "fn g() { let s = HashSet::new(); }\nfn f() { let m = HashMap::new(); }\n";
+        let diags = lint_source("crates/x/src/lib.rs", src);
+        assert_eq!(diags.len(), 2);
+        assert!(diags[0].location.ends_with(":1"));
+        assert!(diags[1].location.ends_with(":2"));
+    }
+}

@@ -1,0 +1,185 @@
+//! The scope tracker: which source lines are test code.
+//!
+//! The determinism rules deliberately do not apply to tests — a test may
+//! read wall clocks, spawn threads or unwrap float orderings to assert
+//! behaviour. This module finds `#[cfg(test)]` / `#[test]` items in the
+//! token stream, matches the braces of the item that follows, and
+//! answers "is this line inside a test region?" for the rule engine.
+//! (Files under `tests/`, `benches/` and `examples/` never reach the
+//! engine at all: the workspace walker only visits `src/` trees.)
+
+use crate::lexer::{Token, TokenKind};
+
+/// Inclusive line ranges that are test code.
+#[derive(Debug, Clone, Default)]
+pub struct TestRegions {
+    ranges: Vec<(usize, usize)>,
+}
+
+impl TestRegions {
+    /// Whether `line` falls inside any test region.
+    pub fn contains(&self, line: usize) -> bool {
+        self.ranges.iter().any(|&(lo, hi)| lo <= line && line <= hi)
+    }
+}
+
+/// Compute the test regions of a token stream.
+pub fn test_regions(tokens: &[Token]) -> TestRegions {
+    // Work on code tokens only; comments never affect item structure.
+    let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        match parse_attribute(&code, i) {
+            Some((end, true)) => {
+                let start_line = code[i].line;
+                let item_end = skip_item(&code, end);
+                let end_line = item_end
+                    .checked_sub(1)
+                    .and_then(|j| code.get(j))
+                    .map(|t| t.line)
+                    .unwrap_or(start_line);
+                ranges.push((start_line, end_line));
+                i = item_end;
+            }
+            Some((end, false)) => i = end,
+            None => i += 1,
+        }
+    }
+    TestRegions { ranges }
+}
+
+/// If `code[i]` starts an outer attribute `#[...]`, return the index one
+/// past its closing `]` and whether the attribute marks test code
+/// (`#[test]`, `#[cfg(test)]`, `#[cfg(any(test, ...))]` — but never a
+/// `not(test)` guard, which marks *production* code).
+fn parse_attribute(code: &[&Token], i: usize) -> Option<(usize, bool)> {
+    if !code.get(i)?.is_punct('#') {
+        return None;
+    }
+    let mut j = i + 1;
+    // Inner attributes (`#![...]`) configure the enclosing scope rather
+    // than the next item; parse past them without classifying.
+    let inner = code.get(j)?.is_punct('!');
+    if inner {
+        j += 1;
+    }
+    if !code.get(j)?.is_punct('[') {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut idents = Vec::new();
+    let start = j;
+    while let Some(t) = code.get(j) {
+        match t.kind {
+            TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            TokenKind::Ident => idents.push(t.text.as_str()),
+            _ => {}
+        }
+        j += 1;
+    }
+    let _ = start;
+    let end = j + 1;
+    if inner {
+        return Some((end, false));
+    }
+    let is_test = match idents.first() {
+        Some(&"test") => idents.len() == 1,
+        Some(&"cfg") => idents.contains(&"test") && !idents.contains(&"not"),
+        _ => false,
+    };
+    Some((end, is_test))
+}
+
+/// Skip one item starting at `code[i]`: any further attributes, then
+/// tokens up to and including either a top-level `;` or a balanced
+/// `{...}` block. Returns the index one past the item.
+fn skip_item(code: &[&Token], mut i: usize) -> usize {
+    while let Some((end, _)) = parse_attribute(code, i) {
+        i = end;
+    }
+    let mut depth = 0usize;
+    while let Some(t) = code.get(i) {
+        match t.kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            TokenKind::Punct(';') if depth == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn cfg_test_mod_is_a_test_region() {
+        let src = "\
+fn real() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { let x = 1; }
+}
+
+fn also_real() {}
+";
+        let tokens = lex(src);
+        let regions = test_regions(&tokens);
+        assert!(!regions.contains(1));
+        assert!(regions.contains(3));
+        assert!(regions.contains(6));
+        assert!(!regions.contains(9));
+    }
+
+    #[test]
+    fn test_fn_outside_a_mod_is_a_test_region() {
+        let src = "#[test]\nfn t() { body(); }\nfn real() {}\n";
+        let tokens = lex(src);
+        let regions = test_regions(&tokens);
+        assert!(regions.contains(2));
+        assert!(!regions.contains(3));
+    }
+
+    #[test]
+    fn not_test_guards_are_production_code() {
+        let src = "#[cfg(not(test))]\nfn real() { body(); }\n";
+        let tokens = lex(src);
+        let regions = test_regions(&tokens);
+        assert!(!regions.contains(2));
+    }
+
+    #[test]
+    fn inner_attributes_do_not_swallow_items() {
+        let src = "#![warn(missing_docs)]\nfn real() {}\n";
+        let tokens = lex(src);
+        let regions = test_regions(&tokens);
+        assert!(!regions.contains(1));
+        assert!(!regions.contains(2));
+    }
+
+    #[test]
+    fn semicolon_items_terminate_regions() {
+        let src = "#[cfg(test)]\nuse helper::thing;\nfn real() {}\n";
+        let tokens = lex(src);
+        let regions = test_regions(&tokens);
+        assert!(regions.contains(2));
+        assert!(!regions.contains(3));
+    }
+}

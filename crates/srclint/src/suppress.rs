@@ -1,0 +1,218 @@
+//! The suppression grammar: `// srclint:allow(R1002, reason = "...")`.
+//!
+//! A suppression is a plain line comment (doc comments never count, so a
+//! rule's own documentation can quote the grammar without silencing
+//! anything). Written on its own line it targets the next code line;
+//! written after code it targets its own line. Suppressions are
+//! themselves linted (R1010): one that is malformed, names an unknown
+//! rule, omits its `reason`, or suppresses nothing is a diagnostic in
+//! its own right, and a missing reason means the suppression does not
+//! apply — "every suppression carries a reason" is load-bearing, not
+//! advisory.
+
+use crate::lexer::{Token, TokenKind};
+
+/// One parsed `srclint:allow` comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Rule ids named by the suppression, e.g. `["R1002"]`.
+    pub rules: Vec<String>,
+    /// The justification string, if present and non-empty.
+    pub reason: Option<String>,
+    /// Line the comment itself sits on.
+    pub line: usize,
+    /// Line whose diagnostics it suppresses.
+    pub target_line: usize,
+    /// Set by the engine when the suppression matched a finding.
+    pub used: bool,
+    /// Parse error, if the comment mentioned `srclint:allow` but did not
+    /// match the grammar.
+    pub malformed: Option<String>,
+}
+
+/// Extract every suppression from a token stream.
+///
+/// Target resolution: a suppression comment that shares its line with a
+/// preceding code token is trailing and targets that line; otherwise it
+/// targets the next line that carries any code token.
+pub fn parse_suppressions(tokens: &[Token]) -> Vec<Suppression> {
+    let mut code_lines: Vec<usize> = tokens
+        .iter()
+        .filter(|t| !t.is_comment())
+        .map(|t| t.line)
+        .collect();
+    code_lines.dedup();
+
+    let mut out = Vec::new();
+    for t in tokens {
+        if t.kind != TokenKind::Comment {
+            continue;
+        }
+        let body = comment_body(&t.text);
+        let Some(rest) = body.trim_start().strip_prefix("srclint:allow") else {
+            continue;
+        };
+        let trailing = code_lines.binary_search(&t.line).is_ok();
+        let target_line = if trailing {
+            t.line
+        } else {
+            code_lines
+                .iter()
+                .copied()
+                .find(|&l| l > t.line)
+                .unwrap_or(t.line)
+        };
+        let mut s = Suppression {
+            rules: Vec::new(),
+            reason: None,
+            line: t.line,
+            target_line,
+            used: false,
+            malformed: None,
+        };
+        parse_allow_args(rest, &mut s);
+        out.push(s);
+    }
+    out
+}
+
+/// Strip the comment sigil: `// body` or `/* body */`.
+fn comment_body(text: &str) -> &str {
+    if let Some(rest) = text.strip_prefix("//") {
+        rest
+    } else if let Some(rest) = text.strip_prefix("/*") {
+        rest.strip_suffix("*/").unwrap_or(rest)
+    } else {
+        text
+    }
+}
+
+/// Parse `(R1001, R1002, reason = "why")` into `s`.
+fn parse_allow_args(rest: &str, s: &mut Suppression) {
+    let rest = rest.trim();
+    let Some(inner) = rest
+        .strip_prefix('(')
+        .and_then(|r| r.trim_end().strip_suffix(')'))
+    else {
+        s.malformed = Some("expected srclint:allow(RULES, reason = \"...\")".into());
+        return;
+    };
+    for part in split_args(inner) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if let Some(value) = part.strip_prefix("reason") {
+            let value = value.trim_start();
+            let Some(quoted) = value.strip_prefix('=') else {
+                s.malformed = Some("reason must be written `reason = \"...\"`".into());
+                return;
+            };
+            let quoted = quoted.trim();
+            if quoted.len() >= 2 && quoted.starts_with('"') && quoted.ends_with('"') {
+                let reason = &quoted[1..quoted.len() - 1];
+                if !reason.trim().is_empty() {
+                    s.reason = Some(reason.trim().to_string());
+                }
+            } else {
+                s.malformed = Some("reason must be a double-quoted string".into());
+                return;
+            }
+        } else if part.len() >= 2
+            && part.starts_with('R')
+            && part[1..].chars().all(|c| c.is_ascii_digit())
+        {
+            s.rules.push(part.to_string());
+        } else {
+            s.malformed = Some(format!("unrecognised argument `{part}`"));
+            return;
+        }
+    }
+    if s.rules.is_empty() && s.malformed.is_none() {
+        s.malformed = Some("suppression names no rules".into());
+    }
+}
+
+/// Split on commas outside double quotes.
+fn split_args(inner: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    for (i, c) in inner.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                parts.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&inner[start..]);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn own_line_suppression_targets_next_code_line() {
+        let src = "// srclint:allow(R1002, reason = \"the clock abstraction\")\nlet t = now();\n";
+        let sup = parse_suppressions(&lex(src));
+        assert_eq!(sup.len(), 1);
+        assert_eq!(sup[0].rules, vec!["R1002"]);
+        assert_eq!(sup[0].reason.as_deref(), Some("the clock abstraction"));
+        assert_eq!(sup[0].target_line, 2);
+        assert!(sup[0].malformed.is_none());
+    }
+
+    #[test]
+    fn trailing_suppression_targets_its_own_line() {
+        let src = "let t = now(); // srclint:allow(R1002, reason = \"entry point\")\n";
+        let sup = parse_suppressions(&lex(src));
+        assert_eq!(sup[0].target_line, 1);
+    }
+
+    #[test]
+    fn multiple_rules_and_commas_inside_reason() {
+        let src = "// srclint:allow(R1001, R1004, reason = \"sorted, then drained\")\nx();\n";
+        let sup = parse_suppressions(&lex(src));
+        assert_eq!(sup[0].rules, vec!["R1001", "R1004"]);
+        assert_eq!(sup[0].reason.as_deref(), Some("sorted, then drained"));
+    }
+
+    #[test]
+    fn missing_reason_is_parsed_but_reasonless() {
+        let src = "// srclint:allow(R1002)\nx();\n";
+        let sup = parse_suppressions(&lex(src));
+        assert!(sup[0].reason.is_none());
+        assert!(sup[0].malformed.is_none());
+    }
+
+    #[test]
+    fn malformed_suppressions_are_flagged() {
+        for src in [
+            "// srclint:allow R1002\nx();\n",
+            "// srclint:allow(R1002, reason = bare)\nx();\n",
+            "// srclint:allow(bogus)\nx();\n",
+            "// srclint:allow(reason = \"no rules\")\nx();\n",
+        ] {
+            let sup = parse_suppressions(&lex(src));
+            assert!(sup[0].malformed.is_some(), "should be malformed: {src}");
+        }
+    }
+
+    #[test]
+    fn doc_comments_never_parse_as_suppressions() {
+        let src = "/// srclint:allow(R1002, reason = \"quoted in docs\")\nfn f() {}\n";
+        assert!(parse_suppressions(&lex(src)).is_empty());
+    }
+
+    #[test]
+    fn unrelated_comments_are_ignored() {
+        let src = "// just a note about allow lists\nx();\n";
+        assert!(parse_suppressions(&lex(src)).is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! The dogfood test: the workspace's own source must lint clean. This
+//! is the same pass `artifact srclint --check` gates CI with, run from
+//! the crate's position in the tree so it works without the binary.
+
+use std::path::Path;
+
+#[test]
+fn the_workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/srclint sits two levels below the workspace root")
+        .to_path_buf();
+    assert!(
+        root.join("Cargo.toml").exists(),
+        "no workspace manifest at {}",
+        root.display()
+    );
+    let report = chopin_srclint::lint_workspace(&root).expect("workspace sources are readable");
+    assert!(
+        report.diagnostics.is_empty(),
+        "the workspace must be srclint-clean:\n{}",
+        report.render_table()
+    );
+}
+
+#[test]
+fn find_workspace_root_agrees() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let found = chopin_srclint::find_workspace_root(here).expect("a [workspace] manifest above");
+    assert!(found.join("crates/srclint").is_dir());
+}
