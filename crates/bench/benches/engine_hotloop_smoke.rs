@@ -1,140 +1,46 @@
-//! Smoke benchmark over the engine hot loop — event dispatch plus
-//! observer fan-out — with a machine-readable trajectory point.
+//! Smoke benchmark over the engine hot loop — now a thin wrapper around
+//! the `chopin-perf` hot-path suite.
 //!
-//! Three configurations of the same fop/G1/2.0× run: the monomorphised
-//! no-op observer (must cost nothing), a recording observer (one
-//! bounded ring push per event), and a `Tee` fanning every event out to
-//! a recorder *and* the metrics registry. The vendored criterion stub
-//! has no statistics engine, so this bench times its own samples (one
-//! warmup + `SAMPLES` measured) and writes `BENCH_6.json` at the
-//! workspace root: min/mean nanoseconds per configuration and the
-//! observer overhead ratios, so successive PRs can track the hot loop
-//! without parsing human output.
+//! The self-timed loop and the `BENCH_6.json` trajectory point this
+//! bench used to own moved into `chopin-perf`: the suite runs the same
+//! three fop/G1/2.0× observer configurations (no-op, recorder, tee into
+//! recorder + metrics) plus the allocation, collector-phase, batching
+//! and journal benches, times them through
+//! `chopin_sandbox::clock::WallSpan`, and `artifact perf --run` writes
+//! the versioned `BENCH_<PR>.json` ledger point. This wrapper keeps the
+//! `cargo bench` entry point alive: it runs the hotloop subset through
+//! the shared runner and prints the familiar per-configuration lines,
+//! but no longer writes any artifact — the ledger is `artifact perf`'s
+//! job, so a local `cargo bench` can't silently overwrite a committed
+//! trajectory point.
 
-use chopin_obs::observer::Tee;
-use chopin_obs::Observer;
-use chopin_obs::{EventRecorder, MetricsObserver, NoopObserver};
-use chopin_runtime::collector::CollectorKind;
-use chopin_runtime::config::RunConfig;
-use chopin_runtime::engine::run_with_observer;
-use chopin_workloads::{suite, SizeClass};
+use chopin_obs::{format_ns, MetricsRegistry};
+use chopin_perf::suite::{default_benches, run_bench};
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Instant;
 
 const SAMPLES: usize = 5;
 
-struct Timing {
-    label: &'static str,
-    min_ns: u128,
-    mean_ns: u128,
-    events: usize,
-}
-
-fn time_observer<O: Observer>(
-    label: &'static str,
-    spec: &chopin_runtime::spec::MutatorSpec,
-    config: &RunConfig,
-    mut make: impl FnMut() -> O,
-    events_of: impl Fn(&O) -> usize,
-) -> Timing {
-    // Warmup once outside the samples: first-touch allocation noise.
-    let mut warm = make();
-    run_with_observer(spec, config, &mut warm).expect("completes");
-    let mut total = 0u128;
-    let mut min_ns = u128::MAX;
-    let mut events = 0;
-    for _ in 0..SAMPLES {
-        let mut observer = make();
-        let start = Instant::now();
-        run_with_observer(spec, config, &mut observer).expect("completes");
-        let ns = start.elapsed().as_nanos();
-        total += ns;
-        min_ns = min_ns.min(ns);
-        events = events_of(&observer);
-    }
-    Timing {
-        label,
-        min_ns,
-        mean_ns: total / SAMPLES as u128,
-        events,
-    }
-}
-
 fn bench(c: &mut Criterion) {
-    let fop = suite::by_name("fop").expect("in suite");
-    let spec = fop
-        .to_spec(SizeClass::Default)
-        .expect("default size exists")
-        .expect("spec is valid");
-    let heap = fop.min_heap_bytes(SizeClass::Default).expect("published") * 2;
-    let config = RunConfig::new(heap, CollectorKind::G1).with_noise(0.0);
-
-    let timings = vec![
-        time_observer("noop", &spec, &config, || NoopObserver, |_| 0),
-        time_observer(
-            "recorder",
-            &spec,
-            &config,
-            EventRecorder::new,
-            EventRecorder::len,
-        ),
-        time_observer(
-            "tee_recorder_metrics",
-            &spec,
-            &config,
-            || Tee(EventRecorder::new(), MetricsObserver::new()),
-            |t| t.0.len(),
-        ),
-    ];
-
-    // Register with criterion too, so `cargo bench` prints the familiar
-    // per-benchmark lines alongside the JSON artifact.
+    let mut metrics = MetricsRegistry::new();
     let mut group = c.benchmark_group("engine_hotloop");
-    for t in &timings {
-        let mean_ns = t.mean_ns;
-        group.bench_function(t.label, |b| b.iter(|| mean_ns));
+    for hot in &mut default_benches().expect("suite constructs") {
+        if !hot.id().starts_with("hotloop.") {
+            continue;
+        }
+        let record = run_bench(hot.as_mut(), SAMPLES, &mut metrics).expect("bench completes");
+        let mean_ns = record.mean_ns;
+        let label = record.id.trim_start_matches("hotloop.").to_string();
+        group.bench_function(&label, |b| b.iter(|| mean_ns));
         println!(
-            "engine_hotloop/{}: min {:.3} ms, mean {:.3} ms over {SAMPLES} samples ({} events)",
-            t.label,
-            t.min_ns as f64 / 1e6,
-            t.mean_ns as f64 / 1e6,
-            t.events
+            "engine_hotloop/{label}: min {}, mean {} over {} samples ({} events)",
+            format_ns(record.min_ns),
+            format_ns(record.mean_ns),
+            record.sample_count,
+            record.work,
         );
     }
     group.finish();
-
-    write_trajectory(&timings);
-}
-
-/// Hand-rolled JSON (the vendored serde stub has no serializer), floats
-/// via `{:?}` per the workspace float-marshalling contract.
-fn write_trajectory(timings: &[Timing]) {
-    let noop_mean = timings[0].mean_ns.max(1) as f64;
-    let mut rows = String::new();
-    for (i, t) in timings.iter().enumerate() {
-        if i > 0 {
-            rows.push_str(", ");
-        }
-        rows.push_str(&format!(
-            "{{\"observer\": \"{}\", \"min_ns\": {}, \"mean_ns\": {}, \"events\": {}, \"vs_noop\": {:?}}}",
-            t.label,
-            t.min_ns,
-            t.mean_ns,
-            t.events,
-            t.mean_ns as f64 / noop_mean
-        ));
-    }
-    let json = format!(
-        "{{\"bench\": \"engine_hotloop_smoke\", \"benchmark\": \"fop\", \
-         \"collector\": \"G1\", \"heap_factor\": {:?}, \"samples\": {SAMPLES}, \
-         \"results\": [{rows}]}}\n",
-        2.0f64
-    );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_6.json");
-    match std::fs::write(path, &json) {
-        Ok(()) => println!("wrote {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
-    }
+    println!("trajectory points are written by `artifact perf --run`, not this bench");
 }
 
 criterion_group!(benches, bench);

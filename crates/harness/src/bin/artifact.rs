@@ -14,6 +14,9 @@
 //! artifact srclint [--check] [--json]  # lint the workspace's own source
 //! artifact trace             # observed h2 run -> Perfetto trace + metrics
 //! artifact chaos [--check]   # seeded fault-injection smoke suite
+//! artifact perf --run        # hot-path bench suite -> BENCH_<PR>.json
+//! artifact perf --report     # trajectory ledger -> perf-report.html
+//! artifact perf --check      # regression gate vs best prior point
 //! ```
 //!
 //! `artifact analyze [--plan NAME] [--results FILE] [--json]` compiles a
@@ -57,6 +60,21 @@
 //! implies (kill → SIGKILL, abort → SIGABRT, oom → the RLIMIT_AS
 //! backstop) — the CI hard-fault gate.
 //!
+//! `artifact perf <--run|--report|--check> [--pr N] [--samples N]
+//! [--ledger DIR] [--out FILE] [--current FILE] [--tolerance F]` drives
+//! the `chopin-perf` performance-trajectory layer. `--run` executes the
+//! hot-path bench suite (engine event dispatch under three observers,
+//! allocation accounting, the G1/Serial/Parallel collection-cycle
+//! planners, engine batch fast-forward, supervisor journal
+//! write/replay) and writes a schema-versioned `BENCH_<PR>.json` ledger
+//! point with raw per-sample arrays. `--report` renders every ledger
+//! point into a self-contained single-file HTML overview. `--check` is
+//! the CI regression gate: after linting the ledger (rules R1101–R1103,
+//! exit 2 on findings), it compares the candidate (`--current FILE`, or
+//! a live suite run) against each bench's best prior point and exits 1
+//! when any bench's `min_ns` regressed by more than the tolerance
+//! (default 10%).
+//!
 //! `artifact trace [-b BENCH] [--collector NAME] [--heap-factor F]
 //! [--trace-out FILE] [--events-out FILE] [--check]` runs one benchmark
 //! with the engine's tracing observer attached, writes a
@@ -80,7 +98,8 @@ use chopin_sandbox::limits::{SIGABRT, SIGKILL};
 use chopin_workloads::faults::{preset as fault_preset, DEFAULT_HORIZON_NS, FALLBACK_SEED};
 
 const USAGE: &str = "usage: artifact <kick-the-tires|lbo|latency|validate|lint|analyze|srclint|\
-                     trace|chaos> [--json|--rules|--check|--plan NAME|--results FILE]";
+                     trace|chaos|perf> [--json|--rules|--check|--run|--report|--plan NAME|\
+                     --results FILE|--current FILE]";
 
 fn run_chaos(args: &Args) -> i32 {
     let mut benchmarks = args.list("b");
@@ -527,6 +546,9 @@ fn main() {
     }
     if command == "chaos" {
         std::process::exit(run_chaos(&args));
+    }
+    if command == "perf" {
+        std::process::exit(chopin_harness::perf::run_perf(&args));
     }
     let Some(preset) = Preset::parse(command) else {
         eprintln!("{USAGE}");

@@ -32,6 +32,10 @@
 //!   injection (`--hard-faults kill|abort|oom`) and crash-report JSONL.
 //! * [`journal`] — the supervisor's crash-safe completed-cell journal
 //!   backing `--resume`, plus quarantine verdict records.
+//! * [`perf`] — the `artifact perf` driver: the [`chopin_perf`] hot-path
+//!   bench suite plus the harness-owned journal write/replay bench, the
+//!   `BENCH_*.json` trajectory ledger, the regression gate and the HTML
+//!   overview report.
 //! * [`validate`] — the reproduction scorecard: re-verify the paper's
 //!   headline claims with fresh measurements (`artifact validate`).
 //!
@@ -47,6 +51,7 @@ pub mod journal;
 pub mod lint;
 pub mod obs;
 pub mod output;
+pub mod perf;
 pub mod plot;
 pub mod preflight;
 pub mod presets;

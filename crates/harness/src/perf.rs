@@ -1,0 +1,425 @@
+//! The `artifact perf` subcommand: run the hot-path bench suite, append
+//! the trajectory ledger, render the HTML overview, and gate CI on
+//! regressions.
+//!
+//! The bench suite itself lives in `chopin-perf`; this module
+//! contributes the one bench only the harness can own — supervisor
+//! journal write/replay, exercising [`Journal`]'s append fsync path and
+//! its load-time parser — and the CLI driver gluing suite, ledger, gate
+//! and report together. Each bench run is wrapped in a [`SpanSink`]
+//! span, so `artifact perf` produces the same span telemetry as the
+//! observed experiment paths.
+//!
+//! Exit codes follow the workspace contract: `0` clean, `1` gate
+//! failure (a bench regressed past tolerance), `2` usage or schema
+//! errors (bad flags, unreadable ledger, R1101–R1103 findings).
+
+use crate::cli::Args;
+use crate::journal::{CellKey, CellRecord, Journal, JournalEntry};
+use crate::obs::SpanSink;
+use chopin_core::lbo::RunSample;
+use chopin_obs::{format_ns, MetricsRegistry};
+use chopin_perf::gate;
+use chopin_perf::report::{BenchReport, MIN_SAMPLES, SCHEMA_VERSION};
+use chopin_perf::suite::{run_bench, HotPathBench, DEFAULT_SAMPLES};
+use chopin_perf::trajectory::{pr_from_filename, Trajectory};
+use chopin_runtime::collector::CollectorKind;
+use std::path::{Path, PathBuf};
+
+/// Entries written and replayed per journal-bench iteration.
+const JOURNAL_ENTRIES: u64 = 256;
+
+/// Supervisor journal write/replay: append [`JOURNAL_ENTRIES`] completed
+/// cells to a fresh journal (the fsync'd append path), then load the
+/// file back (the resume parser) and verify the replay saw every entry.
+struct JournalRoundtripBench {
+    iteration: u64,
+}
+
+impl JournalRoundtripBench {
+    fn new() -> JournalRoundtripBench {
+        JournalRoundtripBench { iteration: 0 }
+    }
+
+    fn scratch_path(&self) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "chopin-perf-journal-{}-{}.jsonl",
+            std::process::id(),
+            self.iteration
+        ))
+    }
+}
+
+impl HotPathBench for JournalRoundtripBench {
+    fn id(&self) -> &'static str {
+        "journal.roundtrip"
+    }
+
+    fn config(&self) -> Vec<(String, String)> {
+        vec![("entries".to_string(), JOURNAL_ENTRIES.to_string())]
+    }
+
+    fn execute(&mut self) -> Result<u64, String> {
+        self.iteration += 1;
+        let path = self.scratch_path();
+        let _ = std::fs::remove_file(&path);
+        let result = journal_roundtrip(&path);
+        let _ = std::fs::remove_file(&path);
+        result
+    }
+}
+
+fn journal_roundtrip(path: &Path) -> Result<u64, String> {
+    let mut journal = Journal::create(path, 0xC0B0).map_err(|e| e.to_string())?;
+    for i in 0..JOURNAL_ENTRIES {
+        let key = CellKey {
+            benchmark: format!("bench-{}", i % 16),
+            collector: CollectorKind::G1,
+            heap_factor: 1.0 + (i % 8) as f64 * 0.25,
+        };
+        let record = CellRecord {
+            samples: vec![RunSample {
+                collector: CollectorKind::G1,
+                heap_factor: key.heap_factor,
+                wall_s: 1.5 + i as f64 * 1e-3,
+                task_s: 5.0 + i as f64 * 1e-3,
+                wall_distillable_s: 1.4,
+                task_distillable_s: 4.8,
+            }],
+            infeasible: None,
+        };
+        journal
+            .record(JournalEntry { key, record })
+            .map_err(|e| e.to_string())?;
+    }
+    let replayed = Journal::load(path).map_err(|e| e.to_string())?;
+    if replayed.len() != JOURNAL_ENTRIES as usize {
+        return Err(format!(
+            "replay saw {} of {JOURNAL_ENTRIES} entries",
+            replayed.len()
+        ));
+    }
+    Ok(JOURNAL_ENTRIES * 2)
+}
+
+/// The complete hot-path suite: `chopin-perf`'s default benches plus the
+/// harness-owned journal bench.
+///
+/// # Errors
+///
+/// Propagates bench-construction failures (a suite-registry or spec
+/// regression).
+pub fn full_suite() -> Result<Vec<Box<dyn HotPathBench>>, String> {
+    let mut benches = chopin_perf::default_benches()?;
+    benches.push(Box::new(JournalRoundtripBench::new()));
+    Ok(benches)
+}
+
+/// Run the whole suite, one [`SpanSink`] span per bench, returning the
+/// assembled report.
+///
+/// # Errors
+///
+/// Propagates the first bench failure.
+pub fn run_suite(pr: u64, git_rev: String, samples: usize) -> Result<BenchReport, String> {
+    let sink = SpanSink::new();
+    let mut metrics = MetricsRegistry::new();
+    let mut records = Vec::new();
+    for bench in &mut full_suite()? {
+        let record = sink.time(bench.id(), || {
+            run_bench(bench.as_mut(), samples, &mut metrics)
+        })?;
+        eprintln!(
+            "perf: {:<28} min {:>9}  mean {:>9}  p99 {:>9}  ({} samples)",
+            record.id,
+            format_ns(record.min_ns),
+            format_ns(record.mean_ns),
+            record.p99_ns.map(format_ns).unwrap_or_default(),
+            record.sample_count,
+        );
+        records.push(record);
+    }
+    Ok(BenchReport {
+        schema_version: SCHEMA_VERSION,
+        pr,
+        git_rev,
+        benches: records,
+    })
+}
+
+/// Short git revision of the working tree, or `unknown` outside a
+/// repository.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The ledger directory: `--ledger DIR`, else the workspace root above
+/// the working directory, else the working directory itself.
+fn ledger_dir(args: &Args) -> PathBuf {
+    if let Some(dir) = args.value("ledger") {
+        return PathBuf::from(dir);
+    }
+    std::env::current_dir()
+        .ok()
+        .and_then(|cwd| chopin_srclint::find_workspace_root(&cwd))
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Load the ledger, printing the failure and mapping it to exit 2.
+fn load_ledger(dir: &Path) -> Result<Trajectory, i32> {
+    Trajectory::load_dir(dir).map_err(|e| {
+        eprintln!("error: {e}");
+        2
+    })
+}
+
+/// Lint the ledger (rules R1101–R1103); findings are schema errors.
+fn lint_ledger_or_fail(trajectory: &Trajectory) -> Result<(), i32> {
+    let findings = chopin_perf::lint_ledger(trajectory);
+    if findings.is_empty() {
+        return Ok(());
+    }
+    for d in &findings {
+        eprintln!("{}: {} [{}]", d.location, d.message, d.rule);
+    }
+    Err(2)
+}
+
+fn sample_count(args: &Args) -> Result<usize, i32> {
+    let samples: u64 = match args.get_or("samples", DEFAULT_SAMPLES as u64) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return Err(2);
+        }
+    };
+    if samples < MIN_SAMPLES {
+        eprintln!("error: --samples must be at least {MIN_SAMPLES} (rule R1102)");
+        return Err(2);
+    }
+    Ok(samples as usize)
+}
+
+fn run_run(args: &Args) -> i32 {
+    let dir = ledger_dir(args);
+    let trajectory = match load_ledger(&dir) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let default_pr = trajectory.latest().map(|p| p.pr + 1).unwrap_or(1);
+    let pr = match args.get_or("pr", default_pr) {
+        Ok(pr) => pr,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let samples = match sample_count(args) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    eprintln!("artifact perf: running the hot-path suite ({samples} samples per bench)");
+    let report = match run_suite(pr, git_rev(), samples) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let out = args
+        .value("out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| dir.join(format!("BENCH_{pr}.json")));
+    if let Err(e) = std::fs::write(&out, report.to_json()) {
+        eprintln!("error: cannot write {}: {e}", out.display());
+        return 2;
+    }
+    println!(
+        "wrote {} ({} benches, PR {pr})",
+        out.display(),
+        report.benches.len()
+    );
+    0
+}
+
+fn run_report(args: &Args) -> i32 {
+    let dir = ledger_dir(args);
+    let trajectory = match load_ledger(&dir) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let tolerance = match args.get_or("tolerance", gate::DEFAULT_TOLERANCE) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let verdicts = match trajectory.latest() {
+        None => None,
+        Some(latest) => match gate::check(&trajectory, &latest.report, tolerance) {
+            Ok(g) => Some(g),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        },
+    };
+    let html = chopin_perf::render_report(&trajectory, verdicts.as_ref());
+    let out = PathBuf::from(args.value("out").unwrap_or("perf-report.html"));
+    if let Err(e) = std::fs::write(&out, html) {
+        eprintln!("error: cannot write {}: {e}", out.display());
+        return 2;
+    }
+    println!(
+        "wrote {} ({} ledger points, {} benches)",
+        out.display(),
+        trajectory.points.len(),
+        trajectory.bench_ids().len()
+    );
+    0
+}
+
+fn run_check(args: &Args) -> i32 {
+    let dir = ledger_dir(args);
+    let trajectory = match load_ledger(&dir) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    if let Err(code) = lint_ledger_or_fail(&trajectory) {
+        return code;
+    }
+    let tolerance = match args.get_or("tolerance", gate::DEFAULT_TOLERANCE) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let candidate = match args.value("current") {
+        Some(path) => match load_candidate(Path::new(path)) {
+            Ok(r) => r,
+            Err(code) => return code,
+        },
+        None => {
+            let samples = match sample_count(args) {
+                Ok(s) => s,
+                Err(code) => return code,
+            };
+            let pr = trajectory.latest().map(|p| p.pr + 1).unwrap_or(1);
+            eprintln!("artifact perf: no --current; running the live suite as PR {pr}");
+            match run_suite(pr, git_rev(), samples) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 1;
+                }
+            }
+        }
+    };
+    let gate_report = match gate::check(&trajectory, &candidate, tolerance) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    for line in gate_report.render_lines() {
+        println!("{line}");
+    }
+    if gate_report.passed() {
+        0
+    } else {
+        1
+    }
+}
+
+/// Parse a candidate report file for the gate. A legacy v0 document gets
+/// its PR stamped from the file name when it has one.
+fn load_candidate(path: &Path) -> Result<BenchReport, i32> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("error: cannot read {}: {e}", path.display());
+        2
+    })?;
+    let mut report = BenchReport::parse(&text).map_err(|e| {
+        eprintln!("error: {}: {e}", path.display());
+        2
+    })?;
+    if report.schema_version == 0 {
+        let stamped = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .and_then(pr_from_filename);
+        match stamped {
+            Some(pr) => report.pr = pr,
+            None => {
+                eprintln!(
+                    "error: {} is a v0 document and its name does not encode a PR",
+                    path.display()
+                );
+                return Err(2);
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Entry point for `artifact perf`. Exactly one mode flag is required.
+pub fn run_perf(args: &Args) -> i32 {
+    if args.has("rules") {
+        print!("{}", chopin_lint::render_catalogue());
+        return 0;
+    }
+    let modes = [args.has("run"), args.has("report"), args.has("check")];
+    match modes.iter().filter(|&&m| m).count() {
+        0 => {
+            eprintln!(
+                "usage: artifact perf <--run|--report|--check> [--pr N] [--samples N] \
+                 [--ledger DIR] [--out FILE] [--current FILE] [--tolerance F]"
+            );
+            2
+        }
+        1 if args.has("run") => run_run(args),
+        1 if args.has("report") => run_report(args),
+        1 => run_check(args),
+        _ => {
+            eprintln!("error: --run, --report and --check are mutually exclusive");
+            2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn journal_bench_roundtrips_and_cleans_up() {
+        let mut bench = JournalRoundtripBench::new();
+        let work = bench.execute().unwrap();
+        assert_eq!(work, JOURNAL_ENTRIES * 2);
+        assert!(!bench.scratch_path().exists(), "scratch journal removed");
+    }
+
+    #[test]
+    fn full_suite_has_the_journal_bench_and_clears_the_floor() {
+        let benches = full_suite().unwrap();
+        assert!(benches.iter().any(|b| b.id() == "journal.roundtrip"));
+        assert!(benches.len() >= 5, "acceptance floor: at least 5 benches");
+    }
+
+    #[test]
+    fn git_rev_is_short_and_nonempty() {
+        let rev = git_rev();
+        assert!(!rev.is_empty());
+        assert!(!rev.contains('\n'));
+    }
+}

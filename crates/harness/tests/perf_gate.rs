@@ -1,0 +1,233 @@
+//! End-to-end coverage of the `artifact perf --check` regression gate
+//! against the real binary: synthetic ledgers in temp directories pin
+//! the comparator threshold, the missing-baseline and removed-bench
+//! behaviours, and the full exit-code contract (0 clean, 1 regression,
+//! 2 usage/schema errors).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn temp_ledger(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("chopin-perf-gate-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("temp ledger dir");
+    dir
+}
+
+fn perf(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_artifact"))
+        .arg("perf")
+        .args(args)
+        .output()
+        .expect("artifact binary runs")
+}
+
+/// One v1 ledger point with a single bench at the given min_ns (the
+/// samples straddle it so min is exactly `min_ns`).
+fn point(pr: u64, id: &str, min_ns: u64) -> String {
+    format!(
+        "{{\n  \"schema_version\": 1,\n  \"pr\": {pr},\n  \"git_rev\": \"test\",\n  \"benches\": [\n    \
+         {{\"id\": \"{id}\", \"config\": {{}}, \"sample_count\": 5, \
+         \"samples_ns\": [{min_ns}, {a}, {b}, {c}, {d}], \"min_ns\": {min_ns}, \
+         \"mean_ns\": {b}, \"work\": 0}}\n  ]\n}}\n",
+        a = min_ns + 5,
+        b = min_ns + 10,
+        c = min_ns + 15,
+        d = min_ns + 20,
+    )
+}
+
+fn write_point(dir: &Path, pr: u64, id: &str, min_ns: u64) {
+    fs::write(dir.join(format!("BENCH_{pr}.json")), point(pr, id, min_ns)).expect("write point");
+}
+
+fn check(dir: &Path, current: &Path) -> Output {
+    perf(&[
+        "--check",
+        "--ledger",
+        dir.to_str().expect("utf8 path"),
+        "--current",
+        current.to_str().expect("utf8 path"),
+    ])
+}
+
+#[test]
+fn within_tolerance_passes_and_past_it_fails_naming_the_bench() {
+    let dir = temp_ledger("threshold");
+    write_point(&dir, 1, "alloc.accounting", 1_000);
+
+    // Exactly +10% of the best prior point: in tolerance by contract.
+    write_point(&dir, 2, "alloc.accounting", 1_100);
+    let ok = check(&dir, &dir.join("BENCH_2.json"));
+    assert_eq!(
+        ok.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&ok.stdout);
+    assert!(stdout.contains("perf gate PASS"), "{stdout}");
+
+    // One nanosecond past the threshold: regression, exit 1, named.
+    fs::write(
+        dir.join("BENCH_2.json"),
+        point(2, "alloc.accounting", 1_101),
+    )
+    .expect("overwrite candidate");
+    let bad = check(&dir, &dir.join("BENCH_2.json"));
+    assert_eq!(bad.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    assert!(
+        stdout.contains("perf gate FAIL") && stdout.contains("alloc.accounting"),
+        "the failure names the offending bench: {stdout}"
+    );
+    assert!(stdout.contains("REGRESSION"), "{stdout}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn synthetic_large_regression_fails() {
+    let dir = temp_ledger("synthetic");
+    write_point(&dir, 6, "hotloop.noop", 9_000);
+    write_point(&dir, 7, "hotloop.noop", 20_000);
+    let out = check(&dir, &dir.join("BENCH_7.json"));
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("hotloop.noop"),
+        "names the bench"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_baseline_is_new_not_a_failure() {
+    let dir = temp_ledger("newbench");
+    write_point(&dir, 1, "alloc.accounting", 1_000);
+    write_point(&dir, 2, "brand.new_bench", 500);
+    let out = check(&dir, &dir.join("BENCH_2.json"));
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("NEW"), "{stdout}");
+    // The bench the previous point had but the candidate dropped warns.
+    assert!(
+        stdout.contains("WARNING") && stdout.contains("alloc.accounting"),
+        "{stdout}"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_ledger_exits_two() {
+    let dir = temp_ledger("malformed");
+    fs::write(dir.join("BENCH_1.json"), "{this is not json").expect("write junk");
+    write_point(&dir, 2, "alloc.accounting", 1_000);
+    let out = check(&dir, &dir.join("BENCH_2.json"));
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("BENCH_1.json"),
+        "error names the offending file"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn out_of_sequence_ledger_exits_two() {
+    let dir = temp_ledger("unsorted");
+    // File name says PR 1 but the document declares PR 9: R1103.
+    fs::write(
+        dir.join("BENCH_1.json"),
+        point(9, "alloc.accounting", 1_000),
+    )
+    .expect("write point");
+    write_point(&dir, 2, "alloc.accounting", 1_000);
+    let out = check(&dir, &dir.join("BENCH_2.json"));
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("R1103"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn under_sampled_ledger_exits_two() {
+    let dir = temp_ledger("samples");
+    fs::write(
+        dir.join("BENCH_1.json"),
+        "{\n  \"schema_version\": 1,\n  \"pr\": 1,\n  \"git_rev\": \"t\",\n  \"benches\": [\n    \
+         {\"id\": \"a\", \"config\": {}, \"sample_count\": 2, \"samples_ns\": [5, 6], \
+         \"min_ns\": 5, \"mean_ns\": 5, \"work\": 0}\n  ]\n}\n",
+    )
+    .expect("write point");
+    write_point(&dir, 2, "a", 5);
+    let out = check(&dir, &dir.join("BENCH_2.json"));
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("R1102"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    // No mode flag.
+    assert_eq!(perf(&[]).status.code(), Some(2));
+    // Mutually exclusive modes.
+    assert_eq!(perf(&["--run", "--check"]).status.code(), Some(2));
+    // Unreadable candidate.
+    let dir = temp_ledger("usage");
+    write_point(&dir, 1, "a", 100);
+    let out = perf(&[
+        "--check",
+        "--ledger",
+        dir.to_str().expect("utf8"),
+        "--current",
+        "/no/such/BENCH_9.json",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn report_renders_the_ledger_to_a_single_file() {
+    let dir = temp_ledger("report");
+    write_point(&dir, 1, "alloc.accounting", 1_000);
+    write_point(&dir, 2, "alloc.accounting", 900);
+    let out_file = dir.join("perf-report.html");
+    let out = perf(&[
+        "--report",
+        "--ledger",
+        dir.to_str().expect("utf8"),
+        "--out",
+        out_file.to_str().expect("utf8"),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let html = fs::read_to_string(&out_file).expect("report written");
+    assert!(html.contains("alloc.accounting"));
+    assert!(!html.contains("<script"), "self-contained: no scripts");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn rules_flag_prints_the_ledger_family() {
+    let out = perf(&["--rules"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for id in ["R1101", "R1102", "R1103"] {
+        assert!(stdout.contains(id), "catalogue missing {id}");
+    }
+}

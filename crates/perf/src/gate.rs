@@ -1,0 +1,328 @@
+//! The regression gate: compares a candidate report against the ledger
+//! and decides whether the PR may land.
+//!
+//! The baseline for each bench is the **best prior point** — the
+//! fastest `min_ns` any earlier PR recorded — not merely the previous
+//! point. Comparing against the previous point lets a sequence of
+//! just-under-tolerance regressions compound silently ("slow creep");
+//! comparing against the best prior point bounds total drift at the
+//! tolerance. `min_ns` is the comparison statistic because the minimum
+//! of a self-timed sample set is the least noise-contaminated estimate
+//! of the code path's cost.
+//!
+//! A bench present in the most recent prior point but missing from the
+//! candidate is a **warning**, not a failure: bench retirement must be
+//! visible in the gate output, but it is a review decision, not a
+//! mechanical one.
+
+use crate::report::BenchReport;
+use crate::trajectory::Trajectory;
+use chopin_obs::format_ns;
+
+/// Default allowed slowdown of a bench's `min_ns` versus its best prior
+/// point: 10%.
+pub const DEFAULT_TOLERANCE: f64 = 0.10;
+
+/// The gate's per-bench outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Within tolerance of the best prior point.
+    Ok,
+    /// Slower than the best prior point by more than the tolerance.
+    Regression,
+    /// No earlier point records this bench.
+    NoBaseline,
+}
+
+/// The prior point a bench was compared against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Baseline {
+    /// PR that set the best prior minimum.
+    pub pr: u64,
+    /// That PR's `min_ns` for the bench.
+    pub min_ns: u64,
+}
+
+/// One bench's gate verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchVerdict {
+    /// Bench id.
+    pub id: String,
+    /// The candidate's `min_ns`.
+    pub current_min: u64,
+    /// Best prior point, when one exists.
+    pub baseline: Option<Baseline>,
+    /// The verdict.
+    pub status: Status,
+}
+
+impl BenchVerdict {
+    /// Slowdown versus baseline as a percentage (positive = slower),
+    /// when a baseline exists.
+    pub fn delta_pct(&self) -> Option<f64> {
+        self.baseline
+            .filter(|b| b.min_ns > 0)
+            .map(|b| (self.current_min as f64 / b.min_ns as f64 - 1.0) * 100.0)
+    }
+}
+
+/// The gate's complete output for one candidate report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateReport {
+    /// PR number of the candidate.
+    pub candidate_pr: u64,
+    /// Tolerance the verdicts were computed with.
+    pub tolerance: f64,
+    /// Per-bench verdicts, in the candidate's bench order.
+    pub verdicts: Vec<BenchVerdict>,
+    /// Bench ids present in the most recent prior point but absent from
+    /// the candidate (warned, never failed).
+    pub removed: Vec<String>,
+}
+
+impl GateReport {
+    /// The verdicts that regressed.
+    pub fn regressions(&self) -> Vec<&BenchVerdict> {
+        self.verdicts
+            .iter()
+            .filter(|v| v.status == Status::Regression)
+            .collect()
+    }
+
+    /// Whether the gate passes (no regressions; removals only warn).
+    pub fn passed(&self) -> bool {
+        self.regressions().is_empty()
+    }
+
+    /// Human-readable summary lines, one per verdict plus removal
+    /// warnings and a final PASS/FAIL line naming every offending bench.
+    pub fn render_lines(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        lines.push(format!(
+            "perf gate: PR {} vs best prior point per bench (tolerance +{:.1}%)",
+            self.candidate_pr,
+            self.tolerance * 100.0
+        ));
+        for v in &self.verdicts {
+            let line = match (v.status, v.baseline) {
+                (Status::NoBaseline, _) | (_, None) => format!(
+                    "  NEW        {:<28} min {:>9}  (no prior baseline)",
+                    v.id,
+                    format_ns(v.current_min)
+                ),
+                (status, Some(b)) => format!(
+                    "  {:<10} {:<28} min {:>9}  vs PR {} {:>9}  ({:+.1}%)",
+                    if status == Status::Regression {
+                        "REGRESSION"
+                    } else {
+                        "OK"
+                    },
+                    v.id,
+                    format_ns(v.current_min),
+                    b.pr,
+                    format_ns(b.min_ns),
+                    v.delta_pct().unwrap_or(0.0)
+                ),
+            };
+            lines.push(line);
+        }
+        for id in &self.removed {
+            lines.push(format!(
+                "  WARNING    {id:<28} present in the previous point, missing from PR {}",
+                self.candidate_pr
+            ));
+        }
+        if self.passed() {
+            lines.push(format!("perf gate PASS: {} benches", self.verdicts.len()));
+        } else {
+            let names: Vec<&str> = self.regressions().iter().map(|v| v.id.as_str()).collect();
+            lines.push(format!(
+                "perf gate FAIL: regression in {}",
+                names.join(", ")
+            ));
+        }
+        lines
+    }
+}
+
+/// Run the gate: every candidate bench versus its best prior point.
+///
+/// # Errors
+///
+/// Rejects a non-finite or negative tolerance.
+pub fn check(
+    trajectory: &Trajectory,
+    current: &BenchReport,
+    tolerance: f64,
+) -> Result<GateReport, String> {
+    if !tolerance.is_finite() || tolerance < 0.0 {
+        return Err(format!(
+            "tolerance must be a non-negative number, got {tolerance:?}"
+        ));
+    }
+    let mut verdicts = Vec::new();
+    for bench in &current.benches {
+        let baseline = trajectory
+            .best_prior_min(&bench.id, current.pr)
+            .map(|(pr, min_ns)| Baseline { pr, min_ns });
+        let status = match baseline {
+            None => Status::NoBaseline,
+            Some(b) => {
+                // Multiplicative form: a baseline of 1000 ns with 10%
+                // tolerance admits exactly 1100 ns and fails 1101 ns.
+                if bench.min_ns as f64 > b.min_ns as f64 * (1.0 + tolerance) {
+                    Status::Regression
+                } else {
+                    Status::Ok
+                }
+            }
+        };
+        verdicts.push(BenchVerdict {
+            id: bench.id.clone(),
+            current_min: bench.min_ns,
+            baseline,
+            status,
+        });
+    }
+    let removed = trajectory
+        .points
+        .iter()
+        .rev()
+        .find(|p| p.pr < current.pr)
+        .map(|prev| {
+            prev.report
+                .benches
+                .iter()
+                .filter(|b| current.bench(&b.id).is_none())
+                .map(|b| b.id.clone())
+                .collect()
+        })
+        .unwrap_or_default();
+    Ok(GateReport {
+        candidate_pr: current.pr,
+        tolerance,
+        verdicts,
+        removed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{BenchRecord, SCHEMA_VERSION};
+    use crate::trajectory::TrajectoryPoint;
+
+    fn record(id: &str, min_ns: u64) -> BenchRecord {
+        BenchRecord::from_samples(id, Vec::new(), vec![min_ns, min_ns + 10], 0)
+    }
+
+    fn report(pr: u64, benches: Vec<BenchRecord>) -> BenchReport {
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            pr,
+            git_rev: "test".to_string(),
+            benches,
+        }
+    }
+
+    fn ledger(reports: Vec<BenchReport>) -> Trajectory {
+        Trajectory {
+            points: reports
+                .into_iter()
+                .map(|r| TrajectoryPoint {
+                    file: format!("BENCH_{}.json", r.pr),
+                    pr: r.pr,
+                    report: r,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn exactly_ten_percent_passes_and_one_ns_more_fails() {
+        let t = ledger(vec![report(6, vec![record("a", 1_000)])]);
+        let at = check(&t, &report(7, vec![record("a", 1_100)]), 0.10).unwrap();
+        assert_eq!(
+            at.verdicts[0].status,
+            Status::Ok,
+            "exactly +10% is in tolerance"
+        );
+        assert!(at.passed());
+        let over = check(&t, &report(7, vec![record("a", 1_101)]), 0.10).unwrap();
+        assert_eq!(over.verdicts[0].status, Status::Regression);
+        assert!(!over.passed());
+    }
+
+    #[test]
+    fn baseline_is_the_best_prior_point_not_the_previous_one() {
+        let t = ledger(vec![
+            report(5, vec![record("a", 1_000)]),
+            report(6, vec![record("a", 1_090)]),
+        ]);
+        // +10% of the previous point (1090) but +19.9% of the best (1000).
+        let g = check(&t, &report(7, vec![record("a", 1_199)]), 0.10).unwrap();
+        assert_eq!(g.verdicts[0].status, Status::Regression);
+        assert_eq!(
+            g.verdicts[0].baseline,
+            Some(Baseline {
+                pr: 5,
+                min_ns: 1_000
+            })
+        );
+    }
+
+    #[test]
+    fn missing_baseline_is_not_a_failure() {
+        let t = ledger(vec![report(6, vec![record("a", 1_000)])]);
+        let g = check(
+            &t,
+            &report(7, vec![record("a", 1_000), record("brand.new", 50)]),
+            0.10,
+        )
+        .unwrap();
+        assert_eq!(g.verdicts[1].status, Status::NoBaseline);
+        assert!(g.passed());
+    }
+
+    #[test]
+    fn removed_bench_warns_but_does_not_fail() {
+        let t = ledger(vec![report(6, vec![record("a", 1_000), record("b", 500)])]);
+        let g = check(&t, &report(7, vec![record("a", 1_000)]), 0.10).unwrap();
+        assert_eq!(g.removed, vec!["b".to_string()]);
+        assert!(g.passed());
+        let lines = g.render_lines().join("\n");
+        assert!(lines.contains("WARNING"), "{lines}");
+        assert!(lines.contains('b'), "{lines}");
+    }
+
+    #[test]
+    fn fail_line_names_every_offending_bench() {
+        let t = ledger(vec![report(6, vec![record("a", 1_000), record("b", 500)])]);
+        let g = check(
+            &t,
+            &report(7, vec![record("a", 2_000), record("b", 900)]),
+            0.10,
+        )
+        .unwrap();
+        let last = g.render_lines().pop().unwrap();
+        assert!(
+            last.contains("FAIL") && last.contains('a') && last.contains('b'),
+            "{last}"
+        );
+    }
+
+    #[test]
+    fn bad_tolerance_is_rejected() {
+        let t = ledger(Vec::new());
+        assert!(check(&t, &report(7, Vec::new()), -0.1).is_err());
+        assert!(check(&t, &report(7, Vec::new()), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn faster_is_always_ok() {
+        let t = ledger(vec![report(6, vec![record("a", 1_000)])]);
+        let g = check(&t, &report(7, vec![record("a", 400)]), 0.0).unwrap();
+        assert_eq!(g.verdicts[0].status, Status::Ok);
+        assert!(g.verdicts[0].delta_pct().unwrap() < -50.0);
+    }
+}

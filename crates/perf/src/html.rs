@@ -1,0 +1,372 @@
+//! The self-contained HTML overview report: the whole perf trajectory
+//! in one file with zero external assets (no scripts, no fonts, no
+//! images — a single inline stylesheet), so it can be archived as a CI
+//! artifact and opened anywhere, offline, years later.
+//!
+//! Layout: stat tiles for the headline numbers, a delta table comparing
+//! the latest point against each bench's best prior point (the same
+//! comparison the gate makes, with the same verdicts), then one
+//! sparkline-style trajectory table per bench — every ledger point as a
+//! row with its statistics and a horizontal bar scaled to the series
+//! maximum, so trends read at a glance without a plotting library.
+//!
+//! Colors follow the workspace's chart conventions: magnitude bars use
+//! a single sequential blue; pass/fail is green/red *plus* an OK /
+//! REGRESSION text badge, never color alone; all text wears text
+//! tokens; dark mode is its own palette behind `prefers-color-scheme`,
+//! not an automatic inversion.
+
+use crate::gate::{GateReport, Status};
+use crate::trajectory::Trajectory;
+use chopin_obs::format_ns;
+
+/// Escape a string for HTML text and attribute positions.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Bar width in percent, scaled to the series maximum.
+fn bar_pct(value: u64, max: u64) -> u64 {
+    if max == 0 {
+        return 0;
+    }
+    (value.saturating_mul(100) / max).clamp(1, 100)
+}
+
+const STYLE: &str = r#"
+:root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --page: #f9f9f7;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --muted: #898781;
+  --grid: #e1e0d9;
+  --bar: #2a78d6;
+  --ok: #0ca30c;
+  --ok-text: #006300;
+  --bad: #d03b3b;
+  --border: rgba(11,11,11,0.10);
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --muted: #898781;
+    --grid: #2c2c2a;
+    --bar: #3987e5;
+    --ok: #0ca30c;
+    --ok-text: #0ca30c;
+    --bad: #d03b3b;
+    --border: rgba(255,255,255,0.10);
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 24px; background: var(--page); color: var(--text-primary);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+main { max-width: 980px; margin: 0 auto; }
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 28px 0 8px; }
+.sub { color: var(--text-secondary); margin: 0 0 20px; }
+.tiles { display: flex; gap: 12px; flex-wrap: wrap; margin: 16px 0; }
+.tile {
+  background: var(--surface-1); border: 1px solid var(--border); border-radius: 8px;
+  padding: 12px 16px; min-width: 130px;
+}
+.tile .v { font-size: 22px; font-weight: 600; }
+.tile .k { color: var(--text-secondary); font-size: 12px; }
+table {
+  width: 100%; border-collapse: collapse; background: var(--surface-1);
+  border: 1px solid var(--border); border-radius: 8px;
+}
+th, td {
+  text-align: left; padding: 6px 10px; border-top: 1px solid var(--grid);
+  font-variant-numeric: tabular-nums;
+}
+th { color: var(--text-secondary); font-weight: 500; font-size: 12px; border-top: none; }
+td.num, th.num { text-align: right; }
+.badge {
+  display: inline-block; padding: 1px 7px; border-radius: 9px;
+  font-size: 11px; font-weight: 600; color: #ffffff;
+}
+.badge.ok { background: var(--ok); }
+.badge.bad { background: var(--bad); }
+.badge.new { background: var(--muted); }
+.delta-ok { color: var(--ok-text); }
+.delta-bad { color: var(--bad); font-weight: 600; }
+.barcell { width: 32%; }
+.bar {
+  height: 10px; background: var(--bar); border-radius: 2px; min-width: 2px;
+}
+.bartrack { background: var(--grid); border-radius: 2px; }
+.mono { color: var(--text-secondary); font-size: 12px; }
+footer { color: var(--muted); font-size: 12px; margin-top: 28px; }
+"#;
+
+/// Render the full overview report as one self-contained HTML document.
+///
+/// `gate` supplies the delta-table verdicts when the caller already ran
+/// the gate; without it the delta table is omitted (an empty ledger
+/// still renders a valid page saying so).
+pub fn render_report(trajectory: &Trajectory, gate: Option<&GateReport>) -> String {
+    let mut out = String::new();
+    out.push_str("<!doctype html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n");
+    out.push_str("<meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">\n");
+    out.push_str("<title>chopin perf trajectory</title>\n<style>");
+    out.push_str(STYLE);
+    out.push_str("</style>\n</head>\n<body>\n<main>\n");
+    out.push_str("<h1>chopin perf trajectory</h1>\n");
+
+    match trajectory.latest() {
+        None => {
+            out.push_str(
+                "<p class=\"sub\">The ledger is empty: no BENCH_*.json points found.</p>\n",
+            );
+        }
+        Some(latest) => {
+            out.push_str(&format!(
+                "<p class=\"sub\">Hot-path bench ledger, PR {} through PR {} &middot; {} points &middot; {} benches</p>\n",
+                trajectory.points.first().map(|p| p.pr).unwrap_or(0),
+                latest.pr,
+                trajectory.points.len(),
+                trajectory.bench_ids().len(),
+            ));
+            render_tiles(&mut out, trajectory, gate);
+            if let Some(g) = gate {
+                render_delta_table(&mut out, g);
+            }
+            render_trajectory_tables(&mut out, trajectory);
+        }
+    }
+
+    out.push_str(
+        "<footer>Generated by <code>artifact perf --report</code>. \
+         Bars scale to each series&#39; slowest point; min_ns is the gate statistic. \
+         Legacy v0 points carry min/mean only.</footer>\n",
+    );
+    out.push_str("</main>\n</body>\n</html>\n");
+    out
+}
+
+fn render_tiles(out: &mut String, trajectory: &Trajectory, gate: Option<&GateReport>) {
+    out.push_str("<div class=\"tiles\">\n");
+    let mut tile = |value: String, key: &str| {
+        out.push_str(&format!(
+            "<div class=\"tile\"><div class=\"v\">{value}</div><div class=\"k\">{key}</div></div>\n"
+        ));
+    };
+    if let Some(latest) = trajectory.latest() {
+        tile(format!("PR {}", latest.pr), "latest point");
+        tile(latest.report.benches.len().to_string(), "benches in latest");
+    }
+    tile(trajectory.points.len().to_string(), "ledger points");
+    if let Some(g) = gate {
+        let regressions = g.regressions().len();
+        if regressions == 0 {
+            tile(
+                "<span class=\"delta-ok\">PASS</span>".to_string(),
+                "regression gate",
+            );
+        } else {
+            tile(
+                format!("<span class=\"delta-bad\">FAIL ({regressions})</span>"),
+                "regression gate",
+            );
+        }
+    }
+    out.push_str("</div>\n");
+}
+
+fn render_delta_table(out: &mut String, gate: &GateReport) {
+    out.push_str(&format!(
+        "<h2>Latest vs best prior point (tolerance +{:.1}%)</h2>\n",
+        gate.tolerance * 100.0
+    ));
+    out.push_str(
+        "<table>\n<tr><th>bench</th><th class=\"num\">min</th>\
+         <th class=\"num\">best prior</th><th class=\"num\">&Delta; min</th>\
+         <th>verdict</th></tr>\n",
+    );
+    for v in &gate.verdicts {
+        let (baseline, delta, badge) = match (v.status, v.baseline) {
+            (Status::NoBaseline, _) | (_, None) => (
+                "&mdash;".to_string(),
+                "&mdash;".to_string(),
+                "<span class=\"badge new\">NEW</span>".to_string(),
+            ),
+            (status, Some(b)) => {
+                let pct = v.delta_pct().unwrap_or(0.0);
+                let delta_class = if status == Status::Regression {
+                    "delta-bad"
+                } else {
+                    "delta-ok"
+                };
+                let badge = if status == Status::Regression {
+                    "<span class=\"badge bad\">REGRESSION</span>"
+                } else {
+                    "<span class=\"badge ok\">OK</span>"
+                };
+                (
+                    format!(
+                        "{} <span class=\"mono\">(PR {})</span>",
+                        format_ns(b.min_ns),
+                        b.pr
+                    ),
+                    format!("<span class=\"{delta_class}\">{pct:+.1}%</span>"),
+                    badge.to_string(),
+                )
+            }
+        };
+        out.push_str(&format!(
+            "<tr><td>{}</td><td class=\"num\">{}</td><td class=\"num\">{}</td>\
+             <td class=\"num\">{}</td><td>{}</td></tr>\n",
+            esc(&v.id),
+            format_ns(v.current_min),
+            baseline,
+            delta,
+            badge,
+        ));
+    }
+    out.push_str("</table>\n");
+    for id in &gate.removed {
+        out.push_str(&format!(
+            "<p class=\"sub\">&#9888; <code>{}</code> was in the previous point but is \
+             missing from PR {}.</p>\n",
+            esc(id),
+            gate.candidate_pr
+        ));
+    }
+}
+
+fn render_trajectory_tables(out: &mut String, trajectory: &Trajectory) {
+    out.push_str("<h2>Per-bench trajectories</h2>\n");
+    for id in trajectory.bench_ids() {
+        let series = trajectory.series(&id);
+        let max_min = series.iter().map(|(_, b)| b.min_ns).max().unwrap_or(0);
+        out.push_str(&format!("<h2><code>{}</code></h2>\n", esc(&id)));
+        out.push_str(
+            "<table>\n<tr><th>PR</th><th class=\"num\">min</th><th class=\"num\">mean</th>\
+             <th class=\"num\">p50</th><th class=\"num\">p99</th>\
+             <th class=\"num\">samples</th><th class=\"barcell\">min (bar)</th></tr>\n",
+        );
+        for (pr, b) in &series {
+            let opt = |v: Option<u64>| match v {
+                Some(n) => format_ns(n),
+                None => "&mdash;".to_string(),
+            };
+            out.push_str(&format!(
+                "<tr><td>{pr}</td><td class=\"num\">{}</td><td class=\"num\">{}</td>\
+                 <td class=\"num\">{}</td><td class=\"num\">{}</td><td class=\"num\">{}</td>\
+                 <td class=\"barcell\"><div class=\"bartrack\">\
+                 <div class=\"bar\" style=\"width: {}%\"></div></div></td></tr>\n",
+                format_ns(b.min_ns),
+                format_ns(b.mean_ns),
+                opt(b.p50_ns),
+                opt(b.p99_ns),
+                b.sample_count,
+                bar_pct(b.min_ns, max_min),
+            ));
+        }
+        out.push_str("</table>\n");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate;
+    use crate::report::{BenchRecord, BenchReport, SCHEMA_VERSION};
+    use crate::trajectory::TrajectoryPoint;
+
+    fn ledger() -> Trajectory {
+        let mk = |pr: u64, min: u64| TrajectoryPoint {
+            file: format!("BENCH_{pr}.json"),
+            pr,
+            report: BenchReport {
+                schema_version: SCHEMA_VERSION,
+                pr,
+                git_rev: "test".to_string(),
+                benches: vec![BenchRecord::from_samples(
+                    "hotloop.noop",
+                    Vec::new(),
+                    vec![min, min + 50, min + 100, min + 20, min + 10],
+                    0,
+                )],
+            },
+        };
+        Trajectory {
+            points: vec![mk(6, 9_000), mk(7, 9_100)],
+        }
+    }
+
+    #[test]
+    fn report_is_self_contained_and_covers_the_trajectory() {
+        let t = ledger();
+        let g = gate::check(&t, &t.latest().unwrap().report.clone(), 0.10).unwrap();
+        let html = render_report(&t, Some(&g));
+        assert!(html.starts_with("<!doctype html>"));
+        assert!(html.contains("hotloop.noop"));
+        assert!(html.contains("PR 7"));
+        assert!(
+            html.contains("prefers-color-scheme: dark"),
+            "dark palette is selected"
+        );
+        assert!(
+            html.contains(">OK<"),
+            "verdicts carry text, not color alone"
+        );
+        for external in ["<script", "http://", "https://", "url(", "@import"] {
+            assert!(
+                !html.contains(external),
+                "external asset reference: {external}"
+            );
+        }
+    }
+
+    #[test]
+    fn regression_renders_a_text_badge() {
+        let t = ledger();
+        let mut bad = t.latest().unwrap().report.clone();
+        bad.benches[0] = BenchRecord::from_samples(
+            "hotloop.noop",
+            Vec::new(),
+            vec![20_000, 20_100, 20_200, 20_300, 20_400],
+            0,
+        );
+        let g = gate::check(&t, &bad, 0.10).unwrap();
+        let html = render_report(&t, Some(&g));
+        assert!(html.contains("REGRESSION"));
+        assert!(html.contains("FAIL"));
+    }
+
+    #[test]
+    fn empty_ledger_still_renders() {
+        let html = render_report(&Trajectory::default(), None);
+        assert!(html.contains("ledger is empty"));
+    }
+
+    #[test]
+    fn escaping_and_bars_are_sane() {
+        assert_eq!(esc("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+        assert_eq!(bar_pct(50, 100), 50);
+        assert_eq!(bar_pct(1, 1_000_000), 1, "tiny values stay visible");
+        assert_eq!(bar_pct(0, 0), 0);
+        assert_eq!(bar_pct(100, 100), 100);
+    }
+}

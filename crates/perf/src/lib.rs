@@ -1,0 +1,68 @@
+//! Performance-trajectory observability for the chopin reproduction:
+//! the crate behind `artifact perf`.
+//!
+//! The source paper's central complaint is that Java performance work
+//! routinely draws conclusions from unsound measurement — single
+//! numbers, uncontrolled noise, no history. This workspace simulates
+//! rather than measures JVMs, but the same discipline applies to the
+//! simulator's *own* speed: the ROADMAP's raw-speed campaign needs a
+//! measurement substrate before any optimisation can be trusted. This
+//! crate is that substrate, in four layers:
+//!
+//! * [`suite`] — the hot-path bench suite: self-timed benches over
+//!   event dispatch, allocation accounting, the collector phase models,
+//!   batch fast-forward, and (via the harness) supervisor journal
+//!   write/replay. Timing flows through
+//!   `chopin_sandbox::clock::WallSpan` and every sample lands in a
+//!   `chopin_obs::MetricsRegistry` histogram, so the benches exercise
+//!   the production observability plumbing instead of sidestepping it.
+//! * [`report`] — the versioned [`report::BenchReport`] schema
+//!   (`BENCH_<PR>.json`): raw per-sample arrays plus derived
+//!   min/mean/p50/p99, with a fallback parser for the legacy v0 point.
+//! * [`trajectory`] — the ledger loader: every `BENCH_*.json` in the
+//!   repo root as one ordered [`trajectory::Trajectory`], plus
+//!   [`rules`] (R1101–R1103 in the shared `chopin-lint` catalogue)
+//!   keeping the ledger schema-current, statistically meaningful and
+//!   correctly sequenced.
+//! * [`gate`] and [`html`] — the consumers: a regression gate comparing
+//!   each bench's `min_ns` against its *best* prior point (CI fails the
+//!   PR past 10%), and a self-contained single-file HTML overview of
+//!   the whole trajectory.
+//!
+//! # Examples
+//!
+//! ```
+//! use chopin_perf::report::{BenchRecord, BenchReport, SCHEMA_VERSION};
+//!
+//! let report = BenchReport {
+//!     schema_version: SCHEMA_VERSION,
+//!     pr: 7,
+//!     git_rev: "abc1234".to_string(),
+//!     benches: vec![BenchRecord::from_samples(
+//!         "alloc.accounting",
+//!         vec![("allocations".to_string(), "50000".to_string())],
+//!         vec![900, 1000, 1100, 1050, 950],
+//!         50_000,
+//!     )],
+//! };
+//! let parsed = BenchReport::parse(&report.to_json()).unwrap();
+//! assert_eq!(parsed, report);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod gate;
+pub mod html;
+pub mod report;
+pub mod rules;
+pub mod suite;
+pub mod trajectory;
+
+pub use gate::{check, GateReport, Status, DEFAULT_TOLERANCE};
+pub use html::render_report;
+pub use report::{BenchRecord, BenchReport, SCHEMA_VERSION};
+pub use rules::lint_ledger;
+pub use suite::{default_benches, run_bench, HotPathBench, DEFAULT_SAMPLES};
+pub use trajectory::{pr_from_filename, Trajectory, TrajectoryPoint};

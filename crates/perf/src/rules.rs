@@ -1,0 +1,224 @@
+//! Ledger-integrity rules R1101–R1103, implemented against the shared
+//! `chopin-lint` catalogue (one registry, one severity model — the same
+//! arrangement the analyzer's R8xx/R9xx and srclint's R10xx families
+//! use).
+//!
+//! * **R1101** — every point declares the current schema version.
+//!   Legacy v0 points are migrated, not accumulated: the fallback parser
+//!   exists so history is never stranded mid-upgrade, not as a second
+//!   long-term format.
+//! * **R1102** — every bench records at least [`MIN_SAMPLES`] samples,
+//!   and a non-empty `samples_ns` array agrees with its declared
+//!   `sample_count`. Single-digit sample counts are where the EMSE
+//!   steady-state results show summary statistics turn into noise.
+//! * **R1103** — file names and documents agree (`BENCH_<PR>.json`
+//!   declares `pr = <PR>`) and the ledger's PR sequence is strictly
+//!   ascending, so the trajectory's x-axis can never double back.
+
+use crate::report::{MIN_SAMPLES, SCHEMA_VERSION};
+use crate::trajectory::Trajectory;
+use chopin_lint::Diagnostic;
+
+/// Run every ledger rule over a loaded trajectory.
+pub fn lint_ledger(trajectory: &Trajectory) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    r1101_schema_current(trajectory, &mut out);
+    r1102_sample_floor(trajectory, &mut out);
+    r1103_sequencing(trajectory, &mut out);
+    out
+}
+
+/// R1101: schema version is current on every point.
+fn r1101_schema_current(trajectory: &Trajectory, out: &mut Vec<Diagnostic>) {
+    for point in &trajectory.points {
+        if point.report.schema_version != SCHEMA_VERSION {
+            out.push(
+                Diagnostic::error(
+                    "R1101",
+                    point.file.clone(),
+                    format!(
+                        "schema_version {} is not the current version {SCHEMA_VERSION}",
+                        point.report.schema_version
+                    ),
+                )
+                .with_hint("migrate the point: re-serialize it through BenchReport::to_json"),
+            );
+        }
+    }
+}
+
+/// R1102: sample floor and sample-array consistency.
+fn r1102_sample_floor(trajectory: &Trajectory, out: &mut Vec<Diagnostic>) {
+    for point in &trajectory.points {
+        for bench in &point.report.benches {
+            if bench.sample_count < MIN_SAMPLES {
+                out.push(
+                    Diagnostic::error(
+                        "R1102",
+                        point.file.clone(),
+                        format!(
+                            "bench `{}` declares {} samples; the floor is {MIN_SAMPLES}",
+                            bench.id, bench.sample_count
+                        ),
+                    )
+                    .with_hint("run the suite with more samples; small sets make min/p99 noise"),
+                );
+            }
+            if !bench.samples_ns.is_empty() && bench.samples_ns.len() as u64 != bench.sample_count {
+                out.push(
+                    Diagnostic::error(
+                        "R1102",
+                        point.file.clone(),
+                        format!(
+                            "bench `{}` declares sample_count {} but samples_ns holds {}",
+                            bench.id,
+                            bench.sample_count,
+                            bench.samples_ns.len()
+                        ),
+                    )
+                    .with_hint(
+                        "sample_count must equal the samples_ns length when samples are recorded",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// R1103: file-name/document PR agreement and strictly ascending PRs.
+fn r1103_sequencing(trajectory: &Trajectory, out: &mut Vec<Diagnostic>) {
+    for point in &trajectory.points {
+        if point.report.pr != point.pr {
+            out.push(
+                Diagnostic::error(
+                    "R1103",
+                    point.file.clone(),
+                    format!(
+                        "file name says PR {} but the document declares pr {}",
+                        point.pr, point.report.pr
+                    ),
+                )
+                .with_hint("rename the file or fix the document; the trajectory joins on both"),
+            );
+        }
+    }
+    for pair in trajectory.points.windows(2) {
+        if pair[1].report.pr <= pair[0].report.pr {
+            out.push(
+                Diagnostic::error(
+                    "R1103",
+                    pair[1].file.clone(),
+                    format!(
+                        "declared pr {} does not ascend past {} ({})",
+                        pair[1].report.pr, pair[0].report.pr, pair[0].file
+                    ),
+                )
+                .with_hint("ledger PRs must be strictly ascending"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{BenchRecord, BenchReport};
+    use crate::trajectory::TrajectoryPoint;
+
+    fn point(pr: u64, doc_pr: u64, schema: u64, benches: Vec<BenchRecord>) -> TrajectoryPoint {
+        TrajectoryPoint {
+            file: format!("BENCH_{pr}.json"),
+            pr,
+            report: BenchReport {
+                schema_version: schema,
+                pr: doc_pr,
+                git_rev: "test".to_string(),
+                benches,
+            },
+        }
+    }
+
+    fn bench(id: &str, samples: usize) -> BenchRecord {
+        BenchRecord::from_samples(id, Vec::new(), vec![100; samples], 0)
+    }
+
+    #[test]
+    fn clean_ledger_has_no_findings() {
+        let t = Trajectory {
+            points: vec![
+                point(6, 6, SCHEMA_VERSION, vec![bench("a", 5)]),
+                point(7, 7, SCHEMA_VERSION, vec![bench("a", 7)]),
+            ],
+        };
+        assert!(lint_ledger(&t).is_empty());
+    }
+
+    #[test]
+    fn stale_schema_version_is_r1101() {
+        let t = Trajectory {
+            points: vec![point(6, 6, 0, vec![bench("a", 5)])],
+        };
+        let findings = lint_ledger(&t);
+        assert!(findings.iter().any(|d| d.rule == "R1101"), "{findings:?}");
+    }
+
+    #[test]
+    fn too_few_samples_is_r1102() {
+        let t = Trajectory {
+            points: vec![point(6, 6, SCHEMA_VERSION, vec![bench("a", 3)])],
+        };
+        let findings = lint_ledger(&t);
+        assert!(findings.iter().any(|d| d.rule == "R1102"), "{findings:?}");
+    }
+
+    #[test]
+    fn sample_count_mismatch_is_r1102() {
+        let mut b = bench("a", 7);
+        b.sample_count = 9;
+        let t = Trajectory {
+            points: vec![point(6, 6, SCHEMA_VERSION, vec![b])],
+        };
+        let findings = lint_ledger(&t);
+        assert!(findings.iter().any(|d| d.rule == "R1102"), "{findings:?}");
+    }
+
+    #[test]
+    fn migrated_point_without_sample_arrays_is_legal() {
+        let mut b = bench("a", 0);
+        b.sample_count = 5;
+        b.min_ns = 9033;
+        b.mean_ns = 10448;
+        let t = Trajectory {
+            points: vec![point(6, 6, SCHEMA_VERSION, vec![b])],
+        };
+        assert!(
+            lint_ledger(&t).is_empty(),
+            "empty samples_ns is the migrated shape"
+        );
+    }
+
+    #[test]
+    fn filename_disagreement_and_regressing_prs_are_r1103() {
+        let t = Trajectory {
+            points: vec![
+                point(6, 9, SCHEMA_VERSION, vec![bench("a", 5)]),
+                point(7, 7, SCHEMA_VERSION, vec![bench("a", 5)]),
+            ],
+        };
+        let findings = lint_ledger(&t);
+        let r1103: Vec<_> = findings.iter().filter(|d| d.rule == "R1103").collect();
+        assert_eq!(
+            r1103.len(),
+            2,
+            "disagreement on BENCH_6 + non-ascending pair: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn catalogue_registers_every_ledger_rule() {
+        for id in ["R1101", "R1102", "R1103"] {
+            let def = chopin_lint::rule(id).unwrap_or_else(|| panic!("{id} uncatalogued"));
+            assert_eq!(def.severity, chopin_lint::Severity::Error);
+        }
+    }
+}

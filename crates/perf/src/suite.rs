@@ -1,0 +1,410 @@
+//! The hot-path bench suite: self-timed micro/meso benchmarks over the
+//! engine's hottest code paths, measured through the same plumbing the
+//! production telemetry uses.
+//!
+//! Each bench implements [`HotPathBench`]: one `execute()` call is one
+//! measured iteration. The runner ([`run_bench`]) times samples through
+//! [`chopin_sandbox::clock::WallSpan`] — the workspace's single
+//! sanctioned wall-clock abstraction (srclint R1002) — and folds every
+//! sample into a shared [`MetricsRegistry`] histogram
+//! (`perf.<bench id>_ns`), so bench timings and production telemetry
+//! speak one vocabulary and one histogram implementation.
+//!
+//! The default suite covers the paths the ROADMAP's raw-speed campaign
+//! targets:
+//!
+//! * **`hotloop.*`** — the engine event loop end to end (event dispatch
+//!   plus observer fan-out): the monomorphised no-op observer, a
+//!   recording observer, and a `Tee` into recorder + metrics.
+//! * **`alloc.accounting`** — [`HeapState`] allocation/reclaim
+//!   bookkeeping, the arithmetic inside every engine slice.
+//! * **`collector.phase_*`** — the pure collection-cycle planners
+//!   (G1/Serial/Parallel pause and concurrent-cycle math) across a grid
+//!   of heap states.
+//! * **`engine.batch_fastforward`** — a deliberately tiny-heap run that
+//!   forces the closed-form batching path to fold tens of thousands of
+//!   identical cycles.
+//!
+//! The supervisor journal write/replay bench lives in `chopin-harness`
+//! (which owns the journal) and joins the suite through the same trait.
+
+use crate::report::BenchRecord;
+use chopin_obs::{EventRecorder, MetricsObserver, MetricsRegistry, NoopObserver, Tee};
+use chopin_runtime::collector::cycle::{plan_cycle, CollectionRequest, CycleInput};
+use chopin_runtime::collector::{CollectorKind, CollectorModel};
+use chopin_runtime::config::RunConfig;
+use chopin_runtime::engine::run_with_observer;
+use chopin_runtime::heap::HeapState;
+use chopin_runtime::spec::MutatorSpec;
+use chopin_runtime::time::SimDuration;
+use chopin_sandbox::clock::WallSpan;
+use chopin_workloads::{suite, SizeClass};
+use std::hint::black_box;
+
+/// Default number of timed samples per bench (after warmup). Chosen
+/// above [`crate::report::MIN_SAMPLES`] so the default run always
+/// satisfies lint rule R1102.
+pub const DEFAULT_SAMPLES: usize = 7;
+
+/// Warmup executions before the timed samples (first-touch allocation
+/// and code-path warmup noise).
+pub const WARMUP_RUNS: usize = 2;
+
+/// One hot-path bench: an `execute()` call is one measured iteration.
+pub trait HotPathBench {
+    /// Stable bench id (`family.variant`), the trajectory join key.
+    fn id(&self) -> &'static str;
+    /// Configuration pairs recorded into the report.
+    fn config(&self) -> Vec<(String, String)>;
+    /// Run one measured iteration, returning the work units processed
+    /// (events, cycles, entries; 0 when not meaningful).
+    ///
+    /// # Errors
+    ///
+    /// A description of the failure; the runner aborts the bench.
+    fn execute(&mut self) -> Result<u64, String>;
+}
+
+/// Run one bench: warmups, then `samples` timed iterations, each sample
+/// recorded into `metrics` under `perf.<id>_ns`.
+///
+/// # Errors
+///
+/// Propagates the first `execute()` failure.
+pub fn run_bench(
+    bench: &mut dyn HotPathBench,
+    samples: usize,
+    metrics: &mut MetricsRegistry,
+) -> Result<BenchRecord, String> {
+    for _ in 0..WARMUP_RUNS {
+        bench
+            .execute()
+            .map_err(|e| format!("{} warmup: {e}", bench.id()))?;
+    }
+    let histogram = format!("perf.{}_ns", bench.id());
+    let mut samples_ns = Vec::with_capacity(samples);
+    let mut work = 0;
+    for _ in 0..samples {
+        let span = WallSpan::begin();
+        work = bench
+            .execute()
+            .map_err(|e| format!("{}: {e}", bench.id()))?;
+        let ns = u64::try_from(span.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        metrics.observe(&histogram, ns);
+        samples_ns.push(ns);
+    }
+    metrics.inc("perf.samples", samples as u64);
+    metrics.inc("perf.benches", 1);
+    Ok(BenchRecord::from_samples(
+        bench.id(),
+        bench.config(),
+        samples_ns,
+        work,
+    ))
+}
+
+/// Which observer the hot-loop bench fans events out to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HotLoopObserver {
+    Noop,
+    Recorder,
+    TeeRecorderMetrics,
+}
+
+/// The engine hot loop end to end: one fop/G1/2× iteration per sample,
+/// with the chosen observer attached.
+struct HotLoopBench {
+    observer: HotLoopObserver,
+    spec: MutatorSpec,
+    config: RunConfig,
+}
+
+impl HotLoopBench {
+    fn new(observer: HotLoopObserver) -> Result<HotLoopBench, String> {
+        let fop = suite::by_name("fop").ok_or("fop missing from the suite registry")?;
+        let spec = fop
+            .to_spec(SizeClass::Default)
+            .ok_or("fop has no default size class")?
+            .map_err(|e| format!("fop spec invalid: {e}"))?;
+        let heap = fop
+            .min_heap_bytes(SizeClass::Default)
+            .ok_or("fop publishes no minimum heap")?
+            * 2;
+        Ok(HotLoopBench {
+            observer,
+            spec,
+            config: RunConfig::new(heap, CollectorKind::G1).with_noise(0.0),
+        })
+    }
+}
+
+impl HotPathBench for HotLoopBench {
+    fn id(&self) -> &'static str {
+        match self.observer {
+            HotLoopObserver::Noop => "hotloop.noop",
+            HotLoopObserver::Recorder => "hotloop.recorder",
+            HotLoopObserver::TeeRecorderMetrics => "hotloop.tee_recorder_metrics",
+        }
+    }
+
+    fn config(&self) -> Vec<(String, String)> {
+        vec![
+            ("benchmark".to_string(), "fop".to_string()),
+            ("collector".to_string(), "G1".to_string()),
+            ("heap_factor".to_string(), format!("{:?}", 2.0f64)),
+        ]
+    }
+
+    fn execute(&mut self) -> Result<u64, String> {
+        match self.observer {
+            HotLoopObserver::Noop => {
+                run_with_observer(&self.spec, &self.config, &mut NoopObserver)
+                    .map_err(|e| e.to_string())?;
+                Ok(0)
+            }
+            HotLoopObserver::Recorder => {
+                let mut recorder = EventRecorder::new();
+                run_with_observer(&self.spec, &self.config, &mut recorder)
+                    .map_err(|e| e.to_string())?;
+                Ok(recorder.len() as u64)
+            }
+            HotLoopObserver::TeeRecorderMetrics => {
+                let mut tee = Tee(EventRecorder::new(), MetricsObserver::new());
+                run_with_observer(&self.spec, &self.config, &mut tee).map_err(|e| e.to_string())?;
+                Ok(tee.0.len() as u64)
+            }
+        }
+    }
+}
+
+/// Heap allocation/reclaim bookkeeping: the per-slice arithmetic of
+/// [`HeapState`], isolated from the rest of the engine.
+struct AllocAccountingBench {
+    allocations: u64,
+}
+
+impl HotPathBench for AllocAccountingBench {
+    fn id(&self) -> &'static str {
+        "alloc.accounting"
+    }
+
+    fn config(&self) -> Vec<(String, String)> {
+        vec![
+            ("allocations".to_string(), self.allocations.to_string()),
+            ("capacity_mb".to_string(), "256".to_string()),
+        ]
+    }
+
+    fn execute(&mut self) -> Result<u64, String> {
+        let mut heap = HeapState::new(256.0 * 1e6, 1.0);
+        let live = 64.0 * 1e6;
+        let mut reclaims = 0u64;
+        for i in 0..self.allocations {
+            // Deterministic size mix: 64 B .. ~128 KB, no RNG (R1007).
+            let size = 64.0 + ((i * 2_654_435_761) % 131_072) as f64;
+            heap.allocate(size);
+            if heap.free() < 16.0 * 1e6 {
+                black_box(heap.reclaim_to(live));
+                reclaims += 1;
+            }
+        }
+        black_box(heap.total_allocated());
+        Ok(self.allocations + reclaims)
+    }
+}
+
+/// The pure collection-cycle planner for one collector, swept across a
+/// grid of heap states and all three request kinds — the pause and
+/// concurrent-cycle math the engine consults at every trigger.
+struct CollectorPhaseBench {
+    kind: CollectorKind,
+    model: CollectorModel,
+    cycles: u64,
+}
+
+impl CollectorPhaseBench {
+    fn new(kind: CollectorKind, cycles: u64) -> CollectorPhaseBench {
+        CollectorPhaseBench {
+            kind,
+            model: kind.model(),
+            cycles,
+        }
+    }
+}
+
+impl HotPathBench for CollectorPhaseBench {
+    fn id(&self) -> &'static str {
+        match self.kind {
+            CollectorKind::G1 => "collector.phase_g1",
+            CollectorKind::Serial => "collector.phase_serial",
+            CollectorKind::Parallel => "collector.phase_parallel",
+            _ => "collector.phase_other",
+        }
+    }
+
+    fn config(&self) -> Vec<(String, String)> {
+        vec![
+            ("collector".to_string(), self.kind.to_string()),
+            ("cycles".to_string(), self.cycles.to_string()),
+        ]
+    }
+
+    fn execute(&mut self) -> Result<u64, String> {
+        let mut acc = 0.0f64;
+        for i in 0..self.cycles {
+            let input = CycleInput {
+                live_bytes: 50e6 + (i % 97) as f64 * 2e6,
+                allocated_since_gc: 10e6 + (i % 31) as f64 * 3e6,
+                survival_fraction: 0.02 + (i % 7) as f64 * 0.01,
+                mean_object_size: 48.0 + (i % 5) as f64 * 16.0,
+                hardware_threads: 32,
+                machine_speed: 1.0,
+            };
+            let request = match i % 3 {
+                0 => CollectionRequest::Normal,
+                1 => CollectionRequest::Full,
+                _ => CollectionRequest::Degenerate,
+            };
+            let outcome = plan_cycle(&self.model, &input, request);
+            acc += outcome.total_work_cpu_ns() + outcome.stw_wall.as_nanos() as f64;
+        }
+        black_box(acc);
+        Ok(self.cycles)
+    }
+}
+
+/// A deliberately tiny-heap, allocation-saturated run that pushes the
+/// engine past its batching threshold, timing the closed-form
+/// fast-forward path that folds tens of thousands of identical cycles.
+struct BatchFastForwardBench {
+    spec: MutatorSpec,
+    config: RunConfig,
+}
+
+impl BatchFastForwardBench {
+    /// Total allocation far above the batching threshold at this heap:
+    /// roughly `total_allocation / free-per-cycle` cycles (~hundreds of
+    /// thousands), where the engine's cap is 60k.
+    fn new() -> Result<BatchFastForwardBench, String> {
+        let spec = MutatorSpec::builder("batch-fastforward")
+            .threads(4)
+            .total_work(SimDuration::from_millis(200))
+            .total_allocation(2 << 40) // 2 TiB through a 32 MiB heap
+            .live_range(8 << 20, 12 << 20)
+            .build()
+            .map_err(|e| format!("batch spec invalid: {e}"))?;
+        let config = RunConfig::new(32 << 20, CollectorKind::Serial).with_noise(0.0);
+        Ok(BatchFastForwardBench { spec, config })
+    }
+}
+
+impl HotPathBench for BatchFastForwardBench {
+    fn id(&self) -> &'static str {
+        "engine.batch_fastforward"
+    }
+
+    fn config(&self) -> Vec<(String, String)> {
+        vec![
+            ("collector".to_string(), "Serial".to_string()),
+            ("heap_mb".to_string(), "32".to_string()),
+            ("total_allocation_gb".to_string(), "2048".to_string()),
+        ]
+    }
+
+    fn execute(&mut self) -> Result<u64, String> {
+        let result = run_with_observer(&self.spec, &self.config, &mut NoopObserver)
+            .map_err(|e| e.to_string())?;
+        let batched = result.telemetry().batched_pause_count;
+        if batched == 0 {
+            return Err("run never entered the batching fast path".to_string());
+        }
+        Ok(batched)
+    }
+}
+
+/// The default suite, in reporting order. The harness appends its
+/// journal write/replay bench before running.
+///
+/// # Errors
+///
+/// Fails if a bench's fixed workload cannot be constructed (a suite
+/// registry or spec regression, not an environmental condition).
+pub fn default_benches() -> Result<Vec<Box<dyn HotPathBench>>, String> {
+    Ok(vec![
+        Box::new(HotLoopBench::new(HotLoopObserver::Noop)?),
+        Box::new(HotLoopBench::new(HotLoopObserver::Recorder)?),
+        Box::new(HotLoopBench::new(HotLoopObserver::TeeRecorderMetrics)?),
+        Box::new(AllocAccountingBench {
+            allocations: 50_000,
+        }),
+        Box::new(CollectorPhaseBench::new(CollectorKind::G1, 20_000)),
+        Box::new(CollectorPhaseBench::new(CollectorKind::Serial, 20_000)),
+        Box::new(CollectorPhaseBench::new(CollectorKind::Parallel, 20_000)),
+        Box::new(BatchFastForwardBench::new()?),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_suite_ids_are_unique_and_stable() {
+        let benches = default_benches().unwrap();
+        let ids: Vec<&str> = benches.iter().map(|b| b.id()).collect();
+        assert_eq!(
+            ids,
+            [
+                "hotloop.noop",
+                "hotloop.recorder",
+                "hotloop.tee_recorder_metrics",
+                "alloc.accounting",
+                "collector.phase_g1",
+                "collector.phase_serial",
+                "collector.phase_parallel",
+                "engine.batch_fastforward",
+            ]
+        );
+        assert!(ids.len() >= 5, "the acceptance floor is 5 distinct benches");
+    }
+
+    #[test]
+    fn runner_records_samples_and_shared_metrics() {
+        let mut metrics = MetricsRegistry::new();
+        let mut bench = AllocAccountingBench { allocations: 2_000 };
+        let record = run_bench(&mut bench, 5, &mut metrics).unwrap();
+        assert_eq!(record.id, "alloc.accounting");
+        assert_eq!(record.sample_count, 5);
+        assert_eq!(record.samples_ns.len(), 5);
+        assert!(record.min_ns > 0);
+        assert!(record.work >= 2_000);
+        let h = metrics
+            .get_histogram("perf.alloc.accounting_ns")
+            .expect("samples share the obs histogram vocabulary");
+        assert_eq!(h.count(), 5);
+        assert_eq!(metrics.counter("perf.benches"), 1);
+    }
+
+    #[test]
+    fn batch_fastforward_actually_batches() {
+        let mut bench = BatchFastForwardBench::new().unwrap();
+        let batched = bench.execute().unwrap();
+        assert!(
+            batched > 60_000,
+            "the tiny-heap run must fold >60k cycles, got {batched}"
+        );
+    }
+
+    #[test]
+    fn hotloop_fanout_counts_events() {
+        let mut bench = HotLoopBench::new(HotLoopObserver::Recorder).unwrap();
+        let events = bench.execute().unwrap();
+        assert!(events > 0, "the recorder observer sees engine events");
+    }
+
+    #[test]
+    fn phase_model_covers_all_request_kinds() {
+        let mut bench = CollectorPhaseBench::new(CollectorKind::G1, 300);
+        assert_eq!(bench.execute().unwrap(), 300);
+    }
+}

@@ -1,0 +1,219 @@
+//! The perf-trajectory ledger: every `BENCH_<PR>.json` in the repo
+//! root, loaded into one ordered series per bench.
+//!
+//! The ledger is append-only — each PR that runs the suite leaves one
+//! point behind — so the trajectory is the repository's performance
+//! history, versioned alongside the code that produced it. The loader
+//! tolerates the legacy v0 point (`BENCH_6.json` as PR 6 committed it)
+//! by stamping its PR number from the file name.
+
+use crate::report::BenchReport;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One ledger file, parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrajectoryPoint {
+    /// File name the point was loaded from (`BENCH_6.json`).
+    pub file: String,
+    /// PR number from the file name — the trajectory's x-axis.
+    pub pr: u64,
+    /// The parsed report. For v0 points `report.pr` is stamped from the
+    /// file name; for v1 points it is whatever the document declares
+    /// (lint rule R1103 flags disagreement).
+    pub report: BenchReport,
+}
+
+/// The full ledger, points sorted by PR number ascending.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trajectory {
+    /// All parsed points, ascending by [`TrajectoryPoint::pr`].
+    pub points: Vec<TrajectoryPoint>,
+}
+
+/// Extract the PR number from a ledger file name: `BENCH_<digits>.json`.
+/// Anything else — prefix, suffix, empty or non-numeric middle — is not
+/// a ledger file.
+pub fn pr_from_filename(name: &str) -> Option<u64> {
+    let middle = name.strip_prefix("BENCH_")?.strip_suffix(".json")?;
+    if middle.is_empty() || !middle.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    middle.parse().ok()
+}
+
+/// List the ledger files in `dir`, sorted by PR ascending.
+///
+/// # Errors
+///
+/// Fails if the directory cannot be read.
+pub fn ledger_files(dir: &Path) -> Result<Vec<(u64, PathBuf)>, String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut files = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        let name = entry.file_name();
+        if let Some(pr) = name.to_str().and_then(pr_from_filename) {
+            files.push((pr, entry.path()));
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+impl Trajectory {
+    /// Load every `BENCH_*.json` in `dir`. An empty directory yields an
+    /// empty trajectory, not an error.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unreadable directory or file, or a document that
+    /// parses as neither schema v1 nor legacy v0; the message names the
+    /// offending file.
+    pub fn load_dir(dir: &Path) -> Result<Trajectory, String> {
+        let mut points = Vec::new();
+        for (pr, path) in ledger_files(dir)? {
+            let text = fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let mut report =
+                BenchReport::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+            if report.schema_version == 0 {
+                report.pr = pr;
+            }
+            let file = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or("BENCH_?.json")
+                .to_string();
+            points.push(TrajectoryPoint { file, pr, report });
+        }
+        Ok(Trajectory { points })
+    }
+
+    /// The most recent point, by PR number.
+    pub fn latest(&self) -> Option<&TrajectoryPoint> {
+        self.points.last()
+    }
+
+    /// Every bench id appearing anywhere in the ledger, in first-seen
+    /// order (oldest point first).
+    pub fn bench_ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = Vec::new();
+        for point in &self.points {
+            for bench in &point.report.benches {
+                if !ids.contains(&bench.id) {
+                    ids.push(bench.id.clone());
+                }
+            }
+        }
+        ids
+    }
+
+    /// The (pr, record) series for one bench id, ascending by PR.
+    pub fn series<'a>(&'a self, id: &str) -> Vec<(u64, &'a crate::report::BenchRecord)> {
+        self.points
+            .iter()
+            .filter_map(|p| p.report.bench(id).map(|b| (p.pr, b)))
+            .collect()
+    }
+
+    /// The best (fastest) `min_ns` for `id` among points strictly before
+    /// `before_pr`, with the PR that set it. This is the gate's
+    /// baseline: comparing against the best prior point, not merely the
+    /// previous one, keeps slow creep from hiding inside the tolerance.
+    pub fn best_prior_min(&self, id: &str, before_pr: u64) -> Option<(u64, u64)> {
+        self.series(id)
+            .into_iter()
+            .filter(|(pr, b)| *pr < before_pr && b.min_ns > 0)
+            .min_by_key(|(_, b)| b.min_ns)
+            .map(|(pr, b)| (pr, b.min_ns))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{BenchRecord, BenchReport, SCHEMA_VERSION};
+
+    fn temp_ledger(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("chopin-perf-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_point(dir: &Path, pr: u64, id: &str, samples: Vec<u64>) {
+        let report = BenchReport {
+            schema_version: SCHEMA_VERSION,
+            pr,
+            git_rev: "test".to_string(),
+            benches: vec![BenchRecord::from_samples(id, Vec::new(), samples, 0)],
+        };
+        fs::write(dir.join(format!("BENCH_{pr}.json")), report.to_json()).unwrap();
+    }
+
+    #[test]
+    fn filename_parsing_is_strict() {
+        assert_eq!(pr_from_filename("BENCH_6.json"), Some(6));
+        assert_eq!(pr_from_filename("BENCH_12.json"), Some(12));
+        assert_eq!(pr_from_filename("BENCH_.json"), None);
+        assert_eq!(pr_from_filename("BENCH_6.json.bak"), None);
+        assert_eq!(pr_from_filename("BENCH_six.json"), None);
+        assert_eq!(pr_from_filename("bench_6.json"), None);
+        assert_eq!(pr_from_filename("BENCH_6_extra.json"), None);
+    }
+
+    #[test]
+    fn loads_sorted_and_stamps_v0_pr_from_filename() {
+        let dir = temp_ledger("sorted");
+        write_point(&dir, 10, "a", vec![5, 5, 5, 5, 5]);
+        write_point(&dir, 9, "a", vec![7, 7, 7, 7, 7]);
+        // A v0 point, under a name that sorts numerically after 9.
+        fs::write(
+            dir.join("BENCH_8.json"),
+            include_str!("../tests/fixtures/bench_6_v0.json"),
+        )
+        .unwrap();
+        let t = Trajectory::load_dir(&dir).unwrap();
+        let prs: Vec<u64> = t.points.iter().map(|p| p.pr).collect();
+        assert_eq!(prs, [8, 9, 10], "numeric order, not lexicographic");
+        assert_eq!(t.points[0].report.pr, 8, "v0 pr stamped from the file name");
+        assert_eq!(t.latest().unwrap().pr, 10);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn best_prior_min_is_the_fastest_strictly_earlier_point() {
+        let dir = temp_ledger("best");
+        write_point(&dir, 1, "a", vec![100, 110, 120, 130, 140]);
+        write_point(&dir, 2, "a", vec![80, 90, 100, 110, 120]);
+        write_point(&dir, 3, "a", vec![95, 95, 95, 95, 95]);
+        let t = Trajectory::load_dir(&dir).unwrap();
+        assert_eq!(t.best_prior_min("a", 3), Some((2, 80)));
+        assert_eq!(t.best_prior_min("a", 2), Some((1, 100)));
+        assert_eq!(t.best_prior_min("a", 1), None, "nothing earlier than PR 1");
+        assert_eq!(t.best_prior_min("missing", 3), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_ledger_file_names_the_file() {
+        let dir = temp_ledger("malformed");
+        fs::write(dir.join("BENCH_4.json"), "{not json").unwrap();
+        let err = Trajectory::load_dir(&dir).unwrap_err();
+        assert!(err.contains("BENCH_4.json"), "error names the file: {err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bench_ids_first_seen_order_and_series() {
+        let dir = temp_ledger("ids");
+        write_point(&dir, 1, "b", vec![10, 10, 10, 10, 10]);
+        write_point(&dir, 2, "a", vec![20, 20, 20, 20, 20]);
+        let t = Trajectory::load_dir(&dir).unwrap();
+        assert_eq!(t.bench_ids(), ["b", "a"]);
+        assert_eq!(t.series("b").len(), 1);
+        assert_eq!(t.series("a")[0].0, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,73 @@
+//! The BENCH_6 migration contract: the repo-root `BENCH_6.json` was
+//! migrated from the v0 shape PR 6 committed to schema v1, and the
+//! migration must have preserved history exactly — same benches, same
+//! statistics, same configuration — while the v0 fallback parser keeps
+//! understanding the original bytes.
+
+use chopin_perf::report::{BenchReport, SCHEMA_VERSION};
+use chopin_perf::trajectory::Trajectory;
+use std::path::Path;
+
+/// The original v0 document, byte-for-byte as PR 6 wrote it.
+const V0_BYTES: &str = include_str!("fixtures/bench_6_v0.json");
+
+fn repo_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+fn committed_bench_6() -> (String, BenchReport) {
+    let text = std::fs::read_to_string(repo_root().join("BENCH_6.json"))
+        .expect("BENCH_6.json exists at the repo root");
+    let report = BenchReport::parse(&text).expect("BENCH_6.json parses");
+    (text, report)
+}
+
+#[test]
+fn bench_6_is_schema_v1_with_canonical_bytes() {
+    let (text, report) = committed_bench_6();
+    assert_eq!(report.schema_version, SCHEMA_VERSION);
+    assert_eq!(report.pr, 6);
+    assert_eq!(
+        report.git_rev, "06d90b6",
+        "the commit that produced the point"
+    );
+    assert_eq!(
+        report.to_json(),
+        text,
+        "BENCH_6.json must stay in the canonical serializer shape"
+    );
+}
+
+#[test]
+fn migration_preserved_the_v0_history_exactly() {
+    let v0 = BenchReport::parse(V0_BYTES).expect("the original bytes still parse");
+    assert_eq!(
+        v0.schema_version, 0,
+        "fixture exercises the fallback parser"
+    );
+    let (_, v1) = committed_bench_6();
+    assert_eq!(v1.benches.len(), v0.benches.len());
+    for (migrated, original) in v1.benches.iter().zip(&v0.benches) {
+        assert_eq!(migrated.id, original.id);
+        assert_eq!(migrated.config, original.config);
+        assert_eq!(migrated.sample_count, original.sample_count);
+        assert_eq!(migrated.min_ns, original.min_ns);
+        assert_eq!(migrated.mean_ns, original.mean_ns);
+        assert_eq!(migrated.work, original.work);
+        assert!(
+            migrated.samples_ns.is_empty() && migrated.p50_ns.is_none(),
+            "v0 never recorded per-sample data; migration must not invent it"
+        );
+    }
+}
+
+#[test]
+fn repo_ledger_loads_and_lints_clean() {
+    let trajectory = Trajectory::load_dir(repo_root()).expect("ledger loads");
+    assert!(
+        trajectory.points.iter().any(|p| p.pr == 6),
+        "the migrated BENCH_6.json is a trajectory point"
+    );
+    let findings = chopin_perf::lint_ledger(&trajectory);
+    assert!(findings.is_empty(), "R1101-R1103 clean: {findings:?}");
+}
