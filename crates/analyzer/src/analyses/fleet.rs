@@ -1,0 +1,184 @@
+//! Fleet-configuration analysis (rules R1201, R1202, R1203).
+//!
+//! Sharding the matrix across workers adds two new ways to misconfigure
+//! a plan statically, plus one isolation-model conflict:
+//!
+//! * **R1201** — a fleet that cannot use its workers: zero workers,
+//!   more than the documented [`MAX_FLEET_WORKERS`] bound, or more
+//!   workers than cells in the sweep matrix (the surplus can never
+//!   receive a first lease; it is pure spawn cost).
+//! * **R1202** — a lease deadline below the R808-style cost lower bound
+//!   of the slowest feasible cell. Such a lease *must* expire while its
+//!   worker is still legitimately computing, so the coordinator
+//!   reassigns live work forever — a reassignment storm by
+//!   configuration, not a safety net.
+//! * **R1203** — per-cell hard faults (`--hard-faults`) combined with a
+//!   fleet. Fleet workers run cells inline, without the sandbox rlimit
+//!   backstop, so a cell-level process death takes its whole worker
+//!   (and every lease it holds) down. Worker-kill storms
+//!   (`--fleet-storm`) are the supported way to inject deaths into a
+//!   fleet.
+
+use crate::analyses::cost::SIM_RATE_CEILING;
+use crate::ir::PlanIR;
+use chopin_fleet::MAX_FLEET_WORKERS;
+use chopin_lint::Diagnostic;
+
+/// Run the fleet-configuration analysis.
+pub fn analyze(plan: &PlanIR) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+    let Some(fleet) = &plan.fleet else {
+        return diagnostics;
+    };
+
+    let cells = plan.cells();
+    if fleet.workers == 0 || fleet.workers > MAX_FLEET_WORKERS {
+        diagnostics.push(
+            Diagnostic::error(
+                "R1201",
+                plan.location(),
+                format!(
+                    "the fleet worker count ({}) is outside the usable 1..={MAX_FLEET_WORKERS} \
+                     range",
+                    fleet.workers
+                ),
+            )
+            .with_hint("pass --fleet N with 1 <= N <= 256, or omit --fleet".to_string()),
+        );
+    } else if fleet.workers as usize > cells.len() {
+        diagnostics.push(
+            Diagnostic::error(
+                "R1201",
+                plan.location(),
+                format!(
+                    "the fleet spawns {} workers for a {}-cell matrix: the surplus workers \
+                     can never receive a first lease",
+                    fleet.workers,
+                    cells.len()
+                ),
+            )
+            .with_hint(format!(
+                "lower --fleet to at most {} (the cell count), or widen the sweep grid",
+                cells.len()
+            )),
+        );
+    }
+
+    let worst = cells
+        .iter()
+        .filter(|c| c.feasible)
+        .map(|c| {
+            (
+                c,
+                f64::from(plan.config.invocations) * c.est_invocation_s / SIM_RATE_CEILING,
+            )
+        })
+        .max_by(|(_, a), (_, b)| a.total_cmp(b));
+    if let Some((cell, cell_real_s)) = worst {
+        let deadline_s = fleet.deadline_ms() as f64 / 1e3;
+        if cell_real_s > deadline_s {
+            let b = &plan.benchmarks[cell.benchmark];
+            diagnostics.push(
+                Diagnostic::error(
+                    "R1202",
+                    format!("{}:{}/{}", plan.location(), b.name, cell.collector),
+                    format!(
+                        "cell cost lower bound ({cell_real_s:.1}s even at the optimistic \
+                         {SIM_RATE_CEILING:.0e} sim-s/s ceiling) exceeds the {deadline_s:.3}s \
+                         lease deadline: the lease must expire mid-computation and the \
+                         coordinator will reassign live work forever"
+                    ),
+                )
+                .with_hint(
+                    "raise --lease-deadline above the slowest cell's cost bound, or reduce \
+                     invocations/iterations"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+
+    if plan.hard_faults.is_some() {
+        diagnostics.push(
+            Diagnostic::error(
+                "R1203",
+                plan.location(),
+                "the plan injects per-cell hard faults into a fleet: workers run cells \
+                 without the sandbox backstop, so one victim cell kills its whole worker \
+                 and every lease it holds"
+                    .to_string(),
+            )
+            .with_hint(
+                "inject worker deaths with --fleet-storm kill[:SEED[:STRIDE]] instead, or \
+                 drop --fleet and keep --hard-faults under --isolation process"
+                    .to_string(),
+            ),
+        );
+    }
+
+    diagnostics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chopin_core::sweep::SweepConfig;
+    use chopin_faults::{HardFaultKind, HardFaultPlan, SupervisorPolicy};
+    use chopin_fleet::FleetPlan;
+    use chopin_workloads::suite;
+
+    fn base_plan() -> PlanIR {
+        let profiles = vec![suite::by_name("fop").unwrap()];
+        PlanIR::compile(
+            "t",
+            crate::Methodology::Sweep,
+            &profiles,
+            SweepConfig::quick(),
+            None,
+            SupervisorPolicy::default(),
+            false,
+        )
+        .unwrap()
+    }
+
+    fn ids(diagnostics: &[Diagnostic]) -> Vec<&str> {
+        diagnostics.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn fleetless_and_sane_fleet_plans_are_silent() {
+        assert!(analyze(&base_plan()).is_empty());
+        let plan = base_plan().with_fleet(Some(FleetPlan::new(2)));
+        assert!(analyze(&plan).is_empty());
+    }
+
+    #[test]
+    fn r1201_fires_for_zero_oversized_and_idle_worker_counts() {
+        for workers in [0, MAX_FLEET_WORKERS + 1] {
+            let plan = base_plan().with_fleet(Some(FleetPlan::new(workers)));
+            assert_eq!(ids(&analyze(&plan)), vec!["R1201"], "workers = {workers}");
+        }
+        // More workers than cells: fop under the quick grid has few
+        // cells; 200 workers can never all be fed.
+        let plan = base_plan().with_fleet(Some(FleetPlan::new(200)));
+        assert_eq!(ids(&analyze(&plan)), vec!["R1201"]);
+    }
+
+    #[test]
+    fn r1202_fires_when_a_lease_must_expire_mid_cell() {
+        let mut fleet = FleetPlan::new(2);
+        fleet.lease_deadline_ms = Some(1); // 1ms lease over real cells
+        let mut plan = base_plan();
+        plan.config.invocations = 1_000_000;
+        plan = plan.with_fleet(Some(fleet));
+        assert_eq!(ids(&analyze(&plan)), vec!["R1202"]);
+    }
+
+    #[test]
+    fn r1203_fires_for_hard_faults_inside_a_fleet() {
+        let plan = base_plan()
+            .with_fleet(Some(FleetPlan::new(2)))
+            .with_hard_faults(Some(HardFaultPlan::new(HardFaultKind::Kill, 7)));
+        assert_eq!(ids(&analyze(&plan)), vec!["R1203"]);
+    }
+}

@@ -11,11 +11,15 @@
 //! * [`sandbox`] — process-isolation configuration: rlimit coverage,
 //!   heartbeat-vs-deadline coherence, and hard-fault backend requirements
 //!   (R901, R902, R903).
+//! * [`fleet`] — coordinator/worker sharding configuration: worker count
+//!   vs the cell matrix, lease deadlines vs the cost model, and
+//!   hard-fault/fleet isolation conflicts (R1201, R1202, R1203).
 //!
 //! [`PlanIR`]: crate::PlanIR
 
 pub mod cost;
 pub mod faults;
+pub mod fleet;
 pub mod heap;
 pub mod sandbox;
 pub mod warmup;

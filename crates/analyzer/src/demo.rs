@@ -14,13 +14,16 @@ use chopin_runtime::collector::CollectorKind;
 use chopin_workloads::{suite, SizeClass};
 
 /// Every demo plan name, with the rule its defect trips.
-pub const DEMOS: [(&str, &str); 6] = [
+pub const DEMOS: [(&str, &str); 9] = [
     ("demo:infeasible-heap", "R801"),
     ("demo:cold-start", "R804"),
     ("demo:dead-faults", "R806"),
     ("demo:deadline", "R808"),
     ("demo:latency-mismatch", "R803"),
     ("demo:hard-thread", "R903"),
+    ("demo:idle-fleet", "R1201"),
+    ("demo:lease-storm", "R1202"),
+    ("demo:fleet-hard", "R1203"),
 ];
 
 fn base_config() -> SweepConfig {
@@ -138,6 +141,48 @@ pub fn demo_plan(name: &str) -> Option<PlanIR> {
             None,
             SupervisorPolicy::default(),
         )
+        .with_hard_faults(Some(chopin_faults::HardFaultPlan::new(
+            chopin_faults::HardFaultKind::Kill,
+            chopin_faults::DEFAULT_HARD_SEED,
+        ))),
+        // Four workers for a single-cell matrix: three can never be fed.
+        "demo:idle-fleet" => compile(
+            name,
+            Methodology::Sweep,
+            "fop",
+            base_config(),
+            None,
+            SupervisorPolicy::default(),
+        )
+        .with_fleet(Some(chopin_fleet::FleetPlan::new(4))),
+        // A 1 ms lease over million-invocation cells: every lease must
+        // expire while its worker is still legitimately computing.
+        "demo:lease-storm" => compile(
+            name,
+            Methodology::Sweep,
+            "fop",
+            SweepConfig {
+                invocations: 10_000_000,
+                ..base_config()
+            },
+            None,
+            SupervisorPolicy::default(),
+        )
+        .with_fleet(Some(chopin_fleet::FleetPlan {
+            workers: 1,
+            lease_deadline_ms: Some(1),
+        })),
+        // Per-cell SIGKILLs inside a fleet: one victim cell takes its
+        // whole worker (and every lease it holds) down.
+        "demo:fleet-hard" => compile(
+            name,
+            Methodology::Sweep,
+            "fop",
+            base_config(),
+            None,
+            SupervisorPolicy::default(),
+        )
+        .with_fleet(Some(chopin_fleet::FleetPlan::new(1)))
         .with_hard_faults(Some(chopin_faults::HardFaultPlan::new(
             chopin_faults::HardFaultKind::Kill,
             chopin_faults::DEFAULT_HARD_SEED,

@@ -13,6 +13,7 @@ use crate::fingerprint::sweep_fingerprint;
 use chopin_core::iteration::warmup_scale;
 use chopin_core::sweep::SweepConfig;
 use chopin_faults::{FaultPlan, HardFaultPlan, SupervisorPolicy};
+use chopin_fleet::FleetPlan;
 use chopin_runtime::collector::CollectorKind;
 use chopin_sandbox::{IsolationMode, SandboxPolicy};
 use chopin_workloads::WorkloadProfile;
@@ -142,6 +143,11 @@ pub struct PlanIR {
     /// resume fingerprint: a storm of process deaths changes which cells
     /// can complete, so its journal must not resume an undisturbed run.
     pub hard_faults: Option<HardFaultPlan>,
+    /// The fleet shape (`--fleet`), if the matrix is sharded across
+    /// worker processes. Like `isolation`, **not** part of the resume
+    /// fingerprint: a fleet run is the same experiment on more engines,
+    /// and its merged journal must interchange with a sequential one.
+    pub fleet: Option<FleetPlan>,
 }
 
 impl PlanIR {
@@ -192,6 +198,7 @@ impl PlanIR {
             isolation: IsolationMode::default(),
             sandbox: SandboxPolicy::default(),
             hard_faults: None,
+            fleet: None,
         })
     }
 
@@ -213,6 +220,13 @@ impl PlanIR {
     #[must_use]
     pub fn with_hard_faults(mut self, hard_faults: Option<HardFaultPlan>) -> Self {
         self.hard_faults = hard_faults;
+        self
+    }
+
+    /// Attach a fleet shape (the `--fleet` flag).
+    #[must_use]
+    pub fn with_fleet(mut self, fleet: Option<FleetPlan>) -> Self {
+        self.fleet = fleet;
         self
     }
 
@@ -393,6 +407,18 @@ mod tests {
             bare,
             hard.resume_fingerprint(),
             "a death storm is a different experiment"
+        );
+    }
+
+    #[test]
+    fn fleet_shape_does_not_change_the_fingerprint() {
+        let base = plan(SweepConfig::quick());
+        let bare = base.resume_fingerprint();
+        let fleet = base.clone().with_fleet(Some(FleetPlan::new(4)));
+        assert_eq!(
+            bare,
+            fleet.resume_fingerprint(),
+            "a sharded run is the same experiment on more engines: journals must interchange"
         );
     }
 }

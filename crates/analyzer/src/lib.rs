@@ -61,6 +61,7 @@ pub fn analyze(plan: &PlanIR) -> LintReport {
     diagnostics.extend(analyses::faults::analyze(plan));
     diagnostics.extend(analyses::cost::analyze(plan));
     diagnostics.extend(analyses::sandbox::analyze(plan));
+    diagnostics.extend(analyses::fleet::analyze(plan));
     diagnostics.sort_by(|a, b| a.rule.cmp(b.rule).then_with(|| a.location.cmp(&b.location)));
     LintReport::new(diagnostics)
 }

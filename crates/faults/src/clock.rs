@@ -163,7 +163,7 @@ mod tests {
     #[test]
     fn no_faults_is_identity() {
         let mut clock = NoFaults;
-        assert!(NoFaults::NOOP);
+        const { assert!(NoFaults::NOOP) };
         assert_eq!(clock.sample(0), FaultSample::IDENTITY);
         assert!(FaultSample::IDENTITY.is_identity());
     }

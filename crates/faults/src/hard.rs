@@ -158,6 +158,25 @@ impl HardFaultPlan {
         }
         splitmix64(h ^ self.seed).is_multiple_of(u64::from(self.stride))
     }
+
+    /// Whether the fleet *worker* with this id dies under the plan.
+    ///
+    /// The fleet analog of [`HardFaultPlan::is_victim`]: same FNV-1a +
+    /// SplitMix64 selection, hashed over the worker identity
+    /// (`worker/<id>`) instead of a cell identity, so worker-kill storms
+    /// are as reproducible as cell-kill storms. Respawned workers get
+    /// fresh ids and therefore fresh, independent victim rolls.
+    #[must_use]
+    pub fn worker_victim(&self, worker_id: u64) -> bool {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+        for part in [b"worker/" as &[u8], format!("{worker_id}").as_bytes()] {
+            for &byte in part {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        splitmix64(h ^ self.seed).is_multiple_of(u64::from(self.stride))
+    }
 }
 
 /// Parse a `--hard-faults` flag value: `KIND[:SEED[:STRIDE]]`.
@@ -271,6 +290,35 @@ mod tests {
         assert!(
             (0.10..=0.45).contains(&rate),
             "victim rate {rate} wildly off the 1/4 stride"
+        );
+    }
+
+    #[test]
+    fn worker_victims_are_deterministic_seeded_and_strided() {
+        let plan = HardFaultPlan::new(HardFaultKind::Kill, DEFAULT_HARD_SEED);
+        for id in 0..32u64 {
+            assert_eq!(
+                plan.worker_victim(id),
+                plan.worker_victim(id),
+                "must be stable"
+            );
+        }
+        // A stride of 1 kills every worker.
+        let all = HardFaultPlan { stride: 1, ..plan };
+        assert!((0..16).all(|id| all.worker_victim(id)));
+        // Different seeds reshuffle victims.
+        let other = HardFaultPlan { seed: 7, ..plan };
+        assert!(
+            (0..64).any(|id| plan.worker_victim(id) != other.worker_victim(id)),
+            "seed must matter"
+        );
+        // Worker selection is independent of cell selection: hashing the
+        // id as a cell benchmark name must not agree everywhere.
+        assert!(
+            (0..64).any(
+                |id| plan.worker_victim(id) != plan.is_victim(&format!("worker/{id}"), "", 0.0)
+            ),
+            "worker hashing must be its own domain"
         );
     }
 

@@ -1,0 +1,122 @@
+//! Deterministic resolution of duplicate cell completions.
+//!
+//! Work-stealing and lease reassignment mean one cell can legitimately
+//! complete on two workers — a stolen straggler finishes on both the
+//! original worker and the thief, or a re-leased cell's first worker
+//! turns out merely slow rather than dead. Cell execution is
+//! deterministic, so the duplicate *payloads* are byte-identical in a
+//! healthy fleet; the tiebreak exists so the merged journal and CSV are
+//! well-defined even when they are not (a half-written journal from a
+//! SIGKILLed worker, a torn final line): the candidate with the lowest
+//! `(attempt, worker)` pair wins, always, on every host, regardless of
+//! arrival order.
+
+/// Accumulates completion candidates for one cell and resolves them by
+/// the fixed `(attempt, worker)` tiebreak.
+#[derive(Debug, Clone, Default)]
+pub struct CellMerge<T> {
+    winner: Option<(u32, u64, T)>,
+    conflicts: u64,
+}
+
+impl<T> CellMerge<T> {
+    /// An empty merge (no candidates yet).
+    #[must_use]
+    pub fn new() -> Self {
+        CellMerge {
+            winner: None,
+            conflicts: 0,
+        }
+    }
+
+    /// Offer a completion candidate. Returns `true` when the candidate
+    /// became (or stayed) the winner. Any offer after the first counts
+    /// as a merge conflict.
+    pub fn offer(&mut self, attempt: u32, worker: u64, value: T) -> bool {
+        match &self.winner {
+            None => {
+                self.winner = Some((attempt, worker, value));
+                true
+            }
+            Some((a, w, _)) => {
+                self.conflicts += 1;
+                if (attempt, worker) < (*a, *w) {
+                    self.winner = Some((attempt, worker, value));
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// The winning candidate, if any completion was offered.
+    #[must_use]
+    pub fn winner(&self) -> Option<(u32, u64, &T)> {
+        self.winner.as_ref().map(|(a, w, v)| (*a, *w, v))
+    }
+
+    /// Consume the merge, yielding the winning candidate.
+    #[must_use]
+    pub fn into_winner(self) -> Option<(u32, u64, T)> {
+        self.winner
+    }
+
+    /// How many duplicate offers were resolved away.
+    #[must_use]
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Whether any candidate has been offered.
+    #[must_use]
+    pub fn is_resolved(&self) -> bool {
+        self.winner.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_candidate_wins_until_beaten() {
+        let mut m = CellMerge::new();
+        assert!(!m.is_resolved());
+        assert!(m.offer(2, 5, "late-attempt"));
+        assert!(m.is_resolved());
+        // Higher (attempt, worker) loses.
+        assert!(!m.offer(3, 0, "even-later"));
+        // Same attempt, lower worker id wins.
+        assert!(m.offer(2, 1, "same-attempt-lower-worker"));
+        // Lower attempt beats everything.
+        assert!(m.offer(1, 9, "first-attempt"));
+        assert_eq!(m.conflicts(), 3);
+        assert_eq!(m.winner(), Some((1, 9, &"first-attempt")));
+        assert_eq!(m.into_winner(), Some((1, 9, "first-attempt")));
+    }
+
+    #[test]
+    fn resolution_is_arrival_order_independent() {
+        let candidates = [(2u32, 3u64, "a"), (1, 7, "b"), (2, 0, "c"), (1, 2, "d")];
+        let mut orders = vec![
+            vec![0usize, 1, 2, 3],
+            vec![3, 2, 1, 0],
+            vec![1, 3, 0, 2],
+            vec![2, 0, 3, 1],
+        ];
+        let mut winners = Vec::new();
+        for order in orders.drain(..) {
+            let mut m = CellMerge::new();
+            for i in order {
+                let (a, w, v) = candidates[i];
+                m.offer(a, w, v);
+            }
+            assert_eq!(m.conflicts(), 3);
+            winners.push(m.into_winner());
+        }
+        for w in &winners {
+            assert_eq!(*w, Some((1, 2, "d")), "order must not matter");
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! The wire protocol between the fleet coordinator and its workers.
+//!
+//! The channel is a local TCP stream, framed line by line with the same
+//! escaping discipline as the sandbox heartbeat pipe
+//! ([`chopin_sandbox::protocol`]): a worker SIGKILLed mid-write leaves at
+//! worst one torn line, which the coordinator ignores, never a corrupt
+//! stream. Payloads (rendered cell requests and responses) are escaped so
+//! any string survives the framing.
+//!
+//! Frames (one per line, newline-terminated):
+//!
+//! | frame                        | direction | meaning                                   |
+//! |------------------------------|-----------|-------------------------------------------|
+//! | `@hello [wid]`               | w → c     | join; locally spawned workers carry their assigned id |
+//! | `@welcome <wid> <fp> [j]`    | c → w     | admitted: worker id, sweep fingerprint, journal base |
+//! | `@next <wid>`                | w → c     | request work                              |
+//! | `@lease <id> <attempt> <p>`  | c → w     | a lease: run the escaped cell request `<p>` |
+//! | `@wait <ms>`                 | c → w     | nothing grantable yet; ask again in `ms`  |
+//! | `@drain`                     | c → w     | matrix resolved; exit cleanly             |
+//! | `@done <wid> <id> <p>`       | w → c     | lease completed, escaped response `<p>`   |
+//! | `@fail <wid> <id> <reason>`  | w → c     | the *cell* failed (panic/error), escaped reason |
+//! | `@beat <wid>`                | w → c     | heartbeat: the worker is alive            |
+//!
+//! Worker *deaths* have no frame: they surface as EOF on the stream (the
+//! fast path) or as lease-deadline expiry (the wedged-worker path), and
+//! the coordinator reassigns the victim's leases either way.
+
+use chopin_sandbox::protocol::{escape, unescape};
+
+/// Environment variable that marks a process as a fleet worker.
+pub const ENV_FLEET_WORKER: &str = "CHOPIN_FLEET_WORKER";
+/// Coordinator address (`host:port`) for a spawned fleet worker.
+pub const ENV_FLEET_ADDR: &str = "CHOPIN_FLEET_ADDR";
+/// Worker id assigned by the coordinator to a spawned worker.
+pub const ENV_FLEET_WORKER_ID: &str = "CHOPIN_FLEET_WORKER_ID";
+/// Worker-kill storm spec (`KIND[:SEED[:STRIDE]]`) forwarded to workers.
+pub const ENV_FLEET_STORM: &str = "CHOPIN_FLEET_STORM";
+/// Test hook: the coordinator SIGKILLs itself after this many recorded
+/// completions, so the resume path can be exercised against real
+/// binaries.
+pub const ENV_FLEET_DIE_AFTER: &str = "CHOPIN_FLEET_DIE_AFTER";
+
+/// A parsed fleet protocol frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetFrame {
+    /// Worker → coordinator: join the fleet. Locally spawned workers
+    /// carry the id the coordinator assigned them via the environment;
+    /// remote workers (`--fleet-connect`) send `None` and are assigned
+    /// one in the welcome.
+    Hello {
+        /// Pre-assigned worker id, if any.
+        worker: Option<u64>,
+    },
+    /// Coordinator → worker: admitted.
+    Welcome {
+        /// The worker's id for the rest of the session.
+        worker: u64,
+        /// The sweep fingerprint every per-worker journal must carry.
+        fingerprint: String,
+        /// Journal base path; the worker appends to `<base>.w<id>`.
+        journal: Option<String>,
+    },
+    /// Worker → coordinator: request work.
+    Next {
+        /// The requesting worker.
+        worker: u64,
+    },
+    /// Coordinator → worker: a lease on one cell.
+    Lease {
+        /// Lease id, echoed back in `Done`/`Fail`.
+        lease: u64,
+        /// 1-based attempt number for this cell (journal provenance).
+        attempt: u32,
+        /// Rendered cell request.
+        payload: String,
+    },
+    /// Coordinator → worker: nothing grantable; back off and re-ask.
+    Wait {
+        /// Suggested delay before the next `Next`, in milliseconds.
+        ms: u64,
+    },
+    /// Coordinator → worker: the matrix is resolved; exit cleanly.
+    Drain,
+    /// Worker → coordinator: a lease completed.
+    Done {
+        /// The completing worker.
+        worker: u64,
+        /// The lease being completed.
+        lease: u64,
+        /// Rendered cell response.
+        payload: String,
+    },
+    /// Worker → coordinator: the *cell* failed (panicked or errored);
+    /// counts against the cell's retry budget, unlike a worker death.
+    Fail {
+        /// The reporting worker.
+        worker: u64,
+        /// The failed lease.
+        lease: u64,
+        /// `panicked:<msg>` or `errored:<msg>`.
+        reason: String,
+    },
+    /// Worker → coordinator: heartbeat.
+    Beat {
+        /// The live worker.
+        worker: u64,
+    },
+}
+
+/// Render a frame as its wire line (without the trailing newline).
+#[must_use]
+pub fn render(frame: &FleetFrame) -> String {
+    match frame {
+        FleetFrame::Hello { worker: None } => "@hello".to_string(),
+        FleetFrame::Hello { worker: Some(w) } => format!("@hello {w}"),
+        FleetFrame::Welcome {
+            worker,
+            fingerprint,
+            journal,
+        } => match journal {
+            None => format!("@welcome {worker} {}", escape(fingerprint)),
+            Some(j) => format!("@welcome {worker} {} {}", escape(fingerprint), escape(j)),
+        },
+        FleetFrame::Next { worker } => format!("@next {worker}"),
+        FleetFrame::Lease {
+            lease,
+            attempt,
+            payload,
+        } => format!("@lease {lease} {attempt} {}", escape(payload)),
+        FleetFrame::Wait { ms } => format!("@wait {ms}"),
+        FleetFrame::Drain => "@drain".to_string(),
+        FleetFrame::Done {
+            worker,
+            lease,
+            payload,
+        } => format!("@done {worker} {lease} {}", escape(payload)),
+        FleetFrame::Fail {
+            worker,
+            lease,
+            reason,
+        } => format!("@fail {worker} {lease} {}", escape(reason)),
+        FleetFrame::Beat { worker } => format!("@beat {worker}"),
+    }
+}
+
+/// Split `line` into at most `n` space-separated words, the last keeping
+/// the rest of the line verbatim.
+fn words(line: &str, n: usize) -> Vec<&str> {
+    line.splitn(n, ' ').collect()
+}
+
+/// Parse one line into a frame. Returns `None` for anything that is not
+/// a protocol frame (stray prints, torn lines from a dying worker).
+#[must_use]
+pub fn parse(line: &str) -> Option<FleetFrame> {
+    let line = line.strip_suffix('\r').unwrap_or(line);
+    if line == "@hello" {
+        return Some(FleetFrame::Hello { worker: None });
+    }
+    if let Some(rest) = line.strip_prefix("@hello ") {
+        return rest
+            .parse()
+            .ok()
+            .map(|w| FleetFrame::Hello { worker: Some(w) });
+    }
+    if let Some(rest) = line.strip_prefix("@welcome ") {
+        let parts = words(rest, 3);
+        if parts.len() < 2 {
+            return None;
+        }
+        let worker = parts[0].parse().ok()?;
+        return Some(FleetFrame::Welcome {
+            worker,
+            fingerprint: unescape(parts[1]),
+            journal: parts.get(2).map(|j| unescape(j)),
+        });
+    }
+    if let Some(rest) = line.strip_prefix("@next ") {
+        return rest.parse().ok().map(|worker| FleetFrame::Next { worker });
+    }
+    if let Some(rest) = line.strip_prefix("@lease ") {
+        let parts = words(rest, 3);
+        if parts.len() != 3 {
+            return None;
+        }
+        return Some(FleetFrame::Lease {
+            lease: parts[0].parse().ok()?,
+            attempt: parts[1].parse().ok()?,
+            payload: unescape(parts[2]),
+        });
+    }
+    if let Some(rest) = line.strip_prefix("@wait ") {
+        return rest.parse().ok().map(|ms| FleetFrame::Wait { ms });
+    }
+    if line == "@drain" {
+        return Some(FleetFrame::Drain);
+    }
+    if let Some(rest) = line.strip_prefix("@done ") {
+        let parts = words(rest, 3);
+        if parts.len() != 3 {
+            return None;
+        }
+        return Some(FleetFrame::Done {
+            worker: parts[0].parse().ok()?,
+            lease: parts[1].parse().ok()?,
+            payload: unescape(parts[2]),
+        });
+    }
+    if let Some(rest) = line.strip_prefix("@fail ") {
+        let parts = words(rest, 3);
+        if parts.len() != 3 {
+            return None;
+        }
+        return Some(FleetFrame::Fail {
+            worker: parts[0].parse().ok()?,
+            lease: parts[1].parse().ok()?,
+            reason: unescape(parts[2]),
+        });
+    }
+    if let Some(rest) = line.strip_prefix("@beat ") {
+        return rest.parse().ok().map(|worker| FleetFrame::Beat { worker });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_through_the_wire_format() {
+        let frames = [
+            FleetFrame::Hello { worker: None },
+            FleetFrame::Hello { worker: Some(7) },
+            FleetFrame::Welcome {
+                worker: 3,
+                fingerprint: "00c0ffee00c0ffee".to_string(),
+                journal: None,
+            },
+            FleetFrame::Welcome {
+                worker: 3,
+                fingerprint: "00c0ffee00c0ffee".to_string(),
+                journal: Some("results/run with space.journal".to_string()),
+            },
+            FleetFrame::Next { worker: 0 },
+            FleetFrame::Lease {
+                lease: 41,
+                attempt: 2,
+                payload: "bench=fop\ncollector=G1".to_string(),
+            },
+            FleetFrame::Wait { ms: 25 },
+            FleetFrame::Drain,
+            FleetFrame::Done {
+                worker: 1,
+                lease: 41,
+                payload: "{\"samples\":[1.0,\n2.0]}".to_string(),
+            },
+            FleetFrame::Fail {
+                worker: 1,
+                lease: 41,
+                reason: "panicked:index out of bounds\r\n".to_string(),
+            },
+            FleetFrame::Beat { worker: 255 },
+        ];
+        for frame in frames {
+            let line = render(&frame);
+            assert!(
+                !line.contains('\n'),
+                "frame must stay on one line: {line:?}"
+            );
+            assert_eq!(parse(&line), Some(frame), "line {line:?}");
+        }
+    }
+
+    #[test]
+    fn torn_and_stray_lines_are_ignored() {
+        for line in [
+            "",
+            "warning: something",
+            "@leas",
+            "@lease 41",
+            "@lease 41 x payload",
+            "@done 1",
+            "@done one 41 p",
+            "@hello -3",
+            "@unknown x",
+        ] {
+            assert_eq!(parse(line), None, "line {line:?}");
+        }
+    }
+}

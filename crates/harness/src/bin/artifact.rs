@@ -14,6 +14,7 @@
 //! artifact srclint [--check] [--json]  # lint the workspace's own source
 //! artifact trace             # observed h2 run -> Perfetto trace + metrics
 //! artifact chaos [--check]   # seeded fault-injection smoke suite
+//! artifact chaos --workers   # fleet worker-kill storm + resume, byte-compared
 //! artifact perf --run        # hot-path bench suite -> BENCH_<PR>.json
 //! artifact perf --report     # trajectory ledger -> perf-report.html
 //! artifact perf --check      # regression gate vs best prior point
@@ -60,6 +61,14 @@
 //! implies (kill → SIGKILL, abort → SIGABRT, oom → the RLIMIT_AS
 //! backstop) — the CI hard-fault gate.
 //!
+//! `artifact chaos --workers` is the fleet gate: the chaos sweep is
+//! sharded across a four-worker fleet (`chopin-fleet`) while a seeded
+//! storm SIGKILLs at least two of the workers mid-run, and then — in a
+//! second leg — the coordinator itself is aborted mid-run and resumed
+//! from the per-worker journals. Both legs must produce a merged CSV
+//! byte-identical to a sequential `--isolation process` baseline, or
+//! the gate exits 1.
+//!
 //! `artifact perf <--run|--report|--check> [--pr N] [--samples N]
 //! [--ledger DIR] [--out FILE] [--current FILE] [--tolerance F]` drives
 //! the `chopin-perf` performance-trajectory layer. `--run` executes the
@@ -85,6 +94,7 @@
 
 use chopin_core::lbo::{Clock, LboAnalysis};
 use chopin_faults::{HardFaultKind, HardFaultPlan};
+use chopin_fleet::{FleetConfig, WorkerStormPlan};
 use chopin_harness::cli::Args;
 use chopin_harness::obs::{observe_benchmark, ObsOptions, DEFAULT_EVENTS_OUT, DEFAULT_TRACE_OUT};
 use chopin_harness::preflight;
@@ -95,13 +105,206 @@ use chopin_harness::supervisor::{
 use chopin_obs::validate_chrome_trace;
 use chopin_runtime::collector::CollectorKind;
 use chopin_sandbox::limits::{SIGABRT, SIGKILL};
+use chopin_sandbox::IsolationMode;
 use chopin_workloads::faults::{preset as fault_preset, DEFAULT_HORIZON_NS, FALLBACK_SEED};
 
 const USAGE: &str = "usage: artifact <kick-the-tires|lbo|latency|validate|lint|analyze|srclint|\
                      trace|chaos|perf> [--json|--rules|--check|--run|--report|--plan NAME|\
-                     --results FILE|--current FILE]";
+                     --results FILE|--current FILE|--workers]";
+
+/// The deterministic CSV of a suite report, in schedule order — the
+/// byte-equality currency of the fleet checks (same shape `runbms`
+/// prints).
+fn sweep_csv(report: &chopin_harness::supervisor::SuiteReport) -> String {
+    let mut out = String::new();
+    for result in &report.results {
+        for s in &result.samples {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{}\n",
+                result.benchmark,
+                s.collector,
+                s.heap_factor,
+                s.wall_s,
+                s.task_s,
+                s.wall_distillable_s,
+                s.task_distillable_s
+            ));
+        }
+    }
+    out
+}
+
+/// The worker-kill-storm leg of `artifact chaos` (`--workers`): shard
+/// the chaos sweep across a four-worker fleet while a seeded storm
+/// SIGKILLs at least two of the workers mid-run, then separately abort
+/// the coordinator mid-run (die-after hook) and resume it — requiring
+/// the merged CSV to be byte-identical to a sequential
+/// `--isolation process` baseline in both legs.
+fn run_chaos_workers(args: &Args) -> i32 {
+    const FLEET_WORKERS: u32 = 4;
+    let mut benchmarks = args.list("b");
+    if benchmarks.is_empty() {
+        benchmarks = vec!["fop".to_string()];
+    }
+    let mut profiles = Vec::new();
+    for name in &benchmarks {
+        match chopin_workloads::suite::by_name(name) {
+            Some(p) => profiles.push(p),
+            None => {
+                eprintln!("error: unknown benchmark `{name}`");
+                return 2;
+            }
+        }
+    }
+    let plan = match plan_from_args(args) {
+        Ok(Some(plan)) => plan,
+        Ok(None) => {
+            fault_preset("chaos", FALLBACK_SEED, DEFAULT_HORIZON_NS).expect("chaos is a preset")
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let policy = match policy_from_args(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let sweep = chopin_harness::presets::chaos_sweep_config();
+    let cells = profiles.len() * sweep.collectors.len() * sweep.heap_factors.len();
+
+    // A storm seed with at least two victims and at least one survivor
+    // among the initial worker ids, found deterministically.
+    let seed = (1u64..)
+        .find(|&seed| {
+            let hard = HardFaultPlan::new(HardFaultKind::Kill, seed);
+            let victims = (0..u64::from(FLEET_WORKERS))
+                .filter(|&w| hard.worker_victim(w))
+                .count();
+            victims >= 2 && victims < FLEET_WORKERS as usize
+        })
+        .expect("victim hashing covers both outcomes");
+    let mut storm = WorkerStormPlan::new(HardFaultPlan::new(HardFaultKind::Kill, seed));
+    // Die on the first lease: the chaos sweep is small, and a victim
+    // waiting for its second lease might never get one.
+    storm.kill_after_leases = 1;
+
+    eprintln!(
+        "artifact chaos --workers: {cells} cell(s) across {FLEET_WORKERS} worker(s), \
+         storm seed {seed}"
+    );
+
+    let supervised = |configure: &dyn Fn(SuiteSupervisor) -> SuiteSupervisor| {
+        configure(SuiteSupervisor::new(policy).with_faults(plan.clone())).run(&profiles, &sweep)
+    };
+
+    // The bytes every fleet leg must reproduce: a sequential,
+    // process-isolated run of the same sweep.
+    let baseline = match supervised(&|s| s.with_isolation(IsolationMode::Process)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: baseline run: {e}");
+            return 2;
+        }
+    };
+    let baseline_csv = sweep_csv(&baseline);
+    let mut failures: Vec<String> = Vec::new();
+
+    // Leg 1: the storm. At least two of the four workers are SIGKILLed
+    // mid-run; survivors and respawned slots drain the matrix anyway.
+    let mut stormy = FleetConfig::new(FLEET_WORKERS);
+    stormy.storm = Some(storm);
+    match supervised(&|s| s.with_fleet(Some(stormy))) {
+        Ok(report) => {
+            let deaths = report.metrics.counter("fleet.workers.deaths");
+            println!(
+                "storm leg: {} worker(s) spawned, {deaths} killed, {} lease(s) requeued",
+                report.metrics.counter("fleet.workers.spawned"),
+                report.metrics.counter("fleet.cells.requeued"),
+            );
+            if deaths < 2 {
+                failures.push(format!(
+                    "storm killed {deaths} worker(s); expected at least 2 of {FLEET_WORKERS}"
+                ));
+            }
+            if !report.is_clean() {
+                failures.push(format!(
+                    "{} cell(s) quarantined under the storm",
+                    report.quarantined.len()
+                ));
+            }
+            if sweep_csv(&report) != baseline_csv {
+                failures.push("storm-run CSV differs from the sequential baseline".to_string());
+            }
+        }
+        Err(e) => failures.push(format!("storm run failed outright: {e}")),
+    }
+
+    // Leg 2: coordinator death and resume. The die-after hook aborts
+    // the coordinator mid-run; the resumed run absorbs the per-worker
+    // journals and must still reproduce the baseline bytes.
+    let dir = std::env::temp_dir().join(format!("chopin-chaos-workers-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("error: {e}");
+        return 2;
+    }
+    let journal = dir.join("storm.journal");
+    let mut interrupted = FleetConfig::new(FLEET_WORKERS);
+    interrupted.storm = Some(storm);
+    interrupted.die_after = Some((cells as u64 / 2).max(1));
+    match supervised(&|s| {
+        s.with_journal(journal.clone())
+            .with_fleet(Some(interrupted))
+    }) {
+        Ok(_) => failures
+            .push("die-after hook never fired; the interruption leg tested nothing".to_string()),
+        Err(e) => {
+            if !e.to_string().contains("die-after") {
+                failures.push(format!("interrupted run failed for the wrong reason: {e}"));
+            }
+        }
+    }
+    match supervised(&|s| {
+        s.with_journal(journal.clone())
+            .resume(true)
+            .with_fleet(Some(FleetConfig::new(FLEET_WORKERS)))
+    }) {
+        Ok(report) => {
+            println!(
+                "resume leg: {} cell(s) recovered from worker journals, {} merge conflict(s)",
+                report.metrics.counter("fleet.cells.recovered"),
+                report.metrics.counter("fleet.merge.conflicts"),
+            );
+            if report.metrics.counter("fleet.cells.recovered") == 0 {
+                failures.push("resume recovered nothing from the worker journals".to_string());
+            }
+            if sweep_csv(&report) != baseline_csv {
+                failures.push("resumed CSV differs from the sequential baseline".to_string());
+            }
+        }
+        Err(e) => failures.push(format!("resumed run failed: {e}")),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if failures.is_empty() {
+        println!("check OK: merged fleet CSV is byte-identical to the sequential baseline");
+        0
+    } else {
+        for f in &failures {
+            eprintln!("check FAILED: {f}");
+        }
+        1
+    }
+}
 
 fn run_chaos(args: &Args) -> i32 {
+    if args.has("workers") {
+        return run_chaos_workers(args);
+    }
     let mut benchmarks = args.list("b");
     if benchmarks.is_empty() {
         benchmarks = vec!["fop".to_string(), "lusearch".to_string()];

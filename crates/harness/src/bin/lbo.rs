@@ -74,6 +74,12 @@ fn run_supervised(benchmarks: &[String], sweep: &SweepConfig, args: &Args) -> Lb
             eprintln!("error: {e}");
             std::process::exit(2);
         });
+    supervisor = supervisor.with_fleet(
+        chopin_harness::fleet::fleet_config_from_args(args).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }),
+    );
     let report = supervisor.run(&profiles, sweep).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(2);
@@ -106,6 +112,11 @@ fn main() {
     // binary re-spawns itself as a sandboxed cell worker.
     chopin_harness::worker_entry();
     let args = Args::from_env();
+    // An external fleet worker never runs its own analysis: it attaches
+    // to the printed coordinator address and serves leases until drained.
+    if let Some(code) = chopin_harness::fleet::maybe_connect(&args) {
+        std::process::exit(code);
+    }
     let obs = ObsOptions::from_args(&args);
     if let Err(e) = obs.validate() {
         eprintln!("error: {e}");

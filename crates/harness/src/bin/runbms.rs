@@ -111,6 +111,13 @@ fn run_supervised(
             return 2;
         }
     };
+    supervisor = match chopin_harness::fleet::fleet_config_from_args(args) {
+        Ok(fleet) => supervisor.with_fleet(fleet),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
     let report = match supervisor.run(&profiles, sweep) {
         Ok(r) => r,
         Err(e) => {
@@ -129,6 +136,22 @@ fn run_supervised(
         report.metrics.counter("supervisor.cells.infeasible"),
         report.metrics.counter("supervisor.retries"),
     );
+    if report.metrics.counter("fleet.workers.spawned") > 0 {
+        eprintln!(
+            "runbms: fleet: {} worker(s) spawned, {} death(s), {} slot(s) quarantined, \
+             {} lease(s) issued ({} expired, {} stolen), {} requeue(s), \
+             {} merge conflict(s), {} cell(s) recovered",
+            report.metrics.counter("fleet.workers.spawned"),
+            report.metrics.counter("fleet.workers.deaths"),
+            report.metrics.counter("fleet.workers.quarantined"),
+            report.metrics.counter("fleet.leases.issued"),
+            report.metrics.counter("fleet.leases.expired"),
+            report.metrics.counter("fleet.leases.stolen"),
+            report.metrics.counter("fleet.cells.requeued"),
+            report.metrics.counter("fleet.merge.conflicts"),
+            report.metrics.counter("fleet.cells.recovered"),
+        );
+    }
     if report.metrics.counter("sandbox.spawns") > 0 {
         eprintln!(
             "runbms: sandbox: {} spawn(s), {} signalled, {} oom-killed, {} heartbeat kill(s)",
@@ -151,6 +174,11 @@ fn main() {
     // binary re-spawns itself as a sandboxed cell worker.
     chopin_harness::worker_entry();
     let args = Args::from_env();
+    // An external fleet worker never runs its own sweep: it attaches to
+    // the printed coordinator address and serves leases until drained.
+    if let Some(code) = chopin_harness::fleet::maybe_connect(&args) {
+        std::process::exit(code);
+    }
     let obs = ObsOptions::from_args(&args);
     if let Err(e) = obs.validate() {
         eprintln!("error: {e}");

@@ -37,6 +37,12 @@ fn main() {
     // binary re-spawns itself as a sandboxed worker.
     chopin_harness::worker_entry();
     let args = Args::from_env();
+    for flag in ["fleet", "fleet-connect", "fleet-storm", "lease-deadline"] {
+        if args.has(flag) {
+            eprintln!("error: suite does not shard; use runbms or lbo with --fleet");
+            std::process::exit(2);
+        }
+    }
     match chopin_harness::sandbox::isolation_from_args(&args) {
         // suite has no per-cell supervisor path: isolate the whole run
         // in one sandboxed child instead of one child per cell.

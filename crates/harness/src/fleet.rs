@@ -1,0 +1,1423 @@
+//! The fleet transport: crash-tolerant coordinator/worker sharding of
+//! the sweep matrix over a line-framed local socket, with lease-based
+//! reassignment and a deterministic journal merge.
+//!
+//! `--fleet N` shards the supervised sweep across `N` worker
+//! *processes*. The coordinator owns the schedule: it compiles the same
+//! deterministic cell list as the sequential supervisor, wraps it in a
+//! [`LeaseTable`] and hands out leases (cell + deadline + attempt) to
+//! whichever worker asks next. Workers are crash domains, not trust
+//! domains: a worker that is SIGKILLed, aborts, or stops heartbeating
+//! merely returns its leases to the pool — the cells are re-leased to
+//! surviving workers with the same seeded full-jitter backoff the
+//! sequential supervisor uses. Worker *slots* carry a crash budget
+//! ([`FleetConfig::max_worker_crashes`]): a slot is respawned under a
+//! fresh worker id until the budget runs out, then quarantined.
+//!
+//! Every worker appends completed cells to its own fingerprinted
+//! journal (`<base>.w<id>`), so no two processes ever contend on one
+//! file. On `--resume` the coordinator absorbs the base journal *and*
+//! every sibling worker journal, resolving duplicate completions (a
+//! stolen lease finishing twice, a re-lease racing its original) by the
+//! fixed `(attempt, worker)` tiebreak in [`chopin_fleet::CellMerge`].
+//! Because cells are deterministic and results are assembled in
+//! schedule order, the merged output is byte-identical to a sequential
+//! `--isolation process` run — the property `artifact chaos --check
+//! --workers` and the `fleet` integration test pin.
+//!
+//! The wire protocol ([`chopin_fleet::protocol`]) uses the same
+//! `@field:value` line framing as the sandbox heartbeat pipe, over a
+//! loopback TCP socket so external workers can attach with
+//! `--fleet-connect ADDR` (satisfying rule R1202's appetite for more
+//! workers without more local spawns).
+
+use crate::cli::Args;
+use crate::journal::{
+    CellKey, CellProvenance, CellRecord, Journal, JournalEntry, QuarantineRecord,
+};
+use crate::sandbox::{
+    parse_request, parse_response, render_request, render_response, run_cell_inline, status_signal,
+    write_crash_reports, CellRequest, CrashReport,
+};
+use crate::supervisor::{
+    cell_seed, panic_message, Cell, CellOutcome, QuarantineEntry, QuarantineReason, SuiteReport,
+    SuperviseError,
+};
+use chopin_core::sweep::{SweepConfig, SweepFailure, SweepResult};
+use chopin_faults::{FaultPlan, HardFaultKind, SupervisorPolicy};
+use chopin_fleet::lease::CellResolution;
+use chopin_fleet::protocol;
+use chopin_fleet::{
+    parse_storm_flag, CellMerge, FleetConfig, FleetFrame, Grant, LeaseTable, WorkerStormPlan,
+};
+use chopin_obs::metrics::fleet_metrics;
+use chopin_obs::MetricsRegistry;
+use chopin_sandbox::clock::WallSpan;
+use chopin_sandbox::limits::{die_by_signal, SIGKILL};
+use chopin_workloads::WorkloadProfile;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+/// How often a worker's heartbeat thread beats, in milliseconds.
+const HEARTBEAT_EVERY_MS: u64 = 500;
+
+/// Coordinator-side silence threshold before a worker is declared dead
+/// and its leases reassigned. Generous (20 beats) because a beat only
+/// needs the worker's heartbeat *thread* alive, not the cell.
+const HEARTBEAT_TIMEOUT_MS: u64 = 10_000;
+
+/// Event-loop poll ceiling: lease expiry and heartbeat staleness are
+/// re-checked at least this often, in milliseconds.
+const POLL_MS: u64 = 250;
+
+/// Worker ids for `--fleet-connect` attachers are assigned from this
+/// base, far above any local slot id (`slot + N * generation`).
+const EXTERNAL_WORKER_BASE: u64 = 1 << 32;
+
+/// Ceiling a worker applies to a coordinator-suggested wait.
+const MAX_WORKER_WAIT_MS: u64 = 1_000;
+
+// ---------------------------------------------------------------------
+// Flag parsing and process entry points.
+// ---------------------------------------------------------------------
+
+/// Parse the fleet flag family into a [`FleetConfig`]: `--fleet N`
+/// (worker count), `--lease-deadline MS` (lease expiry) and
+/// `--fleet-storm KIND[:SEED[:STRIDE]]` (the worker-kill storm).
+///
+/// # Errors
+///
+/// A human-readable message when a value is unparsable, the storm
+/// preset is unknown, validation fails, or a satellite flag appears
+/// without `--fleet` itself.
+pub fn fleet_config_from_args(args: &Args) -> Result<Option<FleetConfig>, String> {
+    if !args.has("fleet") {
+        for flag in ["lease-deadline", "fleet-storm"] {
+            if args.has(flag) {
+                return Err(format!("--{flag} needs --fleet N"));
+            }
+        }
+        return Ok(None);
+    }
+    let workers: u32 = args.get_or("fleet", 0u32).map_err(|e| e.to_string())?;
+    let mut config = FleetConfig::new(workers);
+    if args.has("lease-deadline") {
+        let ms: u64 = args
+            .get_or("lease-deadline", 0u64)
+            .map_err(|e| e.to_string())?;
+        config.plan.lease_deadline_ms = Some(ms);
+    }
+    if args.has("fleet-storm") {
+        let flag = args
+            .value("fleet-storm")
+            .ok_or("--fleet-storm needs a preset (kill or abort)")?;
+        config.storm = Some(parse_storm_flag(flag)?);
+    }
+    config.validate().map_err(|e| e.to_string())?;
+    Ok(Some(config))
+}
+
+/// Run this process as an externally-attached fleet worker when
+/// `--fleet-connect ADDR` is on the command line, returning the exit
+/// code to use; `None` means the flag is absent and the binary should
+/// proceed normally. `--fleet-storm` composes, so an external worker
+/// can be a storm victim too.
+pub fn maybe_connect(args: &Args) -> Option<i32> {
+    if !args.has("fleet-connect") {
+        return None;
+    }
+    let Some(addr) = args.value("fleet-connect") else {
+        eprintln!("error: --fleet-connect needs the coordinator address it printed at startup");
+        return Some(2);
+    };
+    let storm = match args.value("fleet-storm") {
+        None => None,
+        Some(flag) => match parse_storm_flag(flag) {
+            Ok(storm) => Some(storm),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return Some(2);
+            }
+        },
+    };
+    Some(run_worker(addr, None, storm))
+}
+
+/// Enter the fleet worker loop and exit when this process was spawned
+/// as a fleet worker (`CHOPIN_FLEET_WORKER` in the environment);
+/// returns immediately otherwise. Called by
+/// [`worker_entry`](crate::sandbox::worker_entry) before the sandbox
+/// worker hook, so every harness binary can serve as a fleet worker.
+pub(crate) fn maybe_fleet_worker() {
+    if std::env::var_os(protocol::ENV_FLEET_WORKER).is_none() {
+        return;
+    }
+    let code = fleet_worker_env();
+    // srclint:allow(R1006, reason = "a fleet worker owns the whole process; returning would fall through into the binary's own main")
+    std::process::exit(code);
+}
+
+/// Resolve the worker's environment (address, pre-assigned id, storm)
+/// and run the worker loop, returning the process exit code.
+fn fleet_worker_env() -> i32 {
+    let Ok(addr) = std::env::var(protocol::ENV_FLEET_ADDR) else {
+        eprintln!(
+            "error: {} is set but {} is not",
+            protocol::ENV_FLEET_WORKER,
+            protocol::ENV_FLEET_ADDR
+        );
+        return 2;
+    };
+    let id = std::env::var(protocol::ENV_FLEET_WORKER_ID)
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let storm = match std::env::var(protocol::ENV_FLEET_STORM) {
+        Err(_) => None,
+        Ok(flag) => match parse_storm_flag(&flag) {
+            Ok(storm) => Some(storm),
+            Err(e) => {
+                eprintln!("error: bad {}: {e}", protocol::ENV_FLEET_STORM);
+                return 2;
+            }
+        },
+    };
+    run_worker(&addr, id, storm)
+}
+
+// ---------------------------------------------------------------------
+// Worker journals.
+// ---------------------------------------------------------------------
+
+/// The per-worker journal path: `<base>.w<id>` next to the base
+/// journal, so no two processes ever contend on one file.
+pub(crate) fn worker_journal_path(base: &Path, worker: u64) -> PathBuf {
+    match base.file_name() {
+        Some(name) => base.with_file_name(format!("{}.w{worker}", name.to_string_lossy())),
+        None => base.with_extension(format!("w{worker}")),
+    }
+}
+
+/// Discover every sibling worker journal of `base` (`<base>.w<digits>`
+/// in the same directory), sorted by worker id so absorption order is
+/// deterministic regardless of directory iteration order.
+fn sibling_worker_journals(base: &Path) -> Vec<PathBuf> {
+    let Some(name) = base.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+        return Vec::new();
+    };
+    let dir = base
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        return Vec::new();
+    };
+    let prefix = format!("{name}.w");
+    let mut found: Vec<(u64, PathBuf)> = Vec::new();
+    for entry in entries.flatten() {
+        let file_name = entry.file_name().to_string_lossy().into_owned();
+        if let Some(rest) = file_name.strip_prefix(&prefix) {
+            if let Ok(id) = rest.parse::<u64>() {
+                found.push((id, entry.path()));
+            }
+        }
+    }
+    found.sort_unstable();
+    found.into_iter().map(|(_, path)| path).collect()
+}
+
+fn key_of(cell: &Cell) -> CellKey {
+    CellKey {
+        benchmark: cell.benchmark.clone(),
+        collector: cell.collector,
+        heap_factor: cell.heap_factor,
+    }
+}
+
+/// Absorb every recovered completion — from the base journal and every
+/// fingerprint-matching sibling worker journal — into the lease table,
+/// resolving duplicates with the deterministic `(attempt, worker)`
+/// tiebreak. Winners missing from the base journal are persisted into
+/// it *now*, before any worker spawns: workers truncate their own
+/// `.w<id>` files on startup, so a second coordinator crash must not be
+/// able to lose cells recovered from the first.
+///
+/// Returns `(recovered cell count, duplicate completions seen)`.
+fn absorb_recovered(
+    table: &mut LeaseTable,
+    cells: &[(usize, Cell)],
+    journal: &mut Option<Journal>,
+    journal_path: Option<&Path>,
+    fingerprint: u64,
+) -> (usize, u64) {
+    let mut candidates: Vec<(usize, u32, u64, CellRecord)> = Vec::new();
+    let collect = |candidates: &mut Vec<(usize, u32, u64, CellRecord)>,
+                   entries: &[JournalEntry]| {
+        for entry in entries {
+            if let Some(idx) = cells
+                .iter()
+                .position(|(_, cell)| entry.key.matches(&key_of(cell)))
+            {
+                let (attempt, worker) = entry.provenance.map_or((1, 0), |p| (p.attempt, p.worker));
+                candidates.push((idx, attempt, worker, entry.record.clone()));
+            }
+        }
+    };
+    if let Some(j) = journal.as_ref() {
+        collect(&mut candidates, j.entries());
+    }
+    if let Some(base) = journal_path {
+        for worker_path in sibling_worker_journals(base) {
+            let Ok(worker_journal) = Journal::load(&worker_path) else {
+                continue;
+            };
+            if worker_journal.fingerprint() != fingerprint {
+                continue;
+            }
+            collect(&mut candidates, worker_journal.entries());
+        }
+    }
+
+    let mut merges: BTreeMap<usize, (CellMerge<CellRecord>, u64)> = BTreeMap::new();
+    for (idx, attempt, worker, record) in candidates {
+        let slot = merges.entry(idx).or_insert_with(|| (CellMerge::new(), 0));
+        slot.0.offer(attempt, worker, record);
+        slot.1 += 1;
+    }
+
+    let mut conflicts = 0;
+    let mut recovered = 0;
+    for (idx, (merge, seen)) in merges {
+        conflicts += seen.saturating_sub(1);
+        let Some((attempt, worker, record)) = merge.into_winner() else {
+            continue;
+        };
+        let outcome = CellOutcome {
+            samples: record.samples.clone(),
+            infeasible: record.infeasible.clone(),
+        };
+        table.absorb(idx, attempt, worker, render_response(&outcome));
+        recovered += 1;
+        if let Some(j) = journal.as_mut() {
+            let key = key_of(&cells[idx].1);
+            if j.lookup(&key).is_none() {
+                let _ = j.record(JournalEntry {
+                    key,
+                    record,
+                    provenance: Some(CellProvenance { attempt, worker }),
+                });
+            }
+        }
+    }
+    (recovered, conflicts)
+}
+
+// ---------------------------------------------------------------------
+// The coordinator.
+// ---------------------------------------------------------------------
+
+/// Everything the supervisor hands the coordinator for one fleet run.
+pub(crate) struct FleetRun<'a> {
+    pub(crate) config: FleetConfig,
+    pub(crate) policy: SupervisorPolicy,
+    pub(crate) faults: Option<FaultPlan>,
+    pub(crate) profiles: &'a [WorkloadProfile],
+    pub(crate) sweep: &'a SweepConfig,
+    pub(crate) cells: Vec<(usize, Cell)>,
+    pub(crate) journal: Option<Journal>,
+    pub(crate) journal_path: Option<PathBuf>,
+    pub(crate) fingerprint: u64,
+    pub(crate) crash_reports_path: Option<PathBuf>,
+}
+
+/// Run the sweep as a fleet: absorb recovered journals, drive the
+/// worker pool until the lease table drains, then assemble the report
+/// in schedule order — byte-identical to the sequential supervisor.
+pub(crate) fn coordinate(run: FleetRun<'_>) -> Result<SuiteReport, SuperviseError> {
+    run.config
+        .validate()
+        .map_err(|e| SuperviseError::Isolation(format!("fleet configuration: {e}")))?;
+
+    let FleetRun {
+        config,
+        policy,
+        faults,
+        profiles,
+        sweep,
+        cells,
+        mut journal,
+        journal_path,
+        fingerprint,
+        crash_reports_path,
+    } = run;
+
+    let seeds: Vec<u64> = cells.iter().map(|(_, cell)| cell_seed(cell)).collect();
+    let mut table = LeaseTable::new(seeds, policy, config.plan.deadline_ms());
+    let (recovered, absorb_conflicts) = absorb_recovered(
+        &mut table,
+        &cells,
+        &mut journal,
+        journal_path.as_deref(),
+        fingerprint,
+    );
+
+    let mut metrics = MetricsRegistry::new();
+    metrics.inc("supervisor.cells", cells.len() as u64);
+    metrics.inc("supervisor.cells.resumed", recovered as u64);
+    metrics.inc(fleet_metrics::CELLS_RECOVERED, recovered as u64);
+    metrics.inc(fleet_metrics::MERGE_CONFLICTS, absorb_conflicts);
+
+    let mut crash_reports = Vec::new();
+    if !table.is_done() {
+        crash_reports = run_transport(
+            &config,
+            &faults,
+            sweep,
+            &cells,
+            &mut table,
+            journal_path.as_deref(),
+            fingerprint,
+            &mut metrics,
+        )?;
+    }
+
+    // Assembly: schedule order, exactly like the sequential supervisor.
+    let mut results: Vec<SweepResult> = profiles
+        .iter()
+        .map(|p| SweepResult {
+            benchmark: p.name.to_string(),
+            samples: Vec::new(),
+            failures: Vec::new(),
+        })
+        .collect();
+    let mut quarantined = Vec::new();
+    for (resolution, (pi, cell)) in table.into_resolutions().into_iter().zip(&cells) {
+        match resolution {
+            CellResolution::Completed {
+                attempt,
+                worker,
+                payload,
+            } => {
+                let outcome = match parse_response(&payload) {
+                    Ok(outcome) => outcome,
+                    Err(e) => {
+                        // Self-rendered payloads always parse; only a
+                        // corrupted recovered journal line lands here.
+                        metrics.inc("supervisor.cells.quarantined", 1);
+                        quarantined.push(QuarantineEntry {
+                            cell: cell.clone(),
+                            attempts: attempt,
+                            reason: QuarantineReason::Errored(format!(
+                                "merged payload unreadable: {e}"
+                            )),
+                        });
+                        continue;
+                    }
+                };
+                metrics.inc("supervisor.cells.completed", 1);
+                if outcome.infeasible.is_some() {
+                    metrics.inc("supervisor.cells.infeasible", 1);
+                }
+                if let Some(j) = journal.as_mut() {
+                    let key = key_of(cell);
+                    if j.lookup(&key).is_none() {
+                        let _ = j.record(JournalEntry {
+                            key,
+                            record: CellRecord {
+                                samples: outcome.samples.clone(),
+                                infeasible: outcome.infeasible.clone(),
+                            },
+                            provenance: Some(CellProvenance { attempt, worker }),
+                        });
+                    }
+                }
+                results[*pi].samples.extend(outcome.samples);
+                if let Some(reason) = outcome.infeasible {
+                    results[*pi].failures.push(SweepFailure {
+                        collector: cell.collector,
+                        heap_factor: cell.heap_factor,
+                        reason,
+                    });
+                }
+            }
+            CellResolution::Quarantined { reason } => {
+                metrics.inc("supervisor.cells.quarantined", 1);
+                let entry = QuarantineEntry {
+                    cell: cell.clone(),
+                    attempts: 1 + policy.max_retries,
+                    reason: parse_reason(&reason),
+                };
+                if let Some(j) = journal.as_mut() {
+                    let _ = j.record_quarantine(QuarantineRecord {
+                        key: key_of(cell),
+                        attempts: entry.attempts,
+                        reason: entry.reason.clone(),
+                    });
+                }
+                quarantined.push(entry);
+            }
+            CellResolution::Unresolved => {
+                // Unreachable in practice: the transport only returns
+                // once the table drains, and errors propagate above.
+                metrics.inc("supervisor.cells.quarantined", 1);
+                quarantined.push(QuarantineEntry {
+                    cell: cell.clone(),
+                    attempts: 0,
+                    reason: QuarantineReason::Errored(
+                        "unresolved: the coordinator stopped before this cell".to_string(),
+                    ),
+                });
+            }
+        }
+    }
+
+    if let Some(path) = &crash_reports_path {
+        if let Err(e) = write_crash_reports(path, &crash_reports) {
+            eprintln!(
+                "warning: could not write crash reports to {}: {e}",
+                path.display()
+            );
+        }
+    }
+
+    Ok(SuiteReport {
+        results,
+        quarantined,
+        crash_reports,
+        metrics,
+    })
+}
+
+/// Map a worker-reported cell failure reason back into the quarantine
+/// taxonomy: workers render `panicked: <msg>` / `errored: <msg>`.
+fn parse_reason(reason: &str) -> QuarantineReason {
+    if let Some(msg) = reason.strip_prefix("panicked: ") {
+        QuarantineReason::Panicked(msg.to_string())
+    } else if let Some(msg) = reason.strip_prefix("errored: ") {
+        QuarantineReason::Errored(msg.to_string())
+    } else {
+        QuarantineReason::Errored(reason.to_string())
+    }
+}
+
+/// An event delivered to the coordinator loop by its reader, acceptor
+/// and reaper threads. Connections are identified by a local counter
+/// until their `Hello` binds them to a worker id.
+enum Event {
+    /// A connection sent its `Hello`; the write half rides along.
+    Joined {
+        conn: u64,
+        hint: Option<u64>,
+        stream: TcpStream,
+    },
+    /// A post-join frame.
+    Frame { conn: u64, frame: FleetFrame },
+    /// The connection closed or errored.
+    Eof { conn: u64 },
+    /// A locally-spawned worker process exited.
+    ChildExit {
+        slot: usize,
+        worker: u64,
+        clean: bool,
+        signal: Option<i32>,
+    },
+}
+
+/// A joined connection: the worker it speaks for and the write half.
+struct Peer {
+    worker: u64,
+    stream: TcpStream,
+}
+
+/// One local worker slot: respawned with a fresh id on each crash until
+/// its crash budget runs out.
+struct SlotState {
+    worker: u64,
+    generation: u32,
+    crashes: u32,
+    alive: bool,
+    quarantined: bool,
+}
+
+/// Coordinator state shared by the event handlers.
+struct FleetState<'a> {
+    cells: &'a [(usize, Cell)],
+    table: &'a mut LeaseTable,
+    /// Joined connections by connection id.
+    peers: BTreeMap<u64, Peer>,
+    /// Worker id → connection id, for targeted shutdown.
+    worker_conns: BTreeMap<u64, u64>,
+    /// Workers declared dead (dedupes EOF vs reaper vs staleness).
+    dead: BTreeSet<u64>,
+    /// Worker id → last heartbeat/frame time (coordinator clock, ms).
+    last_seen: BTreeMap<u64, u64>,
+    slots: Vec<SlotState>,
+    reports: Vec<CrashReport>,
+    spawned: u64,
+    deaths: u64,
+    quarantined_slots: u64,
+    completions: u64,
+    next_external: u64,
+    journal_base: Option<String>,
+    fingerprint: u64,
+    /// `CHOPIN_FLEET_DIE_AFTER`: SIGKILL the coordinator after this
+    /// many completions (the integration test's crash trigger).
+    hard_die: Option<u64>,
+}
+
+impl FleetState<'_> {
+    fn send(&mut self, conn: u64, frame: &FleetFrame) {
+        if let Some(peer) = self.peers.get_mut(&conn) {
+            let line = format!("{}\n", protocol::render(frame));
+            let _ = peer.stream.write_all(line.as_bytes());
+        }
+    }
+
+    /// Admit a joined connection: assign (or honour) its worker id and
+    /// welcome it with the journal fingerprint and base path.
+    fn admit(&mut self, conn: u64, hint: Option<u64>, stream: TcpStream, now: u64) {
+        let worker = hint.unwrap_or_else(|| {
+            let id = self.next_external;
+            self.next_external += 1;
+            id
+        });
+        // A reconnect under the same id replaces the old connection.
+        if let Some(old) = self.worker_conns.insert(worker, conn) {
+            if let Some(peer) = self.peers.remove(&old) {
+                let _ = peer.stream.shutdown(Shutdown::Both);
+            }
+        }
+        self.peers.insert(conn, Peer { worker, stream });
+        self.last_seen.insert(worker, now);
+        self.dead.remove(&worker);
+        let welcome = FleetFrame::Welcome {
+            worker,
+            fingerprint: format!("{:016x}", self.fingerprint),
+            journal: self.journal_base.clone(),
+        };
+        self.send(conn, &welcome);
+    }
+
+    /// Declare a worker dead exactly once: file a crash report per held
+    /// lease, return its leases to the pool, drop its connection.
+    /// Returns `false` when the worker was already declared.
+    fn declare_dead(&mut self, worker: u64, now: u64, signal: Option<i32>) -> bool {
+        if !self.dead.insert(worker) {
+            return false;
+        }
+        self.deaths += 1;
+        let last_beat = self.last_seen.remove(&worker);
+        for cell_idx in self.table.held_cells(worker) {
+            let (_, cell) = &self.cells[cell_idx];
+            self.reports.push(CrashReport {
+                benchmark: cell.benchmark.clone(),
+                collector: cell.collector.to_string(),
+                heap_factor: cell.heap_factor,
+                outcome: "worker-died".to_string(),
+                exit_code: None,
+                signal,
+                last_heartbeat_ms: last_beat,
+                peak_rss_bytes: None,
+                wall_ms: now,
+            });
+        }
+        self.table.worker_dead(worker, now);
+        if let Some(conn) = self.worker_conns.remove(&worker) {
+            if let Some(peer) = self.peers.remove(&conn) {
+                let _ = peer.stream.shutdown(Shutdown::Both);
+            }
+        }
+        true
+    }
+
+    fn slot_of(&self, worker: u64) -> Option<usize> {
+        self.slots.iter().position(|s| s.worker == worker)
+    }
+}
+
+/// Spawns local worker processes (this same executable, marked via the
+/// environment) and reaps them onto the event channel.
+struct Spawner {
+    exe: PathBuf,
+    addr: String,
+    storm_env: Option<String>,
+    tx: mpsc::Sender<Event>,
+}
+
+impl Spawner {
+    fn spawn(&self, slot: usize, worker: u64) -> std::io::Result<()> {
+        let mut cmd = Command::new(&self.exe);
+        cmd.env(protocol::ENV_FLEET_WORKER, "1")
+            .env(protocol::ENV_FLEET_ADDR, &self.addr)
+            .env(protocol::ENV_FLEET_WORKER_ID, worker.to_string())
+            // The die-after hook targets the *coordinator*; a worker
+            // inheriting it would re-enter coordination on exec.
+            .env_remove(protocol::ENV_FLEET_DIE_AFTER)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit());
+        if let Some(storm) = &self.storm_env {
+            cmd.env(protocol::ENV_FLEET_STORM, storm);
+        }
+        let mut child = cmd.spawn()?;
+        let tx = self.tx.clone();
+        std::thread::spawn(move || {
+            let (clean, signal) = match child.wait() {
+                Ok(status) => (status.success(), status_signal(&status)),
+                Err(_) => (false, None),
+            };
+            let _ = tx.send(Event::ChildExit {
+                slot,
+                worker,
+                clean,
+                signal,
+            });
+        });
+        Ok(())
+    }
+}
+
+/// Re-render a storm plan into the env grammar workers parse
+/// (`KIND:SEED:STRIDE`, same as the `--fleet-storm` flag).
+fn render_storm(storm: &WorkerStormPlan) -> String {
+    format!(
+        "{}:{}:{}",
+        storm.plan.kind.label(),
+        storm.plan.seed,
+        storm.plan.stride
+    )
+}
+
+fn accept_loop(listener: TcpListener, tx: mpsc::Sender<Event>, stop: Arc<AtomicBool>) {
+    let mut next_conn: u64 = 1;
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn = next_conn;
+        next_conn += 1;
+        let tx = tx.clone();
+        std::thread::spawn(move || reader_loop(conn, stream, tx));
+    }
+}
+
+fn reader_loop(conn: u64, stream: TcpStream, tx: mpsc::Sender<Event>) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        let _ = tx.send(Event::Eof { conn });
+        return;
+    };
+    let mut write_half = Some(stream);
+    let reader = BufReader::new(read_half);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        let Some(frame) = protocol::parse(&line) else {
+            continue;
+        };
+        match (&frame, write_half.take()) {
+            // The first frame must be the Hello; the write half rides
+            // along so the coordinator owns all outbound traffic.
+            (FleetFrame::Hello { worker }, Some(stream)) => {
+                let hint = *worker;
+                if tx.send(Event::Joined { conn, hint, stream }).is_err() {
+                    return;
+                }
+            }
+            (_, Some(stream)) => {
+                // Pre-Hello garbage: keep waiting for the Hello.
+                write_half = Some(stream);
+            }
+            (_, None) => {
+                if tx.send(Event::Frame { conn, frame }).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+    let _ = tx.send(Event::Eof { conn });
+}
+
+/// Quarantine or respawn a local slot after its worker crashed. The
+/// caller has already declared the old worker dead.
+fn crash_slot(st: &mut FleetState<'_>, spawner: &Spawner, slot: usize, config: &FleetConfig) {
+    let done = st.table.is_done();
+    st.slots[slot].alive = false;
+    st.slots[slot].crashes += 1;
+    if done || st.slots[slot].quarantined {
+        return;
+    }
+    if st.slots[slot].crashes >= config.max_worker_crashes {
+        st.slots[slot].quarantined = true;
+        st.quarantined_slots += 1;
+        eprintln!(
+            "fleet: worker slot {slot} quarantined after {} crash(es)",
+            st.slots[slot].crashes
+        );
+        return;
+    }
+    st.slots[slot].generation += 1;
+    let worker =
+        slot as u64 + u64::from(config.plan.workers) * u64::from(st.slots[slot].generation);
+    st.slots[slot].worker = worker;
+    match spawner.spawn(slot, worker) {
+        Ok(()) => {
+            st.slots[slot].alive = true;
+            st.spawned += 1;
+        }
+        Err(e) => {
+            eprintln!("fleet: could not respawn worker slot {slot}: {e}");
+            st.slots[slot].quarantined = true;
+            st.quarantined_slots += 1;
+        }
+    }
+}
+
+/// Declare workers that stopped heartbeating dead and respawn their
+/// slots. A worker whose process is merely wedged (not exited) keeps
+/// its socket open, so the reaper never fires for it — staleness is the
+/// only way its leases come back.
+fn check_heartbeats(st: &mut FleetState<'_>, spawner: &Spawner, config: &FleetConfig, now: u64) {
+    let stale: Vec<u64> = st
+        .last_seen
+        .iter()
+        .filter(|(worker, seen)| {
+            now.saturating_sub(**seen) > HEARTBEAT_TIMEOUT_MS && !st.dead.contains(worker)
+        })
+        .map(|(worker, _)| *worker)
+        .collect();
+    for worker in stale {
+        eprintln!("fleet: worker {worker} went silent; reassigning its leases");
+        st.declare_dead(worker, now, None);
+        if let Some(slot) = st.slot_of(worker) {
+            crash_slot(st, spawner, slot, config);
+        }
+    }
+}
+
+/// Handle one post-join frame. Only a `Done` can error (the soft
+/// die-after test hook aborts the coordinator mid-run).
+fn handle_frame(
+    st: &mut FleetState<'_>,
+    conn: u64,
+    frame: FleetFrame,
+    now: u64,
+    faults: &Option<FaultPlan>,
+    sweep: &SweepConfig,
+    config: &FleetConfig,
+) -> Result<(), SuperviseError> {
+    let Some(worker) = st.peers.get(&conn).map(|p| p.worker) else {
+        return Ok(());
+    };
+    st.last_seen.insert(worker, now);
+    match frame {
+        FleetFrame::Next { .. } => match st.table.grant(worker, now) {
+            Grant::Lease(grant) => {
+                let (_, cell) = &st.cells[grant.cell];
+                let request = CellRequest {
+                    benchmark: cell.benchmark.clone(),
+                    collector: cell.collector,
+                    heap_factor: cell.heap_factor,
+                    invocations: sweep.invocations,
+                    iterations: sweep.iterations,
+                    size: sweep.size,
+                    faults: faults.clone(),
+                    hard: None,
+                };
+                let lease = FleetFrame::Lease {
+                    lease: grant.lease,
+                    attempt: grant.attempt,
+                    payload: render_request(&request),
+                };
+                st.send(conn, &lease);
+            }
+            Grant::Wait(ms) => st.send(conn, &FleetFrame::Wait { ms }),
+            Grant::Drain => st.send(conn, &FleetFrame::Drain),
+        },
+        FleetFrame::Done { lease, payload, .. } => {
+            // A late Done from a stolen lease is rejected by the table.
+            if !st.table.complete(lease, payload) {
+                return Ok(());
+            }
+            st.completions += 1;
+            if st.hard_die.is_some_and(|limit| st.completions >= limit) {
+                // Integration-test hook: a real coordinator crash — no
+                // cleanup, no persisted base journal.
+                die_by_signal(SIGKILL);
+            }
+            if let Some(limit) = config.die_after {
+                if st.completions >= limit {
+                    return Err(SuperviseError::Isolation(format!(
+                        "fleet coordinator aborted after {limit} completion(s) \
+                         (die-after test hook); worker journals remain for --resume"
+                    )));
+                }
+            }
+        }
+        FleetFrame::Fail { lease, reason, .. } => {
+            st.table.fail(lease, &reason, now);
+        }
+        // Beat only refreshes last_seen (done above); the rest are
+        // coordinator→worker frames echoed back by a confused peer.
+        _ => {}
+    }
+    Ok(())
+}
+
+/// Drive the worker pool until the lease table drains (or the run dies).
+/// Returns the crash reports collected from worker deaths.
+#[allow(clippy::too_many_arguments)]
+fn run_transport(
+    config: &FleetConfig,
+    faults: &Option<FaultPlan>,
+    sweep: &SweepConfig,
+    cells: &[(usize, Cell)],
+    table: &mut LeaseTable,
+    journal_base: Option<&Path>,
+    fingerprint: u64,
+    metrics: &mut MetricsRegistry,
+) -> Result<Vec<CrashReport>, SuperviseError> {
+    let listener = TcpListener::bind("127.0.0.1:0")
+        .map_err(|e| SuperviseError::Isolation(format!("fleet cannot bind a local socket: {e}")))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| SuperviseError::Isolation(format!("fleet cannot resolve its socket: {e}")))?
+        .to_string();
+    let exe = std::env::current_exe().map_err(|e| {
+        SuperviseError::Isolation(format!("fleet cannot resolve the worker executable: {e}"))
+    })?;
+    let hard_die: Option<u64> = std::env::var(protocol::ENV_FLEET_DIE_AFTER)
+        .ok()
+        .and_then(|v| v.parse().ok());
+
+    eprintln!(
+        "fleet: coordinating {} cell(s) across {} worker(s) at {addr} (attach with --fleet-connect {addr})",
+        table.len() - table.resolved_count(),
+        config.plan.workers,
+    );
+
+    let (tx, rx) = mpsc::channel::<Event>();
+    let stop = Arc::new(AtomicBool::new(false));
+    {
+        let tx = tx.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || accept_loop(listener, tx, stop));
+    }
+    let spawner = Spawner {
+        exe,
+        addr: addr.clone(),
+        storm_env: config.storm.as_ref().map(render_storm),
+        tx,
+    };
+
+    let mut st = FleetState {
+        cells,
+        table,
+        peers: BTreeMap::new(),
+        worker_conns: BTreeMap::new(),
+        dead: BTreeSet::new(),
+        last_seen: BTreeMap::new(),
+        slots: Vec::new(),
+        reports: Vec::new(),
+        spawned: 0,
+        deaths: 0,
+        quarantined_slots: 0,
+        completions: 0,
+        next_external: EXTERNAL_WORKER_BASE,
+        journal_base: journal_base.map(|p| p.to_string_lossy().into_owned()),
+        fingerprint,
+        hard_die,
+    };
+
+    for slot in 0..config.plan.workers as usize {
+        let worker = slot as u64;
+        spawner.spawn(slot, worker).map_err(|e| {
+            stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(&addr);
+            SuperviseError::Isolation(format!("fleet cannot spawn worker {slot}: {e}"))
+        })?;
+        st.slots.push(SlotState {
+            worker,
+            generation: 0,
+            crashes: 0,
+            alive: true,
+            quarantined: false,
+        });
+        st.spawned += 1;
+    }
+
+    let span = WallSpan::begin();
+    let now_ms = |span: &WallSpan| span.elapsed_ms() as u64;
+    let mut fail: Option<SuperviseError> = None;
+
+    loop {
+        let now = now_ms(&span);
+        let timeout = st
+            .table
+            .next_deadline_in(now)
+            .map_or(POLL_MS, |d| d.clamp(1, POLL_MS));
+        match rx.recv_timeout(Duration::from_millis(timeout)) {
+            Ok(Event::Joined { conn, hint, stream }) => {
+                st.admit(conn, hint, stream, now_ms(&span));
+            }
+            Ok(Event::Frame { conn, frame }) => {
+                if let Err(e) =
+                    handle_frame(&mut st, conn, frame, now_ms(&span), faults, sweep, config)
+                {
+                    fail = Some(e);
+                    break;
+                }
+            }
+            Ok(Event::Eof { conn }) => {
+                // Free the leases immediately; for local workers the
+                // reaper's ChildExit still drives respawn accounting.
+                if let Some(worker) = st.peers.get(&conn).map(|p| p.worker) {
+                    st.declare_dead(worker, now_ms(&span), None);
+                }
+                st.peers.remove(&conn);
+            }
+            Ok(Event::ChildExit {
+                slot,
+                worker,
+                clean,
+                signal,
+            }) => {
+                let now = now_ms(&span);
+                if clean {
+                    if st.slots.get(slot).map(|s| s.worker) == Some(worker) {
+                        st.slots[slot].alive = false;
+                    }
+                } else {
+                    st.declare_dead(worker, now, signal);
+                    // Skip respawn if staleness already rotated the slot
+                    // to a new generation.
+                    if st.slots.get(slot).map(|s| s.worker) == Some(worker) {
+                        crash_slot(&mut st, &spawner, slot, config);
+                    }
+                }
+            }
+            Err(_) => {}
+        }
+
+        let now = now_ms(&span);
+        let expired = st.table.expire(now);
+        if expired > 0 {
+            eprintln!("fleet: {expired} lease(s) expired; cells requeued");
+        }
+        check_heartbeats(&mut st, &spawner, config, now);
+
+        if st.table.is_done() {
+            let conns: Vec<u64> = st.peers.keys().copied().collect();
+            for conn in conns {
+                st.send(conn, &FleetFrame::Drain);
+            }
+            break;
+        }
+        if st.peers.is_empty() && st.slots.iter().all(|s| !s.alive) {
+            fail = Some(SuperviseError::Isolation(
+                "the fleet lost every worker (crash budgets exhausted) before the \
+                 matrix resolved; worker journals remain for --resume"
+                    .to_string(),
+            ));
+            break;
+        }
+    }
+
+    // Wake the acceptor so its thread exits, then drop every peer.
+    stop.store(true, Ordering::SeqCst);
+    let _ = TcpStream::connect(&addr);
+    for peer in st.peers.values() {
+        let _ = peer.stream.shutdown(Shutdown::Both);
+    }
+
+    let lease_metrics = st.table.metrics();
+    metrics.inc(fleet_metrics::WORKERS_SPAWNED, st.spawned);
+    metrics.inc(fleet_metrics::WORKER_DEATHS, st.deaths);
+    metrics.inc(fleet_metrics::WORKERS_QUARANTINED, st.quarantined_slots);
+    metrics.inc(fleet_metrics::LEASES_ISSUED, lease_metrics.issued);
+    metrics.inc(fleet_metrics::LEASES_EXPIRED, lease_metrics.expired);
+    metrics.inc(fleet_metrics::LEASES_STOLEN, lease_metrics.stolen);
+    metrics.inc(fleet_metrics::CELLS_REQUEUED, lease_metrics.requeued);
+    metrics.inc(fleet_metrics::MERGE_CONFLICTS, lease_metrics.conflicts);
+    metrics.inc("supervisor.retries", lease_metrics.requeued);
+
+    let reports = std::mem::take(&mut st.reports);
+    match fail {
+        Some(e) => Err(e),
+        None => Ok(reports),
+    }
+}
+
+// ---------------------------------------------------------------------
+// The worker.
+// ---------------------------------------------------------------------
+
+fn send_frame(writer: &Mutex<TcpStream>, frame: &FleetFrame) -> bool {
+    let line = format!("{}\n", protocol::render(frame));
+    writer.lock().write_all(line.as_bytes()).is_ok()
+}
+
+fn spawn_heartbeat(writer: Arc<Mutex<TcpStream>>, me: u64) {
+    std::thread::spawn(move || loop {
+        std::thread::sleep(Duration::from_millis(HEARTBEAT_EVERY_MS));
+        if !send_frame(&writer, &FleetFrame::Beat { worker: me }) {
+            break;
+        }
+    });
+}
+
+/// Run one lease: decode the request, execute the cell inline (exactly
+/// the sandbox child's execution path), and classify any failure with
+/// the same `panicked:`/`errored:` prefixes the supervisor maps back
+/// into the quarantine taxonomy.
+fn execute_lease(payload: &str) -> Result<(CellKey, CellOutcome), String> {
+    let request = parse_request(payload).map_err(|e| format!("errored: {e}"))?;
+    let key = CellKey {
+        benchmark: request.benchmark.clone(),
+        collector: request.collector,
+        heap_factor: request.heap_factor,
+    };
+    let profile = chopin_workloads::suite::by_name(&request.benchmark)
+        .ok_or_else(|| format!("errored: unknown benchmark `{}`", request.benchmark))?;
+    match catch_unwind(AssertUnwindSafe(|| run_cell_inline(&profile, &request))) {
+        Ok(Ok(outcome)) => Ok((key, outcome)),
+        Ok(Err(e)) => Err(format!("errored: {e}")),
+        Err(payload) => Err(format!("panicked: {}", panic_message(payload))),
+    }
+}
+
+/// The fleet worker loop: connect, join, run leases until drained. A
+/// coordinator that vanishes (crash, cleanup) reads as EOF and the
+/// worker exits cleanly — its journal keeps everything it finished.
+fn run_worker(addr: &str, id: Option<u64>, storm: Option<WorkerStormPlan>) -> i32 {
+    let stream = match TcpStream::connect(addr) {
+        Ok(stream) => stream,
+        Err(e) => {
+            eprintln!("error: fleet worker cannot reach the coordinator at {addr}: {e}");
+            return 2;
+        }
+    };
+    let _ = stream.set_nodelay(true);
+    let reader = match stream.try_clone() {
+        Ok(read_half) => BufReader::new(read_half),
+        Err(e) => {
+            eprintln!("error: fleet worker cannot split its stream: {e}");
+            return 2;
+        }
+    };
+    let writer = Arc::new(Mutex::new(stream));
+    if !send_frame(&writer, &FleetFrame::Hello { worker: id }) {
+        return 2;
+    }
+
+    let mut me = id.unwrap_or(0);
+    let mut journal: Option<Journal> = None;
+    let mut leases_received: u32 = 0;
+    let mut beating = false;
+
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        let Some(frame) = protocol::parse(&line) else {
+            continue;
+        };
+        match frame {
+            FleetFrame::Welcome {
+                worker,
+                fingerprint,
+                journal: base,
+            } => {
+                me = worker;
+                let fp = u64::from_str_radix(&fingerprint, 16).unwrap_or(0);
+                journal = base.and_then(|b| {
+                    Journal::create(&worker_journal_path(Path::new(&b), me), fp).ok()
+                });
+                if !beating {
+                    beating = true;
+                    spawn_heartbeat(Arc::clone(&writer), me);
+                }
+                if !send_frame(&writer, &FleetFrame::Next { worker: me }) {
+                    break;
+                }
+            }
+            FleetFrame::Wait { ms } => {
+                std::thread::sleep(Duration::from_millis(ms.clamp(1, MAX_WORKER_WAIT_MS)));
+                if !send_frame(&writer, &FleetFrame::Next { worker: me }) {
+                    break;
+                }
+            }
+            FleetFrame::Lease {
+                lease,
+                attempt,
+                payload,
+            } => {
+                leases_received += 1;
+                if let Some(storm) = &storm {
+                    if storm.is_victim(me) && leases_received >= storm.kill_after_leases {
+                        // The storm: die mid-lease exactly as a crashed
+                        // worker would, before any work happens.
+                        if storm.plan.kind == HardFaultKind::Abort {
+                            std::process::abort();
+                        }
+                        die_by_signal(SIGKILL);
+                    }
+                }
+                let reply = match execute_lease(&payload) {
+                    Ok((key, outcome)) => {
+                        if let Some(j) = journal.as_mut() {
+                            let _ = j.record(JournalEntry {
+                                key,
+                                record: CellRecord {
+                                    samples: outcome.samples.clone(),
+                                    infeasible: outcome.infeasible.clone(),
+                                },
+                                provenance: Some(CellProvenance {
+                                    attempt,
+                                    worker: me,
+                                }),
+                            });
+                        }
+                        FleetFrame::Done {
+                            worker: me,
+                            lease,
+                            payload: render_response(&outcome),
+                        }
+                    }
+                    Err(reason) => FleetFrame::Fail {
+                        worker: me,
+                        lease,
+                        reason,
+                    },
+                };
+                if !send_frame(&writer, &reply) {
+                    break;
+                }
+                if !send_frame(&writer, &FleetFrame::Next { worker: me }) {
+                    break;
+                }
+            }
+            FleetFrame::Drain => return 0,
+            _ => {}
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chopin_core::lbo::RunSample;
+    use chopin_runtime::collector::CollectorKind;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("chopin-fleet-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample(wall: f64) -> RunSample {
+        RunSample {
+            collector: CollectorKind::Shenandoah,
+            heap_factor: 2.0,
+            wall_s: wall,
+            task_s: wall * 7.0,
+            wall_distillable_s: wall * 0.9,
+            task_distillable_s: wall * 6.3,
+        }
+    }
+
+    fn cell(benchmark: &str) -> Cell {
+        Cell {
+            benchmark: benchmark.to_string(),
+            collector: CollectorKind::Shenandoah,
+            heap_factor: 2.0,
+        }
+    }
+
+    fn entry(benchmark: &str, wall: f64, provenance: Option<CellProvenance>) -> JournalEntry {
+        JournalEntry {
+            key: CellKey {
+                benchmark: benchmark.to_string(),
+                collector: CollectorKind::Shenandoah,
+                heap_factor: 2.0,
+            },
+            record: CellRecord {
+                samples: vec![sample(wall)],
+                infeasible: None,
+            },
+            provenance,
+        }
+    }
+
+    #[test]
+    fn worker_journal_paths_sit_next_to_the_base() {
+        let base = Path::new("/tmp/run/suite.journal");
+        assert_eq!(
+            worker_journal_path(base, 3),
+            Path::new("/tmp/run/suite.journal.w3")
+        );
+        assert_eq!(
+            worker_journal_path(base, 17),
+            Path::new("/tmp/run/suite.journal.w17")
+        );
+    }
+
+    #[test]
+    fn sibling_discovery_finds_worker_journals_in_id_order() {
+        let base = scratch("discover.journal");
+        std::fs::write(&base, "").unwrap();
+        for id in [10u64, 2, 0] {
+            std::fs::write(worker_journal_path(&base, id), "").unwrap();
+        }
+        // Near-misses that must not match.
+        std::fs::write(base.with_file_name("discover.journal.wx"), "").unwrap();
+        std::fs::write(base.with_file_name("other.journal.w1"), "").unwrap();
+        let found = sibling_worker_journals(&base);
+        assert_eq!(
+            found,
+            vec![
+                worker_journal_path(&base, 0),
+                worker_journal_path(&base, 2),
+                worker_journal_path(&base, 10),
+            ]
+        );
+    }
+
+    /// The steal-race edge case, hand-crafted: the same cell completed
+    /// twice — once by the original leaseholder on attempt 2, once by a
+    /// thief on attempt 1 (the steal reuses the outstanding attempt
+    /// number; a *re-lease after expiry* bumps it). The merge must pick
+    /// the lower attempt, and between equal attempts the lower worker
+    /// id, regardless of which journal is read first.
+    #[test]
+    fn steal_race_merge_is_deterministic_and_persists_the_winner() {
+        let fingerprint = 0xdead_beef;
+        let base_path = scratch("steal.journal");
+        let _ = std::fs::remove_file(&base_path);
+        // Worker 3 (the thief, attempt 1) and worker 1 (the straggler,
+        // re-leased attempt 2) both journalled the cell; worker 5 also
+        // duplicates attempt 1 to exercise the worker-id tiebreak.
+        for (worker, attempt, wall) in [(3u64, 1u32, 0.25), (1, 2, 0.5), (5, 1, 0.75)] {
+            let mut j =
+                Journal::create(&worker_journal_path(&base_path, worker), fingerprint).unwrap();
+            j.record(entry("fop", wall, Some(CellProvenance { attempt, worker })))
+                .unwrap();
+        }
+        // A sibling journal from a *different* configuration must be
+        // ignored entirely.
+        let mut stale = Journal::create(&worker_journal_path(&base_path, 9), 0x0bad).unwrap();
+        stale
+            .record(entry(
+                "fop",
+                9.0,
+                Some(CellProvenance {
+                    attempt: 1,
+                    worker: 9,
+                }),
+            ))
+            .unwrap();
+
+        let cells = vec![(0usize, cell("fop"))];
+        let seeds: Vec<u64> = cells.iter().map(|(_, c)| cell_seed(c)).collect();
+        let mut table = LeaseTable::new(seeds, SupervisorPolicy::default(), 1_000);
+        let mut journal = Some(Journal::create(&base_path, fingerprint).unwrap());
+        let (recovered, conflicts) = absorb_recovered(
+            &mut table,
+            &cells,
+            &mut journal,
+            Some(&base_path),
+            fingerprint,
+        );
+        assert_eq!(recovered, 1);
+        assert_eq!(conflicts, 2);
+        assert!(table.is_done());
+
+        // Winner: attempt 1, worker 3 (lower attempt beats lower
+        // worker; then worker 3 beats worker 5).
+        match table.into_resolutions().pop().unwrap() {
+            CellResolution::Completed {
+                attempt,
+                worker,
+                payload,
+            } => {
+                assert_eq!((attempt, worker), (1, 3));
+                let outcome = parse_response(&payload).unwrap();
+                assert_eq!(outcome.samples[0].wall_s, 0.25);
+            }
+            other => panic!("expected a completion, got {other:?}"),
+        }
+
+        // And the winner was persisted into the base journal at absorb
+        // time, so a second coordinator crash cannot lose it.
+        let reloaded = Journal::load(&base_path).unwrap();
+        let record = reloaded.lookup(&key_of(&cell("fop"))).unwrap();
+        assert_eq!(record.samples[0].wall_s, 0.25);
+        assert_eq!(
+            reloaded.entries()[0].provenance,
+            Some(CellProvenance {
+                attempt: 1,
+                worker: 3
+            })
+        );
+    }
+
+    #[test]
+    fn fleet_flags_parse_and_reject_orphans() {
+        let none = Args::parse(["--quick"]);
+        assert_eq!(fleet_config_from_args(&none).unwrap(), None);
+
+        let orphan = Args::parse(["--lease-deadline", "500"]);
+        assert!(fleet_config_from_args(&orphan)
+            .unwrap_err()
+            .contains("--fleet"));
+
+        let full = Args::parse([
+            "--fleet",
+            "4",
+            "--lease-deadline",
+            "750",
+            "--fleet-storm",
+            "kill:7",
+        ]);
+        let config = fleet_config_from_args(&full).unwrap().unwrap();
+        assert_eq!(config.plan.workers, 4);
+        assert_eq!(config.plan.deadline_ms(), 750);
+        let storm = config.storm.unwrap();
+        assert_eq!(storm.plan.seed, 7);
+        assert_eq!(storm.plan.kind, HardFaultKind::Kill);
+
+        let zero = Args::parse(["--fleet", "0"]);
+        assert!(fleet_config_from_args(&zero).is_err());
+    }
+
+    #[test]
+    fn worker_failure_reasons_map_back_into_the_taxonomy() {
+        assert_eq!(
+            parse_reason("panicked: index out of bounds"),
+            QuarantineReason::Panicked("index out of bounds".to_string())
+        );
+        assert_eq!(
+            parse_reason("errored: unknown benchmark `nope`"),
+            QuarantineReason::Errored("unknown benchmark `nope`".to_string())
+        );
+        assert_eq!(
+            parse_reason("mystery"),
+            QuarantineReason::Errored("mystery".to_string())
+        );
+    }
+
+    #[test]
+    fn storm_env_round_trips_through_the_flag_grammar() {
+        let storm = parse_storm_flag("kill:41:3").unwrap();
+        let rendered = render_storm(&storm);
+        let reparsed = parse_storm_flag(&rendered).unwrap();
+        assert_eq!(reparsed.plan, storm.plan);
+    }
+}

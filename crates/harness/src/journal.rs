@@ -70,6 +70,18 @@ pub struct CellRecord {
     pub infeasible: Option<String>,
 }
 
+/// Where a journalled completion came from, when a fleet worker wrote
+/// it: the completing attempt number and worker id — the key the
+/// deterministic journal merge breaks ties by. Sequential runs carry no
+/// provenance, so their journal bytes are unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellProvenance {
+    /// 1-based attempt number of the completing lease.
+    pub attempt: u32,
+    /// Id of the worker that completed the cell.
+    pub worker: u64,
+}
+
 /// One journal line: a cell and its outcome.
 #[derive(Debug, Clone)]
 pub struct JournalEntry {
@@ -77,6 +89,8 @@ pub struct JournalEntry {
     pub key: CellKey,
     /// What it produced.
     pub record: CellRecord,
+    /// Fleet provenance, if a fleet worker completed the cell.
+    pub provenance: Option<CellProvenance>,
 }
 
 /// One quarantine verdict on record: which cell never completed, after
@@ -224,6 +238,12 @@ impl Journal {
             .map(|e| &e.record)
     }
 
+    /// Every completed-cell entry on record, in recording order — the
+    /// raw material of the fleet's deterministic journal merge.
+    pub fn entries(&self) -> &[JournalEntry] {
+        &self.entries
+    }
+
     /// Record a completed cell and atomically persist the whole journal.
     ///
     /// # Errors
@@ -278,7 +298,15 @@ impl Journal {
             text.push_str(&render_quarantine(record));
             text.push('\n');
         }
-        let tmp = self.path.with_extension("journal.tmp");
+        // The tmp name appends to the full file name (rather than
+        // replacing the extension) so sibling per-worker journals
+        // (`x.journal.w0`, `x.journal.w1`, …) never race on one tmp file.
+        let tmp = match self.path.file_name() {
+            Some(name) => self
+                .path
+                .with_file_name(format!("{}.tmp", name.to_string_lossy())),
+            None => self.path.with_extension("tmp"),
+        };
         {
             let mut file = fs::File::create(&tmp)?;
             file.write_all(text.as_bytes())?;
@@ -347,13 +375,21 @@ fn render_entry(entry: &JournalEntry) -> String {
         Some(reason) => json_string(reason),
         None => "null".to_string(),
     };
+    // The worker id is a u64 and crosses as a decimal string, same
+    // discipline as the sandbox marshalling; provenance is rendered only
+    // when present so sequential journals keep their exact bytes.
+    let provenance = match &entry.provenance {
+        None => String::new(),
+        Some(p) => format!(",\"attempt\":{},\"worker\":\"{}\"", p.attempt, p.worker),
+    };
     format!(
-        "{{\"benchmark\":{},\"collector\":{},\"heap_factor\":{:?},\"samples\":[{}],\"infeasible\":{}}}",
+        "{{\"benchmark\":{},\"collector\":{},\"heap_factor\":{:?},\"samples\":[{}],\"infeasible\":{}{}}}",
         json_string(&entry.key.benchmark),
         json_string(&entry.key.collector.to_string()),
         entry.key.heap_factor,
         samples.join(","),
         infeasible,
+        provenance,
     )
 }
 
@@ -454,12 +490,24 @@ fn parse_entry(obj: &JsonValue) -> Result<JournalEntry, String> {
         Some(JsonValue::Str(s)) => Some(s.clone()),
         Some(_) => return Err("field `infeasible` must be a string or null".to_string()),
     };
+    let provenance = match (obj.get("attempt"), obj.get("worker")) {
+        (Some(attempt), Some(worker)) => Some(CellProvenance {
+            attempt: attempt.as_num().ok_or("field `attempt` must be a number")? as u32,
+            worker: worker
+                .as_str()
+                .ok_or("field `worker` must be a string")?
+                .parse()
+                .map_err(|e| format!("field `worker` is not a u64: {e}"))?,
+        }),
+        _ => None,
+    };
     Ok(JournalEntry {
         key,
         record: CellRecord {
             samples,
             infeasible,
         },
+        provenance,
     })
 }
 
@@ -489,7 +537,27 @@ mod tests {
                 samples: vec![sample(0.1234567890123), sample(1e-7)],
                 infeasible: None,
             },
+            provenance: None,
         }
+    }
+
+    #[test]
+    fn provenance_round_trips_and_stays_off_sequential_lines() {
+        // Sequential entries render no provenance fields at all, so a
+        // fleet-aware harness and an old one produce identical journals
+        // for sequential runs.
+        let plain = render_entry(&entry("fop", 2.0));
+        assert!(!plain.contains("attempt") && !plain.contains("worker"));
+
+        let mut fleet_entry = entry("fop", 2.0);
+        fleet_entry.provenance = Some(CellProvenance {
+            attempt: 2,
+            worker: 9_007_199_254_740_993, // above 2^53: must survive as a string
+        });
+        let line = render_entry(&fleet_entry);
+        let parsed = parse_entry(&json::parse(&line).unwrap()).unwrap();
+        assert_eq!(parsed.provenance, fleet_entry.provenance);
+        assert!(parsed.key.matches(&fleet_entry.key));
     }
 
     #[test]
@@ -510,6 +578,7 @@ mod tests {
                     samples: Vec::new(),
                     infeasible: Some("run failed: out of memory \"quoted\"\n".to_string()),
                 },
+                provenance: None,
             })
             .unwrap();
 

@@ -47,6 +47,7 @@
 
 pub mod cli;
 pub mod experiments;
+pub mod fleet;
 pub mod journal;
 pub mod lint;
 pub mod obs;

@@ -89,7 +89,11 @@ fn journal_roundtrip(path: &Path) -> Result<u64, String> {
             infeasible: None,
         };
         journal
-            .record(JournalEntry { key, record })
+            .record(JournalEntry {
+                key,
+                record,
+                provenance: None,
+            })
             .map_err(|e| e.to_string())?;
     }
     let replayed = Journal::load(path).map_err(|e| e.to_string())?;

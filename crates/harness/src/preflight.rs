@@ -60,8 +60,9 @@ fn whole_suite() -> Vec<String> {
 /// requested (no watchdog otherwise), journalling from `--journal`,
 /// the isolation backend from `--isolation`, the sandbox policy from
 /// `--heartbeat-ms`/`--rlimit-as-mb`/`--rlimit-cpu-s` and hard faults
-/// from `--hard-faults` — so the R90x sandbox analyses see exactly what
-/// the run would do.
+/// from `--hard-faults` and the fleet shape from
+/// `--fleet`/`--lease-deadline` — so the R90x sandbox and R120x fleet
+/// analyses see exactly what the run would do.
 ///
 /// # Errors
 ///
@@ -97,7 +98,8 @@ pub fn plan_for_args(
     )?
     .with_isolation(isolation_from_args(args)?)
     .with_sandbox(sandbox_policy_from_args(args)?)
-    .with_hard_faults(hard_plan_from_args(args)?))
+    .with_hard_faults(hard_plan_from_args(args)?)
+    .with_fleet(crate::fleet::fleet_config_from_args(args)?.map(|config| config.plan)))
 }
 
 /// Run the analyses over `plan` and return the findings (rule order).

@@ -147,10 +147,13 @@ pub fn configure_isolation(
 }
 
 /// Run the sandbox worker protocol when this process was spawned as a
-/// cell worker; return immediately otherwise. Every harness binary (and
-/// every `harness = false` test binary that exercises process isolation)
-/// must call this first thing in `main`.
+/// cell worker, or the fleet worker loop when it was spawned (or
+/// environment-configured) as a fleet worker; return immediately
+/// otherwise. Every harness binary (and every `harness = false` test
+/// binary that exercises process isolation) must call this first thing
+/// in `main`.
 pub fn worker_entry() {
+    crate::fleet::maybe_fleet_worker();
     chopin_sandbox::worker::maybe_worker(handle_request);
 }
 
@@ -158,17 +161,20 @@ pub fn worker_entry() {
 // The child side: decode the request, run the cell, encode the outcome.
 // ---------------------------------------------------------------------
 
-/// One cell's worth of work, as marshalled to a worker process.
+/// One cell's worth of work, as marshalled to a worker process. The
+/// fleet coordinator reuses this exact shape (and its marshalling) as
+/// lease payloads, so fleet workers run cells bit-identically to
+/// sandboxed children.
 #[derive(Debug, Clone, PartialEq)]
-struct CellRequest {
-    benchmark: String,
-    collector: CollectorKind,
-    heap_factor: f64,
-    invocations: u32,
-    iterations: u32,
-    size: SizeClass,
-    faults: Option<FaultPlan>,
-    hard: Option<(HardFaultKind, u64)>,
+pub(crate) struct CellRequest {
+    pub(crate) benchmark: String,
+    pub(crate) collector: CollectorKind,
+    pub(crate) heap_factor: f64,
+    pub(crate) invocations: u32,
+    pub(crate) iterations: u32,
+    pub(crate) size: SizeClass,
+    pub(crate) faults: Option<FaultPlan>,
+    pub(crate) hard: Option<(HardFaultKind, u64)>,
 }
 
 fn handle_request(request: &str) -> Result<String, String> {
@@ -193,7 +199,10 @@ fn handle_request(request: &str) -> Result<String, String> {
 /// The same execution loop as `SweepCellRunner::run_cell`, inlined here
 /// so a clean process-isolated run is sample-for-sample identical to the
 /// thread backend.
-fn run_cell_inline(profile: &WorkloadProfile, req: &CellRequest) -> Result<CellOutcome, String> {
+pub(crate) fn run_cell_inline(
+    profile: &WorkloadProfile,
+    req: &CellRequest,
+) -> Result<CellOutcome, String> {
     let mut outcome = CellOutcome::default();
     for invocation in 0..req.invocations {
         let mut runner = BenchmarkRunner::for_profile(profile.clone())
@@ -293,7 +302,7 @@ fn render_faults(plan: &FaultPlan) -> String {
     )
 }
 
-fn render_request(req: &CellRequest) -> String {
+pub(crate) fn render_request(req: &CellRequest) -> String {
     let faults = match &req.faults {
         None => "null".to_string(),
         Some(plan) => render_faults(plan),
@@ -339,7 +348,7 @@ fn u64_field(obj: &JsonValue, key: &str) -> Result<u64, String> {
         .map_err(|e| format!("field `{key}` is not a u64: {e}"))
 }
 
-fn parse_request(text: &str) -> Result<CellRequest, String> {
+pub(crate) fn parse_request(text: &str) -> Result<CellRequest, String> {
     let obj = json::parse(text).map_err(|e| format!("unreadable cell request: {e}"))?;
     let faults = match obj.get("faults") {
         None | Some(JsonValue::Null) => None,
@@ -383,7 +392,7 @@ fn parse_request(text: &str) -> Result<CellRequest, String> {
     })
 }
 
-fn render_response(outcome: &CellOutcome) -> String {
+pub(crate) fn render_response(outcome: &CellOutcome) -> String {
     let samples: Vec<String> = outcome.samples.iter().map(journal::render_sample).collect();
     let infeasible = match &outcome.infeasible {
         Some(reason) => json_string(reason),
@@ -395,7 +404,7 @@ fn render_response(outcome: &CellOutcome) -> String {
     )
 }
 
-fn parse_response(text: &str) -> Result<CellOutcome, String> {
+pub(crate) fn parse_response(text: &str) -> Result<CellOutcome, String> {
     let obj = json::parse(text).map_err(|e| format!("unreadable cell response: {e}"))?;
     let samples = obj
         .get("samples")
@@ -765,12 +774,12 @@ pub fn reexec_isolated() -> i32 {
 }
 
 #[cfg(unix)]
-fn status_signal(status: &std::process::ExitStatus) -> Option<i32> {
+pub(crate) fn status_signal(status: &std::process::ExitStatus) -> Option<i32> {
     std::os::unix::process::ExitStatusExt::signal(status)
 }
 
 #[cfg(not(unix))]
-fn status_signal(_status: &std::process::ExitStatus) -> Option<i32> {
+pub(crate) fn status_signal(_status: &std::process::ExitStatus) -> Option<i32> {
     None
 }
 

@@ -30,6 +30,7 @@ use chopin_core::benchmark::{BenchmarkError, BenchmarkRunner};
 use chopin_core::lbo::RunSample;
 use chopin_core::sweep::{SweepConfig, SweepFailure, SweepResult};
 use chopin_faults::{FaultPlan, HardFaultPlan, PolicyError, SupervisorPolicy};
+use chopin_fleet::FleetConfig;
 use chopin_obs::MetricsRegistry;
 use chopin_runtime::collector::CollectorKind;
 use chopin_runtime::result::RunError;
@@ -361,6 +362,9 @@ pub fn supervision_requested(args: &crate::cli::Args) -> bool {
         "backoff-ms",
         "isolation",
         "hard-faults",
+        "fleet",
+        "lease-deadline",
+        "fleet-storm",
         "crash-reports",
         "heartbeat-ms",
         "rlimit-as-mb",
@@ -463,7 +467,7 @@ enum Attempt {
     Failed(QuarantineReason),
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -543,6 +547,7 @@ pub struct SuiteSupervisor {
     isolation: IsolationMode,
     sandbox: SandboxPolicy,
     hard_faults: Option<HardFaultPlan>,
+    fleet: Option<FleetConfig>,
     crash_reports_path: Option<PathBuf>,
     journal_path: Option<PathBuf>,
     resume: bool,
@@ -560,6 +565,7 @@ impl SuiteSupervisor {
             isolation: IsolationMode::Thread,
             sandbox: SandboxPolicy::default(),
             hard_faults: None,
+            fleet: None,
             crash_reports_path: None,
             journal_path: None,
             resume: false,
@@ -604,6 +610,16 @@ impl SuiteSupervisor {
     #[must_use]
     pub fn with_hard_faults(mut self, plan: Option<HardFaultPlan>) -> SuiteSupervisor {
         self.hard_faults = plan;
+        self
+    }
+
+    /// Shard the sweep across `--fleet N` worker processes via the
+    /// fleet coordinator ([`crate::fleet`]). `None` turns fleet mode
+    /// off. Incompatible with per-cell hard faults (rule R1203);
+    /// worker-level deaths come from [`FleetConfig`]'s storm instead.
+    #[must_use]
+    pub fn with_fleet(mut self, fleet: Option<FleetConfig>) -> SuiteSupervisor {
+        self.fleet = fleet;
         self
     }
 
@@ -710,6 +726,14 @@ impl SuiteSupervisor {
         config: &SweepConfig,
     ) -> Result<SuiteReport, SuperviseError> {
         self.policy.validate().map_err(SuperviseError::Policy)?;
+        if self.fleet.is_some() && self.hard_faults.is_some() {
+            return Err(SuperviseError::Isolation(
+                "per-cell hard faults cannot run inside a fleet: a fleet worker carries no \
+                 per-cell sandbox backstop; use --fleet-storm for worker-level deaths \
+                 (rule R1203)"
+                    .to_string(),
+            ));
+        }
         let (runner, process_runner) = self.effective_runner()?;
         let fingerprint = self.fingerprint(profiles, config, runner.as_ref());
 
@@ -752,6 +776,21 @@ impl SuiteSupervisor {
                     ));
                 }
             }
+        }
+
+        if let Some(fleet) = &self.fleet {
+            return crate::fleet::coordinate(crate::fleet::FleetRun {
+                config: *fleet,
+                policy: self.policy,
+                faults: self.faults.clone(),
+                profiles,
+                sweep: config,
+                cells,
+                journal,
+                journal_path: self.journal_path.clone(),
+                fingerprint,
+                crash_reports_path: self.crash_reports_path.clone(),
+            });
         }
 
         enum Slot {
@@ -817,6 +856,7 @@ impl SuiteSupervisor {
                                         samples: outcome.samples.clone(),
                                         infeasible: outcome.infeasible.clone(),
                                     },
+                                    provenance: None,
                                 });
                             }
                             Slot::Completed(outcome)

@@ -1,4 +1,4 @@
-//! The rule catalogue, grouped into ten families:
+//! The rule catalogue, grouped into eleven families:
 //!
 //! * **R1xx** ([`nominal`]) — nominal-statistic completeness and ranges.
 //! * **R2xx** ([`spec`]) — cross-field workload-spec consistency.
@@ -26,6 +26,12 @@
 //!   samples, consistent arrays) and correctly sequenced. Catalogued
 //!   here, implemented by the `chopin-perf` crate and run by
 //!   `artifact perf --check`.
+//! * **R12xx** — fleet-protocol configuration: coordinator/worker
+//!   sharding shape (worker count vs the cell matrix), lease deadlines
+//!   vs the R808 cost bound, and isolation-model conflicts between
+//!   per-cell hard faults and worker-kill storms. Catalogued here,
+//!   implemented by `chopin-analyzer` and enforced pre-flight wherever
+//!   `--fleet` is accepted.
 
 pub mod config;
 pub mod faults;
@@ -51,7 +57,7 @@ pub struct RuleDef {
 /// Every rule the linter implements, in id order. Rendered by
 /// `artifact lint --rules` and kept in sync with the rule modules by the
 /// crate's tests.
-pub const RULES: [RuleDef; 62] = [
+pub const RULES: [RuleDef; 65] = [
     RuleDef {
         id: "R101",
         severity: Severity::Error,
@@ -361,6 +367,21 @@ pub const RULES: [RuleDef; 62] = [
         id: "R1103",
         severity: Severity::Error,
         summary: "ledger file names and document PR numbers agree (BENCH_<PR>.json declares pr = <PR>) and the ledger's PRs are strictly ascending",
+    },
+    RuleDef {
+        id: "R1201",
+        severity: Severity::Error,
+        summary: "the fleet worker count fits the plan: at least 1, at most 256, and no more workers than cells in the sweep matrix",
+    },
+    RuleDef {
+        id: "R1202",
+        severity: Severity::Error,
+        summary: "the lease deadline covers the R808 cost lower bound of the slowest feasible cell: a lease that must expire is a reassignment storm, not a safety net",
+    },
+    RuleDef {
+        id: "R1203",
+        severity: Severity::Error,
+        summary: "per-cell hard faults (--hard-faults) are not combined with a fleet: workers run cells without the sandbox backstop; storm workers instead (--fleet-storm)",
     },
 ];
 

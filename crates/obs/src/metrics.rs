@@ -39,6 +39,32 @@ pub mod sandbox_metrics {
     pub const PEAK_RSS_MAX_BYTES: &str = "sandbox.peak_rss.max_bytes";
 }
 
+/// The `fleet.*` metric vocabulary the coordinator/worker sharding layer
+/// emits into a [`MetricsRegistry`] — same contract as
+/// [`sandbox_metrics`]: one spelling, shared by the emitting transport
+/// (`chopin_harness::fleet`) and every consumer.
+pub mod fleet_metrics {
+    /// Counter: worker processes spawned (including storm respawns).
+    pub const WORKERS_SPAWNED: &str = "fleet.workers.spawned";
+    /// Counter: worker deaths observed (EOF, reaped signal, lost beat).
+    pub const WORKER_DEATHS: &str = "fleet.workers.deaths";
+    /// Counter: worker slots quarantined after repeated crashes.
+    pub const WORKERS_QUARANTINED: &str = "fleet.workers.quarantined";
+    /// Counter: leases issued (first grants, re-leases and steals).
+    pub const LEASES_ISSUED: &str = "fleet.leases.issued";
+    /// Counter: leases that outlived their deadline and were reassigned.
+    pub const LEASES_EXPIRED: &str = "fleet.leases.expired";
+    /// Counter: duplicate leases granted on straggler cells.
+    pub const LEASES_STOLEN: &str = "fleet.leases.stolen";
+    /// Counter: cells requeued with backoff after a failure or death.
+    pub const CELLS_REQUEUED: &str = "fleet.cells.requeued";
+    /// Counter: duplicate completions resolved by the deterministic
+    /// `(attempt, worker)` merge tiebreak.
+    pub const MERGE_CONFLICTS: &str = "fleet.merge.conflicts";
+    /// Counter: cells recovered from per-worker journals on resume.
+    pub const CELLS_RECOVERED: &str = "fleet.cells.recovered";
+}
+
 /// A histogram over `u64` values (nanoseconds, by convention) with
 /// logarithmically spaced buckets and exact count/sum/max side-channels.
 ///
