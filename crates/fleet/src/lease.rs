@@ -117,7 +117,7 @@ enum Phase {
     Quarantined,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct CellState {
     phase: Phase,
     attempts: u32,
@@ -143,8 +143,59 @@ struct LeaseRecord {
     active: bool,
 }
 
+/// One wire-level event applied to the lease table — the pure-step
+/// surface used by the `chopin-model` conformance checker, folding every
+/// mutator into a single `(state, event, now) -> effect` transition
+/// function. The transport keeps calling the named methods; `step` is
+/// a thin dispatcher over them, so the model checks the shipped code
+/// paths, not a parallel copy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeaseEvent {
+    /// `@next`: a worker asks for work.
+    Ask {
+        /// The requesting worker.
+        worker: u64,
+    },
+    /// `@done`: a worker reports a completed lease.
+    Done {
+        /// The completed lease.
+        lease: u64,
+        /// Rendered cell response.
+        payload: String,
+    },
+    /// `@fail`: a worker reports a cell-level failure.
+    Fail {
+        /// The failed lease.
+        lease: u64,
+        /// `panicked:<msg>` or `errored:<msg>`.
+        reason: String,
+    },
+    /// EOF / SIGKILL / reaped child: the transport saw a worker die.
+    WorkerDead {
+        /// The dead worker.
+        worker: u64,
+    },
+    /// A poll timeout fired: sweep expired leases.
+    Tick,
+}
+
+/// What a [`LeaseEvent`] did to the table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeaseEffect {
+    /// `Ask` answered with a grant, a wait, or a drain.
+    Granted(Grant),
+    /// `Done` merged (`true`) or named an unknown lease (`false`).
+    Merged(bool),
+    /// `Fail` requeued, quarantined, or ignored.
+    Failed(FailOutcome),
+    /// `WorkerDead` released the worker's leases.
+    Released,
+    /// `Tick` expired this many leases.
+    Expired(u64),
+}
+
 /// The lease state machine. See the module docs for the lifecycle.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LeaseTable {
     policy: SupervisorPolicy,
     deadline_ms: u64,
@@ -323,8 +374,31 @@ impl LeaseTable {
         self.metrics.requeued += 1;
     }
 
+    /// Apply one wire-level event at virtual time `now`. Dispatches to
+    /// the named mutators — the model checker drives the table through
+    /// this single entry point so every transition it explores is the
+    /// shipped transition.
+    pub fn step(&mut self, event: LeaseEvent, now: u64) -> LeaseEffect {
+        match event {
+            LeaseEvent::Ask { worker } => LeaseEffect::Granted(self.grant(worker, now)),
+            LeaseEvent::Done { lease, payload } => {
+                LeaseEffect::Merged(self.complete(lease, payload))
+            }
+            LeaseEvent::Fail { lease, reason } => {
+                LeaseEffect::Failed(self.fail(lease, &reason, now))
+            }
+            LeaseEvent::WorkerDead { worker } => {
+                self.worker_dead(worker, now);
+                LeaseEffect::Released
+            }
+            LeaseEvent::Tick => LeaseEffect::Expired(self.expire(now)),
+        }
+    }
+
     /// A worker reported a completed lease. Late and duplicate reports
-    /// are welcome: they feed the `(attempt, worker)` merge. Returns
+    /// are welcome: they feed the `(attempt, worker)` merge, no matter
+    /// how far past the lease deadline the clock has moved — acceptance
+    /// is keyed on the lease id being known, never on `now`. Returns
     /// `false` for an unknown lease id.
     pub fn complete(&mut self, lease: u64, payload: String) -> bool {
         let Some(record) = self.leases.get_mut(&lease) else {
@@ -410,6 +484,14 @@ impl LeaseTable {
 
     /// Expire every lease past its deadline, requeueing the affected
     /// cells. Returns the number of leases expired.
+    ///
+    /// The deadline instant itself belongs to expiry: a lease issued at
+    /// `t` with deadline `D` is expired by `expire(t + D)`. A `Done`
+    /// arriving at exactly `t + D` is therefore accepted either way —
+    /// [`complete`](Self::complete) never consults the clock — and the
+    /// `(attempt, worker)` merge makes the final resolution identical
+    /// whichever of the two is processed first (pinned by
+    /// `done_at_the_deadline_instant_is_order_independent`).
     pub fn expire(&mut self, now: u64) -> u64 {
         let victims: Vec<(u64, usize)> = self
             .leases
@@ -461,29 +543,101 @@ impl LeaseTable {
         self.metrics
     }
 
-    /// Consume the table, yielding one resolution per cell in schedule
-    /// order.
+    /// The merged winner of one cell, if any completion has been
+    /// offered: `(attempt, worker, payload)`.
     #[must_use]
-    pub fn into_resolutions(self) -> Vec<CellResolution> {
+    pub fn cell_winner(&self, cell: usize) -> Option<(u32, u64, &str)> {
         self.cells
-            .into_iter()
+            .get(cell)?
+            .merge
+            .winner()
+            .map(|(a, w, p)| (a, w, p.as_str()))
+    }
+
+    /// One resolution per cell in schedule order, without consuming the
+    /// table — how the model checker reads the would-be CSV out of an
+    /// intermediate state.
+    #[must_use]
+    pub fn resolutions(&self) -> Vec<CellResolution> {
+        self.cells
+            .iter()
             .map(|cell| match cell.phase {
-                Phase::Completed => match cell.merge.into_winner() {
+                Phase::Completed => match cell.merge.winner() {
                     Some((attempt, worker, payload)) => CellResolution::Completed {
                         attempt,
                         worker,
-                        payload,
+                        payload: payload.clone(),
                     },
                     None => CellResolution::Unresolved,
                 },
                 Phase::Quarantined => CellResolution::Quarantined {
                     reason: cell
                         .last_failure
+                        .clone()
                         .unwrap_or_else(|| "errored:unknown".to_string()),
                 },
                 Phase::Pending { .. } | Phase::Leased => CellResolution::Unresolved,
             })
             .collect()
+    }
+
+    /// Consume the table, yielding one resolution per cell in schedule
+    /// order.
+    #[must_use]
+    pub fn into_resolutions(self) -> Vec<CellResolution> {
+        self.resolutions()
+    }
+
+    /// Canonical rendering of the table at virtual time `now`, with
+    /// every embedded instant rebased to a delta against `now` — two
+    /// tables that differ only by a uniform clock shift render
+    /// identically, which is what lets the model checker deduplicate
+    /// states reached at different absolute times. Everything that can
+    /// influence *future* behaviour or the final CSV is included
+    /// (phases, budgets, merge winners, live lease records);
+    /// report-only counters ([`LeaseMetrics`], merge conflict tallies)
+    /// are deliberately left out — and so are spent lease records and
+    /// the lease counter, a symmetry reduction the model relies on. A
+    /// spent record's `(cell, worker, attempt)` is fully determined by
+    /// the `Done`/`Fail` frame that could still name it, and unissued
+    /// lease ids are opaque names, so two tables differing only there
+    /// behave identically up to renaming.
+    #[must_use]
+    pub fn snapshot(&self, now: u64) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (idx, cell) in self.cells.iter().enumerate() {
+            let phase = match cell.phase {
+                Phase::Pending { not_before } => {
+                    format!("pending+{}", not_before.saturating_sub(now))
+                }
+                Phase::Leased => "leased".to_string(),
+                Phase::Completed => "completed".to_string(),
+                Phase::Quarantined => "quarantined".to_string(),
+            };
+            let winner = cell
+                .merge
+                .winner()
+                .map(|(a, w, p)| format!("{a}/{w}/{p:?}"))
+                .unwrap_or_default();
+            let failure = cell.last_failure.as_deref().unwrap_or("");
+            let _ = writeln!(
+                out,
+                "cell {idx} {phase} a{} f{} r{} o{} win[{winner}] last[{failure:?}]",
+                cell.attempts, cell.failures, cell.requeues, cell.outstanding,
+            );
+        }
+        for (id, lease) in self.leases.iter().filter(|(_, l)| l.active) {
+            let _ = writeln!(
+                out,
+                "lease {id} c{} w{} a{} age{}",
+                lease.cell,
+                lease.worker,
+                lease.attempt,
+                now.saturating_sub(lease.issued_at),
+            );
+        }
+        out
     }
 }
 
@@ -680,6 +834,124 @@ mod tests {
                 payload: "live".to_string()
             }
         );
+    }
+
+    #[test]
+    fn done_at_the_deadline_instant_is_order_independent() {
+        // The boundary pin: a lease issued at 0 with deadline 100 is
+        // expired by expire(100) — the deadline instant belongs to
+        // expiry — while complete() never consults the clock. A @done
+        // processed at exactly t=100 must therefore yield the same
+        // resolution whether the poll loop sweeps expiry before or
+        // after reading it.
+        let run = |expire_first: bool| {
+            let mut t = table(1, 100, 2);
+            let g = lease_of(t.grant(7, 0));
+            if expire_first {
+                assert_eq!(t.expire(100), 1, "the deadline instant expires");
+                assert!(t.complete(g.lease, "boundary".to_string()));
+                // The requeued cell may even re-lease; the late winner
+                // still holds on lower attempt.
+                assert!(t.is_done(), "completion resolves the requeued cell");
+            } else {
+                assert!(t.complete(g.lease, "boundary".to_string()));
+                assert_eq!(t.expire(100), 0, "completion already retired the lease");
+            }
+            t.into_resolutions()
+        };
+        let (swept_first, delivered_first) = (run(true), run(false));
+        assert_eq!(swept_first, delivered_first);
+        assert_eq!(
+            swept_first[0],
+            CellResolution::Completed {
+                attempt: 1,
+                worker: 7,
+                payload: "boundary".to_string()
+            }
+        );
+        // One millisecond earlier the lease is alive either way.
+        let mut t = table(1, 100, 2);
+        let g = lease_of(t.grant(7, 0));
+        assert_eq!(t.expire(99), 0);
+        assert!(t.complete(g.lease, "early".to_string()));
+    }
+
+    #[test]
+    fn step_dispatches_to_the_named_mutators() {
+        let mut stepped = table(2, 100, 1);
+        let mut direct = table(2, 100, 1);
+        let g = match stepped.step(LeaseEvent::Ask { worker: 0 }, 0) {
+            LeaseEffect::Granted(Grant::Lease(g)) => g,
+            other => panic!("expected a lease, got {other:?}"),
+        };
+        let d = lease_of(direct.grant(0, 0));
+        assert_eq!(g, d);
+        assert_eq!(
+            stepped.step(
+                LeaseEvent::Done {
+                    lease: g.lease,
+                    payload: "p".to_string()
+                },
+                1
+            ),
+            LeaseEffect::Merged(true)
+        );
+        assert!(direct.complete(d.lease, "p".to_string()));
+        let g2 = match stepped.step(LeaseEvent::Ask { worker: 1 }, 1) {
+            LeaseEffect::Granted(Grant::Lease(g)) => g,
+            other => panic!("expected a lease, got {other:?}"),
+        };
+        let d2 = lease_of(direct.grant(1, 1));
+        assert_eq!(
+            stepped.step(
+                LeaseEvent::Fail {
+                    lease: g2.lease,
+                    reason: "errored:x".to_string()
+                },
+                2
+            ),
+            LeaseEffect::Failed(FailOutcome::Requeued)
+        );
+        assert_eq!(direct.fail(d2.lease, "errored:x", 2), FailOutcome::Requeued);
+        assert_eq!(
+            stepped.step(LeaseEvent::WorkerDead { worker: 1 }, 3),
+            LeaseEffect::Released
+        );
+        direct.worker_dead(1, 3);
+        assert_eq!(stepped.step(LeaseEvent::Tick, 500), LeaseEffect::Expired(0));
+        direct.expire(500);
+        assert_eq!(
+            stepped.snapshot(500),
+            direct.snapshot(500),
+            "step must be the same transition function as the mutators"
+        );
+    }
+
+    #[test]
+    fn snapshot_is_clock_shift_invariant_and_behaviour_complete() {
+        let build = |base: u64| {
+            let mut t = table(2, 100, 2);
+            let g = lease_of(t.grant(0, base));
+            assert!(t.complete(g.lease, "done".to_string()));
+            let _ = lease_of(t.grant(1, base + 10));
+            t
+        };
+        let (a, b) = (build(0), build(1_000));
+        assert_eq!(
+            a.snapshot(20),
+            b.snapshot(1_020),
+            "uniform clock shifts must not split canonical states"
+        );
+        // But a behavioural difference — lease age — must show.
+        assert_ne!(a.snapshot(20), a.snapshot(21));
+        // And report-only counters must stay out: a death report for a
+        // worker holding nothing bumps metrics but changes no
+        // behaviour, so the canonical form is unchanged.
+        let mut c = build(0);
+        c.worker_dead(99, 20);
+        let fresh = build(0);
+        assert_ne!(c.metrics(), fresh.metrics());
+        assert_eq!(c.snapshot(20), fresh.snapshot(20));
     }
 
     #[test]

@@ -12,14 +12,19 @@
 //! `chopin_harness::fleet`):
 //!
 //! * [`protocol`] — the line-framed coordinator⇄worker wire format,
-//!   reusing the sandbox heartbeat pipe's escaping discipline so a
-//!   torn line from a dying worker corrupts at most itself.
+//!   extending the sandbox heartbeat pipe's escaping discipline with
+//!   field-level space folding so a torn line from a dying worker
+//!   corrupts at most itself and any payload survives any field.
 //! * [`lease`] — the coordinator's brain: a [`lease::LeaseTable`]
 //!   state machine handing out *leases* (cell + deadline + attempt)
 //!   driven entirely by a caller-supplied clock, with expiry →
 //!   reassignment, seeded full-jitter backoff on re-lease (the same
 //!   [`SupervisorPolicy`] jitter as sequential retries), per-slot
-//!   crash quarantine and work-stealing for stragglers.
+//!   crash quarantine and work-stealing for stragglers. The
+//!   [`lease::LeaseEvent`] pure-step surface plus the canonical
+//!   [`lease::LeaseTable::snapshot`] rendering are what let the
+//!   `chopin-model` checker exhaustively explore this exact state
+//!   machine under a virtual clock.
 //! * [`merge`] — the determinism anchor: duplicate completions from
 //!   stolen or re-leased cells are resolved by a fixed
 //!   `(attempt, worker)` tiebreak, so merged journals and the final
@@ -43,6 +48,6 @@ pub mod merge;
 pub mod protocol;
 
 pub use config::{parse_storm_flag, FleetConfig, FleetPlan, WorkerStormPlan, MAX_FLEET_WORKERS};
-pub use lease::{Grant, LeaseGrant, LeaseMetrics, LeaseTable};
+pub use lease::{Grant, LeaseEffect, LeaseEvent, LeaseGrant, LeaseMetrics, LeaseTable};
 pub use merge::CellMerge;
 pub use protocol::FleetFrame;

@@ -9,7 +9,11 @@
 //! well-defined even when they are not (a half-written journal from a
 //! SIGKILLed worker, a torn final line): the candidate with the lowest
 //! `(attempt, worker)` pair wins, always, on every host, regardless of
-//! arrival order.
+//! arrival order. Two candidates can even share the `(attempt, worker)`
+//! pair — a worker journals a cell and *then* sends `@done`, so a resume
+//! can absorb the shard row while the live completion is still in
+//! flight; the payload itself breaks that tie (lowest byte order wins),
+//! keeping resolution a pure function of the candidate *set*.
 
 /// Accumulates completion candidates for one cell and resolves them by
 /// the fixed `(attempt, worker)` tiebreak.
@@ -26,27 +30,6 @@ impl<T> CellMerge<T> {
         CellMerge {
             winner: None,
             conflicts: 0,
-        }
-    }
-
-    /// Offer a completion candidate. Returns `true` when the candidate
-    /// became (or stayed) the winner. Any offer after the first counts
-    /// as a merge conflict.
-    pub fn offer(&mut self, attempt: u32, worker: u64, value: T) -> bool {
-        match &self.winner {
-            None => {
-                self.winner = Some((attempt, worker, value));
-                true
-            }
-            Some((a, w, _)) => {
-                self.conflicts += 1;
-                if (attempt, worker) < (*a, *w) {
-                    self.winner = Some((attempt, worker, value));
-                    true
-                } else {
-                    false
-                }
-            }
         }
     }
 
@@ -72,6 +55,31 @@ impl<T> CellMerge<T> {
     #[must_use]
     pub fn is_resolved(&self) -> bool {
         self.winner.is_some()
+    }
+}
+
+impl<T: Ord> CellMerge<T> {
+    /// Offer a completion candidate. Returns `true` when the candidate
+    /// became (or stayed) the winner. Any offer after the first counts
+    /// as a merge conflict. Ties on `(attempt, worker)` — a shard row
+    /// and its in-flight live duplicate — fall through to the payload,
+    /// so the outcome is independent of arrival order even then.
+    pub fn offer(&mut self, attempt: u32, worker: u64, value: T) -> bool {
+        match &self.winner {
+            None => {
+                self.winner = Some((attempt, worker, value));
+                true
+            }
+            Some((a, w, v)) => {
+                self.conflicts += 1;
+                if (attempt, worker, &value) < (*a, *w, v) {
+                    self.winner = Some((attempt, worker, value));
+                    true
+                } else {
+                    false
+                }
+            }
+        }
     }
 }
 
@@ -118,5 +126,31 @@ mod tests {
         for w in &winners {
             assert_eq!(*w, Some((1, 2, "d")), "order must not matter");
         }
+    }
+
+    #[test]
+    fn equal_attempt_worker_candidates_tiebreak_on_the_payload() {
+        // A worker journals a cell, then sends @done: a resume can
+        // absorb the shard row while the live duplicate is still queued,
+        // and a torn shard tail can make the two payloads differ. The
+        // winner must not depend on which arrives first.
+        let shard = "half-writ";
+        let live = "whole";
+        let mut forward = CellMerge::new();
+        assert!(forward.offer(1, 0, shard));
+        assert!(!forward.offer(1, 0, live));
+        let mut backward = CellMerge::new();
+        assert!(backward.offer(1, 0, live));
+        assert!(backward.offer(1, 0, shard));
+        assert_eq!(forward.winner(), backward.winner());
+        assert_eq!(forward.winner(), Some((1, 0, &shard)), "lowest byte order");
+        assert_eq!(forward.conflicts(), 1);
+        assert_eq!(backward.conflicts(), 1);
+        // Byte-identical duplicates (the healthy-fleet case) still merge
+        // to the obvious fixpoint.
+        let mut dup = CellMerge::new();
+        dup.offer(1, 0, live);
+        assert!(!dup.offer(1, 0, live));
+        assert_eq!(dup.winner(), Some((1, 0, &live)));
     }
 }

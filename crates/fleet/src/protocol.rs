@@ -1,11 +1,16 @@
 //! The wire protocol between the fleet coordinator and its workers.
 //!
 //! The channel is a local TCP stream, framed line by line with the same
-//! escaping discipline as the sandbox heartbeat pipe
+//! torn-line discipline as the sandbox heartbeat pipe
 //! ([`chopin_sandbox::protocol`]): a worker SIGKILLed mid-write leaves at
 //! worst one torn line, which the coordinator ignores, never a corrupt
-//! stream. Payloads (rendered cell requests and responses) are escaped so
-//! any string survives the framing.
+//! stream. Escaped fields (fingerprints, journal paths, rendered cell
+//! requests and responses) use a superset of the sandbox escaping that
+//! also folds spaces into `\s` — fleet frames split fields on spaces, so
+//! a space left raw in a *non-final* field (the welcome fingerprint when
+//! a journal base follows it) would shift every later field over by one
+//! on parse. The proptest round-trip below pins the codec over arbitrary
+//! payloads.
 //!
 //! Frames (one per line, newline-terminated):
 //!
@@ -25,7 +30,50 @@
 //! fast path) or as lease-deadline expiry (the wedged-worker path), and
 //! the coordinator reassigns the victim's leases either way.
 
-use chopin_sandbox::protocol::{escape, unescape};
+/// Escape one frame field so it survives both the line framing (`\n`,
+/// `\r`) and the space-separated field framing (`\s`). Superset of
+/// `chopin_sandbox::protocol::escape`, which only guards the line
+/// framing and therefore cannot carry a non-final field.
+#[must_use]
+pub fn escape_field(field: &str) -> String {
+    let mut out = String::with_capacity(field.len());
+    for ch in field.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            ' ' => out.push_str("\\s"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Invert [`escape_field`]. Unknown escapes pass through verbatim, same
+/// as the sandbox codec, so a torn escape never corrupts the field.
+#[must_use]
+pub fn unescape_field(field: &str) -> String {
+    let mut out = String::with_capacity(field.len());
+    let mut chars = field.chars();
+    while let Some(ch) = chars.next() {
+        if ch != '\\' {
+            out.push(ch);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('s') => out.push(' '),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
 
 /// Environment variable that marks a process as a fleet worker.
 pub const ENV_FLEET_WORKER: &str = "CHOPIN_FLEET_WORKER";
@@ -118,27 +166,31 @@ pub fn render(frame: &FleetFrame) -> String {
             fingerprint,
             journal,
         } => match journal {
-            None => format!("@welcome {worker} {}", escape(fingerprint)),
-            Some(j) => format!("@welcome {worker} {} {}", escape(fingerprint), escape(j)),
+            None => format!("@welcome {worker} {}", escape_field(fingerprint)),
+            Some(j) => format!(
+                "@welcome {worker} {} {}",
+                escape_field(fingerprint),
+                escape_field(j)
+            ),
         },
         FleetFrame::Next { worker } => format!("@next {worker}"),
         FleetFrame::Lease {
             lease,
             attempt,
             payload,
-        } => format!("@lease {lease} {attempt} {}", escape(payload)),
+        } => format!("@lease {lease} {attempt} {}", escape_field(payload)),
         FleetFrame::Wait { ms } => format!("@wait {ms}"),
         FleetFrame::Drain => "@drain".to_string(),
         FleetFrame::Done {
             worker,
             lease,
             payload,
-        } => format!("@done {worker} {lease} {}", escape(payload)),
+        } => format!("@done {worker} {lease} {}", escape_field(payload)),
         FleetFrame::Fail {
             worker,
             lease,
             reason,
-        } => format!("@fail {worker} {lease} {}", escape(reason)),
+        } => format!("@fail {worker} {lease} {}", escape_field(reason)),
         FleetFrame::Beat { worker } => format!("@beat {worker}"),
     }
 }
@@ -171,8 +223,8 @@ pub fn parse(line: &str) -> Option<FleetFrame> {
         let worker = parts[0].parse().ok()?;
         return Some(FleetFrame::Welcome {
             worker,
-            fingerprint: unescape(parts[1]),
-            journal: parts.get(2).map(|j| unescape(j)),
+            fingerprint: unescape_field(parts[1]),
+            journal: parts.get(2).map(|j| unescape_field(j)),
         });
     }
     if let Some(rest) = line.strip_prefix("@next ") {
@@ -186,7 +238,7 @@ pub fn parse(line: &str) -> Option<FleetFrame> {
         return Some(FleetFrame::Lease {
             lease: parts[0].parse().ok()?,
             attempt: parts[1].parse().ok()?,
-            payload: unescape(parts[2]),
+            payload: unescape_field(parts[2]),
         });
     }
     if let Some(rest) = line.strip_prefix("@wait ") {
@@ -203,7 +255,7 @@ pub fn parse(line: &str) -> Option<FleetFrame> {
         return Some(FleetFrame::Done {
             worker: parts[0].parse().ok()?,
             lease: parts[1].parse().ok()?,
-            payload: unescape(parts[2]),
+            payload: unescape_field(parts[2]),
         });
     }
     if let Some(rest) = line.strip_prefix("@fail ") {
@@ -214,7 +266,7 @@ pub fn parse(line: &str) -> Option<FleetFrame> {
         return Some(FleetFrame::Fail {
             worker: parts[0].parse().ok()?,
             lease: parts[1].parse().ok()?,
-            reason: unescape(parts[2]),
+            reason: unescape_field(parts[2]),
         });
     }
     if let Some(rest) = line.strip_prefix("@beat ") {
@@ -226,6 +278,7 @@ pub fn parse(line: &str) -> Option<FleetFrame> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn frames_round_trip_through_the_wire_format() {
@@ -270,6 +323,94 @@ mod tests {
             );
             assert_eq!(parse(&line), Some(frame), "line {line:?}");
         }
+    }
+
+    // Palette biased toward codec-hostile characters: separators, the
+    // escape character itself, and the letters that follow a backslash
+    // in escape sequences (so `\` + `s` adjacency is exercised).
+    fn field() -> impl Strategy<Value = String> {
+        proptest::collection::vec(0u8..10, 0..12).prop_map(|codes| {
+            codes
+                .iter()
+                .map(|c| match c {
+                    0 => 'a',
+                    1 => ' ',
+                    2 => '\\',
+                    3 => '\n',
+                    4 => '\r',
+                    5 => 's',
+                    6 => 'n',
+                    7 => 'r',
+                    8 => 'é',
+                    _ => '@',
+                })
+                .collect()
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_payloads_round_trip_in_every_escaped_field(
+            fp in field(),
+            journal in field(),
+            payload in field(),
+            worker in 0u64..1000,
+            lease in 0u64..1000,
+            attempt in 1u32..9,
+        ) {
+            let frames = [
+                FleetFrame::Welcome {
+                    worker,
+                    fingerprint: fp.clone(),
+                    journal: None,
+                },
+                // The non-final escaped field: a raw space or newline in
+                // the fingerprint here would shift the journal field.
+                FleetFrame::Welcome {
+                    worker,
+                    fingerprint: fp.clone(),
+                    journal: Some(journal.clone()),
+                },
+                FleetFrame::Lease {
+                    lease,
+                    attempt,
+                    payload: payload.clone(),
+                },
+                FleetFrame::Done {
+                    worker,
+                    lease,
+                    payload: payload.clone(),
+                },
+                FleetFrame::Fail {
+                    worker,
+                    lease,
+                    reason: payload.clone(),
+                },
+            ];
+            for frame in frames {
+                let line = render(&frame);
+                prop_assert!(
+                    !line.contains('\n') && !line.contains('\r'),
+                    "frame must stay on one line: {line:?}"
+                );
+                prop_assert_eq!(parse(&line), Some(frame.clone()), "line {:?}", line);
+            }
+        }
+    }
+
+    #[test]
+    fn field_codec_keeps_spaces_out_of_the_field_framing() {
+        // Regression shape for the asymmetry the round-trip found: a
+        // fingerprint containing a space, followed by a journal base.
+        let frame = FleetFrame::Welcome {
+            worker: 3,
+            fingerprint: "finger print".to_string(),
+            journal: Some("results/run.journal".to_string()),
+        };
+        let line = render(&frame);
+        assert_eq!(line, "@welcome 3 finger\\sprint results/run.journal");
+        assert_eq!(parse(&line), Some(frame));
+        assert_eq!(unescape_field(&escape_field("\\s \\n\r\n")), "\\s \\n\r\n");
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! artifact perf --run        # hot-path bench suite -> BENCH_<PR>.json
 //! artifact perf --report     # trajectory ledger -> perf-report.html
 //! artifact perf --check      # regression gate vs best prior point
+//! artifact model --check     # exhaustive fleet-protocol model check
+//! artifact model --demo lost-lease --trace  # seeded bug + trace
 //! ```
 //!
 //! `artifact analyze [--plan NAME] [--results FILE] [--json]` compiles a
@@ -84,6 +86,17 @@
 //! when any bench's `min_ns` regressed by more than the tolerance
 //! (default 10%).
 //!
+//! `artifact model [--check] [--bounds W,C,K] [--trace] [--demo
+//! lost-lease]` runs the `chopin-model` bounded exhaustive state-space
+//! checker over the fleet lease protocol: every interleaving of wire
+//! messages, worker deaths, coordinator crashes and lease expiries
+//! under the given bounds, with the shipped `LeaseTable` as the
+//! coordinator (rules R1301–R1305). Exits non-zero on a violation,
+//! writing the minimal message-by-message counterexample to
+//! `results/model-counterexample.txt` for CI to upload; `--demo
+//! lost-lease` seeds the broken resume path and exits 1 with the R1303
+//! trace.
+//!
 //! `artifact trace [-b BENCH] [--collector NAME] [--heap-factor F]
 //! [--trace-out FILE] [--events-out FILE] [--check]` runs one benchmark
 //! with the engine's tracing observer attached, writes a
@@ -109,8 +122,8 @@ use chopin_sandbox::IsolationMode;
 use chopin_workloads::faults::{preset as fault_preset, DEFAULT_HORIZON_NS, FALLBACK_SEED};
 
 const USAGE: &str = "usage: artifact <kick-the-tires|lbo|latency|validate|lint|analyze|srclint|\
-                     trace|chaos|perf> [--json|--rules|--check|--run|--report|--plan NAME|\
-                     --results FILE|--current FILE|--workers]";
+                     trace|chaos|perf|model> [--json|--rules|--check|--run|--report|--plan NAME|\
+                     --results FILE|--current FILE|--workers|--bounds W,C,K|--demo NAME|--trace]";
 
 /// The deterministic CSV of a suite report, in schedule order — the
 /// byte-equality currency of the fleet checks (same shape `runbms`
@@ -752,6 +765,9 @@ fn main() {
     }
     if command == "perf" {
         std::process::exit(chopin_harness::perf::run_perf(&args));
+    }
+    if command == "model" {
+        std::process::exit(chopin_harness::model::run_model(&args));
     }
     let Some(preset) = Preset::parse(command) else {
         eprintln!("{USAGE}");

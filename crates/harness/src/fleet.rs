@@ -242,22 +242,40 @@ fn key_of(cell: &Cell) -> CellKey {
     }
 }
 
+/// What [`absorb_recovered`] found on disk.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct AbsorbStats {
+    /// Cells pre-resolved from recovered journal entries.
+    recovered: usize,
+    /// Duplicate completions folded away by the merge tiebreak.
+    conflicts: u64,
+    /// Sibling shards rejected for carrying a foreign fingerprint.
+    foreign_shards: u64,
+}
+
 /// Absorb every recovered completion — from the base journal and every
 /// fingerprint-matching sibling worker journal — into the lease table,
 /// resolving duplicates with the deterministic `(attempt, worker)`
-/// tiebreak. Winners missing from the base journal are persisted into
-/// it *now*, before any worker spawns: workers truncate their own
-/// `.w<id>` files on startup, so a second coordinator crash must not be
-/// able to lose cells recovered from the first.
+/// tiebreak over the *rendered response bytes* (the same currency the
+/// live merge uses, so equal-provenance duplicates tiebreak on payload
+/// identically in both paths). Winners missing from the base journal
+/// are persisted into it *now*, before any worker spawns: workers
+/// truncate their own `.w<id>` files on startup, so a second
+/// coordinator crash must not be able to lose cells recovered from the
+/// first.
 ///
-/// Returns `(recovered cell count, duplicate completions seen)`.
+/// Sibling shards whose fingerprint does not match the sweep are
+/// **rejected, loudly**: they are counted, named on stderr and surfaced
+/// as `fleet.shards.rejected` — a stale shard silently vanishing would
+/// be indistinguishable from data loss.
 fn absorb_recovered(
     table: &mut LeaseTable,
     cells: &[(usize, Cell)],
     journal: &mut Option<Journal>,
     journal_path: Option<&Path>,
     fingerprint: u64,
-) -> (usize, u64) {
+) -> AbsorbStats {
+    let mut stats = AbsorbStats::default();
     let mut candidates: Vec<(usize, u32, u64, CellRecord)> = Vec::new();
     let collect = |candidates: &mut Vec<(usize, u32, u64, CellRecord)>,
                    entries: &[JournalEntry]| {
@@ -280,32 +298,44 @@ fn absorb_recovered(
                 continue;
             };
             if worker_journal.fingerprint() != fingerprint {
+                stats.foreign_shards += 1;
+                eprintln!(
+                    "fleet: rejecting worker journal {} (fingerprint {:016x}, sweep is {:016x})",
+                    worker_path.display(),
+                    worker_journal.fingerprint(),
+                    fingerprint,
+                );
                 continue;
             }
             collect(&mut candidates, worker_journal.entries());
         }
     }
 
-    let mut merges: BTreeMap<usize, (CellMerge<CellRecord>, u64)> = BTreeMap::new();
+    let mut merges: BTreeMap<usize, (CellMerge<String>, u64)> = BTreeMap::new();
     for (idx, attempt, worker, record) in candidates {
+        let rendered = render_response(&CellOutcome {
+            samples: record.samples,
+            infeasible: record.infeasible,
+        });
         let slot = merges.entry(idx).or_insert_with(|| (CellMerge::new(), 0));
-        slot.0.offer(attempt, worker, record);
+        slot.0.offer(attempt, worker, rendered);
         slot.1 += 1;
     }
 
-    let mut conflicts = 0;
-    let mut recovered = 0;
     for (idx, (merge, seen)) in merges {
-        conflicts += seen.saturating_sub(1);
-        let Some((attempt, worker, record)) = merge.into_winner() else {
+        stats.conflicts += seen.saturating_sub(1);
+        let Some((attempt, worker, rendered)) = merge.into_winner() else {
             continue;
         };
-        let outcome = CellOutcome {
-            samples: record.samples.clone(),
-            infeasible: record.infeasible.clone(),
+        let record = match parse_response(&rendered) {
+            Ok(outcome) => CellRecord {
+                samples: outcome.samples,
+                infeasible: outcome.infeasible,
+            },
+            Err(_) => continue,
         };
-        table.absorb(idx, attempt, worker, render_response(&outcome));
-        recovered += 1;
+        table.absorb(idx, attempt, worker, rendered);
+        stats.recovered += 1;
         if let Some(j) = journal.as_mut() {
             let key = key_of(&cells[idx].1);
             if j.lookup(&key).is_none() {
@@ -317,7 +347,7 @@ fn absorb_recovered(
             }
         }
     }
-    (recovered, conflicts)
+    stats
 }
 
 // ---------------------------------------------------------------------
@@ -361,7 +391,7 @@ pub(crate) fn coordinate(run: FleetRun<'_>) -> Result<SuiteReport, SuperviseErro
 
     let seeds: Vec<u64> = cells.iter().map(|(_, cell)| cell_seed(cell)).collect();
     let mut table = LeaseTable::new(seeds, policy, config.plan.deadline_ms());
-    let (recovered, absorb_conflicts) = absorb_recovered(
+    let absorbed = absorb_recovered(
         &mut table,
         &cells,
         &mut journal,
@@ -371,9 +401,10 @@ pub(crate) fn coordinate(run: FleetRun<'_>) -> Result<SuiteReport, SuperviseErro
 
     let mut metrics = MetricsRegistry::new();
     metrics.inc("supervisor.cells", cells.len() as u64);
-    metrics.inc("supervisor.cells.resumed", recovered as u64);
-    metrics.inc(fleet_metrics::CELLS_RECOVERED, recovered as u64);
-    metrics.inc(fleet_metrics::MERGE_CONFLICTS, absorb_conflicts);
+    metrics.inc("supervisor.cells.resumed", absorbed.recovered as u64);
+    metrics.inc(fleet_metrics::CELLS_RECOVERED, absorbed.recovered as u64);
+    metrics.inc(fleet_metrics::MERGE_CONFLICTS, absorbed.conflicts);
+    metrics.inc(fleet_metrics::SHARDS_REJECTED, absorbed.foreign_shards);
 
     let mut crash_reports = Vec::new();
     if !table.is_done() {
@@ -1310,8 +1341,9 @@ mod tests {
             j.record(entry("fop", wall, Some(CellProvenance { attempt, worker })))
                 .unwrap();
         }
-        // A sibling journal from a *different* configuration must be
-        // ignored entirely.
+        // A sibling journal from a *different* configuration must not
+        // contribute candidates — but it must be *counted* as rejected,
+        // never silently dropped.
         let mut stale = Journal::create(&worker_journal_path(&base_path, 9), 0x0bad).unwrap();
         stale
             .record(entry(
@@ -1328,15 +1360,19 @@ mod tests {
         let seeds: Vec<u64> = cells.iter().map(|(_, c)| cell_seed(c)).collect();
         let mut table = LeaseTable::new(seeds, SupervisorPolicy::default(), 1_000);
         let mut journal = Some(Journal::create(&base_path, fingerprint).unwrap());
-        let (recovered, conflicts) = absorb_recovered(
+        let absorbed = absorb_recovered(
             &mut table,
             &cells,
             &mut journal,
             Some(&base_path),
             fingerprint,
         );
-        assert_eq!(recovered, 1);
-        assert_eq!(conflicts, 2);
+        assert_eq!(absorbed.recovered, 1);
+        assert_eq!(absorbed.conflicts, 2);
+        assert_eq!(
+            absorbed.foreign_shards, 1,
+            "the stale shard is rejected, visibly"
+        );
         assert!(table.is_done());
 
         // Winner: attempt 1, worker 3 (lower attempt beats lower
@@ -1366,6 +1402,65 @@ mod tests {
                 worker: 3
             })
         );
+    }
+
+    /// Equal `(attempt, worker)` candidates from *different* journals:
+    /// the base journal already holds a winner persisted by an earlier
+    /// resume while the worker's own shard (not yet truncated) carries
+    /// the same completion — possibly with a different byte rendering
+    /// if the shard tail was torn. The payload tiebreak must pick one
+    /// deterministically instead of trusting arrival order.
+    #[test]
+    fn equal_provenance_shard_conflicts_tiebreak_on_payload_bytes() {
+        let fingerprint = 0xfeed_f00d;
+        let base_path = scratch("equalprov.journal");
+        let _ = std::fs::remove_file(&base_path);
+        let prov = CellProvenance {
+            attempt: 1,
+            worker: 3,
+        };
+        let mut base = Journal::create(&base_path, fingerprint).unwrap();
+        base.record(entry("fop", 0.5, Some(prov))).unwrap();
+        drop(base);
+        let mut shard = Journal::create(&worker_journal_path(&base_path, 3), fingerprint).unwrap();
+        shard.record(entry("fop", 0.25, Some(prov))).unwrap();
+        drop(shard);
+
+        let cells = vec![(0usize, cell("fop"))];
+        let seeds: Vec<u64> = cells.iter().map(|(_, c)| cell_seed(c)).collect();
+        let mut table = LeaseTable::new(seeds, SupervisorPolicy::default(), 1_000);
+        let mut journal = Some(Journal::load(&base_path).unwrap());
+        let absorbed = absorb_recovered(
+            &mut table,
+            &cells,
+            &mut journal,
+            Some(&base_path),
+            fingerprint,
+        );
+        assert_eq!(absorbed.recovered, 1);
+        assert_eq!(absorbed.conflicts, 1);
+        assert_eq!(absorbed.foreign_shards, 0);
+        match table.into_resolutions().pop().unwrap() {
+            CellResolution::Completed {
+                attempt,
+                worker,
+                payload,
+            } => {
+                assert_eq!((attempt, worker), (1, 3));
+                // The winner is the byte-wise minimum of the two
+                // renderings — a pure function of the candidate set.
+                let rendered = |wall: f64| {
+                    let e = entry("fop", wall, Some(prov));
+                    render_response(&CellOutcome {
+                        samples: e.record.samples,
+                        infeasible: e.record.infeasible,
+                    })
+                };
+                let expected = rendered(0.5).min(rendered(0.25));
+                assert_eq!(payload, expected);
+            }
+            other => panic!("expected a completion, got {other:?}"),
+        }
     }
 
     #[test]

@@ -32,6 +32,10 @@
 //!   injection (`--hard-faults kill|abort|oom`) and crash-report JSONL.
 //! * [`journal`] — the supervisor's crash-safe completed-cell journal
 //!   backing `--resume`, plus quarantine verdict records.
+//! * [`model`] — the `artifact model` driver: the [`chopin_model`]
+//!   bounded exhaustive checker over the fleet lease protocol (rules
+//!   R1301–R1305), with minimal counterexample traces and the seeded
+//!   `lost-lease` demo.
 //! * [`perf`] — the `artifact perf` driver: the [`chopin_perf`] hot-path
 //!   bench suite plus the harness-owned journal write/replay bench, the
 //!   `BENCH_*.json` trajectory ledger, the regression gate and the HTML
@@ -50,6 +54,7 @@ pub mod experiments;
 pub mod fleet;
 pub mod journal;
 pub mod lint;
+pub mod model;
 pub mod obs;
 pub mod output;
 pub mod perf;

@@ -1,0 +1,92 @@
+//! The `artifact model` gate, end to end against the real binary: the
+//! shipped protocol explores clean under small bounds (exit 0), and the
+//! seeded `lost-lease` demo is caught as R1303 with a minimal
+//! message-by-message counterexample on stdout (exit 1) plus a
+//! counterexample artifact on disk for CI to upload.
+
+use std::process::{Command, Output};
+
+fn artifact(args: &[&str], dir: &std::path::Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_artifact"))
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("artifact binary runs")
+}
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("chopin-model-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+#[test]
+fn the_shipped_protocol_explores_clean() {
+    let dir = scratch("check");
+    // Worker death + respawn + steal + expiry under a crash budget, at
+    // bounds small enough for a debug-profile test binary; CI runs the
+    // release gate at the full default bounds.
+    let out = artifact(&["model", "--check", "--bounds", "2,2,1"], &dir);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stdout: {stdout}\nstderr: {stderr}"
+    );
+    assert!(stdout.contains("check OK"), "stdout: {stdout}");
+    assert!(stdout.contains("explored"), "stdout: {stdout}");
+    assert!(
+        !dir.join("results/model-counterexample.txt").exists(),
+        "a clean run must not leave a counterexample behind"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn the_lost_lease_demo_produces_the_minimal_r1303_counterexample() {
+    let dir = scratch("demo");
+    let out = artifact(&["model", "--demo", "lost-lease", "--trace"], &dir);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stdout: {stdout}\nstderr: {stderr}"
+    );
+    assert!(stderr.contains("R1303"), "stderr: {stderr}");
+    // The violated rule is named, and the trace tells the story
+    // message by message: grant, durable completion, coordinator
+    // crash, lossy resume, second crash.
+    assert!(stdout.contains("rule      R1303"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("minimal counterexample"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("@lease"), "stdout: {stdout}");
+    assert!(stdout.contains("journals"), "stdout: {stdout}");
+    assert!(stdout.contains("coordinator crashes"), "stdout: {stdout}");
+    assert!(stdout.contains("resumes"), "stdout: {stdout}");
+    assert!(stdout.contains("persist skipped"), "stdout: {stdout}");
+    // The artifact CI uploads on failure.
+    let artifact_path = dir.join("results/model-counterexample.txt");
+    let document = std::fs::read_to_string(&artifact_path).expect("counterexample written");
+    assert!(document.contains("R1303"), "{document}");
+    assert!(document.contains("violating state:"), "{document}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_bounds_are_usage_errors() {
+    let dir = scratch("usage");
+    for args in [
+        &["model", "--bounds", "0,1,1"][..],
+        &["model", "--bounds", "junk"][..],
+        &["model", "--demo", "no-such-demo"][..],
+    ] {
+        let out = artifact(args, &dir);
+        assert_eq!(out.status.code(), Some(2), "args: {args:?}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

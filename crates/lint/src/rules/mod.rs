@@ -1,4 +1,4 @@
-//! The rule catalogue, grouped into eleven families:
+//! The rule catalogue, grouped into twelve families:
 //!
 //! * **R1xx** ([`nominal`]) — nominal-statistic completeness and ranges.
 //! * **R2xx** ([`spec`]) — cross-field workload-spec consistency.
@@ -32,6 +32,13 @@
 //!   per-cell hard faults and worker-kill storms. Catalogued here,
 //!   implemented by `chopin-analyzer` and enforced pre-flight wherever
 //!   `--fleet` is accepted.
+//! * **R13xx** — fleet-protocol *behaviour*: the safety and bounded-
+//!   liveness rules of the coordinator/worker lease protocol itself
+//!   (single committed winner per cell, merge minimality against late
+//!   results, durability across shard truncation, merged-journal
+//!   determinism, drain liveness). Catalogued here, checked on every
+//!   reachable state of the bounded state space by the `chopin-model`
+//!   exhaustive checker and run by `artifact model --check`.
 
 pub mod config;
 pub mod faults;
@@ -57,7 +64,7 @@ pub struct RuleDef {
 /// Every rule the linter implements, in id order. Rendered by
 /// `artifact lint --rules` and kept in sync with the rule modules by the
 /// crate's tests.
-pub const RULES: [RuleDef; 65] = [
+pub const RULES: [RuleDef; 70] = [
     RuleDef {
         id: "R101",
         severity: Severity::Error,
@@ -382,6 +389,31 @@ pub const RULES: [RuleDef; 65] = [
         id: "R1203",
         severity: Severity::Error,
         summary: "per-cell hard faults (--hard-faults) are not combined with a fleet: workers run cells without the sandbox backstop; storm workers instead (--fleet-storm)",
+    },
+    RuleDef {
+        id: "R1301",
+        severity: Severity::Error,
+        summary: "no cell is committed to the base journal by two winners: every cell has at most one sealed row",
+    },
+    RuleDef {
+        id: "R1302",
+        severity: Severity::Error,
+        summary: "the merge winner is the (attempt, worker)-minimal candidate ever offered: a generation-checked late result never overwrites an established winner",
+    },
+    RuleDef {
+        id: "R1303",
+        severity: Severity::Error,
+        summary: "no completed cell is lost between shard truncation and base-journal persist: every durable completion survives in the base, a shard, or the live coordinator",
+    },
+    RuleDef {
+        id: "R1304",
+        severity: Severity::Error,
+        summary: "the merged journal is deterministic: every committed payload and every drained resolution is the pure function of the sweep matrix",
+    },
+    RuleDef {
+        id: "R1305",
+        severity: Severity::Error,
+        summary: "bounded liveness under fairness: every reachable state can still drain (every cell reaches Done or quarantine; no drain deadlock)",
     },
 ];
 

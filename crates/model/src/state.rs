@@ -1,0 +1,830 @@
+//! The typed model state and its transition relation.
+//!
+//! One [`ModelState`] is a global snapshot of the modelled fleet: the
+//! coordinator (the *real* [`LeaseTable`], or `None` after a crash),
+//! every worker slot, the in-flight worker→coordinator frames, the
+//! durable journals (per-worker shards plus the append-only base), the
+//! virtual clock, the adversarial budgets, and two ghost variables that
+//! exist only for invariant checking — which cells ever had a durable
+//! completion record, and which `(attempt, worker)` candidates were
+//! offered to the current coordinator incarnation.
+//!
+//! [`ModelState::successors`] is the full transition relation:
+//! protocol moves (ask/complete/fail/deliver/detect/drain), clock moves
+//! (advance to the next interesting instant, expiry sweeps) and
+//! adversary moves (worker death, death mid-completion, coordinator
+//! crash, resume). Coordinator replies are synchronous — the worker
+//! loop blocks on each `@next` round-trip — so the only queued
+//! direction is worker→coordinator, per-channel FIFO, exactly the TCP
+//! guarantee. A dead worker's already-written frames stay deliverable
+//! until its channel drains, and only then can the coordinator see the
+//! EOF: the kernel hands the reader buffered bytes before the hangup.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use chopin_fleet::lease::{FailOutcome, Grant, LeaseEffect, LeaseEvent, LeaseTable};
+
+use crate::bounds::Bounds;
+
+/// The deterministic payload a completing worker reports for `cell` —
+/// making the expected merged output a pure function of the bounds, so
+/// determinism is checkable per state instead of by comparing runs.
+#[must_use]
+pub fn payload_of(cell: usize) -> String {
+    format!("payload(cell{cell})")
+}
+
+/// The reason every modelled cell-level failure reports.
+pub const FAIL_REASON: &str = "errored:model-fault";
+
+/// Which seeded protocol bug, if any, the transition relation carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeededBug {
+    /// The shipped semantics.
+    None,
+    /// `demo:lost-lease` — resume forgets to persist merged shard
+    /// winners into the base journal before the respawned workers
+    /// truncate their shards. One crash absorbs the completion into
+    /// coordinator memory; the truncation erases the only durable copy;
+    /// a second crash loses the cell (R1303).
+    LostLease,
+}
+
+/// One worker→coordinator frame in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Msg {
+    /// `@done`: a completed lease (payload derived from the cell).
+    Done {
+        /// Lease being completed.
+        lease: u64,
+        /// Cell the lease covered (for ghosts and labels).
+        cell: usize,
+        /// Attempt number of the lease.
+        attempt: u32,
+        /// Reporting worker.
+        worker: u64,
+    },
+    /// `@fail`: a cell-level failure.
+    Fail {
+        /// The failed lease.
+        lease: u64,
+        /// Reporting worker.
+        worker: u64,
+    },
+}
+
+impl Msg {
+    fn label(&self) -> String {
+        match self {
+            Msg::Done {
+                lease,
+                cell,
+                attempt,
+                worker,
+            } => format!("@done L{lease} c{cell} a{attempt} w{worker}"),
+            Msg::Fail { lease, worker } => format!("@fail L{lease} w{worker}"),
+        }
+    }
+}
+
+/// One durable journal row: a completion record with provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row {
+    /// Completed cell.
+    pub cell: usize,
+    /// Attempt that produced the record.
+    pub attempt: u32,
+    /// Worker that produced the record.
+    pub worker: u64,
+    /// The rendered payload.
+    pub payload: String,
+}
+
+impl Row {
+    fn label(&self) -> String {
+        format!("c{} a{} w{}", self.cell, self.attempt, self.worker)
+    }
+}
+
+/// One worker slot's automaton state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Slot {
+    /// Alive, about to send `@next`.
+    Idle {
+        /// Current worker id of the slot.
+        worker: u64,
+    },
+    /// Told to `@wait`; re-asks at `until`.
+    Waiting {
+        /// Current worker id of the slot.
+        worker: u64,
+        /// Virtual instant of the next `@next`.
+        until: u64,
+    },
+    /// Holds a lease and is executing its cell.
+    Running {
+        /// Current worker id of the slot.
+        worker: u64,
+        /// The held lease.
+        lease: u64,
+        /// The leased cell.
+        cell: usize,
+        /// The lease's attempt number.
+        attempt: u32,
+    },
+    /// Crashed; the coordinator has not yet seen the EOF.
+    Dead {
+        /// The dead worker's id.
+        worker: u64,
+    },
+    /// Drained cleanly, or orphaned by a coordinator crash.
+    Exited,
+}
+
+impl Slot {
+    fn alive(&self) -> bool {
+        matches!(
+            self,
+            Slot::Idle { .. } | Slot::Waiting { .. } | Slot::Running { .. }
+        )
+    }
+}
+
+/// A global snapshot of the modelled fleet. See the module docs.
+#[derive(Debug, Clone)]
+pub struct ModelState {
+    /// The virtual clock, in milliseconds.
+    pub now: u64,
+    /// The coordinator's lease table — the shipped state machine — or
+    /// `None` while the coordinator is down.
+    pub table: Option<LeaseTable>,
+    /// Worker slots, indexed by slot number.
+    pub slots: Vec<Slot>,
+    /// Respawn generation per slot (fresh ids are `slot + W * gen`,
+    /// matching the transport).
+    pub generations: Vec<u32>,
+    /// Per-slot worker→coordinator FIFO channels.
+    pub channels: Vec<Vec<Msg>>,
+    /// Durable per-worker shard journals, keyed by worker id. Files
+    /// persist across the death of their writer; a (re)spawned worker
+    /// truncates its own shard.
+    pub shards: BTreeMap<u64, Vec<Row>>,
+    /// The append-only base journal.
+    pub base: Vec<Row>,
+    /// Adversarial crash events spent (worker deaths + coordinator
+    /// crashes).
+    pub crashes_used: u32,
+    /// Adversarial lease-expiry events spent (clock advances that land
+    /// on a live lease's deadline).
+    pub expiries_used: u32,
+    /// Whether the matrix drained and the run assembled (terminal).
+    pub done: bool,
+    /// Ghost: cells that ever had a durable completion record (every
+    /// completion journals its shard before `@done`, so this is also
+    /// "cells ever completed").
+    pub durable: BTreeSet<usize>,
+    /// Ghost: `(attempt, worker)` completion candidates offered to the
+    /// *current* coordinator incarnation (reset on crash, re-seeded by
+    /// what resume absorbs) — the oracle for the merge-minimality rule.
+    pub offers: Vec<BTreeSet<(u32, u64)>>,
+}
+
+impl ModelState {
+    /// The initial state: coordinator up with an empty table, all
+    /// slots idle at generation zero with freshly truncated shards.
+    #[must_use]
+    pub fn init(bounds: &Bounds) -> ModelState {
+        let mut shards = BTreeMap::new();
+        let mut slots = Vec::new();
+        for slot in 0..bounds.workers {
+            shards.insert(slot as u64, Vec::new());
+            slots.push(Slot::Idle {
+                worker: slot as u64,
+            });
+        }
+        ModelState {
+            now: 0,
+            table: Some(LeaseTable::new(
+                bounds.seeds(),
+                bounds.policy(),
+                bounds.deadline_ms,
+            )),
+            slots,
+            generations: vec![0; bounds.workers],
+            channels: vec![Vec::new(); bounds.workers],
+            shards,
+            base: Vec::new(),
+            crashes_used: 0,
+            expiries_used: 0,
+            done: false,
+            durable: BTreeSet::new(),
+            offers: vec![BTreeSet::new(); bounds.cells],
+        }
+    }
+
+    /// Canonical rendering for state hashing: every embedded instant
+    /// (lease ages, backoff edges, worker wake-ups) is rebased against
+    /// `now`, so states that differ only by a uniform clock shift
+    /// collapse into one. Includes everything that can influence
+    /// future behaviour plus the invariant ghosts; excludes report-only
+    /// counters.
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "done={} crashes={} expiries={}",
+            self.done, self.crashes_used, self.expiries_used
+        );
+        match &self.table {
+            None => {
+                let _ = writeln!(out, "coordinator down");
+            }
+            Some(t) => {
+                let _ = write!(out, "coordinator up\n{}", t.snapshot(self.now));
+            }
+        }
+        for (i, slot) in self.slots.iter().enumerate() {
+            let desc = match slot {
+                Slot::Idle { worker } => format!("idle w{worker}"),
+                Slot::Waiting { worker, until } => {
+                    format!("waiting w{worker} +{}", until.saturating_sub(self.now))
+                }
+                Slot::Running {
+                    worker,
+                    lease,
+                    cell,
+                    attempt,
+                } => format!("running w{worker} L{lease} c{cell} a{attempt}"),
+                Slot::Dead { worker } => format!("dead w{worker}"),
+                Slot::Exited => "exited".to_string(),
+            };
+            let chan: Vec<String> = self.channels[i].iter().map(Msg::label).collect();
+            let _ = writeln!(
+                out,
+                "slot {i} gen{} {desc} chan[{}]",
+                self.generations[i],
+                chan.join(", ")
+            );
+        }
+        for (id, rows) in &self.shards {
+            let rendered: Vec<String> = rows.iter().map(Row::label).collect();
+            let _ = writeln!(out, "shard w{id} [{}]", rendered.join(", "));
+        }
+        let rendered: Vec<String> = self.base.iter().map(Row::label).collect();
+        let _ = writeln!(out, "base [{}]", rendered.join(", "));
+        let durable: Vec<String> = self.durable.iter().map(usize::to_string).collect();
+        let _ = writeln!(out, "durable [{}]", durable.join(", "));
+        for (cell, offers) in self.offers.iter().enumerate() {
+            let o: Vec<String> = offers.iter().map(|(a, w)| format!("{a}/{w}")).collect();
+            let _ = writeln!(out, "offers c{cell} [{}]", o.join(", "));
+        }
+        out
+    }
+
+    /// Every enabled transition, as `(trace label, successor)` pairs in
+    /// a fixed order. Empty exactly for terminal (drained) states — a
+    /// non-terminal state with no successors is a drain deadlock.
+    #[must_use]
+    pub fn successors(&self, bounds: &Bounds, bug: SeededBug) -> Vec<(String, ModelState)> {
+        if self.done {
+            return Vec::new();
+        }
+        let mut out: Vec<(String, ModelState)> = Vec::new();
+        let Some(table) = self.table.as_ref() else {
+            out.push(self.resume(bounds, bug));
+            return out;
+        };
+        if table.is_done() {
+            out.push(self.assemble(bounds));
+        }
+        for slot in 0..self.slots.len() {
+            match self.slots[slot] {
+                // `@next` rides the same FIFO channel as `@done`/`@fail`,
+                // so the coordinator always consumes a worker's buffered
+                // report before it can see that worker's next ask.
+                Slot::Idle { .. } if self.channels[slot].is_empty() => {
+                    out.extend(self.ask(slot));
+                }
+                Slot::Idle { .. } => {}
+                Slot::Running { cell, .. } => {
+                    if cell < bounds.failing_cells {
+                        out.push(self.finish_fail(slot));
+                    } else {
+                        out.push(self.finish_ok(slot));
+                        if self.crashes_used < bounds.crashes {
+                            out.push(self.finish_crash(slot));
+                        }
+                    }
+                }
+                Slot::Waiting { .. } | Slot::Dead { .. } | Slot::Exited => {}
+            }
+            if !self.channels[slot].is_empty() {
+                out.extend(self.deliver(slot));
+            }
+            if matches!(self.slots[slot], Slot::Dead { .. }) && self.channels[slot].is_empty() {
+                out.push(self.detect(slot, bounds));
+            }
+            if self.slots[slot].alive() && self.crashes_used < bounds.crashes {
+                out.push(self.die(slot));
+            }
+        }
+        if table.next_deadline_in(self.now) == Some(0) {
+            out.extend(self.tick());
+        }
+        if let Some((target, crosses)) = self.next_instant() {
+            if !crosses || self.expiries_used < bounds.expiries() {
+                out.push(self.advance(target, crosses));
+            }
+        }
+        if self.crashes_used < bounds.crashes {
+            out.push(self.coord_crash());
+        }
+        out
+    }
+
+    fn slot_worker(&self, slot: usize) -> u64 {
+        match self.slots[slot] {
+            Slot::Idle { worker }
+            | Slot::Waiting { worker, .. }
+            | Slot::Running { worker, .. }
+            | Slot::Dead { worker } => worker,
+            Slot::Exited => u64::MAX,
+        }
+    }
+
+    /// `@next` round-trip: the synchronous ask-and-reply.
+    fn ask(&self, slot: usize) -> Option<(String, ModelState)> {
+        let mut s = self.clone();
+        let worker = s.slot_worker(slot);
+        let table = s.table.as_mut()?;
+        let LeaseEffect::Granted(grant) = table.step(LeaseEvent::Ask { worker }, s.now) else {
+            return None;
+        };
+        let label = match grant {
+            Grant::Lease(g) => {
+                s.slots[slot] = Slot::Running {
+                    worker,
+                    lease: g.lease,
+                    cell: g.cell,
+                    attempt: g.attempt,
+                };
+                let stolen = if g.stolen { ", stolen" } else { "" };
+                format!(
+                    "w{worker} → @next; ← @lease L{} (cell {}, attempt {}{stolen})",
+                    g.lease, g.cell, g.attempt
+                )
+            }
+            Grant::Wait(ms) => {
+                s.slots[slot] = Slot::Waiting {
+                    worker,
+                    until: s.now + ms,
+                };
+                format!("w{worker} → @next; ← @wait {ms}ms")
+            }
+            Grant::Drain => {
+                s.slots[slot] = Slot::Exited;
+                format!("w{worker} → @next; ← @drain, exits cleanly")
+            }
+        };
+        Some((label, s))
+    }
+
+    /// A running worker completes its cell: shard row first, `@done`
+    /// second — the real worker's write order.
+    fn finish_ok(&self, slot: usize) -> (String, ModelState) {
+        let mut s = self.clone();
+        let Slot::Running {
+            worker,
+            lease,
+            cell,
+            attempt,
+        } = s.slots[slot]
+        else {
+            return (
+                "unreachable: finish_ok on a non-running slot".to_string(),
+                s,
+            );
+        };
+        s.shards.entry(worker).or_default().push(Row {
+            cell,
+            attempt,
+            worker,
+            payload: payload_of(cell),
+        });
+        s.durable.insert(cell);
+        s.channels[slot].push(Msg::Done {
+            lease,
+            cell,
+            attempt,
+            worker,
+        });
+        s.slots[slot] = Slot::Idle { worker };
+        (
+            format!("w{worker} completes cell {cell}: journals shard row, sends @done L{lease}"),
+            s,
+        )
+    }
+
+    /// A running worker hits the cell's deterministic failure.
+    fn finish_fail(&self, slot: usize) -> (String, ModelState) {
+        let mut s = self.clone();
+        let Slot::Running {
+            worker,
+            lease,
+            cell,
+            ..
+        } = s.slots[slot]
+        else {
+            return (
+                "unreachable: finish_fail on a non-running slot".to_string(),
+                s,
+            );
+        };
+        s.channels[slot].push(Msg::Fail { lease, worker });
+        s.slots[slot] = Slot::Idle { worker };
+        (
+            format!("w{worker} fails cell {cell} ({FAIL_REASON}), sends @fail L{lease}"),
+            s,
+        )
+    }
+
+    /// The nastiest worker death: after the shard write, before the
+    /// socket write. The completion is durable but the coordinator was
+    /// never told.
+    fn finish_crash(&self, slot: usize) -> (String, ModelState) {
+        let mut s = self.clone();
+        let Slot::Running {
+            worker,
+            cell,
+            attempt,
+            ..
+        } = s.slots[slot]
+        else {
+            return (
+                "unreachable: finish_crash on a non-running slot".to_string(),
+                s,
+            );
+        };
+        s.shards.entry(worker).or_default().push(Row {
+            cell,
+            attempt,
+            worker,
+            payload: payload_of(cell),
+        });
+        s.durable.insert(cell);
+        s.slots[slot] = Slot::Dead { worker };
+        s.crashes_used += 1;
+        (
+            format!("w{worker} journals cell {cell} then dies before sending @done"),
+            s,
+        )
+    }
+
+    /// Deliver the oldest buffered frame from one worker's channel.
+    fn deliver(&self, slot: usize) -> Option<(String, ModelState)> {
+        let mut s = self.clone();
+        if s.channels[slot].is_empty() {
+            return None;
+        }
+        let msg = s.channels[slot].remove(0);
+        let table = s.table.as_mut()?;
+        let label = match msg {
+            Msg::Done {
+                lease,
+                cell,
+                attempt,
+                worker,
+            } => {
+                s.offers[cell].insert((attempt, worker));
+                let merged = matches!(
+                    table.step(
+                        LeaseEvent::Done {
+                            lease,
+                            payload: payload_of(cell),
+                        },
+                        s.now,
+                    ),
+                    LeaseEffect::Merged(true)
+                );
+                let note = if merged { "merged" } else { "unknown lease" };
+                format!("coordinator reads @done L{lease} from w{worker} (cell {cell}) → {note}")
+            }
+            Msg::Fail { lease, worker } => {
+                let effect = table.step(
+                    LeaseEvent::Fail {
+                        lease,
+                        reason: FAIL_REASON.to_string(),
+                    },
+                    s.now,
+                );
+                let note = match effect {
+                    LeaseEffect::Failed(FailOutcome::Requeued) => "requeued with backoff",
+                    LeaseEffect::Failed(FailOutcome::Quarantined) => "quarantined",
+                    _ => "ignored (stale)",
+                };
+                format!("coordinator reads @fail L{lease} from w{worker} → {note}")
+            }
+        };
+        Some((label, s))
+    }
+
+    /// SIGKILL a live worker. Its shard and already-written frames
+    /// survive; its in-progress cell (if any) simply never reports.
+    fn die(&self, slot: usize) -> (String, ModelState) {
+        let mut s = self.clone();
+        let worker = s.slot_worker(slot);
+        let doing = match s.slots[slot] {
+            Slot::Running { cell, .. } => format!(" mid-cell {cell}"),
+            _ => String::new(),
+        };
+        s.slots[slot] = Slot::Dead { worker };
+        s.crashes_used += 1;
+        (
+            format!("w{worker} dies{doing} (SIGKILL); shard and buffered frames survive"),
+            s,
+        )
+    }
+
+    /// The coordinator sees the dead worker's EOF — only after its
+    /// buffered frames drained — releases its leases and respawns the
+    /// slot under a fresh id, which truncates that fresh id's shard.
+    fn detect(&self, slot: usize, bounds: &Bounds) -> (String, ModelState) {
+        let mut s = self.clone();
+        let worker = s.slot_worker(slot);
+        if let Some(table) = s.table.as_mut() {
+            table.step(LeaseEvent::WorkerDead { worker }, s.now);
+        }
+        s.generations[slot] += 1;
+        let fresh = slot as u64 + bounds.workers as u64 * u64::from(s.generations[slot]);
+        s.shards.insert(fresh, Vec::new());
+        s.slots[slot] = Slot::Idle { worker: fresh };
+        (
+            format!(
+                "coordinator sees w{worker} EOF: requeues its cells, respawns slot {slot} as w{fresh}"
+            ),
+            s,
+        )
+    }
+
+    /// The poll loop sweeps leases whose deadline the clock has
+    /// reached. Competes with frame delivery at the boundary instant —
+    /// the `Done`-at-deadline race the lease table pins as
+    /// order-independent.
+    fn tick(&self) -> Option<(String, ModelState)> {
+        let mut s = self.clone();
+        let table = s.table.as_mut()?;
+        let LeaseEffect::Expired(n) = table.step(LeaseEvent::Tick, s.now) else {
+            return None;
+        };
+        if n == 0 {
+            return None;
+        }
+        Some((
+            format!("poll timeout: {n} lease(s) expired and requeued"),
+            s,
+        ))
+    }
+
+    /// The next interesting instant: a waiting worker's wake-up or a
+    /// live lease's deadline, whichever comes first. `crosses` marks a
+    /// target that lands on a lease deadline — the adversarial delay
+    /// that draws on the expiry budget. `None` while an expired lease
+    /// awaits its sweep (the real poll returns immediately then).
+    fn next_instant(&self) -> Option<(u64, bool)> {
+        let table = self.table.as_ref()?;
+        let deadline = match table.next_deadline_in(self.now) {
+            Some(0) => return None,
+            Some(delta) => Some(self.now + delta),
+            None => None,
+        };
+        let mut target: Option<u64> = deadline;
+        for slot in &self.slots {
+            if let Slot::Waiting { until, .. } = slot {
+                if *until > self.now {
+                    target = Some(target.map_or(*until, |t| t.min(*until)));
+                }
+            }
+        }
+        let target = target?;
+        let crosses = deadline.is_some_and(|d| target >= d);
+        Some((target, crosses))
+    }
+
+    /// Advance the clock to `target`, waking due workers. No sweep
+    /// happens here: expiry is a separate, competing transition.
+    fn advance(&self, target: u64, crosses: bool) -> (String, ModelState) {
+        let mut s = self.clone();
+        let delta = target - s.now;
+        s.now = target;
+        let mut woke = Vec::new();
+        for slot in &mut s.slots {
+            if let Slot::Waiting { worker, until } = slot {
+                if *until <= target {
+                    woke.push(format!("w{worker}"));
+                    *slot = Slot::Idle { worker: *worker };
+                }
+            }
+        }
+        if crosses {
+            s.expiries_used += 1;
+        }
+        let mut notes = Vec::new();
+        if !woke.is_empty() {
+            notes.push(format!("{} wake", woke.join(" ")));
+        }
+        if crosses {
+            notes.push("a lease hits its deadline".to_string());
+        }
+        let suffix = if notes.is_empty() {
+            String::new()
+        } else {
+            format!(" ({})", notes.join("; "))
+        };
+        (format!("clock +{delta}ms → t={target}ms{suffix}"), s)
+    }
+
+    /// SIGKILL the coordinator. Worker sockets close, so every worker
+    /// exits; undelivered frames die with the process.
+    fn coord_crash(&self) -> (String, ModelState) {
+        let mut s = self.clone();
+        s.table = None;
+        for slot in &mut s.slots {
+            *slot = Slot::Exited;
+        }
+        for chan in &mut s.channels {
+            chan.clear();
+        }
+        s.crashes_used += 1;
+        (
+            "coordinator crashes (SIGKILL); workers orphaned, in-flight frames lost".to_string(),
+            s,
+        )
+    }
+
+    /// `--resume`: a fresh coordinator absorbs the base journal and
+    /// every shard, persists the merged winners into the base journal,
+    /// and only then spawns workers — whose startup truncates their
+    /// shards. The `LostLease` bug skips the persist step, leaving
+    /// absorbed completions in coordinator memory only.
+    fn resume(&self, bounds: &Bounds, bug: SeededBug) -> (String, ModelState) {
+        let mut s = self.clone();
+        let mut table = LeaseTable::new(bounds.seeds(), bounds.policy(), bounds.deadline_ms);
+        s.offers = vec![BTreeSet::new(); bounds.cells];
+        let mut absorbed = 0u64;
+        let rows: Vec<Row> = s
+            .base
+            .iter()
+            .chain(s.shards.values().flatten())
+            .cloned()
+            .collect();
+        for row in rows {
+            table.absorb(row.cell, row.attempt, row.worker, row.payload.clone());
+            s.offers[row.cell].insert((row.attempt, row.worker));
+            absorbed += 1;
+        }
+        let mut persisted = 0u64;
+        if bug != SeededBug::LostLease {
+            let winners: Vec<Row> = (0..bounds.cells)
+                .filter(|cell| !s.base.iter().any(|r| r.cell == *cell))
+                .filter_map(|cell| {
+                    table
+                        .cell_winner(cell)
+                        .map(|(attempt, worker, payload)| Row {
+                            cell,
+                            attempt,
+                            worker,
+                            payload: payload.to_string(),
+                        })
+                })
+                .collect();
+            persisted = winners.len() as u64;
+            s.base.extend(winners);
+        }
+        for slot in 0..bounds.workers {
+            s.shards.insert(slot as u64, Vec::new());
+            s.slots[slot] = Slot::Idle {
+                worker: slot as u64,
+            };
+            s.channels[slot].clear();
+        }
+        s.generations = vec![0; bounds.workers];
+        s.table = Some(table);
+        let skipped = if bug == SeededBug::LostLease {
+            " [bug: persist skipped]"
+        } else {
+            ""
+        };
+        (
+            format!(
+                "coordinator resumes: absorbs {absorbed} journal row(s), persists {persisted} \
+                 winner(s) to base{skipped}, respawns w0..w{} (truncating their shards)",
+                bounds.workers - 1
+            ),
+            s,
+        )
+    }
+
+    /// The matrix drained: `@drain` every worker, seal the base journal
+    /// with any completed cell it does not hold yet. Terminal.
+    fn assemble(&self, bounds: &Bounds) -> (String, ModelState) {
+        let mut s = self.clone();
+        let mut sealed = 0u64;
+        if let Some(table) = s.table.as_ref() {
+            let winners: Vec<Row> = (0..bounds.cells)
+                .filter(|cell| !s.base.iter().any(|r| r.cell == *cell))
+                .filter_map(|cell| {
+                    table
+                        .cell_winner(cell)
+                        .map(|(attempt, worker, payload)| Row {
+                            cell,
+                            attempt,
+                            worker,
+                            payload: payload.to_string(),
+                        })
+                })
+                .collect();
+            sealed = winners.len() as u64;
+            s.base.extend(winners);
+        }
+        for slot in &mut s.slots {
+            *slot = Slot::Exited;
+        }
+        for chan in &mut s.channels {
+            chan.clear();
+        }
+        s.done = true;
+        (
+            format!("matrix resolved: @drain all workers, base journal sealed (+{sealed} row(s))"),
+            s,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_state_has_the_expected_shape() {
+        let bounds = Bounds::default();
+        let s = ModelState::init(&bounds);
+        assert_eq!(s.slots.len(), bounds.workers);
+        assert_eq!(s.offers.len(), bounds.cells);
+        assert!(!s.done);
+        let succ = s.successors(&bounds, SeededBug::None);
+        // Two idle asks, one worker death per slot, one coordinator
+        // crash; no clock moves yet (nothing waiting, nothing leased).
+        assert_eq!(succ.len(), 2 * bounds.workers + 1);
+    }
+
+    #[test]
+    fn canonicalization_collapses_clock_shifts() {
+        let bounds = Bounds::default();
+        let s = ModelState::init(&bounds);
+        let Some((_, asked)) = s.ask(0) else {
+            panic!("idle worker must be grantable")
+        };
+        let mut shifted = asked.clone();
+        shifted.now += 500;
+        if let Some(t) = shifted.table.as_mut() {
+            // Re-grant in the shifted world to verify only *uniform*
+            // shifts collapse; here we instead compare the same state
+            // under a shifted clock, which must NOT collapse (the lease
+            // age differs).
+            let _ = t;
+        }
+        assert_ne!(asked.canonical(), shifted.canonical());
+        // A true uniform shift: replay the same transition at a later
+        // clock.
+        let mut late = ModelState::init(&bounds);
+        late.now = 500;
+        let Some((_, late_asked)) = late.ask(0) else {
+            panic!("idle worker must be grantable")
+        };
+        assert_eq!(asked.canonical(), late_asked.canonical());
+    }
+
+    #[test]
+    fn a_completion_round_trip_reaches_done_for_a_tiny_matrix() {
+        let bounds = Bounds {
+            workers: 1,
+            cells: 1,
+            crashes: 0,
+            failing_cells: 0,
+            ..Bounds::default()
+        };
+        let s = ModelState::init(&bounds);
+        let (_, s) = s.ask(0).unwrap();
+        let (_, s) = s.finish_ok(0);
+        let (_, s) = s.deliver(0).unwrap();
+        let table = s.table.as_ref().unwrap();
+        assert!(table.is_done());
+        let (_, s) = s.assemble(&bounds);
+        assert!(s.done);
+        assert_eq!(s.base.len(), 1);
+        assert_eq!(s.base[0].payload, payload_of(0));
+        assert!(s.successors(&bounds, SeededBug::None).is_empty());
+    }
+}

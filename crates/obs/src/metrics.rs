@@ -63,6 +63,10 @@ pub mod fleet_metrics {
     pub const MERGE_CONFLICTS: &str = "fleet.merge.conflicts";
     /// Counter: cells recovered from per-worker journals on resume.
     pub const CELLS_RECOVERED: &str = "fleet.cells.recovered";
+    /// Counter: sibling worker journals rejected on resume because they
+    /// carry a foreign sweep fingerprint (stale shards from another
+    /// configuration sharing the journal base).
+    pub const SHARDS_REJECTED: &str = "fleet.shards.rejected";
 }
 
 /// A histogram over `u64` values (nanoseconds, by convention) with
