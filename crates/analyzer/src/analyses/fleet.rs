@@ -1,4 +1,4 @@
-//! Fleet-configuration analysis (rules R1201, R1202, R1203).
+//! Fleet-configuration analysis (rules R1201–R1203, R1404–R1405).
 //!
 //! Sharding the matrix across workers adds two new ways to misconfigure
 //! a plan statically, plus one isolation-model conflict:
@@ -18,6 +18,19 @@
 //!   (and every lease it holds) down. Worker-kill storms
 //!   (`--fleet-storm`) are the supported way to inject deaths into a
 //!   fleet.
+//!
+//! The partition-tolerance layer adds two more (the R14xx family):
+//!
+//! * **R1404** — network-fault injection without a transport to inject
+//!   into (`--net-faults` without `--fleet`), or an injected delay or
+//!   partition ceiling at or above the lease deadline: every shimmed
+//!   frame then arrives after its lease expired, so the storm stops
+//!   being a perturbation the retry semantics absorb and becomes a
+//!   guaranteed reassignment of every faulted lease.
+//! * **R1405** — a standby coordinator with nothing to take over: the
+//!   takeover path reconstructs the lease table from the primary's
+//!   merged journal, so `--fleet-standby` (modelled as
+//!   [`PlanIR::standby`]) requires the run to be journalled.
 
 use crate::analyses::cost::SIM_RATE_CEILING;
 use crate::ir::PlanIR;
@@ -28,6 +41,31 @@ use chopin_lint::Diagnostic;
 pub fn analyze(plan: &PlanIR) -> Vec<Diagnostic> {
     let mut diagnostics = Vec::new();
     let Some(fleet) = &plan.fleet else {
+        if plan.net_faults.is_some() {
+            diagnostics.push(
+                Diagnostic::error(
+                    "R1404",
+                    plan.location(),
+                    "the plan injects network faults without a fleet: --net-faults shims \
+                     the coordinator/worker transport, and a sequential run has no wire \
+                     to fault"
+                        .to_string(),
+                )
+                .with_hint("add --fleet N, or drop --net-faults".to_string()),
+            );
+        }
+        if plan.standby {
+            diagnostics.push(
+                Diagnostic::error(
+                    "R1405",
+                    plan.location(),
+                    "the plan registers a standby coordinator without a fleet: there is \
+                     no coordinator to watch, and nothing a takeover could serve"
+                        .to_string(),
+                )
+                .with_hint("add --fleet N on the primary, or drop --fleet-standby".to_string()),
+            );
+        }
         return diagnostics;
     };
 
@@ -96,6 +134,53 @@ pub fn analyze(plan: &PlanIR) -> Vec<Diagnostic> {
                 ),
             );
         }
+    }
+
+    if let Some(net) = &plan.net_faults {
+        let ceiling_ms = net.delay_ms.max(net.partition_ms);
+        let deadline_ms = fleet.deadline_ms();
+        if ceiling_ms >= deadline_ms {
+            let what = if net.delay_ms >= net.partition_ms {
+                "delay"
+            } else {
+                "partition"
+            };
+            diagnostics.push(
+                Diagnostic::error(
+                    "R1404",
+                    plan.location(),
+                    format!(
+                        "the net-fault plan's {what} ceiling ({ceiling_ms}ms) reaches the \
+                         {deadline_ms}ms lease deadline: every shimmed frame arrives after \
+                         its lease expired, so each injected fault forcibly reassigns live \
+                         work instead of exercising the retry path"
+                    ),
+                )
+                .with_hint(
+                    "raise --lease-deadline above the injected delay/partition ceiling, or \
+                     soften the --net-faults preset"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+
+    if plan.standby && !plan.journalled {
+        diagnostics.push(
+            Diagnostic::error(
+                "R1405",
+                plan.location(),
+                "the plan registers a standby coordinator for an unjournalled run: a \
+                 takeover reconstructs the lease table from the primary's merged journal, \
+                 so without --journal the standby could only restart from scratch"
+                    .to_string(),
+            )
+            .with_hint(
+                "add --journal FILE to the primary (the standby points its own --journal \
+                 at the same shards), or drop --fleet-standby"
+                    .to_string(),
+            ),
+        );
     }
 
     if plan.hard_faults.is_some() {
@@ -180,5 +265,53 @@ mod tests {
             .with_fleet(Some(FleetPlan::new(2)))
             .with_hard_faults(Some(HardFaultPlan::new(HardFaultKind::Kill, 7)));
         assert_eq!(ids(&analyze(&plan)), vec!["R1203"]);
+    }
+
+    #[test]
+    fn r1404_fires_for_net_faults_without_a_fleet() {
+        let net = chopin_faults::NetFaultPlan::preset("drop", 7).unwrap();
+        let plan = base_plan().with_net_faults(Some(net));
+        assert_eq!(ids(&analyze(&plan)), vec!["R1404"]);
+    }
+
+    #[test]
+    fn r1404_fires_when_the_injected_delay_reaches_the_lease_deadline() {
+        let mut net = chopin_faults::NetFaultPlan::preset("delay", 7).unwrap();
+        let mut fleet = FleetPlan::new(2);
+        // A sane fleet plan, but the shim's delay ceiling swallows the
+        // whole lease.
+        net.delay_ms = fleet.deadline_ms();
+        let plan = base_plan()
+            .with_fleet(Some(fleet.clone()))
+            .with_net_faults(Some(net));
+        assert_eq!(ids(&analyze(&plan)), vec!["R1404"]);
+
+        // Headroom restored: silent.
+        let mut net = chopin_faults::NetFaultPlan::preset("delay", 7).unwrap();
+        fleet.lease_deadline_ms = Some(net.delay_ms * 100);
+        net.delay_ms = 50;
+        let plan = base_plan()
+            .with_fleet(Some(fleet))
+            .with_net_faults(Some(net));
+        assert!(analyze(&plan).is_empty());
+    }
+
+    #[test]
+    fn r1405_fires_for_a_standby_without_a_journal() {
+        let plan = base_plan()
+            .with_fleet(Some(FleetPlan::new(2)))
+            .with_standby(true);
+        assert_eq!(ids(&analyze(&plan)), vec!["R1405"]);
+
+        let mut journalled = base_plan();
+        journalled.journalled = true;
+        let plan = journalled
+            .with_fleet(Some(FleetPlan::new(2)))
+            .with_standby(true);
+        assert!(analyze(&plan).is_empty());
+
+        // A standby with no fleet at all is also R1405.
+        let plan = base_plan().with_standby(true);
+        assert_eq!(ids(&analyze(&plan)), vec!["R1405"]);
     }
 }

@@ -12,7 +12,7 @@
 use crate::fingerprint::sweep_fingerprint;
 use chopin_core::iteration::warmup_scale;
 use chopin_core::sweep::SweepConfig;
-use chopin_faults::{FaultPlan, HardFaultPlan, SupervisorPolicy};
+use chopin_faults::{FaultPlan, HardFaultPlan, NetFaultPlan, SupervisorPolicy};
 use chopin_fleet::FleetPlan;
 use chopin_runtime::collector::CollectorKind;
 use chopin_sandbox::{IsolationMode, SandboxPolicy};
@@ -148,6 +148,15 @@ pub struct PlanIR {
     /// fingerprint: a fleet run is the same experiment on more engines,
     /// and its merged journal must interchange with a sequential one.
     pub fleet: Option<FleetPlan>,
+    /// The seeded network-fault plan (`--net-faults`), if the fleet
+    /// transport runs behind the fault shim. Not part of the resume
+    /// fingerprint either: a stormed run must merge byte-identical to
+    /// an undisturbed one, so their journals are interchangeable by
+    /// design.
+    pub net_faults: Option<NetFaultPlan>,
+    /// Whether a standby coordinator is registered (`--fleet-standby`
+    /// on a second host pointed at this run).
+    pub standby: bool,
 }
 
 impl PlanIR {
@@ -199,6 +208,8 @@ impl PlanIR {
             sandbox: SandboxPolicy::default(),
             hard_faults: None,
             fleet: None,
+            net_faults: None,
+            standby: false,
         })
     }
 
@@ -227,6 +238,21 @@ impl PlanIR {
     #[must_use]
     pub fn with_fleet(mut self, fleet: Option<FleetPlan>) -> Self {
         self.fleet = fleet;
+        self
+    }
+
+    /// Attach a seeded network-fault plan (the `--net-faults` flag).
+    #[must_use]
+    pub fn with_net_faults(mut self, net_faults: Option<NetFaultPlan>) -> Self {
+        self.net_faults = net_faults;
+        self
+    }
+
+    /// Register a standby coordinator (the `--fleet-standby` flag on
+    /// the watching side of the run).
+    #[must_use]
+    pub fn with_standby(mut self, standby: bool) -> Self {
+        self.standby = standby;
         self
     }
 

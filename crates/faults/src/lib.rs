@@ -24,6 +24,9 @@
 //! * [`HardFaultPlan`] — the *hard* fault family: deterministic process
 //!   deaths (SIGKILL, abort, OOM blow-up) that no in-process fault clock
 //!   can express and only the process-isolation backend can survive.
+//! * [`NetFaultPlan`] — the *network* fault family: seeded drop, delay,
+//!   duplication and partition windows over the fleet's line-framed
+//!   wire, injected at the coordinator's transport shim.
 //!
 //! Everything is deterministic: plans are pure data, storms derive from
 //! the plan seed, and the clock consults nothing but the simulated time
@@ -35,12 +38,16 @@
 
 pub mod clock;
 pub mod hard;
+pub mod net;
 pub mod plan;
 pub mod policy;
 
 pub use clock::{FaultClock, FaultSample, NoFaults, ScheduledFaults};
 pub use hard::{
     parse_hard_flag, HardFaultKind, HardFaultPlan, DEFAULT_HARD_SEED, HARD_PRESET_NAMES,
+};
+pub use net::{
+    parse_net_flag, FrameFate, NetFaultPlan, DEFAULT_NET_SEED, MAX_NET_DELAY_MS, NET_PRESET_NAMES,
 };
 pub use plan::{FaultKind, FaultPlan, FaultPlanError, FaultWindow, MAX_FAULT_FACTOR, MAX_WINDOWS};
 pub use policy::{

@@ -9,6 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 use chopin_faults::hard::{parse_hard_flag, HardFaultKind, HardFaultPlan};
+use chopin_faults::net::NetFaultPlan;
 use chopin_faults::FaultPlanError;
 
 /// Upper bound on the fleet size: past this, coordination overhead is a
@@ -138,7 +139,7 @@ pub fn parse_storm_flag(flag: &str) -> Result<WorkerStormPlan, String> {
 }
 
 /// The full runtime fleet configuration held by the supervisor.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FleetConfig {
     /// The statically-analyzable shape (worker count, lease deadline).
     pub plan: FleetPlan,
@@ -149,6 +150,26 @@ pub struct FleetConfig {
     /// Test hook: abort the coordinator after this many recorded
     /// completions, leaving worker journals behind for `--resume`.
     pub die_after: Option<u64>,
+    /// Listener bind address (`--fleet-bind`); `None` means the loopback
+    /// default `127.0.0.1:0`.
+    pub bind: Option<String>,
+    /// Per-run auth token (`--fleet-token`); every `Hello`/`Adopt` must
+    /// carry it or be cleanly rejected.
+    pub token: Option<String>,
+    /// Seeded network-fault schedule (`--net-faults`) injected at the
+    /// coordinator's transport shim.
+    pub net: Option<NetFaultPlan>,
+    /// When set, this process is a standby coordinator for the primary
+    /// at the given address (`--fleet-standby ADDR`): it registers,
+    /// watches the primary's heartbeat, and takes over on silence.
+    pub standby_of: Option<String>,
+    /// `--fleet-await-standby`: the primary issues no leases until a
+    /// standby coordinator has adopted. An armed-failover drill — work
+    /// only starts once a successor is guaranteed to exist, so a
+    /// mid-sweep coordinator death always has somewhere to hand over
+    /// to. Without a standby ever registering, the fleet idles by
+    /// design (workers heartbeat and re-poll).
+    pub await_standby: bool,
 }
 
 impl FleetConfig {
@@ -160,6 +181,11 @@ impl FleetConfig {
             storm: None,
             max_worker_crashes: DEFAULT_MAX_WORKER_CRASHES,
             die_after: None,
+            bind: None,
+            token: None,
+            net: None,
+            standby_of: None,
+            await_standby: false,
         }
     }
 
@@ -180,6 +206,28 @@ impl FleetConfig {
                 field: "max_worker_crashes".to_string(),
                 reason: "must be at least 1".to_string(),
             });
+        }
+        if let Some(net) = &self.net {
+            net.validate()?;
+        }
+        if let Some(bind) = &self.bind {
+            if bind.parse::<std::net::SocketAddr>().is_err() {
+                return Err(FaultPlanError {
+                    field: "bind".to_string(),
+                    reason: format!(
+                        "{bind:?} is not a routable socket address (expected HOST:PORT, \
+                         e.g. 0.0.0.0:7400)"
+                    ),
+                });
+            }
+        }
+        if let Some(token) = &self.token {
+            if token.is_empty() || token.contains(char::is_whitespace) {
+                return Err(FaultPlanError {
+                    field: "token".to_string(),
+                    reason: "must be nonempty and free of whitespace".to_string(),
+                });
+            }
         }
         Ok(())
     }
@@ -235,5 +283,30 @@ mod tests {
             storm.kill_after_leases = 0;
         }
         assert_eq!(cfg.validate().unwrap_err().field, "kill_after_leases");
+    }
+
+    #[test]
+    fn config_validation_covers_bind_token_and_net_plan() {
+        let mut cfg = FleetConfig::new(2);
+        cfg.bind = Some("0.0.0.0:7400".to_string());
+        cfg.token = Some("c0ffee".to_string());
+        cfg.net = chopin_faults::net::parse_net_flag("storm").ok();
+        assert!(cfg.validate().is_ok());
+
+        cfg.bind = Some("not-an-addr".to_string());
+        assert_eq!(cfg.validate().unwrap_err().field, "bind");
+        cfg.bind = Some("127.0.0.1:0".to_string());
+        assert!(cfg.validate().is_ok());
+
+        cfg.token = Some("has space".to_string());
+        assert_eq!(cfg.validate().unwrap_err().field, "token");
+        cfg.token = Some(String::new());
+        assert_eq!(cfg.validate().unwrap_err().field, "token");
+        cfg.token = None;
+
+        if let Some(net) = &mut cfg.net {
+            net.seed = 0;
+        }
+        assert_eq!(cfg.validate().unwrap_err().field, "seed");
     }
 }

@@ -29,6 +29,10 @@
 //!   stolen or re-leased cells are resolved by a fixed
 //!   `(attempt, worker)` tiebreak, so merged journals and the final
 //!   CSV never depend on which worker happened to finish first.
+//! * [`liveness`] — the heartbeat reaper as a clock-free state machine:
+//!   staleness, idempotent death declaration, and explicit revival on
+//!   reconnect, pinned by virtual-clock tests so the net-fault storms
+//!   (delayed `@beat`s, healed partitions) rest on proven edge cases.
 //!
 //! [`config::FleetPlan`] carries the statically-analyzable fleet shape
 //! into the pre-flight analyzer (rules R1201–R1203);
@@ -44,10 +48,12 @@
 
 pub mod config;
 pub mod lease;
+pub mod liveness;
 pub mod merge;
 pub mod protocol;
 
 pub use config::{parse_storm_flag, FleetConfig, FleetPlan, WorkerStormPlan, MAX_FLEET_WORKERS};
 pub use lease::{Grant, LeaseEffect, LeaseEvent, LeaseGrant, LeaseMetrics, LeaseTable};
+pub use liveness::Liveness;
 pub use merge::CellMerge;
-pub use protocol::FleetFrame;
+pub use protocol::{admission, FleetFrame};

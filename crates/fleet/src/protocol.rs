@@ -14,21 +14,34 @@
 //!
 //! Frames (one per line, newline-terminated):
 //!
-//! | frame                        | direction | meaning                                   |
-//! |------------------------------|-----------|-------------------------------------------|
-//! | `@hello [wid]`               | w → c     | join; locally spawned workers carry their assigned id |
-//! | `@welcome <wid> <fp> [j]`    | c → w     | admitted: worker id, sweep fingerprint, journal base |
-//! | `@next <wid>`                | w → c     | request work                              |
-//! | `@lease <id> <attempt> <p>`  | c → w     | a lease: run the escaped cell request `<p>` |
-//! | `@wait <ms>`                 | c → w     | nothing grantable yet; ask again in `ms`  |
-//! | `@drain`                     | c → w     | matrix resolved; exit cleanly             |
-//! | `@done <wid> <id> <p>`       | w → c     | lease completed, escaped response `<p>`   |
-//! | `@fail <wid> <id> <reason>`  | w → c     | the *cell* failed (panic/error), escaped reason |
-//! | `@beat <wid>`                | w → c     | heartbeat: the worker is alive            |
+//! | frame                             | direction | meaning                                   |
+//! |-----------------------------------|-----------|-------------------------------------------|
+//! | `@hello [wid\|-] [token]`         | w → c     | join; locally spawned workers carry their assigned id; `-` holds the id slot when only a token follows |
+//! | `@welcome <wid> <fp> <coord> <epoch> [j]` | c → w | admitted: worker id, sweep fingerprint, coordinator incarnation + epoch, journal base |
+//! | `@reject <reason>`                | c → w     | refused (bad token, fingerprint mismatch); exit, do not retry |
+//! | `@next <wid>`                     | w → c     | request work                              |
+//! | `@lease <id> <attempt> <p>`       | c → w     | a lease: run the escaped cell request `<p>` |
+//! | `@wait <ms>`                      | c → w     | nothing grantable yet; ask again in `ms`  |
+//! | `@drain`                          | c → w     | matrix resolved; exit cleanly             |
+//! | `@done <wid> <id> <coord> <p>`    | w → c     | lease completed, escaped response `<p>`, granting coordinator echoed |
+//! | `@fail <wid> <id> <coord> <reason>` | w → c   | the *cell* failed (panic/error), escaped reason |
+//! | `@beat <wid>`                     | w → c     | heartbeat: the worker is alive            |
+//! | `@adopt <addr> <fp>`              | s → c     | a standby registers its listener address  |
+//! | `@standby <addr>`                 | c → w     | the advertised successor address workers reconnect to |
 //!
 //! Worker *deaths* have no frame: they surface as EOF on the stream (the
 //! fast path) or as lease-deadline expiry (the wedged-worker path), and
 //! the coordinator reassigns the victim's leases either way.
+//!
+//! **Epoch fencing.** Every coordinator incarnation mints a fresh
+//! `coord` nonce and a logical `epoch`, carries both in `@welcome`, and
+//! requires `@done`/`@fail` to echo the `coord` it granted under. A
+//! successor coordinator's lease table restarts lease ids at 0, so a
+//! stale completion from the previous incarnation could otherwise merge
+//! the wrong payload into whichever cell reused that id — the echo
+//! extends the generation-checked late-result rejection across
+//! hand-offs. The `-` placeholder in optional trailing fields is
+//! reserved: journal bases and listener addresses never equal `-`.
 
 /// Escape one frame field so it survives both the line framing (`\n`,
 /// `\r`) and the space-separated field framing (`\s`). Superset of
@@ -87,6 +100,24 @@ pub const ENV_FLEET_STORM: &str = "CHOPIN_FLEET_STORM";
 /// completions, so the resume path can be exercised against real
 /// binaries.
 pub const ENV_FLEET_DIE_AFTER: &str = "CHOPIN_FLEET_DIE_AFTER";
+/// Per-run auth token forwarded to spawned workers; external workers
+/// take it from `--fleet-token`.
+pub const ENV_FLEET_TOKEN: &str = "CHOPIN_FLEET_TOKEN";
+
+/// The token gate applied to every `Hello`/`Adopt`: admitted iff the
+/// coordinator expects no token, or the offered token matches exactly.
+///
+/// This tiny function is deliberately public and pure: it is the single
+/// admission decision shared by the shipped transport and the
+/// `chopin-model` intruder transition (rule R1403), so the checker
+/// exercises the exact predicate production runs.
+#[must_use]
+pub fn admission(expected: Option<&str>, offered: Option<&str>) -> bool {
+    match expected {
+        None => true,
+        Some(want) => offered == Some(want),
+    }
+}
 
 /// A parsed fleet protocol frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -94,10 +125,13 @@ pub enum FleetFrame {
     /// Worker → coordinator: join the fleet. Locally spawned workers
     /// carry the id the coordinator assigned them via the environment;
     /// remote workers (`--fleet-connect`) send `None` and are assigned
-    /// one in the welcome.
+    /// one in the welcome. The token, when the run has one, gates
+    /// admission ([`admission`]).
     Hello {
         /// Pre-assigned worker id, if any.
         worker: Option<u64>,
+        /// Per-run auth token, if the run has one.
+        token: Option<String>,
     },
     /// Coordinator → worker: admitted.
     Welcome {
@@ -105,8 +139,20 @@ pub enum FleetFrame {
         worker: u64,
         /// The sweep fingerprint every per-worker journal must carry.
         fingerprint: String,
+        /// This coordinator incarnation's nonce, echoed in `Done`/`Fail`
+        /// so a successor can fence stale completions.
+        coord: u64,
+        /// Logical hand-off depth: the primary serves epoch 1, each
+        /// takeover increments it.
+        epoch: u32,
         /// Journal base path; the worker appends to `<base>.w<id>`.
         journal: Option<String>,
+    },
+    /// Coordinator → worker: refused. The worker must exit without
+    /// retrying; the reason is a clean protocol error, not chaos.
+    Reject {
+        /// Why admission was refused.
+        reason: String,
     },
     /// Worker → coordinator: request work.
     Next {
@@ -135,6 +181,8 @@ pub enum FleetFrame {
         worker: u64,
         /// The lease being completed.
         lease: u64,
+        /// The coordinator nonce the lease was granted under.
+        coord: u64,
         /// Rendered cell response.
         payload: String,
     },
@@ -145,6 +193,8 @@ pub enum FleetFrame {
         worker: u64,
         /// The failed lease.
         lease: u64,
+        /// The coordinator nonce the lease was granted under.
+        coord: u64,
         /// `panicked:<msg>` or `errored:<msg>`.
         reason: String,
     },
@@ -153,26 +203,62 @@ pub enum FleetFrame {
         /// The live worker.
         worker: u64,
     },
+    /// Standby → coordinator: register as the hand-off successor. The
+    /// coordinator validates the fingerprint and token, replies with a
+    /// `Welcome`, and broadcasts the address as `Standby` to workers.
+    Adopt {
+        /// The standby's own listener address workers reconnect to.
+        addr: String,
+        /// The standby's recomputed sweep fingerprint; a mismatch is a
+        /// different experiment and is rejected.
+        fingerprint: String,
+    },
+    /// Coordinator → worker: the advertised successor address. Workers
+    /// remember it and reconnect there (with exponential backoff) if the
+    /// coordinator goes silent.
+    Standby {
+        /// The successor's listener address.
+        addr: String,
+    },
 }
 
 /// Render a frame as its wire line (without the trailing newline).
 #[must_use]
 pub fn render(frame: &FleetFrame) -> String {
     match frame {
-        FleetFrame::Hello { worker: None } => "@hello".to_string(),
-        FleetFrame::Hello { worker: Some(w) } => format!("@hello {w}"),
+        FleetFrame::Hello {
+            worker: None,
+            token: None,
+        } => "@hello".to_string(),
+        FleetFrame::Hello {
+            worker: Some(w),
+            token: None,
+        } => format!("@hello {w}"),
+        FleetFrame::Hello { worker, token } => {
+            let id = worker.map_or("-".to_string(), |w| w.to_string());
+            match token {
+                None => format!("@hello {id}"),
+                Some(t) => format!("@hello {id} {}", escape_field(t)),
+            }
+        }
         FleetFrame::Welcome {
             worker,
             fingerprint,
+            coord,
+            epoch,
             journal,
         } => match journal {
-            None => format!("@welcome {worker} {}", escape_field(fingerprint)),
+            None => format!(
+                "@welcome {worker} {} {coord} {epoch}",
+                escape_field(fingerprint)
+            ),
             Some(j) => format!(
-                "@welcome {worker} {} {}",
+                "@welcome {worker} {} {coord} {epoch} {}",
                 escape_field(fingerprint),
                 escape_field(j)
             ),
         },
+        FleetFrame::Reject { reason } => format!("@reject {}", escape_field(reason)),
         FleetFrame::Next { worker } => format!("@next {worker}"),
         FleetFrame::Lease {
             lease,
@@ -184,14 +270,22 @@ pub fn render(frame: &FleetFrame) -> String {
         FleetFrame::Done {
             worker,
             lease,
+            coord,
             payload,
-        } => format!("@done {worker} {lease} {}", escape_field(payload)),
+        } => format!("@done {worker} {lease} {coord} {}", escape_field(payload)),
         FleetFrame::Fail {
             worker,
             lease,
+            coord,
             reason,
-        } => format!("@fail {worker} {lease} {}", escape_field(reason)),
+        } => format!("@fail {worker} {lease} {coord} {}", escape_field(reason)),
         FleetFrame::Beat { worker } => format!("@beat {worker}"),
+        FleetFrame::Adopt { addr, fingerprint } => format!(
+            "@adopt {} {}",
+            escape_field(addr),
+            escape_field(fingerprint)
+        ),
+        FleetFrame::Standby { addr } => format!("@standby {}", escape_field(addr)),
     }
 }
 
@@ -207,24 +301,39 @@ fn words(line: &str, n: usize) -> Vec<&str> {
 pub fn parse(line: &str) -> Option<FleetFrame> {
     let line = line.strip_suffix('\r').unwrap_or(line);
     if line == "@hello" {
-        return Some(FleetFrame::Hello { worker: None });
+        return Some(FleetFrame::Hello {
+            worker: None,
+            token: None,
+        });
     }
     if let Some(rest) = line.strip_prefix("@hello ") {
-        return rest
-            .parse()
-            .ok()
-            .map(|w| FleetFrame::Hello { worker: Some(w) });
+        let parts = words(rest, 2);
+        let worker = if parts[0] == "-" {
+            None
+        } else {
+            Some(parts[0].parse().ok()?)
+        };
+        return Some(FleetFrame::Hello {
+            worker,
+            token: parts.get(1).map(|t| unescape_field(t)),
+        });
     }
     if let Some(rest) = line.strip_prefix("@welcome ") {
-        let parts = words(rest, 3);
-        if parts.len() < 2 {
+        let parts = words(rest, 5);
+        if parts.len() < 4 {
             return None;
         }
-        let worker = parts[0].parse().ok()?;
         return Some(FleetFrame::Welcome {
-            worker,
+            worker: parts[0].parse().ok()?,
             fingerprint: unescape_field(parts[1]),
-            journal: parts.get(2).map(|j| unescape_field(j)),
+            coord: parts[2].parse().ok()?,
+            epoch: parts[3].parse().ok()?,
+            journal: parts.get(4).map(|j| unescape_field(j)),
+        });
+    }
+    if let Some(rest) = line.strip_prefix("@reject ") {
+        return Some(FleetFrame::Reject {
+            reason: unescape_field(rest),
         });
     }
     if let Some(rest) = line.strip_prefix("@next ") {
@@ -248,29 +357,46 @@ pub fn parse(line: &str) -> Option<FleetFrame> {
         return Some(FleetFrame::Drain);
     }
     if let Some(rest) = line.strip_prefix("@done ") {
-        let parts = words(rest, 3);
-        if parts.len() != 3 {
+        let parts = words(rest, 4);
+        if parts.len() != 4 {
             return None;
         }
         return Some(FleetFrame::Done {
             worker: parts[0].parse().ok()?,
             lease: parts[1].parse().ok()?,
-            payload: unescape_field(parts[2]),
+            coord: parts[2].parse().ok()?,
+            payload: unescape_field(parts[3]),
         });
     }
     if let Some(rest) = line.strip_prefix("@fail ") {
-        let parts = words(rest, 3);
-        if parts.len() != 3 {
+        let parts = words(rest, 4);
+        if parts.len() != 4 {
             return None;
         }
         return Some(FleetFrame::Fail {
             worker: parts[0].parse().ok()?,
             lease: parts[1].parse().ok()?,
-            reason: unescape_field(parts[2]),
+            coord: parts[2].parse().ok()?,
+            reason: unescape_field(parts[3]),
         });
     }
     if let Some(rest) = line.strip_prefix("@beat ") {
         return rest.parse().ok().map(|worker| FleetFrame::Beat { worker });
+    }
+    if let Some(rest) = line.strip_prefix("@adopt ") {
+        let parts = words(rest, 2);
+        if parts.len() != 2 {
+            return None;
+        }
+        return Some(FleetFrame::Adopt {
+            addr: unescape_field(parts[0]),
+            fingerprint: unescape_field(parts[1]),
+        });
+    }
+    if let Some(rest) = line.strip_prefix("@standby ") {
+        return Some(FleetFrame::Standby {
+            addr: unescape_field(rest),
+        });
     }
     None
 }
@@ -283,17 +409,38 @@ mod tests {
     #[test]
     fn frames_round_trip_through_the_wire_format() {
         let frames = [
-            FleetFrame::Hello { worker: None },
-            FleetFrame::Hello { worker: Some(7) },
+            FleetFrame::Hello {
+                worker: None,
+                token: None,
+            },
+            FleetFrame::Hello {
+                worker: Some(7),
+                token: None,
+            },
+            FleetFrame::Hello {
+                worker: None,
+                token: Some("s3cret token".to_string()),
+            },
+            FleetFrame::Hello {
+                worker: Some(7),
+                token: Some("s3cret".to_string()),
+            },
             FleetFrame::Welcome {
                 worker: 3,
                 fingerprint: "00c0ffee00c0ffee".to_string(),
+                coord: 0xdead_beef,
+                epoch: 1,
                 journal: None,
             },
             FleetFrame::Welcome {
                 worker: 3,
                 fingerprint: "00c0ffee00c0ffee".to_string(),
+                coord: 42,
+                epoch: 2,
                 journal: Some("results/run with space.journal".to_string()),
+            },
+            FleetFrame::Reject {
+                reason: "auth token mismatch".to_string(),
             },
             FleetFrame::Next { worker: 0 },
             FleetFrame::Lease {
@@ -306,14 +453,23 @@ mod tests {
             FleetFrame::Done {
                 worker: 1,
                 lease: 41,
+                coord: 7,
                 payload: "{\"samples\":[1.0,\n2.0]}".to_string(),
             },
             FleetFrame::Fail {
                 worker: 1,
                 lease: 41,
+                coord: 7,
                 reason: "panicked:index out of bounds\r\n".to_string(),
             },
             FleetFrame::Beat { worker: 255 },
+            FleetFrame::Adopt {
+                addr: "10.0.0.7:4321".to_string(),
+                fingerprint: "00c0ffee00c0ffee".to_string(),
+            },
+            FleetFrame::Standby {
+                addr: "10.0.0.7:4321".to_string(),
+            },
         ];
         for frame in frames {
             let line = render(&frame);
@@ -362,6 +518,8 @@ mod tests {
                 FleetFrame::Welcome {
                     worker,
                     fingerprint: fp.clone(),
+                    coord: lease,
+                    epoch: attempt,
                     journal: None,
                 },
                 // The non-final escaped field: a raw space or newline in
@@ -369,6 +527,8 @@ mod tests {
                 FleetFrame::Welcome {
                     worker,
                     fingerprint: fp.clone(),
+                    coord: lease,
+                    epoch: attempt,
                     journal: Some(journal.clone()),
                 },
                 FleetFrame::Lease {
@@ -379,12 +539,25 @@ mod tests {
                 FleetFrame::Done {
                     worker,
                     lease,
+                    coord: worker,
                     payload: payload.clone(),
                 },
                 FleetFrame::Fail {
                     worker,
                     lease,
+                    coord: worker,
                     reason: payload.clone(),
+                },
+                FleetFrame::Reject {
+                    reason: payload.clone(),
+                },
+                // Both Adopt fields are escaped and non-final/final.
+                FleetFrame::Adopt {
+                    addr: fp.clone(),
+                    fingerprint: journal.clone(),
+                },
+                FleetFrame::Standby {
+                    addr: payload.clone(),
                 },
             ];
             for frame in frames {
@@ -405,10 +578,12 @@ mod tests {
         let frame = FleetFrame::Welcome {
             worker: 3,
             fingerprint: "finger print".to_string(),
+            coord: 9,
+            epoch: 1,
             journal: Some("results/run.journal".to_string()),
         };
         let line = render(&frame);
-        assert_eq!(line, "@welcome 3 finger\\sprint results/run.journal");
+        assert_eq!(line, "@welcome 3 finger\\sprint 9 1 results/run.journal");
         assert_eq!(parse(&line), Some(frame));
         assert_eq!(unescape_field(&escape_field("\\s \\n\r\n")), "\\s \\n\r\n");
     }
@@ -422,11 +597,25 @@ mod tests {
             "@lease 41",
             "@lease 41 x payload",
             "@done 1",
-            "@done one 41 p",
+            "@done one 41 7 p",
+            "@done 1 41 p",
             "@hello -3",
+            "@welcome 3 fp",
+            "@welcome 3 fp x 1",
+            "@adopt onlyaddr",
             "@unknown x",
         ] {
             assert_eq!(parse(line), None, "line {line:?}");
         }
+    }
+
+    #[test]
+    fn the_admission_gate_is_exact() {
+        assert!(admission(None, None));
+        assert!(admission(None, Some("anything")));
+        assert!(admission(Some("t0k3n"), Some("t0k3n")));
+        assert!(!admission(Some("t0k3n"), None));
+        assert!(!admission(Some("t0k3n"), Some("t0k3n ")));
+        assert!(!admission(Some("t0k3n"), Some("wrong")));
     }
 }

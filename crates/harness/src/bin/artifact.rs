@@ -71,6 +71,21 @@
 //! byte-identical to a sequential `--isolation process` baseline, or
 //! the gate exits 1.
 //!
+//! `artifact chaos --net` is the partition-tolerance gate. Leg one
+//! shards the chaos sweep across a four-worker fleet with the seeded
+//! `storm` net-fault preset shimming every worker link (drops, delays,
+//! duplicates, partition windows) and requires the merged CSV to be
+//! byte-identical to the sequential baseline with zero quarantines —
+//! the retry/resend wire semantics must absorb the whole storm. Leg two
+//! drives the real `runbms` binary: a primary coordinator under the
+//! same storm is SIGKILLed mid-sweep (`CHOPIN_FLEET_DIE_AFTER`) while a
+//! registered standby takes over its lease table from the merged
+//! journals without restarting the workers; the standby's CSV must be
+//! byte-identical to a sequential `runbms` baseline and the takeover
+//! log (`<journal>.takeover`) must record the hand-off. Set
+//! `CHOPIN_CHAOS_NET_DIR` to keep the journal shards and takeover log
+//! for CI upload.
+//!
 //! `artifact perf <--run|--report|--check> [--pr N] [--samples N]
 //! [--ledger DIR] [--out FILE] [--current FILE] [--tolerance F]` drives
 //! the `chopin-perf` performance-trajectory layer. `--run` executes the
@@ -86,16 +101,19 @@
 //! when any bench's `min_ns` regressed by more than the tolerance
 //! (default 10%).
 //!
-//! `artifact model [--check] [--bounds W,C,K] [--trace] [--demo
-//! lost-lease]` runs the `chopin-model` bounded exhaustive state-space
-//! checker over the fleet lease protocol: every interleaving of wire
-//! messages, worker deaths, coordinator crashes and lease expiries
-//! under the given bounds, with the shipped `LeaseTable` as the
-//! coordinator (rules R1301–R1305). Exits non-zero on a violation,
-//! writing the minimal message-by-message counterexample to
+//! `artifact model [--check] [--bounds W,C,K[,N]] [--trace] [--demo
+//! lost-lease|split-brain]` runs the `chopin-model` bounded exhaustive
+//! state-space checker over the fleet lease protocol: every
+//! interleaving of wire messages, worker deaths, coordinator crashes
+//! (or stand-by hand-offs), network drops/duplications, admission
+//! probes and lease expiries under the given bounds, with the shipped
+//! `LeaseTable` as the coordinator (rules R1301–R1305 and R1401–R1403).
+//! Exits non-zero on a violation, writing the minimal
+//! message-by-message counterexample to
 //! `results/model-counterexample.txt` for CI to upload; `--demo
 //! lost-lease` seeds the broken resume path and exits 1 with the R1303
-//! trace.
+//! trace, `--demo split-brain` seeds the unfenced takeover and exits 1
+//! with the R1402 trace.
 //!
 //! `artifact trace [-b BENCH] [--collector NAME] [--heap-factor F]
 //! [--trace-out FILE] [--events-out FILE] [--check]` runs one benchmark
@@ -106,7 +124,7 @@
 //! exits non-zero on any defect — the CI gate.
 
 use chopin_core::lbo::{Clock, LboAnalysis};
-use chopin_faults::{HardFaultKind, HardFaultPlan};
+use chopin_faults::{HardFaultKind, HardFaultPlan, NetFaultPlan};
 use chopin_fleet::{FleetConfig, WorkerStormPlan};
 use chopin_harness::cli::Args;
 use chopin_harness::obs::{observe_benchmark, ObsOptions, DEFAULT_EVENTS_OUT, DEFAULT_TRACE_OUT};
@@ -123,7 +141,8 @@ use chopin_workloads::faults::{preset as fault_preset, DEFAULT_HORIZON_NS, FALLB
 
 const USAGE: &str = "usage: artifact <kick-the-tires|lbo|latency|validate|lint|analyze|srclint|\
                      trace|chaos|perf|model> [--json|--rules|--check|--run|--report|--plan NAME|\
-                     --results FILE|--current FILE|--workers|--bounds W,C,K|--demo NAME|--trace]";
+                     --results FILE|--current FILE|--workers|--net|--bounds W,C,K[,N]|\
+                     --demo NAME|--trace]";
 
 /// The deterministic CSV of a suite report, in schedule order — the
 /// byte-equality currency of the fleet checks (same shape `runbms`
@@ -230,7 +249,7 @@ fn run_chaos_workers(args: &Args) -> i32 {
     // mid-run; survivors and respawned slots drain the matrix anyway.
     let mut stormy = FleetConfig::new(FLEET_WORKERS);
     stormy.storm = Some(storm);
-    match supervised(&|s| s.with_fleet(Some(stormy))) {
+    match supervised(&|s| s.with_fleet(Some(stormy.clone()))) {
         Ok(report) => {
             let deaths = report.metrics.counter("fleet.workers.deaths");
             println!(
@@ -271,7 +290,7 @@ fn run_chaos_workers(args: &Args) -> i32 {
     interrupted.die_after = Some((cells as u64 / 2).max(1));
     match supervised(&|s| {
         s.with_journal(journal.clone())
-            .with_fleet(Some(interrupted))
+            .with_fleet(Some(interrupted.clone()))
     }) {
         Ok(_) => failures
             .push("die-after hook never fired; the interruption leg tested nothing".to_string()),
@@ -314,9 +333,301 @@ fn run_chaos_workers(args: &Args) -> i32 {
     }
 }
 
+/// The partition-tolerance leg of `artifact chaos` (`--net`).
+///
+/// Leg one runs in-process: the chaos sweep is sharded across a
+/// four-worker fleet while the seeded `storm` net-fault preset shims
+/// every worker link — one frame in four dropped, one in four delayed
+/// 750ms, one in four duplicated, and a 1.5s partition window over half
+/// the workers every 4s. The resend/dedup/fencing wire semantics must
+/// absorb all of it: the merged CSV has to be byte-identical to a
+/// sequential `--isolation process` baseline with zero quarantines, and
+/// the shim has to report actual faults (a silent shim tests nothing).
+///
+/// Leg two drives the real `runbms` binary end-to-end: a standby
+/// coordinator registers with a primary that runs the same storm and
+/// SIGKILLs itself mid-sweep (`CHOPIN_FLEET_DIE_AFTER`); the standby
+/// must detect the lost heartbeat, take over the lease table from the
+/// merged journals, finish the sweep with the surviving workers, print
+/// a CSV byte-identical to a sequential `runbms` baseline, and record
+/// the hand-off in the `<journal>.takeover` log.
+///
+/// Scratch space (journal shards, takeover log) lives in
+/// `CHOPIN_CHAOS_NET_DIR` when set — kept for CI upload — or in a
+/// pid-suffixed temp dir removed on exit.
+fn run_chaos_net(args: &Args) -> i32 {
+    const FLEET_WORKERS: u32 = 4;
+    const NET_SEED: u64 = 7;
+    let mut benchmarks = args.list("b");
+    if benchmarks.is_empty() {
+        benchmarks = vec!["fop".to_string()];
+    }
+    let mut profiles = Vec::new();
+    for name in &benchmarks {
+        match chopin_workloads::suite::by_name(name) {
+            Some(p) => profiles.push(p),
+            None => {
+                eprintln!("error: unknown benchmark `{name}`");
+                return 2;
+            }
+        }
+    }
+    let plan = match plan_from_args(args) {
+        Ok(Some(plan)) => plan,
+        Ok(None) => {
+            fault_preset("chaos", FALLBACK_SEED, DEFAULT_HORIZON_NS).expect("chaos is a preset")
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let policy = match policy_from_args(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let sweep = chopin_harness::presets::chaos_sweep_config();
+    let cells = profiles.len() * sweep.collectors.len() * sweep.heap_factors.len();
+    let net = NetFaultPlan::preset("storm", NET_SEED).expect("storm is a preset");
+    eprintln!(
+        "artifact chaos --net: {cells} cell(s) across {FLEET_WORKERS} worker(s) under \
+         net-fault shim: {net}"
+    );
+
+    let supervised = |configure: &dyn Fn(SuiteSupervisor) -> SuiteSupervisor| {
+        configure(SuiteSupervisor::new(policy).with_faults(plan.clone())).run(&profiles, &sweep)
+    };
+    let baseline = match supervised(&|s| s.with_isolation(IsolationMode::Process)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: baseline run: {e}");
+            return 2;
+        }
+    };
+    let baseline_csv = sweep_csv(&baseline);
+    let mut failures: Vec<String> = Vec::new();
+
+    // Leg 1: the partition storm, in-process. Every worker link is
+    // shimmed; the merge must still be byte-exact and quarantine-free.
+    let mut stormy = FleetConfig::new(FLEET_WORKERS);
+    stormy.net = Some(net);
+    match supervised(&|s| s.with_fleet(Some(stormy.clone()))) {
+        Ok(report) => {
+            let dropped = report.metrics.counter("fleet.net.dropped");
+            let delayed = report.metrics.counter("fleet.net.delayed");
+            let duplicated = report.metrics.counter("fleet.net.duplicated");
+            let partitioned = report.metrics.counter("fleet.net.partitioned");
+            println!(
+                "storm leg: {dropped} frame(s) dropped, {delayed} delayed, {duplicated} \
+                 duplicated, {partitioned} partitioned; {} lease(s) expired",
+                report.metrics.counter("fleet.leases.expired"),
+            );
+            if dropped + delayed + duplicated + partitioned == 0 {
+                failures
+                    .push("the net shim faulted zero frames; the storm leg tested nothing".into());
+            }
+            if !report.is_clean() {
+                failures.push(format!(
+                    "{} cell(s) quarantined under the net storm",
+                    report.quarantined.len()
+                ));
+            }
+            if sweep_csv(&report) != baseline_csv {
+                failures.push("stormed CSV differs from the sequential baseline".to_string());
+            }
+        }
+        Err(e) => failures.push(format!("stormed run failed outright: {e}")),
+    }
+
+    // Leg 2: the hand-off, against the real binaries.
+    let (dir, keep_dir) = match std::env::var("CHOPIN_CHAOS_NET_DIR") {
+        Ok(d) if !d.is_empty() => (std::path::PathBuf::from(d), true),
+        _ => (
+            std::env::temp_dir().join(format!("chopin-chaos-net-{}", std::process::id())),
+            false,
+        ),
+    };
+    if !keep_dir {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("error: {e}");
+        return 2;
+    }
+    let journal = dir.join("handoff.journal");
+    let runbms = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.join("runbms")))
+        .filter(|p| p.exists());
+    let Some(runbms) = runbms else {
+        eprintln!("error: no runbms binary beside this artifact binary; build the workspace first");
+        return 2;
+    };
+    let bench_flag = benchmarks.join(",");
+    let net_flag = format!("storm:{NET_SEED}");
+    match handoff_leg(&runbms, &bench_flag, &net_flag, &journal) {
+        Ok(note) => println!("hand-off leg: {note}"),
+        Err(e) => failures.push(e),
+    }
+    if !keep_dir {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    if failures.is_empty() {
+        println!(
+            "check OK: the net storm and the coordinator hand-off both reproduced the \
+             sequential baseline byte-for-byte"
+        );
+        0
+    } else {
+        for f in &failures {
+            eprintln!("check FAILED: {f}");
+        }
+        1
+    }
+}
+
+/// Run the real-binary hand-off scenario for [`run_chaos_net`]: spawn a
+/// standby, spawn a primary doomed to SIGKILL itself mid-sweep, and
+/// check the standby's takeover reproduces a sequential baseline.
+/// Returns a one-line success note, or the failure description.
+fn handoff_leg(
+    runbms: &std::path::Path,
+    bench_flag: &str,
+    net_flag: &str,
+    journal: &std::path::Path,
+) -> Result<String, String> {
+    use std::process::{Command, Stdio};
+    let journal_flag = journal.to_str().ok_or("non-utf8 temp path")?;
+
+    // The real-binary sequential baseline the standby must reproduce.
+    let seq = Command::new(runbms)
+        .args(["-b", bench_flag, "--quick", "--isolation", "process"])
+        .output()
+        .map_err(|e| format!("baseline runbms spawn: {e}"))?;
+    if !seq.status.success() {
+        return Err(format!(
+            "baseline runbms run failed:\n{}",
+            String::from_utf8_lossy(&seq.stderr)
+        ));
+    }
+
+    // Probe a free port so the standby can be pointed at the primary
+    // before the primary exists: the standby retries its registration,
+    // so starting it first closes the race where a fast primary dies
+    // before the standby ever adopts.
+    let port = std::net::TcpListener::bind("127.0.0.1:0")
+        .and_then(|l| l.local_addr())
+        .map_err(|e| format!("cannot probe for a free port: {e}"))?
+        .port();
+    let primary_addr = format!("127.0.0.1:{port}");
+
+    let standby = Command::new(runbms)
+        .args([
+            "-b",
+            bench_flag,
+            "--quick",
+            "--fleet",
+            "4",
+            "--fleet-standby",
+            &primary_addr,
+            "--journal",
+            journal_flag,
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("standby runbms spawn: {e}"))?;
+
+    // The primary: same matrix, the net storm on its worker links, and
+    // the die-after hook set to SIGKILL it after two completions.
+    let primary = Command::new(runbms)
+        .args([
+            "-b",
+            bench_flag,
+            "--quick",
+            "--fleet",
+            "4",
+            "--fleet-bind",
+            &primary_addr,
+            "--fleet-await-standby",
+            "--net-faults",
+            net_flag,
+            "--journal",
+            journal_flag,
+        ])
+        .env("CHOPIN_FLEET_DIE_AFTER", "2")
+        .output()
+        .map_err(|e| format!("primary runbms spawn: {e}"))?;
+    if primary.status.success() {
+        let _ = standby.wait_with_output();
+        return Err(
+            "the die-after hook never fired; the primary finished without a hand-off".to_string(),
+        );
+    }
+
+    let standby = standby
+        .wait_with_output()
+        .map_err(|e| format!("standby runbms wait: {e}"))?;
+    let standby_err = String::from_utf8_lossy(&standby.stderr);
+    if !standby.status.success() {
+        return Err(format!(
+            "the standby failed to take over ({}):\n{standby_err}\nprimary stderr:\n{}",
+            standby.status,
+            String::from_utf8_lossy(&primary.stderr)
+        ));
+    }
+    if standby.stdout != seq.stdout {
+        let got = String::from_utf8_lossy(&standby.stdout);
+        let want = String::from_utf8_lossy(&seq.stdout);
+        let divergence = want
+            .lines()
+            .zip(got.lines())
+            .enumerate()
+            .find(|(_, (w, g))| w != g)
+            .map_or_else(
+                || {
+                    format!(
+                        "line counts differ: baseline {}, standby {}",
+                        want.lines().count(),
+                        got.lines().count()
+                    )
+                },
+                |(i, (w, g))| format!("line {}: baseline `{w}` vs standby `{g}`", i + 1),
+            );
+        return Err(format!(
+            "the standby's merged CSV differs from the sequential baseline ({divergence})\n\
+             standby stderr:\n{standby_err}"
+        ));
+    }
+    let takeover_log = journal.with_file_name(format!(
+        "{}.takeover",
+        journal.file_name().unwrap_or_default().to_string_lossy()
+    ));
+    let log = std::fs::read_to_string(&takeover_log)
+        .map_err(|e| format!("no takeover log at {}: {e}", takeover_log.display()))?;
+    if log.trim().is_empty() {
+        return Err(format!(
+            "the takeover log at {} is empty",
+            takeover_log.display()
+        ));
+    }
+    Ok(format!(
+        "standby took over after the primary was SIGKILLed; CSV byte-identical, takeover \
+         log records: {}",
+        log.lines().next().unwrap_or_default()
+    ))
+}
+
 fn run_chaos(args: &Args) -> i32 {
     if args.has("workers") {
         return run_chaos_workers(args);
+    }
+    if args.has("net") {
+        return run_chaos_net(args);
     }
     let mut benchmarks = args.list("b");
     if benchmarks.is_empty() {

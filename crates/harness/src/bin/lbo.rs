@@ -20,6 +20,15 @@
 //! `--isolation process` each cell runs in a sandboxed child process,
 //! so hard crashes land in quarantine instead of killing the run.
 //!
+//! The fleet flag family works here too: `--fleet N` shards the sweeps
+//! across worker processes, `--fleet-bind`/`--fleet-token` pin and
+//! authenticate the transport (remote machines attach with
+//! `--fleet-connect ADDR`), `--net-faults PRESET[:SEED]` injects a
+//! seeded network-fault schedule at the transport shim, and
+//! `--fleet-standby ADDR` arms a hot standby coordinator that takes
+//! over on primary death. The deterministic journal merge guarantees
+//! the LBO figures come out identical to a sequential run.
+//!
 //! Every invocation is pre-flight analyzed first (`chopin-analyzer`):
 //! statically broken plans abort with exit 2 and an R8xx diagnostic
 //! table before any simulation starts. `--no-preflight` bypasses.

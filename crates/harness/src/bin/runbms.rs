@@ -28,6 +28,25 @@
 //! isolation required, rule R903); `--crash-reports FILE` writes one
 //! JSONL record per hard child failure.
 //!
+//! `--fleet N` shards the sweep matrix across N worker processes under
+//! a lease-table coordinator (`--lease-deadline MS` bounds each grant;
+//! `--fleet-storm kill|abort[:SEED[:STRIDE]]` SIGKILLs deterministic
+//! victim workers mid-lease). The transport is partition-tolerant and
+//! multi-host capable: `--fleet-bind HOST:PORT` pins the listener to a
+//! routable address, `--fleet-token TOKEN` makes every handshake carry
+//! a per-run secret (wrong tokens are cleanly rejected), and extra
+//! machines attach with `--fleet-connect ADDR` (plus the same token).
+//! `--net-faults PRESET[:SEED]` (drop/delay/dup/partition/storm)
+//! injects a seeded network-fault schedule at the coordinator's
+//! transport shim — the retry/timeout discipline must still merge a
+//! byte-identical CSV. `--fleet-standby ADDR` runs this process as a
+//! hot standby for the primary coordinating at ADDR: it registers,
+//! watches heartbeats, and on silence takes over the lease table from
+//! the merged journals without restarting workers (the hand-off is
+//! recorded in `<journal>.takeover`). `--fleet-await-standby` makes a
+//! primary hold every lease until a standby has adopted — the armed
+//! failover drill used by `artifact chaos --net`.
+//!
 //! Every invocation is pre-flight analyzed first (`chopin-analyzer`):
 //! plans the static analyses prove broken — infeasible heap grids, dead
 //! fault windows, cold-start timing, unmeetable deadlines — abort with

@@ -2,23 +2,29 @@
 //! exhaustive checker over the fleet lease protocol.
 //!
 //! ```text
-//! artifact model [--check] [--bounds W,C,K] [--trace] [--out FILE]
+//! artifact model [--check] [--bounds W,C,K[,N]] [--trace] [--out FILE]
 //! artifact model --demo lost-lease [--trace]
+//! artifact model --demo split-brain [--trace]
 //! artifact model --rules
 //! ```
 //!
 //! The default (and `--check`, accepted for symmetry with the other CI
-//! gates) explores the shipped protocol under the given bounds and
-//! exits non-zero iff a rule in the R1301–R1305 family is violated. On
-//! violation the minimal message-by-message counterexample is always
-//! written to `--out` (default `results/model-counterexample.txt`) so
-//! CI can upload it; `--trace` additionally prints it to stdout.
+//! gates) explores the shipped protocol under the given bounds — `N` is
+//! the network-fault budget, and the default bounds register a standby
+//! coordinator and token-gate the fleet — and exits non-zero iff a rule
+//! in the R1301–R1305 or R1401–R1403 families is violated. On violation
+//! the minimal message-by-message counterexample is always written to
+//! `--out` (default `results/model-counterexample.txt`) so CI can
+//! upload it; `--trace` additionally prints it to stdout.
 //!
 //! `--demo lost-lease` checks the deliberately broken resume path
 //! instead (persist-to-base skipped before the respawned workers
 //! truncate their shards) and exits `1` with the R1303 counterexample —
 //! the seeded-bug walkthrough in EXPERIMENTS.md, and the proof the
-//! checker can actually see through the journal lifecycle.
+//! checker can actually see through the journal lifecycle. `--demo
+//! split-brain` does the same for the takeover path: the successor
+//! forgets to fence frames echoing the dead incarnation's epoch, and
+//! the checker returns the R1402 counterexample.
 //!
 //! Exit codes follow the workspace contract: `0` clean, `1` violation
 //! found, `2` usage errors or an exploration that could not finish
@@ -26,7 +32,9 @@
 
 use crate::cli::Args;
 use crate::output::ResultsDir;
-use chopin_model::{demo_lost_lease, explore, Bounds, ExploreReport, SeededBug, Violation};
+use chopin_model::{
+    demo_lost_lease, demo_split_brain, explore, Bounds, ExploreReport, SeededBug, Violation,
+};
 
 /// Default artifact path for the counterexample trace CI uploads.
 pub const DEFAULT_COUNTEREXAMPLE_OUT: &str = "results/model-counterexample.txt";
@@ -42,10 +50,14 @@ pub fn render_counterexample(bounds: &Bounds, violation: &Violation) -> String {
     let _ = writeln!(out, "violation {}", violation.summary);
     let _ = writeln!(
         out,
-        "bounds    workers={} cells={} crashes={} failing={} retries={} deadline={}ms",
+        "bounds    workers={} cells={} crashes={} net={} standby={} token={} \
+         failing={} retries={} deadline={}ms",
         bounds.workers,
         bounds.cells,
         bounds.crashes,
+        bounds.net,
+        bounds.standby,
+        bounds.token,
         bounds.failing_cells,
         bounds.max_retries,
         bounds.deadline_ms
@@ -76,7 +88,7 @@ pub fn render_counterexample(bounds: &Bounds, violation: &Violation) -> String {
 fn print_report(bounds: &Bounds, report: &ExploreReport) {
     println!(
         "model: explored {} state(s), {} transition(s), depth {}, {} terminal(s) \
-         under bounds {},{},{}",
+         under bounds {},{},{},{}",
         report.states,
         report.transitions,
         report.max_depth,
@@ -84,6 +96,7 @@ fn print_report(bounds: &Bounds, report: &ExploreReport) {
         bounds.workers,
         bounds.cells,
         bounds.crashes,
+        bounds.net,
     );
 }
 
@@ -116,22 +129,46 @@ pub fn run_model(args: &Args) -> i32 {
         return 0;
     }
     if let Some(demo) = args.value("demo") {
-        if demo != "lost-lease" {
-            eprintln!("error: unknown demo `{demo}` (available: lost-lease)");
-            return 2;
-        }
-        let bounds = Bounds {
-            workers: 1,
-            cells: 1,
-            crashes: 2,
-            failing_cells: 0,
-            ..Bounds::default()
+        let (bounds, outcome) = match demo {
+            "lost-lease" => {
+                eprintln!(
+                    "artifact model: exploring the seeded lost-lease resume bug \
+                     (persist-to-base skipped)"
+                );
+                let bounds = Bounds {
+                    workers: 1,
+                    cells: 1,
+                    crashes: 2,
+                    net: 0,
+                    standby: false,
+                    token: false,
+                    failing_cells: 0,
+                    ..Bounds::default()
+                };
+                (bounds, demo_lost_lease())
+            }
+            "split-brain" => {
+                eprintln!(
+                    "artifact model: exploring the seeded split-brain takeover bug \
+                     (stale-epoch fencing skipped)"
+                );
+                let bounds = Bounds {
+                    workers: 1,
+                    cells: 1,
+                    crashes: 1,
+                    net: 0,
+                    token: false,
+                    failing_cells: 0,
+                    ..Bounds::default()
+                };
+                (bounds, demo_split_brain())
+            }
+            _ => {
+                eprintln!("error: unknown demo `{demo}` (available: lost-lease, split-brain)");
+                return 2;
+            }
         };
-        eprintln!(
-            "artifact model: exploring the seeded lost-lease resume bug \
-             (persist-to-base skipped)"
-        );
-        return match demo_lost_lease() {
+        return match outcome {
             Ok(report) => {
                 print_report(&bounds, &report);
                 match &report.violation {
@@ -160,8 +197,8 @@ pub fn run_model(args: &Args) -> i32 {
     };
     eprintln!(
         "artifact model: exhaustively exploring the fleet lease protocol \
-         (workers={}, cells={}, crash budget={})",
-        bounds.workers, bounds.cells, bounds.crashes
+         (workers={}, cells={}, crash budget={}, net budget={}, standby={}, token={})",
+        bounds.workers, bounds.cells, bounds.crashes, bounds.net, bounds.standby, bounds.token
     );
     match explore(&bounds, SeededBug::None) {
         Ok(report) => {
@@ -170,8 +207,8 @@ pub fn run_model(args: &Args) -> i32 {
                 Some(violation) => emit_violation(&bounds, violation, args),
                 None => {
                     println!(
-                        "check OK: R1301-R1305 hold across every reachable state under \
-                         these bounds"
+                        "check OK: R1301-R1305 and R1401-R1403 hold across every \
+                         reachable state under these bounds"
                     );
                     0
                 }

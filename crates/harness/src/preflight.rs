@@ -60,9 +60,11 @@ fn whole_suite() -> Vec<String> {
 /// requested (no watchdog otherwise), journalling from `--journal`,
 /// the isolation backend from `--isolation`, the sandbox policy from
 /// `--heartbeat-ms`/`--rlimit-as-mb`/`--rlimit-cpu-s` and hard faults
-/// from `--hard-faults` and the fleet shape from
-/// `--fleet`/`--lease-deadline` — so the R90x sandbox and R120x fleet
-/// analyses see exactly what the run would do.
+/// from `--hard-faults`, the fleet shape from
+/// `--fleet`/`--lease-deadline`, the net-fault shim from `--net-faults`
+/// and the standby registration from `--fleet-standby` — so the R90x
+/// sandbox, R120x fleet and R140x partition-tolerance analyses see
+/// exactly what the run would do.
 ///
 /// # Errors
 ///
@@ -87,6 +89,14 @@ pub fn plan_for_args(
             ..SupervisorPolicy::default()
         }
     };
+    let fleet = crate::fleet::fleet_config_from_args(args)?;
+    let (fleet_plan, net_faults, standby) = match fleet {
+        Some(config) => {
+            let standby = config.standby_of.is_some();
+            (Some(config.plan), config.net, standby)
+        }
+        None => (None, None, false),
+    };
     Ok(PlanIR::compile(
         name,
         methodology,
@@ -99,7 +109,9 @@ pub fn plan_for_args(
     .with_isolation(isolation_from_args(args)?)
     .with_sandbox(sandbox_policy_from_args(args)?)
     .with_hard_faults(hard_plan_from_args(args)?)
-    .with_fleet(crate::fleet::fleet_config_from_args(args)?.map(|config| config.plan)))
+    .with_fleet(fleet_plan)
+    .with_net_faults(net_faults)
+    .with_standby(standby))
 }
 
 /// Run the analyses over `plan` and return the findings (rule order).
@@ -345,6 +357,56 @@ mod tests {
             &Args::parse(Vec::<String>::new()),
         )
         .is_err());
+    }
+
+    #[test]
+    fn plan_for_args_reads_partition_tolerance_flags() {
+        // A stormed, standby-watched, journalled fleet compiles into an
+        // IR the R140x analyses accept.
+        let args = Args::parse([
+            "--fleet",
+            "2",
+            "--net-faults",
+            "storm:7",
+            "--fleet-standby",
+            "127.0.0.1:7070",
+            "--journal",
+            "x.journal",
+        ]);
+        let plan = plan_for_args(
+            "runbms",
+            Methodology::Sweep,
+            &["fop".to_string()],
+            &SweepConfig::quick(),
+            &args,
+        )
+        .expect("compiles");
+        assert!(plan.fleet.is_some());
+        assert!(plan.net_faults.is_some());
+        assert!(plan.standby && plan.journalled);
+        let report = preflight_report(&plan);
+        assert!(
+            !report.diagnostics.iter().any(|d| d.rule.starts_with("R14")),
+            "sane partition-tolerance flags pass the R140x gate:\n{}",
+            report.render_table()
+        );
+
+        // The same standby without a journal trips R1405 pre-flight.
+        let args = Args::parse(["--fleet", "2", "--fleet-standby", "127.0.0.1:7070"]);
+        let plan = plan_for_args(
+            "runbms",
+            Methodology::Sweep,
+            &["fop".to_string()],
+            &SweepConfig::quick(),
+            &args,
+        )
+        .expect("compiles");
+        let report = preflight_report(&plan);
+        assert!(
+            report.diagnostics.iter().any(|d| d.rule == "R1405"),
+            "an unjournalled standby must trip R1405:\n{}",
+            report.render_table()
+        );
     }
 
     #[test]

@@ -365,6 +365,10 @@ pub fn supervision_requested(args: &crate::cli::Args) -> bool {
         "fleet",
         "lease-deadline",
         "fleet-storm",
+        "fleet-bind",
+        "fleet-token",
+        "fleet-standby",
+        "net-faults",
         "crash-reports",
         "heartbeat-ms",
         "rlimit-as-mb",
@@ -737,8 +741,12 @@ impl SuiteSupervisor {
         let (runner, process_runner) = self.effective_runner()?;
         let fingerprint = self.fingerprint(profiles, config, runner.as_ref());
 
+        let standby = self.fleet.as_ref().is_some_and(|f| f.standby_of.is_some());
         let journal = match &self.journal_path {
             None => None,
+            // A standby coordinator must not open (and truncate) the base
+            // journal the primary is writing; it reloads it at takeover.
+            Some(_) if standby => None,
             Some(path) => {
                 if self.resume && path.exists() {
                     let mut loaded = Journal::load(path)?;
@@ -780,7 +788,7 @@ impl SuiteSupervisor {
 
         if let Some(fleet) = &self.fleet {
             return crate::fleet::coordinate(crate::fleet::FleetRun {
-                config: *fleet,
+                config: fleet.clone(),
                 policy: self.policy,
                 faults: self.faults.clone(),
                 profiles,

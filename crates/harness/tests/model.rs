@@ -78,6 +78,36 @@ fn the_lost_lease_demo_produces_the_minimal_r1303_counterexample() {
 }
 
 #[test]
+fn the_split_brain_demo_produces_the_minimal_r1402_counterexample() {
+    let dir = scratch("split");
+    let out = artifact(&["model", "--demo", "split-brain", "--trace"], &dir);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stdout: {stdout}\nstderr: {stderr}"
+    );
+    assert!(stderr.contains("R1402"), "stderr: {stderr}");
+    // The trace is the whole story: grant, coordinator death, standby
+    // takeover at epoch 2, and the dead incarnation's @done mutating
+    // the successor's table because the fence was seeded off.
+    assert!(stdout.contains("rule      R1402"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("minimal counterexample"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("@lease"), "stdout: {stdout}");
+    assert!(stdout.contains("takes over at epoch 2"), "stdout: {stdout}");
+    assert!(stdout.contains("@done"), "stdout: {stdout}");
+    let artifact_path = dir.join("results/model-counterexample.txt");
+    let document = std::fs::read_to_string(&artifact_path).expect("counterexample written");
+    assert!(document.contains("R1402"), "{document}");
+    assert!(document.contains("violating state:"), "{document}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn bad_bounds_are_usage_errors() {
     let dir = scratch("usage");
     for args in [

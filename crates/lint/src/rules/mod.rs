@@ -1,4 +1,4 @@
-//! The rule catalogue, grouped into twelve families:
+//! The rule catalogue, grouped into thirteen families:
 //!
 //! * **R1xx** ([`nominal`]) — nominal-statistic completeness and ranges.
 //! * **R2xx** ([`spec`]) — cross-field workload-spec consistency.
@@ -39,6 +39,14 @@
 //!   determinism, drain liveness). Catalogued here, checked on every
 //!   reachable state of the bounded state space by the `chopin-model`
 //!   exhaustive checker and run by `artifact model --check`.
+//! * **R14xx** — partition tolerance: the behaviour rules of the
+//!   standby hand-off and authenticated transport (durability across a
+//!   takeover, epoch fencing against split brain, token-gated
+//!   admission — R1401–R1403, checked by `chopin-model` alongside the
+//!   R13xx family) plus the pre-flight configuration rules for the
+//!   seeded network-fault shim and standby registration (R1404–R1405,
+//!   implemented by `chopin-analyzer` and enforced wherever
+//!   `--net-faults`/`--fleet-standby` are accepted).
 
 pub mod config;
 pub mod faults;
@@ -64,7 +72,7 @@ pub struct RuleDef {
 /// Every rule the linter implements, in id order. Rendered by
 /// `artifact lint --rules` and kept in sync with the rule modules by the
 /// crate's tests.
-pub const RULES: [RuleDef; 70] = [
+pub const RULES: [RuleDef; 75] = [
     RuleDef {
         id: "R101",
         severity: Severity::Error,
@@ -414,6 +422,31 @@ pub const RULES: [RuleDef; 70] = [
         id: "R1305",
         severity: Severity::Error,
         summary: "bounded liveness under fairness: every reachable state can still drain (every cell reaches Done or quarantine; no drain deadlock)",
+    },
+    RuleDef {
+        id: "R1401",
+        severity: Severity::Error,
+        summary: "no committed result is lost across a coordinator hand-off: the standby's takeover absorbs base + shards before serving the next epoch",
+    },
+    RuleDef {
+        id: "R1402",
+        severity: Severity::Error,
+        summary: "single active coordinator epoch: frames echoing a dead incarnation's nonce are fenced, never applied to the live lease table",
+    },
+    RuleDef {
+        id: "R1403",
+        severity: Severity::Error,
+        summary: "token-gated admission both ways: a wrong or missing --fleet-token is refused at @hello, and the run's own token is always admitted",
+    },
+    RuleDef {
+        id: "R1404",
+        severity: Severity::Error,
+        summary: "net-fault injection needs a fleet and headroom: --net-faults requires --fleet, and the plan's injected delay ceiling must stay under the lease deadline",
+    },
+    RuleDef {
+        id: "R1405",
+        severity: Severity::Error,
+        summary: "a standby coordinator needs a journal: --fleet-standby requires --journal pointing at the primary's journal so a takeover can absorb it",
     },
 ];
 

@@ -13,13 +13,25 @@ use chopin_faults::SupervisorPolicy;
 /// Bounds for one exploration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Bounds {
-    /// Worker slots (`W` in `--bounds W,C,K`).
+    /// Worker slots (`W` in `--bounds W,C,K[,N]`).
     pub workers: usize,
     /// Cells in the sweep matrix (`C`).
     pub cells: usize,
     /// Shared adversarial crash budget (`K`): worker deaths (including
     /// deaths mid-completion) and coordinator crashes both draw on it.
     pub crashes: u32,
+    /// Shared adversarial network budget (`N`): worker→coordinator
+    /// frame drops and duplications both draw on it (the model of the
+    /// seeded `--net-faults` shim).
+    pub net: u32,
+    /// Whether a standby coordinator is registered: a coordinator death
+    /// becomes a hand-off (takeover at the next epoch, workers
+    /// reconnect) instead of a crash-and-resume.
+    pub standby: bool,
+    /// Whether the fleet is token-gated: the adversary gets one
+    /// admission attempt with a wrong token, checked through the
+    /// shipped `chopin_fleet::admission` gate (rule R1403).
+    pub token: bool,
     /// How many of the first cells deterministically fail on every
     /// attempt (exercising retry budgets and quarantine).
     pub failing_cells: usize,
@@ -32,11 +44,22 @@ pub struct Bounds {
 }
 
 impl Default for Bounds {
+    /// The default gate bounds: two workers racing over two cells (one
+    /// deterministically failing), one crash that the registered
+    /// standby turns into a hand-off, one network fault, token-gated.
+    /// Cells sit at two rather than three because the *combination* of
+    /// the crash and net adversaries is what explodes the space
+    /// (2,3,1,1 crosses the two-million-state fuse; 2,2,1,1 explores
+    /// ~600k states); the three-cell matrix is still covered on the
+    /// single-adversary axes via `--bounds 2,3,1,0` in CI.
     fn default() -> Self {
         Bounds {
             workers: 2,
-            cells: 3,
+            cells: 2,
             crashes: 1,
+            net: 1,
+            standby: true,
+            token: true,
             failing_cells: 1,
             max_retries: 1,
             deadline_ms: 4,
@@ -46,9 +69,13 @@ impl Default for Bounds {
 
 impl Bounds {
     /// Adversarial lease-expiry budget: how many times the scheduler
-    /// may delay a running worker past its lease deadline. Tied to the
-    /// crash budget (with a floor of one) so `--bounds` scales both
-    /// adversaries together.
+    /// may *choose* to delay a running worker past its lease deadline.
+    /// Tied to the crash budget (with a floor of one) so `--bounds`
+    /// scales the adversaries together. A dropped `@done`, whose only
+    /// recovery is lease expiry and re-grant, never needs extra slack
+    /// here: when the crossing is the only enabled transition it is
+    /// inevitability rather than adversarial choice and proceeds
+    /// budget-free (the fairness behind R1305).
     #[must_use]
     pub fn expiries(&self) -> u32 {
         self.crashes.max(1)
@@ -85,6 +112,9 @@ impl Bounds {
         if self.crashes > 3 {
             return Err("crash budget must be at most 3".to_string());
         }
+        if self.net > 3 {
+            return Err("network-fault budget must be at most 3".to_string());
+        }
         if self.failing_cells > self.cells {
             return Err("failing cells cannot exceed the cell count".to_string());
         }
@@ -94,11 +124,12 @@ impl Bounds {
         Ok(())
     }
 
-    /// Parse a `--bounds W,C,K` triple; unnamed knobs keep defaults.
+    /// Parse a `--bounds W,C,K[,N]` spec (N is the network-fault
+    /// budget); unnamed knobs keep defaults.
     pub fn parse(spec: &str) -> Result<Bounds, String> {
         let parts: Vec<&str> = spec.split(',').collect();
-        if parts.len() != 3 {
-            return Err(format!("--bounds wants W,C,K (got {spec:?})"));
+        if parts.len() != 3 && parts.len() != 4 {
+            return Err(format!("--bounds wants W,C,K[,N] (got {spec:?})"));
         }
         let workers: usize = parts[0]
             .trim()
@@ -112,10 +143,18 @@ impl Bounds {
             .trim()
             .parse()
             .map_err(|_| format!("bad crash budget {:?}", parts[2]))?;
+        let net: u32 = match parts.get(3) {
+            None => Bounds::default().net,
+            Some(part) => part
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad network-fault budget {part:?}"))?,
+        };
         let bounds = Bounds {
             workers,
             cells,
             crashes,
+            net,
             ..Bounds::default()
         };
         bounds.validate()?;
@@ -131,19 +170,26 @@ mod tests {
     fn parse_accepts_triples_and_rejects_junk() {
         let b = Bounds::parse("1, 2, 0").unwrap();
         assert_eq!((b.workers, b.cells, b.crashes), (1, 2, 0));
+        assert_eq!(b.net, Bounds::default().net);
         assert_eq!(b.failing_cells, Bounds::default().failing_cells);
+        let b = Bounds::parse("1,2,0,2").unwrap();
+        assert_eq!(b.net, 2);
         assert!(Bounds::parse("2,3").is_err());
         assert!(Bounds::parse("2,3,x").is_err());
         assert!(Bounds::parse("0,3,1").is_err());
         assert!(Bounds::parse("2,0,1").is_err());
         assert!(Bounds::parse("9,3,1").is_err(), "over the worker cap");
         assert!(Bounds::parse("2,3,9").is_err(), "over the crash cap");
+        assert!(Bounds::parse("2,3,1,9").is_err(), "over the net cap");
+        assert!(Bounds::parse("2,3,1,x").is_err());
     }
 
     #[test]
     fn default_bounds_meet_the_gate_floor() {
         let b = Bounds::default();
-        assert!(b.workers >= 2 && b.cells >= 3 && b.crashes >= 1);
+        assert!(b.workers >= 2 && b.cells >= 2 && b.crashes >= 1);
+        assert!(b.net >= 1 && b.standby && b.token);
+        assert!(b.failing_cells >= 1, "quarantine must stay covered");
         assert!(b.validate().is_ok());
         assert!(b.expiries() >= 1);
     }

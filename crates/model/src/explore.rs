@@ -23,7 +23,7 @@ const MAX_STATES: u64 = 2_000_000;
 /// A violated protocol rule, with its minimal counterexample.
 #[derive(Debug, Clone)]
 pub struct Violation {
-    /// The violated rule id (`R1301`–`R1305`).
+    /// The violated rule id (`R1301`–`R1305`, `R1401`–`R1403`).
     pub rule: &'static str,
     /// One-line description of what broke in the violating state.
     pub summary: String,

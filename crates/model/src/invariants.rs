@@ -1,8 +1,9 @@
 //! The safety rules checked on every reachable state.
 //!
-//! Four per-state safety rules (R1301–R1304) live here; the bounded
-//! liveness rule R1305 needs the whole reachability graph and is
-//! checked by [`crate::explore`] after the sweep. Rule ids are
+//! Seven per-state safety rules (R1301–R1304 for the lease/merge core,
+//! R1401–R1403 for the partition-tolerance layer) live here; the
+//! bounded liveness rule R1305 needs the whole reachability graph and
+//! is checked by [`crate::explore`] after the sweep. Rule ids are
 //! registered in the shared chopin-lint catalogue so `artifact lint
 //! --explain R1303` documents them alongside the plan and source rules.
 //!
@@ -12,6 +13,9 @@
 //! | R1302 | the merge winner is the minimal offered candidate — a generation-checked late result never overwrites it |
 //! | R1303 | no completed cell is lost between shard truncation and base-journal persist |
 //! | R1304 | the merged journal is deterministic: every durable payload and terminal resolution is the pure function of the matrix |
+//! | R1401 | no committed result is lost across a coordinator hand-off (same durability obligation as R1303, owed by the takeover path) |
+//! | R1402 | a single coordinator epoch is active: frames echoing a dead incarnation never mutate the live lease table |
+//! | R1403 | admission is token-gated both ways: a wrong token is refused and the run's own token is admitted |
 
 use std::collections::BTreeSet;
 
@@ -24,7 +28,12 @@ use crate::state::{payload_of, ModelState, Slot, FAIL_REASON};
 /// rule id and a one-line description of what broke.
 #[must_use]
 pub fn check(state: &ModelState, bounds: &Bounds) -> Option<(&'static str, String)> {
+    // R1402/R1403 come before the merge rules: a stale-epoch mutation
+    // or a bogus admission perturbs merge minimality too, and the
+    // fencing/admission ghost is the root cause worth reporting.
     r1301_single_committed_winner(state)
+        .or_else(|| r1402_epoch_fencing(state))
+        .or_else(|| r1403_token_gated_admission(state))
         .or_else(|| r1302_merge_minimality(state, bounds))
         .or_else(|| r1303_durability(state))
         .or_else(|| r1304_determinism(state, bounds))
@@ -91,12 +100,15 @@ fn r1302_merge_minimality(state: &ModelState, bounds: &Bounds) -> Option<(&'stat
     None
 }
 
-/// R1303: every cell that ever had a durable completion record still
-/// has one *somewhere* — in the base journal, in a surviving shard, or
-/// (transiently) in the live coordinator's memory. The window this
-/// closes is the resume path: absorbing a shard into memory and then
-/// truncating it is only sound if the merged winner was persisted to
-/// the base journal first.
+/// R1303/R1401: every cell that ever had a durable completion record
+/// still has one *somewhere* — in the base journal, in a surviving
+/// shard, or (transiently) in the live coordinator's memory. Before any
+/// hand-off the window is the resume path (R1303: absorbing a shard
+/// into memory and then truncating it is only sound if the merged
+/// winner was persisted to the base journal first); once a takeover
+/// has happened the same obligation is owed by the successor (R1401: a
+/// takeover that failed to absorb the shards would lose committed
+/// results the primary's workers had already journaled).
 fn r1303_durability(state: &ModelState) -> Option<(&'static str, String)> {
     for &cell in &state.durable {
         let in_base = state.base.iter().any(|r| r.cell == cell);
@@ -106,15 +118,59 @@ fn r1303_durability(state: &ModelState) -> Option<(&'static str, String)> {
             .as_ref()
             .is_some_and(|t| t.cell_winner(cell).is_some());
         if !in_base && !in_shard && !in_memory {
+            let (rule, path) = if state.epoch > 1 {
+                ("R1401", "across the coordinator hand-off")
+            } else {
+                ("R1303", "between shard truncation and base-journal persist")
+            };
             return Some((
-                "R1303",
+                rule,
                 format!(
                     "cell {cell} was completed and journaled, but its record survives in \
                      no base row, no shard, and no live coordinator — the completion was \
-                     lost between shard truncation and base-journal persist"
+                     lost {path}"
                 ),
             ));
         }
+    }
+    None
+}
+
+/// R1402: single active coordinator epoch. The fencing discipline — a
+/// `@done`/`@fail` echoing a dead incarnation's nonce is dropped, never
+/// applied — is what keeps two incarnations' lease-id spaces from
+/// colliding. The ghost records any stale frame that mutated the live
+/// table.
+fn r1402_epoch_fencing(state: &ModelState) -> Option<(&'static str, String)> {
+    if state.stale_applied {
+        return Some((
+            "R1402",
+            "a frame echoing a fenced (dead) incarnation's epoch mutated the live \
+             lease table — two coordinator epochs were effectively active at once"
+                .to_string(),
+        ));
+    }
+    None
+}
+
+/// R1403: token-gated admission, both ways. The intruder's wrong (or
+/// missing) token must be refused, and the run's own token must be
+/// admitted — both checked through the shipped `chopin_fleet::admission`
+/// gate, so the model cannot drift from the code.
+fn r1403_token_gated_admission(state: &ModelState) -> Option<(&'static str, String)> {
+    if state.intruder_admitted {
+        return Some((
+            "R1403",
+            "the admission gate admitted a worker offering the wrong token".to_string(),
+        ));
+    }
+    if state.legit_refused {
+        return Some((
+            "R1403",
+            "the admission gate refused the run's own token — token gating locked \
+             every legitimate worker out"
+                .to_string(),
+        ));
     }
     None
 }
@@ -254,6 +310,46 @@ mod tests {
         let (rule, msg) = check(&s, &bounds).expect("must trip");
         assert_eq!(rule, "R1303");
         assert!(msg.contains("cell 1"), "{msg}");
+    }
+
+    #[test]
+    fn a_doctored_post_takeover_loss_trips_r1401() {
+        let bounds = Bounds::default();
+        let mut s = ModelState::init(&bounds);
+        s.epoch = 2;
+        s.durable.insert(1);
+        s.table = None;
+        for slot in &mut s.slots {
+            *slot = crate::state::Slot::Exited;
+        }
+        let (rule, msg) = check(&s, &bounds).expect("must trip");
+        assert_eq!(rule, "R1401");
+        assert!(msg.contains("hand-off"), "{msg}");
+    }
+
+    #[test]
+    fn a_doctored_stale_mutation_trips_r1402() {
+        let bounds = Bounds::default();
+        let mut s = ModelState::init(&bounds);
+        s.stale_applied = true;
+        let (rule, _) = check(&s, &bounds).expect("must trip");
+        assert_eq!(rule, "R1402");
+    }
+
+    #[test]
+    fn doctored_admission_failures_trip_r1403_both_ways() {
+        let bounds = Bounds::default();
+        let mut s = ModelState::init(&bounds);
+        s.intruder_admitted = true;
+        let (rule, msg) = check(&s, &bounds).expect("must trip");
+        assert_eq!(rule, "R1403");
+        assert!(msg.contains("wrong token"), "{msg}");
+
+        let mut s = ModelState::init(&bounds);
+        s.legit_refused = true;
+        let (rule, msg) = check(&s, &bounds).expect("must trip");
+        assert_eq!(rule, "R1403");
+        assert!(msg.contains("own token"), "{msg}");
     }
 
     #[test]

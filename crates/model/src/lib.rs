@@ -7,8 +7,9 @@
 //! the protocol the same *static* treatment plans already get from
 //! chopin-analyzer: every reachable interleaving of wire messages and
 //! adversarial events, under small bounds, is enumerated and checked
-//! against the protocol's safety and liveness rules (R1301–R1305 in the
-//! shared chopin-lint catalogue).
+//! against the protocol's safety and liveness rules (R1301–R1305 plus
+//! the partition-tolerance family R1401–R1403 in the shared chopin-lint
+//! catalogue).
 //!
 //! The crucial design point is the **conformance layer**: the model
 //! does not re-implement the lease state machine. Its coordinator *is*
@@ -36,6 +37,17 @@
 //!   lease deadline — with lease expiry gated behind an adversarial
 //!   budget so unbounded wedge-loops cannot blow up the space (that is
 //!   the fairness assumption behind the bounded-liveness rule R1305).
+//! * **Network faults** draw on their own budget `N`: the adversary may
+//!   drop or duplicate the head frame of any worker→coordinator channel
+//!   (the model of the seeded `--net-faults` shim), with expiry slack
+//!   scaled so every dropped `@done` stays recoverable (R1305).
+//! * **Hand-off** replaces coordinator crash-and-resume when a standby
+//!   is registered: channels die with the primary, the successor
+//!   absorbs base + shards *without* truncating shards or respawning
+//!   workers, and serves the next epoch. Frames echoing the dead
+//!   incarnation fence at delivery (R1401/R1402), and the adversary
+//!   gets one admission probe with a wrong token, checked through the
+//!   shipped `chopin_fleet::admission` gate (R1403).
 //! * **Journals** are per-worker shard logs plus an append-only base
 //!   log, with the real lifecycle: workers journal a cell *before*
 //!   sending `@done`, respawned and resumed workers truncate their own
@@ -79,15 +91,44 @@ pub use state::{ModelState, SeededBug};
 ///
 /// The bounds are the minimal ones that exhibit the bug: one worker,
 /// one cell, and a crash budget of two (crash → lossy resume → crash).
+/// The standby is disabled because the bug lives in the *resume* path —
+/// with a standby registered, a coordinator death hands off instead of
+/// resuming and the lossy truncation never runs.
 pub fn demo_lost_lease() -> Result<ExploreReport, String> {
     let bounds = Bounds {
         workers: 1,
         cells: 1,
         crashes: 2,
+        net: 0,
+        standby: false,
+        token: false,
         failing_cells: 0,
         ..Bounds::default()
     };
     explore(&bounds, SeededBug::LostLease)
+}
+
+/// Run the checker over the deliberately broken `split-brain` model:
+/// the takeover coordinator forgets to fence frames echoing the dead
+/// incarnation's epoch, so a `@done` written by the primary's lease
+/// space mutates the successor's table — two epochs effectively active
+/// at once. Returns the exploration report, whose violation names
+/// R1402.
+///
+/// The bounds are the minimal ones that exhibit the bug: one worker,
+/// one cell, one coordinator death (which the registered standby turns
+/// into a hand-off), and no network faults so the trace stays short.
+pub fn demo_split_brain() -> Result<ExploreReport, String> {
+    let bounds = Bounds {
+        workers: 1,
+        cells: 1,
+        crashes: 1,
+        net: 0,
+        token: false,
+        failing_cells: 0,
+        ..Bounds::default()
+    };
+    explore(&bounds, SeededBug::SplitBrain)
 }
 
 #[cfg(test)]
@@ -116,11 +157,29 @@ mod tests {
             workers: 1,
             cells: 1,
             crashes: 2,
+            net: 0,
+            standby: false,
+            token: false,
             failing_cells: 0,
             ..Bounds::default()
         };
         let report = explore(&bounds, SeededBug::None).unwrap();
         assert!(report.violation.is_none(), "{:?}", report.violation);
         assert!(report.states > 1);
+    }
+
+    #[test]
+    fn the_seeded_split_brain_bug_is_caught_as_r1402() {
+        let report = demo_split_brain().unwrap();
+        let violation = report.violation.expect("the seeded bug must be caught");
+        assert_eq!(violation.rule, "R1402");
+        assert!(
+            violation
+                .trace
+                .iter()
+                .any(|step| step.contains("takes over")),
+            "the trace must pass through the hand-off: {:?}",
+            violation.trace
+        );
     }
 }

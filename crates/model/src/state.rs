@@ -22,9 +22,14 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use chopin_fleet::admission;
 use chopin_fleet::lease::{FailOutcome, Grant, LeaseEffect, LeaseEvent, LeaseTable};
 
 use crate::bounds::Bounds;
+
+/// The per-run token the modelled fleet is gated on when
+/// [`Bounds::token`] is set; the intruder offers a different one.
+pub const MODEL_TOKEN: &str = "model-fleet-token";
 
 /// The deterministic payload a completing worker reports for `cell` —
 /// making the expected merged output a pure function of the bounds, so
@@ -48,6 +53,10 @@ pub enum SeededBug {
     /// coordinator memory; the truncation erases the only durable copy;
     /// a second crash loses the cell (R1303).
     LostLease,
+    /// `demo:split-brain` — the successor forgets the epoch fence: a
+    /// `@done` written against the dead incarnation's lease-id space is
+    /// applied to the new table as if it were current (R1402).
+    SplitBrain,
 }
 
 /// One worker→coordinator frame in flight.
@@ -63,6 +72,9 @@ pub enum Msg {
         attempt: u32,
         /// Reporting worker.
         worker: u64,
+        /// The coordinator incarnation the lease was granted by — the
+        /// wire's `coord` nonce echo, abstracted to the epoch number.
+        epoch: u32,
     },
     /// `@fail`: a cell-level failure.
     Fail {
@@ -70,6 +82,8 @@ pub enum Msg {
         lease: u64,
         /// Reporting worker.
         worker: u64,
+        /// The granting incarnation's epoch (echoed like `@done`).
+        epoch: u32,
     },
 }
 
@@ -81,8 +95,19 @@ impl Msg {
                 cell,
                 attempt,
                 worker,
-            } => format!("@done L{lease} c{cell} a{attempt} w{worker}"),
-            Msg::Fail { lease, worker } => format!("@fail L{lease} w{worker}"),
+                epoch,
+            } => format!("@done L{lease} c{cell} a{attempt} w{worker} e{epoch}"),
+            Msg::Fail {
+                lease,
+                worker,
+                epoch,
+            } => format!("@fail L{lease} w{worker} e{epoch}"),
+        }
+    }
+
+    fn epoch(&self) -> u32 {
+        match self {
+            Msg::Done { epoch, .. } | Msg::Fail { epoch, .. } => *epoch,
         }
     }
 }
@@ -131,6 +156,9 @@ pub enum Slot {
         cell: usize,
         /// The lease's attempt number.
         attempt: u32,
+        /// Epoch of the incarnation that granted the lease — stamped
+        /// into the `@done`/`@fail` the worker eventually writes.
+        epoch: u32,
     },
     /// Crashed; the coordinator has not yet seen the EOF.
     Dead {
@@ -177,6 +205,27 @@ pub struct ModelState {
     /// Adversarial lease-expiry events spent (clock advances that land
     /// on a live lease's deadline).
     pub expiries_used: u32,
+    /// Adversarial network events spent (frame drops + duplications).
+    pub net_used: u32,
+    /// The serving coordinator incarnation's epoch (1 for the primary;
+    /// bumped by every standby takeover).
+    pub epoch: u32,
+    /// Whether the coordinator died with a standby registered: the next
+    /// coordinator move is a takeover, not a crash-and-resume.
+    pub handoff: bool,
+    /// Ghost: the shipped admission gate let the wrong token in (R1403).
+    /// Probed once at [`ModelState::init`] — `chopin_fleet::admission`
+    /// is a pure function of the two tokens, so interleaving the
+    /// intruder's `@hello` with protocol moves would double the state
+    /// space without adding coverage. A broken gate therefore violates
+    /// R1403 on the initial state itself.
+    pub intruder_admitted: bool,
+    /// Ghost: the shipped admission gate refused the run's own token
+    /// (the other way token gating can be wrong; also R1403).
+    pub legit_refused: bool,
+    /// Ghost: a frame from a fenced (dead) incarnation mutated the live
+    /// lease table — split brain (R1402).
+    pub stale_applied: bool,
     /// Whether the matrix drained and the run assembled (terminal).
     pub done: bool,
     /// Ghost: cells that ever had a durable completion record (every
@@ -192,6 +241,9 @@ pub struct ModelState {
 impl ModelState {
     /// The initial state: coordinator up with an empty table, all
     /// slots idle at generation zero with freshly truncated shards.
+    /// When the fleet is token-gated the intruder's admission probe
+    /// happens here, through the *shipped* gate — see
+    /// [`ModelState::intruder_admitted`].
     #[must_use]
     pub fn init(bounds: &Bounds) -> ModelState {
         let mut shards = BTreeMap::new();
@@ -202,6 +254,15 @@ impl ModelState {
                 worker: slot as u64,
             });
         }
+        let (intruder_admitted, legit_refused) = if bounds.token {
+            (
+                admission(Some(MODEL_TOKEN), Some("wrong-token"))
+                    || admission(Some(MODEL_TOKEN), None),
+                !admission(Some(MODEL_TOKEN), Some(MODEL_TOKEN)),
+            )
+        } else {
+            (false, false)
+        };
         ModelState {
             now: 0,
             table: Some(LeaseTable::new(
@@ -216,6 +277,12 @@ impl ModelState {
             base: Vec::new(),
             crashes_used: 0,
             expiries_used: 0,
+            net_used: 0,
+            epoch: 1,
+            handoff: false,
+            intruder_admitted,
+            legit_refused,
+            stale_applied: false,
             done: false,
             durable: BTreeSet::new(),
             offers: vec![BTreeSet::new(); bounds.cells],
@@ -234,8 +301,17 @@ impl ModelState {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "done={} crashes={} expiries={}",
-            self.done, self.crashes_used, self.expiries_used
+            "done={} crashes={} expiries={} net={} epoch={} handoff={} \
+             intruder={}/{} stale={}",
+            self.done,
+            self.crashes_used,
+            self.expiries_used,
+            self.net_used,
+            self.epoch,
+            self.handoff,
+            self.intruder_admitted,
+            self.legit_refused,
+            self.stale_applied
         );
         match &self.table {
             None => {
@@ -256,7 +332,8 @@ impl ModelState {
                     lease,
                     cell,
                     attempt,
-                } => format!("running w{worker} L{lease} c{cell} a{attempt}"),
+                    epoch,
+                } => format!("running w{worker} L{lease} c{cell} a{attempt} e{epoch}"),
                 Slot::Dead { worker } => format!("dead w{worker}"),
                 Slot::Exited => "exited".to_string(),
             };
@@ -293,7 +370,11 @@ impl ModelState {
         }
         let mut out: Vec<(String, ModelState)> = Vec::new();
         let Some(table) = self.table.as_ref() else {
-            out.push(self.resume(bounds, bug));
+            if self.handoff {
+                out.push(self.takeover(bounds));
+            } else {
+                out.push(self.resume(bounds, bug));
+            }
             return out;
         };
         if table.is_done() {
@@ -321,7 +402,11 @@ impl ModelState {
                 Slot::Waiting { .. } | Slot::Dead { .. } | Slot::Exited => {}
             }
             if !self.channels[slot].is_empty() {
-                out.extend(self.deliver(slot));
+                out.extend(self.deliver(slot, bug));
+                if self.net_used < bounds.net {
+                    out.push(self.net_drop(slot));
+                    out.push(self.net_dup(slot));
+                }
             }
             if matches!(self.slots[slot], Slot::Dead { .. }) && self.channels[slot].is_empty() {
                 out.push(self.detect(slot, bounds));
@@ -333,13 +418,25 @@ impl ModelState {
         if table.next_deadline_in(self.now) == Some(0) {
             out.extend(self.tick());
         }
-        if let Some((target, crosses)) = self.next_instant() {
-            if !crosses || self.expiries_used < bounds.expiries() {
-                out.push(self.advance(target, crosses));
+        if self.crashes_used < bounds.crashes {
+            if bounds.standby {
+                out.push(self.handoff());
+            } else {
+                out.push(self.coord_crash());
             }
         }
-        if self.crashes_used < bounds.crashes {
-            out.push(self.coord_crash());
+        if let Some((target, crosses)) = self.next_instant() {
+            // The expiry budget bounds the adversary's *choice* to
+            // delay a worker past a lease deadline. When the crossing
+            // is the only event left (e.g. a dropped `@fail` whose
+            // lease must expire to requeue the cell, with every other
+            // budget spent), it is inevitability, not choice: real
+            // time always flows, so the forced crossing proceeds
+            // budget-free rather than deadlocking the bounded space
+            // (the same fairness assumption that underpins R1305).
+            if !crosses || self.expiries_used < bounds.expiries() || out.is_empty() {
+                out.push(self.advance(target, crosses));
+            }
         }
         out
     }
@@ -369,6 +466,7 @@ impl ModelState {
                     lease: g.lease,
                     cell: g.cell,
                     attempt: g.attempt,
+                    epoch: s.epoch,
                 };
                 let stolen = if g.stolen { ", stolen" } else { "" };
                 format!(
@@ -400,6 +498,7 @@ impl ModelState {
             lease,
             cell,
             attempt,
+            epoch,
         } = s.slots[slot]
         else {
             return (
@@ -419,6 +518,7 @@ impl ModelState {
             cell,
             attempt,
             worker,
+            epoch,
         });
         s.slots[slot] = Slot::Idle { worker };
         (
@@ -434,6 +534,7 @@ impl ModelState {
             worker,
             lease,
             cell,
+            epoch,
             ..
         } = s.slots[slot]
         else {
@@ -442,7 +543,11 @@ impl ModelState {
                 s,
             );
         };
-        s.channels[slot].push(Msg::Fail { lease, worker });
+        s.channels[slot].push(Msg::Fail {
+            lease,
+            worker,
+            epoch,
+        });
         s.slots[slot] = Slot::Idle { worker };
         (
             format!("w{worker} fails cell {cell} ({FAIL_REASON}), sends @fail L{lease}"),
@@ -482,13 +587,30 @@ impl ModelState {
         )
     }
 
-    /// Deliver the oldest buffered frame from one worker's channel.
-    fn deliver(&self, slot: usize) -> Option<(String, ModelState)> {
+    /// Deliver the oldest buffered frame from one worker's channel. A
+    /// frame echoing a dead incarnation's epoch is **fenced**: its
+    /// lease id belongs to the previous table's id space, so applying
+    /// it could complete an arbitrary wrong cell. The `SplitBrain`
+    /// seeded bug skips the fence, which R1402 then catches.
+    fn deliver(&self, slot: usize, bug: SeededBug) -> Option<(String, ModelState)> {
         let mut s = self.clone();
         if s.channels[slot].is_empty() {
             return None;
         }
         let msg = s.channels[slot].remove(0);
+        if msg.epoch() != s.epoch {
+            if bug != SeededBug::SplitBrain {
+                return Some((
+                    format!(
+                        "coordinator fences {} (stale epoch; serving e{})",
+                        msg.label(),
+                        s.epoch
+                    ),
+                    s,
+                ));
+            }
+            s.stale_applied = true;
+        }
         let table = s.table.as_mut()?;
         let label = match msg {
             Msg::Done {
@@ -496,6 +618,7 @@ impl ModelState {
                 cell,
                 attempt,
                 worker,
+                ..
             } => {
                 s.offers[cell].insert((attempt, worker));
                 let merged = matches!(
@@ -511,7 +634,7 @@ impl ModelState {
                 let note = if merged { "merged" } else { "unknown lease" };
                 format!("coordinator reads @done L{lease} from w{worker} (cell {cell}) → {note}")
             }
-            Msg::Fail { lease, worker } => {
+            Msg::Fail { lease, worker, .. } => {
                 let effect = table.step(
                     LeaseEvent::Fail {
                         lease,
@@ -663,6 +786,129 @@ impl ModelState {
         )
     }
 
+    /// SIGKILL the coordinator *with a standby registered*: workers
+    /// survive (they reconnect to the successor with backoff), but the
+    /// frames buffered in the dead process die with it — recovery rides
+    /// on the shard-first write order plus takeover absorption.
+    fn handoff(&self) -> (String, ModelState) {
+        let mut s = self.clone();
+        s.table = None;
+        s.handoff = true;
+        for chan in &mut s.channels {
+            chan.clear();
+        }
+        s.crashes_used += 1;
+        (
+            "coordinator dies (SIGKILL); the standby watches its heartbeat lapse, \
+             workers reconnect to the successor"
+                .to_string(),
+            s,
+        )
+    }
+
+    /// The standby takes over: a fresh table at the next epoch absorbs
+    /// the base journal and every shard — **without** truncating shards
+    /// or respawning workers — and persists merged winners into the
+    /// base before serving, exactly the shipped `run_standby` order.
+    ///
+    /// One wrinkle the checker itself uncovered: quarantine verdicts
+    /// live only in the dead coordinator's memory (a failed cell has
+    /// no journal row), so a takeover from a drained-then-killed
+    /// primary rebuilds a table with unresolved cells and nobody left
+    /// to run them. The shipped answer is the rescue window — if no
+    /// worker reconnects within `STANDBY_RESCUE_MS` the successor
+    /// spawns a fresh pool — and the model mirrors it: when the
+    /// rebuilt table is not done and no slot is alive, exited slots
+    /// respawn under fresh ids (truncating those fresh shards), and
+    /// the deterministic re-execution re-quarantines the failed cells.
+    fn takeover(&self, bounds: &Bounds) -> (String, ModelState) {
+        let mut s = self.clone();
+        let mut table = LeaseTable::new(bounds.seeds(), bounds.policy(), bounds.deadline_ms);
+        s.offers = vec![BTreeSet::new(); bounds.cells];
+        let mut absorbed = 0u64;
+        let rows: Vec<Row> = s
+            .base
+            .iter()
+            .chain(s.shards.values().flatten())
+            .cloned()
+            .collect();
+        for row in rows {
+            table.absorb(row.cell, row.attempt, row.worker, row.payload.clone());
+            s.offers[row.cell].insert((row.attempt, row.worker));
+            absorbed += 1;
+        }
+        let winners: Vec<Row> = (0..bounds.cells)
+            .filter(|cell| !s.base.iter().any(|r| r.cell == *cell))
+            .filter_map(|cell| {
+                table
+                    .cell_winner(cell)
+                    .map(|(attempt, worker, payload)| Row {
+                        cell,
+                        attempt,
+                        worker,
+                        payload: payload.to_string(),
+                    })
+            })
+            .collect();
+        let persisted = winners.len() as u64;
+        s.base.extend(winners);
+        s.epoch += 1;
+        s.handoff = false;
+        let needs_rescue = !table.is_done() && !s.slots.iter().any(Slot::alive);
+        s.table = Some(table);
+        let mut revived = 0usize;
+        if needs_rescue {
+            for slot in 0..s.slots.len() {
+                if matches!(s.slots[slot], Slot::Exited) {
+                    s.generations[slot] += 1;
+                    let fresh =
+                        slot as u64 + bounds.workers as u64 * u64::from(s.generations[slot]);
+                    s.shards.insert(fresh, Vec::new());
+                    s.slots[slot] = Slot::Idle { worker: fresh };
+                    revived += 1;
+                }
+            }
+        }
+        let tail = if revived > 0 {
+            format!(
+                "; no worker reconnects within the rescue window — {revived} fresh \
+                 worker(s) spawned"
+            )
+        } else {
+            "; workers reconnect under their old ids".to_string()
+        };
+        (
+            format!(
+                "standby takes over at epoch {}: absorbs {absorbed} journal row(s) \
+                 (shards kept), persists {persisted} winner(s) to base{tail}",
+                s.epoch
+            ),
+            s,
+        )
+    }
+
+    /// The net adversary eats the oldest buffered frame. The worker is
+    /// oblivious (its reply raced a granted follow-up, so no timeout
+    /// resend fires); the cell comes back only through lease expiry —
+    /// which is why the expiry budget scales with the net budget.
+    fn net_drop(&self, slot: usize) -> (String, ModelState) {
+        let mut s = self.clone();
+        let msg = s.channels[slot].remove(0);
+        s.net_used += 1;
+        (format!("the wire drops {}", msg.label()), s)
+    }
+
+    /// The net adversary duplicates the oldest buffered frame (a retry
+    /// racing its own original): the second copy must read as a
+    /// harmless stale duplicate.
+    fn net_dup(&self, slot: usize) -> (String, ModelState) {
+        let mut s = self.clone();
+        let msg = s.channels[slot][0].clone();
+        s.channels[slot].insert(1, msg.clone());
+        s.net_used += 1;
+        (format!("the wire duplicates {}", msg.label()), s)
+    }
+
     /// `--resume`: a fresh coordinator absorbs the base journal and
     /// every shard, persists the merged winners into the base journal,
     /// and only then spawns workers — whose startup truncates their
@@ -775,7 +1021,9 @@ mod tests {
         assert!(!s.done);
         let succ = s.successors(&bounds, SeededBug::None);
         // Two idle asks, one worker death per slot, one coordinator
-        // crash; no clock moves yet (nothing waiting, nothing leased).
+        // hand-off (standby is registered by default); no clock moves
+        // yet (nothing waiting, nothing leased), no net moves (channels
+        // empty), and the intruder's admission probe happened at init.
         assert_eq!(succ.len(), 2 * bounds.workers + 1);
     }
 
@@ -818,7 +1066,7 @@ mod tests {
         let s = ModelState::init(&bounds);
         let (_, s) = s.ask(0).unwrap();
         let (_, s) = s.finish_ok(0);
-        let (_, s) = s.deliver(0).unwrap();
+        let (_, s) = s.deliver(0, SeededBug::None).unwrap();
         let table = s.table.as_ref().unwrap();
         assert!(table.is_done());
         let (_, s) = s.assemble(&bounds);
@@ -826,5 +1074,84 @@ mod tests {
         assert_eq!(s.base.len(), 1);
         assert_eq!(s.base[0].payload, payload_of(0));
         assert!(s.successors(&bounds, SeededBug::None).is_empty());
+    }
+
+    #[test]
+    fn a_takeover_fences_the_old_incarnations_frames() {
+        let bounds = Bounds {
+            workers: 1,
+            cells: 1,
+            crashes: 1,
+            failing_cells: 0,
+            ..Bounds::default()
+        };
+        let s = ModelState::init(&bounds);
+        let (_, s) = s.ask(0).unwrap();
+        let (_, s) = s.handoff();
+        assert!(s.table.is_none() && s.handoff);
+        let (_, s) = s.takeover(&bounds);
+        assert_eq!(s.epoch, 2);
+        assert!(s.table.is_some() && !s.handoff);
+
+        // The worker finishes the cell it was running under epoch 1 and
+        // resends its @done to the successor — which must fence it (the
+        // lease id belongs to the dead incarnation's id space).
+        let (_, s) = s.finish_ok(0);
+        let (label, fenced) = s.deliver(0, SeededBug::None).unwrap();
+        assert!(label.contains("fences"), "{label}");
+        assert!(!fenced.stale_applied);
+
+        // The split-brain seeded bug skips the fence; the ghost records
+        // the stale mutation for R1402.
+        let (_, split) = s.deliver(0, SeededBug::SplitBrain).unwrap();
+        assert!(split.stale_applied);
+
+        // Either way the completion is durable in the (untruncated)
+        // shard, so no committed result was lost across the hand-off.
+        assert!(fenced.shards.values().flatten().any(|r| r.cell == 0));
+    }
+
+    #[test]
+    fn the_intruder_is_refused_by_the_shipped_admission_gate() {
+        // Token-gated bounds probe the shipped gate at init: the wrong
+        // token stays out, the run's own token gets in — both ghosts
+        // clean, so R1403 holds from the initial state on.
+        let bounds = Bounds::default();
+        assert!(bounds.token);
+        let s = ModelState::init(&bounds);
+        assert!(!s.intruder_admitted && !s.legit_refused);
+        // An ungated fleet never probes.
+        let ungated = ModelState::init(&Bounds {
+            token: false,
+            ..bounds
+        });
+        assert!(!ungated.intruder_admitted && !ungated.legit_refused);
+    }
+
+    #[test]
+    fn net_drop_and_dup_stay_within_the_budget_and_fifo_discipline() {
+        let bounds = Bounds {
+            workers: 1,
+            cells: 1,
+            crashes: 0,
+            net: 1,
+            failing_cells: 0,
+            ..Bounds::default()
+        };
+        let s = ModelState::init(&bounds);
+        let (_, s) = s.ask(0).unwrap();
+        let (_, s) = s.finish_ok(0);
+        let (_, dropped) = s.net_drop(0);
+        assert!(dropped.channels[0].is_empty());
+        assert_eq!(dropped.net_used, 1);
+        // Budget exhausted: no further net moves are offered.
+        assert!(dropped
+            .successors(&bounds, SeededBug::None)
+            .iter()
+            .all(|(l, _)| !l.contains("the wire")));
+
+        let (_, duped) = s.net_dup(0);
+        assert_eq!(duped.channels[0].len(), 2);
+        assert_eq!(duped.channels[0][0], duped.channels[0][1]);
     }
 }

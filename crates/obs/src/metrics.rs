@@ -67,6 +67,22 @@ pub mod fleet_metrics {
     /// carry a foreign sweep fingerprint (stale shards from another
     /// configuration sharing the journal base).
     pub const SHARDS_REJECTED: &str = "fleet.shards.rejected";
+    /// Counter: outbound frames dropped by the seeded net-fault shim.
+    pub const NET_DROPPED: &str = "fleet.net.dropped";
+    /// Counter: outbound frames delayed by the seeded net-fault shim.
+    pub const NET_DELAYED: &str = "fleet.net.delayed";
+    /// Counter: outbound frames duplicated by the seeded net-fault shim.
+    pub const NET_DUPLICATED: &str = "fleet.net.duplicated";
+    /// Counter: frames (either direction) swallowed by a partition window.
+    pub const NET_PARTITIONED: &str = "fleet.net.partitioned";
+    /// Counter: connections refused at admission (auth token mismatch).
+    pub const AUTH_REJECTED: &str = "fleet.auth.rejected";
+    /// Counter: completions fenced for echoing a stale coordinator nonce.
+    pub const STALE_FENCED: &str = "fleet.stale.fenced";
+    /// Counter: reaped workers revived by a successful re-admission.
+    pub const WORKERS_REVIVED: &str = "fleet.workers.revived";
+    /// Counter: coordinator hand-offs completed by a standby.
+    pub const TAKEOVERS: &str = "fleet.takeovers";
 }
 
 /// A histogram over `u64` values (nanoseconds, by convention) with
